@@ -1,0 +1,117 @@
+// Ablation: checkpoint-interval trade-off.
+//
+// §4: "Memory-intensive models showed higher sensitivity to interruption
+// due to longer checkpoint creation times, suggesting the value of
+// workload-specific checkpoint strategies."  §2: GPUnion offers "checkpoint
+// frequency optimization for intensive memory training".
+//
+// This ablation sweeps the checkpoint interval under fixed churn and
+// reports both sides of the trade-off: work lost to interruptions (shorter
+// intervals win) vs checkpoint overhead — serialization pauses and backup
+// bytes (longer intervals win) — for a small-state CNN and a large-state
+// transformer.
+#include <cstdio>
+
+#include "bench/harness_include.h"
+
+namespace gpunion::bench {
+namespace {
+
+struct AblationResult {
+  double completion_hours = 0;
+  double lost_work_min = 0;
+  double checkpoint_gib = 0;
+  int checkpoints = 0;
+  int interruptions = 0;
+};
+
+AblationResult run(const workload::NamedProfile& profile,
+                   util::Duration interval, std::uint64_t seed) {
+  Scenario scenario = make_scenario(
+      baseline::Preset::kGpunion, seed, [](CampusConfig& config) {
+        config.nodes.clear();
+        config.nodes.push_back({hw::server_2xa100("srv-a"), "lab"});
+        config.nodes.push_back({hw::server_2xa100("srv-b"), "lab"});
+        config.agent_defaults.telemetry_interval = 600.0;
+        config.scrape_interval = 600.0;
+      });
+  auto& env = *scenario.env;
+
+  Client client(*scenario.platform, "lab");
+  SubmitOptions options;
+  options.checkpoint_interval = interval;
+  auto job_id = client.submit_training(profile, 24.0, options);
+  if (!job_id.ok()) return {};
+
+  // Four emergency interruptions across the run, 30 min downtime each.
+  for (int k = 0; k < 4; ++k) {
+    env.schedule_at(util::hours(4.0 + 7.0 * k), [&scenario, job = *job_id] {
+      const auto* record = scenario.coordinator().job(job);
+      if (record == nullptr || record->phase != sched::JobPhase::kRunning) {
+        return;
+      }
+      workload::Interruption event;
+      event.machine_id = record->node;
+      event.kind = agent::DepartureKind::kEmergency;
+      event.downtime = util::minutes(30);
+      scenario.platform->inject_interruption(event);
+    });
+  }
+  env.run_until(util::days(8));
+
+  AblationResult result;
+  const auto* record = scenario.coordinator().job(*job_id);
+  if (record == nullptr || record->phase != sched::JobPhase::kCompleted) {
+    return {};
+  }
+  result.completion_hours =
+      (record->completed_at - record->submitted_at) / 3600.0;
+  result.lost_work_min = record->lost_work_seconds / 60.0;
+  result.interruptions = record->interruptions;
+  result.checkpoint_gib =
+      static_cast<double>(scenario.platform->network().bytes_sent(
+          net::TrafficClass::kCheckpoint)) /
+      (1ULL << 30);
+  return result;
+}
+
+}  // namespace
+}  // namespace gpunion::bench
+
+int main() {
+  using namespace gpunion;
+  using namespace gpunion::bench;
+  util::Logger::instance().set_level(util::LogLevel::kError);
+
+  banner("Ablation — checkpoint interval trade-off",
+         "workload-specific checkpoint strategies (§2, §4)");
+
+  std::printf("\nSetup: 24 reference-hour job, 4 emergency interruptions, "
+              "two A100 nodes.\n");
+  for (const auto* profile :
+       {&workload::cnn_small(), &workload::transformer_large()}) {
+    std::printf("\n%s (state %.1f GiB):\n", profile->name.c_str(),
+                static_cast<double>(profile->state.state_bytes) /
+                    (1ULL << 30));
+    row_divider();
+    std::printf("%12s %14s %14s %16s\n", "interval", "completion",
+                "lost work", "backup volume");
+    row_divider();
+    for (double minutes : {2.5, 5.0, 10.0, 20.0, 40.0}) {
+      const auto result = run(*profile, util::minutes(minutes), 4242);
+      if (result.completion_hours == 0) {
+        std::printf("%9.1f min   (did not complete)\n", minutes);
+        continue;
+      }
+      std::printf("%9.1f min %12.2f h %10.1f min %12.2f GiB\n", minutes,
+                  result.completion_hours, result.lost_work_min,
+                  result.checkpoint_gib);
+    }
+    row_divider();
+  }
+  std::printf("\nExpected shape: lost work grows with the interval; backup "
+              "volume and\nserialization overhead grow as it shrinks; the "
+              "sweet spot sits lower for\nsmall-state models than for "
+              "memory-intensive ones.\n\n");
+  return 0;
+}

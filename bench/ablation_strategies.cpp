@@ -1,0 +1,112 @@
+// Ablation: allocation strategies under churn.
+//
+// §3.2: "The scheduler implements multiple allocation strategies, including
+// distribution for fairness and assignment based on priority ...
+// incorporating provider reliability predictions and degradation
+// mechanisms."  This ablation replays one workload + churn trace under each
+// strategy and reports completion, interruptions suffered, queue wait and
+// lost work — quantifying what reliability-aware placement buys.
+#include <cstdio>
+
+#include "bench/harness_include.h"
+
+namespace gpunion::bench {
+namespace {
+
+struct StrategyOutcome {
+  int completed = 0;
+  int submitted = 0;
+  int interruptions = 0;
+  double lost_work_hours = 0;
+  double mean_wait_min = 0;
+};
+
+StrategyOutcome run(sched::AllocationStrategy strategy,
+                    const workload::Trace& trace,
+                    const std::vector<workload::Interruption>& churn,
+                    util::SimTime horizon, std::uint64_t seed) {
+  Scenario scenario = make_scenario(
+      baseline::Preset::kGpunion, seed, [strategy](CampusConfig& config) {
+        config.coordinator.strategy = strategy;
+        config.coordinator.heartbeat_interval = 10.0;
+        config.agent_defaults.telemetry_interval = 600.0;
+        config.scrape_interval = 600.0;
+      });
+  replay_trace(scenario, trace);
+  inject_churn(scenario, churn);
+  scenario.env->run_until(horizon);
+
+  StrategyOutcome outcome;
+  const auto& stats = scenario.coordinator().stats();
+  outcome.completed = stats.training_completed;
+  outcome.submitted = stats.training_submitted;
+  outcome.interruptions = stats.interruptions;
+  outcome.mean_wait_min = stats.queue_wait.mean() / 60.0;
+  for (const auto& [job_id, record] : scenario.coordinator().jobs()) {
+    outcome.lost_work_hours += record.lost_work_seconds / 3600.0;
+  }
+  return outcome;
+}
+
+}  // namespace
+}  // namespace gpunion::bench
+
+int main() {
+  using namespace gpunion;
+  using namespace gpunion::bench;
+  util::Logger::instance().set_level(util::LogLevel::kError);
+
+  banner("Ablation — allocation strategies under churn",
+         "multiple allocation strategies + reliability prediction (§3.2)");
+
+  const std::uint64_t seed = 555;
+  const util::SimTime horizon = util::days(7);
+
+  std::vector<workload::GroupDemand> groups(1);
+  groups[0].name = "vision";
+  groups[0].burst_jobs_per_day = 40.0;
+  groups[0].idle_jobs_per_day = 40.0;  // steady load
+  groups[0].burst_days = 1.0;
+  groups[0].gap_days = 0.0;
+  groups[0].sessions_per_day = 4.0;
+  groups[0].duration_scale = 0.4;
+  const auto trace =
+      workload::generate_campus_trace(groups, horizon, util::Rng(seed));
+
+  // Churn concentrated on the most attractive node (the 8x4090 server)
+  // plus two workstations: capacity-greedy strategies keep walking into
+  // the churn; reliability-aware placement learns to route around it.
+  const std::vector<std::string> flaky = {
+      Platform::machine_id_for("srv-mlsys-0"),
+      Platform::machine_id_for("ws-vision-0"),
+      Platform::machine_id_for("ws-vision-1")};
+  workload::InterruptionModel model;
+  model.events_per_day = 4.0;
+  model.min_downtime = util::minutes(20);
+  model.max_downtime = util::hours(1);
+  const auto churn = workload::generate_interruptions(flaky, horizon, model,
+                                                      util::Rng(seed + 1));
+
+  std::printf("\nSetup: steady 40 jobs/day for 7 days on the paper fleet; "
+              "the 8x4090 server and\ntwo workstations suffer 4 "
+              "interruptions/day each; the rest are steady.\n\n");
+  std::printf("%-20s %12s %14s %12s %12s\n", "strategy", "completed",
+              "interruptions", "lost work", "mean wait");
+  row_divider(76);
+  for (auto strategy :
+       {sched::AllocationStrategy::kRoundRobin,
+        sched::AllocationStrategy::kLeastLoaded,
+        sched::AllocationStrategy::kBestFit,
+        sched::AllocationStrategy::kReliabilityAware}) {
+    const auto outcome = run(strategy, trace, churn, horizon, seed);
+    std::printf("%-20s %7d/%-4d %14d %10.1f h %10.1f m\n",
+                std::string(sched::allocation_strategy_name(strategy)).c_str(),
+                outcome.completed, outcome.submitted, outcome.interruptions,
+                outcome.lost_work_hours, outcome.mean_wait_min);
+  }
+  row_divider(76);
+  std::printf("Expected shape: reliability-aware placement suffers the "
+              "fewest interruptions\nand loses the least work, at a small "
+              "queue-wait premium over round-robin.\n\n");
+  return 0;
+}

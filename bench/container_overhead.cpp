@@ -1,0 +1,143 @@
+// §3.3 claim: containerized execution with GPU passthrough delivers
+// near-native performance with strict isolation.
+//
+// Two parts:
+//  (1) google-benchmark micro-benchmarks of the runtime's control
+//      operations (verify+create, start/kill cycle, kill-switch over a
+//      loaded node) — the costs a provider actually pays;
+//  (2) the throughput-overhead table: effective training throughput under
+//      each execution mode.  Container passthrough overhead (1%) is this
+//      runtime's configured model; the VM/API-remoting reference points are
+//      literature constants included for context, as the paper argues
+//      against full virtualization.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "container/runtime.h"
+#include "hw/node.h"
+#include "util/sha256.h"
+
+namespace gpunion::bench {
+namespace {
+
+container::Image bench_image() {
+  static const container::Image image = container::make_image(
+      "pytorch", "2.3-cuda12.1", "nvidia/cuda:12.1-runtime", 6ULL << 30,
+      "layers");
+  return image;
+}
+
+container::ImageRegistry make_registry() {
+  container::ImageRegistry registry;
+  registry.allow_base("nvidia/cuda:12.1-runtime");
+  (void)registry.push(bench_image());
+  return registry;
+}
+
+container::ContainerConfig bench_config(int gpu) {
+  container::ContainerConfig config;
+  config.image = bench_image();
+  config.limits.gpu_indices = {gpu};
+  config.limits.gpu_memory_gb = 16.0;
+  config.limits.host_memory_gb = 2.0;
+  config.limits.cpu_cores = 1.0;
+  return config;
+}
+
+void BM_VerifyAndCreate(benchmark::State& state) {
+  hw::NodeModel node(hw::server_8x4090("srv"));
+  const auto registry = make_registry();
+  container::ContainerRuntime runtime(node, registry);
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    auto id = runtime.create(bench_config(0), "job-" + std::to_string(i++),
+                             0.9, 0.0);
+    benchmark::DoNotOptimize(id);
+    if (id.ok()) (void)runtime.kill(*id, 0.0);
+  }
+}
+BENCHMARK(BM_VerifyAndCreate);
+
+void BM_StartStopCycle(benchmark::State& state) {
+  hw::NodeModel node(hw::server_8x4090("srv"));
+  const auto registry = make_registry();
+  container::ContainerRuntime runtime(node, registry);
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    auto id = runtime.create(bench_config(0), "job-" + std::to_string(i++),
+                             0.9, 0.0);
+    (void)runtime.start(*id, 0.0);
+    (void)runtime.exit(*id, 1.0);
+  }
+}
+BENCHMARK(BM_StartStopCycle);
+
+void BM_KillSwitchLoadedNode(benchmark::State& state) {
+  hw::NodeModel node(hw::server_8x4090("srv"));
+  const auto registry = make_registry();
+  for (auto _ : state) {
+    state.PauseTiming();
+    container::ContainerRuntime runtime(node, registry);
+    for (int gpu = 0; gpu < 8; ++gpu) {
+      auto id = runtime.create(bench_config(gpu),
+                               "job-" + std::to_string(gpu), 0.9, 0.0);
+      (void)runtime.start(*id, 0.0);
+    }
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(runtime.kill_all(1.0));
+  }
+}
+BENCHMARK(BM_KillSwitchLoadedNode);
+
+void BM_Sha256ImageDigest(benchmark::State& state) {
+  // Digest verification cost over a 1 MiB manifest chunk.
+  const std::string chunk(1 << 20, 'x');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(util::Sha256::hex_of(chunk));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          (1 << 20));
+}
+BENCHMARK(BM_Sha256ImageDigest);
+
+void print_overhead_table() {
+  hw::NodeModel node(hw::server_8x4090("srv"));
+  const auto registry = make_registry();
+  container::ContainerRuntime runtime(node, registry);
+
+  std::printf("\nEffective training throughput by execution mode "
+              "(reference GPU = 1.00):\n");
+  for (int i = 0; i < 64; ++i) std::printf("-");
+  std::printf("\n%-36s %12s %14s\n", "execution mode", "throughput",
+              "startup cost");
+  const double container = 1.0 - runtime.gpu_overhead_fraction();
+  std::printf("%-36s %12.3f %12.1f s\n", "bare metal (no isolation)", 1.000,
+              0.0);
+  std::printf("%-36s %12.3f %12.1f s   <- GPUnion\n",
+              "OCI container + GPU passthrough", container,
+              runtime.startup_overhead());
+  std::printf("%-36s %12.3f %12.1f s\n",
+              "full VM + PCIe passthrough (ref.)", 0.95, 45.0);
+  std::printf("%-36s %12.3f %12.1f s\n", "GPU API remoting (ref.)", 0.82,
+              5.0);
+  for (int i = 0; i < 64; ++i) std::printf("-");
+  std::printf("\nPaper anchor: containers provide \"near-native GPU "
+              "performance by allowing\nuser workloads to access the GPU "
+              "directly, avoiding the overhead of full\nvirtualization\" "
+              "(§3.3).  VM / API-remoting rows are literature reference\n"
+              "points, not measurements of this runtime.\n\n");
+}
+
+}  // namespace
+}  // namespace gpunion::bench
+
+int main(int argc, char** argv) {
+  std::printf("================================================================\n");
+  std::printf("Container execution overhead (§3.3)\n");
+  std::printf("================================================================\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  gpunion::bench::print_overhead_table();
+  return 0;
+}

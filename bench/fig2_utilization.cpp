@@ -1,0 +1,207 @@
+// Figure 2: Research-group GPU utilization comparison.
+//
+// Paper (§4): after six weeks of GPUnion on an 11-server campus, average
+// GPU utilization rose from 34% to 67%, and interactive debugging sessions
+// increased by 40% versus the manual-coordination phase.
+//
+// Reproduction: one six-week campus workload trace (bursty experiment
+// cycles per group, diurnal student sessions, a GPU-less "theory" group)
+// replayed twice over the same fleet — once under per-lab manual silos,
+// once under GPUnion.  The utilization delta comes from the mechanisms the
+// paper names: idle-capacity harvesting across group boundaries, access for
+// groups with no hardware, and hardware-requirement matching (40 GB models
+// can only run on another lab's A100/A6000).
+//
+// Calibration constants (documented in DESIGN.md): per-group demand is
+// sized so that silos land near the paper's 34% baseline; all *relative*
+// results are emergent.
+#include <cstdio>
+
+#include "bench/harness_include.h"
+
+namespace gpunion::bench {
+namespace {
+
+std::vector<workload::GroupDemand> campus_demand() {
+  // owned_nodes carry machine ids so owner-reclaim can find home machines.
+  auto machine = [](const std::string& hostname) {
+    return Platform::machine_id_for(hostname);
+  };
+
+  workload::GroupDemand vision;
+  vision.name = "vision";
+  vision.owned_nodes = {machine("ws-vision-0"), machine("ws-vision-1"),
+                        machine("ws-vision-2"), machine("ws-vision-3"),
+                        machine("ws-vision-4")};
+  vision.burst_jobs_per_day = 13.5;
+  vision.idle_jobs_per_day = 0.7;
+  vision.burst_days = 7.0;
+  vision.gap_days = 14.0;
+  vision.phase_days = 0.0;
+  vision.sessions_per_day = 7.0;
+  vision.profile_mix = {0.50, 0.35, 0.12, 0.03};
+
+  workload::GroupDemand nlp;
+  nlp.name = "nlp";
+  nlp.owned_nodes = {machine("ws-nlp-0"), machine("ws-nlp-1"),
+                     machine("ws-nlp-2"), machine("srv-nlp-big")};
+  nlp.burst_jobs_per_day = 9.8;
+  nlp.idle_jobs_per_day = 0.7;
+  nlp.burst_days = 7.0;
+  nlp.gap_days = 14.0;
+  nlp.phase_days = 4.0;
+  nlp.sessions_per_day = 6.0;
+  nlp.profile_mix = {0.15, 0.25, 0.45, 0.15};
+
+  workload::GroupDemand mlsys;
+  mlsys.name = "mlsys";
+  mlsys.owned_nodes = {machine("srv-mlsys-0")};
+  mlsys.burst_jobs_per_day = 17.7;
+  mlsys.idle_jobs_per_day = 1.1;
+  mlsys.burst_days = 7.0;
+  mlsys.gap_days = 14.0;
+  mlsys.phase_days = 9.0;
+  mlsys.sessions_per_day = 4.0;
+  mlsys.profile_mix = {0.25, 0.30, 0.30, 0.15};
+
+  workload::GroupDemand bio;
+  bio.name = "bio";
+  bio.owned_nodes = {machine("srv-bio-0")};
+  bio.burst_jobs_per_day = 1.85;
+  bio.idle_jobs_per_day = 0.2;
+  bio.burst_days = 7.0;
+  bio.gap_days = 14.0;
+  bio.phase_days = 13.0;
+  bio.sessions_per_day = 2.0;
+  bio.profile_mix = {0.10, 0.20, 0.45, 0.25};
+
+  // The access-barrier population (§1): students and a group with no GPUs.
+  workload::GroupDemand theory;
+  theory.name = "theory";
+  theory.burst_jobs_per_day = 32.0;
+  theory.idle_jobs_per_day = 32.0;  // steady, no experiment cycle
+  theory.burst_days = 1.0;
+  theory.gap_days = 0.0;
+  theory.sessions_per_day = 5.0;
+  theory.profile_mix = {0.65, 0.30, 0.05, 0.0};
+  theory.duration_scale = 0.6;
+
+  return {vision, nlp, mlsys, bio, theory};
+}
+
+struct RunResult {
+  double fleet_utilization = 0;
+  std::map<std::string, double> per_node;
+  int sessions_served = 0;
+  int sessions_denied = 0;
+  int training_completed = 0;
+  int training_abandoned = 0;
+  double mean_queue_wait_min = 0;
+};
+
+RunResult run(baseline::Preset preset, const workload::Trace& trace,
+              util::SimTime horizon, std::uint64_t seed) {
+  Scenario scenario = make_scenario(preset, seed, [](CampusConfig& config) {
+    // Six simulated weeks: coarse control-plane cadence keeps the event
+    // count tractable; the 3-miss rule scales with the interval.
+    config.coordinator.heartbeat_interval = 60.0;
+    config.agent_defaults.telemetry_interval = 600.0;
+    config.scrape_interval = 600.0;
+  });
+  replay_trace(scenario, trace);
+  // Users abandon training jobs that have queued for three days.
+  enable_give_up(scenario, util::days(3));
+
+  // Light real-world churn during the GPUnion phase: providers occasionally
+  // reboot or take machines home (manual mode has no agents to leave).
+  if (preset == baseline::Preset::kGpunion) {
+    workload::InterruptionModel churn;
+    churn.events_per_day = 0.15;
+    inject_churn(scenario,
+                 workload::generate_interruptions(
+                     scenario.platform->machine_ids(), horizon, churn,
+                     util::Rng(seed ^ 0x9e3779b9)));
+  }
+
+  scenario.env->run_until(horizon);
+
+  RunResult result;
+  result.fleet_utilization = scenario.platform->fleet_utilization(0, horizon);
+  result.per_node = scenario.platform->per_node_utilization(0, horizon);
+  const auto& stats = scenario.coordinator().stats();
+  result.sessions_served = stats.sessions_served;
+  result.sessions_denied = stats.sessions_denied;
+  result.training_completed = stats.training_completed;
+  result.training_abandoned =
+      count_phase(scenario, sched::JobPhase::kCancelled);
+  result.mean_queue_wait_min = stats.queue_wait.mean() / 60.0;
+  return result;
+}
+
+}  // namespace
+}  // namespace gpunion::bench
+
+int main() {
+  using namespace gpunion;
+  using namespace gpunion::bench;
+  util::Logger::instance().set_level(util::LogLevel::kError);
+
+  banner("Figure 2 — Research group GPU utilization comparison",
+         "\"average GPU utilization of all servers increased from 34% to "
+         "67%\"; \"interactive debugging sessions increased by 40%\" (§4)");
+
+  const util::SimTime horizon = util::weeks(6);
+  const std::uint64_t seed = 20251117;
+  const auto trace =
+      workload::generate_campus_trace(campus_demand(), horizon,
+                                      util::Rng(seed));
+  const auto stats = workload::summarize(trace);
+  std::printf("\nWorkload: %d training jobs (%.0f reference-GPU-hours), "
+              "%d interactive session requests over 6 weeks\n",
+              stats.training_jobs, stats.total_training_hours,
+              stats.interactive_sessions);
+
+  const RunResult manual = run(baseline::Preset::kManual, trace, horizon, seed);
+  const RunResult gpunion =
+      run(baseline::Preset::kGpunion, trace, horizon, seed);
+
+  std::printf("\nPer-node GPU utilization (six-week average):\n");
+  row_divider();
+  std::printf("%-14s %10s %10s\n", "node", "manual", "GPUnion");
+  row_divider();
+  for (const auto& [hostname, manual_util] : manual.per_node) {
+    std::printf("%-14s %9.1f%% %9.1f%%\n", hostname.c_str(),
+                manual_util * 100.0, gpunion.per_node.at(hostname) * 100.0);
+  }
+  row_divider();
+  std::printf("%-14s %9.1f%% %9.1f%%   (paper: 34%% -> 67%%)\n",
+              "fleet average", manual.fleet_utilization * 100.0,
+              gpunion.fleet_utilization * 100.0);
+
+  std::printf("\nInteractive sessions (six weeks):\n");
+  row_divider();
+  std::printf("%-28s %10s %10s\n", "", "manual", "GPUnion");
+  std::printf("%-28s %10d %10d\n", "sessions served",
+              manual.sessions_served, gpunion.sessions_served);
+  std::printf("%-28s %10d %10d\n", "sessions denied (gave up)",
+              manual.sessions_denied, gpunion.sessions_denied);
+  const double session_gain =
+      manual.sessions_served == 0
+          ? 0.0
+          : 100.0 * (gpunion.sessions_served - manual.sessions_served) /
+                manual.sessions_served;
+  std::printf("%-28s %20.1f%%  (paper: +40%%)\n", "session increase",
+              session_gain);
+
+  std::printf("\nTraining outcomes:\n");
+  row_divider();
+  std::printf("%-28s %10s %10s\n", "", "manual", "GPUnion");
+  std::printf("%-28s %10d %10d\n", "jobs completed",
+              manual.training_completed, gpunion.training_completed);
+  std::printf("%-28s %10d %10d\n", "jobs abandoned in queue",
+              manual.training_abandoned, gpunion.training_abandoned);
+  std::printf("%-28s %9.0fm %9.0fm\n", "mean wait to first GPU",
+              manual.mean_queue_wait_min, gpunion.mean_queue_wait_min);
+  std::printf("\n");
+  return 0;
+}

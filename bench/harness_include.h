@@ -1,0 +1,8 @@
+// Convenience umbrella for bench binaries (keeps per-bench includes short).
+#pragma once
+
+#include <functional>
+#include <map>
+
+#include "bench/harness.h"
+#include "util/logging.h"

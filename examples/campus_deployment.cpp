@@ -1,0 +1,106 @@
+// Campus deployment: a compressed version of the paper's §4 case study.
+//
+// Simulates one week of a working campus — four labs with bursty training
+// demand, students requesting Jupyter sessions, providers occasionally
+// taking machines back — and prints a daily utilization digest plus the
+// final platform statistics.
+#include <cstdio>
+
+#include "gpunion/client.h"
+#include "util/logging.h"
+#include "gpunion/platform.h"
+#include "workload/generator.h"
+#include "workload/provider_behavior.h"
+
+int main() {
+  using namespace gpunion;
+  util::Logger::instance().set_level(util::LogLevel::kError);
+
+  sim::Environment env(/*seed=*/7);
+  CampusConfig config = paper_campus();
+  config.coordinator.heartbeat_interval = 10.0;
+  config.agent_defaults.telemetry_interval = 300.0;
+  Platform platform(env, config);
+  platform.start();
+  env.run_until(5.0);
+
+  // Campus demand: two heavy labs, one light lab, students.
+  std::vector<workload::GroupDemand> groups(3);
+  groups[0].name = "vision";
+  groups[0].owned_nodes = {Platform::machine_id_for("ws-vision-0")};
+  groups[0].burst_jobs_per_day = 10.0;
+  groups[0].idle_jobs_per_day = 2.0;
+  groups[0].burst_days = 3.0;
+  groups[0].gap_days = 4.0;
+  groups[0].sessions_per_day = 6.0;
+  groups[0].duration_scale = 0.5;
+  groups[1].name = "nlp";
+  groups[1].owned_nodes = {Platform::machine_id_for("srv-nlp-big")};
+  groups[1].burst_jobs_per_day = 8.0;
+  groups[1].idle_jobs_per_day = 1.0;
+  groups[1].burst_days = 3.0;
+  groups[1].gap_days = 4.0;
+  groups[1].phase_days = 3.0;
+  groups[1].sessions_per_day = 5.0;
+  groups[1].duration_scale = 0.5;
+  groups[2].name = "theory";
+  groups[2].burst_jobs_per_day = 3.0;
+  groups[2].idle_jobs_per_day = 3.0;
+  groups[2].burst_days = 1.0;
+  groups[2].gap_days = 0.0;
+  groups[2].sessions_per_day = 8.0;
+  groups[2].duration_scale = 0.4;
+
+  const util::SimTime horizon = util::days(7);
+  const auto trace =
+      workload::generate_campus_trace(groups, horizon, util::Rng(7));
+  for (const auto& event : trace) {
+    auto job = event.job;
+    env.schedule_at(event.at, [&platform, job]() mutable {
+      (void)platform.coordinator().submit(std::move(job));
+    });
+  }
+
+  // Providers occasionally leave and return (one event/day fleet-wide).
+  workload::InterruptionModel churn;
+  churn.events_per_day = 0.1;
+  for (const auto& event : workload::generate_interruptions(
+           platform.machine_ids(), horizon, churn, util::Rng(8))) {
+    env.schedule_at(event.at, [&platform, event] {
+      platform.inject_interruption(event);
+    });
+  }
+
+  std::printf("Simulating one campus week (%zu submissions)...\n\n",
+              trace.size());
+  std::printf("%5s %14s %12s %12s %12s\n", "day", "fleet util",
+              "jobs done", "sessions", "migrations");
+  for (int day = 1; day <= 7; ++day) {
+    env.run_until(util::days(day));
+    const auto& stats = platform.coordinator().stats();
+    std::printf("%5d %13.1f%% %12d %12d %12zu\n", day,
+                platform.fleet_utilization(util::days(day - 1),
+                                           util::days(day)) *
+                    100.0,
+                stats.training_completed, stats.sessions_served,
+                platform.coordinator().migrations().records().size());
+  }
+
+  const auto& stats = platform.coordinator().stats();
+  std::printf("\nWeek summary\n");
+  std::printf("  fleet utilization: %.1f%%\n",
+              platform.fleet_utilization(0, horizon) * 100.0);
+  std::printf("  training jobs:     %d submitted, %d completed\n",
+              stats.training_submitted, stats.training_completed);
+  std::printf("  sessions:          %d served, %d denied, %d disrupted\n",
+              stats.sessions_served, stats.sessions_denied,
+              stats.sessions_disrupted);
+  std::printf("  interruptions:     %d (migrate-back rate %.0f%%)\n",
+              stats.interruptions,
+              platform.coordinator().migrations().migrate_back_rate() * 100);
+  std::printf("  checkpoint bytes:  %.2f GiB to nas-campus\n",
+              static_cast<double>(platform.network().bytes_sent(
+                  net::TrafficClass::kCheckpoint)) /
+                  (1ULL << 30));
+  return 0;
+}

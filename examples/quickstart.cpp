@@ -1,0 +1,75 @@
+// Quickstart: stand up a campus, share GPUs, run a job and a session.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+//
+// This walks the smallest useful GPUnion deployment: the paper's 11-server
+// fleet, one training job from a GPU-less group, one interactive session,
+// and a provider exercising the kill-switch.
+#include <cstdio>
+
+#include "gpunion/client.h"
+#include "gpunion/platform.h"
+
+int main() {
+  using namespace gpunion;
+
+  // 1. A deterministic simulation environment (seed -> reproducible run).
+  sim::Environment env(/*seed=*/42);
+
+  // 2. The campus: 8x RTX 3090 workstations, an 8x 4090 server, 2x A100,
+  //    4x A6000, and a campus NAS — the deployment from §4 of the paper.
+  Platform platform(env, paper_campus());
+  platform.start();
+  env.run_until(5.0);  // agents register, heartbeats start
+
+  std::printf("Fleet online: %d nodes, %d GPUs\n",
+              static_cast<int>(platform.machine_ids().size()),
+              platform.total_gpus());
+
+  // 3. The "theory" group owns no GPUs — under manual coordination they
+  //    simply could not train.  Submitting through GPUnion just works.
+  Client client(platform, "theory");
+  SubmitOptions options;
+  options.checkpoint_interval = util::minutes(10);
+  options.preferred_storage = {"nas-campus"};
+  auto job = client.submit_training(workload::cnn_small(), /*hours=*/1.0,
+                                    options);
+  if (!job.ok()) {
+    std::printf("submit failed: %s\n", job.status().to_string().c_str());
+    return 1;
+  }
+  auto session = client.request_session(/*hours=*/0.5);
+
+  env.run_until(env.now() + 30.0);
+  const sched::JobRecord* record = client.status(*job);
+  std::printf("Job %s -> %s on %s\n", job->c_str(),
+              std::string(sched::job_phase_name(record->phase)).c_str(),
+              record->node.c_str());
+
+  // 4. Provider supremacy: the owner of that machine reclaims it NOW.
+  agent::ProviderAgent* provider = platform.agent(record->node);
+  std::printf("Provider %s fires the kill-switch...\n",
+              provider->machine_id().c_str());
+  provider->kill_switch();
+
+  // 5. GPUnion recovers automatically: the job relaunches from its state.
+  env.run_until(env.now() + util::minutes(3));
+  record = client.status(*job);
+  std::printf("After kill-switch: %s on %s (interruptions: %d)\n",
+              std::string(sched::job_phase_name(record->phase)).c_str(),
+              record->node.c_str(), record->interruptions);
+
+  // 6. Let everything finish.
+  env.run_until(env.now() + util::hours(2));
+  std::printf("Final: job %s, session %s\n",
+              std::string(sched::job_phase_name(client.status(*job)->phase))
+                  .c_str(),
+              std::string(
+                  sched::job_phase_name(client.status(*session)->phase))
+                  .c_str());
+  std::printf("Fleet utilization over the run: %.1f%%\n",
+              platform.fleet_utilization(0, env.now()) * 100.0);
+  return 0;
+}

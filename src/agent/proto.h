@@ -1,0 +1,204 @@
+// Agent <-> coordinator protocol.
+//
+// The paper's agent "exposes REST APIs for resource advertisement, workload
+// lifecycle management, and emergency controls" (§3.2).  Here each REST
+// endpoint is a typed message riding over net::Transport; payload structs
+// are carried in Message::payload (std::any) with Message::kind as the
+// discriminator.  Sizes mirror realistic JSON bodies so traffic accounting
+// is meaningful.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hw/telemetry.h"
+#include "util/time.h"
+#include "workload/job.h"
+
+namespace gpunion::agent {
+
+/// Message::kind values.
+enum MsgKind : int {
+  kRegisterRequest = 1,
+  kRegisterResponse,
+  kHeartbeat,
+  kTelemetryReport,
+  kDispatch,
+  kDispatchResult,
+  kJobStarted,
+  kKillJob,
+  kJobCompleted,
+  kCheckpointNotice,
+  kDepartureNotice,
+  kReturnNotice,
+  kKillSwitchNotice, // agent -> coordinator: provider terminated guests
+  kJobKilledAck,     // agent -> coordinator: response to kKillJob
+  kRestoreRequest,   // agent -> storage endpoint
+  kRestoreData,      // storage endpoint -> agent (restore payload bytes)
+  kCheckpointData,   // agent -> storage endpoint (backup payload bytes)
+  kImagePullRequest, // agent -> image registry endpoint
+  kImageData,        // registry endpoint -> agent (layer bytes)
+};
+
+/// Why a provider left; drives the coordinator's recovery path and the
+/// Fig. 3 scenario taxonomy.
+enum class DepartureKind {
+  kScheduled,    // graceful shutdown with checkpoint grace
+  kEmergency,    // immediate disconnect, no notice (detected via heartbeats)
+  kTemporary,    // short unavailability, provider returns
+  kReclaim,      // owner kill-switch / GPU reclaim (node stays in the fleet)
+};
+
+std::string_view departure_kind_name(DepartureKind k);
+
+struct RegisterRequest {
+  std::string machine_id;
+  std::string hostname;
+  std::string owner_group;
+  int gpu_count = 0;
+  std::string gpu_model;
+  double gpu_memory_gb = 0;
+  double compute_capability = 0;
+  double gpu_tflops = 0;
+};
+
+struct RegisterResponse {
+  bool accepted = false;
+  std::string auth_token;
+  util::Duration heartbeat_interval = 2.0;
+};
+
+struct Heartbeat {
+  std::string machine_id;
+  std::string auth_token;
+  std::uint64_t seq = 0;
+  int free_gpus = 0;
+  bool accepting = true;  // false while paused
+  /// Ids of jobs currently hosted; lets the coordinator reconcile records
+  /// whose completion/kill notification was lost in transit.
+  std::vector<std::string> running_jobs;
+};
+
+struct TelemetryReport {
+  std::string machine_id;
+  hw::NodeTelemetry telemetry;
+};
+
+struct DispatchRequest {
+  workload::JobSpec job;
+  /// Durable progress to resume from (0 for fresh starts).
+  double start_progress = 0;
+  /// Restore transfer: bytes to pull from `restore_from` before compute
+  /// begins (0 when nothing to restore).
+  std::uint64_t restore_bytes = 0;
+  std::string restore_from;
+};
+
+struct DispatchResult {
+  std::string machine_id;
+  std::string job_id;
+  bool accepted = false;
+  std::string reason;       // on rejection
+  std::string container_id; // on acceptance
+  std::vector<int> gpu_indices;  // devices bound on acceptance
+};
+
+/// Compute actually began (after image pull / checkpoint restore).  The
+/// coordinator measures migration downtime against this, not the dispatch
+/// ack, so restore transfer time is included.
+struct JobStarted {
+  std::string machine_id;
+  std::string job_id;
+  double start_progress = 0;
+};
+
+struct KillJobCommand {
+  std::string job_id;
+  /// Allow a final checkpoint before the kill (planned migration); the
+  /// kill-switch path uses false.
+  bool allow_checkpoint = true;
+};
+
+struct JobCompleted {
+  std::string machine_id;
+  std::string job_id;
+};
+
+struct CheckpointNotice {
+  std::string machine_id;
+  std::string job_id;
+  std::uint64_t seq = 0;
+  double progress = 0;
+  std::uint64_t stored_bytes = 0;
+  std::string storage_node;
+};
+
+/// Per-job outcome inside a scheduled departure.
+struct DepartingJob {
+  std::string job_id;
+  double checkpointed_progress = 0;
+  bool fresh_checkpoint = false;  // captured within the grace window
+};
+
+struct DepartureNotice {
+  std::string machine_id;
+  DepartureKind kind = DepartureKind::kScheduled;
+  std::vector<DepartingJob> jobs;
+};
+
+struct ReturnNotice {
+  std::string machine_id;
+};
+
+/// Provider pressed the kill-switch (or reclaimed GPUs for their own work):
+/// the listed guest jobs were terminated without grace.
+struct KillSwitchNotice {
+  std::string machine_id;
+  std::vector<std::string> killed_jobs;
+};
+
+/// Agent finished handling a coordinator kKillJob command.
+struct JobKilledAck {
+  std::string machine_id;
+  std::string job_id;
+  double checkpointed_progress = 0;
+  bool fresh_checkpoint = false;
+};
+
+struct RestoreRequest {
+  std::string requester;  // agent machine id to stream the data to
+  std::string job_id;
+  std::uint64_t bytes = 0;
+};
+
+struct RestoreData {
+  std::string job_id;
+};
+
+struct CheckpointData {
+  std::string job_id;
+};
+
+struct ImagePullRequest {
+  std::string requester;
+  std::string image_ref;
+};
+
+struct ImageData {
+  std::string image_ref;
+};
+
+/// Salt shared by agents and tooling when deriving machine ids from
+/// hostnames, so ids are computable anywhere (e.g. workload generators
+/// naming a group's home nodes).
+inline constexpr std::string_view kMachineIdSalt = "gpunion-campus";
+
+/// Typical encoded sizes (bytes) for control-plane messages, for traffic
+/// accounting.  Derived from JSON encodings of the structs above.
+constexpr std::uint64_t kRegisterBytes = 640;
+constexpr std::uint64_t kHeartbeatBytes = 220;
+constexpr std::uint64_t kTelemetryBytesPerGpu = 180;
+constexpr std::uint64_t kControlBytes = 300;
+
+}  // namespace gpunion::agent

@@ -1,0 +1,33 @@
+#include "container/image.h"
+
+#include "util/sha256.h"
+
+namespace gpunion::container {
+
+std::string compute_image_digest(const Image& image,
+                                 std::string_view manifest) {
+  util::Sha256 h;
+  h.update(image.name);
+  h.update("\n");
+  h.update(image.tag);
+  h.update("\n");
+  h.update(image.base_image);
+  h.update("\n");
+  h.update(std::to_string(image.size_bytes));
+  h.update("\n");
+  h.update(manifest);
+  return "sha256:" + h.hex_digest();
+}
+
+Image make_image(std::string name, std::string tag, std::string base_image,
+                 std::uint64_t size_bytes, std::string manifest) {
+  Image image;
+  image.name = std::move(name);
+  image.tag = std::move(tag);
+  image.base_image = std::move(base_image);
+  image.size_bytes = size_bytes;
+  image.digest = compute_image_digest(image, manifest);
+  return image;
+}
+
+}  // namespace gpunion::container

@@ -1,0 +1,32 @@
+// Container images.
+//
+// Mirrors the paper's §3.3: "Container images must pass SHA256 verification
+// before deployment, and the system maintains an allow list of trusted base
+// images."  An image's digest is the real SHA-256 of its (synthetic)
+// manifest contents.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace gpunion::container {
+
+struct Image {
+  std::string name;        // e.g. "pytorch"
+  std::string tag;         // e.g. "2.3-cuda12.1"
+  std::string base_image;  // e.g. "nvidia/cuda:12.1-runtime"
+  std::uint64_t size_bytes = 0;
+  std::string digest;      // "sha256:<hex>" over the manifest
+
+  std::string reference() const { return name + ":" + tag; }
+};
+
+/// Builds an image with a digest computed over (name, tag, base, size,
+/// manifest).  `manifest` stands in for layer content.
+Image make_image(std::string name, std::string tag, std::string base_image,
+                 std::uint64_t size_bytes, std::string manifest = {});
+
+/// Recomputes the digest from the image fields; used by verification.
+std::string compute_image_digest(const Image& image, std::string_view manifest);
+
+}  // namespace gpunion::container

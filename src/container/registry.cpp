@@ -1,0 +1,57 @@
+#include "container/registry.h"
+
+namespace gpunion::container {
+
+util::Status ImageRegistry::push(const Image& image) {
+  if (image.name.empty() || image.digest.empty()) {
+    return util::invalid_argument_error("image requires a name and digest");
+  }
+  auto it = images_.find(image.reference());
+  if (it != images_.end()) {
+    if (it->second.digest != image.digest) {
+      return util::already_exists_error(
+          "image " + image.reference() +
+          " already published with a different digest");
+    }
+    return util::Status();  // idempotent re-push
+  }
+  images_.emplace(image.reference(), image);
+  return util::Status();
+}
+
+util::StatusOr<Image> ImageRegistry::resolve(
+    const std::string& reference) const {
+  auto it = images_.find(reference);
+  if (it == images_.end()) {
+    return util::not_found_error("image " + reference + " not in registry");
+  }
+  return it->second;
+}
+
+void ImageRegistry::allow_base(const std::string& base_image) {
+  allowed_bases_.insert(base_image);
+}
+
+bool ImageRegistry::base_allowed(const std::string& base_image) const {
+  return allowed_bases_.contains(base_image);
+}
+
+util::Status ImageRegistry::verify_for_deployment(const Image& image) const {
+  auto it = images_.find(image.reference());
+  if (it == images_.end()) {
+    return util::not_found_error("image " + image.reference() +
+                                 " not in registry");
+  }
+  if (it->second.digest != image.digest) {
+    return util::permission_denied_error(
+        "digest mismatch for " + image.reference() +
+        " (possible tampering): registry has " + it->second.digest);
+  }
+  if (!base_allowed(image.base_image)) {
+    return util::permission_denied_error(
+        "base image " + image.base_image + " is not allow-listed");
+  }
+  return util::Status();
+}
+
+}  // namespace gpunion::container

@@ -1,0 +1,38 @@
+// Image registry with digest verification and a trusted-base allow list.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "container/image.h"
+#include "util/status.h"
+
+namespace gpunion::container {
+
+class ImageRegistry {
+ public:
+  /// Publishes an image.  Fails with kAlreadyExists when the same
+  /// name:tag is already present with a *different* digest (immutability).
+  util::Status push(const Image& image);
+
+  /// Looks up name:tag.
+  util::StatusOr<Image> resolve(const std::string& reference) const;
+
+  /// Marks a base image as trusted.  Deployment of images built on other
+  /// bases is rejected (paper §3.3).
+  void allow_base(const std::string& base_image);
+  bool base_allowed(const std::string& base_image) const;
+
+  /// Full deployment check: image is known, digest matches the stored
+  /// record bit-for-bit, and the base image is allow-listed.
+  util::Status verify_for_deployment(const Image& image) const;
+
+  std::size_t image_count() const { return images_.size(); }
+
+ private:
+  std::unordered_map<std::string, Image> images_;  // by reference
+  std::unordered_set<std::string> allowed_bases_;
+};
+
+}  // namespace gpunion::container

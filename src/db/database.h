@@ -1,0 +1,146 @@
+// Central system database.
+//
+// §3.2: "State persistence is handled through a centralized database that
+// maintains node registrations, resource allocations, and historical
+// monitoring data."  §5.2 identifies this database (with heartbeat
+// processing) as the scalability bottleneck beyond ~200 nodes, so the model
+// tracks an operation rate and exposes an M/M/1 latency estimate that
+// bench/scalability sweeps.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/status.h"
+#include "util/time.h"
+
+namespace gpunion::db {
+
+enum class NodeStatus { kActive, kPaused, kUnavailable, kDeparted };
+
+std::string_view node_status_name(NodeStatus s);
+
+struct NodeRecord {
+  std::string machine_id;
+  std::string hostname;
+  int gpu_count = 0;
+  std::string gpu_model;
+  NodeStatus status = NodeStatus::kActive;
+  util::SimTime registered_at = 0;
+  util::SimTime last_heartbeat = 0;
+  std::string auth_token_hash;  // sha256 of the issued token
+};
+
+enum class AllocationOutcome {
+  kRunning,
+  kCompleted,
+  kMigrated,     // moved to another node (provider departure)
+  kKilled,       // provider kill-switch, no recovery requested
+  kLost,         // emergency departure with no usable checkpoint
+};
+
+struct AllocationRecord {
+  std::uint64_t allocation_id = 0;
+  std::string job_id;
+  std::string machine_id;
+  std::vector<int> gpu_indices;
+  util::SimTime started_at = 0;
+  util::SimTime ended_at = 0;  // 0 while running
+  AllocationOutcome outcome = AllocationOutcome::kRunning;
+};
+
+/// A pending resource request in the scheduler's priority queue (§3.5:
+/// "a round-robin scheduler which processes pending resource requests from
+/// a priority queue stored in the central database").
+struct PendingRequest {
+  std::string job_id;
+  int priority = 0;  // higher first
+  util::SimTime submitted_at = 0;
+};
+
+struct MetricPoint {
+  util::SimTime at = 0;
+  double value = 0;
+};
+
+struct DatabaseConfig {
+  /// Mean service time of one DB operation (single writer), seconds.
+  double op_service_time = 0.0008;
+  /// Ring-buffer length per monitoring series.
+  std::size_t history_limit = 4096;
+};
+
+class SystemDatabase {
+ public:
+  explicit SystemDatabase(DatabaseConfig config = {});
+
+  // --- Node registry --------------------------------------------------------
+  util::Status upsert_node(NodeRecord record);
+  util::StatusOr<NodeRecord> node(const std::string& machine_id) const;
+  util::Status set_node_status(const std::string& machine_id, NodeStatus s);
+  util::Status touch_heartbeat(const std::string& machine_id,
+                               util::SimTime at);
+  std::vector<NodeRecord> nodes() const;
+  std::vector<NodeRecord> nodes_with_status(NodeStatus s) const;
+
+  // --- Allocation ledger -----------------------------------------------------
+  std::uint64_t open_allocation(const std::string& job_id,
+                                const std::string& machine_id,
+                                std::vector<int> gpu_indices,
+                                util::SimTime at);
+  util::Status close_allocation(std::uint64_t allocation_id,
+                                AllocationOutcome outcome, util::SimTime at);
+  std::vector<AllocationRecord> allocations_for_job(
+      const std::string& job_id) const;
+  const std::vector<AllocationRecord>& allocation_ledger() const {
+    return ledger_;
+  }
+
+  // --- Pending request queue ---------------------------------------------------
+  void enqueue_request(PendingRequest request);
+  /// Re-queues at the *head* of its priority class (displaced jobs keep
+  /// their place under GPUnion's policy; Slurm-style resubmission uses the
+  /// tail via enqueue_request).
+  void enqueue_request_front(PendingRequest request);
+  /// Pops the highest-priority (FIFO within a priority) request.
+  std::optional<PendingRequest> pop_request();
+  /// Removes a queued request by job id (job cancelled); false if absent.
+  bool remove_request(const std::string& job_id);
+  std::size_t queue_depth() const;
+
+  // --- Monitoring history -----------------------------------------------------
+  void record_metric(const std::string& series, util::SimTime at,
+                     double value);
+  const std::deque<MetricPoint>& series(const std::string& name) const;
+  std::vector<std::string> series_names() const;
+
+  // --- Contention model --------------------------------------------------------
+  /// Every public mutation/query above counts as one operation.
+  std::uint64_t op_count() const { return ops_; }
+
+  /// M/M/1 sojourn-time estimate for a sustained `ops_per_sec` load.
+  /// Saturates (returns kNever) at/above the service rate — this is the
+  /// ">200 nodes" wall in §5.2.
+  double estimated_latency(double ops_per_sec) const;
+  double service_rate() const { return 1.0 / config_.op_service_time; }
+
+ private:
+  void count_op() const { ++ops_; }
+
+  DatabaseConfig config_;
+  std::map<std::string, NodeRecord> nodes_;  // ordered: deterministic scans
+  std::vector<AllocationRecord> ledger_;
+  std::unordered_map<std::uint64_t, std::size_t> ledger_index_;
+  // priority -> FIFO of requests; processed highest priority first.
+  std::map<int, std::deque<PendingRequest>, std::greater<>> queue_;
+  std::unordered_map<std::string, std::deque<MetricPoint>> metrics_;
+  std::uint64_t next_allocation_id_ = 1;
+  mutable std::uint64_t ops_ = 0;
+};
+
+}  // namespace gpunion::db

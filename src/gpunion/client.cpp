@@ -1,0 +1,76 @@
+#include "gpunion/client.h"
+
+namespace gpunion {
+
+Client::Client(Platform& platform, std::string group)
+    : platform_(platform), group_(std::move(group)), ids_(group_ + "-job") {}
+
+util::StatusOr<std::string> Client::submit_training(
+    const workload::NamedProfile& profile, double hours,
+    SubmitOptions options) {
+  if (hours <= 0) {
+    return util::invalid_argument_error("training hours must be positive");
+  }
+  workload::JobSpec job = workload::make_training_job(
+      ids_.next(), profile, hours, group_, platform_.env().now());
+  job.checkpoint_interval = options.checkpoint_interval;
+  job.preferred_storage = options.preferred_storage;
+  job.requirements.priority = options.priority;
+  if (!options.home_hostname.empty()) {
+    job.owner_node = Platform::machine_id_for(options.home_hostname);
+  }
+  const std::string id = job.id;
+  GPUNION_RETURN_IF_ERROR(platform_.coordinator().submit(std::move(job)));
+  return id;
+}
+
+util::StatusOr<std::string> Client::submit_model(
+    const workload::ModelDescription& model, SubmitOptions options) {
+  if (model.parameter_count == 0) {
+    return util::invalid_argument_error("model has no parameters");
+  }
+  workload::JobSpec job;
+  job.id = ids_.next();
+  job.type = workload::JobType::kTraining;
+  job.owner_group = group_;
+  job.requirements = workload::estimate_requirements(model);
+  job.requirements.priority = options.priority;
+  job.state = workload::estimate_state(model);
+  job.reference_duration =
+      workload::estimate_reference_hours(model) * 3600.0;
+  job.checkpoint_interval = options.checkpoint_interval;
+  job.preferred_storage = options.preferred_storage;
+  job.submitted_at = platform_.env().now();
+  if (!options.home_hostname.empty()) {
+    job.owner_node = Platform::machine_id_for(options.home_hostname);
+  }
+  const std::string id = job.id;
+  GPUNION_RETURN_IF_ERROR(platform_.coordinator().submit(std::move(job)));
+  return id;
+}
+
+util::StatusOr<std::string> Client::request_session(double hours,
+                                                    SubmitOptions options) {
+  if (hours <= 0) {
+    return util::invalid_argument_error("session hours must be positive");
+  }
+  workload::JobSpec job = workload::make_interactive_session(
+      ids_.next(), hours, group_, platform_.env().now());
+  if (options.priority != 0) job.requirements.priority = options.priority;
+  if (!options.home_hostname.empty()) {
+    job.owner_node = Platform::machine_id_for(options.home_hostname);
+  }
+  const std::string id = job.id;
+  GPUNION_RETURN_IF_ERROR(platform_.coordinator().submit(std::move(job)));
+  return id;
+}
+
+util::Status Client::cancel(const std::string& job_id) {
+  return platform_.coordinator().cancel(job_id);
+}
+
+const sched::JobRecord* Client::status(const std::string& job_id) const {
+  return platform_.coordinator().job(job_id);
+}
+
+}  // namespace gpunion

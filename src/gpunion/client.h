@@ -1,0 +1,63 @@
+// User-facing client API.
+//
+// §3.1: "submitting a job to the system should feel no more complex than
+// running it locally."  The client wraps coordinator submission with
+// sensible defaults: profile-driven resource requirements, automatic job
+// ids, checkpoint placement preferences and home-node hints for owner
+// reclaim.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "gpunion/platform.h"
+#include "util/ids.h"
+#include "util/status.h"
+#include "workload/estimator.h"
+#include "workload/profiles.h"
+
+namespace gpunion {
+
+struct SubmitOptions {
+  util::Duration checkpoint_interval = 600.0;
+  std::vector<std::string> preferred_storage;  // user-designated (§3.2)
+  int priority = 0;
+  /// Hostname of the group's own machine (enables owner reclaim).
+  std::string home_hostname;
+};
+
+class Client {
+ public:
+  /// `group` identifies the submitting research group.
+  Client(Platform& platform, std::string group);
+
+  /// Submits a training job built from a workload profile; returns its id.
+  util::StatusOr<std::string> submit_training(
+      const workload::NamedProfile& profile, double hours,
+      SubmitOptions options = {});
+
+  /// User-transparent resource invocation (§5.2): describe the *model* and
+  /// let the platform estimate GPU memory, compute-capability floor,
+  /// checkpoint profile and runtime.  Returns the job id.
+  util::StatusOr<std::string> submit_model(
+      const workload::ModelDescription& model, SubmitOptions options = {});
+
+  /// Requests an interactive Jupyter session of the given length.
+  util::StatusOr<std::string> request_session(double hours,
+                                              SubmitOptions options = {});
+
+  /// Cancels a pending or running job.
+  util::Status cancel(const std::string& job_id);
+
+  /// Current record (phase, node, progress); nullptr when unknown.
+  const sched::JobRecord* status(const std::string& job_id) const;
+
+  const std::string& group() const { return group_; }
+
+ private:
+  Platform& platform_;
+  std::string group_;
+  util::IdSequence ids_;
+};
+
+}  // namespace gpunion

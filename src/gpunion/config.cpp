@@ -1,0 +1,43 @@
+#include "gpunion/config.h"
+
+namespace gpunion {
+
+CampusConfig paper_campus() {
+  CampusConfig config;
+
+  // 8 workstations with one RTX 3090 each: five in the vision lab, three in
+  // the NLP lab (§4: "8 servers functioned as workstations, each equipped
+  // with a single NVIDIA 3090 GPU").
+  for (int i = 0; i < 5; ++i) {
+    config.nodes.push_back(
+        {hw::workstation_3090("ws-vision-" + std::to_string(i)), "vision"});
+  }
+  for (int i = 0; i < 3; ++i) {
+    config.nodes.push_back(
+        {hw::workstation_3090("ws-nlp-" + std::to_string(i)), "nlp"});
+  }
+  // "one server featured 8 4090 GPUs" — the systems lab's training box.
+  config.nodes.push_back({hw::server_8x4090("srv-mlsys-0"), "mlsys"});
+  // "another two servers housed 2 A100 and 4 A6000, respectively."
+  config.nodes.push_back({hw::server_2xa100("srv-bio-0"), "bio"});
+  config.nodes.push_back({hw::server_4xa6000("srv-nlp-big"), "nlp"});
+
+  // Campus NAS for checkpoints and user data.
+  config.storage.push_back({"nas-campus", 32ULL << 40});
+
+  config.coordinator.heartbeat_interval = 2.0;
+  config.coordinator.heartbeat_miss_threshold = 3;
+  config.coordinator.strategy = sched::AllocationStrategy::kRoundRobin;
+  config.agent_defaults.heartbeat_interval = 2.0;
+  config.agent_defaults.telemetry_interval = 30.0;
+
+  return config;
+}
+
+const std::vector<std::string>& paper_groups() {
+  static const std::vector<std::string> groups = {"vision", "nlp", "mlsys",
+                                                  "bio", "theory"};
+  return groups;
+}
+
+}  // namespace gpunion

@@ -1,0 +1,292 @@
+#include "gpunion/platform.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "agent/proto.h"
+#include "container/image.h"
+#include "util/ids.h"
+#include "util/logging.h"
+
+namespace gpunion {
+
+Platform::Platform(sim::Environment& env, CampusConfig config)
+    : env_(env),
+      config_(std::move(config)),
+      network_(std::make_unique<net::SimNetwork>(env, config_.network)),
+      store_(config_.checkpoint_store) {
+  register_default_images();
+
+  for (const auto& storage_config : config_.storage) {
+    auto added = store_.add_node(storage_config.id,
+                                 storage_config.capacity_bytes);
+    assert(added.is_ok() && "duplicate storage node id");
+    (void)added;
+  }
+
+  coordinator_ = std::make_unique<sched::Coordinator>(
+      env_, *network_, database_, store_, config_.coordinator);
+
+  for (const auto& campus_node : config_.nodes) {
+    auto model = std::make_unique<hw::NodeModel>(campus_node.spec);
+    agent::AgentConfig agent_config = config_.agent_defaults;
+    agent_config.coordinator_id = config_.coordinator.id;
+    agent_config.owner_group = campus_node.owner_group;
+    auto provider = std::make_unique<agent::ProviderAgent>(
+        env_, *network_, *model, registry_, store_, agent_config);
+    network_->set_access_gbps(provider->machine_id(),
+                              campus_node.spec.access_link_gbps);
+    agents_by_id_[provider->machine_id()] = provider.get();
+    agents_by_hostname_[campus_node.spec.hostname] = provider.get();
+    node_models_.push_back(std::move(model));
+    agents_.push_back(std::move(provider));
+  }
+
+  wire_owner_reclaim();
+
+  scraper_ = std::make_unique<monitor::Scraper>(
+      env_, metrics_, database_, config_.scrape_interval);
+  metrics_timer_ = std::make_unique<sim::PeriodicTimer>(
+      env_, config_.scrape_interval, [this] { refresh_metrics(); });
+}
+
+Platform::~Platform() = default;
+
+void Platform::register_default_images() {
+  registry_.allow_base("nvidia/cuda:12.1-runtime");
+  auto push = [this](container::Image image) {
+    auto pushed = registry_.push(image);
+    assert(pushed.is_ok());
+    (void)pushed;
+  };
+  push(container::make_image("pytorch", "2.3-cuda12.1",
+                             "nvidia/cuda:12.1-runtime", 6ULL << 30,
+                             "torch-2.3 cuda-12.1 cudnn-8.9"));
+  push(container::make_image("jupyter-dl", "latest",
+                             "nvidia/cuda:12.1-runtime", 8ULL << 30,
+                             "jupyterlab torch tf keras"));
+  push(container::make_image("tensorflow", "2.16-cuda12.1",
+                             "nvidia/cuda:12.1-runtime", 7ULL << 30,
+                             "tf-2.16 cuda-12.1"));
+}
+
+void Platform::attach_storage_endpoints() {
+  for (const auto& storage_config : config_.storage) {
+    const std::string id = storage_config.id;
+    network_->set_access_gbps(id, 10.0);  // NAS on a 10 GbE uplink
+    network_->register_endpoint(id, [this, id](net::Message&& msg) {
+      switch (msg.kind) {
+        case agent::kRestoreRequest: {
+          // Stream the checkpoint back to the requesting agent.
+          const auto& request =
+              std::any_cast<const agent::RestoreRequest&>(msg.payload);
+          net::Message data;
+          data.from = id;
+          data.to = request.requester;
+          data.kind = agent::kRestoreData;
+          data.traffic_class = net::TrafficClass::kMigration;
+          data.size_bytes = std::max<std::uint64_t>(1, request.bytes);
+          data.payload = agent::RestoreData{request.job_id};
+          (void)network_->send(std::move(data));
+          break;
+        }
+        case agent::kCheckpointData:
+          break;  // bytes absorbed; placement metadata lives in the store
+        default:
+          GPUNION_WLOG("storage") << id << " unexpected message kind "
+                                  << msg.kind;
+      }
+    });
+  }
+}
+
+void Platform::attach_image_registry_endpoint() {
+  network_->set_access_gbps("image-registry", 10.0);
+  network_->register_endpoint("image-registry", [this](net::Message&& msg) {
+    if (msg.kind != agent::kImagePullRequest) return;
+    const auto& request =
+        std::any_cast<const agent::ImagePullRequest&>(msg.payload);
+    auto image = registry_.resolve(request.image_ref);
+    net::Message data;
+    data.from = "image-registry";
+    data.to = request.requester;
+    data.kind = agent::kImageData;
+    data.traffic_class = net::TrafficClass::kImage;
+    data.size_bytes = image.ok() ? image->size_bytes : 1;
+    data.payload = agent::ImageData{request.image_ref};
+    (void)network_->send(std::move(data));
+  });
+}
+
+void Platform::wire_owner_reclaim() {
+  coordinator_->set_on_unplaceable([this](const workload::JobSpec& job,
+                                          const std::string& owner_node,
+                                          int gpus_needed) {
+    agent::ProviderAgent* owner_agent = agent(owner_node);
+    if (owner_agent == nullptr ||
+        owner_agent->state() != agent::AgentState::kActive) {
+      return;
+    }
+    // The owner only reclaims from guests; if the machine is running the
+    // group's own work there is nothing to take back.
+    if (owner_agent->runtime().live_count() == 0) return;
+    const int freed = owner_agent->reclaim_gpus(gpus_needed);
+    if (freed > 0) {
+      GPUNION_ILOG("platform")
+          << "owner of " << owner_node << " reclaimed " << freed
+          << " GPU(s) for " << job.id;
+    }
+  });
+}
+
+void Platform::start() {
+  assert(!started_ && "Platform::start called twice");
+  started_ = true;
+  coordinator_->start();
+  attach_storage_endpoints();
+  attach_image_registry_endpoint();
+  for (auto& provider : agents_) provider->join();
+  metrics_timer_->start();
+  scraper_->start();
+}
+
+agent::ProviderAgent* Platform::agent(const std::string& machine_id) {
+  auto it = agents_by_id_.find(machine_id);
+  return it == agents_by_id_.end() ? nullptr : it->second;
+}
+
+agent::ProviderAgent* Platform::agent_by_hostname(
+    const std::string& hostname) {
+  auto it = agents_by_hostname_.find(hostname);
+  return it == agents_by_hostname_.end() ? nullptr : it->second;
+}
+
+std::vector<std::string> Platform::machine_ids() const {
+  std::vector<std::string> out;
+  out.reserve(agents_by_id_.size());
+  for (const auto& [id, provider] : agents_by_id_) out.push_back(id);
+  return out;
+}
+
+std::string Platform::machine_id_for(const std::string& hostname) {
+  return util::make_machine_id(hostname, agent::kMachineIdSalt);
+}
+
+void Platform::inject_interruption(const workload::Interruption& event) {
+  agent::ProviderAgent* provider = agent(event.machine_id);
+  if (provider == nullptr || provider->state() != agent::AgentState::kActive) {
+    return;  // already offline; the trace generator avoids overlaps
+  }
+  switch (event.kind) {
+    case agent::DepartureKind::kScheduled:
+      coordinator_->set_cause_hint(event.machine_id, event.kind);
+      provider->depart_scheduled();
+      break;
+    case agent::DepartureKind::kEmergency:
+    case agent::DepartureKind::kTemporary:
+      coordinator_->set_cause_hint(event.machine_id, event.kind);
+      provider->depart_emergency();
+      break;
+    case agent::DepartureKind::kReclaim:
+      provider->kill_switch();
+      return;  // node stays online; no rejoin needed
+  }
+  env_.schedule_after(event.downtime, [this, machine = event.machine_id] {
+    agent::ProviderAgent* returning = agent(machine);
+    if (returning != nullptr &&
+        returning->state() == agent::AgentState::kDeparted) {
+      returning->rejoin();
+    }
+  });
+}
+
+int Platform::total_gpus() const {
+  int total = 0;
+  for (const auto& model : node_models_) {
+    total += static_cast<int>(model->gpu_count());
+  }
+  return total;
+}
+
+double Platform::fleet_utilization(util::SimTime t0, util::SimTime t1) const {
+  assert(t1 > t0);
+  double busy_gpu_seconds = 0;
+  for (const auto& allocation : database_.allocation_ledger()) {
+    const double start = std::max(allocation.started_at, t0);
+    const double end = std::min(
+        allocation.outcome == db::AllocationOutcome::kRunning
+            ? t1
+            : allocation.ended_at,
+        t1);
+    if (end > start) {
+      busy_gpu_seconds +=
+          (end - start) *
+          static_cast<double>(std::max<std::size_t>(
+              1, allocation.gpu_indices.size()));
+    }
+  }
+  const double capacity = static_cast<double>(total_gpus()) * (t1 - t0);
+  return capacity > 0 ? busy_gpu_seconds / capacity : 0.0;
+}
+
+std::map<std::string, double> Platform::per_node_utilization(
+    util::SimTime t0, util::SimTime t1) const {
+  assert(t1 > t0);
+  std::map<std::string, double> busy;  // machine id -> busy gpu-seconds
+  for (const auto& allocation : database_.allocation_ledger()) {
+    const double start = std::max(allocation.started_at, t0);
+    const double end = std::min(
+        allocation.outcome == db::AllocationOutcome::kRunning
+            ? t1
+            : allocation.ended_at,
+        t1);
+    if (end > start) {
+      busy[allocation.machine_id] +=
+          (end - start) *
+          static_cast<double>(std::max<std::size_t>(
+              1, allocation.gpu_indices.size()));
+    }
+  }
+  std::map<std::string, double> out;
+  for (const auto& model : node_models_) {
+    const std::string machine = machine_id_for(model->hostname());
+    const double capacity =
+        static_cast<double>(model->gpu_count()) * (t1 - t0);
+    out[model->hostname()] = capacity > 0 ? busy[machine] / capacity : 0.0;
+  }
+  return out;
+}
+
+void Platform::refresh_metrics() {
+  auto& nodes_gauge =
+      metrics_.gauge_family("gpunion_nodes_active", "Active provider nodes")
+          .gauge();
+  auto& queue_gauge =
+      metrics_
+          .gauge_family("gpunion_queue_depth", "Pending resource requests")
+          .gauge();
+  auto& running_gauge = metrics_
+                            .gauge_family("gpunion_jobs_running",
+                                          "Jobs currently running")
+                            .gauge();
+  int active = 0;
+  for (const sched::NodeInfo* node : coordinator_->directory().all()) {
+    if (node->status == db::NodeStatus::kActive) ++active;
+  }
+  nodes_gauge.set(active);
+  queue_gauge.set(static_cast<double>(database_.queue_depth()));
+  int running = 0;
+  for (const auto& [id, record] : coordinator_->jobs()) {
+    if (record.phase == sched::JobPhase::kRunning) ++running;
+  }
+  running_gauge.set(running);
+
+  auto& util_family = metrics_.gauge_family(
+      "gpunion_gpu_busy_fraction", "Allocated GPU fraction per node");
+  for (const auto& model : node_models_) {
+    util_family.gauge({{"node", model->hostname()}})
+        .set(model->busy_fraction());
+  }
+}
+
+}  // namespace gpunion

@@ -1,0 +1,102 @@
+// GPUnion platform facade.
+//
+// Owns and wires every subsystem: the campus network model, system database,
+// image registry, checkpoint store (with storage endpoints on the network),
+// the coordinator, one provider agent per campus node, Prometheus-style
+// metrics and the scraper.  This is the top-level object examples and
+// benches instantiate; experiments inject provider churn through
+// inject_interruption() and read results from the coordinator, the
+// migration tracker and the allocation ledger.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "agent/provider_agent.h"
+#include "container/registry.h"
+#include "db/database.h"
+#include "gpunion/config.h"
+#include "monitor/metrics.h"
+#include "monitor/scraper.h"
+#include "net/sim_network.h"
+#include "sched/coordinator.h"
+#include "sim/environment.h"
+#include "storage/checkpoint_store.h"
+#include "workload/provider_behavior.h"
+
+namespace gpunion {
+
+class Platform {
+ public:
+  Platform(sim::Environment& env, CampusConfig config);
+  ~Platform();
+
+  Platform(const Platform&) = delete;
+  Platform& operator=(const Platform&) = delete;
+
+  /// Brings the platform up: coordinator online, storage + image-registry
+  /// endpoints attached, every provider agent joined.
+  void start();
+
+  // --- Component access ------------------------------------------------------
+  sched::Coordinator& coordinator() { return *coordinator_; }
+  const sched::Coordinator& coordinator() const { return *coordinator_; }
+  net::SimNetwork& network() { return *network_; }
+  db::SystemDatabase& database() { return database_; }
+  storage::CheckpointStore& checkpoint_store() { return store_; }
+  container::ImageRegistry& image_registry() { return registry_; }
+  monitor::MetricRegistry& metrics() { return metrics_; }
+  sim::Environment& env() { return env_; }
+  const CampusConfig& config() const { return config_; }
+
+  /// Agent by machine id; nullptr when unknown.
+  agent::ProviderAgent* agent(const std::string& machine_id);
+  /// Agent by hostname; nullptr when unknown.
+  agent::ProviderAgent* agent_by_hostname(const std::string& hostname);
+  std::vector<std::string> machine_ids() const;
+
+  /// Machine id an agent on `hostname` will self-assign.
+  static std::string machine_id_for(const std::string& hostname);
+
+  // --- Experiment helpers -----------------------------------------------------
+  /// Applies one provider-churn event: the provider departs per the event's
+  /// kind and automatically rejoins after event.downtime.
+  void inject_interruption(const workload::Interruption& event);
+
+  /// Fleet-wide GPU utilization over [t0, t1], computed exactly from the
+  /// allocation ledger (busy GPU-seconds / total GPU-seconds).
+  double fleet_utilization(util::SimTime t0, util::SimTime t1) const;
+
+  /// Per-hostname utilization over [t0, t1].
+  std::map<std::string, double> per_node_utilization(util::SimTime t0,
+                                                     util::SimTime t1) const;
+
+  int total_gpus() const;
+
+ private:
+  void register_default_images();
+  void attach_storage_endpoints();
+  void attach_image_registry_endpoint();
+  void wire_owner_reclaim();
+  void refresh_metrics();
+
+  sim::Environment& env_;
+  CampusConfig config_;
+  std::unique_ptr<net::SimNetwork> network_;
+  db::SystemDatabase database_;
+  container::ImageRegistry registry_;
+  storage::CheckpointStore store_;
+  monitor::MetricRegistry metrics_;
+  std::unique_ptr<sched::Coordinator> coordinator_;
+  std::vector<std::unique_ptr<hw::NodeModel>> node_models_;
+  std::vector<std::unique_ptr<agent::ProviderAgent>> agents_;
+  std::map<std::string, agent::ProviderAgent*> agents_by_id_;
+  std::map<std::string, agent::ProviderAgent*> agents_by_hostname_;
+  std::unique_ptr<monitor::Scraper> scraper_;
+  std::unique_ptr<sim::PeriodicTimer> metrics_timer_;
+  bool started_ = false;
+};
+
+}  // namespace gpunion

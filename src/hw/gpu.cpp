@@ -1,0 +1,75 @@
+#include "hw/gpu.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace gpunion::hw {
+
+std::string_view gpu_arch_name(GpuArch arch) {
+  switch (arch) {
+    case GpuArch::kRtx3090: return "RTX3090";
+    case GpuArch::kRtx4090: return "RTX4090";
+    case GpuArch::kA100: return "A100";
+    case GpuArch::kA6000: return "A6000";
+  }
+  return "unknown";
+}
+
+const GpuSpec& gpu_spec(GpuArch arch) {
+  static const GpuSpec kRtx3090{GpuArch::kRtx3090, "NVIDIA GeForce RTX 3090",
+                                24.0, 8.6, 35.6, 350.0, 25.0};
+  static const GpuSpec kRtx4090{GpuArch::kRtx4090, "NVIDIA GeForce RTX 4090",
+                                24.0, 8.9, 82.6, 450.0, 22.0};
+  static const GpuSpec kA100{GpuArch::kA100, "NVIDIA A100 80GB PCIe",
+                             80.0, 8.0, 19.5, 300.0, 40.0};
+  static const GpuSpec kA6000{GpuArch::kA6000, "NVIDIA RTX A6000",
+                              48.0, 8.6, 38.7, 300.0, 25.0};
+  switch (arch) {
+    case GpuArch::kRtx3090: return kRtx3090;
+    case GpuArch::kRtx4090: return kRtx4090;
+    case GpuArch::kA100: return kA100;
+    case GpuArch::kA6000: return kA6000;
+  }
+  return kRtx3090;
+}
+
+GpuDevice::GpuDevice(GpuArch arch, int index)
+    : spec_(&gpu_spec(arch)), index_(index) {}
+
+void GpuDevice::allocate(const std::string& workload_id, double memory_gb,
+                         double utilization, util::SimTime now) {
+  assert(!allocated() && "GPU already allocated");
+  assert(memory_gb <= spec_->memory_gb && "footprint exceeds VRAM");
+  assert(utilization >= 0 && utilization <= 1.0);
+  temp_at_change_c_ = temperature_c(now);
+  last_change_ = now;
+  holder_ = workload_id;
+  memory_used_gb_ = memory_gb;
+  utilization_ = utilization;
+}
+
+void GpuDevice::release(util::SimTime now) {
+  temp_at_change_c_ = temperature_c(now);
+  last_change_ = now;
+  holder_.clear();
+  memory_used_gb_ = 0;
+  utilization_ = 0;
+}
+
+double GpuDevice::steady_temperature() const {
+  return 36.0 + 42.0 * utilization_;  // 36 C idle -> 78 C at 100%
+}
+
+double GpuDevice::temperature_c(util::SimTime now) const {
+  constexpr double kThermalTau = 90.0;  // seconds
+  const double target = steady_temperature();
+  const double dt = now - last_change_;
+  return target + (temp_at_change_c_ - target) * std::exp(-dt / kThermalTau);
+}
+
+double GpuDevice::power_watts() const {
+  return spec_->idle_watts +
+         (spec_->tdp_watts - spec_->idle_watts) * utilization_;
+}
+
+}  // namespace gpunion::hw

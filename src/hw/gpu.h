@@ -1,0 +1,78 @@
+// GPU hardware catalog and device state.
+//
+// Models the fleet from the paper's deployment (§4): RTX 3090 workstations,
+// an 8x RTX 4090 server, 2x A100 and 4x A6000 servers.  Specs carry the
+// attributes the scheduler's compatibility constraints use — memory capacity
+// and CUDA compute capability — plus throughput/power figures that drive the
+// workload and telemetry models.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/time.h"
+
+namespace gpunion::hw {
+
+enum class GpuArch { kRtx3090, kRtx4090, kA100, kA6000 };
+
+std::string_view gpu_arch_name(GpuArch arch);
+
+struct GpuSpec {
+  GpuArch arch;
+  std::string name;
+  double memory_gb;            // device memory capacity
+  double compute_capability;   // CUDA CC, e.g. 8.6
+  double fp32_tflops;          // relative training throughput
+  double tdp_watts;            // board power at full load
+  double idle_watts;           // board power when idle
+};
+
+/// Catalog entry for an architecture (same figures as vendor datasheets).
+const GpuSpec& gpu_spec(GpuArch arch);
+
+/// One physical GPU in a node.  Tracks the workload occupying it and enough
+/// state to synthesize NVML-style telemetry (utilization, memory,
+/// temperature with first-order thermal dynamics, power).
+class GpuDevice {
+ public:
+  GpuDevice(GpuArch arch, int index);
+
+  const GpuSpec& spec() const { return *spec_; }
+  int index() const { return index_; }
+
+  bool allocated() const { return !holder_.empty(); }
+  const std::string& holder() const { return holder_; }
+
+  /// Marks the device busy with `workload_id` using `memory_gb` of VRAM.
+  /// Requires the device to be free and the footprint to fit.
+  void allocate(const std::string& workload_id, double memory_gb,
+                double utilization, util::SimTime now);
+
+  /// Frees the device.
+  void release(util::SimTime now);
+
+  double memory_used_gb() const { return memory_used_gb_; }
+  double utilization() const { return utilization_; }
+
+  /// Thermal model: exponential approach from the current temperature to
+  /// the load-dependent steady state (idle ~36 C, full load ~78 C,
+  /// time constant ~90 s).
+  double temperature_c(util::SimTime now) const;
+  double power_watts() const;
+
+ private:
+  double steady_temperature() const;
+
+  const GpuSpec* spec_;
+  int index_;
+  std::string holder_;
+  double memory_used_gb_ = 0;
+  double utilization_ = 0;
+  // thermal state: temperature at last transition + transition time
+  double temp_at_change_c_ = 36.0;
+  util::SimTime last_change_ = 0;
+};
+
+}  // namespace gpunion::hw

@@ -1,0 +1,115 @@
+#include "hw/node.h"
+
+#include <cassert>
+
+namespace gpunion::hw {
+
+NodeSpec workstation_3090(std::string hostname) {
+  return NodeSpec{std::move(hostname), {GpuArch::kRtx3090}, 16, 64.0, 2000.0,
+                  1.0};
+}
+
+NodeSpec server_8x4090(std::string hostname) {
+  return NodeSpec{std::move(hostname),
+                  std::vector<GpuArch>(8, GpuArch::kRtx4090), 64, 512.0,
+                  8000.0, 10.0};
+}
+
+NodeSpec server_2xa100(std::string hostname) {
+  return NodeSpec{std::move(hostname),
+                  std::vector<GpuArch>(2, GpuArch::kA100), 32, 256.0, 4000.0,
+                  10.0};
+}
+
+NodeSpec server_4xa6000(std::string hostname) {
+  return NodeSpec{std::move(hostname),
+                  std::vector<GpuArch>(4, GpuArch::kA6000), 48, 384.0, 4000.0,
+                  10.0};
+}
+
+NodeModel::NodeModel(NodeSpec spec) : spec_(std::move(spec)) {
+  gpus_.reserve(spec_.gpus.size());
+  for (std::size_t i = 0; i < spec_.gpus.size(); ++i) {
+    gpus_.emplace_back(spec_.gpus[i], static_cast<int>(i));
+  }
+}
+
+std::vector<int> NodeModel::free_gpus() const {
+  std::vector<int> out;
+  for (const auto& gpu : gpus_) {
+    if (!gpu.allocated()) out.push_back(gpu.index());
+  }
+  return out;
+}
+
+int NodeModel::free_gpu_count() const {
+  int n = 0;
+  for (const auto& gpu : gpus_) {
+    if (!gpu.allocated()) ++n;
+  }
+  return n;
+}
+
+std::optional<std::vector<int>> NodeModel::find_gpus(
+    int count, double min_memory_gb, double min_compute_capability) const {
+  std::vector<int> picked;
+  for (const auto& gpu : gpus_) {
+    if (gpu.allocated()) continue;
+    if (gpu.spec().memory_gb < min_memory_gb) continue;
+    if (gpu.spec().compute_capability < min_compute_capability) continue;
+    picked.push_back(gpu.index());
+    if (static_cast<int>(picked.size()) == count) return picked;
+  }
+  return std::nullopt;
+}
+
+util::Status NodeModel::allocate(const std::vector<int>& indices,
+                                 const std::string& workload_id,
+                                 double memory_gb, double utilization,
+                                 util::SimTime now) {
+  if (indices.empty()) {
+    return util::invalid_argument_error("no GPU indices given");
+  }
+  for (int idx : indices) {
+    if (idx < 0 || static_cast<std::size_t>(idx) >= gpus_.size()) {
+      return util::invalid_argument_error("GPU index out of range");
+    }
+    const auto& gpu = gpus_[static_cast<std::size_t>(idx)];
+    if (gpu.allocated()) {
+      return util::failed_precondition_error(
+          "GPU " + std::to_string(idx) + " on " + spec_.hostname +
+          " already allocated to " + gpu.holder());
+    }
+    if (memory_gb > gpu.spec().memory_gb) {
+      return util::resource_exhausted_error(
+          "footprint exceeds VRAM of GPU " + std::to_string(idx));
+    }
+  }
+  for (int idx : indices) {
+    gpus_[static_cast<std::size_t>(idx)].allocate(workload_id, memory_gb,
+                                                  utilization, now);
+  }
+  return util::Status();
+}
+
+int NodeModel::release(const std::string& workload_id, util::SimTime now) {
+  int released = 0;
+  for (auto& gpu : gpus_) {
+    if (gpu.allocated() && gpu.holder() == workload_id) {
+      gpu.release(now);
+      ++released;
+    }
+  }
+  return released;
+}
+
+double NodeModel::busy_fraction() const {
+  if (gpus_.empty()) return 0.0;
+  int busy = 0;
+  for (const auto& gpu : gpus_) {
+    if (gpu.allocated()) ++busy;
+  }
+  return static_cast<double>(busy) / static_cast<double>(gpus_.size());
+}
+
+}  // namespace gpunion::hw

@@ -1,0 +1,70 @@
+// Provider node hardware model.
+//
+// A node is a provider-owned machine: one or more GPUs plus host resources.
+// The NodeModel tracks per-GPU allocation so the provider agent can
+// advertise free capacity and the container runtime can bind devices.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "hw/gpu.h"
+#include "util/status.h"
+#include "util/time.h"
+
+namespace gpunion::hw {
+
+struct NodeSpec {
+  std::string hostname;
+  std::vector<GpuArch> gpus;
+  int cpu_cores = 16;
+  double ram_gb = 64.0;
+  double disk_gb = 2000.0;
+  double access_link_gbps = 1.0;
+};
+
+/// Convenience builders for the paper's fleet (§4).
+NodeSpec workstation_3090(std::string hostname);
+NodeSpec server_8x4090(std::string hostname);
+NodeSpec server_2xa100(std::string hostname);
+NodeSpec server_4xa6000(std::string hostname);
+
+class NodeModel {
+ public:
+  explicit NodeModel(NodeSpec spec);
+
+  const NodeSpec& spec() const { return spec_; }
+  const std::string& hostname() const { return spec_.hostname; }
+
+  std::size_t gpu_count() const { return gpus_.size(); }
+  const GpuDevice& gpu(std::size_t index) const { return gpus_.at(index); }
+  GpuDevice& gpu(std::size_t index) { return gpus_.at(index); }
+
+  /// Indices of currently free GPUs.
+  std::vector<int> free_gpus() const;
+  int free_gpu_count() const;
+
+  /// Finds `count` free GPUs with at least `min_memory_gb` VRAM and compute
+  /// capability >= `min_compute_capability`; empty optional when impossible.
+  std::optional<std::vector<int>> find_gpus(int count, double min_memory_gb,
+                                            double min_compute_capability) const;
+
+  /// Binds `workload_id` to the given GPU indices.
+  util::Status allocate(const std::vector<int>& indices,
+                        const std::string& workload_id, double memory_gb,
+                        double utilization, util::SimTime now);
+
+  /// Releases every GPU held by `workload_id`; returns how many were freed.
+  int release(const std::string& workload_id, util::SimTime now);
+
+  /// Aggregate busy fraction (allocated GPUs / total), the utilization
+  /// figure reported in Fig. 2.
+  double busy_fraction() const;
+
+ private:
+  NodeSpec spec_;
+  std::vector<GpuDevice> gpus_;
+};
+
+}  // namespace gpunion::hw

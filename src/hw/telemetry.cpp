@@ -1,0 +1,40 @@
+#include "hw/telemetry.h"
+
+#include <algorithm>
+
+namespace gpunion::hw {
+
+double NodeTelemetry::mean_gpu_utilization() const {
+  if (gpus.empty()) return 0.0;
+  double sum = 0;
+  for (const auto& g : gpus) sum += g.utilization_pct;
+  return sum / static_cast<double>(gpus.size());
+}
+
+NvmlSampler::NvmlSampler(const NodeModel& node, util::Rng rng)
+    : node_(node), rng_(rng) {}
+
+NodeTelemetry NvmlSampler::sample(util::SimTime now) {
+  NodeTelemetry out;
+  out.sampled_at = now;
+  out.gpus.reserve(node_.gpu_count());
+  for (std::size_t i = 0; i < node_.gpu_count(); ++i) {
+    const GpuDevice& gpu = node_.gpu(i);
+    GpuTelemetry t;
+    t.gpu_index = gpu.index();
+    const double noise = 1.0 + rng_.normal(0.0, 0.02);
+    t.utilization_pct =
+        std::clamp(gpu.utilization() * 100.0 * noise, 0.0, 100.0);
+    t.memory_used_gb = gpu.memory_used_gb();
+    t.memory_total_gb = gpu.spec().memory_gb;
+    t.temperature_c = gpu.temperature_c(now) + rng_.normal(0.0, 0.5);
+    t.power_watts = std::max(0.0, gpu.power_watts() * noise);
+    out.gpus.push_back(t);
+  }
+  // Host CPU load loosely follows GPU activity (data loading, logging).
+  const double busy = node_.busy_fraction();
+  out.cpu_load = std::clamp(0.05 + 0.4 * busy + rng_.normal(0.0, 0.03), 0.0, 1.0);
+  return out;
+}
+
+}  // namespace gpunion::hw

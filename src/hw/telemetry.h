@@ -1,0 +1,50 @@
+// NVML-style telemetry sampling.
+//
+// The paper's agent "integrates with PyNVML to collect real-time GPU
+// telemetry including memory utilization, temperature, and power
+// consumption" (§3.4).  NvmlSampler synthesizes the same fields from the
+// NodeModel, with measurement noise so downstream smoothing is exercised.
+#pragma once
+
+#include <vector>
+
+#include "hw/node.h"
+#include "util/rng.h"
+#include "util/time.h"
+
+namespace gpunion::hw {
+
+struct GpuTelemetry {
+  int gpu_index = 0;
+  double utilization_pct = 0;   // SM utilization, 0-100
+  double memory_used_gb = 0;
+  double memory_total_gb = 0;
+  double temperature_c = 0;
+  double power_watts = 0;
+};
+
+struct NodeTelemetry {
+  util::SimTime sampled_at = 0;
+  std::vector<GpuTelemetry> gpus;
+  double cpu_load = 0;  // 0-1, synthetic host load
+
+  /// Mean SM utilization across the node's GPUs (0-100).
+  double mean_gpu_utilization() const;
+};
+
+class NvmlSampler {
+ public:
+  /// `noise` forks a dedicated RNG stream; samples are deterministic given
+  /// the environment seed.
+  NvmlSampler(const NodeModel& node, util::Rng rng);
+
+  /// Reads all GPUs, adding ~2% multiplicative measurement noise, matching
+  /// the jitter of real NVML counters.
+  NodeTelemetry sample(util::SimTime now);
+
+ private:
+  const NodeModel& node_;
+  util::Rng rng_;
+};
+
+}  // namespace gpunion::hw

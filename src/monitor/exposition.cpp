@@ -1,0 +1,104 @@
+#include "monitor/exposition.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace gpunion::monitor {
+namespace {
+
+std::string format_value(double v) {
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  std::ostringstream os;
+  os << v;
+  return os.str();
+}
+
+std::string render_labels(const Labels& labels) {
+  if (labels.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) out += ",";
+    first = false;
+    out += key;
+    out += "=\"";
+    out += escape_label_value(value);
+    out += "\"";
+  }
+  out += "}";
+  return out;
+}
+
+Labels with_extra(const Labels& labels, const std::string& key,
+                  const std::string& value) {
+  Labels out = labels;
+  out[key] = value;
+  return out;
+}
+
+}  // namespace
+
+std::string escape_label_value(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string expose_family(const MetricFamily& family) {
+  std::ostringstream os;
+  os << "# HELP " << family.name() << " " << family.help() << "\n";
+  os << "# TYPE " << family.name() << " ";
+  switch (family.type()) {
+    case MetricType::kCounter:
+      os << "counter\n";
+      for (const auto& [labels, counter] : family.counters()) {
+        os << family.name() << render_labels(labels) << " "
+           << format_value(counter.value()) << "\n";
+      }
+      break;
+    case MetricType::kGauge:
+      os << "gauge\n";
+      for (const auto& [labels, gauge] : family.gauges()) {
+        os << family.name() << render_labels(labels) << " "
+           << format_value(gauge.value()) << "\n";
+      }
+      break;
+    case MetricType::kHistogram:
+      os << "histogram\n";
+      for (const auto& [labels, histogram] : family.histograms()) {
+        const auto cumulative = histogram.cumulative_counts();
+        const auto& bounds = histogram.bounds();
+        for (std::size_t i = 0; i < cumulative.size(); ++i) {
+          const std::string le =
+              i < bounds.size() ? format_value(bounds[i]) : "+Inf";
+          os << family.name() << "_bucket"
+             << render_labels(with_extra(labels, "le", le)) << " "
+             << cumulative[i] << "\n";
+        }
+        os << family.name() << "_sum" << render_labels(labels) << " "
+           << format_value(histogram.sum()) << "\n";
+        os << family.name() << "_count" << render_labels(labels) << " "
+           << histogram.count() << "\n";
+      }
+      break;
+  }
+  return os.str();
+}
+
+std::string expose_registry(const MetricRegistry& registry) {
+  std::string out;
+  for (const MetricFamily* family : registry.families()) {
+    out += expose_family(*family);
+  }
+  return out;
+}
+
+}  // namespace gpunion::monitor

@@ -1,0 +1,25 @@
+// Prometheus text-format exposition (version 0.0.4).
+//
+// Renders a MetricRegistry exactly as a /metrics endpoint would serve it,
+// so operators can point existing dashboards at GPUnion.
+#pragma once
+
+#include <string>
+
+#include "monitor/metrics.h"
+
+namespace gpunion::monitor {
+
+/// Renders one family, e.g.:
+///   # HELP gpunion_gpu_utilization ...
+///   # TYPE gpunion_gpu_utilization gauge
+///   gpunion_gpu_utilization{gpu="0",node="ws-01"} 87.5
+std::string expose_family(const MetricFamily& family);
+
+/// Renders the whole registry in name order.
+std::string expose_registry(const MetricRegistry& registry);
+
+/// Escapes a label value per the exposition format (backslash, quote, \n).
+std::string escape_label_value(const std::string& value);
+
+}  // namespace gpunion::monitor

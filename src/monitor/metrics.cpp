@@ -1,0 +1,135 @@
+#include "monitor/metrics.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace gpunion::monitor {
+
+void Counter::increment(double amount) {
+  assert(amount >= 0 && "counters are monotonic");
+  value_ += amount;
+}
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  assert(std::is_sorted(bounds_.begin(), bounds_.end()) &&
+         "histogram bounds must ascend");
+  bucket_counts_.assign(bounds_.size() + 1, 0);  // +Inf bucket at the end
+}
+
+void Histogram::observe(double value) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  bucket_counts_[static_cast<std::size_t>(it - bounds_.begin())] += 1;
+  ++count_;
+  sum_ += value;
+}
+
+std::vector<std::uint64_t> Histogram::cumulative_counts() const {
+  std::vector<std::uint64_t> out(bucket_counts_.size());
+  std::uint64_t running = 0;
+  for (std::size_t i = 0; i < bucket_counts_.size(); ++i) {
+    running += bucket_counts_[i];
+    out[i] = running;
+  }
+  return out;
+}
+
+double Histogram::quantile(double q) const {
+  assert(q >= 0.0 && q <= 1.0);
+  if (count_ == 0) return 0.0;
+  const auto target = static_cast<std::uint64_t>(
+      q * static_cast<double>(count_) + 0.5);
+  std::uint64_t running = 0;
+  for (std::size_t i = 0; i < bucket_counts_.size(); ++i) {
+    running += bucket_counts_[i];
+    if (running >= target) {
+      if (i >= bounds_.size()) return bounds_.empty() ? 0.0 : bounds_.back();
+      const double hi = bounds_[i];
+      const double lo = i == 0 ? 0.0 : bounds_[i - 1];
+      // Interpolate within the bucket.
+      const std::uint64_t in_bucket = bucket_counts_[i];
+      const std::uint64_t before = running - in_bucket;
+      const double frac =
+          in_bucket == 0
+              ? 1.0
+              : (static_cast<double>(target - before)) /
+                    static_cast<double>(in_bucket);
+      return lo + (hi - lo) * std::clamp(frac, 0.0, 1.0);
+    }
+  }
+  return bounds_.empty() ? 0.0 : bounds_.back();
+}
+
+MetricFamily::MetricFamily(std::string name, std::string help, MetricType type,
+                           std::vector<double> histogram_bounds)
+    : name_(std::move(name)),
+      help_(std::move(help)),
+      type_(type),
+      histogram_bounds_(std::move(histogram_bounds)) {}
+
+Counter& MetricFamily::counter(const Labels& labels) {
+  assert(type_ == MetricType::kCounter);
+  return counters_[labels];
+}
+
+Gauge& MetricFamily::gauge(const Labels& labels) {
+  assert(type_ == MetricType::kGauge);
+  return gauges_[labels];
+}
+
+Histogram& MetricFamily::histogram(const Labels& labels) {
+  assert(type_ == MetricType::kHistogram);
+  auto it = histograms_.find(labels);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(labels, Histogram(histogram_bounds_)).first;
+  }
+  return it->second;
+}
+
+MetricFamily& MetricRegistry::family(const std::string& name,
+                                     const std::string& help, MetricType type,
+                                     std::vector<double> bounds) {
+  auto it = families_.find(name);
+  if (it != families_.end()) {
+    if (it->second->type() != type) {
+      throw std::invalid_argument("metric " + name +
+                                  " re-registered with a different type");
+    }
+    return *it->second;
+  }
+  auto family = std::make_unique<MetricFamily>(name, help, type,
+                                               std::move(bounds));
+  MetricFamily& ref = *family;
+  families_.emplace(name, std::move(family));
+  return ref;
+}
+
+MetricFamily& MetricRegistry::counter_family(const std::string& name,
+                                             const std::string& help) {
+  return family(name, help, MetricType::kCounter, {});
+}
+
+MetricFamily& MetricRegistry::gauge_family(const std::string& name,
+                                           const std::string& help) {
+  return family(name, help, MetricType::kGauge, {});
+}
+
+MetricFamily& MetricRegistry::histogram_family(const std::string& name,
+                                               const std::string& help,
+                                               std::vector<double> bounds) {
+  return family(name, help, MetricType::kHistogram, std::move(bounds));
+}
+
+const MetricFamily* MetricRegistry::find(const std::string& name) const {
+  auto it = families_.find(name);
+  return it == families_.end() ? nullptr : it->second.get();
+}
+
+std::vector<const MetricFamily*> MetricRegistry::families() const {
+  std::vector<const MetricFamily*> out;
+  out.reserve(families_.size());
+  for (const auto& [name, family] : families_) out.push_back(family.get());
+  return out;
+}
+
+}  // namespace gpunion::monitor

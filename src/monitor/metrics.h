@@ -1,0 +1,116 @@
+// Prometheus-style metric primitives.
+//
+// §3.5: "Comprehensive monitoring is achieved through Prometheus metrics
+// exporters that collect both hardware metrics (GPU utilization, memory
+// usage, temperature, etc.) and application metrics (container lifecycle
+// events, resource allocation history, etc.)".  This module provides
+// counters, gauges and histograms with label sets, registered in a
+// MetricRegistry that the exposition writer renders as Prometheus text.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace gpunion::monitor {
+
+/// Sorted label set, e.g. {{"node","ws-01"},{"gpu","0"}}.
+using Labels = std::map<std::string, std::string>;
+
+class Counter {
+ public:
+  void increment(double amount = 1.0);
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0;
+};
+
+class Gauge {
+ public:
+  void set(double value) { value_ = value; }
+  void add(double delta) { value_ += delta; }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0;
+};
+
+class Histogram {
+ public:
+  /// `bounds` are the upper bounds of the cumulative buckets (ascending);
+  /// an implicit +Inf bucket is appended.
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double value);
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Cumulative count for bucket i (<= bounds[i]); the final entry is the
+  /// +Inf bucket == count().
+  std::vector<std::uint64_t> cumulative_counts() const;
+  std::uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  /// Linear-interpolated quantile estimate from bucket boundaries.
+  double quantile(double q) const;
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::uint64_t> bucket_counts_;  // per-bucket (not cumulative)
+  std::uint64_t count_ = 0;
+  double sum_ = 0;
+};
+
+enum class MetricType { kCounter, kGauge, kHistogram };
+
+/// A named family of label-distinguished children, Prometheus-style.
+class MetricFamily {
+ public:
+  MetricFamily(std::string name, std::string help, MetricType type,
+               std::vector<double> histogram_bounds = {});
+
+  const std::string& name() const { return name_; }
+  const std::string& help() const { return help_; }
+  MetricType type() const { return type_; }
+
+  Counter& counter(const Labels& labels = {});
+  Gauge& gauge(const Labels& labels = {});
+  Histogram& histogram(const Labels& labels = {});
+
+  /// All children, sorted by label set for deterministic exposition.
+  const std::map<Labels, Counter>& counters() const { return counters_; }
+  const std::map<Labels, Gauge>& gauges() const { return gauges_; }
+  const std::map<Labels, Histogram>& histograms() const { return histograms_; }
+
+ private:
+  std::string name_;
+  std::string help_;
+  MetricType type_;
+  std::vector<double> histogram_bounds_;
+  std::map<Labels, Counter> counters_;
+  std::map<Labels, Gauge> gauges_;
+  std::map<Labels, Histogram> histograms_;
+};
+
+/// Registry of families; names are unique.  Throws std::invalid_argument on
+/// a name re-registered with a different type (configuration error).
+class MetricRegistry {
+ public:
+  MetricFamily& counter_family(const std::string& name,
+                               const std::string& help);
+  MetricFamily& gauge_family(const std::string& name, const std::string& help);
+  MetricFamily& histogram_family(const std::string& name,
+                                 const std::string& help,
+                                 std::vector<double> bounds);
+
+  const MetricFamily* find(const std::string& name) const;
+  std::vector<const MetricFamily*> families() const;
+
+ private:
+  MetricFamily& family(const std::string& name, const std::string& help,
+                       MetricType type, std::vector<double> bounds);
+
+  std::map<std::string, std::unique_ptr<MetricFamily>> families_;
+};
+
+}  // namespace gpunion::monitor

@@ -1,0 +1,48 @@
+#include "net/loopback_transport.h"
+
+namespace gpunion::net {
+
+void LoopbackTransport::register_endpoint(const NodeId& id,
+                                          MessageHandler handler) {
+  handlers_[id] = std::move(handler);
+}
+
+void LoopbackTransport::unregister_endpoint(const NodeId& id) {
+  handlers_.erase(id);
+}
+
+util::Status LoopbackTransport::send(Message msg) {
+  if (!handlers_.contains(msg.to)) {
+    ++dropped_;
+    return util::not_found_error("unknown destination " + msg.to);
+  }
+  if (deferred_) {
+    queue_.push_back(std::move(msg));
+  } else {
+    deliver(std::move(msg));
+  }
+  return util::Status();
+}
+
+void LoopbackTransport::deliver(Message&& msg) {
+  auto it = handlers_.find(msg.to);
+  if (it == handlers_.end() || !it->second) {
+    ++dropped_;
+    return;
+  }
+  ++delivered_;
+  it->second(std::move(msg));
+}
+
+std::size_t LoopbackTransport::flush() {
+  std::size_t n = 0;
+  while (!queue_.empty()) {
+    Message msg = std::move(queue_.front());
+    queue_.pop_front();
+    deliver(std::move(msg));
+    ++n;
+  }
+  return n;
+}
+
+}  // namespace gpunion::net

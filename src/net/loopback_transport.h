@@ -1,0 +1,42 @@
+// Zero-latency in-memory transport for unit tests.
+//
+// Messages are delivered synchronously (re-entrantly) unless deferred mode
+// is enabled, in which case they queue until flush() — useful for testing
+// protocol interleavings deterministically without a full network model.
+#pragma once
+
+#include <deque>
+#include <unordered_map>
+
+#include "net/transport.h"
+
+namespace gpunion::net {
+
+class LoopbackTransport : public Transport {
+ public:
+  /// When `deferred` is true, messages queue until flush().
+  explicit LoopbackTransport(bool deferred = false) : deferred_(deferred) {}
+
+  void register_endpoint(const NodeId& id, MessageHandler handler) override;
+  void unregister_endpoint(const NodeId& id) override;
+  util::Status send(Message msg) override;
+
+  /// Delivers all queued messages (including ones enqueued while flushing).
+  /// Returns the number delivered.
+  std::size_t flush();
+
+  std::size_t queued() const { return queue_.size(); }
+  std::uint64_t delivered() const { return delivered_; }
+  std::uint64_t dropped() const { return dropped_; }
+
+ private:
+  void deliver(Message&& msg);
+
+  bool deferred_;
+  std::unordered_map<NodeId, MessageHandler> handlers_;
+  std::deque<Message> queue_;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace gpunion::net

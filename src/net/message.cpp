@@ -1,0 +1,19 @@
+#include "net/message.h"
+
+namespace gpunion::net {
+
+std::string_view traffic_class_name(TrafficClass c) {
+  switch (c) {
+    case TrafficClass::kControl: return "control";
+    case TrafficClass::kHeartbeat: return "heartbeat";
+    case TrafficClass::kTelemetry: return "telemetry";
+    case TrafficClass::kCheckpoint: return "checkpoint";
+    case TrafficClass::kMigration: return "migration";
+    case TrafficClass::kImage: return "image";
+    case TrafficClass::kUserData: return "user_data";
+    case TrafficClass::kClassCount: break;
+  }
+  return "unknown";
+}
+
+}  // namespace gpunion::net

@@ -1,0 +1,47 @@
+// Generic message envelope for the campus network model.
+//
+// The network layer is payload-agnostic: it moves sized envelopes between
+// named endpoints, modelling latency, link serialization and loss, and
+// accounting bytes per traffic class (the Network-Traffic-Analysis experiment
+// in §4 of the paper).  Typed protocol structs live in agent/proto.h and ride
+// inside `payload`.
+#pragma once
+
+#include <any>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace gpunion::net {
+
+/// Stable endpoint identifier (machine id or "coordinator").
+using NodeId = std::string;
+
+/// Traffic classes accounted separately, mirroring the paper's analysis of
+/// control vs checkpoint/backup traffic on the campus LAN.
+enum class TrafficClass {
+  kControl = 0,     // registration, dispatch, kill, ack
+  kHeartbeat,       // periodic liveness beacons
+  kTelemetry,       // NVML metric reports
+  kCheckpoint,      // ALC backup deltas
+  kMigration,       // checkpoint restore transfers to the new node
+  kImage,           // container image pulls
+  kUserData,        // dataset/output movement
+  kClassCount,
+};
+
+std::string_view traffic_class_name(TrafficClass c);
+
+struct Message {
+  NodeId from;
+  NodeId to;
+  TrafficClass traffic_class = TrafficClass::kControl;
+  std::uint64_t size_bytes = 0;
+  /// Protocol discriminator, interpreted by the receiving endpoint
+  /// (values from agent/proto.h).
+  int kind = 0;
+  /// Typed payload; receivers unwrap with std::any_cast.
+  std::any payload;
+};
+
+}  // namespace gpunion::net

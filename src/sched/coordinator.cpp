@@ -1,0 +1,831 @@
+#include "sched/coordinator.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/ids.h"
+#include "util/logging.h"
+#include "util/sha256.h"
+
+namespace gpunion::sched {
+
+std::string_view job_phase_name(JobPhase p) {
+  switch (p) {
+    case JobPhase::kPending: return "pending";
+    case JobPhase::kDispatching: return "dispatching";
+    case JobPhase::kRunning: return "running";
+    case JobPhase::kCompleted: return "completed";
+    case JobPhase::kDenied: return "denied";
+    case JobPhase::kSessionDisrupted: return "session_disrupted";
+    case JobPhase::kCancelled: return "cancelled";
+  }
+  return "unknown";
+}
+
+Coordinator::Coordinator(sim::Environment& env, net::Transport& transport,
+                         db::SystemDatabase& database,
+                         storage::CheckpointStore& store,
+                         CoordinatorConfig config)
+    : env_(env),
+      transport_(transport),
+      database_(database),
+      store_(store),
+      config_(std::move(config)),
+      selector_(config_.strategy),
+      heartbeat_monitor_(env, directory_, config_.heartbeat_interval,
+                         config_.heartbeat_miss_threshold,
+                         [this](const std::string& id) { on_node_lost(id); }),
+      rng_(env.fork_rng("coordinator")) {}
+
+Coordinator::~Coordinator() = default;
+
+void Coordinator::start() {
+  assert(!started_ && "Coordinator::start called twice");
+  started_ = true;
+  transport_.register_endpoint(
+      config_.id, [this](net::Message&& msg) { handle_message(std::move(msg)); });
+  heartbeat_monitor_.start();
+}
+
+// ---------------------------------------------------------------------------
+// Client API
+// ---------------------------------------------------------------------------
+
+util::Status Coordinator::submit(workload::JobSpec job) {
+  if (job.id.empty()) {
+    return util::invalid_argument_error("job requires an id");
+  }
+  if (jobs_.contains(job.id)) {
+    return util::already_exists_error("job " + job.id + " already submitted");
+  }
+  JobRecord record;
+  record.spec = std::move(job);
+  record.submitted_at = env_.now();
+  const std::string job_id = record.spec.id;
+  const bool interactive =
+      record.spec.type == workload::JobType::kInteractive;
+  jobs_.emplace(job_id, std::move(record));
+
+  ++stats_.jobs_submitted;
+  if (interactive) {
+    ++stats_.sessions_submitted;
+    env_.schedule_after(config_.session_patience,
+                        [this, job_id] { session_timeout(job_id); });
+  } else {
+    ++stats_.training_submitted;
+  }
+
+  database_.enqueue_request(db::PendingRequest{
+      job_id, jobs_.at(job_id).spec.requirements.priority, env_.now()});
+  request_pass();
+  return util::Status();
+}
+
+util::Status Coordinator::cancel(const std::string& job_id) {
+  auto it = jobs_.find(job_id);
+  if (it == jobs_.end()) {
+    return util::not_found_error("job " + job_id);
+  }
+  JobRecord& record = it->second;
+  switch (record.phase) {
+    case JobPhase::kPending:
+      database_.remove_request(job_id);
+      record.phase = JobPhase::kCancelled;
+      return util::Status();
+    case JobPhase::kDispatching:
+    case JobPhase::kRunning: {
+      if (record.open_allocation != 0) {
+        (void)database_.close_allocation(record.open_allocation,
+                                         db::AllocationOutcome::kKilled,
+                                         env_.now());
+        record.open_allocation = 0;
+      }
+      send_to_agent(record.node, agent::kKillJob,
+                    agent::KillJobCommand{job_id, /*allow_checkpoint=*/false},
+                    agent::kControlBytes);
+      directory_.release_gpus(record.node, record.spec.requirements.gpu_count);
+      record.phase = JobPhase::kCancelled;
+      migration_tracker_.abandon(job_id);
+      request_pass();
+      return util::Status();
+    }
+    default:
+      return util::failed_precondition_error(
+          "job " + job_id + " already " +
+          std::string(job_phase_name(record.phase)));
+  }
+}
+
+void Coordinator::set_cause_hint(const std::string& machine_id,
+                                 agent::DepartureKind kind) {
+  cause_hints_[machine_id] = kind;
+}
+
+const JobRecord* Coordinator::job(const std::string& job_id) const {
+  auto it = jobs_.find(job_id);
+  return it == jobs_.end() ? nullptr : &it->second;
+}
+
+// ---------------------------------------------------------------------------
+// Message handling
+// ---------------------------------------------------------------------------
+
+void Coordinator::handle_message(net::Message&& msg) {
+  switch (msg.kind) {
+    case agent::kRegisterRequest:
+      handle_register(std::any_cast<const agent::RegisterRequest&>(msg.payload));
+      break;
+    case agent::kHeartbeat:
+      handle_heartbeat(std::any_cast<const agent::Heartbeat&>(msg.payload));
+      break;
+    case agent::kTelemetryReport:
+      handle_telemetry(
+          std::any_cast<const agent::TelemetryReport&>(msg.payload));
+      break;
+    case agent::kDispatchResult:
+      handle_dispatch_result(
+          std::any_cast<const agent::DispatchResult&>(msg.payload));
+      break;
+    case agent::kJobStarted:
+      handle_job_started(std::any_cast<const agent::JobStarted&>(msg.payload));
+      break;
+    case agent::kJobCompleted:
+      handle_job_completed(
+          std::any_cast<const agent::JobCompleted&>(msg.payload));
+      break;
+    case agent::kCheckpointNotice:
+      handle_checkpoint_notice(
+          std::any_cast<const agent::CheckpointNotice&>(msg.payload));
+      break;
+    case agent::kDepartureNotice:
+      handle_departure_notice(
+          std::any_cast<const agent::DepartureNotice&>(msg.payload));
+      break;
+    case agent::kKillSwitchNotice:
+      handle_kill_switch_notice(
+          std::any_cast<const agent::KillSwitchNotice&>(msg.payload));
+      break;
+    case agent::kReturnNotice:
+      handle_return_notice(
+          std::any_cast<const agent::ReturnNotice&>(msg.payload));
+      break;
+    case agent::kJobKilledAck:
+      handle_job_killed_ack(
+          std::any_cast<const agent::JobKilledAck&>(msg.payload));
+      break;
+    default:
+      GPUNION_WLOG("coordinator") << "unexpected message kind " << msg.kind;
+  }
+}
+
+void Coordinator::handle_register(const agent::RegisterRequest& request) {
+  const NodeInfo* existing = directory_.find(request.machine_id);
+  const bool returning =
+      existing != nullptr &&
+      (existing->status == db::NodeStatus::kDeparted ||
+       existing->status == db::NodeStatus::kUnavailable);
+
+  const std::string token = util::make_auth_token(rng_);
+
+  NodeInfo info;
+  info.machine_id = request.machine_id;
+  info.hostname = request.hostname;
+  info.owner_group = request.owner_group;
+  info.gpu_model = request.gpu_model;
+  info.gpu_count = request.gpu_count;
+  info.gpu_memory_gb = request.gpu_memory_gb;
+  info.compute_capability = request.compute_capability;
+  info.gpu_tflops = request.gpu_tflops;
+  info.status = db::NodeStatus::kActive;
+  info.accepting = true;
+  info.free_gpus = request.gpu_count;
+  info.last_heartbeat = env_.now();
+  info.registered_at =
+      existing != nullptr ? existing->registered_at : env_.now();
+  info.token_hash = util::Sha256::hex_of(token);
+  directory_.upsert(std::move(info));
+  in_flight_dispatches_[request.machine_id] = 0;
+
+  db::NodeRecord db_record;
+  db_record.machine_id = request.machine_id;
+  db_record.hostname = request.hostname;
+  db_record.gpu_count = request.gpu_count;
+  db_record.gpu_model = request.gpu_model;
+  db_record.status = db::NodeStatus::kActive;
+  db_record.registered_at = env_.now();
+  db_record.last_heartbeat = env_.now();
+  db_record.auth_token_hash = util::Sha256::hex_of(token);
+  (void)database_.upsert_node(std::move(db_record));
+
+  agent::RegisterResponse response;
+  response.accepted = true;
+  response.auth_token = token;
+  response.heartbeat_interval = config_.heartbeat_interval;
+  send_to_agent(request.machine_id, agent::kRegisterResponse, response,
+                agent::kRegisterBytes);
+
+  GPUNION_ILOG("coordinator")
+      << (returning ? "re-registered " : "registered ") << request.machine_id
+      << " (" << request.hostname << ", " << request.gpu_count << "x "
+      << request.gpu_model << ")";
+
+  if (returning) {
+    on_node_returned(request.machine_id);
+  } else {
+    request_pass();
+  }
+}
+
+void Coordinator::handle_heartbeat(const agent::Heartbeat& beat) {
+  NodeInfo* node = directory_.find(beat.machine_id);
+  if (node == nullptr) return;  // never registered; ignore
+  if (util::Sha256::hex_of(beat.auth_token) != node->token_hash) {
+    ++stats_.auth_failures;
+    GPUNION_WLOG("coordinator")
+        << "heartbeat with bad token from " << beat.machine_id;
+    return;
+  }
+  const bool was_unavailable = node->status == db::NodeStatus::kUnavailable;
+  node->last_heartbeat = env_.now();
+  node->last_heartbeat_seq = beat.seq;
+  node->accepting = beat.accepting;
+  const int in_flight = in_flight_dispatches_[beat.machine_id];
+  node->free_gpus = std::max(0, beat.free_gpus - in_flight);
+  (void)database_.touch_heartbeat(beat.machine_id, env_.now());
+
+  if (was_unavailable) {
+    node->status = db::NodeStatus::kActive;
+    (void)database_.set_node_status(beat.machine_id, db::NodeStatus::kActive);
+    GPUNION_ILOG("coordinator")
+        << beat.machine_id << " heartbeats resumed; back in the pool";
+    on_node_returned(beat.machine_id);
+  } else if (node->free_gpus > 0 && database_.queue_depth() > 0) {
+    request_pass();
+  }
+
+  reconcile_with_heartbeat(beat);
+}
+
+void Coordinator::reconcile_with_heartbeat(const agent::Heartbeat& beat) {
+  // A completion/kill notification can be lost in transit; the heartbeat's
+  // job list is the agent's ground truth.  Records that have been
+  // "running" on this node for several beats but are absent from the list
+  // are reconciled: finished if our progress estimate says so, otherwise
+  // treated as an interruption and requeued.
+  const util::Duration settle = 3.0 * config_.heartbeat_interval;
+  for (auto& [job_id, record] : jobs_) {
+    if (record.phase != JobPhase::kRunning ||
+        record.node != beat.machine_id || record.running_since < 0 ||
+        env_.now() - record.running_since < settle) {
+      continue;
+    }
+    bool hosted = false;
+    for (const auto& running : beat.running_jobs) {
+      if (running == job_id) {
+        hosted = true;
+        break;
+      }
+    }
+    if (hosted) continue;
+
+    const bool finished =
+        record.spec.type == workload::JobType::kInteractive
+            ? env_.now() - record.running_since >=
+                  0.97 * record.spec.reference_duration
+            : estimate_progress(record) >= 0.98;
+    if (finished) {
+      GPUNION_WLOG("coordinator")
+          << job_id << " missing from " << beat.machine_id
+          << " heartbeat; reconciling as completed (lost notification)";
+      agent::JobCompleted done;
+      done.machine_id = beat.machine_id;
+      done.job_id = job_id;
+      handle_job_completed(done);
+    } else {
+      GPUNION_WLOG("coordinator")
+          << job_id << " missing from " << beat.machine_id
+          << " heartbeat; requeueing (lost run)";
+      directory_.release_gpus(beat.machine_id,
+                              record.spec.requirements.gpu_count);
+      interrupt_job(record, agent::DepartureKind::kEmergency,
+                    db::AllocationOutcome::kLost, env_.now());
+    }
+  }
+}
+
+void Coordinator::handle_telemetry(const agent::TelemetryReport& report) {
+  database_.record_metric("gpu_util." + report.machine_id, env_.now(),
+                          report.telemetry.mean_gpu_utilization());
+}
+
+void Coordinator::handle_dispatch_result(const agent::DispatchResult& result) {
+  auto it = jobs_.find(result.job_id);
+  auto in_flight_it = in_flight_dispatches_.find(result.machine_id);
+  if (in_flight_it != in_flight_dispatches_.end() && in_flight_it->second > 0) {
+    --in_flight_it->second;
+  }
+
+  if (it == jobs_.end() || it->second.phase != JobPhase::kDispatching ||
+      it->second.node != result.machine_id) {
+    // Stale ack (e.g. after a dispatch timeout already requeued the job).
+    // If the node actually started the work, kill it to avoid a double run.
+    if (result.accepted) {
+      send_to_agent(result.machine_id, agent::kKillJob,
+                    agent::KillJobCommand{result.job_id,
+                                          /*allow_checkpoint=*/false},
+                    agent::kControlBytes);
+    }
+    return;
+  }
+  JobRecord& record = it->second;
+
+  if (!result.accepted) {
+    ++stats_.dispatches_rejected;
+    ++record.dispatch_rejects;
+    directory_.release_gpus(result.machine_id,
+                            record.spec.requirements.gpu_count);
+    record.node.clear();
+    GPUNION_DLOG("coordinator") << result.job_id << " rejected by "
+                                << result.machine_id << ": " << result.reason;
+    if (record.dispatch_rejects >= 20) {
+      record.phase = JobPhase::kCancelled;  // give up; configuration problem
+      GPUNION_WLOG("coordinator")
+          << result.job_id << " cancelled after repeated rejections";
+      return;
+    }
+    requeue(record, /*front=*/true);
+    return;
+  }
+
+  record.phase = JobPhase::kRunning;
+  record.dispatch_rejects = 0;
+  record.reclaim_requested = false;
+  record.running_since = env_.now();
+  record.segment_start_progress = record.checkpointed_progress;
+  if (const NodeInfo* node = directory_.find(result.machine_id)) {
+    record.node_speed = workload::speed_factor(node->gpu_tflops) *
+                        std::max(1, record.spec.requirements.gpu_count);
+  }
+  record.open_allocation = database_.open_allocation(
+      result.job_id, result.machine_id, result.gpu_indices, env_.now());
+  if (record.first_dispatched_at < 0) {
+    record.first_dispatched_at = env_.now();
+    stats_.queue_wait.add(env_.now() - record.submitted_at);
+  }
+}
+
+void Coordinator::handle_job_started(const agent::JobStarted& started) {
+  auto it = jobs_.find(started.job_id);
+  if (it == jobs_.end()) return;
+  JobRecord& record = it->second;
+  if (record.phase != JobPhase::kRunning ||
+      record.node != started.machine_id) {
+    return;
+  }
+  record.running_since = env_.now();
+  record.segment_start_progress = started.start_progress;
+
+  if (migration_tracker_.has_open(started.job_id)) {
+    const bool was_migrate_back =
+        !record.migrate_back_target.empty() &&
+        record.migrate_back_target == started.machine_id;
+    migration_tracker_.resumed(started.job_id, started.machine_id, env_.now(),
+                               was_migrate_back);
+    if (was_migrate_back) {
+      ++record.migrate_backs;
+      if (record.last_interruption_cause ==
+          agent::DepartureKind::kTemporary) {
+        ++stats_.migrate_back_successes;
+      }
+      record.displaced_from.clear();
+    } else if (started.machine_id != record.displaced_from) {
+      ++record.migrations;
+    }
+    record.migrate_back_target.clear();
+    record.preferred_node.clear();
+  }
+}
+
+void Coordinator::handle_job_completed(const agent::JobCompleted& done) {
+  auto it = jobs_.find(done.job_id);
+  if (it == jobs_.end()) return;
+  JobRecord& record = it->second;
+  if (record.phase != JobPhase::kRunning || record.node != done.machine_id) {
+    return;  // stale (job was already migrated elsewhere)
+  }
+  record.phase = JobPhase::kCompleted;
+  record.completed_at = env_.now();
+  record.checkpointed_progress = 1.0;
+  if (record.open_allocation != 0) {
+    (void)database_.close_allocation(record.open_allocation,
+                                     db::AllocationOutcome::kCompleted,
+                                     env_.now());
+    record.open_allocation = 0;
+  }
+  directory_.release_gpus(done.machine_id, record.spec.requirements.gpu_count);
+  ++stats_.jobs_completed;
+  if (record.spec.type == workload::JobType::kInteractive) {
+    ++stats_.sessions_served;
+  } else {
+    ++stats_.training_completed;
+  }
+  store_.forget(done.job_id);
+  migration_tracker_.abandon(done.job_id);
+  request_pass();
+}
+
+void Coordinator::handle_checkpoint_notice(
+    const agent::CheckpointNotice& notice) {
+  auto it = jobs_.find(notice.job_id);
+  if (it == jobs_.end()) return;
+  JobRecord& record = it->second;
+  record.checkpointed_progress =
+      std::max(record.checkpointed_progress, notice.progress);
+  record.last_checkpoint_at = env_.now();
+}
+
+void Coordinator::handle_departure_notice(
+    const agent::DepartureNotice& notice) {
+  // Fresh checkpoint results from the grace window arrive inside the notice.
+  for (const auto& departing : notice.jobs) {
+    auto it = jobs_.find(departing.job_id);
+    if (it == jobs_.end()) continue;
+    it->second.checkpointed_progress = std::max(
+        it->second.checkpointed_progress, departing.checkpointed_progress);
+    it->second.last_checkpoint_at = env_.now();
+  }
+  if (NodeInfo* node = directory_.find(notice.machine_id)) {
+    node->status = db::NodeStatus::kDeparted;
+    node->free_gpus = 0;
+  }
+  (void)database_.set_node_status(notice.machine_id,
+                                  db::NodeStatus::kDeparted);
+  reliability_.record_departure(notice.machine_id, env_.now());
+  in_flight_dispatches_[notice.machine_id] = 0;
+  interrupt_jobs_on(notice.machine_id, notice.kind, env_.now());
+  GPUNION_ILOG("coordinator") << notice.machine_id << " departed ("
+                              << departure_kind_name(notice.kind) << ")";
+}
+
+void Coordinator::handle_kill_switch_notice(
+    const agent::KillSwitchNotice& notice) {
+  for (const auto& job_id : notice.killed_jobs) {
+    auto it = jobs_.find(job_id);
+    if (it == jobs_.end()) continue;
+    JobRecord& record = it->second;
+    if (record.node != notice.machine_id ||
+        (record.phase != JobPhase::kRunning &&
+         record.phase != JobPhase::kDispatching)) {
+      continue;
+    }
+    directory_.release_gpus(notice.machine_id,
+                            record.spec.requirements.gpu_count);
+    interrupt_job(record, agent::DepartureKind::kReclaim,
+                  db::AllocationOutcome::kKilled, env_.now());
+  }
+  request_pass();
+}
+
+void Coordinator::handle_return_notice(const agent::ReturnNotice& notice) {
+  on_node_returned(notice.machine_id);
+}
+
+void Coordinator::handle_job_killed_ack(const agent::JobKilledAck& ack) {
+  auto it = jobs_.find(ack.job_id);
+  if (it == jobs_.end()) return;
+  JobRecord& record = it->second;
+  record.checkpointed_progress =
+      std::max(record.checkpointed_progress, ack.checkpointed_progress);
+
+  if (!record.migrate_back_pending) return;  // cancel path: nothing more
+  record.migrate_back_pending = false;
+  if (record.phase != JobPhase::kRunning || record.node != ack.machine_id) {
+    return;
+  }
+  if (record.open_allocation != 0) {
+    (void)database_.close_allocation(record.open_allocation,
+                                     db::AllocationOutcome::kMigrated,
+                                     env_.now());
+    record.open_allocation = 0;
+  }
+  directory_.release_gpus(ack.machine_id, record.spec.requirements.gpu_count);
+
+  auto& migration = migration_tracker_.open(
+      ack.job_id, ack.machine_id, agent::DepartureKind::kTemporary, env_.now(),
+      record.checkpointed_progress, record.checkpointed_progress, 0.0);
+  migration.migrate_back_eviction = true;
+
+  record.preferred_node = record.migrate_back_target;
+  record.node.clear();
+  requeue(record, /*front=*/true);
+}
+
+// ---------------------------------------------------------------------------
+// Scheduling
+// ---------------------------------------------------------------------------
+
+void Coordinator::request_pass() {
+  if (pass_scheduled_ || !started_) return;
+  pass_scheduled_ = true;
+  env_.schedule_after(0.0, [this] {
+    pass_scheduled_ = false;
+    schedule_pass();
+  });
+}
+
+void Coordinator::schedule_pass() {
+  std::vector<db::PendingRequest> retry;
+  while (auto request = database_.pop_request()) {
+    auto it = jobs_.find(request->job_id);
+    if (it == jobs_.end() || it->second.phase != JobPhase::kPending) {
+      continue;  // cancelled / denied / already placed
+    }
+    if (!try_place(it->second)) {
+      retry.push_back(*request);
+    }
+  }
+  for (auto& request : retry) {
+    database_.enqueue_request(std::move(request));
+  }
+}
+
+bool Coordinator::try_place(JobRecord& record) {
+  const bool enforce_degradation =
+      config_.strategy == AllocationStrategy::kReliabilityAware;
+  std::vector<const NodeInfo*> eligible;
+  for (const NodeInfo* node : directory_.schedulable()) {
+    if (node_eligible(*node, record.spec, config_.policy.cross_group_sharing,
+                      reliability_, env_.now(), enforce_degradation)) {
+      eligible.push_back(node);
+    }
+  }
+
+  if (eligible.empty()) {
+    // Nothing free.  If the submitter's own machine is full of guests, the
+    // owner can reclaim it (provider supremacy working *for* the owner).
+    if (config_.policy.owner_reclaim && on_unplaceable_ &&
+        !record.reclaim_requested && !record.spec.owner_node.empty()) {
+      record.reclaim_requested = true;
+      on_unplaceable_(record.spec, record.spec.owner_node,
+                      record.spec.requirements.gpu_count);
+    }
+    return false;
+  }
+
+  const NodeInfo* pick = nullptr;
+  if (!record.preferred_node.empty()) {
+    for (const NodeInfo* node : eligible) {
+      if (node->machine_id == record.preferred_node) {
+        pick = node;
+        break;
+      }
+    }
+  }
+  if (pick == nullptr) {
+    pick = selector_.select(eligible, record.spec, reliability_, env_.now());
+  }
+  if (pick == nullptr) return false;
+  dispatch_to(record, *pick);
+  return true;
+}
+
+void Coordinator::dispatch_to(JobRecord& record, const NodeInfo& node) {
+  directory_.reserve_gpus(node.machine_id, record.spec.requirements.gpu_count);
+  ++in_flight_dispatches_[node.machine_id];
+  record.node = node.machine_id;
+  record.phase = JobPhase::kDispatching;
+  const std::uint64_t generation = ++record.dispatch_generation;
+
+  agent::DispatchRequest request;
+  request.job = record.spec;
+  if (config_.policy.checkpoint_restore &&
+      record.checkpointed_progress > 0 &&
+      record.spec.type == workload::JobType::kTraining) {
+    request.start_progress = record.checkpointed_progress;
+    auto latest = store_.latest(record.spec.id);
+    auto bytes = store_.restore_bytes(record.spec.id);
+    if (latest.ok() && bytes.ok()) {
+      request.restore_bytes = *bytes;
+      request.restore_from = latest->storage_node;
+    }
+  }
+  ++stats_.dispatches_sent;
+  send_to_agent(node.machine_id, agent::kDispatch, std::move(request),
+                agent::kControlBytes + 340);
+
+  const std::string job_id = record.spec.id;
+  env_.schedule_after(config_.dispatch_timeout, [this, job_id, generation] {
+    dispatch_timeout(job_id, generation);
+  });
+}
+
+void Coordinator::dispatch_timeout(const std::string& job_id,
+                                   std::uint64_t generation) {
+  auto it = jobs_.find(job_id);
+  if (it == jobs_.end()) return;
+  JobRecord& record = it->second;
+  if (record.phase != JobPhase::kDispatching ||
+      record.dispatch_generation != generation) {
+    return;  // resolved long ago
+  }
+  GPUNION_WLOG("coordinator")
+      << "dispatch of " << job_id << " to " << record.node << " timed out";
+  auto in_flight_it = in_flight_dispatches_.find(record.node);
+  if (in_flight_it != in_flight_dispatches_.end() && in_flight_it->second > 0) {
+    --in_flight_it->second;
+  }
+  directory_.release_gpus(record.node, record.spec.requirements.gpu_count);
+  record.node.clear();
+  requeue(record, /*front=*/true);
+}
+
+void Coordinator::session_timeout(const std::string& job_id) {
+  auto it = jobs_.find(job_id);
+  if (it == jobs_.end()) return;
+  JobRecord& record = it->second;
+  if (record.phase != JobPhase::kPending) return;
+  database_.remove_request(job_id);
+  record.phase = JobPhase::kDenied;
+  ++stats_.sessions_denied;
+}
+
+void Coordinator::requeue(JobRecord& record, bool front) {
+  record.phase = JobPhase::kPending;
+  db::PendingRequest request{record.spec.id,
+                             record.spec.requirements.priority,
+                             record.submitted_at};
+  if (front && !config_.policy.requeue_to_tail) {
+    database_.enqueue_request_front(std::move(request));
+  } else {
+    database_.enqueue_request(std::move(request));
+  }
+  request_pass();
+}
+
+// ---------------------------------------------------------------------------
+// Churn handling
+// ---------------------------------------------------------------------------
+
+double Coordinator::estimate_progress(const JobRecord& record) const {
+  if (record.phase != JobPhase::kRunning || record.running_since < 0) {
+    return record.checkpointed_progress;
+  }
+  // Anchor on the most recent exact observation: a checkpoint notice pins
+  // (progress, time) precisely, which bounds estimation drift (from
+  // serialization pauses the agent takes) to a single checkpoint interval.
+  double base_progress = record.segment_start_progress;
+  util::SimTime base_time = record.running_since;
+  if (record.last_checkpoint_at >= record.running_since) {
+    base_progress = record.checkpointed_progress;
+    base_time = record.last_checkpoint_at;
+  }
+  const double elapsed_work = (env_.now() - base_time) * record.node_speed;
+  const double estimate =
+      base_progress +
+      elapsed_work / std::max(1.0, record.spec.reference_duration);
+  return std::clamp(std::max(estimate, record.checkpointed_progress), 0.0,
+                    1.0);
+}
+
+void Coordinator::interrupt_job(JobRecord& record, agent::DepartureKind cause,
+                                db::AllocationOutcome outcome,
+                                util::SimTime at) {
+  const double progress_at_interruption = estimate_progress(record);
+  const double restored =
+      config_.policy.checkpoint_restore &&
+              record.spec.type == workload::JobType::kTraining
+          ? record.checkpointed_progress
+          : 0.0;
+  // Recomputation measured in wall-clock time on the (lost) node: the job
+  // redoes (progress delta x reference duration) of work at node speed.
+  const double lost_seconds =
+      std::max(0.0, progress_at_interruption - restored) *
+      record.spec.reference_duration / std::max(0.1, record.node_speed);
+
+  if (record.open_allocation != 0) {
+    (void)database_.close_allocation(record.open_allocation, outcome,
+                                     env_.now());
+    record.open_allocation = 0;
+  }
+  ++stats_.interruptions;
+  ++record.interruptions;
+  record.lost_work_seconds += lost_seconds;
+  record.last_interruption_cause = cause;
+  record.displaced_from = record.node;
+  record.node.clear();
+  record.running_since = -1;
+  if (cause == agent::DepartureKind::kTemporary &&
+      record.spec.type == workload::JobType::kTraining) {
+    ++stats_.displaced_by_temporary;
+  }
+
+  if (record.spec.type == workload::JobType::kInteractive) {
+    record.phase = JobPhase::kSessionDisrupted;
+    ++stats_.sessions_disrupted;
+    return;  // sessions are not migrated; the user re-requests
+  }
+
+  record.checkpointed_progress = restored;
+  migration_tracker_.open(record.spec.id, record.displaced_from, cause, at,
+                          progress_at_interruption, restored, lost_seconds);
+
+  if (config_.policy.auto_migration) {
+    // Displaced jobs keep their place in line — except reclaim evictions:
+    // the owner's job must win the freed GPU, so the guest goes to the tail.
+    requeue(record, /*front=*/cause != agent::DepartureKind::kReclaim);
+  } else {
+    // Manual coordination: a human notices the failure and resubmits later.
+    const std::string job_id = record.spec.id;
+    record.phase = JobPhase::kPending;
+    env_.schedule_after(config_.manual_resubmit_delay, [this, job_id] {
+      auto it = jobs_.find(job_id);
+      if (it == jobs_.end() || it->second.phase != JobPhase::kPending) return;
+      database_.enqueue_request(db::PendingRequest{
+          job_id, it->second.spec.requirements.priority, env_.now()});
+      request_pass();
+    });
+  }
+}
+
+void Coordinator::interrupt_jobs_on(const std::string& machine_id,
+                                    agent::DepartureKind cause,
+                                    util::SimTime at) {
+  for (auto& [job_id, record] : jobs_) {
+    if (record.node != machine_id) continue;
+    if (record.phase == JobPhase::kRunning) {
+      interrupt_job(record, cause,
+                    cause == agent::DepartureKind::kScheduled
+                        ? db::AllocationOutcome::kMigrated
+                        : db::AllocationOutcome::kLost,
+                    at);
+    } else if (record.phase == JobPhase::kDispatching) {
+      // In-flight dispatch to a dead node: no allocation opened yet.
+      record.node.clear();
+      requeue(record, /*front=*/true);
+    }
+  }
+  request_pass();
+}
+
+void Coordinator::on_node_lost(const std::string& machine_id) {
+  NodeInfo* node = directory_.find(machine_id);
+  if (node == nullptr || node->status != db::NodeStatus::kActive) return;
+  node->status = db::NodeStatus::kUnavailable;
+  node->free_gpus = 0;
+  (void)database_.set_node_status(machine_id, db::NodeStatus::kUnavailable);
+  reliability_.record_departure(machine_id, env_.now());
+  in_flight_dispatches_[machine_id] = 0;
+
+  agent::DepartureKind cause = agent::DepartureKind::kEmergency;
+  auto hint = cause_hints_.find(machine_id);
+  if (hint != cause_hints_.end()) {
+    cause = hint->second;
+    cause_hints_.erase(hint);
+  }
+  // The node actually vanished around its last heartbeat; measuring the
+  // interruption from there makes downtime include detection latency.
+  interrupt_jobs_on(machine_id, cause, node->last_heartbeat);
+}
+
+void Coordinator::on_node_returned(const std::string& machine_id) {
+  if (config_.policy.migrate_back) {
+    trigger_migrate_back(machine_id);
+  }
+  // Pending jobs displaced from this node prefer to land back on it.
+  for (auto& [job_id, record] : jobs_) {
+    if (record.phase == JobPhase::kPending &&
+        record.displaced_from == machine_id) {
+      record.preferred_node = machine_id;
+      record.migrate_back_target = machine_id;
+    }
+  }
+  request_pass();
+}
+
+void Coordinator::trigger_migrate_back(const std::string& machine_id) {
+  for (auto& [job_id, record] : jobs_) {
+    if (record.phase != JobPhase::kRunning) continue;
+    if (record.displaced_from != machine_id) continue;
+    if (record.migrate_back_pending || record.node == machine_id) continue;
+    if (record.spec.type != workload::JobType::kTraining) continue;
+    record.migrate_back_pending = true;
+    record.migrate_back_target = machine_id;
+    send_to_agent(record.node, agent::kKillJob,
+                  agent::KillJobCommand{job_id, /*allow_checkpoint=*/true},
+                  agent::kControlBytes);
+  }
+}
+
+void Coordinator::send_to_agent(const std::string& machine_id, int kind,
+                                std::any payload, std::uint64_t bytes) {
+  net::Message msg;
+  msg.from = config_.id;
+  msg.to = machine_id;
+  msg.kind = kind;
+  msg.traffic_class = net::TrafficClass::kControl;
+  msg.size_bytes = bytes;
+  msg.payload = std::move(payload);
+  (void)transport_.send(std::move(msg));
+}
+
+}  // namespace gpunion::sched

@@ -1,0 +1,231 @@
+// Central scheduler and coordinator (§3.2).
+//
+// The coordination hub: resource discovery (registration + heartbeats),
+// allocation (strategy-driven placement from a priority queue in the system
+// database), volatility handling (heartbeat monitor -> automatic migration
+// with checkpoint restore), provider-return migrate-back, and operational
+// statistics.  Unlike traditional cluster schedulers it never assumes a node
+// will stay: every placement is revocable and every mechanism below exists
+// to absorb provider-initiated churn.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "agent/proto.h"
+#include "db/database.h"
+#include "net/transport.h"
+#include "sched/directory.h"
+#include "sched/heartbeat_monitor.h"
+#include "sched/migration.h"
+#include "sched/policy.h"
+#include "sched/reliability.h"
+#include "sched/strategies.h"
+#include "sim/environment.h"
+#include "storage/checkpoint_store.h"
+#include "util/stats.h"
+#include "util/status.h"
+
+namespace gpunion::sched {
+
+struct CoordinatorConfig {
+  std::string id = "coordinator";
+  util::Duration heartbeat_interval = 2.0;
+  int heartbeat_miss_threshold = 3;
+  AllocationStrategy strategy = AllocationStrategy::kRoundRobin;
+  PlatformPolicy policy;
+  /// How long an interactive request may queue before the student gives up.
+  util::Duration session_patience = 600.0;
+  /// Dispatch ack deadline before the target is assumed dead.
+  util::Duration dispatch_timeout = 30.0;
+  /// Downtime threshold under which a migration counts as successful
+  /// (Fig. 3 reporting).
+  util::Duration migration_success_window = 600.0;
+  /// Human resubmission delay when auto_migration is off (manual baseline).
+  util::Duration manual_resubmit_delay = 3600.0;
+};
+
+enum class JobPhase {
+  kPending,
+  kDispatching,   // dispatch sent, ack outstanding
+  kRunning,
+  kCompleted,
+  kDenied,            // interactive request timed out in queue
+  kSessionDisrupted,  // interactive session killed by churn
+  kCancelled,
+};
+
+std::string_view job_phase_name(JobPhase p);
+
+struct JobRecord {
+  workload::JobSpec spec;
+  JobPhase phase = JobPhase::kPending;
+  std::string node;            // current / last assignment
+  std::string preferred_node;  // placement affinity (migrate-back target)
+  std::string displaced_from;  // origin node of the last displacement
+  bool migrate_back_pending = false;
+  std::string migrate_back_target;
+  double checkpointed_progress = 0;
+  util::SimTime last_checkpoint_at = -1;
+  int interruptions = 0;
+  int migrations = 0;      // resumes on a different node
+  int migrate_backs = 0;   // resumes back on the origin
+  util::SimTime submitted_at = 0;
+  util::SimTime first_dispatched_at = -1;
+  util::SimTime completed_at = -1;
+  /// Wall-clock recomputation caused by interruptions (time re-spent on
+  /// the executing node redoing work since the restored checkpoint).
+  double lost_work_seconds = 0;
+  agent::DepartureKind last_interruption_cause =
+      agent::DepartureKind::kScheduled;
+  std::uint64_t open_allocation = 0;  // db ledger id while running
+  std::uint64_t dispatch_generation = 0;  // guards stale timeout events
+  bool reclaim_requested = false;  // owner-reclaim already triggered
+  int dispatch_rejects = 0;      // consecutive rejections (give up past limit)
+  // progress-estimation state for the current run segment
+  util::SimTime running_since = -1;
+  double segment_start_progress = 0;
+  double node_speed = 1.0;  // reference-relative speed of the current node
+};
+
+struct CoordinatorStats {
+  int jobs_submitted = 0;
+  int training_submitted = 0;
+  int sessions_submitted = 0;
+  int jobs_completed = 0;
+  int training_completed = 0;
+  int sessions_served = 0;
+  int sessions_denied = 0;
+  int sessions_disrupted = 0;
+  int dispatches_sent = 0;
+  int dispatches_rejected = 0;
+  int interruptions = 0;
+  int auth_failures = 0;
+  /// Migrate-back accounting for the Fig. 3 "temporary unavailability"
+  /// scenario: training jobs displaced by a temporary departure, and how
+  /// many of them later resumed back on their origin node.
+  int displaced_by_temporary = 0;
+  int migrate_back_successes = 0;
+  util::SampleSet queue_wait;  // submit -> first dispatch accept, seconds
+
+  double migrate_back_rate() const {
+    return displaced_by_temporary == 0
+               ? 0.0
+               : static_cast<double>(migrate_back_successes) /
+                     displaced_by_temporary;
+  }
+};
+
+class Coordinator {
+ public:
+  Coordinator(sim::Environment& env, net::Transport& transport,
+              db::SystemDatabase& database, storage::CheckpointStore& store,
+              CoordinatorConfig config);
+  ~Coordinator();
+
+  Coordinator(const Coordinator&) = delete;
+  Coordinator& operator=(const Coordinator&) = delete;
+
+  /// Attaches to the transport and starts the heartbeat monitor.
+  void start();
+
+  // --- Client API -----------------------------------------------------------
+  /// Accepts a job into the pending queue.  Fails on duplicate ids.
+  util::Status submit(workload::JobSpec job);
+  /// Cancels a pending or running job.
+  util::Status cancel(const std::string& job_id);
+
+  // --- Experiment instrumentation -------------------------------------------
+  /// Tells the coordinator what kind of interruption is behind the next
+  /// heartbeat loss of `machine_id` (the injector knows; a real deployment
+  /// would classify post-hoc).  Cleared when consumed.
+  void set_cause_hint(const std::string& machine_id,
+                      agent::DepartureKind kind);
+
+  /// Invoked when a job cannot be placed anywhere but its owner's node is
+  /// held by guests; the platform wires this to the owner's local reclaim.
+  using OnUnplaceable = std::function<void(
+      const workload::JobSpec& job, const std::string& owner_node,
+      int gpus_needed)>;
+  void set_on_unplaceable(OnUnplaceable cb) { on_unplaceable_ = std::move(cb); }
+
+  // --- Introspection ----------------------------------------------------------
+  const JobRecord* job(const std::string& job_id) const;
+  const std::map<std::string, JobRecord>& jobs() const { return jobs_; }
+  const Directory& directory() const { return directory_; }
+  Directory& directory() { return directory_; }
+  const CoordinatorStats& stats() const { return stats_; }
+  const MigrationTracker& migrations() const { return migration_tracker_; }
+  const ReliabilityPredictor& reliability() const { return reliability_; }
+  const CoordinatorConfig& config() const { return config_; }
+
+  /// Force one scheduling pass (tests).
+  void schedule_pass();
+
+ private:
+  // message handlers
+  void handle_message(net::Message&& msg);
+  void handle_register(const agent::RegisterRequest& request);
+  void handle_heartbeat(const agent::Heartbeat& beat);
+  /// Repairs records whose completion/kill notifications were lost, using
+  /// the heartbeat's hosted-job list as the agent's ground truth.
+  void reconcile_with_heartbeat(const agent::Heartbeat& beat);
+  void handle_telemetry(const agent::TelemetryReport& report);
+  void handle_dispatch_result(const agent::DispatchResult& result);
+  void handle_job_started(const agent::JobStarted& started);
+  void handle_job_completed(const agent::JobCompleted& done);
+  void handle_checkpoint_notice(const agent::CheckpointNotice& notice);
+  void handle_departure_notice(const agent::DepartureNotice& notice);
+  void handle_kill_switch_notice(const agent::KillSwitchNotice& notice);
+  void handle_return_notice(const agent::ReturnNotice& notice);
+  void handle_job_killed_ack(const agent::JobKilledAck& ack);
+
+  // scheduling
+  void request_pass();
+  bool try_place(JobRecord& record);
+  void requeue(JobRecord& record, bool front);
+  void dispatch_to(JobRecord& record, const NodeInfo& node);
+  void dispatch_timeout(const std::string& job_id, std::uint64_t generation);
+  void session_timeout(const std::string& job_id);
+
+  // churn handling
+  void on_node_lost(const std::string& machine_id);
+  void on_node_returned(const std::string& machine_id);
+  /// `at` is the best estimate of when the interruption actually happened
+  /// (for heartbeat-detected losses: the last heartbeat, so Fig. 3 downtime
+  /// includes detection latency).
+  void interrupt_job(JobRecord& record, agent::DepartureKind cause,
+                     db::AllocationOutcome outcome, util::SimTime at);
+  void interrupt_jobs_on(const std::string& machine_id,
+                         agent::DepartureKind cause, util::SimTime at);
+  double estimate_progress(const JobRecord& record) const;
+  void trigger_migrate_back(const std::string& machine_id);
+
+  void send_to_agent(const std::string& machine_id, int kind,
+                     std::any payload, std::uint64_t bytes);
+
+  sim::Environment& env_;
+  net::Transport& transport_;
+  db::SystemDatabase& database_;
+  storage::CheckpointStore& store_;
+  CoordinatorConfig config_;
+
+  Directory directory_;
+  NodeSelector selector_;
+  ReliabilityPredictor reliability_;
+  MigrationTracker migration_tracker_;
+  HeartbeatMonitor heartbeat_monitor_;
+  util::Rng rng_;
+
+  std::map<std::string, JobRecord> jobs_;  // ordered for determinism
+  std::map<std::string, int> in_flight_dispatches_;  // per node
+  std::map<std::string, agent::DepartureKind> cause_hints_;
+  CoordinatorStats stats_;
+  OnUnplaceable on_unplaceable_;
+  bool pass_scheduled_ = false;
+  bool started_ = false;
+};
+
+}  // namespace gpunion::sched

@@ -1,0 +1,58 @@
+#include "sched/directory.h"
+
+#include <algorithm>
+
+namespace gpunion::sched {
+
+NodeInfo& Directory::upsert(NodeInfo info) {
+  auto [it, inserted] = nodes_.insert_or_assign(info.machine_id,
+                                                std::move(info));
+  return it->second;
+}
+
+NodeInfo* Directory::find(const std::string& machine_id) {
+  auto it = nodes_.find(machine_id);
+  return it == nodes_.end() ? nullptr : &it->second;
+}
+
+const NodeInfo* Directory::find(const std::string& machine_id) const {
+  auto it = nodes_.find(machine_id);
+  return it == nodes_.end() ? nullptr : &it->second;
+}
+
+std::vector<const NodeInfo*> Directory::schedulable() const {
+  std::vector<const NodeInfo*> out;
+  for (const auto& [id, node] : nodes_) {
+    if (node.status == db::NodeStatus::kActive && node.accepting) {
+      out.push_back(&node);
+    }
+  }
+  return out;
+}
+
+std::vector<const NodeInfo*> Directory::all() const {
+  std::vector<const NodeInfo*> out;
+  out.reserve(nodes_.size());
+  for (const auto& [id, node] : nodes_) out.push_back(&node);
+  return out;
+}
+
+void Directory::reserve_gpus(const std::string& machine_id, int count) {
+  if (NodeInfo* node = find(machine_id)) {
+    node->free_gpus = std::clamp(node->free_gpus - count, 0, node->gpu_count);
+  }
+}
+
+void Directory::release_gpus(const std::string& machine_id, int count) {
+  if (NodeInfo* node = find(machine_id)) {
+    node->free_gpus = std::clamp(node->free_gpus + count, 0, node->gpu_count);
+  }
+}
+
+int Directory::total_gpus() const {
+  int total = 0;
+  for (const auto& [id, node] : nodes_) total += node.gpu_count;
+  return total;
+}
+
+}  // namespace gpunion::sched

@@ -1,0 +1,63 @@
+// Coordinator-side membership directory.
+//
+// The scheduler's real-time view of the fleet (§3.2: "maintains a real-time
+// view of available GPU resources across the campus network through periodic
+// status updates from provider agents").  free_gpus is the *scheduling* view:
+// it is decremented optimistically at dispatch and corrected by dispatch
+// results and heartbeats, so the coordinator never double-books a GPU while
+// a dispatch is in flight.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "db/database.h"
+#include "util/time.h"
+
+namespace gpunion::sched {
+
+struct NodeInfo {
+  std::string machine_id;
+  std::string hostname;
+  std::string owner_group;
+  std::string gpu_model;
+  int gpu_count = 0;
+  double gpu_memory_gb = 0;
+  double compute_capability = 0;
+  double gpu_tflops = 0;
+
+  db::NodeStatus status = db::NodeStatus::kActive;
+  bool accepting = true;
+  int free_gpus = 0;
+  util::SimTime last_heartbeat = 0;
+  std::uint64_t last_heartbeat_seq = 0;
+  util::SimTime registered_at = 0;
+  std::string token_hash;  // sha256 of the issued auth token
+};
+
+class Directory {
+ public:
+  /// Inserts or updates; returns the stored entry.
+  NodeInfo& upsert(NodeInfo info);
+
+  NodeInfo* find(const std::string& machine_id);
+  const NodeInfo* find(const std::string& machine_id) const;
+
+  /// Nodes in kActive status that are accepting work.
+  std::vector<const NodeInfo*> schedulable() const;
+  /// All nodes, machine-id order.
+  std::vector<const NodeInfo*> all() const;
+
+  /// Adjusts the scheduling view of free GPUs (clamped to [0, gpu_count]).
+  void reserve_gpus(const std::string& machine_id, int count);
+  void release_gpus(const std::string& machine_id, int count);
+
+  std::size_t size() const { return nodes_.size(); }
+  int total_gpus() const;
+
+ private:
+  std::map<std::string, NodeInfo> nodes_;  // ordered for determinism
+};
+
+}  // namespace gpunion::sched

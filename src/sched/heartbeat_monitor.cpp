@@ -1,0 +1,36 @@
+#include "sched/heartbeat_monitor.h"
+
+#include "util/logging.h"
+
+namespace gpunion::sched {
+
+HeartbeatMonitor::HeartbeatMonitor(sim::Environment& env, Directory& directory,
+                                   util::Duration heartbeat_interval,
+                                   int miss_threshold, OnNodeLost on_node_lost)
+    : env_(env),
+      directory_(directory),
+      heartbeat_interval_(heartbeat_interval),
+      miss_threshold_(miss_threshold),
+      on_node_lost_(std::move(on_node_lost)),
+      timer_(env, heartbeat_interval, [this] { sweep(); }) {}
+
+std::vector<std::string> HeartbeatMonitor::sweep() {
+  std::vector<std::string> lost;
+  const util::SimTime now = env_.now();
+  for (const NodeInfo* node : directory_.all()) {
+    if (node->status != db::NodeStatus::kActive) continue;
+    const util::SimTime silent_for = now - node->last_heartbeat;
+    if (silent_for > detection_deadline()) {
+      lost.push_back(node->machine_id);
+    }
+  }
+  for (const auto& machine_id : lost) {
+    GPUNION_ILOG("hb-monitor")
+        << machine_id << " missed " << miss_threshold_
+        << " heartbeats; marking unavailable";
+    if (on_node_lost_) on_node_lost_(machine_id);
+  }
+  return lost;
+}
+
+}  // namespace gpunion::sched

@@ -1,0 +1,46 @@
+// Heartbeat-based failure detection.
+//
+// §3.5: "nodes that miss three consecutive heartbeats are marked as
+// unavailable, triggering automatic workload migration."  The monitor sweeps
+// the directory once per heartbeat interval; a node whose last beat is older
+// than miss_threshold x interval is reported lost.  Detection latency is
+// therefore in (miss x interval, (miss+1) x interval) — the dominant term in
+// emergency-departure downtime (Fig. 3).
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "sched/directory.h"
+#include "sim/environment.h"
+
+namespace gpunion::sched {
+
+class HeartbeatMonitor {
+ public:
+  using OnNodeLost = std::function<void(const std::string& machine_id)>;
+
+  HeartbeatMonitor(sim::Environment& env, Directory& directory,
+                   util::Duration heartbeat_interval, int miss_threshold,
+                   OnNodeLost on_node_lost);
+
+  void start() { timer_.start(); }
+  void stop() { timer_.stop(); }
+
+  /// One sweep (also called by the timer).  Returns nodes newly lost.
+  std::vector<std::string> sweep();
+
+  util::Duration detection_deadline() const {
+    return heartbeat_interval_ * miss_threshold_;
+  }
+
+ private:
+  sim::Environment& env_;
+  Directory& directory_;
+  util::Duration heartbeat_interval_;
+  int miss_threshold_;
+  OnNodeLost on_node_lost_;
+  sim::PeriodicTimer timer_;
+};
+
+}  // namespace gpunion::sched

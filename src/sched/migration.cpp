@@ -1,0 +1,111 @@
+#include "sched/migration.h"
+
+namespace gpunion::sched {
+
+MigrationRecord& MigrationTracker::open(const std::string& job_id,
+                                        const std::string& from_node,
+                                        agent::DepartureKind cause,
+                                        util::SimTime at,
+                                        double progress_at_interruption,
+                                        double progress_restored,
+                                        double lost_work_seconds) {
+  auto it = open_.find(job_id);
+  if (it != open_.end()) {
+    // Interrupted again before resuming (e.g. assigned node vanished during
+    // dispatch): keep the original interruption time, accumulate lost work.
+    MigrationRecord& record = records_[it->second];
+    record.lost_work_seconds += lost_work_seconds;
+    return record;
+  }
+  MigrationRecord record;
+  record.job_id = job_id;
+  record.from_node = from_node;
+  record.cause = cause;
+  record.interrupted_at = at;
+  record.progress_at_interruption = progress_at_interruption;
+  record.progress_restored = progress_restored;
+  record.lost_work_seconds = lost_work_seconds;
+  records_.push_back(record);
+  open_[job_id] = records_.size() - 1;
+  return records_.back();
+}
+
+void MigrationTracker::resumed(const std::string& job_id,
+                               const std::string& to_node, util::SimTime at,
+                               bool was_migrate_back) {
+  auto it = open_.find(job_id);
+  if (it == open_.end()) return;
+  MigrationRecord& record = records_[it->second];
+  record.to_node = to_node;
+  record.resumed_at = at;
+  record.was_migrate_back = was_migrate_back;
+  open_.erase(it);
+}
+
+void MigrationTracker::abandon(const std::string& job_id) {
+  open_.erase(job_id);
+}
+
+std::vector<const MigrationRecord*> MigrationTracker::by_cause(
+    agent::DepartureKind k) const {
+  std::vector<const MigrationRecord*> out;
+  for (const auto& record : records_) {
+    if (record.cause == k) out.push_back(&record);
+  }
+  return out;
+}
+
+double MigrationTracker::success_rate(agent::DepartureKind cause,
+                                      util::Duration within) const {
+  std::size_t total = 0;
+  std::size_t ok = 0;
+  for (const auto& record : records_) {
+    if (record.cause != cause || record.migrate_back_eviction) continue;
+    ++total;
+    if (record.resumed() && record.downtime() <= within) ++ok;
+  }
+  return total == 0 ? 0.0
+                    : static_cast<double>(ok) / static_cast<double>(total);
+}
+
+util::SampleSet MigrationTracker::downtimes(agent::DepartureKind cause) const {
+  util::SampleSet out;
+  for (const auto& record : records_) {
+    if (record.cause == cause && record.resumed() &&
+        !record.migrate_back_eviction) {
+      out.add(record.downtime());
+    }
+  }
+  return out;
+}
+
+util::SampleSet MigrationTracker::lost_work_minutes(
+    agent::DepartureKind cause) const {
+  util::SampleSet out;
+  for (const auto& record : records_) {
+    if (record.cause == cause && !record.migrate_back_eviction) {
+      out.add(record.lost_work_seconds / 60.0);
+    }
+  }
+  return out;
+}
+
+double MigrationTracker::migrate_back_rate() const {
+  std::size_t displaced = 0;
+  std::size_t returned = 0;
+  for (const auto& record : records_) {
+    if (record.migrate_back_eviction) {
+      if (record.resumed() && record.was_migrate_back) ++returned;
+      continue;
+    }
+    if (record.cause == agent::DepartureKind::kTemporary && record.resumed() &&
+        record.to_node != record.from_node) {
+      ++displaced;
+    }
+  }
+  return displaced == 0
+             ? 0.0
+             : static_cast<double>(returned) / static_cast<double>(displaced);
+}
+
+}  // namespace gpunion::sched

@@ -1,0 +1,92 @@
+// Migration bookkeeping.
+//
+// Records every interruption -> relaunch cycle so the Fig. 3 experiment can
+// report success rates, downtime and lost work per departure scenario and
+// workload class, plus the migrate-back outcomes for temporary
+// unavailability.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "agent/proto.h"
+#include "util/stats.h"
+#include "util/time.h"
+
+namespace gpunion::sched {
+
+struct MigrationRecord {
+  std::string job_id;
+  std::string from_node;
+  std::string to_node;  // empty until resumed
+  agent::DepartureKind cause = agent::DepartureKind::kScheduled;
+  util::SimTime interrupted_at = 0;
+  util::SimTime resumed_at = -1;  // -1: not (yet) resumed
+  /// Durable progress the job restarted from.
+  double progress_restored = 0;
+  /// Estimated progress at the moment of interruption (lost work =
+  /// progress_at_interruption - progress_restored, in job fraction).
+  double progress_at_interruption = 0;
+  /// Wall-clock seconds of recomputation caused by the interruption.
+  double lost_work_seconds = 0;
+  bool was_migrate_back = false;  // this relaunch returned to the origin
+  /// True when the record was opened by a coordinator-initiated migrate-back
+  /// eviction rather than a provider interruption; such records are excluded
+  /// from the per-scenario success/downtime statistics.
+  bool migrate_back_eviction = false;
+
+  bool resumed() const { return resumed_at >= 0; }
+  util::Duration downtime() const {
+    return resumed() ? resumed_at - interrupted_at : -1.0;
+  }
+};
+
+class MigrationTracker {
+ public:
+  /// Opens a record when a job is interrupted.  A job has at most one open
+  /// record; repeated interruptions while pending update the open one.
+  MigrationRecord& open(const std::string& job_id,
+                        const std::string& from_node,
+                        agent::DepartureKind cause, util::SimTime at,
+                        double progress_at_interruption,
+                        double progress_restored, double lost_work_seconds);
+
+  /// Marks the open record resumed on `to_node`.
+  void resumed(const std::string& job_id, const std::string& to_node,
+               util::SimTime at, bool was_migrate_back);
+
+  /// Closes the open record without a resume (job finished or abandoned).
+  void abandon(const std::string& job_id);
+
+  bool has_open(const std::string& job_id) const {
+    return open_.contains(job_id);
+  }
+
+  const std::vector<MigrationRecord>& records() const { return records_; }
+
+  /// Records matching a cause.
+  std::vector<const MigrationRecord*> by_cause(agent::DepartureKind k) const;
+
+  /// Fraction of interruptions whose job resumed within `within` seconds.
+  double success_rate(agent::DepartureKind cause, util::Duration within) const;
+
+  /// Downtime distribution (resumed records only).
+  util::SampleSet downtimes(agent::DepartureKind cause) const;
+
+  /// Lost-work distribution in reference-GPU minutes.
+  util::SampleSet lost_work_minutes(agent::DepartureKind cause) const;
+
+  /// Of temporary-unavailability interruptions that resumed elsewhere, the
+  /// fraction later migrated back to the origin node.
+  double migrate_back_rate() const;
+
+  std::size_t interruption_count() const { return records_.size(); }
+
+ private:
+  std::vector<MigrationRecord> records_;
+  std::unordered_map<std::string, std::size_t> open_;  // job -> record index
+};
+
+}  // namespace gpunion::sched

@@ -1,0 +1,42 @@
+#include "sched/reliability.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gpunion::sched {
+
+double ReliabilityPredictor::decayed(const Entry& entry,
+                                     util::SimTime now) const {
+  const double dt = std::max(0.0, now - entry.last_update);
+  return entry.decayed_departures * std::exp2(-dt / half_life_);
+}
+
+void ReliabilityPredictor::record_departure(const std::string& machine_id,
+                                            util::SimTime now) {
+  Entry& entry = entries_[machine_id];
+  entry.decayed_departures = decayed(entry, now) + 1.0;
+  entry.last_update = now;
+}
+
+double ReliabilityPredictor::score(const std::string& machine_id,
+                                   util::SimTime now) const {
+  auto it = entries_.find(machine_id);
+  if (it == entries_.end()) return 1.0;
+  return 1.0 / (1.0 + decayed(it->second, now));
+}
+
+double ReliabilityPredictor::volatility(const std::string& machine_id,
+                                        util::SimTime now) const {
+  auto it = entries_.find(machine_id);
+  if (it == entries_.end()) return 0.0;
+  return decayed(it->second, now);
+}
+
+double ReliabilityPredictor::max_job_hours(double score) {
+  if (score > 0.8) return 1e9;  // effectively unlimited
+  // Linear from 24 h at 0.8 down to 2 h at 0.2.
+  const double clamped = std::clamp(score, 0.2, 0.8);
+  return 2.0 + (clamped - 0.2) / 0.6 * 22.0;
+}
+
+}  // namespace gpunion::sched

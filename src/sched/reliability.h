@@ -1,0 +1,50 @@
+// Provider reliability prediction.
+//
+// §3.2: the scheduler incorporates "provider reliability predictions and
+// degradation mechanisms".  Each departure adds one unit of evidence that
+// decays exponentially (half-life ~3 days), so a node's score recovers as
+// it behaves.  score = 1 / (1 + decayed_departures): 1.0 for a steady node,
+// ~0.5 after one recent departure, ~0.25 after three.
+//
+// Degradation: long jobs are kept off low-score nodes (max_job_hours),
+// bounding the work at risk per departure.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+
+#include "util/time.h"
+
+namespace gpunion::sched {
+
+class ReliabilityPredictor {
+ public:
+  explicit ReliabilityPredictor(util::Duration half_life = 3.0 * 86400.0)
+      : half_life_(half_life) {}
+
+  /// Records a departure (any kind) of the node at `now`.
+  void record_departure(const std::string& machine_id, util::SimTime now);
+
+  /// Reliability score in (0, 1]; 1.0 for unknown/steady nodes.
+  double score(const std::string& machine_id, util::SimTime now) const;
+
+  /// Decayed departure count (the volatility estimate).
+  double volatility(const std::string& machine_id, util::SimTime now) const;
+
+  /// Degradation rule: the longest job (reference-GPU hours) the scheduler
+  /// should place on a node with this score.  >= 0.8 -> unlimited;
+  /// linearly tightening to 2 h at score 0.2.
+  static double max_job_hours(double score);
+
+ private:
+  struct Entry {
+    double decayed_departures = 0;
+    util::SimTime last_update = 0;
+  };
+  double decayed(const Entry& entry, util::SimTime now) const;
+
+  util::Duration half_life_;
+  std::unordered_map<std::string, Entry> entries_;
+};
+
+}  // namespace gpunion::sched

@@ -1,0 +1,91 @@
+#include "sched/strategies.h"
+
+#include <algorithm>
+
+namespace gpunion::sched {
+
+std::string_view allocation_strategy_name(AllocationStrategy s) {
+  switch (s) {
+    case AllocationStrategy::kRoundRobin: return "round_robin";
+    case AllocationStrategy::kLeastLoaded: return "least_loaded";
+    case AllocationStrategy::kBestFit: return "best_fit";
+    case AllocationStrategy::kReliabilityAware: return "reliability_aware";
+  }
+  return "unknown";
+}
+
+bool node_eligible(const NodeInfo& node, const workload::JobSpec& job,
+                   bool cross_group_sharing,
+                   const ReliabilityPredictor& reliability, util::SimTime now,
+                   bool enforce_degradation) {
+  if (node.status != db::NodeStatus::kActive || !node.accepting) return false;
+  if (!cross_group_sharing && node.owner_group != job.owner_group) {
+    return false;
+  }
+  const auto& req = job.requirements;
+  if (node.free_gpus < req.gpu_count) return false;
+  if (node.gpu_memory_gb < req.gpu_memory_gb) return false;
+  if (node.compute_capability < req.min_compute_capability) return false;
+  if (enforce_degradation && job.type == workload::JobType::kTraining) {
+    const double score = reliability.score(node.machine_id, now);
+    const double hours = job.reference_duration / 3600.0;
+    if (hours > ReliabilityPredictor::max_job_hours(score)) return false;
+  }
+  return true;
+}
+
+const NodeInfo* NodeSelector::select(
+    const std::vector<const NodeInfo*>& eligible,
+    const workload::JobSpec& job, const ReliabilityPredictor& reliability,
+    util::SimTime now) {
+  if (eligible.empty()) return nullptr;
+
+  switch (strategy_) {
+    case AllocationStrategy::kRoundRobin: {
+      const NodeInfo* pick = eligible[rr_cursor_ % eligible.size()];
+      ++rr_cursor_;
+      return pick;
+    }
+    case AllocationStrategy::kLeastLoaded: {
+      // Most available capacity first (absolute free GPUs): big idle
+      // servers absorb work before single-GPU workstations.
+      return *std::max_element(
+          eligible.begin(), eligible.end(),
+          [](const NodeInfo* a, const NodeInfo* b) {
+            if (a->free_gpus != b->free_gpus) {
+              return a->free_gpus < b->free_gpus;
+            }
+            return a->machine_id > b->machine_id;
+          });
+    }
+    case AllocationStrategy::kBestFit: {
+      // Tightest VRAM fit keeps 80 GB A100s free for jobs that need them.
+      return *std::min_element(
+          eligible.begin(), eligible.end(),
+          [&job](const NodeInfo* a, const NodeInfo* b) {
+            const double slack_a =
+                a->gpu_memory_gb - job.requirements.gpu_memory_gb;
+            const double slack_b =
+                b->gpu_memory_gb - job.requirements.gpu_memory_gb;
+            if (slack_a != slack_b) return slack_a < slack_b;
+            return a->machine_id < b->machine_id;
+          });
+    }
+    case AllocationStrategy::kReliabilityAware: {
+      return *std::max_element(
+          eligible.begin(), eligible.end(),
+          [&reliability, now](const NodeInfo* a, const NodeInfo* b) {
+            const double score_a = reliability.score(a->machine_id, now);
+            const double score_b = reliability.score(b->machine_id, now);
+            if (score_a != score_b) return score_a < score_b;
+            if (a->free_gpus != b->free_gpus) {
+              return a->free_gpus < b->free_gpus;
+            }
+            return a->machine_id > b->machine_id;
+          });
+    }
+  }
+  return eligible.front();
+}
+
+}  // namespace gpunion::sched

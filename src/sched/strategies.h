@@ -1,0 +1,55 @@
+// Node-selection strategies.
+//
+// §3.2: "The scheduler implements multiple allocation strategies, including
+// distribution for fairness and assignment based on priority"; §3.5 names
+// the round-robin scheduler over the pending-request priority queue.
+// bench/ablation_strategies compares these head-to-head.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sched/directory.h"
+#include "sched/reliability.h"
+#include "workload/job.h"
+
+namespace gpunion::sched {
+
+enum class AllocationStrategy {
+  kRoundRobin,        // fairness: rotate across eligible providers
+  kLeastLoaded,       // spread: most free capacity first
+  kBestFit,           // pack: tightest VRAM fit, preserving big GPUs
+  kReliabilityAware,  // prefer steady providers (volatility prediction)
+};
+
+std::string_view allocation_strategy_name(AllocationStrategy s);
+
+/// Stateful selector (round-robin keeps a rotating cursor).
+class NodeSelector {
+ public:
+  explicit NodeSelector(AllocationStrategy strategy) : strategy_(strategy) {}
+
+  /// Picks a node among `eligible` (all already satisfy hard constraints).
+  /// Returns nullptr when the list is empty.
+  const NodeInfo* select(const std::vector<const NodeInfo*>& eligible,
+                         const workload::JobSpec& job,
+                         const ReliabilityPredictor& reliability,
+                         util::SimTime now);
+
+  AllocationStrategy strategy() const { return strategy_; }
+
+ private:
+  AllocationStrategy strategy_;
+  std::size_t rr_cursor_ = 0;
+};
+
+/// Hard eligibility: status/accepting/capacity/compatibility plus the
+/// reliability degradation rule.  `require_sharing` embeds the policy's
+/// cross-group switch; pass the job's group.
+bool node_eligible(const NodeInfo& node, const workload::JobSpec& job,
+                   bool cross_group_sharing,
+                   const ReliabilityPredictor& reliability, util::SimTime now,
+                   bool enforce_degradation);
+
+}  // namespace gpunion::sched

@@ -1,0 +1,43 @@
+#include "sim/event_queue.h"
+
+#include <cassert>
+
+namespace gpunion::sim {
+
+EventId EventQueue::push(util::SimTime t, Callback fn) {
+  assert(fn && "EventQueue::push requires a callable");
+  const EventId id = next_id_++;
+  heap_.push(Entry{t, next_seq_++, id});
+  callbacks_.emplace(id, std::move(fn));
+  return id;
+}
+
+bool EventQueue::cancel(EventId id) {
+  // The heap entry stays behind as a tombstone and is skipped in skim().
+  return callbacks_.erase(id) > 0;
+}
+
+void EventQueue::skim() const {
+  while (!heap_.empty() && !callbacks_.contains(heap_.top().id)) {
+    heap_.pop();
+  }
+}
+
+util::SimTime EventQueue::next_time() const {
+  skim();
+  return heap_.empty() ? util::kNever : heap_.top().time;
+}
+
+EventQueue::Event EventQueue::pop() {
+  skim();
+  assert(!heap_.empty() && "EventQueue::pop on empty queue");
+  const Entry entry = heap_.top();
+  heap_.pop();
+  auto it = callbacks_.find(entry.id);
+  assert(it != callbacks_.end());
+  Event event{entry.time, entry.id, std::move(it->second)};
+  callbacks_.erase(it);
+  return event;
+}
+
+}  // namespace gpunion::sim

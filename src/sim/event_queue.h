@@ -1,0 +1,68 @@
+// Priority event queue for the discrete-event kernel.
+//
+// Events fire in (time, insertion order) so simultaneous events are
+// deterministic.  Cancellation is O(1) via tombstones that are skipped when
+// popped.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "util/time.h"
+
+namespace gpunion::sim {
+
+using EventId = std::uint64_t;
+constexpr EventId kInvalidEvent = 0;
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Enqueues `fn` to fire at time `t`.  Returns a handle for cancel().
+  EventId push(util::SimTime t, Callback fn);
+
+  /// Cancels a pending event.  Returns false if the event already fired,
+  /// was cancelled, or never existed.
+  bool cancel(EventId id);
+
+  bool empty() const { return callbacks_.empty(); }
+  std::size_t size() const { return callbacks_.size(); }
+
+  /// Time of the earliest pending event; kNever when empty.
+  util::SimTime next_time() const;
+
+  /// Pops and returns the earliest live event.  Requires !empty().
+  struct Event {
+    util::SimTime time;
+    EventId id;
+    Callback fn;
+  };
+  Event pop();
+
+ private:
+  struct Entry {
+    util::SimTime time;
+    std::uint64_t seq;
+    EventId id;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  /// Removes cancelled entries from the head of the heap.
+  void skim() const;
+
+  mutable std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::unordered_map<EventId, Callback> callbacks_;  // live events only
+  std::uint64_t next_seq_ = 0;
+  EventId next_id_ = 1;
+};
+
+}  // namespace gpunion::sim

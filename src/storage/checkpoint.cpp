@@ -1,0 +1,35 @@
+#include "storage/checkpoint.h"
+
+#include "util/sha256.h"
+
+namespace gpunion::storage {
+
+std::string checkpoint_integrity_tag(const Checkpoint& c) {
+  util::Sha256 h;
+  h.update(c.job_id);
+  h.update("|");
+  h.update(std::to_string(c.seq));
+  h.update("|");
+  h.update(c.kind == CheckpointKind::kFull ? "full" : "incr");
+  h.update("|");
+  h.update(std::to_string(c.state_bytes));
+  h.update("|");
+  h.update(std::to_string(c.stored_bytes));
+  h.update("|");
+  h.update(std::to_string(c.progress));
+  h.update("|");
+  h.update(c.storage_node);
+  return h.hex_digest();
+}
+
+Checkpoint seal_checkpoint(Checkpoint c) {
+  c.integrity_tag = checkpoint_integrity_tag(c);
+  return c;
+}
+
+bool checkpoint_intact(const Checkpoint& c) {
+  return !c.integrity_tag.empty() &&
+         c.integrity_tag == checkpoint_integrity_tag(c);
+}
+
+}  // namespace gpunion::storage

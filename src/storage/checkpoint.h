@@ -1,0 +1,40 @@
+// Application-level checkpoint (ALC) records.
+//
+// §3.5: GPUnion uses application-level checkpoints — the user's training
+// script declares what constitutes recoverable state (model + optimizer
+// tensors, RNG state, data-loader cursor).  Checkpoints form a chain per
+// job: periodic full snapshots with incremental deltas between them ("only
+// modified memory pages and file system deltas are transmitted", §4).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/time.h"
+
+namespace gpunion::storage {
+
+enum class CheckpointKind { kFull, kIncremental };
+
+struct Checkpoint {
+  std::string job_id;
+  std::uint64_t seq = 0;            // position in the job's chain
+  CheckpointKind kind = CheckpointKind::kFull;
+  std::uint64_t state_bytes = 0;    // logical size of recoverable state
+  std::uint64_t stored_bytes = 0;   // bytes actually written (delta if incr.)
+  double progress = 0;              // training progress captured, [0, 1]
+  util::SimTime created_at = 0;
+  std::string storage_node;         // where the bytes live
+  std::string integrity_tag;        // sha256 over the metadata
+};
+
+/// Computes the integrity tag over all identifying fields.
+std::string checkpoint_integrity_tag(const Checkpoint& c);
+
+/// Fills `integrity_tag` and returns the checkpoint.
+Checkpoint seal_checkpoint(Checkpoint c);
+
+/// True when the stored tag matches a recomputation (bit-rot / tamper test).
+bool checkpoint_intact(const Checkpoint& c);
+
+}  // namespace gpunion::storage

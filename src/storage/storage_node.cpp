@@ -1,0 +1,21 @@
+#include "storage/storage_node.h"
+
+#include <algorithm>
+
+namespace gpunion::storage {
+
+util::Status StorageNode::reserve(std::uint64_t bytes) {
+  if (bytes > free_bytes()) {
+    return util::resource_exhausted_error(
+        "storage node " + id_ + " cannot fit " + std::to_string(bytes) +
+        " bytes (" + std::to_string(free_bytes()) + " free)");
+  }
+  used_ += bytes;
+  return util::Status();
+}
+
+void StorageNode::release(std::uint64_t bytes) {
+  used_ -= std::min(used_, bytes);
+}
+
+}  // namespace gpunion::storage

@@ -1,0 +1,36 @@
+// Storage capacity model for LAN-accessible checkpoint destinations.
+//
+// §3.2: "users can specify preferred storage locations for their workload
+// data, checkpoints, and outputs"; provider servers offer local scratch
+// while campus file servers hold persistent state.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace gpunion::storage {
+
+class StorageNode {
+ public:
+  StorageNode(std::string id, std::uint64_t capacity_bytes)
+      : id_(std::move(id)), capacity_(capacity_bytes) {}
+
+  const std::string& id() const { return id_; }
+  std::uint64_t capacity_bytes() const { return capacity_; }
+  std::uint64_t used_bytes() const { return used_; }
+  std::uint64_t free_bytes() const { return capacity_ - used_; }
+
+  /// Reserves space; kResourceExhausted when it does not fit.
+  util::Status reserve(std::uint64_t bytes);
+  /// Releases previously reserved space (clamped to used).
+  void release(std::uint64_t bytes);
+
+ private:
+  std::string id_;
+  std::uint64_t capacity_;
+  std::uint64_t used_ = 0;
+};
+
+}  // namespace gpunion::storage

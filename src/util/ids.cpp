@@ -1,0 +1,32 @@
+#include "util/ids.h"
+
+#include "util/sha256.h"
+
+namespace gpunion::util {
+
+std::string make_machine_id(std::string_view hostname, std::string_view salt) {
+  Sha256 h;
+  h.update(hostname);
+  h.update("|");
+  h.update(salt);
+  return "m-" + h.hex_digest().substr(0, 16);
+}
+
+std::string make_auth_token(Rng& rng) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string token(32, '0');
+  for (std::size_t i = 0; i < token.size(); i += 16) {
+    std::uint64_t v = rng.next_u64();
+    for (std::size_t j = 0; j < 16 && i + j < token.size(); ++j) {
+      token[i + j] = kHex[v & 0x0f];
+      v >>= 4;
+    }
+  }
+  return token;
+}
+
+std::string IdSequence::next() {
+  return prefix_ + "-" + std::to_string(next_++);
+}
+
+}  // namespace gpunion::util

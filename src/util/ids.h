@@ -1,0 +1,36 @@
+// Identifier and credential generation.
+//
+// Machine identifiers follow the paper's registration flow: a unique id is
+// derived from stable node attributes (hostname + fleet salt) via SHA-256;
+// authentication tokens are random 128-bit hex strings minted per session.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/rng.h"
+
+namespace gpunion::util {
+
+/// Deterministic machine identifier: "m-" + first 16 hex chars of
+/// SHA-256(hostname || salt).  Stable across restarts of the same node.
+std::string make_machine_id(std::string_view hostname, std::string_view salt);
+
+/// Random authentication token: 32 hex chars drawn from `rng`.
+std::string make_auth_token(Rng& rng);
+
+/// Sequential, human-readable ids: prefix-0, prefix-1, ...
+class IdSequence {
+ public:
+  explicit IdSequence(std::string prefix) : prefix_(std::move(prefix)) {}
+
+  std::string next();
+  std::uint64_t count() const { return next_; }
+
+ private:
+  std::string prefix_;
+  std::uint64_t next_ = 0;
+};
+
+}  // namespace gpunion::util

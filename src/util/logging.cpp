@@ -1,0 +1,46 @@
+#include "util/logging.h"
+
+#include <cstdio>
+
+namespace gpunion::util {
+namespace {
+
+const char* level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "D";
+    case LogLevel::kInfo: return "I";
+    case LogLevel::kWarn: return "W";
+    case LogLevel::kError: return "E";
+    case LogLevel::kOff: return "-";
+  }
+  return "?";
+}
+
+}  // namespace
+
+Logger::Logger() {
+  sink_ = [](LogLevel level, const std::string& message) {
+    std::fprintf(stderr, "%s %s\n", level_tag(level), message.c_str());
+  };
+}
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::set_sink(Sink sink) {
+  if (sink) {
+    sink_ = std::move(sink);
+  } else {
+    sink_ = [](LogLevel level, const std::string& message) {
+      std::fprintf(stderr, "%s %s\n", level_tag(level), message.c_str());
+    };
+  }
+}
+
+void Logger::write(LogLevel level, const std::string& message) {
+  if (enabled(level)) sink_(level, message);
+}
+
+}  // namespace gpunion::util

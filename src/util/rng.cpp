@@ -1,0 +1,136 @@
+#include "util/rng.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "util/sha256.h"
+
+namespace gpunion::util {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+inline std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) : seed_(seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : state_) s = splitmix64(sm);
+}
+
+Rng Rng::fork(std::string_view label) const {
+  // Hash (seed, label) to a new seed so that streams are independent and
+  // insensitive to draw order on the parent.
+  Sha256 h;
+  h.update(&seed_, sizeof(seed_));
+  h.update(label);
+  const auto d = h.digest();
+  std::uint64_t child_seed = 0;
+  for (int i = 0; i < 8; ++i) child_seed = (child_seed << 8) | d[i];
+  return Rng(child_seed);
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::next_double() {
+  // 53 high bits -> [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  assert(lo <= hi);
+  const auto range = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (range == 0) return static_cast<std::int64_t>(next_u64());  // full range
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = ~std::uint64_t{0} - (~std::uint64_t{0} % range);
+  std::uint64_t v;
+  do {
+    v = next_u64();
+  } while (v >= limit);
+  return lo + static_cast<std::int64_t>(v % range);
+}
+
+double Rng::uniform(double lo, double hi) {
+  assert(lo <= hi);
+  return lo + (hi - lo) * next_double();
+}
+
+double Rng::exponential(double rate) {
+  assert(rate > 0);
+  double u;
+  do {
+    u = next_double();
+  } while (u == 0.0);
+  return -std::log(u) / rate;
+}
+
+double Rng::normal(double mean, double stddev) {
+  double u1;
+  do {
+    u1 = next_double();
+  } while (u1 == 0.0);
+  const double u2 = next_double();
+  const double mag = std::sqrt(-2.0 * std::log(u1));
+  return mean + stddev * mag * std::cos(2.0 * M_PI * u2);
+}
+
+double Rng::lognormal(double mu, double sigma) {
+  return std::exp(normal(mu, sigma));
+}
+
+bool Rng::bernoulli(double p) { return next_double() < p; }
+
+int Rng::poisson(double lambda) {
+  assert(lambda >= 0);
+  if (lambda == 0) return 0;
+  if (lambda < 30.0) {
+    // Knuth's method.
+    const double l = std::exp(-lambda);
+    int k = 0;
+    double p = 1.0;
+    do {
+      ++k;
+      p *= next_double();
+    } while (p > l);
+    return k - 1;
+  }
+  // Normal approximation with continuity correction.
+  const double v = normal(lambda, std::sqrt(lambda));
+  return v < 0 ? 0 : static_cast<int>(v + 0.5);
+}
+
+std::size_t Rng::weighted_index(const std::vector<double>& weights) {
+  double total = 0;
+  for (double w : weights) {
+    assert(w >= 0);
+    total += w;
+  }
+  assert(total > 0 && "weighted_index requires a positive weight");
+  double r = uniform(0, total);
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    r -= weights[i];
+    if (r < 0) return i;
+  }
+  return weights.size() - 1;  // numeric edge: fall back to the last entry
+}
+
+}  // namespace gpunion::util

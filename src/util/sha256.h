@@ -1,0 +1,55 @@
+// Standalone SHA-256 (FIPS 180-4).
+//
+// Used for container-image digests, machine identifiers and checkpoint
+// integrity tags.  No external dependencies; verified against NIST test
+// vectors in tests/util/sha256_test.cpp.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace gpunion::util {
+
+/// Incremental SHA-256 hasher.
+///
+/// Usage:
+///   Sha256 h;
+///   h.update(data1); h.update(data2);
+///   std::string hex = h.hex_digest();
+class Sha256 {
+ public:
+  static constexpr std::size_t kDigestSize = 32;
+
+  Sha256();
+
+  /// Absorbs `data` into the hash state.
+  void update(std::string_view data);
+  void update(const void* data, std::size_t len);
+
+  /// Finalizes and returns the 32-byte digest.  The hasher must not be
+  /// updated afterwards; call reset() to reuse it.
+  std::array<std::uint8_t, kDigestSize> digest();
+
+  /// Finalizes and returns the digest as lowercase hex.
+  std::string hex_digest();
+
+  /// Returns the hasher to its initial state.
+  void reset();
+
+  /// One-shot convenience: hex digest of `data`.
+  static std::string hex_of(std::string_view data);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_;
+  std::array<std::uint8_t, 64> buffer_;
+  std::size_t buffer_len_ = 0;
+  std::uint64_t total_len_ = 0;
+  bool finalized_ = false;
+};
+
+}  // namespace gpunion::util

@@ -1,0 +1,67 @@
+#include "util/status.h"
+
+namespace gpunion::util {
+
+std::string_view status_code_name(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "ok";
+    case StatusCode::kInvalidArgument: return "invalid_argument";
+    case StatusCode::kNotFound: return "not_found";
+    case StatusCode::kAlreadyExists: return "already_exists";
+    case StatusCode::kPermissionDenied: return "permission_denied";
+    case StatusCode::kUnavailable: return "unavailable";
+    case StatusCode::kResourceExhausted: return "resource_exhausted";
+    case StatusCode::kFailedPrecondition: return "failed_precondition";
+    case StatusCode::kDeadlineExceeded: return "deadline_exceeded";
+    case StatusCode::kAborted: return "aborted";
+    case StatusCode::kInternal: return "internal";
+  }
+  return "unknown";
+}
+
+std::string Status::to_string() const {
+  if (is_ok()) return "ok";
+  std::string out(status_code_name(code_));
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.to_string();
+}
+
+Status invalid_argument_error(std::string msg) {
+  return Status(StatusCode::kInvalidArgument, std::move(msg));
+}
+Status not_found_error(std::string msg) {
+  return Status(StatusCode::kNotFound, std::move(msg));
+}
+Status already_exists_error(std::string msg) {
+  return Status(StatusCode::kAlreadyExists, std::move(msg));
+}
+Status permission_denied_error(std::string msg) {
+  return Status(StatusCode::kPermissionDenied, std::move(msg));
+}
+Status unavailable_error(std::string msg) {
+  return Status(StatusCode::kUnavailable, std::move(msg));
+}
+Status resource_exhausted_error(std::string msg) {
+  return Status(StatusCode::kResourceExhausted, std::move(msg));
+}
+Status failed_precondition_error(std::string msg) {
+  return Status(StatusCode::kFailedPrecondition, std::move(msg));
+}
+Status deadline_exceeded_error(std::string msg) {
+  return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+}
+Status aborted_error(std::string msg) {
+  return Status(StatusCode::kAborted, std::move(msg));
+}
+Status internal_error(std::string msg) {
+  return Status(StatusCode::kInternal, std::move(msg));
+}
+
+}  // namespace gpunion::util

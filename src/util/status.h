@@ -1,0 +1,127 @@
+// Recoverable-error handling for the GPUnion control plane.
+//
+// Operational failures (dispatch rejected, node departed, image not
+// allow-listed...) are normal events in a voluntary-sharing platform, so they
+// are reported by value via Status/StatusOr rather than exceptions.
+// Exceptions remain reserved for programmer and configuration errors.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace gpunion::util {
+
+/// Coarse error taxonomy shared across subsystems.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,    // caller bug or malformed request
+  kNotFound,           // id does not resolve
+  kAlreadyExists,      // duplicate registration / name
+  kPermissionDenied,   // auth token rejected, image not allow-listed
+  kUnavailable,        // node departed / paused / unreachable
+  kResourceExhausted,  // no GPU with the required capacity
+  kFailedPrecondition, // wrong lifecycle state for the operation
+  kDeadlineExceeded,   // grace period or RPC deadline elapsed
+  kAborted,            // operation cancelled by kill-switch
+  kInternal,           // invariant violation inside the platform
+};
+
+/// Human-readable name of a code ("kUnavailable" -> "unavailable").
+std::string_view status_code_name(StatusCode code);
+
+/// A success/failure result carrying a code and a message on failure.
+class [[nodiscard]] Status {
+ public:
+  /// Success.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status ok() { return Status(); }
+
+  bool is_ok() const { return code_ == StatusCode::kOk; }
+  explicit operator bool() const { return is_ok(); }
+
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "ok" or "unavailable: node n3 departed".
+  std::string to_string() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& s);
+
+Status invalid_argument_error(std::string msg);
+Status not_found_error(std::string msg);
+Status already_exists_error(std::string msg);
+Status permission_denied_error(std::string msg);
+Status unavailable_error(std::string msg);
+Status resource_exhausted_error(std::string msg);
+Status failed_precondition_error(std::string msg);
+Status deadline_exceeded_error(std::string msg);
+Status aborted_error(std::string msg);
+Status internal_error(std::string msg);
+
+/// Either a value or a failure Status.  Deliberately minimal: the platform
+/// only needs value(), status() and ok().
+template <typename T>
+class [[nodiscard]] StatusOr {
+ public:
+  StatusOr(T value) : value_(std::move(value)) {}          // NOLINT(implicit)
+  StatusOr(Status status) : status_(std::move(status)) {   // NOLINT(implicit)
+    assert(!status_.is_ok() && "StatusOr requires a non-ok Status");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok() && "StatusOr::value on error");
+    return *value_;
+  }
+  T& value() & {
+    assert(ok() && "StatusOr::value on error");
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok() && "StatusOr::value on error");
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `fallback` on error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;  // ok iff value_ holds
+};
+
+}  // namespace gpunion::util
+
+/// Propagates a non-ok Status from an expression, like absl's macro.
+#define GPUNION_RETURN_IF_ERROR(expr)                  \
+  do {                                                 \
+    ::gpunion::util::Status _st = (expr);              \
+    if (!_st.is_ok()) return _st;                      \
+  } while (false)

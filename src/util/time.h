@@ -1,0 +1,26 @@
+// Simulation time primitives.
+//
+// GPUnion experiments run on a discrete-event kernel; time is modelled as
+// seconds since simulation start in double precision.  Helpers below keep
+// call sites readable (`minutes(10)` instead of `600.0`).
+#pragma once
+
+namespace gpunion::util {
+
+/// Seconds since simulation start.
+using SimTime = double;
+
+/// Length of an interval, in seconds.
+using Duration = double;
+
+constexpr Duration seconds(double s) { return s; }
+constexpr Duration milliseconds(double ms) { return ms / 1000.0; }
+constexpr Duration minutes(double m) { return m * 60.0; }
+constexpr Duration hours(double h) { return h * 3600.0; }
+constexpr Duration days(double d) { return d * 86400.0; }
+constexpr Duration weeks(double w) { return w * 7.0 * 86400.0; }
+
+/// Sentinel for "no deadline / never".
+constexpr SimTime kNever = 1e300;
+
+}  // namespace gpunion::util

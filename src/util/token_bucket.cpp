@@ -1,0 +1,38 @@
+#include "util/token_bucket.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace gpunion::util {
+
+TokenBucket::TokenBucket(double rate, double burst)
+    : rate_(rate), burst_(burst), tokens_(burst) {
+  assert(rate > 0 && burst > 0);
+}
+
+void TokenBucket::refill(SimTime now) const {
+  if (now <= last_refill_) return;
+  tokens_ = std::min(burst_, tokens_ + (now - last_refill_) * rate_);
+  last_refill_ = now;
+}
+
+bool TokenBucket::try_consume(SimTime now, double tokens) {
+  refill(now);
+  if (tokens_ + 1e-12 < tokens) return false;
+  tokens_ -= tokens;
+  return true;
+}
+
+SimTime TokenBucket::next_available(SimTime now, double tokens) const {
+  if (tokens > burst_) return kNever;
+  refill(now);
+  if (tokens_ >= tokens) return now;
+  return now + (tokens - tokens_) / rate_;
+}
+
+double TokenBucket::available(SimTime now) const {
+  refill(now);
+  return tokens_;
+}
+
+}  // namespace gpunion::util

@@ -1,0 +1,38 @@
+// Token-bucket rate limiter.
+//
+// Provider agents rate-limit telemetry and registration retries with this;
+// the network model uses it to cap per-class backup traffic when the
+// operator configures a bandwidth budget.
+#pragma once
+
+#include "util/time.h"
+
+namespace gpunion::util {
+
+class TokenBucket {
+ public:
+  /// `rate` tokens refill per second, up to `burst` stored tokens.
+  /// Requires rate > 0 and burst > 0.  The bucket starts full.
+  TokenBucket(double rate, double burst);
+
+  /// Attempts to take `tokens` at time `now`; returns true on success.
+  bool try_consume(SimTime now, double tokens = 1.0);
+
+  /// Time at which `tokens` will be available (>= now); kNever if tokens
+  /// exceeds the burst size.
+  SimTime next_available(SimTime now, double tokens = 1.0) const;
+
+  double available(SimTime now) const;
+  double rate() const { return rate_; }
+  double burst() const { return burst_; }
+
+ private:
+  void refill(SimTime now) const;
+
+  double rate_;
+  double burst_;
+  mutable double tokens_;
+  mutable SimTime last_refill_ = 0.0;
+};
+
+}  // namespace gpunion::util

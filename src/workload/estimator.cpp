@@ -1,0 +1,95 @@
+#include "workload/estimator.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gpunion::workload {
+namespace {
+constexpr double kGiB = 1024.0 * 1024.0 * 1024.0;
+}
+
+double estimate_gpu_memory_gb(const ModelDescription& model) {
+  const double params = static_cast<double>(model.parameter_count);
+  const double param_bytes = model.mixed_precision ? 2.0 : 4.0;
+  double bytes = 0;
+  bytes += params * param_bytes;       // weights
+  bytes += params * param_bytes;       // gradients
+  bytes += params * 8.0;               // Adam m + v (fp32)
+  if (model.mixed_precision) {
+    bytes += params * 4.0;             // fp32 master weights
+  }
+  bytes += static_cast<double>(model.batch_size) *
+           static_cast<double>(model.activation_bytes_per_sample);
+  bytes += 1.5 * kGiB;                 // CUDA context + workspace
+  return bytes / kGiB;
+}
+
+JobRequirements estimate_requirements(const ModelDescription& model) {
+  JobRequirements requirements;
+  requirements.gpu_count = 1;
+  // Round the footprint up to the next GB and add 10% headroom against
+  // fragmentation (inaccurate estimates waste resources both ways, §5.2).
+  const double footprint = estimate_gpu_memory_gb(model);
+  requirements.gpu_memory_gb = std::ceil(footprint * 1.10);
+  // Footprints beyond consumer VRAM (24 GB) imply data-center parts.
+  requirements.min_compute_capability =
+      requirements.gpu_memory_gb > 24.0 ? 8.0 : 7.0;
+  return requirements;
+}
+
+StateProfile estimate_state(const ModelDescription& model) {
+  const double params = static_cast<double>(model.parameter_count);
+  StateProfile state;
+  // ALC payload: fp32 weights + Adam state (what train scripts torch.save).
+  state.state_bytes = static_cast<std::uint64_t>(params * (4.0 + 8.0));
+  // Optimizer state churns fully; weights partially: ~2/3 dirty between
+  // checkpoints is a reasonable default for minutes-apart checkpoints.
+  state.dirty_fraction = 0.35;
+  // Serialization throughput degrades slightly for huge states (allocator
+  // pressure): 2.5 GB/s small, 1.5 GB/s at tens of GB.
+  const double gb = static_cast<double>(state.state_bytes) / kGiB;
+  state.serialize_bytes_per_sec =
+      std::clamp(2.6e9 - gb * 5.0e7, 1.4e9, 2.6e9);
+  return state;
+}
+
+double estimate_reference_hours(const ModelDescription& model) {
+  const double seconds = static_cast<double>(model.total_steps) /
+                         std::max(0.01, model.reference_steps_per_sec);
+  return seconds / 3600.0;
+}
+
+ModelDescription resnet50_model() {
+  ModelDescription model;
+  model.parameter_count = 25'600'000;
+  model.mixed_precision = true;
+  model.batch_size = 64;
+  model.activation_bytes_per_sample = 40ULL << 20;
+  model.total_steps = 450'000;
+  model.reference_steps_per_sec = 5.0;
+  return model;
+}
+
+ModelDescription bert_base_model() {
+  ModelDescription model;
+  model.parameter_count = 110'000'000;
+  model.mixed_precision = true;
+  model.batch_size = 32;
+  model.activation_bytes_per_sample = 12ULL << 20;
+  model.total_steps = 250'000;
+  model.reference_steps_per_sec = 3.0;
+  return model;
+}
+
+ModelDescription gpt2_xl_model() {
+  ModelDescription model;
+  model.parameter_count = 1'500'000'000;
+  model.mixed_precision = true;
+  model.batch_size = 8;
+  model.activation_bytes_per_sample = 24ULL << 20;
+  model.total_steps = 300'000;
+  model.reference_steps_per_sec = 0.8;
+  return model;
+}
+
+}  // namespace gpunion::workload

@@ -1,0 +1,60 @@
+// User-transparent resource invocation (§5.2, "Opportunities").
+//
+// The paper notes that GPUnion "currently requires users to estimate their
+// own resource needs and then request those resources.  This process is
+// cumbersome, and inaccurate estimates can easily lead to resource waste."
+// This module implements the proposed improvement: users describe their
+// *model* (parameters, precision, batch) and the estimator derives the
+// resource request, the checkpointable-state profile and a runtime
+// prediction.
+//
+// Memory model (standard training accounting, documented in DESIGN.md):
+//   weights      P x bytes/param
+//   gradients    P x bytes/param
+//   optimizer    P x 8 bytes          (Adam: m + v in fp32)
+//   fp32 master  P x 4 bytes          (mixed precision only)
+//   activations  batch x activation_bytes_per_sample
+//   overhead     ~1.5 GB CUDA context + workspace
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "workload/job.h"
+
+namespace gpunion::workload {
+
+struct ModelDescription {
+  std::uint64_t parameter_count = 25'000'000;  // e.g. ResNet-50
+  bool mixed_precision = true;
+  int batch_size = 32;
+  /// Activation memory per sample at batch time (bytes); model-family
+  /// dependent (CNNs ~30-80 MB, transformers ~5-20 MB per sequence).
+  std::uint64_t activation_bytes_per_sample = 48ULL << 20;
+  /// Training length in optimizer steps.
+  std::uint64_t total_steps = 100'000;
+  /// Measured or estimated throughput on the reference GPU (steps/s).
+  double reference_steps_per_sec = 2.0;
+};
+
+/// VRAM footprint of training this model, in GB (device memory).
+double estimate_gpu_memory_gb(const ModelDescription& model);
+
+/// Scheduler-facing requirements: memory + compute-capability floor
+/// (mixed precision wants tensor-core parts, CC >= 7.0; large models with
+/// >= 30 GB footprints imply CC >= 8.0 data-center parts in this fleet).
+JobRequirements estimate_requirements(const ModelDescription& model);
+
+/// Checkpointable-state profile: weights + optimizer state (the ALC
+/// payload), with serialization throughput scaled to state size.
+StateProfile estimate_state(const ModelDescription& model);
+
+/// Reference-GPU hours to run `total_steps`.
+double estimate_reference_hours(const ModelDescription& model);
+
+/// Convenience archetypes for tests and examples.
+ModelDescription resnet50_model();
+ModelDescription bert_base_model();
+ModelDescription gpt2_xl_model();
+
+}  // namespace gpunion::workload

@@ -1,0 +1,113 @@
+#include "workload/generator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace gpunion::workload {
+namespace {
+
+/// True when the group's experiment cycle is in its active (burst) phase.
+bool in_burst(const GroupDemand& group, util::SimTime t) {
+  const double cycle = (group.burst_days + group.gap_days) * 86400.0;
+  if (cycle <= 0) return true;
+  const double pos =
+      std::fmod(t + group.phase_days * 86400.0, cycle);
+  return pos < group.burst_days * 86400.0;
+}
+
+}  // namespace
+
+double diurnal_factor(util::SimTime t) {
+  const double day_pos = std::fmod(t, 86400.0) / 86400.0;  // 0 = midnight
+  // Smooth day curve peaking around 15:00, ~0.05 at 04:00.
+  const double day_curve =
+      0.05 + 0.95 * std::max(0.0, std::sin((day_pos - 0.25) * M_PI / 0.625));
+  const int day_index = static_cast<int>(t / 86400.0) % 7;
+  const double weekend = (day_index == 5 || day_index == 6) ? 0.45 : 1.0;
+  return day_curve * weekend;
+}
+
+Trace generate_campus_trace(const std::vector<GroupDemand>& groups,
+                            util::SimTime horizon, util::Rng rng) {
+  Trace trace;
+  const auto& profiles = all_profiles();
+
+  for (const auto& group : groups) {
+    util::Rng group_rng = rng.fork("trace." + group.name);
+    int job_counter = 0;
+
+    // Training arrivals: thinned Poisson over hourly steps so the burst /
+    // gap cycle modulates the rate.
+    const double step = 3600.0;
+    for (util::SimTime t = 0; t < horizon; t += step) {
+      const double per_day = in_burst(group, t) ? group.burst_jobs_per_day
+                                                : group.idle_jobs_per_day;
+      const double lambda = per_day * step / 86400.0;
+      const int count = group_rng.poisson(lambda);
+      for (int i = 0; i < count; ++i) {
+        const util::SimTime at = t + group_rng.uniform(0, step);
+        if (at >= horizon) continue;
+        std::vector<double> mix = group.profile_mix;
+        mix.resize(profiles.size(), 0.0);
+        const auto& profile = profiles[group_rng.weighted_index(mix)];
+        const double hours = std::max(
+            0.5, profile.typical_hours * group.duration_scale *
+                     group_rng.lognormal(0.0, 0.45));
+        JobSpec job = make_training_job(
+            group.name + "-train-" + std::to_string(job_counter++), profile,
+            hours, group.name, at);
+        if (!group.owned_nodes.empty()) {
+          job.owner_node = group.owned_nodes[static_cast<std::size_t>(
+              group_rng.uniform_int(0,
+                                    static_cast<std::int64_t>(
+                                        group.owned_nodes.size()) -
+                                        1))];
+        }
+        trace.push_back(SubmitEvent{at, std::move(job)});
+      }
+    }
+
+    // Interactive sessions: diurnal thinned Poisson, 1-4 hour sessions.
+    for (util::SimTime t = 0; t < horizon; t += step) {
+      const double lambda =
+          group.sessions_per_day * diurnal_factor(t) * step / 86400.0 * 2.2;
+      // 2.2 renormalizes the diurnal curve so the configured daily mean holds.
+      const int count = group_rng.poisson(lambda);
+      for (int i = 0; i < count; ++i) {
+        const util::SimTime at = t + group_rng.uniform(0, step);
+        if (at >= horizon) continue;
+        const double hours = group_rng.uniform(1.0, 4.0);
+        JobSpec job = make_interactive_session(
+            group.name + "-sess-" + std::to_string(job_counter++), hours,
+            group.name, at);
+        if (!group.owned_nodes.empty()) {
+          job.owner_node = group.owned_nodes.front();
+        }
+        trace.push_back(SubmitEvent{at, std::move(job)});
+      }
+    }
+  }
+
+  std::sort(trace.begin(), trace.end(),
+            [](const SubmitEvent& a, const SubmitEvent& b) {
+              if (a.at != b.at) return a.at < b.at;
+              return a.job.id < b.job.id;
+            });
+  return trace;
+}
+
+TraceStats summarize(const Trace& trace) {
+  TraceStats stats;
+  for (const auto& event : trace) {
+    if (event.job.type == JobType::kInteractive) {
+      ++stats.interactive_sessions;
+    } else {
+      ++stats.training_jobs;
+      stats.total_training_hours += event.job.reference_duration / 3600.0;
+    }
+  }
+  return stats;
+}
+
+}  // namespace gpunion::workload

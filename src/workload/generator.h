@@ -1,0 +1,66 @@
+// Campus workload generation.
+//
+// Produces deterministic submission traces replayed identically under
+// GPUnion and every baseline, so utilization/session deltas (Fig. 2) come
+// from the platform, never from workload noise.  The model captures the
+// paper's imbalance dimensions (§1): unequal group demand, bursty experiment
+// cycles with idle gaps, diurnal interactive usage by students, and
+// heterogeneous hardware needs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/time.h"
+#include "workload/job.h"
+#include "workload/profiles.h"
+
+namespace gpunion::workload {
+
+/// One research group's demand pattern.
+struct GroupDemand {
+  std::string name;
+  /// Machine ids this group owns (its silo under manual coordination).
+  std::vector<std::string> owned_nodes;
+  /// Training arrivals per day while a burst (experiment cycle) is active.
+  double burst_jobs_per_day = 3.0;
+  /// Training arrivals per day between bursts.
+  double idle_jobs_per_day = 0.2;
+  /// Experiment cycle: `burst_days` active, then `gap_days` quiet.
+  double burst_days = 7.0;
+  double gap_days = 7.0;
+  /// Phase offset so groups' cycles interleave (the paper's imbalance).
+  double phase_days = 0.0;
+  /// Interactive session requests per day (students), diurnal.
+  double sessions_per_day = 4.0;
+  /// Weights over all_profiles() — groups differ in model scale.
+  std::vector<double> profile_mix = {0.4, 0.3, 0.2, 0.1};
+  /// Mean training-job length scale relative to profile typical_hours.
+  double duration_scale = 1.0;
+};
+
+struct SubmitEvent {
+  util::SimTime at = 0;
+  JobSpec job;
+};
+
+using Trace = std::vector<SubmitEvent>;
+
+struct TraceStats {
+  int training_jobs = 0;
+  int interactive_sessions = 0;
+  double total_training_hours = 0;  // reference-GPU hours
+};
+
+/// Generates the union of all groups' submissions over [0, horizon).
+Trace generate_campus_trace(const std::vector<GroupDemand>& groups,
+                            util::SimTime horizon, util::Rng rng);
+
+TraceStats summarize(const Trace& trace);
+
+/// Diurnal demand factor for interactive usage: near zero overnight,
+/// peaking in the afternoon; weekends damped.
+double diurnal_factor(util::SimTime t);
+
+}  // namespace gpunion::workload

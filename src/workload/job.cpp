@@ -1,0 +1,27 @@
+#include "workload/job.h"
+
+#include <cassert>
+
+namespace gpunion::workload {
+
+std::string_view job_type_name(JobType t) {
+  switch (t) {
+    case JobType::kTraining: return "training";
+    case JobType::kInteractive: return "interactive";
+    case JobType::kBatch: return "batch";
+  }
+  return "unknown";
+}
+
+double checkpoint_pause_seconds(const StateProfile& state) {
+  assert(state.serialize_bytes_per_sec > 0);
+  return static_cast<double>(state.state_bytes) /
+         state.serialize_bytes_per_sec;
+}
+
+double speed_factor(double gpu_tflops) {
+  assert(gpu_tflops > 0);
+  return gpu_tflops / kReferenceTflops;
+}
+
+}  // namespace gpunion::workload

@@ -1,0 +1,69 @@
+// Job model.
+//
+// GPUnion serves two execution modes (§3.3): interactive research
+// environments (Jupyter sessions) and batch/training workloads.  Training
+// jobs are modelled analytically: a job is `total work` expressed in
+// reference-GPU seconds; a faster GPU finishes proportionally sooner.
+// Progress is durable only up to the last checkpoint — the quantity at stake
+// in the Fig. 3 interruption experiments.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/time.h"
+
+namespace gpunion::workload {
+
+enum class JobType { kTraining, kInteractive, kBatch };
+
+std::string_view job_type_name(JobType t);
+
+/// Scheduler-visible resource constraints (§3.5: "Resource allocation
+/// decisions consider GPU memory requirements, CUDA compute capability
+/// constraints and provider volatility predictions").
+struct JobRequirements {
+  int gpu_count = 1;
+  double gpu_memory_gb = 8.0;
+  double min_compute_capability = 7.0;
+  int priority = 0;  // higher schedules first
+};
+
+/// Checkpointable-state profile of a training job (drives ALC costs).
+struct StateProfile {
+  std::uint64_t state_bytes = 2ULL << 30;  // model + optimizer state
+  /// Fraction of state rewritten between consecutive checkpoints (drives
+  /// incremental delta size).
+  double dirty_fraction = 0.35;
+  /// Local serialization throughput (bytes/s) when capturing a checkpoint;
+  /// memory-intensive models pause longer (§4 Training Impact).
+  double serialize_bytes_per_sec = 2.0e9;
+};
+
+struct JobSpec {
+  std::string id;
+  JobType type = JobType::kTraining;
+  std::string owner_group;      // research group submitting the job
+  std::string owner_node;       // non-empty: the group's home machine
+  JobRequirements requirements;
+  StateProfile state;
+  /// Total work in seconds on the reference GPU (RTX 3090) for training and
+  /// batch jobs; wall-clock session length for interactive jobs.
+  double reference_duration = 3600.0;
+  util::Duration checkpoint_interval = 600.0;
+  std::string image_ref = "pytorch:2.3-cuda12.1";
+  std::vector<std::string> preferred_storage;  // user-designated (§3.2)
+  util::SimTime submitted_at = 0;
+};
+
+/// Checkpoint capture pause for a given state profile, seconds.
+double checkpoint_pause_seconds(const StateProfile& state);
+
+/// Throughput of `gpu_tflops` relative to the reference GPU.
+double speed_factor(double gpu_tflops);
+
+/// Reference-GPU FP32 throughput (RTX 3090).
+constexpr double kReferenceTflops = 35.6;
+
+}  // namespace gpunion::workload

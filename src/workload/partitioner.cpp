@@ -1,0 +1,131 @@
+#include "workload/partitioner.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gpunion::workload {
+namespace {
+
+constexpr double kGiB = 1024.0 * 1024.0 * 1024.0;
+
+/// Per-stage fixed costs that do not shrink with the parameter share:
+/// activations for the stage's micro-batch plus CUDA context/workspace.
+double stage_fixed_gb(const ModelDescription& model) {
+  const double activations =
+      static_cast<double>(model.batch_size) *
+      static_cast<double>(model.activation_bytes_per_sample) / kGiB;
+  return activations + 1.5;
+}
+
+/// Parameter-proportional memory (weights/grads/optimizer/master copies).
+double param_gb_per_share(const ModelDescription& model) {
+  const double params = static_cast<double>(model.parameter_count);
+  const double param_bytes = model.mixed_precision ? 2.0 : 4.0;
+  double bytes = params * param_bytes * 2.0;  // weights + grads
+  bytes += params * 8.0;                      // Adam state
+  if (model.mixed_precision) bytes += params * 4.0;
+  return bytes / kGiB;
+}
+
+/// A device slot available for one pipeline stage.
+struct Slot {
+  const sched::NodeInfo* node;
+  double vram_gb;
+  double tflops;
+};
+
+}  // namespace
+
+util::StatusOr<PartitionPlan> plan_partition(
+    const ModelDescription& model,
+    const std::vector<const sched::NodeInfo*>& nodes) {
+  if (model.parameter_count == 0) {
+    return util::invalid_argument_error("model has no parameters");
+  }
+
+  const double fixed_gb = stage_fixed_gb(model);
+  const double param_gb = param_gb_per_share(model);
+  const double whole_gb = fixed_gb + param_gb;
+
+  // Expand nodes into per-GPU slots, fastest first (greedy placement wants
+  // the strongest devices carrying the largest shares).
+  std::vector<Slot> slots;
+  for (const sched::NodeInfo* node : nodes) {
+    if (node == nullptr || node->status != db::NodeStatus::kActive ||
+        !node->accepting) {
+      continue;
+    }
+    for (int g = 0; g < node->free_gpus; ++g) {
+      slots.push_back(Slot{node, node->gpu_memory_gb, node->gpu_tflops});
+    }
+  }
+  if (slots.empty()) {
+    return util::unavailable_error("no schedulable GPUs in the fleet");
+  }
+  std::stable_sort(slots.begin(), slots.end(),
+                   [](const Slot& a, const Slot& b) {
+                     if (a.tflops != b.tflops) return a.tflops > b.tflops;
+                     return a.vram_gb > b.vram_gb;
+                   });
+
+  // Single-device fit: prefer the fastest device that holds the whole model.
+  for (const Slot& slot : slots) {
+    if (whole_gb <= slot.vram_gb * 0.95) {
+      PartitionPlan plan;
+      PipelineStage stage;
+      stage.machine_id = slot.node->machine_id;
+      stage.parameter_share = 1.0;
+      stage.memory_gb = whole_gb;
+      stage.relative_throughput = speed_factor(slot.tflops);
+      plan.stages.push_back(stage);
+      plan.pipeline_speedup = stage.relative_throughput;
+      plan.total_memory_gb = whole_gb;
+      return plan;
+    }
+  }
+
+  // Pipeline split: each slot can host at most the parameter share that
+  // fits beside the per-stage fixed costs.
+  PartitionPlan plan;
+  double remaining_share = 1.0;
+  double total_tflops = 0;
+  for (const Slot& slot : slots) {
+    if (remaining_share <= 1e-9) break;
+    const double usable_gb = slot.vram_gb * 0.95 - fixed_gb;
+    if (usable_gb <= 0) continue;
+    const double max_share = usable_gb / param_gb;
+    const double share = std::min(remaining_share, max_share);
+    if (share <= 1e-6) continue;
+
+    PipelineStage stage;
+    stage.machine_id = slot.node->machine_id;
+    stage.parameter_share = share;
+    stage.memory_gb = fixed_gb + share * param_gb;
+    stage.relative_throughput = speed_factor(slot.tflops);
+    plan.stages.push_back(stage);
+    plan.total_memory_gb += stage.memory_gb;
+    total_tflops += slot.tflops;
+    remaining_share -= share;
+  }
+  if (remaining_share > 1e-9) {
+    return util::resource_exhausted_error(
+        "model does not fit the fleet: " + std::to_string(whole_gb) +
+        " GB needed, largest feasible placement leaves " +
+        std::to_string(remaining_share * 100.0) + "% of parameters unhosted");
+  }
+
+  // Pipeline rate: the slowest stage relative to its share of the work.
+  double rate = 1e300;
+  for (const auto& stage : plan.stages) {
+    if (stage.parameter_share <= 1e-9) continue;
+    rate = std::min(rate, stage.relative_throughput / stage.parameter_share);
+  }
+  // A pipeline also pays a communication/bubble penalty per extra stage
+  // (~4% each on a campus LAN).
+  const double penalty =
+      std::pow(0.96, static_cast<double>(plan.stages.size()) - 1.0);
+  plan.pipeline_speedup = rate * penalty;
+  return plan;
+}
+
+}  // namespace gpunion::workload

@@ -1,0 +1,52 @@
+// Heterogeneous large-model deployment (§5.2, "Opportunities").
+//
+// "Campus networks host a variety of GPU architectures whose memory
+// capacity, compute capability, and interconnect bandwidth differ
+// substantially.  This heterogeneity calls for new approaches to model
+// partitioning, layer placement, and load balancing."
+//
+// This planner splits a model that exceeds any single campus GPU into
+// pipeline stages sized to the *heterogeneous* devices actually available:
+// stage memory budgets follow each candidate GPU's VRAM, and stage compute
+// shares follow its throughput so the pipeline is balanced (the slowest
+// stage sets the rate).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sched/directory.h"
+#include "util/status.h"
+#include "workload/estimator.h"
+
+namespace gpunion::workload {
+
+/// One pipeline stage bound to a device class.
+struct PipelineStage {
+  std::string machine_id;
+  int gpu_count = 1;            // devices of this node used by the stage
+  double parameter_share = 0;   // fraction of model parameters hosted
+  double memory_gb = 0;         // VRAM demand of the stage
+  double relative_throughput = 0;  // stage speed at its parameter share
+};
+
+struct PartitionPlan {
+  std::vector<PipelineStage> stages;
+  /// Pipeline rate relative to the reference GPU running the (hypothetical)
+  /// whole model: min over stages of throughput_i / share_i.
+  double pipeline_speedup = 0;
+  double total_memory_gb = 0;
+};
+
+/// Plans a placement of `model` across `nodes` (schedulable snapshot).
+///
+///  - Single-device fit: returns a one-stage plan on the best single GPU.
+///  - Otherwise: greedily assigns parameter shares to the highest-throughput
+///    free devices, each stage capped by its device's VRAM (with the
+///    activation + overhead costs replicated per stage).
+///  - kResourceExhausted when even the whole fleet cannot hold the model.
+util::StatusOr<PartitionPlan> plan_partition(
+    const ModelDescription& model,
+    const std::vector<const sched::NodeInfo*>& nodes);
+
+}  // namespace gpunion::workload

@@ -1,0 +1,76 @@
+#include "workload/profiles.h"
+
+namespace gpunion::workload {
+
+const NamedProfile& cnn_small() {
+  static const NamedProfile p{
+      "cnn-small",
+      JobRequirements{1, 6.0, 7.0, 0},
+      StateProfile{400ULL << 20, 0.45, 2.5e9},
+      4.0};
+  return p;
+}
+
+const NamedProfile& cnn_large() {
+  static const NamedProfile p{
+      "cnn-large",
+      JobRequirements{1, 12.0, 7.0, 0},
+      StateProfile{1500ULL << 20, 0.40, 2.2e9},
+      10.0};
+  return p;
+}
+
+const NamedProfile& transformer_small() {
+  static const NamedProfile p{
+      "transformer-small",
+      JobRequirements{1, 16.0, 8.0, 0},
+      StateProfile{4ULL << 30, 0.30, 1.8e9},
+      16.0};
+  return p;
+}
+
+const NamedProfile& transformer_large() {
+  static const NamedProfile p{
+      "transformer-large",
+      JobRequirements{1, 40.0, 8.0, 0},
+      StateProfile{14ULL << 30, 0.25, 1.5e9},
+      36.0};
+  return p;
+}
+
+const std::vector<NamedProfile>& all_profiles() {
+  static const std::vector<NamedProfile> all = {
+      cnn_small(), cnn_large(), transformer_small(), transformer_large()};
+  return all;
+}
+
+JobSpec make_training_job(std::string id, const NamedProfile& profile,
+                          double hours, std::string owner_group,
+                          util::SimTime submitted_at) {
+  JobSpec spec;
+  spec.id = std::move(id);
+  spec.type = JobType::kTraining;
+  spec.owner_group = std::move(owner_group);
+  spec.requirements = profile.requirements;
+  spec.state = profile.state;
+  spec.reference_duration = hours * 3600.0;
+  spec.submitted_at = submitted_at;
+  return spec;
+}
+
+JobSpec make_interactive_session(std::string id, double hours,
+                                 std::string owner_group,
+                                 util::SimTime submitted_at) {
+  JobSpec spec;
+  spec.id = std::move(id);
+  spec.type = JobType::kInteractive;
+  spec.owner_group = std::move(owner_group);
+  spec.requirements = JobRequirements{1, 8.0, 7.0, 1};  // sessions are latency-sensitive
+  spec.reference_duration = hours * 3600.0;
+  spec.checkpoint_interval = 0;  // sessions do not checkpoint
+  spec.image_ref = "jupyter-dl:latest";
+  spec.submitted_at = submitted_at;
+  return spec;
+}
+
+}  // namespace gpunion::workload

@@ -1,0 +1,45 @@
+// Canonical workload profiles.
+//
+// §4 evaluates "PyTorch CNN and transformer models"; the profiles below give
+// them concrete state sizes and footprints.  Memory-intensive (transformer)
+// profiles have larger state and thus longer checkpoint pauses — the
+// sensitivity the paper reports under interruption.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "workload/job.h"
+
+namespace gpunion::workload {
+
+struct NamedProfile {
+  std::string name;
+  JobRequirements requirements;
+  StateProfile state;
+  double typical_hours;  // typical total work at the reference GPU
+};
+
+/// Small CNN (ResNet-ish): 0.4 GB state, light VRAM.
+const NamedProfile& cnn_small();
+/// Large CNN: 1.5 GB state.
+const NamedProfile& cnn_large();
+/// Small transformer: 4 GB state, moderate VRAM.
+const NamedProfile& transformer_small();
+/// Large transformer: 14 GB state, VRAM-heavy (A100/A6000-class).
+const NamedProfile& transformer_large();
+
+/// All four, in the order above.
+const std::vector<NamedProfile>& all_profiles();
+
+/// Builds a training JobSpec from a profile.
+JobSpec make_training_job(std::string id, const NamedProfile& profile,
+                          double hours, std::string owner_group,
+                          util::SimTime submitted_at);
+
+/// Builds an interactive (Jupyter) session spec: 1 GPU, small footprint.
+JobSpec make_interactive_session(std::string id, double hours,
+                                 std::string owner_group,
+                                 util::SimTime submitted_at);
+
+}  // namespace gpunion::workload

@@ -1,0 +1,57 @@
+#include "workload/provider_behavior.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gpunion::workload {
+
+std::vector<Interruption> generate_interruptions(
+    const std::vector<std::string>& machine_ids, util::SimTime horizon,
+    const InterruptionModel& model, util::Rng rng) {
+  std::vector<Interruption> out;
+  const double total_p =
+      model.p_scheduled + model.p_emergency + model.p_temporary;
+  for (const auto& machine : machine_ids) {
+    util::Rng node_rng = rng.fork("interruptions." + machine);
+    util::SimTime t = 0;
+    const double rate_per_sec = model.events_per_day / 86400.0;
+    while (true) {
+      if (rate_per_sec <= 0) break;
+      t += node_rng.exponential(rate_per_sec);
+      if (t >= horizon) break;
+
+      Interruption event;
+      event.at = t;
+      event.machine_id = machine;
+      const double pick = node_rng.uniform(0, total_p);
+      if (pick < model.p_scheduled) {
+        event.kind = agent::DepartureKind::kScheduled;
+        event.downtime = node_rng.uniform(model.min_downtime,
+                                          model.max_downtime);
+      } else if (pick < model.p_scheduled + model.p_emergency) {
+        event.kind = agent::DepartureKind::kEmergency;
+        // Emergencies need diagnosis/repair: bias towards longer outages.
+        event.downtime = node_rng.uniform(
+            (model.min_downtime + model.max_downtime) / 2.0,
+            model.max_downtime);
+      } else {
+        event.kind = agent::DepartureKind::kTemporary;
+        // Short blips around the configured median (lognormal-ish spread).
+        event.downtime = std::max(
+            60.0, model.temporary_downtime * node_rng.lognormal(0.0, 0.5));
+      }
+      out.push_back(event);
+      // Node is offline for `downtime`; next interruption can only start
+      // after it has been back for at least an hour.
+      t += event.downtime + 3600.0;
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Interruption& a, const Interruption& b) {
+              if (a.at != b.at) return a.at < b.at;
+              return a.machine_id < b.machine_id;
+            });
+  return out;
+}
+
+}  // namespace gpunion::workload

@@ -1,0 +1,45 @@
+// Provider interruption behaviour.
+//
+// §4: "We simulated three classes of provider behavior: scheduled departure
+// (provider initiates graceful shutdown), emergency departure (immediate
+// disconnection), and temporary unavailability.  Interruption frequency
+// varied from 0.5 to 3.2 events per day per node."  This module generates
+// deterministic interruption traces with those knobs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "agent/proto.h"
+#include "util/rng.h"
+#include "util/time.h"
+
+namespace gpunion::workload {
+
+struct Interruption {
+  util::SimTime at = 0;
+  std::string machine_id;
+  agent::DepartureKind kind = agent::DepartureKind::kScheduled;
+  /// Offline time before rejoin (temporary + scheduled providers return;
+  /// emergency departures return too, after a longer repair time).
+  util::Duration downtime = 3600.0;
+};
+
+struct InterruptionModel {
+  double events_per_day = 1.0;          // per node
+  double p_scheduled = 0.4;             // mix of the three classes
+  double p_emergency = 0.25;
+  double p_temporary = 0.35;
+  util::Duration min_downtime = 1800.0;   // 30 min
+  util::Duration max_downtime = 28800.0;  // 8 h
+  util::Duration temporary_downtime = 1200.0;  // 20 min median
+};
+
+/// Samples an interruption trace for `machine_ids` over [0, horizon).
+/// Events are sorted by time; two events for the same node never overlap
+/// (a node offline until t gets no new interruption before t + 1h).
+std::vector<Interruption> generate_interruptions(
+    const std::vector<std::string>& machine_ids, util::SimTime horizon,
+    const InterruptionModel& model, util::Rng rng);
+
+}  // namespace gpunion::workload

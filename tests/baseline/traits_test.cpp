@@ -1,0 +1,54 @@
+#include "baseline/traits.h"
+
+#include <gtest/gtest.h>
+
+namespace gpunion::baseline {
+namespace {
+
+TEST(TraitsTest, FivePlatformsInPaperOrder) {
+  const auto& platforms = table1_platforms();
+  ASSERT_EQ(platforms.size(), 5u);
+  EXPECT_EQ(platforms[0].platform, "OpenStack");
+  EXPECT_EQ(platforms[1].platform, "CloudStack");
+  EXPECT_EQ(platforms[2].platform, "OpenNebula");
+  EXPECT_EQ(platforms[3].platform, "Kubernetes");
+  EXPECT_EQ(platforms[4].platform, "GPUnion");
+}
+
+TEST(TraitsTest, OnlyGpunionIsVoluntaryAndAutonomous) {
+  for (const auto& platform : table1_platforms()) {
+    if (platform.platform == "GPUnion") {
+      EXPECT_EQ(platform.voluntary_participation, "Yes");
+      EXPECT_EQ(platform.provider_autonomy, "Full");
+      EXPECT_EQ(platform.fault_tolerance_model, "Workload");
+      EXPECT_EQ(platform.dynamic_node_joining, "Native");
+    } else {
+      EXPECT_EQ(platform.voluntary_participation, "No");
+      EXPECT_NE(platform.provider_autonomy, "Full");
+      EXPECT_EQ(platform.fault_tolerance_model, "Infrastructure");
+    }
+  }
+}
+
+TEST(TraitsTest, RenderedTableContainsAllRowsAndPlatforms) {
+  const std::string table = render_table1();
+  for (const auto& platform : table1_platforms()) {
+    EXPECT_NE(table.find(platform.platform), std::string::npos);
+  }
+  EXPECT_NE(table.find("Provider Autonomy"), std::string::npos);
+  EXPECT_NE(table.find("Campus Network Optimization"), std::string::npos);
+  EXPECT_NE(table.find("Campus LANs"), std::string::npos);
+}
+
+TEST(TraitsTest, TableRowsHaveEqualColumnStructure) {
+  const std::string table = render_table1();
+  // 1 header + 12 rows, all newline-terminated.
+  int lines = 0;
+  for (char c : table) {
+    if (c == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, 13);
+}
+
+}  // namespace
+}  // namespace gpunion::baseline

@@ -1,0 +1,42 @@
+#include "container/image.h"
+
+#include <gtest/gtest.h>
+
+namespace gpunion::container {
+namespace {
+
+TEST(ImageTest, DigestIsSha256Prefixed) {
+  const Image image = make_image("pytorch", "2.3", "nvidia/cuda", 1000);
+  EXPECT_EQ(image.digest.substr(0, 7), "sha256:");
+  EXPECT_EQ(image.digest.size(), 7u + 64u);
+}
+
+TEST(ImageTest, DigestDeterministic) {
+  const Image a = make_image("pytorch", "2.3", "nvidia/cuda", 1000, "m");
+  const Image b = make_image("pytorch", "2.3", "nvidia/cuda", 1000, "m");
+  EXPECT_EQ(a.digest, b.digest);
+}
+
+TEST(ImageTest, DigestChangesWithContent) {
+  const Image a = make_image("pytorch", "2.3", "nvidia/cuda", 1000, "m1");
+  const Image b = make_image("pytorch", "2.3", "nvidia/cuda", 1000, "m2");
+  const Image c = make_image("pytorch", "2.4", "nvidia/cuda", 1000, "m1");
+  const Image d = make_image("pytorch", "2.3", "nvidia/cuda", 1001, "m1");
+  EXPECT_NE(a.digest, b.digest);
+  EXPECT_NE(a.digest, c.digest);
+  EXPECT_NE(a.digest, d.digest);
+}
+
+TEST(ImageTest, ReferenceFormat) {
+  const Image image = make_image("pytorch", "2.3-cuda12.1", "base", 1);
+  EXPECT_EQ(image.reference(), "pytorch:2.3-cuda12.1");
+}
+
+TEST(ImageTest, RecomputeMatchesStored) {
+  const Image image = make_image("a", "b", "c", 42, "manifest");
+  EXPECT_EQ(compute_image_digest(image, "manifest"), image.digest);
+  EXPECT_NE(compute_image_digest(image, "tampered"), image.digest);
+}
+
+}  // namespace
+}  // namespace gpunion::container

@@ -1,0 +1,77 @@
+#include "container/registry.h"
+
+#include <gtest/gtest.h>
+
+namespace gpunion::container {
+namespace {
+
+Image test_image() {
+  return make_image("pytorch", "2.3", "nvidia/cuda:12.1-runtime", 6ULL << 30,
+                    "layers");
+}
+
+TEST(RegistryTest, PushAndResolve) {
+  ImageRegistry registry;
+  ASSERT_TRUE(registry.push(test_image()).is_ok());
+  auto resolved = registry.resolve("pytorch:2.3");
+  ASSERT_TRUE(resolved.ok());
+  EXPECT_EQ(resolved->digest, test_image().digest);
+}
+
+TEST(RegistryTest, ResolveUnknownFails) {
+  ImageRegistry registry;
+  EXPECT_EQ(registry.resolve("ghost:latest").status().code(),
+            util::StatusCode::kNotFound);
+}
+
+TEST(RegistryTest, RepushSameDigestIdempotent) {
+  ImageRegistry registry;
+  ASSERT_TRUE(registry.push(test_image()).is_ok());
+  EXPECT_TRUE(registry.push(test_image()).is_ok());
+  EXPECT_EQ(registry.image_count(), 1u);
+}
+
+TEST(RegistryTest, TagImmutability) {
+  ImageRegistry registry;
+  ASSERT_TRUE(registry.push(test_image()).is_ok());
+  Image retagged = make_image("pytorch", "2.3", "other-base", 1, "different");
+  EXPECT_EQ(registry.push(retagged).code(),
+            util::StatusCode::kAlreadyExists);
+}
+
+TEST(RegistryTest, VerifyRequiresAllowListedBase) {
+  ImageRegistry registry;
+  ASSERT_TRUE(registry.push(test_image()).is_ok());
+  // Base not allow-listed yet.
+  EXPECT_EQ(registry.verify_for_deployment(test_image()).code(),
+            util::StatusCode::kPermissionDenied);
+  registry.allow_base("nvidia/cuda:12.1-runtime");
+  EXPECT_TRUE(registry.verify_for_deployment(test_image()).is_ok());
+}
+
+TEST(RegistryTest, VerifyDetectsDigestTampering) {
+  ImageRegistry registry;
+  registry.allow_base("nvidia/cuda:12.1-runtime");
+  ASSERT_TRUE(registry.push(test_image()).is_ok());
+  Image tampered = test_image();
+  tampered.digest = "sha256:deadbeef";
+  const auto status = registry.verify_for_deployment(tampered);
+  EXPECT_EQ(status.code(), util::StatusCode::kPermissionDenied);
+  EXPECT_NE(status.message().find("digest mismatch"), std::string::npos);
+}
+
+TEST(RegistryTest, VerifyUnknownImage) {
+  ImageRegistry registry;
+  registry.allow_base("nvidia/cuda:12.1-runtime");
+  EXPECT_EQ(registry.verify_for_deployment(test_image()).code(),
+            util::StatusCode::kNotFound);
+}
+
+TEST(RegistryTest, PushRequiresNameAndDigest) {
+  ImageRegistry registry;
+  Image bad;
+  EXPECT_EQ(registry.push(bad).code(), util::StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace gpunion::container

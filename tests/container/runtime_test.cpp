@@ -1,0 +1,122 @@
+#include "container/runtime.h"
+
+#include <gtest/gtest.h>
+
+namespace gpunion::container {
+namespace {
+
+class RuntimeTest : public ::testing::Test {
+ protected:
+  RuntimeTest() : node_(hw::server_4xa6000("srv")), runtime_(node_, registry_) {
+    registry_.allow_base("base");
+    image_ = make_image("pytorch", "2.3", "base", 1000);
+    EXPECT_TRUE(registry_.push(image_).is_ok());
+  }
+
+  ContainerConfig config(std::vector<int> gpus) {
+    ContainerConfig cfg;
+    cfg.image = image_;
+    cfg.limits.gpu_indices = std::move(gpus);
+    cfg.limits.gpu_memory_gb = 16.0;
+    cfg.limits.host_memory_gb = 8.0;
+    cfg.limits.cpu_cores = 4.0;
+    return cfg;
+  }
+
+  hw::NodeModel node_;
+  ImageRegistry registry_;
+  ContainerRuntime runtime_;
+  Image image_;
+};
+
+TEST_F(RuntimeTest, CreateBindsGpus) {
+  auto id = runtime_.create(config({0, 1}), "job-1", 0.9, 0.0);
+  ASSERT_TRUE(id.ok()) << id.status();
+  EXPECT_EQ(node_.free_gpu_count(), 2);
+  EXPECT_EQ(runtime_.live_count(), 1u);
+  const Container* c = runtime_.find(*id);
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->state(), ContainerState::kCreated);
+}
+
+TEST_F(RuntimeTest, RejectsUnverifiedImage) {
+  auto cfg = config({0});
+  cfg.image = make_image("rogue", "1.0", "base", 1);  // never pushed
+  auto id = runtime_.create(cfg, "job", 0.9, 0.0);
+  EXPECT_FALSE(id.ok());
+  EXPECT_EQ(node_.free_gpu_count(), 4);  // nothing leaked
+}
+
+TEST_F(RuntimeTest, RejectsUnconfinedSeccomp) {
+  auto cfg = config({0});
+  cfg.seccomp = SeccompProfile::kUnconfined;
+  auto id = runtime_.create(cfg, "job", 0.9, 0.0);
+  EXPECT_EQ(id.status().code(), util::StatusCode::kPermissionDenied);
+}
+
+TEST_F(RuntimeTest, RejectsBusyGpu) {
+  ASSERT_TRUE(runtime_.create(config({0}), "job-1", 0.9, 0.0).ok());
+  auto second = runtime_.create(config({0}), "job-2", 0.9, 0.0);
+  EXPECT_FALSE(second.ok());
+}
+
+TEST_F(RuntimeTest, RejectsHostMemoryExhaustion) {
+  // Node has 384 GB; each container takes 8 -> 48 fit, but cpu runs out
+  // first (48 cores / 4 = 12).  Use bigger budgets to hit memory.
+  auto cfg = config({0});
+  cfg.limits.host_memory_gb = 300.0;
+  ASSERT_TRUE(runtime_.create(cfg, "job-1", 0.9, 0.0).ok());
+  auto cfg2 = config({1});
+  cfg2.limits.host_memory_gb = 100.0;
+  auto second = runtime_.create(cfg2, "job-2", 0.9, 0.0);
+  EXPECT_EQ(second.status().code(), util::StatusCode::kResourceExhausted);
+}
+
+TEST_F(RuntimeTest, ExitReleasesResources) {
+  auto id = runtime_.create(config({0, 1}), "job-1", 0.9, 0.0);
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(runtime_.start(*id, 1.0).is_ok());
+  ASSERT_TRUE(runtime_.exit(*id, 2.0).is_ok());
+  EXPECT_EQ(node_.free_gpu_count(), 4);
+  EXPECT_EQ(runtime_.live_count(), 0u);
+  // Resources can be re-used.
+  EXPECT_TRUE(runtime_.create(config({0, 1}), "job-2", 0.9, 3.0).ok());
+}
+
+TEST_F(RuntimeTest, KillAllIsKillSwitch) {
+  auto id1 = runtime_.create(config({0}), "job-1", 0.9, 0.0);
+  auto id2 = runtime_.create(config({1}), "job-2", 0.9, 0.0);
+  ASSERT_TRUE(id1.ok());
+  ASSERT_TRUE(id2.ok());
+  ASSERT_TRUE(runtime_.start(*id1, 1.0).is_ok());
+  // id2 intentionally left in kCreated: kill-switch must reap it too.
+  auto killed = runtime_.kill_all(5.0);
+  EXPECT_EQ(killed.size(), 2u);
+  EXPECT_EQ(node_.free_gpu_count(), 4);
+  EXPECT_EQ(runtime_.live_count(), 0u);
+  EXPECT_EQ(runtime_.find(*id1)->state(), ContainerState::kKilled);
+}
+
+TEST_F(RuntimeTest, CheckpointTransitions) {
+  auto id = runtime_.create(config({0}), "job", 0.9, 0.0);
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(runtime_.start(*id, 1.0).is_ok());
+  ASSERT_TRUE(runtime_.begin_checkpoint(*id, 2.0).is_ok());
+  EXPECT_FALSE(runtime_.begin_checkpoint(*id, 2.5).is_ok());
+  ASSERT_TRUE(runtime_.end_checkpoint(*id, 3.0).is_ok());
+}
+
+TEST_F(RuntimeTest, ImageCacheTracking) {
+  EXPECT_FALSE(runtime_.image_cached("pytorch:2.3"));
+  runtime_.mark_image_cached("pytorch:2.3");
+  EXPECT_TRUE(runtime_.image_cached("pytorch:2.3"));
+}
+
+TEST_F(RuntimeTest, UnknownContainerOperations) {
+  EXPECT_EQ(runtime_.start("ghost", 0.0).code(),
+            util::StatusCode::kNotFound);
+  EXPECT_EQ(runtime_.kill("ghost", 0.0).code(), util::StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace gpunion::container

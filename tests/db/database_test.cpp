@@ -1,0 +1,148 @@
+#include "db/database.h"
+
+#include <gtest/gtest.h>
+
+namespace gpunion::db {
+namespace {
+
+NodeRecord node(const std::string& id) {
+  NodeRecord record;
+  record.machine_id = id;
+  record.hostname = "host-" + id;
+  record.gpu_count = 1;
+  return record;
+}
+
+TEST(DatabaseTest, NodeUpsertAndLookup) {
+  SystemDatabase database;
+  ASSERT_TRUE(database.upsert_node(node("m-1")).is_ok());
+  auto found = database.node("m-1");
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(found->hostname, "host-m-1");
+  EXPECT_EQ(database.node("ghost").status().code(),
+            util::StatusCode::kNotFound);
+}
+
+TEST(DatabaseTest, EmptyMachineIdRejected) {
+  SystemDatabase database;
+  EXPECT_EQ(database.upsert_node(NodeRecord{}).code(),
+            util::StatusCode::kInvalidArgument);
+}
+
+TEST(DatabaseTest, StatusTransitions) {
+  SystemDatabase database;
+  ASSERT_TRUE(database.upsert_node(node("m-1")).is_ok());
+  ASSERT_TRUE(
+      database.set_node_status("m-1", NodeStatus::kUnavailable).is_ok());
+  EXPECT_EQ(database.node("m-1")->status, NodeStatus::kUnavailable);
+  EXPECT_EQ(database.nodes_with_status(NodeStatus::kUnavailable).size(), 1u);
+  EXPECT_EQ(database.nodes_with_status(NodeStatus::kActive).size(), 0u);
+}
+
+TEST(DatabaseTest, HeartbeatTouch) {
+  SystemDatabase database;
+  ASSERT_TRUE(database.upsert_node(node("m-1")).is_ok());
+  ASSERT_TRUE(database.touch_heartbeat("m-1", 42.0).is_ok());
+  EXPECT_DOUBLE_EQ(database.node("m-1")->last_heartbeat, 42.0);
+  EXPECT_EQ(database.touch_heartbeat("ghost", 1.0).code(),
+            util::StatusCode::kNotFound);
+}
+
+TEST(DatabaseTest, AllocationLedgerLifecycle) {
+  SystemDatabase database;
+  const auto id = database.open_allocation("job-1", "m-1", {0, 1}, 10.0);
+  EXPECT_GT(id, 0u);
+  ASSERT_TRUE(
+      database.close_allocation(id, AllocationOutcome::kCompleted, 20.0)
+          .is_ok());
+  const auto rows = database.allocations_for_job("job-1");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].machine_id, "m-1");
+  EXPECT_EQ(rows[0].gpu_indices.size(), 2u);
+  EXPECT_DOUBLE_EQ(rows[0].ended_at, 20.0);
+  EXPECT_EQ(rows[0].outcome, AllocationOutcome::kCompleted);
+}
+
+TEST(DatabaseTest, DoubleCloseRejected) {
+  SystemDatabase database;
+  const auto id = database.open_allocation("job-1", "m-1", {0}, 10.0);
+  ASSERT_TRUE(database.close_allocation(id, AllocationOutcome::kKilled, 20.0)
+                  .is_ok());
+  EXPECT_EQ(
+      database.close_allocation(id, AllocationOutcome::kCompleted, 30.0)
+          .code(),
+      util::StatusCode::kFailedPrecondition);
+}
+
+TEST(DatabaseTest, QueuePriorityThenFifo) {
+  SystemDatabase database;
+  database.enqueue_request({"low-1", 0, 1.0});
+  database.enqueue_request({"high-1", 5, 2.0});
+  database.enqueue_request({"low-2", 0, 3.0});
+  database.enqueue_request({"high-2", 5, 4.0});
+  EXPECT_EQ(database.pop_request()->job_id, "high-1");
+  EXPECT_EQ(database.pop_request()->job_id, "high-2");
+  EXPECT_EQ(database.pop_request()->job_id, "low-1");
+  EXPECT_EQ(database.pop_request()->job_id, "low-2");
+  EXPECT_FALSE(database.pop_request().has_value());
+}
+
+TEST(DatabaseTest, QueueFrontInsertion) {
+  SystemDatabase database;
+  database.enqueue_request({"a", 0, 1.0});
+  database.enqueue_request_front({"displaced", 0, 0.5});
+  EXPECT_EQ(database.pop_request()->job_id, "displaced");
+  EXPECT_EQ(database.pop_request()->job_id, "a");
+}
+
+TEST(DatabaseTest, RemoveRequest) {
+  SystemDatabase database;
+  database.enqueue_request({"a", 0, 1.0});
+  database.enqueue_request({"b", 0, 2.0});
+  EXPECT_TRUE(database.remove_request("a"));
+  EXPECT_FALSE(database.remove_request("a"));
+  EXPECT_EQ(database.queue_depth(), 1u);
+  EXPECT_EQ(database.pop_request()->job_id, "b");
+}
+
+TEST(DatabaseTest, MetricsRingBuffer) {
+  DatabaseConfig config;
+  config.history_limit = 3;
+  SystemDatabase database(config);
+  for (int i = 0; i < 5; ++i) {
+    database.record_metric("util", i, i * 10.0);
+  }
+  const auto& series = database.series("util");
+  ASSERT_EQ(series.size(), 3u);
+  EXPECT_DOUBLE_EQ(series.front().value, 20.0);  // oldest kept is i=2
+  EXPECT_DOUBLE_EQ(series.back().value, 40.0);
+}
+
+TEST(DatabaseTest, SeriesNamesSorted) {
+  SystemDatabase database;
+  database.record_metric("zeta", 0, 1);
+  database.record_metric("alpha", 0, 1);
+  EXPECT_EQ(database.series_names(),
+            (std::vector<std::string>{"alpha", "zeta"}));
+}
+
+TEST(DatabaseTest, ContentionModelSaturates) {
+  SystemDatabase database;  // default service time 0.8 ms -> mu = 1250/s
+  const double light = database.estimated_latency(100.0);
+  const double heavy = database.estimated_latency(1200.0);
+  EXPECT_LT(light, 0.001);
+  EXPECT_GT(heavy, 10 * light);
+  EXPECT_EQ(database.estimated_latency(1250.0), util::kNever);
+  EXPECT_EQ(database.estimated_latency(2000.0), util::kNever);
+}
+
+TEST(DatabaseTest, OpCounting) {
+  SystemDatabase database;
+  const auto before = database.op_count();
+  ASSERT_TRUE(database.upsert_node(node("m-1")).is_ok());
+  (void)database.nodes();
+  EXPECT_EQ(database.op_count(), before + 2);
+}
+
+}  // namespace
+}  // namespace gpunion::db

@@ -1,0 +1,120 @@
+// Client API behaviour against a live platform.
+#include "gpunion/client.h"
+
+#include <gtest/gtest.h>
+
+namespace gpunion {
+namespace {
+
+class ClientTest : public ::testing::Test {
+ protected:
+  ClientTest() : env_(77), platform_(env_, paper_campus()) {
+    platform_.start();
+    env_.run_until(5.0);
+  }
+
+  sim::Environment env_;
+  Platform platform_;
+};
+
+TEST_F(ClientTest, GeneratesSequentialGroupScopedIds) {
+  Client client(platform_, "vision");
+  auto a = client.submit_training(workload::cnn_small(), 0.1);
+  auto b = client.submit_training(workload::cnn_small(), 0.1);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*a, "vision-job-0");
+  EXPECT_EQ(*b, "vision-job-1");
+}
+
+TEST_F(ClientTest, RejectsNonPositiveDurations) {
+  Client client(platform_, "vision");
+  EXPECT_FALSE(client.submit_training(workload::cnn_small(), 0.0).ok());
+  EXPECT_FALSE(client.submit_training(workload::cnn_small(), -1.0).ok());
+  EXPECT_FALSE(client.request_session(0.0).ok());
+}
+
+TEST_F(ClientTest, OptionsPropagateToJobSpec) {
+  Client client(platform_, "bio");
+  SubmitOptions options;
+  options.checkpoint_interval = util::minutes(7);
+  options.preferred_storage = {"nas-campus"};
+  options.priority = 3;
+  options.home_hostname = "srv-bio-0";
+  auto job = client.submit_training(workload::cnn_large(), 1.0, options);
+  ASSERT_TRUE(job.ok());
+  const auto* record = client.status(*job);
+  ASSERT_NE(record, nullptr);
+  EXPECT_DOUBLE_EQ(record->spec.checkpoint_interval, util::minutes(7));
+  EXPECT_EQ(record->spec.preferred_storage,
+            std::vector<std::string>{"nas-campus"});
+  EXPECT_EQ(record->spec.requirements.priority, 3);
+  EXPECT_EQ(record->spec.owner_node, Platform::machine_id_for("srv-bio-0"));
+}
+
+TEST_F(ClientTest, SubmitModelEstimatesAndRuns) {
+  Client client(platform_, "nlp");
+  auto job = client.submit_model(workload::bert_base_model());
+  ASSERT_TRUE(job.ok()) << job.status();
+  const auto* record = client.status(*job);
+  ASSERT_NE(record, nullptr);
+  // BERT-base fits a consumer GPU; requirements were estimated, not given.
+  EXPECT_GT(record->spec.requirements.gpu_memory_gb, 2.0);
+  EXPECT_LE(record->spec.requirements.gpu_memory_gb, 24.0);
+  EXPECT_GT(record->spec.state.state_bytes, 1ULL << 30);
+  env_.run_until(env_.now() + util::minutes(2));
+  EXPECT_EQ(record->phase, sched::JobPhase::kRunning);
+}
+
+TEST_F(ClientTest, SubmitModelRoutesBigModelsToBigGpus) {
+  Client client(platform_, "theory");
+  auto job = client.submit_model(workload::gpt2_xl_model());
+  ASSERT_TRUE(job.ok());
+  env_.run_until(env_.now() + util::minutes(2));
+  const auto* record = client.status(*job);
+  ASSERT_EQ(record->phase, sched::JobPhase::kRunning);
+  const auto* node = platform_.coordinator().directory().find(record->node);
+  ASSERT_NE(node, nullptr);
+  // > 24 GB footprint: only the A100 or A6000 servers qualify.
+  EXPECT_GE(node->gpu_memory_gb, 48.0);
+}
+
+TEST_F(ClientTest, SubmitModelRejectsEmptyModel) {
+  Client client(platform_, "nlp");
+  workload::ModelDescription empty;
+  empty.parameter_count = 0;
+  EXPECT_FALSE(client.submit_model(empty).ok());
+}
+
+TEST_F(ClientTest, CancelThroughClient) {
+  Client client(platform_, "vision");
+  auto job = client.submit_training(workload::cnn_small(), 2.0);
+  ASSERT_TRUE(job.ok());
+  env_.run_until(env_.now() + 30.0);
+  ASSERT_TRUE(client.cancel(*job).is_ok());
+  env_.run_until(env_.now() + 30.0);
+  EXPECT_EQ(client.status(*job)->phase, sched::JobPhase::kCancelled);
+}
+
+TEST_F(ClientTest, StatusUnknownJobIsNull) {
+  Client client(platform_, "vision");
+  EXPECT_EQ(client.status("ghost"), nullptr);
+}
+
+TEST(CampusConfigTest, PaperFleetShape) {
+  const CampusConfig config = paper_campus();
+  ASSERT_EQ(config.nodes.size(), 11u);
+  int gpus = 0;
+  int workstations = 0;
+  for (const auto& node : config.nodes) {
+    gpus += static_cast<int>(node.spec.gpus.size());
+    if (node.spec.gpus.size() == 1) ++workstations;
+  }
+  EXPECT_EQ(gpus, 22);        // 8x1 + 8 + 2 + 4
+  EXPECT_EQ(workstations, 8); // "8 servers functioned as workstations"
+  EXPECT_EQ(config.storage.size(), 1u);
+  EXPECT_EQ(paper_groups().size(), 5u);
+}
+
+}  // namespace
+}  // namespace gpunion

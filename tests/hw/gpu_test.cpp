@@ -1,0 +1,66 @@
+#include "hw/gpu.h"
+
+#include <gtest/gtest.h>
+
+namespace gpunion::hw {
+namespace {
+
+TEST(GpuSpecTest, CatalogMatchesDatasheets) {
+  EXPECT_DOUBLE_EQ(gpu_spec(GpuArch::kRtx3090).memory_gb, 24.0);
+  EXPECT_DOUBLE_EQ(gpu_spec(GpuArch::kRtx4090).compute_capability, 8.9);
+  EXPECT_DOUBLE_EQ(gpu_spec(GpuArch::kA100).memory_gb, 80.0);
+  EXPECT_DOUBLE_EQ(gpu_spec(GpuArch::kA6000).memory_gb, 48.0);
+  // The 4090 is the fastest FP32 part in the fleet.
+  EXPECT_GT(gpu_spec(GpuArch::kRtx4090).fp32_tflops,
+            gpu_spec(GpuArch::kA100).fp32_tflops);
+}
+
+TEST(GpuDeviceTest, AllocateRelease) {
+  GpuDevice gpu(GpuArch::kRtx3090, 0);
+  EXPECT_FALSE(gpu.allocated());
+  gpu.allocate("job-1", 8.0, 0.9, 0.0);
+  EXPECT_TRUE(gpu.allocated());
+  EXPECT_EQ(gpu.holder(), "job-1");
+  EXPECT_DOUBLE_EQ(gpu.memory_used_gb(), 8.0);
+  gpu.release(100.0);
+  EXPECT_FALSE(gpu.allocated());
+  EXPECT_DOUBLE_EQ(gpu.memory_used_gb(), 0.0);
+}
+
+TEST(GpuDeviceTest, IdlePowerAndLoadPower) {
+  GpuDevice gpu(GpuArch::kRtx3090, 0);
+  EXPECT_DOUBLE_EQ(gpu.power_watts(), 25.0);
+  gpu.allocate("job", 4.0, 1.0, 0.0);
+  EXPECT_DOUBLE_EQ(gpu.power_watts(), 350.0);
+}
+
+TEST(GpuDeviceTest, TemperatureRisesUnderLoad) {
+  GpuDevice gpu(GpuArch::kRtx4090, 0);
+  const double idle_temp = gpu.temperature_c(0.0);
+  EXPECT_NEAR(idle_temp, 36.0, 0.5);
+  gpu.allocate("job", 10.0, 1.0, 0.0);
+  const double shortly = gpu.temperature_c(10.0);
+  const double later = gpu.temperature_c(600.0);
+  EXPECT_GT(shortly, idle_temp);
+  EXPECT_GT(later, shortly);
+  EXPECT_NEAR(later, 78.0, 1.0);  // steady state at full load
+}
+
+TEST(GpuDeviceTest, TemperatureCoolsAfterRelease) {
+  GpuDevice gpu(GpuArch::kRtx3090, 0);
+  gpu.allocate("job", 4.0, 1.0, 0.0);
+  const double hot = gpu.temperature_c(600.0);
+  gpu.release(600.0);
+  const double cooling = gpu.temperature_c(700.0);
+  const double cold = gpu.temperature_c(2000.0);
+  EXPECT_LT(cooling, hot);
+  EXPECT_NEAR(cold, 36.0, 1.0);
+}
+
+TEST(GpuArchTest, Names) {
+  EXPECT_EQ(gpu_arch_name(GpuArch::kRtx3090), "RTX3090");
+  EXPECT_EQ(gpu_arch_name(GpuArch::kA100), "A100");
+}
+
+}  // namespace
+}  // namespace gpunion::hw

@@ -1,0 +1,77 @@
+#include "hw/node.h"
+
+#include <gtest/gtest.h>
+
+namespace gpunion::hw {
+namespace {
+
+TEST(NodeModelTest, FleetBuilders) {
+  NodeModel ws(workstation_3090("ws-0"));
+  EXPECT_EQ(ws.gpu_count(), 1u);
+  NodeModel big(server_8x4090("srv-0"));
+  EXPECT_EQ(big.gpu_count(), 8u);
+  NodeModel a100(server_2xa100("srv-1"));
+  EXPECT_EQ(a100.gpu_count(), 2u);
+  EXPECT_DOUBLE_EQ(a100.gpu(0).spec().memory_gb, 80.0);
+  NodeModel a6000(server_4xa6000("srv-2"));
+  EXPECT_EQ(a6000.gpu_count(), 4u);
+}
+
+TEST(NodeModelTest, FindGpusRespectsConstraints) {
+  NodeModel node(server_2xa100("srv"));
+  auto found = node.find_gpus(1, 40.0, 8.0);
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(found->size(), 1u);
+  // A100 is CC 8.0; requiring 8.6 must fail.
+  EXPECT_FALSE(node.find_gpus(1, 40.0, 8.6).has_value());
+  // More memory than any device.
+  EXPECT_FALSE(node.find_gpus(1, 200.0, 7.0).has_value());
+  // More GPUs than the node has.
+  EXPECT_FALSE(node.find_gpus(3, 10.0, 7.0).has_value());
+}
+
+TEST(NodeModelTest, AllocateReleaseCycle) {
+  NodeModel node(server_8x4090("srv"));
+  auto gpus = node.find_gpus(2, 10.0, 8.0);
+  ASSERT_TRUE(gpus.has_value());
+  ASSERT_TRUE(node.allocate(*gpus, "job-1", 10.0, 0.9, 0.0).is_ok());
+  EXPECT_EQ(node.free_gpu_count(), 6);
+  EXPECT_DOUBLE_EQ(node.busy_fraction(), 0.25);
+  EXPECT_EQ(node.release("job-1", 1.0), 2);
+  EXPECT_EQ(node.free_gpu_count(), 8);
+}
+
+TEST(NodeModelTest, DoubleAllocateRejected) {
+  NodeModel node(workstation_3090("ws"));
+  ASSERT_TRUE(node.allocate({0}, "job-1", 8.0, 0.9, 0.0).is_ok());
+  auto again = node.allocate({0}, "job-2", 8.0, 0.9, 0.0);
+  EXPECT_EQ(again.code(), util::StatusCode::kFailedPrecondition);
+}
+
+TEST(NodeModelTest, AllocateValidatesIndices) {
+  NodeModel node(workstation_3090("ws"));
+  EXPECT_EQ(node.allocate({5}, "job", 8.0, 0.9, 0.0).code(),
+            util::StatusCode::kInvalidArgument);
+  EXPECT_EQ(node.allocate({}, "job", 8.0, 0.9, 0.0).code(),
+            util::StatusCode::kInvalidArgument);
+}
+
+TEST(NodeModelTest, AllocateValidatesMemory) {
+  NodeModel node(workstation_3090("ws"));
+  EXPECT_EQ(node.allocate({0}, "job", 48.0, 0.9, 0.0).code(),
+            util::StatusCode::kResourceExhausted);
+}
+
+TEST(NodeModelTest, ReleaseUnknownWorkloadIsZero) {
+  NodeModel node(workstation_3090("ws"));
+  EXPECT_EQ(node.release("ghost", 0.0), 0);
+}
+
+TEST(NodeModelTest, FreeGpusListsIndices) {
+  NodeModel node(server_4xa6000("srv"));
+  ASSERT_TRUE(node.allocate({1, 2}, "job", 10.0, 0.5, 0.0).is_ok());
+  EXPECT_EQ(node.free_gpus(), (std::vector<int>{0, 3}));
+}
+
+}  // namespace
+}  // namespace gpunion::hw

@@ -1,0 +1,165 @@
+// Fault-injection tests: lossy networks, flapping providers, storage
+// exhaustion, cascade failures — the platform must degrade gracefully,
+// never wedge.
+#include <gtest/gtest.h>
+
+#include "gpunion/client.h"
+#include "gpunion/platform.h"
+
+namespace gpunion {
+namespace {
+
+TEST(FaultInjectionTest, SurvivesLossyControlPlane) {
+  sim::Environment env(101);
+  CampusConfig config = paper_campus();
+  config.network.drop_probability = 0.05;  // 5% of all messages vanish
+  Platform platform(env, config);
+  platform.start();
+  env.run_until(10.0);
+
+  Client client(platform, "vision");
+  std::vector<std::string> jobs;
+  for (int i = 0; i < 6; ++i) {
+    auto job = client.submit_training(workload::cnn_small(), 0.5);
+    if (job.ok()) jobs.push_back(*job);
+  }
+  env.run_until(env.now() + util::hours(4));
+  // Lost dispatches / acks are retried via timeouts; everything completes.
+  int completed = 0;
+  for (const auto& job : jobs) {
+    if (client.status(job)->phase == sched::JobPhase::kCompleted) ++completed;
+  }
+  EXPECT_EQ(completed, static_cast<int>(jobs.size()));
+}
+
+TEST(FaultInjectionTest, FlappingProviderDoesNotWedgeScheduler) {
+  sim::Environment env(102);
+  Platform platform(env, paper_campus());
+  platform.start();
+  env.run_until(5.0);
+
+  Client client(platform, "nlp");
+  auto job = client.submit_training(workload::cnn_small(), 2.0);
+  ASSERT_TRUE(job.ok());
+  env.run_until(env.now() + util::minutes(12));
+
+  // One workstation flaps every ~2 minutes for an hour.
+  agent::ProviderAgent* flapper = platform.agent_by_hostname("ws-vision-0");
+  for (int i = 0; i < 15; ++i) {
+    env.schedule_at(env.now() + util::minutes(2.0 + 4.0 * i),
+                    [&platform, flapper] {
+      if (flapper->state() == agent::AgentState::kActive) {
+        platform.coordinator().set_cause_hint(
+            flapper->machine_id(), agent::DepartureKind::kTemporary);
+        flapper->depart_emergency();
+      } else if (flapper->state() == agent::AgentState::kDeparted) {
+        flapper->rejoin();
+      }
+    });
+  }
+  env.run_until(env.now() + util::hours(4));
+  EXPECT_EQ(platform.coordinator().job(*job)->phase,
+            sched::JobPhase::kCompleted);
+  // The flapper ends in a coherent state either way.
+  const auto* node =
+      platform.coordinator().directory().find(flapper->machine_id());
+  ASSERT_NE(node, nullptr);
+  EXPECT_GE(node->free_gpus, 0);
+  EXPECT_LE(node->free_gpus, node->gpu_count);
+}
+
+TEST(FaultInjectionTest, CheckpointStorageExhaustionDoesNotKillJobs) {
+  sim::Environment env(103);
+  CampusConfig config = paper_campus();
+  config.storage.clear();
+  config.storage.push_back({"nas-tiny", 600ULL << 20});  // 600 MiB total
+  Platform platform(env, config);
+  platform.start();
+  env.run_until(5.0);
+
+  Client client(platform, "bio");
+  SubmitOptions options;
+  options.checkpoint_interval = util::minutes(5);
+  // cnn_small state is 400 MiB: the second full snapshot will not fit.
+  auto job = client.submit_training(workload::cnn_small(), 1.0, options);
+  ASSERT_TRUE(job.ok());
+  env.run_until(env.now() + util::hours(1.5));
+  // Checkpoint writes fail, but training itself completes.
+  EXPECT_EQ(client.status(*job)->phase, sched::JobPhase::kCompleted);
+}
+
+TEST(FaultInjectionTest, SimultaneousMassDeparture) {
+  sim::Environment env(104);
+  Platform platform(env, paper_campus());
+  platform.start();
+  env.run_until(5.0);
+
+  Client client(platform, "theory");
+  std::vector<std::string> jobs;
+  for (int i = 0; i < 8; ++i) {
+    SubmitOptions options;
+    options.checkpoint_interval = util::minutes(5);
+    auto job = client.submit_training(workload::cnn_small(), 3.0, options);
+    ASSERT_TRUE(job.ok());
+    jobs.push_back(*job);
+  }
+  env.run_until(env.now() + util::minutes(20));
+
+  // Every 3090 workstation vanishes at once (power cut in one building).
+  for (const auto& machine : platform.machine_ids()) {
+    auto* provider = platform.agent(machine);
+    if (provider->runtime().node().gpu_count() == 1 &&
+        provider->state() == agent::AgentState::kActive) {
+      platform.coordinator().set_cause_hint(
+          machine, agent::DepartureKind::kEmergency);
+      provider->depart_emergency();
+    }
+  }
+  env.run_until(env.now() + util::hours(6));
+  // Displaced jobs resettle on the surviving multi-GPU servers and finish.
+  int completed = 0;
+  for (const auto& job : jobs) {
+    if (client.status(job)->phase == sched::JobPhase::kCompleted) ++completed;
+  }
+  EXPECT_EQ(completed, 8);
+}
+
+TEST(FaultInjectionTest, DepartureDuringRestoreTransfer) {
+  sim::Environment env(105);
+  Platform platform(env, paper_campus());
+  platform.start();
+  env.run_until(5.0);
+
+  Client client(platform, "nlp");
+  SubmitOptions options;
+  options.checkpoint_interval = util::minutes(5);
+  // Big state -> restore takes tens of seconds on a 1 GbE workstation.
+  auto job = client.submit_training(workload::transformer_small(), 3.0,
+                                    options);
+  ASSERT_TRUE(job.ok());
+  env.run_until(env.now() + util::minutes(12));
+
+  // First departure displaces the job...
+  const auto* record = platform.coordinator().job(*job);
+  ASSERT_EQ(record->phase, sched::JobPhase::kRunning);
+  std::string first_node = record->node;
+  platform.coordinator().set_cause_hint(first_node,
+                                        agent::DepartureKind::kEmergency);
+  platform.agent(first_node)->depart_emergency();
+  // ...and the new host is killed seconds into the restore transfer.
+  env.run_until(env.now() + 12.0);
+  if (record->phase == sched::JobPhase::kRunning ||
+      record->phase == sched::JobPhase::kDispatching) {
+    if (!record->node.empty() && record->node != first_node) {
+      platform.coordinator().set_cause_hint(
+          record->node, agent::DepartureKind::kEmergency);
+      platform.agent(record->node)->depart_emergency();
+    }
+  }
+  env.run_until(env.now() + util::hours(8));
+  EXPECT_EQ(record->phase, sched::JobPhase::kCompleted);
+  EXPECT_GE(record->interruptions, 1);
+}
+
+}  // namespace
+}  // namespace gpunion

@@ -1,0 +1,174 @@
+// Parameterized property tests: platform invariants must hold across seeds,
+// churn intensities and policy presets.
+#include <gtest/gtest.h>
+
+#include "baseline/presets.h"
+#include "gpunion/client.h"
+#include "gpunion/platform.h"
+#include "workload/generator.h"
+#include "workload/provider_behavior.h"
+
+namespace gpunion {
+namespace {
+
+struct PropertyParams {
+  std::uint64_t seed;
+  double events_per_day;
+  baseline::Preset preset;
+};
+
+std::string param_name(const ::testing::TestParamInfo<PropertyParams>& info) {
+  std::string preset(baseline::preset_name(info.param.preset));
+  for (auto& c : preset) {
+    if (!isalnum(static_cast<unsigned char>(c))) c = '_';
+  }
+  return "seed" + std::to_string(info.param.seed) + "_rate" +
+         std::to_string(static_cast<int>(info.param.events_per_day * 10)) +
+         "_" + preset;
+}
+
+class PlatformPropertyTest : public ::testing::TestWithParam<PropertyParams> {
+ protected:
+  void run_scenario() {
+    const auto& params = GetParam();
+    platform_.reset();  // must go before the environment it references
+    env_ = std::make_unique<sim::Environment>(params.seed);
+    CampusConfig config = paper_campus();
+    baseline::apply_preset(config, params.preset);
+    platform_ = std::make_unique<Platform>(*env_, config);
+    platform_->start();
+    env_->run_until(5.0);
+
+    // A small mixed workload.
+    std::vector<workload::GroupDemand> groups(2);
+    groups[0].name = "vision";
+    groups[0].burst_jobs_per_day = 5.0;
+    groups[0].sessions_per_day = 6.0;
+    groups[0].duration_scale = 0.3;
+    groups[1].name = "nlp";
+    groups[1].burst_jobs_per_day = 3.0;
+    groups[1].sessions_per_day = 4.0;
+    groups[1].duration_scale = 0.3;
+    groups[1].phase_days = 3.0;
+    const auto trace = workload::generate_campus_trace(
+        groups, horizon_, util::Rng(params.seed * 7 + 1));
+    for (const auto& event : trace) {
+      auto job = baseline::adapt_job(event.job, params.preset);
+      env_->schedule_at(event.at, [this, job]() mutable {
+        (void)platform_->coordinator().submit(std::move(job));
+      });
+    }
+
+    workload::InterruptionModel model;
+    model.events_per_day = params.events_per_day;
+    model.min_downtime = util::minutes(15);
+    model.max_downtime = util::hours(1.5);
+    const auto interruptions = workload::generate_interruptions(
+        platform_->machine_ids(), horizon_, model,
+        util::Rng(params.seed * 13 + 2));
+    for (const auto& event : interruptions) {
+      env_->schedule_at(event.at, [this, event] {
+        platform_->inject_interruption(event);
+      });
+    }
+    env_->run_until(horizon_);
+  }
+
+  const util::SimTime horizon_ = util::days(3);
+  std::unique_ptr<sim::Environment> env_;
+  std::unique_ptr<Platform> platform_;
+};
+
+TEST_P(PlatformPropertyTest, InvariantsHold) {
+  run_scenario();
+  const auto& coordinator = platform_->coordinator();
+
+  int terminal = 0, live = 0;
+  for (const auto& [job_id, record] : coordinator.jobs()) {
+    // (1) Progress is always within [0, 1].
+    EXPECT_GE(record.checkpointed_progress, 0.0) << job_id;
+    EXPECT_LE(record.checkpointed_progress, 1.0) << job_id;
+    // (2) Completed jobs completed after submission, with full progress.
+    if (record.phase == sched::JobPhase::kCompleted) {
+      EXPECT_GE(record.completed_at, record.submitted_at) << job_id;
+      EXPECT_DOUBLE_EQ(record.checkpointed_progress, 1.0) << job_id;
+      ++terminal;
+    }
+    // (3) Running jobs sit on active nodes only.
+    if (record.phase == sched::JobPhase::kRunning) {
+      const auto* node = coordinator.directory().find(record.node);
+      ASSERT_NE(node, nullptr) << job_id;
+      EXPECT_EQ(node->status, db::NodeStatus::kActive)
+          << job_id << " on " << record.node;
+      ++live;
+    }
+    // (4) Lost work never negative.
+    EXPECT_GE(record.lost_work_seconds, 0.0) << job_id;
+  }
+  EXPECT_GT(terminal + live, 0);  // scenario actually exercised the platform
+
+  // (5) Directory capacity bounds.
+  for (const auto* node : coordinator.directory().all()) {
+    EXPECT_GE(node->free_gpus, 0) << node->machine_id;
+    EXPECT_LE(node->free_gpus, node->gpu_count) << node->machine_id;
+  }
+
+  // (6) Ledger rows are well-formed and job-consistent.
+  for (const auto& allocation : platform_->database().allocation_ledger()) {
+    if (allocation.outcome != db::AllocationOutcome::kRunning) {
+      EXPECT_GE(allocation.ended_at, allocation.started_at);
+    }
+    EXPECT_FALSE(allocation.machine_id.empty());
+    EXPECT_NE(coordinator.job(allocation.job_id), nullptr);
+  }
+
+  // (7) Sessions accounting adds up.
+  const auto& stats = coordinator.stats();
+  EXPECT_LE(stats.sessions_served + stats.sessions_denied +
+                stats.sessions_disrupted,
+            stats.sessions_submitted);
+
+  // (8) Migration records never resume before they were interrupted.
+  for (const auto& record : coordinator.migrations().records()) {
+    if (record.resumed()) {
+      EXPECT_GE(record.downtime(), 0.0) << record.job_id;
+    }
+    EXPECT_GE(record.lost_work_seconds, -1e-6) << record.job_id;
+  }
+
+  // (9) Checkpoint traffic only exists for ALC-capable presets.
+  const auto checkpoint_bytes =
+      platform_->network().bytes_sent(net::TrafficClass::kCheckpoint);
+  if (GetParam().preset == baseline::Preset::kKubernetes ||
+      GetParam().preset == baseline::Preset::kSlurm) {
+    EXPECT_EQ(checkpoint_bytes, 0u);
+  }
+}
+
+TEST_P(PlatformPropertyTest, DeterministicReplay) {
+  run_scenario();
+  const auto first_completed = platform_->coordinator().stats().jobs_completed;
+  const auto first_interruptions =
+      platform_->coordinator().stats().interruptions;
+  const auto first_bytes = platform_->network().total_bytes_sent();
+  run_scenario();  // rebuild everything with the same seed
+  EXPECT_EQ(platform_->coordinator().stats().jobs_completed, first_completed);
+  EXPECT_EQ(platform_->coordinator().stats().interruptions,
+            first_interruptions);
+  EXPECT_EQ(platform_->network().total_bytes_sent(), first_bytes);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedAndChurnSweep, PlatformPropertyTest,
+    ::testing::Values(
+        PropertyParams{11, 0.5, baseline::Preset::kGpunion},
+        PropertyParams{12, 2.0, baseline::Preset::kGpunion},
+        PropertyParams{13, 3.2, baseline::Preset::kGpunion},
+        PropertyParams{14, 2.0, baseline::Preset::kKubernetes},
+        PropertyParams{15, 2.0, baseline::Preset::kSlurm},
+        PropertyParams{16, 2.0, baseline::Preset::kManual},
+        PropertyParams{17, 0.0, baseline::Preset::kGpunion}),
+    param_name);
+
+}  // namespace
+}  // namespace gpunion

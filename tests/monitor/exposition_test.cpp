@@ -1,0 +1,71 @@
+#include "monitor/exposition.h"
+
+#include <gtest/gtest.h>
+
+namespace gpunion::monitor {
+namespace {
+
+TEST(ExpositionTest, CounterFormat) {
+  MetricFamily family("gpunion_jobs_total", "Total jobs",
+                      MetricType::kCounter);
+  family.counter({{"group", "vision"}}).increment(3);
+  const std::string text = expose_family(family);
+  EXPECT_NE(text.find("# HELP gpunion_jobs_total Total jobs\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE gpunion_jobs_total counter\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("gpunion_jobs_total{group=\"vision\"} 3\n"),
+            std::string::npos);
+}
+
+TEST(ExpositionTest, GaugeWithoutLabels) {
+  MetricFamily family("gpunion_nodes", "Active nodes", MetricType::kGauge);
+  family.gauge().set(11);
+  const std::string text = expose_family(family);
+  EXPECT_NE(text.find("gpunion_nodes 11\n"), std::string::npos);
+}
+
+TEST(ExpositionTest, HistogramBucketsAndSum) {
+  MetricFamily family("latency", "h", MetricType::kHistogram, {0.1, 1.0});
+  auto& h = family.histogram();
+  h.observe(0.05);
+  h.observe(0.5);
+  h.observe(5.0);
+  const std::string text = expose_family(family);
+  EXPECT_NE(text.find("latency_bucket{le=\"0.1\"} 1\n"), std::string::npos);
+  EXPECT_NE(text.find("latency_bucket{le=\"1\"} 2\n"), std::string::npos);
+  EXPECT_NE(text.find("latency_bucket{le=\"+Inf\"} 3\n"), std::string::npos);
+  EXPECT_NE(text.find("latency_count 3\n"), std::string::npos);
+  EXPECT_NE(text.find("latency_sum 5.55\n"), std::string::npos);
+}
+
+TEST(ExpositionTest, LabelsSortedAndEscaped) {
+  MetricFamily family("m", "h", MetricType::kGauge);
+  family.gauge({{"z", "last"}, {"a", "va\"l\\ue\n"}}).set(1);
+  const std::string text = expose_family(family);
+  // Labels render in sorted key order with escapes applied.
+  EXPECT_NE(text.find("m{a=\"va\\\"l\\\\ue\\n\",z=\"last\"} 1"),
+            std::string::npos);
+}
+
+TEST(ExpositionTest, RegistryRendersAllFamiliesInNameOrder) {
+  MetricRegistry registry;
+  registry.gauge_family("b_metric", "second").gauge().set(2);
+  registry.gauge_family("a_metric", "first").gauge().set(1);
+  const std::string text = expose_registry(registry);
+  const auto pos_a = text.find("a_metric");
+  const auto pos_b = text.find("b_metric");
+  ASSERT_NE(pos_a, std::string::npos);
+  ASSERT_NE(pos_b, std::string::npos);
+  EXPECT_LT(pos_a, pos_b);
+}
+
+TEST(ExpositionTest, EscapeLabelValue) {
+  EXPECT_EQ(escape_label_value("plain"), "plain");
+  EXPECT_EQ(escape_label_value("a\"b"), "a\\\"b");
+  EXPECT_EQ(escape_label_value("a\\b"), "a\\\\b");
+  EXPECT_EQ(escape_label_value("a\nb"), "a\\nb");
+}
+
+}  // namespace
+}  // namespace gpunion::monitor

@@ -1,0 +1,97 @@
+#include "monitor/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace gpunion::monitor {
+namespace {
+
+TEST(CounterTest, Monotonic) {
+  Counter c;
+  EXPECT_DOUBLE_EQ(c.value(), 0.0);
+  c.increment();
+  c.increment(2.5);
+  EXPECT_DOUBLE_EQ(c.value(), 3.5);
+}
+
+TEST(GaugeTest, SetAndAdd) {
+  Gauge g;
+  g.set(10);
+  g.add(-3);
+  EXPECT_DOUBLE_EQ(g.value(), 7.0);
+}
+
+TEST(HistogramTest, BucketsCumulative) {
+  Histogram h({1.0, 5.0, 10.0});
+  h.observe(0.5);
+  h.observe(3.0);
+  h.observe(7.0);
+  h.observe(100.0);
+  const auto counts = h.cumulative_counts();
+  ASSERT_EQ(counts.size(), 4u);  // 3 bounds + Inf
+  EXPECT_EQ(counts[0], 1u);      // <= 1
+  EXPECT_EQ(counts[1], 2u);      // <= 5
+  EXPECT_EQ(counts[2], 3u);      // <= 10
+  EXPECT_EQ(counts[3], 4u);      // <= Inf
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.sum(), 110.5);
+}
+
+TEST(HistogramTest, BoundaryValueGoesToLowerBucket) {
+  Histogram h({1.0, 5.0});
+  h.observe(1.0);  // le="1" bucket includes 1.0
+  EXPECT_EQ(h.cumulative_counts()[0], 1u);
+}
+
+TEST(HistogramTest, QuantileInterpolation) {
+  Histogram h({10, 20, 30, 40});
+  for (int i = 0; i < 100; ++i) h.observe(i % 40 + 0.5);
+  const double median = h.quantile(0.5);
+  EXPECT_GE(median, 10.0);
+  EXPECT_LE(median, 30.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.0);
+}
+
+TEST(HistogramTest, EmptyQuantileIsZero) {
+  Histogram h({1.0});
+  EXPECT_DOUBLE_EQ(h.quantile(0.9), 0.0);
+}
+
+TEST(MetricFamilyTest, LabelChildrenAreDistinct) {
+  MetricFamily family("jobs", "help", MetricType::kCounter);
+  family.counter({{"node", "a"}}).increment();
+  family.counter({{"node", "b"}}).increment(5);
+  EXPECT_DOUBLE_EQ(family.counter({{"node", "a"}}).value(), 1.0);
+  EXPECT_DOUBLE_EQ(family.counter({{"node", "b"}}).value(), 5.0);
+  EXPECT_EQ(family.counters().size(), 2u);
+}
+
+TEST(MetricRegistryTest, FamiliesAreSingletons) {
+  MetricRegistry registry;
+  auto& a = registry.counter_family("x", "help");
+  auto& b = registry.counter_family("x", "help");
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(registry.families().size(), 1u);
+}
+
+TEST(MetricRegistryTest, TypeConflictThrows) {
+  MetricRegistry registry;
+  registry.counter_family("x", "help");
+  EXPECT_THROW(registry.gauge_family("x", "help"), std::invalid_argument);
+}
+
+TEST(MetricRegistryTest, FindReturnsNullForUnknown) {
+  MetricRegistry registry;
+  EXPECT_EQ(registry.find("ghost"), nullptr);
+  registry.gauge_family("known", "help");
+  EXPECT_NE(registry.find("known"), nullptr);
+}
+
+TEST(MetricRegistryTest, HistogramFamilyPropagatesBounds) {
+  MetricRegistry registry;
+  auto& family = registry.histogram_family("lat", "help", {1.0, 2.0});
+  auto& h = family.histogram({{"op", "dispatch"}});
+  EXPECT_EQ(h.bounds().size(), 2u);
+}
+
+}  // namespace
+}  // namespace gpunion::monitor

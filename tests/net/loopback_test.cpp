@@ -1,0 +1,94 @@
+#include "net/loopback_transport.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace gpunion::net {
+namespace {
+
+TEST(LoopbackTest, ImmediateDelivery) {
+  LoopbackTransport transport;
+  std::vector<int> kinds;
+  transport.register_endpoint("b", [&](Message&& m) {
+    kinds.push_back(m.kind);
+  });
+  Message m;
+  m.from = "a";
+  m.to = "b";
+  m.kind = 3;
+  ASSERT_TRUE(transport.send(std::move(m)).is_ok());
+  EXPECT_EQ(kinds, (std::vector<int>{3}));
+}
+
+TEST(LoopbackTest, DeferredQueuesUntilFlush) {
+  LoopbackTransport transport(/*deferred=*/true);
+  int delivered = 0;
+  transport.register_endpoint("b", [&](Message&&) { ++delivered; });
+  Message m;
+  m.from = "a";
+  m.to = "b";
+  ASSERT_TRUE(transport.send(std::move(m)).is_ok());
+  EXPECT_EQ(delivered, 0);
+  EXPECT_EQ(transport.queued(), 1u);
+  EXPECT_EQ(transport.flush(), 1u);
+  EXPECT_EQ(delivered, 1);
+}
+
+TEST(LoopbackTest, FlushDeliversCascades) {
+  LoopbackTransport transport(/*deferred=*/true);
+  int b_count = 0, c_count = 0;
+  transport.register_endpoint("c", [&](Message&&) { ++c_count; });
+  transport.register_endpoint("b", [&](Message&& m) {
+    ++b_count;
+    Message next;
+    next.from = m.to;
+    next.to = "c";
+    ASSERT_TRUE(transport.send(std::move(next)).is_ok());
+  });
+  Message m;
+  m.from = "a";
+  m.to = "b";
+  ASSERT_TRUE(transport.send(std::move(m)).is_ok());
+  EXPECT_EQ(transport.flush(), 2u);  // b then the cascaded c
+  EXPECT_EQ(b_count, 1);
+  EXPECT_EQ(c_count, 1);
+}
+
+TEST(LoopbackTest, UnknownDestination) {
+  LoopbackTransport transport;
+  Message m;
+  m.to = "ghost";
+  EXPECT_EQ(transport.send(std::move(m)).code(),
+            util::StatusCode::kNotFound);
+}
+
+TEST(LoopbackTest, UnregisterDropsQueued) {
+  LoopbackTransport transport(/*deferred=*/true);
+  int delivered = 0;
+  transport.register_endpoint("b", [&](Message&&) { ++delivered; });
+  Message m;
+  m.to = "b";
+  ASSERT_TRUE(transport.send(std::move(m)).is_ok());
+  transport.unregister_endpoint("b");
+  transport.flush();
+  EXPECT_EQ(delivered, 0);
+  EXPECT_EQ(transport.dropped(), 1u);
+}
+
+TEST(LoopbackTest, PayloadRoundTrip) {
+  LoopbackTransport transport;
+  std::string seen;
+  transport.register_endpoint("b", [&](Message&& m) {
+    seen = std::any_cast<std::string>(m.payload);
+  });
+  Message m;
+  m.to = "b";
+  m.payload = std::string("typed payload");
+  ASSERT_TRUE(transport.send(std::move(m)).is_ok());
+  EXPECT_EQ(seen, "typed payload");
+}
+
+}  // namespace
+}  // namespace gpunion::net

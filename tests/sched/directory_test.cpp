@@ -1,0 +1,81 @@
+#include "sched/directory.h"
+
+#include <gtest/gtest.h>
+
+namespace gpunion::sched {
+namespace {
+
+NodeInfo make_node(const std::string& id, int gpus = 4) {
+  NodeInfo info;
+  info.machine_id = id;
+  info.hostname = "host-" + id;
+  info.gpu_count = gpus;
+  info.free_gpus = gpus;
+  info.status = db::NodeStatus::kActive;
+  info.accepting = true;
+  return info;
+}
+
+TEST(DirectoryTest, UpsertAndFind) {
+  Directory directory;
+  directory.upsert(make_node("m-1"));
+  EXPECT_NE(directory.find("m-1"), nullptr);
+  EXPECT_EQ(directory.find("ghost"), nullptr);
+  EXPECT_EQ(directory.size(), 1u);
+}
+
+TEST(DirectoryTest, UpsertReplaces) {
+  Directory directory;
+  directory.upsert(make_node("m-1", 4));
+  NodeInfo updated = make_node("m-1", 8);
+  directory.upsert(updated);
+  EXPECT_EQ(directory.find("m-1")->gpu_count, 8);
+  EXPECT_EQ(directory.size(), 1u);
+}
+
+TEST(DirectoryTest, SchedulableFiltersStatusAndAccepting) {
+  Directory directory;
+  directory.upsert(make_node("m-1"));
+  NodeInfo paused = make_node("m-2");
+  paused.accepting = false;
+  directory.upsert(paused);
+  NodeInfo gone = make_node("m-3");
+  gone.status = db::NodeStatus::kUnavailable;
+  directory.upsert(gone);
+  const auto schedulable = directory.schedulable();
+  ASSERT_EQ(schedulable.size(), 1u);
+  EXPECT_EQ(schedulable[0]->machine_id, "m-1");
+  EXPECT_EQ(directory.all().size(), 3u);
+}
+
+TEST(DirectoryTest, ReserveReleaseClamped) {
+  Directory directory;
+  directory.upsert(make_node("m-1", 4));
+  directory.reserve_gpus("m-1", 3);
+  EXPECT_EQ(directory.find("m-1")->free_gpus, 1);
+  directory.reserve_gpus("m-1", 5);  // clamped at 0
+  EXPECT_EQ(directory.find("m-1")->free_gpus, 0);
+  directory.release_gpus("m-1", 100);  // clamped at capacity
+  EXPECT_EQ(directory.find("m-1")->free_gpus, 4);
+  directory.reserve_gpus("ghost", 1);  // no-op
+}
+
+TEST(DirectoryTest, TotalGpus) {
+  Directory directory;
+  directory.upsert(make_node("m-1", 4));
+  directory.upsert(make_node("m-2", 8));
+  EXPECT_EQ(directory.total_gpus(), 12);
+}
+
+TEST(DirectoryTest, AllIsSortedByMachineId) {
+  Directory directory;
+  directory.upsert(make_node("m-b"));
+  directory.upsert(make_node("m-a"));
+  const auto all = directory.all();
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_EQ(all[0]->machine_id, "m-a");
+  EXPECT_EQ(all[1]->machine_id, "m-b");
+}
+
+}  // namespace
+}  // namespace gpunion::sched

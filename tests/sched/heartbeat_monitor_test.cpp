@@ -1,0 +1,92 @@
+#include "sched/heartbeat_monitor.h"
+
+#include <gtest/gtest.h>
+
+namespace gpunion::sched {
+namespace {
+
+NodeInfo active_node(const std::string& id, util::SimTime last_beat) {
+  NodeInfo info;
+  info.machine_id = id;
+  info.status = db::NodeStatus::kActive;
+  info.last_heartbeat = last_beat;
+  return info;
+}
+
+TEST(HeartbeatMonitorTest, DetectsSilentNodeAfterThreeMisses) {
+  sim::Environment env;
+  Directory directory;
+  std::vector<std::string> lost;
+  HeartbeatMonitor monitor(env, directory, 2.0, 3,
+                           [&](const std::string& id) {
+                             lost.push_back(id);
+                             directory.find(id)->status =
+                                 db::NodeStatus::kUnavailable;
+                           });
+  directory.upsert(active_node("m-1", 0.0));
+  monitor.start();
+  // 3 x 2 s = 6 s deadline; the sweep at t=8 is the first beyond it.
+  env.run_until(5.9);
+  EXPECT_TRUE(lost.empty());
+  env.run_until(8.1);
+  EXPECT_EQ(lost, std::vector<std::string>{"m-1"});
+}
+
+TEST(HeartbeatMonitorTest, FreshHeartbeatsPreventDetection) {
+  sim::Environment env;
+  Directory directory;
+  int lost = 0;
+  HeartbeatMonitor monitor(env, directory, 2.0, 3,
+                           [&](const std::string&) { ++lost; });
+  directory.upsert(active_node("m-1", 0.0));
+  monitor.start();
+  // Keep the node fresh.
+  sim::PeriodicTimer beats(env, 2.0, [&] {
+    directory.find("m-1")->last_heartbeat = env.now();
+  });
+  beats.start();
+  env.run_until(60.0);
+  EXPECT_EQ(lost, 0);
+}
+
+TEST(HeartbeatMonitorTest, IgnoresNonActiveNodes) {
+  sim::Environment env;
+  Directory directory;
+  int lost = 0;
+  HeartbeatMonitor monitor(env, directory, 2.0, 3,
+                           [&](const std::string&) { ++lost; });
+  NodeInfo departed = active_node("m-1", 0.0);
+  departed.status = db::NodeStatus::kDeparted;
+  directory.upsert(departed);
+  monitor.start();
+  env.run_until(30.0);
+  EXPECT_EQ(lost, 0);
+}
+
+TEST(HeartbeatMonitorTest, DetectionDeadlineIsMissesTimesInterval) {
+  sim::Environment env;
+  Directory directory;
+  HeartbeatMonitor monitor(env, directory, 5.0, 3, nullptr);
+  EXPECT_DOUBLE_EQ(monitor.detection_deadline(), 15.0);
+}
+
+TEST(HeartbeatMonitorTest, ManualSweepReturnsLost) {
+  sim::Environment env;
+  Directory directory;
+  HeartbeatMonitor monitor(env, directory, 2.0, 3,
+                           [&](const std::string& id) {
+                             directory.find(id)->status =
+                                 db::NodeStatus::kUnavailable;
+                           });
+  directory.upsert(active_node("m-1", 0.0));
+  directory.upsert(active_node("m-2", 0.0));
+  env.schedule_at(10.0, [] {});
+  env.run();
+  auto lost = monitor.sweep();
+  EXPECT_EQ(lost.size(), 2u);
+  // Second sweep: already unavailable, nothing new.
+  EXPECT_TRUE(monitor.sweep().empty());
+}
+
+}  // namespace
+}  // namespace gpunion::sched

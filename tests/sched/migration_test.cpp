@@ -1,0 +1,104 @@
+#include "sched/migration.h"
+
+#include <gtest/gtest.h>
+
+namespace gpunion::sched {
+namespace {
+
+using agent::DepartureKind;
+
+TEST(MigrationTrackerTest, OpenAndResume) {
+  MigrationTracker tracker;
+  tracker.open("job-1", "m-a", DepartureKind::kScheduled, 100.0, 0.5, 0.48,
+               72.0);
+  EXPECT_TRUE(tracker.has_open("job-1"));
+  tracker.resumed("job-1", "m-b", 160.0, false);
+  EXPECT_FALSE(tracker.has_open("job-1"));
+  ASSERT_EQ(tracker.records().size(), 1u);
+  const auto& record = tracker.records()[0];
+  EXPECT_TRUE(record.resumed());
+  EXPECT_DOUBLE_EQ(record.downtime(), 60.0);
+  EXPECT_EQ(record.to_node, "m-b");
+}
+
+TEST(MigrationTrackerTest, RepeatedInterruptionMergesIntoOpenRecord) {
+  MigrationTracker tracker;
+  tracker.open("job-1", "m-a", DepartureKind::kEmergency, 100.0, 0.5, 0.4,
+               100.0);
+  // Assigned node died during redispatch: second interruption accumulates.
+  tracker.open("job-1", "m-b", DepartureKind::kEmergency, 200.0, 0.4, 0.4,
+               50.0);
+  ASSERT_EQ(tracker.records().size(), 1u);
+  EXPECT_DOUBLE_EQ(tracker.records()[0].lost_work_seconds, 150.0);
+  EXPECT_DOUBLE_EQ(tracker.records()[0].interrupted_at, 100.0);
+  tracker.resumed("job-1", "m-c", 400.0, false);
+  EXPECT_DOUBLE_EQ(tracker.records()[0].downtime(), 300.0);
+}
+
+TEST(MigrationTrackerTest, SuccessRateWithinWindow) {
+  MigrationTracker tracker;
+  tracker.open("j1", "m", DepartureKind::kScheduled, 0.0, 0.1, 0.1, 0);
+  tracker.resumed("j1", "m2", 100.0, false);  // within 600 s
+  tracker.open("j2", "m", DepartureKind::kScheduled, 0.0, 0.1, 0.1, 0);
+  tracker.resumed("j2", "m2", 1000.0, false);  // too slow
+  tracker.open("j3", "m", DepartureKind::kScheduled, 0.0, 0.1, 0.1, 0);
+  // j3 never resumes.
+  EXPECT_NEAR(tracker.success_rate(DepartureKind::kScheduled, 600.0),
+              1.0 / 3.0, 1e-9);
+  // Other causes unaffected.
+  EXPECT_DOUBLE_EQ(tracker.success_rate(DepartureKind::kEmergency, 600.0),
+                   0.0);
+}
+
+TEST(MigrationTrackerTest, DowntimeAndLostWorkDistributions) {
+  MigrationTracker tracker;
+  tracker.open("j1", "m", DepartureKind::kEmergency, 0.0, 0.5, 0.4, 300.0);
+  tracker.resumed("j1", "m2", 50.0, false);
+  tracker.open("j2", "m", DepartureKind::kEmergency, 0.0, 0.6, 0.5, 600.0);
+  tracker.resumed("j2", "m2", 150.0, false);
+  const auto downtimes = tracker.downtimes(DepartureKind::kEmergency);
+  EXPECT_EQ(downtimes.count(), 2u);
+  EXPECT_DOUBLE_EQ(downtimes.mean(), 100.0);
+  const auto lost = tracker.lost_work_minutes(DepartureKind::kEmergency);
+  EXPECT_DOUBLE_EQ(lost.mean(), 7.5);
+}
+
+TEST(MigrationTrackerTest, MigrateBackRate) {
+  MigrationTracker tracker;
+  // Two displacements by temporary unavailability.
+  tracker.open("j1", "m-a", DepartureKind::kTemporary, 0.0, 0.5, 0.5, 0);
+  tracker.resumed("j1", "m-b", 50.0, false);
+  tracker.open("j2", "m-a", DepartureKind::kTemporary, 0.0, 0.5, 0.5, 0);
+  tracker.resumed("j2", "m-c", 60.0, false);
+  // One migrates back when m-a returns (coordinator-initiated eviction).
+  auto& back = tracker.open("j1", "m-b", DepartureKind::kTemporary, 500.0,
+                            0.6, 0.6, 0);
+  back.migrate_back_eviction = true;
+  tracker.resumed("j1", "m-a", 550.0, true);
+  EXPECT_DOUBLE_EQ(tracker.migrate_back_rate(), 0.5);
+  // Eviction records do not pollute the per-scenario statistics.
+  EXPECT_EQ(tracker.by_cause(DepartureKind::kTemporary).size(), 3u);
+  EXPECT_EQ(tracker.downtimes(DepartureKind::kTemporary).count(), 2u);
+}
+
+TEST(MigrationTrackerTest, AbandonClosesOpenRecord) {
+  MigrationTracker tracker;
+  tracker.open("j1", "m", DepartureKind::kScheduled, 0.0, 0.9, 0.9, 0);
+  tracker.abandon("j1");
+  EXPECT_FALSE(tracker.has_open("j1"));
+  // The record remains (as a never-resumed interruption).
+  EXPECT_EQ(tracker.interruption_count(), 1u);
+}
+
+TEST(MigrationTrackerTest, ByCauseFilters) {
+  MigrationTracker tracker;
+  tracker.open("j1", "m", DepartureKind::kScheduled, 0, 0, 0, 0);
+  tracker.resumed("j1", "m2", 1, false);
+  tracker.open("j2", "m", DepartureKind::kEmergency, 0, 0, 0, 0);
+  EXPECT_EQ(tracker.by_cause(DepartureKind::kScheduled).size(), 1u);
+  EXPECT_EQ(tracker.by_cause(DepartureKind::kEmergency).size(), 1u);
+  EXPECT_EQ(tracker.by_cause(DepartureKind::kTemporary).size(), 0u);
+}
+
+}  // namespace
+}  // namespace gpunion::sched

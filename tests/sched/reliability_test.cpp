@@ -1,0 +1,55 @@
+#include "sched/reliability.h"
+
+#include <gtest/gtest.h>
+
+namespace gpunion::sched {
+namespace {
+
+TEST(ReliabilityTest, UnknownNodeIsFullyTrusted) {
+  ReliabilityPredictor predictor;
+  EXPECT_DOUBLE_EQ(predictor.score("m-1", 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(predictor.volatility("m-1", 0.0), 0.0);
+}
+
+TEST(ReliabilityTest, DepartureHalvesScore) {
+  ReliabilityPredictor predictor;
+  predictor.record_departure("m-1", 0.0);
+  EXPECT_NEAR(predictor.score("m-1", 0.0), 0.5, 1e-9);
+  predictor.record_departure("m-1", 0.0);
+  EXPECT_NEAR(predictor.score("m-1", 0.0), 1.0 / 3.0, 1e-9);
+}
+
+TEST(ReliabilityTest, EvidenceDecaysWithHalfLife) {
+  ReliabilityPredictor predictor(3.0 * 86400.0);
+  predictor.record_departure("m-1", 0.0);
+  EXPECT_NEAR(predictor.volatility("m-1", 3.0 * 86400.0), 0.5, 1e-9);
+  EXPECT_NEAR(predictor.volatility("m-1", 6.0 * 86400.0), 0.25, 1e-9);
+  EXPECT_GT(predictor.score("m-1", 6.0 * 86400.0), 0.75);
+}
+
+TEST(ReliabilityTest, ScoreRecoversOverTime) {
+  ReliabilityPredictor predictor;
+  predictor.record_departure("m-1", 0.0);
+  const double just_after = predictor.score("m-1", 1.0);
+  const double week_later = predictor.score("m-1", 7.0 * 86400.0);
+  EXPECT_GT(week_later, just_after);
+}
+
+TEST(ReliabilityTest, NodesAreIndependent) {
+  ReliabilityPredictor predictor;
+  predictor.record_departure("flaky", 0.0);
+  EXPECT_LT(predictor.score("flaky", 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(predictor.score("steady", 0.0), 1.0);
+}
+
+TEST(ReliabilityTest, DegradationBoundsJobLength) {
+  EXPECT_GT(ReliabilityPredictor::max_job_hours(1.0), 1e6);
+  EXPECT_GT(ReliabilityPredictor::max_job_hours(0.85), 1e6);
+  EXPECT_NEAR(ReliabilityPredictor::max_job_hours(0.8), 24.0, 1e-9);
+  EXPECT_NEAR(ReliabilityPredictor::max_job_hours(0.5), 13.0, 0.01);
+  EXPECT_NEAR(ReliabilityPredictor::max_job_hours(0.2), 2.0, 1e-9);
+  EXPECT_NEAR(ReliabilityPredictor::max_job_hours(0.05), 2.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace gpunion::sched

@@ -1,0 +1,142 @@
+#include "sched/strategies.h"
+
+#include <gtest/gtest.h>
+
+#include "workload/profiles.h"
+
+namespace gpunion::sched {
+namespace {
+
+NodeInfo make_node(const std::string& id, int gpus, int free, double mem,
+                   double cc, const std::string& group = "g") {
+  NodeInfo info;
+  info.machine_id = id;
+  info.owner_group = group;
+  info.gpu_count = gpus;
+  info.free_gpus = free;
+  info.gpu_memory_gb = mem;
+  info.compute_capability = cc;
+  info.gpu_tflops = 35.6;
+  info.status = db::NodeStatus::kActive;
+  info.accepting = true;
+  return info;
+}
+
+workload::JobSpec job(double mem = 8.0, double cc = 7.0, int gpus = 1) {
+  workload::JobSpec spec = workload::make_training_job(
+      "j", workload::cnn_small(), 2.0, "vision", 0.0);
+  spec.requirements.gpu_memory_gb = mem;
+  spec.requirements.min_compute_capability = cc;
+  spec.requirements.gpu_count = gpus;
+  return spec;
+}
+
+TEST(EligibilityTest, CapacityAndCompatibility) {
+  ReliabilityPredictor reliability;
+  const auto spec = job(30.0, 8.0, 1);
+  // Plenty of VRAM.
+  EXPECT_TRUE(node_eligible(make_node("a", 2, 2, 80.0, 8.0), spec, true,
+                            reliability, 0.0, false));
+  // VRAM too small.
+  EXPECT_FALSE(node_eligible(make_node("b", 2, 2, 24.0, 8.6), spec, true,
+                             reliability, 0.0, false));
+  // Compute capability too low.
+  EXPECT_FALSE(node_eligible(make_node("c", 2, 2, 80.0, 7.0), spec, true,
+                             reliability, 0.0, false));
+  // No free GPU.
+  EXPECT_FALSE(node_eligible(make_node("d", 2, 0, 80.0, 8.0), spec, true,
+                             reliability, 0.0, false));
+}
+
+TEST(EligibilityTest, CrossGroupSwitch) {
+  ReliabilityPredictor reliability;
+  const auto spec = job();  // owner_group = vision
+  const auto other = make_node("a", 1, 1, 24.0, 8.6, "nlp");
+  EXPECT_TRUE(node_eligible(other, spec, /*cross_group=*/true, reliability,
+                            0.0, false));
+  EXPECT_FALSE(node_eligible(other, spec, /*cross_group=*/false, reliability,
+                             0.0, false));
+  const auto own = make_node("b", 1, 1, 24.0, 8.6, "vision");
+  EXPECT_TRUE(node_eligible(own, spec, /*cross_group=*/false, reliability,
+                            0.0, false));
+}
+
+TEST(EligibilityTest, DegradationKeepsLongJobsOffFlakyNodes) {
+  ReliabilityPredictor reliability;
+  reliability.record_departure("flaky", 0.0);
+  reliability.record_departure("flaky", 0.0);
+  reliability.record_departure("flaky", 0.0);  // score 0.25 -> ~3.8 h cap
+  auto spec = job();
+  spec.reference_duration = util::hours(20);
+  const auto flaky = make_node("flaky", 1, 1, 24.0, 8.6);
+  EXPECT_FALSE(node_eligible(flaky, spec, true, reliability, 0.0,
+                             /*enforce_degradation=*/true));
+  EXPECT_TRUE(node_eligible(flaky, spec, true, reliability, 0.0,
+                            /*enforce_degradation=*/false));
+  // Short job is fine even on the flaky node.
+  auto short_spec = job();
+  short_spec.reference_duration = util::hours(1);
+  EXPECT_TRUE(node_eligible(flaky, short_spec, true, reliability, 0.0, true));
+}
+
+TEST(StrategiesTest, RoundRobinRotates) {
+  NodeSelector selector(AllocationStrategy::kRoundRobin);
+  ReliabilityPredictor reliability;
+  const auto a = make_node("a", 1, 1, 24, 8.6);
+  const auto b = make_node("b", 1, 1, 24, 8.6);
+  const auto c = make_node("c", 1, 1, 24, 8.6);
+  std::vector<const NodeInfo*> eligible = {&a, &b, &c};
+  const auto spec = job();
+  EXPECT_EQ(selector.select(eligible, spec, reliability, 0)->machine_id, "a");
+  EXPECT_EQ(selector.select(eligible, spec, reliability, 0)->machine_id, "b");
+  EXPECT_EQ(selector.select(eligible, spec, reliability, 0)->machine_id, "c");
+  EXPECT_EQ(selector.select(eligible, spec, reliability, 0)->machine_id, "a");
+}
+
+TEST(StrategiesTest, LeastLoadedPicksEmptiestNode) {
+  NodeSelector selector(AllocationStrategy::kLeastLoaded);
+  ReliabilityPredictor reliability;
+  const auto busy = make_node("busy", 8, 1, 24, 8.6);
+  const auto idle = make_node("idle", 8, 7, 24, 8.6);
+  std::vector<const NodeInfo*> eligible = {&busy, &idle};
+  EXPECT_EQ(selector.select(eligible, job(), reliability, 0)->machine_id,
+            "idle");
+}
+
+TEST(StrategiesTest, BestFitPrefersTightestVram) {
+  NodeSelector selector(AllocationStrategy::kBestFit);
+  ReliabilityPredictor reliability;
+  const auto a100 = make_node("a100", 2, 2, 80, 8.0);
+  const auto ws = make_node("ws", 1, 1, 24, 8.6);
+  std::vector<const NodeInfo*> eligible = {&a100, &ws};
+  // An 8 GB job should land on the 24 GB card, preserving the A100.
+  EXPECT_EQ(selector.select(eligible, job(8.0), reliability, 0)->machine_id,
+            "ws");
+}
+
+TEST(StrategiesTest, ReliabilityAwarePrefersSteadyNode) {
+  NodeSelector selector(AllocationStrategy::kReliabilityAware);
+  ReliabilityPredictor reliability;
+  reliability.record_departure("flaky", 0.0);
+  const auto flaky = make_node("flaky", 1, 1, 24, 8.6);
+  const auto steady = make_node("steady", 1, 1, 24, 8.6);
+  std::vector<const NodeInfo*> eligible = {&flaky, &steady};
+  EXPECT_EQ(selector.select(eligible, job(), reliability, 0.0)->machine_id,
+            "steady");
+}
+
+TEST(StrategiesTest, EmptyEligibleReturnsNull) {
+  NodeSelector selector(AllocationStrategy::kRoundRobin);
+  ReliabilityPredictor reliability;
+  EXPECT_EQ(selector.select({}, job(), reliability, 0), nullptr);
+}
+
+TEST(StrategiesTest, Names) {
+  EXPECT_EQ(allocation_strategy_name(AllocationStrategy::kRoundRobin),
+            "round_robin");
+  EXPECT_EQ(allocation_strategy_name(AllocationStrategy::kReliabilityAware),
+            "reliability_aware");
+}
+
+}  // namespace
+}  // namespace gpunion::sched

@@ -1,0 +1,74 @@
+#include "sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace gpunion::sim {
+namespace {
+
+TEST(EventQueueTest, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> fired;
+  q.push(3.0, [&] { fired.push_back(3); });
+  q.push(1.0, [&] { fired.push_back(1); });
+  q.push(2.0, [&] { fired.push_back(2); });
+  while (!q.empty()) q.pop().fn();
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, SimultaneousEventsFifo) {
+  EventQueue q;
+  std::vector<int> fired;
+  for (int i = 0; i < 5; ++i) {
+    q.push(1.0, [&fired, i] { fired.push_back(i); });
+  }
+  while (!q.empty()) q.pop().fn();
+  EXPECT_EQ(fired, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueueTest, CancelPreventsDelivery) {
+  EventQueue q;
+  bool fired = false;
+  const EventId id = q.push(1.0, [&] { fired = true; });
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(q.cancel(id));  // second cancel is a no-op
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventQueueTest, CancelMiddleKeepsOthers) {
+  EventQueue q;
+  std::vector<int> fired;
+  q.push(1.0, [&] { fired.push_back(1); });
+  const EventId mid = q.push(2.0, [&] { fired.push_back(2); });
+  q.push(3.0, [&] { fired.push_back(3); });
+  q.cancel(mid);
+  EXPECT_EQ(q.size(), 2u);
+  while (!q.empty()) q.pop().fn();
+  EXPECT_EQ(fired, (std::vector<int>{1, 3}));
+}
+
+TEST(EventQueueTest, NextTimeSkipsCancelled) {
+  EventQueue q;
+  const EventId early = q.push(1.0, [] {});
+  q.push(5.0, [] {});
+  q.cancel(early);
+  EXPECT_DOUBLE_EQ(q.next_time(), 5.0);
+}
+
+TEST(EventQueueTest, EmptyQueueNextTimeIsNever) {
+  EventQueue q;
+  EXPECT_EQ(q.next_time(), util::kNever);
+}
+
+TEST(EventQueueTest, PopReturnsMetadata) {
+  EventQueue q;
+  const EventId id = q.push(7.5, [] {});
+  auto event = q.pop();
+  EXPECT_DOUBLE_EQ(event.time, 7.5);
+  EXPECT_EQ(event.id, id);
+}
+
+}  // namespace
+}  // namespace gpunion::sim

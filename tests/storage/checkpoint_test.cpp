@@ -1,0 +1,54 @@
+#include "storage/checkpoint.h"
+
+#include <gtest/gtest.h>
+
+namespace gpunion::storage {
+namespace {
+
+Checkpoint sample() {
+  Checkpoint c;
+  c.job_id = "job-1";
+  c.seq = 3;
+  c.kind = CheckpointKind::kIncremental;
+  c.state_bytes = 1 << 30;
+  c.stored_bytes = 100 << 20;
+  c.progress = 0.42;
+  c.created_at = 1234.5;
+  c.storage_node = "nas-campus";
+  return c;
+}
+
+TEST(CheckpointTest, SealProducesIntactRecord) {
+  const Checkpoint c = seal_checkpoint(sample());
+  EXPECT_FALSE(c.integrity_tag.empty());
+  EXPECT_TRUE(checkpoint_intact(c));
+}
+
+TEST(CheckpointTest, UnsealedIsNotIntact) {
+  EXPECT_FALSE(checkpoint_intact(sample()));
+}
+
+TEST(CheckpointTest, TamperingDetected) {
+  Checkpoint c = seal_checkpoint(sample());
+  c.progress = 0.99;
+  EXPECT_FALSE(checkpoint_intact(c));
+
+  Checkpoint c2 = seal_checkpoint(sample());
+  c2.stored_bytes += 1;
+  EXPECT_FALSE(checkpoint_intact(c2));
+
+  Checkpoint c3 = seal_checkpoint(sample());
+  c3.storage_node = "evil-node";
+  EXPECT_FALSE(checkpoint_intact(c3));
+}
+
+TEST(CheckpointTest, TagCoversKind) {
+  Checkpoint full = sample();
+  full.kind = CheckpointKind::kFull;
+  Checkpoint incremental = sample();
+  EXPECT_NE(checkpoint_integrity_tag(full),
+            checkpoint_integrity_tag(incremental));
+}
+
+}  // namespace
+}  // namespace gpunion::storage

@@ -1,0 +1,49 @@
+#include "util/ids.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace gpunion::util {
+namespace {
+
+TEST(IdsTest, MachineIdDeterministic) {
+  EXPECT_EQ(make_machine_id("ws-01", "salt"), make_machine_id("ws-01", "salt"));
+}
+
+TEST(IdsTest, MachineIdDependsOnHostnameAndSalt) {
+  EXPECT_NE(make_machine_id("ws-01", "salt"), make_machine_id("ws-02", "salt"));
+  EXPECT_NE(make_machine_id("ws-01", "a"), make_machine_id("ws-01", "b"));
+}
+
+TEST(IdsTest, MachineIdFormat) {
+  const std::string id = make_machine_id("ws-01", "salt");
+  EXPECT_EQ(id.size(), 2u + 16u);
+  EXPECT_EQ(id.substr(0, 2), "m-");
+  for (char c : id.substr(2)) {
+    EXPECT_TRUE((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f')) << c;
+  }
+}
+
+TEST(IdsTest, AuthTokensUniqueAndHex) {
+  Rng rng(42);
+  std::set<std::string> seen;
+  for (int i = 0; i < 100; ++i) {
+    const std::string token = make_auth_token(rng);
+    EXPECT_EQ(token.size(), 32u);
+    for (char c : token) {
+      EXPECT_TRUE((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f')) << c;
+    }
+    EXPECT_TRUE(seen.insert(token).second) << "duplicate token";
+  }
+}
+
+TEST(IdsTest, SequenceCountsUp) {
+  IdSequence seq("job");
+  EXPECT_EQ(seq.next(), "job-0");
+  EXPECT_EQ(seq.next(), "job-1");
+  EXPECT_EQ(seq.count(), 2u);
+}
+
+}  // namespace
+}  // namespace gpunion::util

@@ -1,0 +1,80 @@
+// SHA-256 against NIST FIPS 180-4 test vectors.
+#include "util/sha256.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace gpunion::util {
+namespace {
+
+TEST(Sha256Test, EmptyString) {
+  EXPECT_EQ(Sha256::hex_of(""),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256Test, Abc) {
+  EXPECT_EQ(Sha256::hex_of("abc"),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256Test, TwoBlockMessage) {
+  EXPECT_EQ(Sha256::hex_of(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256Test, MillionAs) {
+  Sha256 h;
+  const std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(chunk);
+  EXPECT_EQ(h.hex_digest(),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256Test, IncrementalMatchesOneShot) {
+  Sha256 h;
+  h.update("hello ");
+  h.update("wor");
+  h.update("ld");
+  EXPECT_EQ(h.hex_digest(), Sha256::hex_of("hello world"));
+}
+
+TEST(Sha256Test, ResetAllowsReuse) {
+  Sha256 h;
+  h.update("first");
+  (void)h.hex_digest();
+  h.reset();
+  h.update("abc");
+  EXPECT_EQ(h.hex_digest(), Sha256::hex_of("abc"));
+}
+
+TEST(Sha256Test, ExactBlockBoundary) {
+  // 64-byte input exercises the padding-into-second-block path.
+  const std::string input(64, 'x');
+  Sha256 a;
+  a.update(input);
+  Sha256 b;
+  for (char c : input) b.update(&c, 1);
+  EXPECT_EQ(a.hex_digest(), b.hex_digest());
+}
+
+TEST(Sha256Test, FiftyFiveAndFiftySixBytePadding) {
+  // 55 bytes: length fits in the same block; 56: forces an extra block.
+  EXPECT_EQ(Sha256::hex_of(std::string(55, 'a')),
+            Sha256::hex_of(std::string(55, 'a')));
+  EXPECT_NE(Sha256::hex_of(std::string(55, 'a')),
+            Sha256::hex_of(std::string(56, 'a')));
+}
+
+TEST(Sha256Test, DigestBytesMatchHex) {
+  Sha256 h;
+  h.update("abc");
+  const auto digest = h.digest();
+  EXPECT_EQ(digest[0], 0xba);
+  EXPECT_EQ(digest[1], 0x78);
+  EXPECT_EQ(digest[31], 0xad);
+}
+
+}  // namespace
+}  // namespace gpunion::util

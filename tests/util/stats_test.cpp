@@ -1,0 +1,101 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace gpunion::util {
+namespace {
+
+TEST(RunningStatsTest, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStatsTest, MeanMinMax) {
+  RunningStats s;
+  for (double v : {4.0, 1.0, 7.0}) s.add(v);
+  EXPECT_EQ(s.count(), 3u);
+  EXPECT_DOUBLE_EQ(s.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 7.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 12.0);
+}
+
+TEST(RunningStatsTest, VarianceMatchesTextbook) {
+  RunningStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  // Sample variance with n-1 denominator: 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+}
+
+TEST(SampleSetTest, Percentiles) {
+  SampleSet s;
+  for (int i = 1; i <= 100; ++i) s.add(i);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 100.0);
+  EXPECT_NEAR(s.median(), 50.5, 0.01);
+  EXPECT_NEAR(s.percentile(90), 90.1, 0.2);
+  EXPECT_DOUBLE_EQ(s.mean(), 50.5);
+}
+
+TEST(SampleSetTest, EmptyReturnsZero) {
+  SampleSet s;
+  EXPECT_EQ(s.percentile(50), 0.0);
+  EXPECT_EQ(s.mean(), 0.0);
+}
+
+TEST(SampleSetTest, SingleSample) {
+  SampleSet s;
+  s.add(3.5);
+  EXPECT_DOUBLE_EQ(s.median(), 3.5);
+  EXPECT_DOUBLE_EQ(s.percentile(99), 3.5);
+}
+
+TEST(SampleSetTest, AddAfterQueryResorts) {
+  SampleSet s;
+  s.add(10);
+  EXPECT_DOUBLE_EQ(s.median(), 10);
+  s.add(0);
+  s.add(20);
+  EXPECT_DOUBLE_EQ(s.median(), 10);
+  EXPECT_DOUBLE_EQ(s.min(), 0);
+}
+
+TEST(TimeWeightedValueTest, ConstantSignal) {
+  TimeWeightedValue v(0.5);
+  EXPECT_DOUBLE_EQ(v.average(0, 10), 0.5);
+}
+
+TEST(TimeWeightedValueTest, StepFunction) {
+  TimeWeightedValue v(0.0);
+  v.set(5.0, 1.0);  // 0 for [0,5), 1 for [5,10)
+  EXPECT_DOUBLE_EQ(v.average(0, 10), 0.5);
+  EXPECT_DOUBLE_EQ(v.average(5, 10), 1.0);
+  EXPECT_DOUBLE_EQ(v.average(0, 5), 0.0);
+}
+
+TEST(TimeWeightedValueTest, MultipleSteps) {
+  TimeWeightedValue v(0.0);
+  v.set(2.0, 1.0);
+  v.set(4.0, 0.5);
+  // [0,2): 0, [2,4): 1, [4,8): 0.5 -> (0 + 2 + 2) / 8
+  EXPECT_DOUBLE_EQ(v.average(0, 8), 0.5);
+}
+
+TEST(TimeWeightedValueTest, WindowBeforeFirstChange) {
+  TimeWeightedValue v(0.25);
+  v.set(100.0, 1.0);
+  EXPECT_DOUBLE_EQ(v.average(0, 10), 0.25);
+}
+
+TEST(TimeWeightedValueTest, DuplicateTimeOverwrites) {
+  TimeWeightedValue v(0.0);
+  v.set(5.0, 1.0);
+  v.set(5.0, 0.2);
+  EXPECT_DOUBLE_EQ(v.average(0, 10), 0.1);
+  EXPECT_DOUBLE_EQ(v.current(), 0.2);
+}
+
+}  // namespace
+}  // namespace gpunion::util

@@ -1,0 +1,88 @@
+#include "util/status.h"
+
+#include <gtest/gtest.h>
+
+namespace gpunion::util {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.is_ok());
+  EXPECT_TRUE(static_cast<bool>(s));
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.to_string(), "ok");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = unavailable_error("node n3 departed");
+  EXPECT_FALSE(s.is_ok());
+  EXPECT_EQ(s.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(s.message(), "node n3 departed");
+  EXPECT_EQ(s.to_string(), "unavailable: node n3 departed");
+}
+
+TEST(StatusTest, AllFactoriesProduceMatchingCodes) {
+  EXPECT_EQ(invalid_argument_error("").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(not_found_error("").code(), StatusCode::kNotFound);
+  EXPECT_EQ(already_exists_error("").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(permission_denied_error("").code(), StatusCode::kPermissionDenied);
+  EXPECT_EQ(unavailable_error("").code(), StatusCode::kUnavailable);
+  EXPECT_EQ(resource_exhausted_error("").code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(failed_precondition_error("").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(deadline_exceeded_error("").code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(aborted_error("").code(), StatusCode::kAborted);
+  EXPECT_EQ(internal_error("").code(), StatusCode::kInternal);
+}
+
+TEST(StatusTest, Equality) {
+  EXPECT_EQ(Status(), Status::ok());
+  EXPECT_EQ(not_found_error("x"), not_found_error("x"));
+  EXPECT_FALSE(not_found_error("x") == not_found_error("y"));
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v = 42;
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42);
+  EXPECT_EQ(v.value_or(0), 42);
+  EXPECT_TRUE(v.status().is_ok());
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v = not_found_error("missing");
+  EXPECT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(v.value_or(-1), -1);
+}
+
+TEST(StatusOrTest, MoveOutValue) {
+  StatusOr<std::string> v = std::string("payload");
+  std::string out = std::move(v).value();
+  EXPECT_EQ(out, "payload");
+}
+
+TEST(StatusOrTest, ArrowOperator) {
+  StatusOr<std::string> v = std::string("abc");
+  EXPECT_EQ(v->size(), 3u);
+}
+
+TEST(StatusTest, ReturnIfErrorMacroPropagates) {
+  auto fails = [] { return not_found_error("inner"); };
+  auto outer = [&]() -> Status {
+    GPUNION_RETURN_IF_ERROR(fails());
+    return Status();
+  };
+  EXPECT_EQ(outer().code(), StatusCode::kNotFound);
+
+  auto succeeds = [] { return Status(); };
+  auto outer_ok = [&]() -> Status {
+    GPUNION_RETURN_IF_ERROR(succeeds());
+    return already_exists_error("reached end");
+  };
+  EXPECT_EQ(outer_ok().code(), StatusCode::kAlreadyExists);
+}
+
+}  // namespace
+}  // namespace gpunion::util

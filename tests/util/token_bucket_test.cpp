@@ -1,0 +1,42 @@
+#include "util/token_bucket.h"
+
+#include <gtest/gtest.h>
+
+namespace gpunion::util {
+namespace {
+
+TEST(TokenBucketTest, StartsFull) {
+  TokenBucket bucket(1.0, 5.0);
+  EXPECT_DOUBLE_EQ(bucket.available(0), 5.0);
+  EXPECT_TRUE(bucket.try_consume(0, 5.0));
+  EXPECT_FALSE(bucket.try_consume(0, 0.5));
+}
+
+TEST(TokenBucketTest, RefillsAtRate) {
+  TokenBucket bucket(2.0, 10.0);
+  ASSERT_TRUE(bucket.try_consume(0, 10.0));
+  EXPECT_FALSE(bucket.try_consume(1.0, 3.0));  // only 2 tokens back
+  EXPECT_TRUE(bucket.try_consume(1.0, 2.0));
+  EXPECT_TRUE(bucket.try_consume(6.0, 10.0));  // capped at burst
+}
+
+TEST(TokenBucketTest, NeverExceedsBurst) {
+  TokenBucket bucket(100.0, 3.0);
+  EXPECT_DOUBLE_EQ(bucket.available(1000.0), 3.0);
+}
+
+TEST(TokenBucketTest, NextAvailableComputesWait) {
+  TokenBucket bucket(1.0, 4.0);
+  ASSERT_TRUE(bucket.try_consume(0, 4.0));
+  EXPECT_DOUBLE_EQ(bucket.next_available(0, 2.0), 2.0);
+  EXPECT_DOUBLE_EQ(bucket.next_available(1.0, 2.0), 2.0);
+  EXPECT_DOUBLE_EQ(bucket.next_available(10.0, 2.0), 10.0);
+}
+
+TEST(TokenBucketTest, OverBurstRequestNeverSatisfiable) {
+  TokenBucket bucket(1.0, 4.0);
+  EXPECT_EQ(bucket.next_available(0, 5.0), kNever);
+}
+
+}  // namespace
+}  // namespace gpunion::util

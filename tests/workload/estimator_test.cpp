@@ -1,0 +1,82 @@
+#include "workload/estimator.h"
+
+#include <gtest/gtest.h>
+
+namespace gpunion::workload {
+namespace {
+
+TEST(EstimatorTest, Resnet50FitsConsumerGpu) {
+  const auto model = resnet50_model();
+  const double memory = estimate_gpu_memory_gb(model);
+  EXPECT_GT(memory, 3.0);
+  EXPECT_LT(memory, 16.0);  // runs on a 24 GB RTX 3090 with room to spare
+  const auto requirements = estimate_requirements(model);
+  EXPECT_LE(requirements.gpu_memory_gb, 24.0);
+  EXPECT_DOUBLE_EQ(requirements.min_compute_capability, 7.0);
+}
+
+TEST(EstimatorTest, Gpt2XlNeedsDataCenterGpu) {
+  const auto model = gpt2_xl_model();
+  const auto requirements = estimate_requirements(model);
+  EXPECT_GT(requirements.gpu_memory_gb, 24.0);  // beyond any 3090/4090
+  EXPECT_DOUBLE_EQ(requirements.min_compute_capability, 8.0);
+}
+
+TEST(EstimatorTest, MemoryGrowsWithParameters) {
+  ModelDescription small;
+  small.parameter_count = 10'000'000;
+  ModelDescription large = small;
+  large.parameter_count = 1'000'000'000;
+  EXPECT_LT(estimate_gpu_memory_gb(small), estimate_gpu_memory_gb(large));
+}
+
+TEST(EstimatorTest, MixedPrecisionSavesActivationAndWeightMemory) {
+  ModelDescription fp32 = bert_base_model();
+  fp32.mixed_precision = false;
+  ModelDescription amp = bert_base_model();
+  amp.mixed_precision = true;
+  // Mixed precision halves weights/grads but adds fp32 master copies:
+  // 2+2+8+4 = 16 bytes/param vs 4+4+8 = 16 bytes/param — equal on params,
+  // so the comparison is dominated by activations; with identical
+  // activations the two should be within 1%.
+  EXPECT_NEAR(estimate_gpu_memory_gb(fp32), estimate_gpu_memory_gb(amp),
+              estimate_gpu_memory_gb(fp32) * 0.01);
+}
+
+TEST(EstimatorTest, BatchSizeDrivesActivationMemory) {
+  ModelDescription small_batch = resnet50_model();
+  small_batch.batch_size = 8;
+  ModelDescription big_batch = resnet50_model();
+  big_batch.batch_size = 256;
+  EXPECT_GT(estimate_gpu_memory_gb(big_batch),
+            estimate_gpu_memory_gb(small_batch) + 5.0);
+}
+
+TEST(EstimatorTest, RequirementsIncludeHeadroom) {
+  const auto model = bert_base_model();
+  EXPECT_GE(estimate_requirements(model).gpu_memory_gb,
+            estimate_gpu_memory_gb(model));
+}
+
+TEST(EstimatorTest, StateProfileMatchesAdamAccounting) {
+  const auto model = bert_base_model();  // 110 M params
+  const auto state = estimate_state(model);
+  // fp32 weights + Adam m/v: 12 bytes per parameter.
+  EXPECT_EQ(state.state_bytes, 110'000'000ULL * 12ULL);
+  EXPECT_GT(state.serialize_bytes_per_sec, 1.0e9);
+}
+
+TEST(EstimatorTest, SerializationSlowsForHugeStates) {
+  EXPECT_GT(estimate_state(resnet50_model()).serialize_bytes_per_sec,
+            estimate_state(gpt2_xl_model()).serialize_bytes_per_sec);
+}
+
+TEST(EstimatorTest, ReferenceHours) {
+  ModelDescription model;
+  model.total_steps = 7200;
+  model.reference_steps_per_sec = 2.0;
+  EXPECT_DOUBLE_EQ(estimate_reference_hours(model), 1.0);
+}
+
+}  // namespace
+}  // namespace gpunion::workload

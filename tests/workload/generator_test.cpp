@@ -1,0 +1,125 @@
+#include "workload/generator.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace gpunion::workload {
+namespace {
+
+std::vector<GroupDemand> two_groups() {
+  GroupDemand heavy;
+  heavy.name = "vision";
+  heavy.burst_jobs_per_day = 6.0;
+  heavy.idle_jobs_per_day = 0.5;
+  heavy.sessions_per_day = 5.0;
+  GroupDemand light;
+  light.name = "theory";
+  light.burst_jobs_per_day = 1.0;
+  light.idle_jobs_per_day = 0.1;
+  light.sessions_per_day = 2.0;
+  light.phase_days = 7.0;
+  return {heavy, light};
+}
+
+TEST(GeneratorTest, DeterministicForSeed) {
+  const auto a =
+      generate_campus_trace(two_groups(), util::days(14), util::Rng(42));
+  const auto b =
+      generate_campus_trace(two_groups(), util::days(14), util::Rng(42));
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].job.id, b[i].job.id);
+    EXPECT_DOUBLE_EQ(a[i].at, b[i].at);
+  }
+}
+
+TEST(GeneratorTest, DifferentSeedsDiffer) {
+  const auto a =
+      generate_campus_trace(two_groups(), util::days(14), util::Rng(1));
+  const auto b =
+      generate_campus_trace(two_groups(), util::days(14), util::Rng(2));
+  bool differs = a.size() != b.size();
+  for (std::size_t i = 0; !differs && i < a.size(); ++i) {
+    differs = a[i].job.id != b[i].job.id || a[i].at != b[i].at;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(GeneratorTest, SortedByTime) {
+  const auto trace =
+      generate_campus_trace(two_groups(), util::days(14), util::Rng(7));
+  for (std::size_t i = 1; i < trace.size(); ++i) {
+    EXPECT_LE(trace[i - 1].at, trace[i].at);
+  }
+}
+
+TEST(GeneratorTest, AllEventsWithinHorizon) {
+  const auto trace =
+      generate_campus_trace(two_groups(), util::days(7), util::Rng(9));
+  for (const auto& event : trace) {
+    EXPECT_GE(event.at, 0.0);
+    EXPECT_LT(event.at, util::days(7));
+    EXPECT_DOUBLE_EQ(event.job.submitted_at, event.at);
+  }
+}
+
+TEST(GeneratorTest, HeavyGroupSubmitsMore) {
+  const auto trace =
+      generate_campus_trace(two_groups(), util::days(28), util::Rng(11));
+  int heavy = 0, light = 0;
+  for (const auto& event : trace) {
+    if (event.job.owner_group == "vision") ++heavy;
+    if (event.job.owner_group == "theory") ++light;
+  }
+  EXPECT_GT(heavy, light * 2);
+}
+
+TEST(GeneratorTest, MixContainsBothJobTypes) {
+  const auto trace =
+      generate_campus_trace(two_groups(), util::days(14), util::Rng(13));
+  const TraceStats stats = summarize(trace);
+  EXPECT_GT(stats.training_jobs, 0);
+  EXPECT_GT(stats.interactive_sessions, 0);
+  EXPECT_GT(stats.total_training_hours, 0.0);
+  EXPECT_EQ(stats.training_jobs + stats.interactive_sessions,
+            static_cast<int>(trace.size()));
+}
+
+TEST(GeneratorTest, OwnedNodesPropagateToJobs) {
+  auto groups = two_groups();
+  groups[0].owned_nodes = {"m-abc"};
+  const auto trace =
+      generate_campus_trace(groups, util::days(7), util::Rng(17));
+  for (const auto& event : trace) {
+    if (event.job.owner_group == "vision") {
+      EXPECT_EQ(event.job.owner_node, "m-abc");
+    } else {
+      EXPECT_TRUE(event.job.owner_node.empty());
+    }
+  }
+}
+
+TEST(GeneratorTest, DiurnalFactorShape) {
+  // 4 AM on a weekday is quiet; 3 PM is peak.
+  const double night = diurnal_factor(util::hours(4));
+  const double afternoon = diurnal_factor(util::hours(15));
+  EXPECT_LT(night, 0.3);
+  EXPECT_GT(afternoon, 0.8);
+  // Weekend damping: day 5 at 3 PM below day 0 at 3 PM.
+  const double weekend = diurnal_factor(util::days(5) + util::hours(15));
+  EXPECT_LT(weekend, afternoon);
+}
+
+TEST(GeneratorTest, UniqueJobIds) {
+  const auto trace =
+      generate_campus_trace(two_groups(), util::days(14), util::Rng(19));
+  std::set<std::string> ids;
+  for (const auto& event : trace) {
+    EXPECT_TRUE(ids.insert(event.job.id).second)
+        << "duplicate id " << event.job.id;
+  }
+}
+
+}  // namespace
+}  // namespace gpunion::workload

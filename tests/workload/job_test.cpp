@@ -1,0 +1,63 @@
+#include "workload/job.h"
+#include "workload/profiles.h"
+
+#include <gtest/gtest.h>
+
+namespace gpunion::workload {
+namespace {
+
+TEST(JobTest, SpeedFactorRelativeToReference) {
+  EXPECT_DOUBLE_EQ(speed_factor(kReferenceTflops), 1.0);
+  EXPECT_GT(speed_factor(82.6), 2.0);   // 4090 is >2x a 3090
+  EXPECT_LT(speed_factor(19.5), 1.0);   // A100 FP32 below 3090
+}
+
+TEST(JobTest, CheckpointPauseScalesWithState) {
+  StateProfile small{1ULL << 30, 0.3, 2.0e9};
+  StateProfile large{8ULL << 30, 0.3, 2.0e9};
+  EXPECT_NEAR(checkpoint_pause_seconds(small), 0.537, 0.01);
+  EXPECT_NEAR(checkpoint_pause_seconds(large), 4.29, 0.05);
+  EXPECT_GT(checkpoint_pause_seconds(large), checkpoint_pause_seconds(small));
+}
+
+TEST(ProfilesTest, FourCanonicalProfiles) {
+  const auto& all = all_profiles();
+  ASSERT_EQ(all.size(), 4u);
+  EXPECT_EQ(all[0].name, "cnn-small");
+  EXPECT_EQ(all[3].name, "transformer-large");
+  // Memory-intensive models carry more state (checkpoint sensitivity, §4).
+  EXPECT_GT(transformer_large().state.state_bytes,
+            cnn_small().state.state_bytes);
+  // The large transformer needs a big-VRAM device.
+  EXPECT_GT(transformer_large().requirements.gpu_memory_gb, 24.0);
+}
+
+TEST(ProfilesTest, MakeTrainingJob) {
+  const JobSpec job =
+      make_training_job("j-1", transformer_small(), 8.0, "nlp", 100.0);
+  EXPECT_EQ(job.id, "j-1");
+  EXPECT_EQ(job.type, JobType::kTraining);
+  EXPECT_EQ(job.owner_group, "nlp");
+  EXPECT_DOUBLE_EQ(job.reference_duration, 8.0 * 3600.0);
+  EXPECT_DOUBLE_EQ(job.submitted_at, 100.0);
+  EXPECT_EQ(job.requirements.gpu_memory_gb,
+            transformer_small().requirements.gpu_memory_gb);
+}
+
+TEST(ProfilesTest, MakeInteractiveSession) {
+  const JobSpec job = make_interactive_session("s-1", 2.0, "theory", 50.0);
+  EXPECT_EQ(job.type, JobType::kInteractive);
+  EXPECT_DOUBLE_EQ(job.reference_duration, 7200.0);
+  EXPECT_EQ(job.checkpoint_interval, 0.0);  // sessions do not checkpoint
+  EXPECT_GT(job.requirements.priority, 0);  // latency-sensitive
+  EXPECT_EQ(job.image_ref, "jupyter-dl:latest");
+}
+
+TEST(JobTest, TypeNames) {
+  EXPECT_EQ(job_type_name(JobType::kTraining), "training");
+  EXPECT_EQ(job_type_name(JobType::kInteractive), "interactive");
+  EXPECT_EQ(job_type_name(JobType::kBatch), "batch");
+}
+
+}  // namespace
+}  // namespace gpunion::workload

@@ -1,0 +1,116 @@
+#include "workload/partitioner.h"
+
+#include <gtest/gtest.h>
+
+namespace gpunion::workload {
+namespace {
+
+sched::NodeInfo node(const std::string& id, int free, double vram,
+                     double tflops) {
+  sched::NodeInfo info;
+  info.machine_id = id;
+  info.gpu_count = free;
+  info.free_gpus = free;
+  info.gpu_memory_gb = vram;
+  info.compute_capability = 8.6;
+  info.gpu_tflops = tflops;
+  info.status = db::NodeStatus::kActive;
+  info.accepting = true;
+  return info;
+}
+
+TEST(PartitionerTest, SmallModelGetsSingleStageOnFastestDevice) {
+  const auto ws = node("ws", 1, 24.0, 35.6);
+  const auto big = node("big", 8, 24.0, 82.6);
+  auto plan = plan_partition(resnet50_model(), {&ws, &big});
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  ASSERT_EQ(plan->stages.size(), 1u);
+  EXPECT_EQ(plan->stages[0].machine_id, "big");  // fastest single device
+  EXPECT_DOUBLE_EQ(plan->stages[0].parameter_share, 1.0);
+  EXPECT_GT(plan->pipeline_speedup, 2.0);  // 4090-class speedup
+}
+
+TEST(PartitionerTest, OversizedModelSplitsAcrossHeterogeneousGpus) {
+  // ~24 GB of parameter state + activations: too big for one 24 GB card,
+  // fits across an A6000 + 4090 mix.
+  ModelDescription model = gpt2_xl_model();
+  const auto a6000 = node("a6000", 4, 48.0, 38.7);
+  const auto rtx = node("rtx", 8, 24.0, 82.6);
+  auto plan = plan_partition(model, {&a6000, &rtx});
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  EXPECT_GE(plan->stages.size(), 1u);
+  double total_share = 0;
+  for (const auto& stage : plan->stages) {
+    total_share += stage.parameter_share;
+    // Every stage respects its device's VRAM (with 5% headroom).
+    const double cap = stage.machine_id == "a6000" ? 48.0 : 24.0;
+    EXPECT_LE(stage.memory_gb, cap * 0.95 + 1e-9);
+  }
+  EXPECT_NEAR(total_share, 1.0, 1e-6);
+}
+
+TEST(PartitionerTest, ModelBeyondFleetIsRejected) {
+  ModelDescription model;
+  model.parameter_count = 70'000'000'000ULL;  // 70 B: ~1 TB of state
+  const auto ws = node("ws", 2, 24.0, 35.6);
+  auto plan = plan_partition(model, {&ws});
+  EXPECT_EQ(plan.status().code(), util::StatusCode::kResourceExhausted);
+}
+
+TEST(PartitionerTest, SkipsBusyAndPausedNodes) {
+  auto busy = node("busy", 0, 80.0, 19.5);  // no free GPUs
+  auto paused = node("paused", 2, 80.0, 19.5);
+  paused.accepting = false;
+  const auto small = node("small", 1, 24.0, 35.6);
+  auto plan = plan_partition(resnet50_model(), {&busy, &paused, &small});
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->stages[0].machine_id, "small");
+}
+
+TEST(PartitionerTest, NoGpusAtAll) {
+  auto plan = plan_partition(resnet50_model(), {});
+  EXPECT_EQ(plan.status().code(), util::StatusCode::kUnavailable);
+}
+
+TEST(PartitionerTest, EmptyModelRejected) {
+  ModelDescription model;
+  model.parameter_count = 0;
+  const auto ws = node("ws", 1, 24.0, 35.6);
+  EXPECT_EQ(plan_partition(model, {&ws}).status().code(),
+            util::StatusCode::kInvalidArgument);
+}
+
+TEST(PartitionerTest, PipelineRateSetBySlowestStage) {
+  // Force a two-stage split across unequal devices and check the speedup
+  // is bounded by the weaker stage's throughput/share ratio.
+  ModelDescription model = gpt2_xl_model();
+  const auto strong = node("strong", 1, 24.0, 82.6);
+  const auto weak = node("weak", 1, 24.0, 19.5);
+  auto plan = plan_partition(model, {&strong, &weak});
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  ASSERT_EQ(plan->stages.size(), 2u);
+  for (const auto& stage : plan->stages) {
+    const double stage_rate =
+        stage.relative_throughput / stage.parameter_share;
+    EXPECT_GE(stage_rate * 1.001, plan->pipeline_speedup);
+  }
+  // The fastest device hosts the larger share (greedy by throughput).
+  EXPECT_EQ(plan->stages[0].machine_id, "strong");
+  EXPECT_GT(plan->stages[0].parameter_share,
+            plan->stages[1].parameter_share);
+}
+
+TEST(PartitionerTest, MultiGpuNodesContributeEverySlot) {
+  ModelDescription model = gpt2_xl_model();
+  model.parameter_count = 3'000'000'000ULL;  // ~48 GB of parameter state
+  const auto big = node("big", 8, 24.0, 82.6);
+  auto plan = plan_partition(model, {&big});
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  EXPECT_GE(plan->stages.size(), 3u);  // needs several 24 GB slots
+  for (const auto& stage : plan->stages) {
+    EXPECT_EQ(stage.machine_id, "big");
+  }
+}
+
+}  // namespace
+}  // namespace gpunion::workload

@@ -1,0 +1,97 @@
+#include "workload/provider_behavior.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace gpunion::workload {
+namespace {
+
+TEST(ProviderBehaviorTest, Deterministic) {
+  const std::vector<std::string> nodes = {"m-1", "m-2"};
+  InterruptionModel model;
+  const auto a = generate_interruptions(nodes, util::days(7), model,
+                                        util::Rng(42));
+  const auto b = generate_interruptions(nodes, util::days(7), model,
+                                        util::Rng(42));
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].at, b[i].at);
+    EXPECT_EQ(a[i].machine_id, b[i].machine_id);
+    EXPECT_EQ(a[i].kind, b[i].kind);
+  }
+}
+
+TEST(ProviderBehaviorTest, RateRoughlyMatchesConfig) {
+  const std::vector<std::string> nodes = {"m-1", "m-2", "m-3", "m-4"};
+  InterruptionModel model;
+  model.events_per_day = 2.0;
+  model.min_downtime = 600;
+  model.max_downtime = 1200;
+  model.temporary_downtime = 600;
+  const auto events = generate_interruptions(nodes, util::days(30), model,
+                                             util::Rng(7));
+  // 2/day x 4 nodes x 30 days = 240 expected, minus downtime dead-time;
+  // accept a broad band.
+  EXPECT_GT(events.size(), 120u);
+  EXPECT_LT(events.size(), 280u);
+}
+
+TEST(ProviderBehaviorTest, NoOverlapPerNode) {
+  const std::vector<std::string> nodes = {"m-1"};
+  InterruptionModel model;
+  model.events_per_day = 3.2;  // paper's maximum
+  const auto events = generate_interruptions(nodes, util::days(14), model,
+                                             util::Rng(11));
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    // Next event strictly after the previous outage ended.
+    EXPECT_GE(events[i].at, events[i - 1].at + events[i - 1].downtime);
+  }
+}
+
+TEST(ProviderBehaviorTest, MixCoversAllKinds) {
+  const std::vector<std::string> nodes = {"m-1", "m-2", "m-3", "m-4", "m-5"};
+  InterruptionModel model;
+  model.events_per_day = 2.0;
+  const auto events = generate_interruptions(nodes, util::days(60), model,
+                                             util::Rng(13));
+  std::map<agent::DepartureKind, int> counts;
+  for (const auto& event : events) ++counts[event.kind];
+  EXPECT_GT(counts[agent::DepartureKind::kScheduled], 0);
+  EXPECT_GT(counts[agent::DepartureKind::kEmergency], 0);
+  EXPECT_GT(counts[agent::DepartureKind::kTemporary], 0);
+}
+
+TEST(ProviderBehaviorTest, DowntimesWithinBounds) {
+  const std::vector<std::string> nodes = {"m-1", "m-2"};
+  InterruptionModel model;
+  const auto events = generate_interruptions(nodes, util::days(30), model,
+                                             util::Rng(17));
+  for (const auto& event : events) {
+    EXPECT_GE(event.downtime, 60.0);
+    if (event.kind != agent::DepartureKind::kTemporary) {
+      EXPECT_LE(event.downtime, model.max_downtime + 1.0);
+    }
+  }
+}
+
+TEST(ProviderBehaviorTest, SortedGlobally) {
+  const std::vector<std::string> nodes = {"m-1", "m-2", "m-3"};
+  const auto events = generate_interruptions(nodes, util::days(30),
+                                             InterruptionModel{},
+                                             util::Rng(19));
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_LE(events[i - 1].at, events[i].at);
+  }
+}
+
+TEST(ProviderBehaviorTest, ZeroRateProducesNothing) {
+  InterruptionModel model;
+  model.events_per_day = 0.0;
+  const auto events = generate_interruptions({"m-1"}, util::days(30), model,
+                                             util::Rng(23));
+  EXPECT_TRUE(events.empty());
+}
+
+}  // namespace
+}  // namespace gpunion::workload
