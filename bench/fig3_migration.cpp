@@ -27,7 +27,7 @@ void shrink_fleet(CampusConfig& config) {
     config.nodes.push_back(
         {hw::workstation_3090("ws-refuge-" + std::to_string(i)), "campus"});
   }
-  config.coordinator.strategy = sched::AllocationStrategy::kLeastLoaded;
+  config.coordinator.strategy = std::string(sched::kLeastLoaded);
   config.coordinator.heartbeat_interval = 2.0;
   config.agent_defaults.telemetry_interval = 600.0;
   config.scrape_interval = 600.0;

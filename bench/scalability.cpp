@@ -6,8 +6,9 @@
 //
 // Two measurements:
 //  (1) real micro-benchmark (google-benchmark): wall-clock cost of one
-//      scheduling decision (eligibility scan + strategy select) and of one
-//      heartbeat-monitor sweep over an N-node directory;
+//      placement decision through the indexed ClusterView vs the legacy
+//      full directory rescan, and of one heartbeat-monitor sweep over an
+//      N-node directory;
 //  (2) analytic control-plane model: heartbeat + telemetry + scheduling DB
 //      operations per second against the database's M/M/1 service model,
 //      reporting end-to-end scheduling latency per fleet size.
@@ -18,6 +19,8 @@
 #include "db/database.h"
 #include "sched/directory.h"
 #include "sched/heartbeat_monitor.h"
+#include "sched/placement_engine.h"
+#include "sched/policy.h"
 #include "sched/strategies.h"
 #include "sim/environment.h"
 #include "workload/profiles.h"
@@ -25,14 +28,16 @@
 namespace gpunion::bench {
 namespace {
 
-sched::Directory make_directory(int nodes) {
-  sched::Directory directory;
+void populate_directory(sched::Directory& directory, int nodes) {
+  // A saturated campus: most nodes are busy (placement decisions happen at
+  // full queues), only every 8th has capacity — the regime where an index
+  // beats rescanning the fleet per decision.
   for (int i = 0; i < nodes; ++i) {
     sched::NodeInfo info;
     info.machine_id = "m-" + std::to_string(100000 + i);
     info.owner_group = "g" + std::to_string(i % 8);
     info.gpu_count = 1 + i % 8;
-    info.free_gpus = i % 3 == 0 ? 0 : info.gpu_count;
+    info.free_gpus = i % 8 == 0 ? info.gpu_count : 0;
     info.gpu_memory_gb = i % 2 == 0 ? 24.0 : 48.0;
     info.compute_capability = 8.6;
     info.gpu_tflops = 35.6;
@@ -41,16 +46,45 @@ sched::Directory make_directory(int nodes) {
     info.last_heartbeat = 0.0;
     directory.upsert(std::move(info));
   }
-  return directory;
 }
 
-void BM_SchedulingDecision(benchmark::State& state) {
+/// Placement through the indexed engine.  Steady state: only the dispatch
+/// target's bucket entry moves between decisions (dirty-node invalidation),
+/// never a full rescan.
+void BM_PlacementDecisionIndexed(benchmark::State& state) {
   const int nodes = static_cast<int>(state.range(0));
-  sched::Directory directory = make_directory(nodes);
+  sched::Directory directory;
+  populate_directory(directory, nodes);
   sched::ReliabilityPredictor reliability;
-  sched::NodeSelector selector(sched::AllocationStrategy::kRoundRobin);
+  sched::PlatformPolicy policy;
+  sched::PlacementEngine engine(directory, reliability, policy,
+                                std::string(sched::kRoundRobin));
   const workload::JobSpec job = workload::make_training_job(
       "bench-job", workload::cnn_small(), 4.0, "g1", 0.0);
+  for (auto _ : state) {
+    auto decision = engine.place(job, "", 0.0);
+    benchmark::DoNotOptimize(decision);
+    if (decision) {
+      // Mimic the dispatch/complete cycle so the dirty set stays small.
+      directory.reserve_gpus(decision->node->machine_id, 1);
+      directory.release_gpus(decision->node->machine_id, 1);
+    }
+  }
+  state.SetLabel(std::to_string(nodes) + " nodes");
+}
+BENCHMARK(BM_PlacementDecisionIndexed)->Arg(10)->Arg(50)->Arg(200)->Arg(400);
+
+/// The legacy O(fleet) path: full rescan + eligibility per decision.
+void BM_PlacementDecisionFullScan(benchmark::State& state) {
+  const int nodes = static_cast<int>(state.range(0));
+  sched::Directory directory;
+  populate_directory(directory, nodes);
+  sched::ReliabilityPredictor reliability;
+  auto strategy = sched::PlacementStrategyFactory::instance().create(
+      std::string(sched::kRoundRobin));
+  const workload::JobSpec job = workload::make_training_job(
+      "bench-job", workload::cnn_small(), 4.0, "g1", 0.0);
+  const sched::PlacementContext context{&reliability, 0.0};
   for (auto _ : state) {
     std::vector<const sched::NodeInfo*> eligible;
     for (const sched::NodeInfo* node : directory.schedulable()) {
@@ -59,16 +93,17 @@ void BM_SchedulingDecision(benchmark::State& state) {
       }
     }
     benchmark::DoNotOptimize(
-        selector.select(eligible, job, reliability, 0.0));
+        strategy->select(eligible, job, context, false));
   }
   state.SetLabel(std::to_string(nodes) + " nodes");
 }
-BENCHMARK(BM_SchedulingDecision)->Arg(10)->Arg(50)->Arg(200)->Arg(400);
+BENCHMARK(BM_PlacementDecisionFullScan)->Arg(10)->Arg(50)->Arg(200)->Arg(400);
 
 void BM_HeartbeatSweep(benchmark::State& state) {
   const int nodes = static_cast<int>(state.range(0));
   sim::Environment env;
-  sched::Directory directory = make_directory(nodes);
+  sched::Directory directory;
+  populate_directory(directory, nodes);
   sched::HeartbeatMonitor monitor(env, directory, 2.0, 3, nullptr);
   for (auto _ : state) {
     benchmark::DoNotOptimize(monitor.sweep());

@@ -61,6 +61,10 @@ struct RegisterRequest {
   double gpu_memory_gb = 0;
   double compute_capability = 0;
   double gpu_tflops = 0;
+  /// nvshare-style time-slice slots per GPU (1 = whole-device only) and the
+  /// per-tenant VRAM cap on a shared GPU.
+  int slots_per_gpu = 1;
+  double share_memory_cap_gb = 0;
 };
 
 struct RegisterResponse {
@@ -74,6 +78,9 @@ struct Heartbeat {
   std::string auth_token;
   std::uint64_t seq = 0;
   int free_gpus = 0;
+  /// Free slots on GPUs already running shared tenants (fully-free GPUs are
+  /// counted in free_gpus).
+  int free_shared_slots = 0;
   bool accepting = true;  // false while paused
   /// Ids of jobs currently hosted; lets the coordinator reconcile records
   /// whose completion/kill notification was lost in transit.
@@ -93,6 +100,9 @@ struct DispatchRequest {
   /// begins (0 when nothing to restore).
   std::uint64_t restore_bytes = 0;
   std::string restore_from;
+  /// Coordinator placed the job into a fractional time-sliced slot; the
+  /// agent binds a shared tenant instead of whole devices.
+  bool fractional = false;
 };
 
 struct DispatchResult {
@@ -102,6 +112,9 @@ struct DispatchResult {
   std::string reason;       // on rejection
   std::string container_id; // on acceptance
   std::vector<int> gpu_indices;  // devices bound on acceptance
+  /// Capacity share per bound GPU (1.0 exclusive; 1/slots for a shared
+  /// tenant).  Recorded in the allocation ledger.
+  double gpu_fraction = 1.0;
 };
 
 /// Compute actually began (after image pull / checkpoint restore).  The

@@ -63,6 +63,8 @@ void ProviderAgent::send_register_request() {
     request.gpu_memory_gb = spec.memory_gb;
     request.compute_capability = spec.compute_capability;
     request.gpu_tflops = spec.fp32_tflops;
+    request.slots_per_gpu = node_.spec().share_slots_per_gpu;
+    request.share_memory_cap_gb = node_.share_memory_cap(0);
   }
   send_control(kRegisterRequest, request, kRegisterBytes);
   // The request or its response may be lost; retry until activated (the
@@ -291,6 +293,7 @@ void ProviderAgent::handle_dispatch(DispatchRequest request) {
     if (const container::Container* c =
             runtime_.find(it->second.container_id)) {
       result.gpu_indices = c->config().limits.gpu_indices;
+      result.gpu_fraction = c->config().limits.gpu_fraction;
     }
     send_control(kDispatchResult, result, kControlBytes);
     return;
@@ -303,11 +306,25 @@ void ProviderAgent::handle_dispatch(DispatchRequest request) {
   }
 
   const auto& req = request.job.requirements;
-  auto gpus = node_.find_gpus(req.gpu_count, req.gpu_memory_gb,
-                              req.min_compute_capability);
-  if (!gpus) {
-    reject_dispatch(job_id, "no compatible free GPUs");
-    return;
+  std::vector<int> gpu_indices;
+  double gpu_fraction = 1.0;
+  if (request.fractional) {
+    auto slot = node_.find_share_slot(req.gpu_memory_gb,
+                                      req.min_compute_capability);
+    if (!slot) {
+      reject_dispatch(job_id, "no free GPU share slot");
+      return;
+    }
+    gpu_indices = {*slot};
+    gpu_fraction = 1.0 / std::max(1, node_.spec().share_slots_per_gpu);
+  } else {
+    auto gpus = node_.find_gpus(req.gpu_count, req.gpu_memory_gb,
+                                req.min_compute_capability);
+    if (!gpus) {
+      reject_dispatch(job_id, "no compatible free GPUs");
+      return;
+    }
+    gpu_indices = *gpus;
   }
 
   container::ContainerConfig cfg;
@@ -315,10 +332,15 @@ void ProviderAgent::handle_dispatch(DispatchRequest request) {
   cfg.mode = request.job.type == workload::JobType::kInteractive
                  ? container::ExecutionMode::kInteractive
                  : container::ExecutionMode::kBatch;
-  cfg.limits.gpu_indices = *gpus;
+  cfg.limits.gpu_indices = gpu_indices;
   cfg.limits.gpu_memory_gb = req.gpu_memory_gb;
-  cfg.limits.host_memory_gb = 8.0;
-  cfg.limits.cpu_cores = 4.0;
+  cfg.limits.gpu_fraction = gpu_fraction;
+  // Fractional tenants get a proportionally smaller host budget: every
+  // advertised slot must be hostable, so slots_per_gpu x gpu_count tenants
+  // may never exceed the node's cores/RAM (else the coordinator's slot view
+  // and the host's container capacity diverge into dispatch-reject loops).
+  cfg.limits.host_memory_gb = request.fractional ? 4.0 : 8.0;
+  cfg.limits.cpu_cores = request.fractional ? 2.0 : 4.0;
   const double utilization =
       request.job.type == workload::JobType::kInteractive
           ? config_.interactive_utilization
@@ -337,10 +359,15 @@ void ProviderAgent::handle_dispatch(DispatchRequest request) {
   job.start_progress = request.start_progress;
   job.checkpointed_progress = request.start_progress;
   const double tflops =
-      node_.gpu(static_cast<std::size_t>((*gpus)[0])).spec().fp32_tflops;
+      node_.gpu(static_cast<std::size_t>(gpu_indices[0])).spec().fp32_tflops;
   job.speed = workload::speed_factor(tflops) *
               (1.0 - runtime_.gpu_overhead_fraction()) *
               std::max(1, job.spec.requirements.gpu_count);
+  if (request.fractional) {
+    // Time-sliced tenant: the slice delivers a fraction of the device
+    // (co-tenants are bursty, so more than 1/slots).
+    job.speed *= workload::kSharedComputeShare;
+  }
   job.restore_bytes = request.restore_bytes;
   job.restore_from = request.restore_from;
   job.pending_pull = !runtime_.image_cached(job.spec.image_ref);
@@ -353,7 +380,8 @@ void ProviderAgent::handle_dispatch(DispatchRequest request) {
   result.job_id = job_id;
   result.accepted = true;
   result.container_id = *container_id;
-  result.gpu_indices = *gpus;
+  result.gpu_indices = gpu_indices;
+  result.gpu_fraction = gpu_fraction;
   send_control(kDispatchResult, result, kControlBytes);
 
   advance_dispatch(job_id);
@@ -642,6 +670,7 @@ void ProviderAgent::send_heartbeat() {
   beat.auth_token = auth_token_;
   beat.seq = ++heartbeat_seq_;
   beat.free_gpus = node_.free_gpu_count();
+  beat.free_shared_slots = node_.free_shared_slot_count();
   beat.accepting = !paused_;
   beat.running_jobs = running_job_ids();
   ++heartbeats_sent_;

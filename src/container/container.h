@@ -34,6 +34,9 @@ enum class ExecutionMode { kInteractive, kBatch };
 struct ResourceLimits {
   std::vector<int> gpu_indices;   // devices exposed via the visibility mask
   double gpu_memory_gb = 0;       // per-GPU VRAM budget
+  /// Capacity share per bound GPU: 1.0 = exclusive device; < 1.0 = one
+  /// nvshare-style time-sliced tenant on a single shared GPU.
+  double gpu_fraction = 1.0;
   double host_memory_gb = 8;
   double cpu_cores = 4;
 };

@@ -77,13 +77,17 @@ std::vector<NodeRecord> SystemDatabase::nodes_with_status(NodeStatus s) const {
 std::uint64_t SystemDatabase::open_allocation(const std::string& job_id,
                                               const std::string& machine_id,
                                               std::vector<int> gpu_indices,
-                                              util::SimTime at) {
+                                              util::SimTime at,
+                                              double gpu_fraction,
+                                              bool interactive) {
   count_op();
   AllocationRecord record;
   record.allocation_id = next_allocation_id_++;
   record.job_id = job_id;
   record.machine_id = machine_id;
   record.gpu_indices = std::move(gpu_indices);
+  record.gpu_fraction = gpu_fraction;
+  record.interactive = interactive;
   record.started_at = at;
   ledger_index_[record.allocation_id] = ledger_.size();
   ledger_.push_back(std::move(record));

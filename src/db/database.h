@@ -49,6 +49,12 @@ struct AllocationRecord {
   std::string job_id;
   std::string machine_id;
   std::vector<int> gpu_indices;
+  /// Capacity share per bound GPU: 1.0 for an exclusive allocation,
+  /// 1/slots_per_gpu for a fractional time-sliced tenant.
+  double gpu_fraction = 1.0;
+  /// Interactive session (bursty duty cycle) vs saturating batch/training;
+  /// drives delivered-utilization accounting.
+  bool interactive = false;
   util::SimTime started_at = 0;
   util::SimTime ended_at = 0;  // 0 while running
   AllocationOutcome outcome = AllocationOutcome::kRunning;
@@ -92,7 +98,8 @@ class SystemDatabase {
   std::uint64_t open_allocation(const std::string& job_id,
                                 const std::string& machine_id,
                                 std::vector<int> gpu_indices,
-                                util::SimTime at);
+                                util::SimTime at, double gpu_fraction = 1.0,
+                                bool interactive = false);
   util::Status close_allocation(std::uint64_t allocation_id,
                                 AllocationOutcome outcome, util::SimTime at);
   std::vector<AllocationRecord> allocations_for_job(

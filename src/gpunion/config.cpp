@@ -27,7 +27,7 @@ CampusConfig paper_campus() {
 
   config.coordinator.heartbeat_interval = 2.0;
   config.coordinator.heartbeat_miss_threshold = 3;
-  config.coordinator.strategy = sched::AllocationStrategy::kRoundRobin;
+  config.coordinator.strategy = std::string(sched::kRoundRobin);
   config.agent_defaults.heartbeat_interval = 2.0;
   config.agent_defaults.telemetry_interval = 30.0;
 

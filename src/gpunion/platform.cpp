@@ -208,6 +208,27 @@ int Platform::total_gpus() const {
   return total;
 }
 
+namespace {
+
+/// Delivered compute per bound GPU for one allocation, in GPU units.
+///
+/// An interactive session only drives the device in bursts: a whole GPU
+/// dedicated to one session delivers its duty cycle, not 1.0 — the waste
+/// fractional sharing recovers, where up to slots tenants interleave their
+/// bursts and each delivers its full slot share.  Training saturates an
+/// exclusive allocation; as a shared tenant it delivers the same
+/// kSharedComputeShare the progress model runs it at (the static-share
+/// simplification documented in workload/job.h), keeping utilization
+/// accounting consistent with simulated compute.
+double delivered_gpu_fraction(const db::AllocationRecord& allocation) {
+  if (allocation.interactive) {
+    return std::min(allocation.gpu_fraction, workload::kInteractiveDutyCycle);
+  }
+  return allocation.gpu_fraction < 1.0 ? workload::kSharedComputeShare : 1.0;
+}
+
+}  // namespace
+
 double Platform::fleet_utilization(util::SimTime t0, util::SimTime t1) const {
   assert(t1 > t0);
   double busy_gpu_seconds = 0;
@@ -220,7 +241,7 @@ double Platform::fleet_utilization(util::SimTime t0, util::SimTime t1) const {
         t1);
     if (end > start) {
       busy_gpu_seconds +=
-          (end - start) *
+          (end - start) * delivered_gpu_fraction(allocation) *
           static_cast<double>(std::max<std::size_t>(
               1, allocation.gpu_indices.size()));
     }
@@ -242,7 +263,7 @@ std::map<std::string, double> Platform::per_node_utilization(
         t1);
     if (end > start) {
       busy[allocation.machine_id] +=
-          (end - start) *
+          (end - start) * delivered_gpu_fraction(allocation) *
           static_cast<double>(std::max<std::size_t>(
               1, allocation.gpu_indices.size()));
     }

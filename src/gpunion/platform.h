@@ -65,8 +65,11 @@ class Platform {
   /// kind and automatically rejoins after event.downtime.
   void inject_interruption(const workload::Interruption& event);
 
-  /// Fleet-wide GPU utilization over [t0, t1], computed exactly from the
-  /// allocation ledger (busy GPU-seconds / total GPU-seconds).
+  /// Fleet-wide *delivered* GPU utilization over [t0, t1], computed exactly
+  /// from the allocation ledger: each allocation contributes its delivered
+  /// compute (training saturates its capacity share; an interactive session
+  /// delivers min(share, duty cycle) — a dedicated whole GPU mostly idles
+  /// under a bursty notebook, which is what fractional sharing recovers).
   double fleet_utilization(util::SimTime t0, util::SimTime t1) const;
 
   /// Per-hostname utilization over [t0, t1].

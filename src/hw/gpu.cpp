@@ -1,5 +1,6 @@
 #include "hw/gpu.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 
@@ -36,24 +37,60 @@ const GpuSpec& gpu_spec(GpuArch arch) {
 GpuDevice::GpuDevice(GpuArch arch, int index)
     : spec_(&gpu_spec(arch)), index_(index) {}
 
+const std::string& GpuDevice::holder() const {
+  static const std::string kNone;
+  return holders_.empty() ? kNone : holders_.begin()->first;
+}
+
+void GpuDevice::refresh_aggregates(util::SimTime now) {
+  temp_at_change_c_ = temperature_c(now);
+  last_change_ = now;
+  memory_used_gb_ = 0;
+  double util_sum = 0;
+  for (const auto& [id, tenant] : holders_) {
+    memory_used_gb_ += tenant.memory_gb;
+    util_sum += tenant.utilization;
+  }
+  // Time-sliced tenants cannot drive the device past saturation.
+  utilization_ = std::min(1.0, util_sum);
+}
+
 void GpuDevice::allocate(const std::string& workload_id, double memory_gb,
                          double utilization, util::SimTime now) {
   assert(!allocated() && "GPU already allocated");
   assert(memory_gb <= spec_->memory_gb && "footprint exceeds VRAM");
   assert(utilization >= 0 && utilization <= 1.0);
-  temp_at_change_c_ = temperature_c(now);
-  last_change_ = now;
-  holder_ = workload_id;
-  memory_used_gb_ = memory_gb;
-  utilization_ = utilization;
+  exclusive_ = true;
+  holders_[workload_id] = Tenant{memory_gb, utilization};
+  refresh_aggregates(now);
+}
+
+void GpuDevice::allocate_shared(const std::string& workload_id,
+                                double memory_gb, double utilization,
+                                util::SimTime now) {
+  assert(!exclusive_ && "GPU exclusively allocated");
+  assert(!holders_.contains(workload_id) && "workload already on this GPU");
+  assert(memory_used_gb_ + memory_gb <= spec_->memory_gb &&
+         "shared footprints exceed VRAM");
+  assert(utilization >= 0 && utilization <= 1.0);
+  holders_[workload_id] = Tenant{memory_gb, utilization};
+  refresh_aggregates(now);
 }
 
 void GpuDevice::release(util::SimTime now) {
-  temp_at_change_c_ = temperature_c(now);
-  last_change_ = now;
-  holder_.clear();
-  memory_used_gb_ = 0;
-  utilization_ = 0;
+  holders_.clear();
+  exclusive_ = false;
+  refresh_aggregates(now);
+}
+
+bool GpuDevice::release_holder(const std::string& workload_id,
+                               util::SimTime now) {
+  auto it = holders_.find(workload_id);
+  if (it == holders_.end()) return false;
+  holders_.erase(it);
+  if (holders_.empty()) exclusive_ = false;
+  refresh_aggregates(now);
+  return true;
 }
 
 double GpuDevice::steady_temperature() const {

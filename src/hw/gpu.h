@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <string_view>
 
@@ -32,9 +33,14 @@ struct GpuSpec {
 /// Catalog entry for an architecture (same figures as vendor datasheets).
 const GpuSpec& gpu_spec(GpuArch arch);
 
-/// One physical GPU in a node.  Tracks the workload occupying it and enough
+/// One physical GPU in a node.  Tracks the workloads occupying it and enough
 /// state to synthesize NVML-style telemetry (utilization, memory,
 /// temperature with first-order thermal dynamics, power).
+///
+/// Two tenancy modes (nvshare-style sharing, §3.3 / related work):
+///  - exclusive: one workload owns the whole device (classic allocation);
+///  - shared: up to N tenants time-slice the device, each within a VRAM
+///    budget.  The two modes never mix on one device.
 class GpuDevice {
  public:
   GpuDevice(GpuArch arch, int index);
@@ -42,16 +48,35 @@ class GpuDevice {
   const GpuSpec& spec() const { return *spec_; }
   int index() const { return index_; }
 
-  bool allocated() const { return !holder_.empty(); }
-  const std::string& holder() const { return holder_; }
+  /// Busy in either mode (not free for an exclusive allocation).
+  bool allocated() const { return exclusive_ || !holders_.empty(); }
+  bool exclusively_allocated() const { return exclusive_; }
+  /// Number of co-resident tenants (1 for an exclusive allocation).
+  int holder_count() const { return static_cast<int>(holders_.size()); }
+  /// First holder in id order (the sole holder when exclusive); empty when
+  /// free.
+  const std::string& holder() const;
+  bool holds(const std::string& workload_id) const {
+    return holders_.contains(workload_id);
+  }
 
   /// Marks the device busy with `workload_id` using `memory_gb` of VRAM.
-  /// Requires the device to be free and the footprint to fit.
+  /// Requires the device to be completely free and the footprint to fit.
   void allocate(const std::string& workload_id, double memory_gb,
                 double utilization, util::SimTime now);
 
-  /// Frees the device.
+  /// Adds `workload_id` as a shared tenant.  Requires the device to not be
+  /// exclusively held and the footprint to fit the remaining VRAM; slot
+  /// count and per-tenant memory caps are the node model's to enforce.
+  void allocate_shared(const std::string& workload_id, double memory_gb,
+                       double utilization, util::SimTime now);
+
+  /// Frees the device entirely.
   void release(util::SimTime now);
+
+  /// Removes one tenant (exclusive or shared); returns false when
+  /// `workload_id` is not on this device.
+  bool release_holder(const std::string& workload_id, util::SimTime now);
 
   double memory_used_gb() const { return memory_used_gb_; }
   double utilization() const { return utilization_; }
@@ -64,10 +89,17 @@ class GpuDevice {
 
  private:
   double steady_temperature() const;
+  void refresh_aggregates(util::SimTime now);
+
+  struct Tenant {
+    double memory_gb = 0;
+    double utilization = 0;
+  };
 
   const GpuSpec* spec_;
   int index_;
-  std::string holder_;
+  std::map<std::string, Tenant> holders_;  // ordered for determinism
+  bool exclusive_ = false;
   double memory_used_gb_ = 0;
   double utilization_ = 0;
   // thermal state: temperature at last transition + transition time

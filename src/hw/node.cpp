@@ -1,5 +1,6 @@
 #include "hw/node.h"
 
+#include <algorithm>
 #include <cassert>
 
 namespace gpunion::hw {
@@ -63,6 +64,69 @@ std::optional<std::vector<int>> NodeModel::find_gpus(
   return std::nullopt;
 }
 
+double NodeModel::share_memory_cap(std::size_t gpu_index) const {
+  if (spec_.share_memory_cap_gb > 0) return spec_.share_memory_cap_gb;
+  const int slots = std::max(1, spec_.share_slots_per_gpu);
+  return gpus_.at(gpu_index).spec().memory_gb / slots;
+}
+
+std::optional<int> NodeModel::find_share_slot(
+    double memory_gb, double min_compute_capability) const {
+  if (spec_.share_slots_per_gpu <= 1) return std::nullopt;
+  const GpuDevice* best = nullptr;
+  for (const auto& gpu : gpus_) {
+    if (gpu.exclusively_allocated()) continue;
+    if (gpu.holder_count() >= spec_.share_slots_per_gpu) continue;
+    if (gpu.spec().compute_capability < min_compute_capability) continue;
+    if (memory_gb > share_memory_cap(static_cast<std::size_t>(gpu.index()))) {
+      continue;
+    }
+    if (gpu.memory_used_gb() + memory_gb > gpu.spec().memory_gb) continue;
+    // Pack: most tenants first so whole devices stay free; index ties.
+    if (best == nullptr || gpu.holder_count() > best->holder_count()) {
+      best = &gpu;
+    }
+  }
+  if (best == nullptr) return std::nullopt;
+  return best->index();
+}
+
+util::Status NodeModel::allocate_shared(int index,
+                                        const std::string& workload_id,
+                                        double memory_gb, double utilization,
+                                        util::SimTime now) {
+  if (index < 0 || static_cast<std::size_t>(index) >= gpus_.size()) {
+    return util::invalid_argument_error("GPU index out of range");
+  }
+  if (spec_.share_slots_per_gpu <= 1) {
+    return util::failed_precondition_error("GPU sharing disabled on " +
+                                           spec_.hostname);
+  }
+  GpuDevice& gpu = gpus_[static_cast<std::size_t>(index)];
+  if (gpu.exclusively_allocated()) {
+    return util::failed_precondition_error(
+        "GPU " + std::to_string(index) + " on " + spec_.hostname +
+        " exclusively allocated to " + gpu.holder());
+  }
+  if (gpu.holder_count() >= spec_.share_slots_per_gpu) {
+    return util::resource_exhausted_error(
+        "GPU " + std::to_string(index) + " on " + spec_.hostname +
+        " has no free share slot");
+  }
+  if (memory_gb > share_memory_cap(static_cast<std::size_t>(index))) {
+    return util::resource_exhausted_error(
+        "footprint exceeds the shared-tenant memory cap on GPU " +
+        std::to_string(index));
+  }
+  if (gpu.memory_used_gb() + memory_gb > gpu.spec().memory_gb) {
+    return util::resource_exhausted_error(
+        "shared footprints would oversubscribe VRAM of GPU " +
+        std::to_string(index));
+  }
+  gpu.allocate_shared(workload_id, memory_gb, utilization, now);
+  return util::Status();
+}
+
 util::Status NodeModel::allocate(const std::vector<int>& indices,
                                  const std::string& workload_id,
                                  double memory_gb, double utilization,
@@ -95,12 +159,19 @@ util::Status NodeModel::allocate(const std::vector<int>& indices,
 int NodeModel::release(const std::string& workload_id, util::SimTime now) {
   int released = 0;
   for (auto& gpu : gpus_) {
-    if (gpu.allocated() && gpu.holder() == workload_id) {
-      gpu.release(now);
-      ++released;
-    }
+    if (gpu.release_holder(workload_id, now)) ++released;
   }
   return released;
+}
+
+int NodeModel::free_shared_slot_count() const {
+  if (spec_.share_slots_per_gpu <= 1) return 0;
+  int slots = 0;
+  for (const auto& gpu : gpus_) {
+    if (gpu.exclusively_allocated() || gpu.holder_count() == 0) continue;
+    slots += std::max(0, spec_.share_slots_per_gpu - gpu.holder_count());
+  }
+  return slots;
 }
 
 double NodeModel::busy_fraction() const {

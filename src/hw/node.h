@@ -22,6 +22,12 @@ struct NodeSpec {
   double ram_gb = 64.0;
   double disk_gb = 2000.0;
   double access_link_gbps = 1.0;
+  /// nvshare-style time-slice slots per GPU (1 = whole-device only).  A
+  /// shared GPU hosts up to this many tenants; the platform policy and the
+  /// placement strategy decide whether slots are actually used.
+  int share_slots_per_gpu = 4;
+  /// Per-tenant VRAM cap on a shared GPU; 0 = memory_gb / share_slots_per_gpu.
+  double share_memory_cap_gb = 0;
 };
 
 /// Convenience builders for the paper's fleet (§4).
@@ -50,13 +56,34 @@ class NodeModel {
   std::optional<std::vector<int>> find_gpus(int count, double min_memory_gb,
                                             double min_compute_capability) const;
 
+  /// Per-tenant VRAM budget on a shared GPU of this node.
+  double share_memory_cap(std::size_t gpu_index) const;
+
+  /// Finds one GPU able to host a fractional tenant of `memory_gb` VRAM:
+  /// not exclusively held, a slot free, and both the per-tenant cap and the
+  /// remaining VRAM honoured.  Prefers the most-occupied shared GPU (pack
+  /// tenants together, keep whole devices free); empty optional when
+  /// impossible or sharing is disabled (share_slots_per_gpu <= 1).
+  std::optional<int> find_share_slot(double memory_gb,
+                                     double min_compute_capability) const;
+
   /// Binds `workload_id` to the given GPU indices.
   util::Status allocate(const std::vector<int>& indices,
                         const std::string& workload_id, double memory_gb,
                         double utilization, util::SimTime now);
 
-  /// Releases every GPU held by `workload_id`; returns how many were freed.
+  /// Adds `workload_id` as a shared tenant on one GPU (see find_share_slot).
+  util::Status allocate_shared(int index, const std::string& workload_id,
+                               double memory_gb, double utilization,
+                               util::SimTime now);
+
+  /// Releases every GPU (or shared slot) held by `workload_id`; returns how
+  /// many devices the workload vacated.
   int release(const std::string& workload_id, util::SimTime now);
+
+  /// Free slots on GPUs already in shared mode (at least one tenant, not
+  /// exclusive).  Fully-free GPUs are advertised via free_gpu_count().
+  int free_shared_slot_count() const;
 
   /// Aggregate busy fraction (allocated GPUs / total), the utilization
   /// figure reported in Fig. 2.

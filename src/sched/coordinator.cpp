@@ -31,7 +31,7 @@ Coordinator::Coordinator(sim::Environment& env, net::Transport& transport,
       database_(database),
       store_(store),
       config_(std::move(config)),
-      selector_(config_.strategy),
+      engine_(directory_, reliability_, config_.policy, config_.strategy),
       heartbeat_monitor_(env, directory_, config_.heartbeat_interval,
                          config_.heartbeat_miss_threshold,
                          [this](const std::string& id) { on_node_lost(id); }),
@@ -103,7 +103,7 @@ util::Status Coordinator::cancel(const std::string& job_id) {
       send_to_agent(record.node, agent::kKillJob,
                     agent::KillJobCommand{job_id, /*allow_checkpoint=*/false},
                     agent::kControlBytes);
-      directory_.release_gpus(record.node, record.spec.requirements.gpu_count);
+      release_capacity(record, record.node);
       record.phase = JobPhase::kCancelled;
       migration_tracker_.abandon(job_id);
       request_pass();
@@ -196,15 +196,19 @@ void Coordinator::handle_register(const agent::RegisterRequest& request) {
   info.gpu_memory_gb = request.gpu_memory_gb;
   info.compute_capability = request.compute_capability;
   info.gpu_tflops = request.gpu_tflops;
+  info.slots_per_gpu = request.slots_per_gpu;
+  info.share_memory_cap_gb = request.share_memory_cap_gb;
   info.status = db::NodeStatus::kActive;
   info.accepting = true;
   info.free_gpus = request.gpu_count;
+  info.free_shared_slots = 0;
   info.last_heartbeat = env_.now();
   info.registered_at =
       existing != nullptr ? existing->registered_at : env_.now();
   info.token_hash = util::Sha256::hex_of(token);
   directory_.upsert(std::move(info));
   in_flight_dispatches_[request.machine_id] = 0;
+  in_flight_slot_dispatches_[request.machine_id] = 0;
 
   db::NodeRecord db_record;
   db_record.machine_id = request.machine_id;
@@ -249,8 +253,19 @@ void Coordinator::handle_heartbeat(const agent::Heartbeat& beat) {
   node->last_heartbeat = env_.now();
   node->last_heartbeat_seq = beat.seq;
   node->accepting = beat.accepting;
+  // The agent's counts are ground truth; re-subtract what is still in
+  // flight so the scheduling view never double-books.
   const int in_flight = in_flight_dispatches_[beat.machine_id];
   node->free_gpus = std::max(0, beat.free_gpus - in_flight);
+  node->free_shared_slots = beat.free_shared_slots;
+  for (int i = in_flight_slot_dispatches_[beat.machine_id]; i > 0; --i) {
+    if (node->free_shared_slots > 0) {
+      --node->free_shared_slots;
+    } else if (node->free_gpus > 0) {
+      --node->free_gpus;
+      node->free_shared_slots += std::max(1, node->slots_per_gpu) - 1;
+    }
+  }
   (void)database_.touch_heartbeat(beat.machine_id, env_.now());
 
   if (was_unavailable) {
@@ -259,7 +274,8 @@ void Coordinator::handle_heartbeat(const agent::Heartbeat& beat) {
     GPUNION_ILOG("coordinator")
         << beat.machine_id << " heartbeats resumed; back in the pool";
     on_node_returned(beat.machine_id);
-  } else if (node->free_gpus > 0 && database_.queue_depth() > 0) {
+  } else if ((node->free_gpus > 0 || node->free_shared_slots > 0) &&
+             database_.queue_depth() > 0) {
     request_pass();
   }
 
@@ -305,8 +321,7 @@ void Coordinator::reconcile_with_heartbeat(const agent::Heartbeat& beat) {
       GPUNION_WLOG("coordinator")
           << job_id << " missing from " << beat.machine_id
           << " heartbeat; requeueing (lost run)";
-      directory_.release_gpus(beat.machine_id,
-                              record.spec.requirements.gpu_count);
+      release_capacity(record, beat.machine_id);
       interrupt_job(record, agent::DepartureKind::kEmergency,
                     db::AllocationOutcome::kLost, env_.now());
     }
@@ -320,9 +335,22 @@ void Coordinator::handle_telemetry(const agent::TelemetryReport& report) {
 
 void Coordinator::handle_dispatch_result(const agent::DispatchResult& result) {
   auto it = jobs_.find(result.job_id);
-  auto in_flight_it = in_flight_dispatches_.find(result.machine_id);
-  if (in_flight_it != in_flight_dispatches_.end() && in_flight_it->second > 0) {
-    --in_flight_it->second;
+  // Settle the in-flight counter for this dispatch, but only when the
+  // record's current assignment still names this node: a mismatched late
+  // ack means the dispatch was already settled (dispatch timeout or node
+  // loss), and decrementing again would eat another job's in-flight count
+  // and double-book capacity until the next heartbeat.  The record's
+  // fractional_slot identifies which counter its dispatch incremented —
+  // never cross counter types.
+  if (it != jobs_.end() && it->second.node == result.machine_id &&
+      (it->second.phase == JobPhase::kDispatching ||
+       it->second.phase == JobPhase::kCancelled)) {
+    auto& counters = it->second.fractional_slot ? in_flight_slot_dispatches_
+                                                : in_flight_dispatches_;
+    auto counter = counters.find(result.machine_id);
+    if (counter != counters.end() && counter->second > 0) {
+      --counter->second;
+    }
   }
 
   if (it == jobs_.end() || it->second.phase != JobPhase::kDispatching ||
@@ -342,8 +370,7 @@ void Coordinator::handle_dispatch_result(const agent::DispatchResult& result) {
   if (!result.accepted) {
     ++stats_.dispatches_rejected;
     ++record.dispatch_rejects;
-    directory_.release_gpus(result.machine_id,
-                            record.spec.requirements.gpu_count);
+    release_capacity(record, result.machine_id);
     record.node.clear();
     GPUNION_DLOG("coordinator") << result.job_id << " rejected by "
                                 << result.machine_id << ": " << result.reason;
@@ -362,12 +389,18 @@ void Coordinator::handle_dispatch_result(const agent::DispatchResult& result) {
   record.reclaim_requested = false;
   record.running_since = env_.now();
   record.segment_start_progress = record.checkpointed_progress;
-  if (const NodeInfo* node = directory_.find(result.machine_id)) {
+  if (const NodeInfo* node =
+          static_cast<const Directory&>(directory_).find(result.machine_id)) {
     record.node_speed = workload::speed_factor(node->gpu_tflops) *
                         std::max(1, record.spec.requirements.gpu_count);
+    if (record.fractional_slot) {
+      record.node_speed *= workload::kSharedComputeShare;
+    }
   }
   record.open_allocation = database_.open_allocation(
-      result.job_id, result.machine_id, result.gpu_indices, env_.now());
+      result.job_id, result.machine_id, result.gpu_indices, env_.now(),
+      result.gpu_fraction,
+      record.spec.type == workload::JobType::kInteractive);
   if (record.first_dispatched_at < 0) {
     record.first_dispatched_at = env_.now();
     stats_.queue_wait.add(env_.now() - record.submitted_at);
@@ -422,7 +455,7 @@ void Coordinator::handle_job_completed(const agent::JobCompleted& done) {
                                      env_.now());
     record.open_allocation = 0;
   }
-  directory_.release_gpus(done.machine_id, record.spec.requirements.gpu_count);
+  release_capacity(record, done.machine_id);
   ++stats_.jobs_completed;
   if (record.spec.type == workload::JobType::kInteractive) {
     ++stats_.sessions_served;
@@ -457,11 +490,13 @@ void Coordinator::handle_departure_notice(
   if (NodeInfo* node = directory_.find(notice.machine_id)) {
     node->status = db::NodeStatus::kDeparted;
     node->free_gpus = 0;
+    node->free_shared_slots = 0;
   }
   (void)database_.set_node_status(notice.machine_id,
                                   db::NodeStatus::kDeparted);
   reliability_.record_departure(notice.machine_id, env_.now());
   in_flight_dispatches_[notice.machine_id] = 0;
+  in_flight_slot_dispatches_[notice.machine_id] = 0;
   interrupt_jobs_on(notice.machine_id, notice.kind, env_.now());
   GPUNION_ILOG("coordinator") << notice.machine_id << " departed ("
                               << departure_kind_name(notice.kind) << ")";
@@ -478,8 +513,7 @@ void Coordinator::handle_kill_switch_notice(
          record.phase != JobPhase::kDispatching)) {
       continue;
     }
-    directory_.release_gpus(notice.machine_id,
-                            record.spec.requirements.gpu_count);
+    release_capacity(record, notice.machine_id);
     interrupt_job(record, agent::DepartureKind::kReclaim,
                   db::AllocationOutcome::kKilled, env_.now());
   }
@@ -508,7 +542,7 @@ void Coordinator::handle_job_killed_ack(const agent::JobKilledAck& ack) {
                                      env_.now());
     record.open_allocation = 0;
   }
-  directory_.release_gpus(ack.machine_id, record.spec.requirements.gpu_count);
+  release_capacity(record, ack.machine_id);
 
   auto& migration = migration_tracker_.open(
       ack.job_id, ack.machine_id, agent::DepartureKind::kTemporary, env_.now(),
@@ -550,17 +584,10 @@ void Coordinator::schedule_pass() {
 }
 
 bool Coordinator::try_place(JobRecord& record) {
-  const bool enforce_degradation =
-      config_.strategy == AllocationStrategy::kReliabilityAware;
-  std::vector<const NodeInfo*> eligible;
-  for (const NodeInfo* node : directory_.schedulable()) {
-    if (node_eligible(*node, record.spec, config_.policy.cross_group_sharing,
-                      reliability_, env_.now(), enforce_degradation)) {
-      eligible.push_back(node);
-    }
-  }
+  auto decision =
+      engine_.place(record.spec, record.preferred_node, env_.now());
 
-  if (eligible.empty()) {
+  if (!decision) {
     // Nothing free.  If the submitter's own machine is full of guests, the
     // owner can reclaim it (provider supremacy working *for* the owner).
     if (config_.policy.owner_reclaim && on_unplaceable_ &&
@@ -571,33 +598,37 @@ bool Coordinator::try_place(JobRecord& record) {
     }
     return false;
   }
-
-  const NodeInfo* pick = nullptr;
-  if (!record.preferred_node.empty()) {
-    for (const NodeInfo* node : eligible) {
-      if (node->machine_id == record.preferred_node) {
-        pick = node;
-        break;
-      }
-    }
-  }
-  if (pick == nullptr) {
-    pick = selector_.select(eligible, record.spec, reliability_, env_.now());
-  }
-  if (pick == nullptr) return false;
-  dispatch_to(record, *pick);
+  dispatch_to(record, *decision->node, decision->fractional);
   return true;
 }
 
-void Coordinator::dispatch_to(JobRecord& record, const NodeInfo& node) {
-  directory_.reserve_gpus(node.machine_id, record.spec.requirements.gpu_count);
-  ++in_flight_dispatches_[node.machine_id];
+void Coordinator::release_capacity(const JobRecord& record,
+                                   const std::string& machine_id) {
+  if (record.fractional_slot) {
+    directory_.release_slot(machine_id);
+  } else {
+    directory_.release_gpus(machine_id, record.spec.requirements.gpu_count);
+  }
+}
+
+void Coordinator::dispatch_to(JobRecord& record, const NodeInfo& node,
+                              bool fractional) {
+  if (fractional) {
+    (void)directory_.reserve_slot(node.machine_id);
+    ++in_flight_slot_dispatches_[node.machine_id];
+  } else {
+    directory_.reserve_gpus(node.machine_id,
+                            record.spec.requirements.gpu_count);
+    ++in_flight_dispatches_[node.machine_id];
+  }
+  record.fractional_slot = fractional;
   record.node = node.machine_id;
   record.phase = JobPhase::kDispatching;
   const std::uint64_t generation = ++record.dispatch_generation;
 
   agent::DispatchRequest request;
   request.job = record.spec;
+  request.fractional = fractional;
   if (config_.policy.checkpoint_restore &&
       record.checkpointed_progress > 0 &&
       record.spec.type == workload::JobType::kTraining) {
@@ -630,11 +661,13 @@ void Coordinator::dispatch_timeout(const std::string& job_id,
   }
   GPUNION_WLOG("coordinator")
       << "dispatch of " << job_id << " to " << record.node << " timed out";
-  auto in_flight_it = in_flight_dispatches_.find(record.node);
-  if (in_flight_it != in_flight_dispatches_.end() && in_flight_it->second > 0) {
+  auto& counters = record.fractional_slot ? in_flight_slot_dispatches_
+                                          : in_flight_dispatches_;
+  auto in_flight_it = counters.find(record.node);
+  if (in_flight_it != counters.end() && in_flight_it->second > 0) {
     --in_flight_it->second;
   }
-  directory_.release_gpus(record.node, record.spec.requirements.gpu_count);
+  release_capacity(record, record.node);
   record.node.clear();
   requeue(record, /*front=*/true);
 }
@@ -772,9 +805,11 @@ void Coordinator::on_node_lost(const std::string& machine_id) {
   if (node == nullptr || node->status != db::NodeStatus::kActive) return;
   node->status = db::NodeStatus::kUnavailable;
   node->free_gpus = 0;
+  node->free_shared_slots = 0;
   (void)database_.set_node_status(machine_id, db::NodeStatus::kUnavailable);
   reliability_.record_departure(machine_id, env_.now());
   in_flight_dispatches_[machine_id] = 0;
+  in_flight_slot_dispatches_[machine_id] = 0;
 
   agent::DepartureKind cause = agent::DepartureKind::kEmergency;
   auto hint = cause_hints_.find(machine_id);

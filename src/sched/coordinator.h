@@ -20,6 +20,7 @@
 #include "sched/directory.h"
 #include "sched/heartbeat_monitor.h"
 #include "sched/migration.h"
+#include "sched/placement_engine.h"
 #include "sched/policy.h"
 #include "sched/reliability.h"
 #include "sched/strategies.h"
@@ -34,7 +35,10 @@ struct CoordinatorConfig {
   std::string id = "coordinator";
   util::Duration heartbeat_interval = 2.0;
   int heartbeat_miss_threshold = 3;
-  AllocationStrategy strategy = AllocationStrategy::kRoundRobin;
+  /// Placement strategy name, resolved via PlacementStrategyFactory
+  /// (round_robin, least_loaded, best_fit, reliability_aware,
+  /// packed_sharing, or any externally registered policy).
+  std::string strategy = std::string(kRoundRobin);
   PlatformPolicy policy;
   /// How long an interactive request may queue before the student gives up.
   util::Duration session_patience = 600.0;
@@ -84,6 +88,9 @@ struct JobRecord {
   std::uint64_t dispatch_generation = 0;  // guards stale timeout events
   bool reclaim_requested = false;  // owner-reclaim already triggered
   int dispatch_rejects = 0;      // consecutive rejections (give up past limit)
+  /// Current/last assignment is a fractional time-sliced slot (capacity is
+  /// returned as a slot, not whole GPUs).
+  bool fractional_slot = false;
   // progress-estimation state for the current run segment
   util::SimTime running_since = -1;
   double segment_start_progress = 0;
@@ -156,6 +163,7 @@ class Coordinator {
   const std::map<std::string, JobRecord>& jobs() const { return jobs_; }
   const Directory& directory() const { return directory_; }
   Directory& directory() { return directory_; }
+  const PlacementEngine& placement_engine() const { return engine_; }
   const CoordinatorStats& stats() const { return stats_; }
   const MigrationTracker& migrations() const { return migration_tracker_; }
   const ReliabilityPredictor& reliability() const { return reliability_; }
@@ -186,9 +194,13 @@ class Coordinator {
   void request_pass();
   bool try_place(JobRecord& record);
   void requeue(JobRecord& record, bool front);
-  void dispatch_to(JobRecord& record, const NodeInfo& node);
+  void dispatch_to(JobRecord& record, const NodeInfo& node, bool fractional);
   void dispatch_timeout(const std::string& job_id, std::uint64_t generation);
   void session_timeout(const std::string& job_id);
+  /// Returns the record's reserved capacity on `machine_id` to the
+  /// scheduling view (whole GPUs or one fractional slot).
+  void release_capacity(const JobRecord& record,
+                        const std::string& machine_id);
 
   // churn handling
   void on_node_lost(const std::string& machine_id);
@@ -213,14 +225,15 @@ class Coordinator {
   CoordinatorConfig config_;
 
   Directory directory_;
-  NodeSelector selector_;
   ReliabilityPredictor reliability_;
+  PlacementEngine engine_;
   MigrationTracker migration_tracker_;
   HeartbeatMonitor heartbeat_monitor_;
   util::Rng rng_;
 
   std::map<std::string, JobRecord> jobs_;  // ordered for determinism
-  std::map<std::string, int> in_flight_dispatches_;  // per node
+  std::map<std::string, int> in_flight_dispatches_;       // whole-GPU, per node
+  std::map<std::string, int> in_flight_slot_dispatches_;  // fractional, per node
   std::map<std::string, agent::DepartureKind> cause_hints_;
   CoordinatorStats stats_;
   OnUnplaceable on_unplaceable_;

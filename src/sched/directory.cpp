@@ -4,7 +4,162 @@
 
 namespace gpunion::sched {
 
+// ---------------------------------------------------------------------------
+// ClusterView
+// ---------------------------------------------------------------------------
+
+void ClusterView::mark_dirty(const std::string& machine_id) {
+  dirty_.insert(machine_id);
+}
+
+void ClusterView::refresh() {
+  for (const auto& machine_id : dirty_) {
+    unindex(machine_id);
+    auto it = nodes_.find(machine_id);
+    if (it != nodes_.end()) index(it->second);
+    ++reindexed_nodes_;
+  }
+  dirty_.clear();
+}
+
+void ClusterView::unindex(const std::string& machine_id) {
+  auto entry_it = entries_.find(machine_id);
+  if (entry_it == entries_.end()) return;
+  const IndexEntry& entry = entry_it->second;
+  if (entry.free_bucket >= 0) {
+    auto bucket = free_buckets_.find(entry.free_bucket);
+    if (bucket != free_buckets_.end()) {
+      bucket->second.erase(entry.ptr);
+      if (bucket->second.empty()) free_buckets_.erase(bucket);
+    }
+  }
+  if (entry.in_slot_set) slot_nodes_.erase(entry.ptr);
+  auto group = by_group_.find(entry.group);
+  if (group != by_group_.end()) {
+    group->second.erase(entry.ptr);
+    if (group->second.empty()) by_group_.erase(group);
+  }
+  auto capability = by_capability_.find(entry.capability);
+  if (capability != by_capability_.end()) {
+    capability->second.erase(entry.ptr);
+    if (capability->second.empty()) by_capability_.erase(capability);
+  }
+  entries_.erase(entry_it);
+}
+
+void ClusterView::index(const NodeInfo& node) {
+  if (!node.schedulable()) return;  // unschedulable nodes stay unindexed
+  IndexEntry entry;
+  entry.ptr = &node;
+  if (node.free_gpus > 0) {
+    entry.free_bucket = node.free_gpus;
+    free_buckets_[node.free_gpus].insert(&node);
+  }
+  if (node.free_shared_slots > 0 && node.slots_per_gpu > 1) {
+    entry.in_slot_set = true;
+    slot_nodes_.insert(&node);
+  }
+  entry.group = node.owner_group;
+  by_group_[node.owner_group].insert(&node);
+  entry.capability = node.compute_capability;
+  by_capability_[node.compute_capability].insert(&node);
+  entries_[node.machine_id] = std::move(entry);
+}
+
+std::vector<const NodeInfo*> ClusterView::whole_gpu_candidates(
+    int gpu_count, double min_memory_gb, double min_compute_capability,
+    const std::string* owner_group) {
+  refresh();
+  std::vector<const NodeInfo*> out;
+  auto admit = [&](const NodeInfo* node) {
+    if (node->free_gpus < gpu_count) return;
+    if (node->gpu_memory_gb < min_memory_gb) return;
+    if (node->compute_capability < min_compute_capability) return;
+    out.push_back(node);
+  };
+  if (owner_group != nullptr) {
+    auto group = by_group_.find(*owner_group);
+    if (group == by_group_.end()) return out;
+    for (const NodeInfo* node : group->second) admit(node);
+    return out;  // group sets are id-ordered already
+  }
+  // Query planner: walk whichever index admits fewer nodes — the
+  // free-capacity buckets (selective on a busy fleet) or the capability
+  // range (selective for high-CC jobs on a mixed fleet).  Either way the
+  // iteration is key-major, id-ordered within a key: deterministic for
+  // identical directory state without a per-query sort.
+  std::size_t free_count = 0;
+  for (auto it = free_buckets_.lower_bound(gpu_count);
+       it != free_buckets_.end(); ++it) {
+    free_count += it->second.size();
+  }
+  std::size_t capability_count = 0;
+  for (auto it = by_capability_.lower_bound(min_compute_capability);
+       it != by_capability_.end(); ++it) {
+    capability_count += it->second.size();
+  }
+  if (capability_count < free_count) {
+    for (auto it = by_capability_.lower_bound(min_compute_capability);
+         it != by_capability_.end(); ++it) {
+      for (const NodeInfo* node : it->second) admit(node);
+    }
+  } else {
+    for (auto it = free_buckets_.lower_bound(gpu_count);
+         it != free_buckets_.end(); ++it) {
+      for (const NodeInfo* node : it->second) admit(node);
+    }
+  }
+  return out;
+}
+
+std::vector<const NodeInfo*> ClusterView::fractional_candidates(
+    double memory_gb, double min_compute_capability,
+    const std::string* owner_group) {
+  refresh();
+  std::vector<const NodeInfo*> out;
+  auto admit = [&](const NodeInfo* node) {
+    if (node->slots_per_gpu <= 1) return;
+    if (node->free_shared_slots <= 0 && node->free_gpus <= 0) return;
+    if (memory_gb > node->share_memory_cap_gb) return;
+    if (node->compute_capability < min_compute_capability) return;
+    out.push_back(node);
+  };
+  if (owner_group != nullptr) {
+    auto group = by_group_.find(*owner_group);
+    if (group == by_group_.end()) return out;
+    for (const NodeInfo* node : group->second) admit(node);
+    return out;
+  }
+  // Union of the shared-slot set and every free-capacity bucket.  A node
+  // with both a free slot and a free GPU appears in both indexes; the
+  // bucket pass skips slot-set members instead of building a merged set.
+  for (const NodeInfo* node : slot_nodes_) admit(node);
+  for (const auto& [free, bucket] : free_buckets_) {
+    for (const NodeInfo* node : bucket) {
+      if (node->free_shared_slots > 0 && node->slots_per_gpu > 1) {
+        continue;  // already admitted from the slot set
+      }
+      admit(node);
+    }
+  }
+  return out;
+}
+
+int ClusterView::total_free_gpus() {
+  refresh();
+  int total = 0;
+  for (const auto& [free, bucket] : free_buckets_) {
+    total += free * static_cast<int>(bucket.size());
+  }
+  return total;
+}
+
+// ---------------------------------------------------------------------------
+// Directory
+// ---------------------------------------------------------------------------
+
 NodeInfo& Directory::upsert(NodeInfo info) {
+  view_.mark_dirty(info.machine_id);
   auto [it, inserted] = nodes_.insert_or_assign(info.machine_id,
                                                 std::move(info));
   return it->second;
@@ -12,7 +167,9 @@ NodeInfo& Directory::upsert(NodeInfo info) {
 
 NodeInfo* Directory::find(const std::string& machine_id) {
   auto it = nodes_.find(machine_id);
-  return it == nodes_.end() ? nullptr : &it->second;
+  if (it == nodes_.end()) return nullptr;
+  view_.mark_dirty(machine_id);  // caller may mutate scheduling fields
+  return &it->second;
 }
 
 const NodeInfo* Directory::find(const std::string& machine_id) const {
@@ -23,9 +180,7 @@ const NodeInfo* Directory::find(const std::string& machine_id) const {
 std::vector<const NodeInfo*> Directory::schedulable() const {
   std::vector<const NodeInfo*> out;
   for (const auto& [id, node] : nodes_) {
-    if (node.status == db::NodeStatus::kActive && node.accepting) {
-      out.push_back(&node);
-    }
+    if (node.schedulable()) out.push_back(&node);
   }
   return out;
 }
@@ -47,6 +202,33 @@ void Directory::release_gpus(const std::string& machine_id, int count) {
   if (NodeInfo* node = find(machine_id)) {
     node->free_gpus = std::clamp(node->free_gpus + count, 0, node->gpu_count);
   }
+}
+
+bool Directory::reserve_slot(const std::string& machine_id) {
+  NodeInfo* node = find(machine_id);
+  if (node == nullptr || node->slots_per_gpu <= 1) return false;
+  if (node->free_shared_slots > 0) {
+    --node->free_shared_slots;
+    return true;
+  }
+  if (node->free_gpus > 0) {
+    // Open a fully-free GPU in shared mode: one slot taken now, the rest
+    // become available to future fractional tenants.
+    --node->free_gpus;
+    node->free_shared_slots += node->slots_per_gpu - 1;
+    return true;
+  }
+  return false;
+}
+
+void Directory::release_slot(const std::string& machine_id) {
+  NodeInfo* node = find(machine_id);
+  if (node == nullptr) return;
+  const int slot_capacity =
+      node->gpu_count * std::max(1, node->slots_per_gpu) -
+      node->free_gpus * std::max(1, node->slots_per_gpu);
+  node->free_shared_slots =
+      std::clamp(node->free_shared_slots + 1, 0, slot_capacity);
 }
 
 int Directory::total_gpus() const {

@@ -1,14 +1,22 @@
-// Coordinator-side membership directory.
+// Coordinator-side membership directory with an indexed cluster view.
 //
 // The scheduler's real-time view of the fleet (§3.2: "maintains a real-time
 // view of available GPU resources across the campus network through periodic
-// status updates from provider agents").  free_gpus is the *scheduling* view:
-// it is decremented optimistically at dispatch and corrected by dispatch
-// results and heartbeats, so the coordinator never double-books a GPU while
-// a dispatch is in flight.
+// status updates from provider agents").  free_gpus / free_shared_slots are
+// the *scheduling* view: decremented optimistically at dispatch and
+// corrected by dispatch results and heartbeats, so the coordinator never
+// double-books capacity while a dispatch is in flight.
+//
+// ClusterView maintains secondary indexes (free-capacity buckets, per-group
+// and per-capability sets, a shared-slot set) so the placement engine
+// generates candidates in O(dirty + matches) instead of rescanning every
+// node for every pending job on every pass.  Mutations mark nodes dirty;
+// indexes are repaired lazily on the next query.
 #pragma once
 
+#include <cstdint>
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -27,20 +35,102 @@ struct NodeInfo {
   double compute_capability = 0;
   double gpu_tflops = 0;
 
+  // Fractional sharing capability advertised at registration.
+  int slots_per_gpu = 1;           // >1: GPUs may be time-sliced
+  double share_memory_cap_gb = 0;  // per-tenant VRAM cap on a shared GPU
+
   db::NodeStatus status = db::NodeStatus::kActive;
   bool accepting = true;
-  int free_gpus = 0;
+  int free_gpus = 0;          // fully-free whole GPUs
+  int free_shared_slots = 0;  // free slots on partially-occupied shared GPUs
   util::SimTime last_heartbeat = 0;
   std::uint64_t last_heartbeat_seq = 0;
   util::SimTime registered_at = 0;
   std::string token_hash;  // sha256 of the issued auth token
+
+  bool schedulable() const {
+    return status == db::NodeStatus::kActive && accepting;
+  }
+};
+
+/// Secondary indexes over the directory, maintained incrementally via
+/// dirty-node invalidation.  Candidate lists are deterministic
+/// (machine-id order) for reproducible placement.
+class ClusterView {
+ public:
+  explicit ClusterView(const std::map<std::string, NodeInfo>& nodes)
+      : nodes_(nodes) {}
+
+  /// Marks one node's index entries stale (re-indexed on the next query).
+  void mark_dirty(const std::string& machine_id);
+
+  /// Schedulable nodes with >= `gpu_count` fully-free GPUs.  When
+  /// `owner_group` is non-null only that group's nodes are returned.
+  std::vector<const NodeInfo*> whole_gpu_candidates(
+      int gpu_count, double min_memory_gb, double min_compute_capability,
+      const std::string* owner_group);
+
+  /// Schedulable nodes able to host one fractional tenant of `memory_gb`:
+  /// sharing enabled, the per-tenant cap honoured, and either a free slot
+  /// on a shared GPU or a fully-free GPU to open in shared mode.
+  std::vector<const NodeInfo*> fractional_candidates(
+      double memory_gb, double min_compute_capability,
+      const std::string* owner_group);
+
+  /// Fully-free whole GPUs across schedulable nodes (bucket sums; O(buckets)).
+  int total_free_gpus();
+
+  /// Nodes re-indexed since construction (observability for the
+  /// scalability bench: work done per pass instead of full rescans).
+  std::uint64_t reindexed_nodes() const { return reindexed_nodes_; }
+
+ private:
+  struct ByIdLess {
+    bool operator()(const NodeInfo* a, const NodeInfo* b) const {
+      return a->machine_id < b->machine_id;
+    }
+  };
+  using NodeSet = std::set<const NodeInfo*, ByIdLess>;
+
+  /// Index keys a node was filed under (needed for removal on change).
+  /// `ptr` is stable: directory entries are never deallocated while indexed.
+  struct IndexEntry {
+    const NodeInfo* ptr = nullptr;
+    int free_bucket = -1;  // -1: not in any free bucket
+    bool in_slot_set = false;
+    std::string group;
+    double capability = 0;
+  };
+
+  void refresh();
+  void unindex(const std::string& machine_id);
+  void index(const NodeInfo& node);
+
+  const std::map<std::string, NodeInfo>& nodes_;
+  // free whole GPUs -> schedulable nodes with exactly that many free
+  std::map<int, NodeSet> free_buckets_;
+  // schedulable nodes with a free slot on an already-shared GPU
+  NodeSet slot_nodes_;
+  std::map<std::string, NodeSet> by_group_;       // schedulable only
+  std::map<double, NodeSet> by_capability_;       // schedulable only
+  std::map<std::string, IndexEntry> entries_;
+  std::set<std::string> dirty_;
+  std::uint64_t reindexed_nodes_ = 0;
 };
 
 class Directory {
  public:
+  Directory() : view_(nodes_) {}
+
+  // The view indexes the node map by reference; pin the object.
+  Directory(const Directory&) = delete;
+  Directory& operator=(const Directory&) = delete;
+
   /// Inserts or updates; returns the stored entry.
   NodeInfo& upsert(NodeInfo info);
 
+  /// Mutable lookup: the caller may change scheduling-relevant fields, so
+  /// the node is marked dirty in the cluster view.
   NodeInfo* find(const std::string& machine_id);
   const NodeInfo* find(const std::string& machine_id) const;
 
@@ -49,15 +139,29 @@ class Directory {
   /// All nodes, machine-id order.
   std::vector<const NodeInfo*> all() const;
 
-  /// Adjusts the scheduling view of free GPUs (clamped to [0, gpu_count]).
+  /// Adjusts the scheduling view of free whole GPUs (clamped to
+  /// [0, gpu_count]).
   void reserve_gpus(const std::string& machine_id, int count);
   void release_gpus(const std::string& machine_id, int count);
+
+  /// Takes one fractional slot: a free slot on a shared GPU when available,
+  /// otherwise a fully-free GPU is opened in shared mode.  False when the
+  /// node is unknown, sharing is disabled, or nothing is free.
+  bool reserve_slot(const std::string& machine_id);
+  /// Returns one fractional slot to the scheduling view.  A shared GPU
+  /// emptying back into the whole-GPU pool is reconciled by the next
+  /// heartbeat (the agent is ground truth).
+  void release_slot(const std::string& machine_id);
 
   std::size_t size() const { return nodes_.size(); }
   int total_gpus() const;
 
+  /// Indexed view for the placement engine.
+  ClusterView& view() { return view_; }
+
  private:
   std::map<std::string, NodeInfo> nodes_;  // ordered for determinism
+  ClusterView view_;
 };
 
 }  // namespace gpunion::sched

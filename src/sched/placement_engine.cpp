@@ -1,0 +1,128 @@
+#include "sched/placement_engine.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace gpunion::sched {
+
+namespace {
+
+/// Degradation rule (§3.2): long training jobs stay off low-score nodes.
+bool degradation_ok(const NodeInfo& node, const workload::JobSpec& job,
+                    const ReliabilityPredictor& reliability,
+                    util::SimTime now) {
+  if (job.type != workload::JobType::kTraining) return true;
+  const double score = reliability.score(node.machine_id, now);
+  return job.reference_duration / 3600.0 <=
+         ReliabilityPredictor::max_job_hours(score);
+}
+
+}  // namespace
+
+bool node_eligible(const NodeInfo& node, const workload::JobSpec& job,
+                   bool cross_group_sharing,
+                   const ReliabilityPredictor& reliability, util::SimTime now,
+                   bool enforce_degradation) {
+  if (!node.schedulable()) return false;
+  if (!cross_group_sharing && node.owner_group != job.owner_group) {
+    return false;
+  }
+  const auto& req = job.requirements;
+  if (node.free_gpus < req.gpu_count) return false;
+  if (node.gpu_memory_gb < req.gpu_memory_gb) return false;
+  if (node.compute_capability < req.min_compute_capability) return false;
+  if (enforce_degradation && !degradation_ok(node, job, reliability, now)) {
+    return false;
+  }
+  return true;
+}
+
+bool slot_eligible(const NodeInfo& node, const workload::JobSpec& job,
+                   bool cross_group_sharing) {
+  if (!node.schedulable()) return false;
+  if (!cross_group_sharing && node.owner_group != job.owner_group) {
+    return false;
+  }
+  if (node.slots_per_gpu <= 1) return false;
+  const auto& req = job.requirements;
+  if (!req.shareable || req.gpu_count != 1) return false;
+  if (req.gpu_memory_gb > node.share_memory_cap_gb) return false;
+  if (node.compute_capability < req.min_compute_capability) return false;
+  return node.free_shared_slots > 0 || node.free_gpus > 0;
+}
+
+PlacementEngine::PlacementEngine(Directory& directory,
+                                 const ReliabilityPredictor& reliability,
+                                 const PlatformPolicy& policy,
+                                 const std::string& strategy_name)
+    : directory_(directory),
+      reliability_(reliability),
+      policy_(policy),
+      strategy_(PlacementStrategyFactory::instance().create(strategy_name)) {
+  if (strategy_ == nullptr) {
+    GPUNION_WLOG("placement") << "unknown placement strategy '"
+                              << strategy_name
+                              << "'; falling back to round_robin";
+    strategy_ = PlacementStrategyFactory::instance().create(
+        std::string(kRoundRobin));
+  }
+}
+
+std::vector<const NodeInfo*> PlacementEngine::eligible_candidates(
+    const workload::JobSpec& job, util::SimTime now, bool fractional) {
+  const std::string* group =
+      policy_.cross_group_sharing ? nullptr : &job.owner_group;
+  const auto& req = job.requirements;
+  std::vector<const NodeInfo*> candidates =
+      fractional
+          ? directory_.view().fractional_candidates(
+                req.gpu_memory_gb, req.min_compute_capability, group)
+          : directory_.view().whole_gpu_candidates(
+                req.gpu_count, req.gpu_memory_gb, req.min_compute_capability,
+                group);
+  // The view pre-filters on capacity/compatibility/group; re-check the full
+  // predicate (including the degradation rule) so index staleness bugs can
+  // never place a job somewhere invalid.
+  const bool degrade = strategy_->enforce_degradation();
+  auto ineligible = [&](const NodeInfo* node) {
+    if (fractional) {
+      if (!slot_eligible(*node, job, policy_.cross_group_sharing)) return true;
+      return degrade && !degradation_ok(*node, job, reliability_, now);
+    }
+    return !node_eligible(*node, job, policy_.cross_group_sharing,
+                          reliability_, now, degrade);
+  };
+  candidates.erase(
+      std::remove_if(candidates.begin(), candidates.end(), ineligible),
+      candidates.end());
+  return candidates;
+}
+
+std::optional<PlacementDecision> PlacementEngine::place(
+    const workload::JobSpec& job, const std::string& preferred_node,
+    util::SimTime now) {
+  PlacementContext context{&reliability_, now};
+
+  const bool try_fractional = policy_.fractional_sharing &&
+                              strategy_->wants_fractional(job);
+  for (const bool fractional : {true, false}) {
+    if (fractional && !try_fractional) continue;
+    auto candidates = eligible_candidates(job, now, fractional);
+    if (candidates.empty()) continue;
+    if (!preferred_node.empty()) {
+      for (const NodeInfo* node : candidates) {
+        if (node->machine_id == preferred_node) {
+          return PlacementDecision{node, fractional};
+        }
+      }
+    }
+    if (const NodeInfo* pick =
+            strategy_->select(candidates, job, context, fractional)) {
+      return PlacementDecision{pick, fractional};
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace gpunion::sched

@@ -1,0 +1,76 @@
+// Placement engine: eligibility + strategy-driven node selection.
+//
+// Carved out of the coordinator so that the scheduling pass is a pure
+// function of the indexed ClusterView, the platform policy and the
+// configured PlacementStrategy.  The coordinator keeps only queue/dispatch
+// mechanics; everything about *where* a job lands lives here.
+//
+// Fractional placement: when the policy enables GPU sharing and the
+// strategy wants it for a shareable job, the engine first tries to place
+// the job into a time-sliced slot (nvshare-style) and only then falls back
+// to a whole-device allocation.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sched/directory.h"
+#include "sched/policy.h"
+#include "sched/reliability.h"
+#include "sched/strategies.h"
+#include "workload/job.h"
+
+namespace gpunion::sched {
+
+/// Where (and how) one job should run.
+struct PlacementDecision {
+  const NodeInfo* node = nullptr;
+  /// Placed into a fractional time-sliced slot instead of whole GPUs.
+  bool fractional = false;
+};
+
+/// Hard eligibility for a whole-GPU placement: status/accepting/capacity/
+/// compatibility plus the reliability degradation rule.
+bool node_eligible(const NodeInfo& node, const workload::JobSpec& job,
+                   bool cross_group_sharing,
+                   const ReliabilityPredictor& reliability, util::SimTime now,
+                   bool enforce_degradation);
+
+/// Hard eligibility for a fractional-slot placement: sharing enabled on the
+/// node, single-GPU shareable job within the per-tenant memory cap, and a
+/// slot (or a free GPU to open in shared mode) available.
+bool slot_eligible(const NodeInfo& node, const workload::JobSpec& job,
+                   bool cross_group_sharing);
+
+class PlacementEngine {
+ public:
+  /// Unknown strategy names fall back to round_robin (§3.5 default).
+  PlacementEngine(Directory& directory,
+                  const ReliabilityPredictor& reliability,
+                  const PlatformPolicy& policy,
+                  const std::string& strategy_name);
+
+  /// One placement decision for `job`.  Does not reserve capacity — that is
+  /// the caller's (so a rejected dispatch can be retried elsewhere).
+  /// `preferred_node` wins whenever it is eligible (migrate-back affinity).
+  std::optional<PlacementDecision> place(const workload::JobSpec& job,
+                                         const std::string& preferred_node,
+                                         util::SimTime now);
+
+  PlacementStrategy& strategy() { return *strategy_; }
+  const PlacementStrategy& strategy() const { return *strategy_; }
+  std::string_view strategy_name() const { return strategy_->name(); }
+
+ private:
+  std::vector<const NodeInfo*> eligible_candidates(
+      const workload::JobSpec& job, util::SimTime now, bool fractional);
+
+  Directory& directory_;
+  const ReliabilityPredictor& reliability_;
+  const PlatformPolicy& policy_;
+  std::unique_ptr<PlacementStrategy> strategy_;
+};
+
+}  // namespace gpunion::sched

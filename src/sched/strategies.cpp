@@ -4,88 +4,184 @@
 
 namespace gpunion::sched {
 
-std::string_view allocation_strategy_name(AllocationStrategy s) {
-  switch (s) {
-    case AllocationStrategy::kRoundRobin: return "round_robin";
-    case AllocationStrategy::kLeastLoaded: return "least_loaded";
-    case AllocationStrategy::kBestFit: return "best_fit";
-    case AllocationStrategy::kReliabilityAware: return "reliability_aware";
-  }
-  return "unknown";
+PlacementStrategyFactory& PlacementStrategyFactory::instance() {
+  static PlacementStrategyFactory factory;
+  return factory;
 }
 
-bool node_eligible(const NodeInfo& node, const workload::JobSpec& job,
-                   bool cross_group_sharing,
-                   const ReliabilityPredictor& reliability, util::SimTime now,
-                   bool enforce_degradation) {
-  if (node.status != db::NodeStatus::kActive || !node.accepting) return false;
-  if (!cross_group_sharing && node.owner_group != job.owner_group) {
-    return false;
-  }
-  const auto& req = job.requirements;
-  if (node.free_gpus < req.gpu_count) return false;
-  if (node.gpu_memory_gb < req.gpu_memory_gb) return false;
-  if (node.compute_capability < req.min_compute_capability) return false;
-  if (enforce_degradation && job.type == workload::JobType::kTraining) {
-    const double score = reliability.score(node.machine_id, now);
-    const double hours = job.reference_duration / 3600.0;
-    if (hours > ReliabilityPredictor::max_job_hours(score)) return false;
-  }
-  return true;
+void PlacementStrategyFactory::register_strategy(std::string name,
+                                                 Builder builder) {
+  builders_[std::move(name)] = std::move(builder);
 }
 
-const NodeInfo* NodeSelector::select(
-    const std::vector<const NodeInfo*>& eligible,
-    const workload::JobSpec& job, const ReliabilityPredictor& reliability,
-    util::SimTime now) {
-  if (eligible.empty()) return nullptr;
+std::unique_ptr<PlacementStrategy> PlacementStrategyFactory::create(
+    const std::string& name) const {
+  auto it = builders_.find(name);
+  return it == builders_.end() ? nullptr : it->second();
+}
 
-  switch (strategy_) {
-    case AllocationStrategy::kRoundRobin: {
-      const NodeInfo* pick = eligible[rr_cursor_ % eligible.size()];
-      ++rr_cursor_;
-      return pick;
-    }
-    case AllocationStrategy::kLeastLoaded: {
-      // Most available capacity first (absolute free GPUs): big idle
-      // servers absorb work before single-GPU workstations.
-      return *std::max_element(
-          eligible.begin(), eligible.end(),
-          [](const NodeInfo* a, const NodeInfo* b) {
-            if (a->free_gpus != b->free_gpus) {
-              return a->free_gpus < b->free_gpus;
-            }
-            return a->machine_id > b->machine_id;
-          });
-    }
-    case AllocationStrategy::kBestFit: {
-      // Tightest VRAM fit keeps 80 GB A100s free for jobs that need them.
-      return *std::min_element(
-          eligible.begin(), eligible.end(),
-          [&job](const NodeInfo* a, const NodeInfo* b) {
-            const double slack_a =
-                a->gpu_memory_gb - job.requirements.gpu_memory_gb;
-            const double slack_b =
-                b->gpu_memory_gb - job.requirements.gpu_memory_gb;
-            if (slack_a != slack_b) return slack_a < slack_b;
-            return a->machine_id < b->machine_id;
-          });
-    }
-    case AllocationStrategy::kReliabilityAware: {
-      return *std::max_element(
-          eligible.begin(), eligible.end(),
-          [&reliability, now](const NodeInfo* a, const NodeInfo* b) {
-            const double score_a = reliability.score(a->machine_id, now);
-            const double score_b = reliability.score(b->machine_id, now);
+std::vector<std::string> PlacementStrategyFactory::names() const {
+  std::vector<std::string> out;
+  out.reserve(builders_.size());
+  for (const auto& [name, builder] : builders_) out.push_back(name);
+  return out;  // std::map iteration is sorted
+}
+
+namespace {
+
+/// Fairness: rotate across eligible providers.
+class RoundRobinStrategy : public PlacementStrategy {
+ public:
+  std::string_view name() const override { return kRoundRobin; }
+
+  const NodeInfo* select(const std::vector<const NodeInfo*>& candidates,
+                         const workload::JobSpec& job,
+                         const PlacementContext& context,
+                         bool fractional) override {
+    (void)job;
+    (void)context;
+    (void)fractional;
+    if (candidates.empty()) return nullptr;
+    return candidates[cursor_++ % candidates.size()];
+  }
+
+ private:
+  std::size_t cursor_ = 0;
+};
+
+/// Spread: most available capacity first (absolute free GPUs), so big idle
+/// servers absorb work before single-GPU workstations.
+class LeastLoadedStrategy : public PlacementStrategy {
+ public:
+  std::string_view name() const override { return kLeastLoaded; }
+
+  const NodeInfo* select(const std::vector<const NodeInfo*>& candidates,
+                         const workload::JobSpec& job,
+                         const PlacementContext& context,
+                         bool fractional) override {
+    (void)job;
+    (void)context;
+    (void)fractional;
+    if (candidates.empty()) return nullptr;
+    return *std::max_element(candidates.begin(), candidates.end(),
+                             [](const NodeInfo* a, const NodeInfo* b) {
+                               if (a->free_gpus != b->free_gpus) {
+                                 return a->free_gpus < b->free_gpus;
+                               }
+                               return a->machine_id > b->machine_id;
+                             });
+  }
+};
+
+/// Pack: tightest VRAM fit keeps 80 GB A100s free for jobs that need them.
+const NodeInfo* best_vram_fit(const std::vector<const NodeInfo*>& candidates,
+                              const workload::JobSpec& job) {
+  if (candidates.empty()) return nullptr;
+  return *std::min_element(
+      candidates.begin(), candidates.end(),
+      [&job](const NodeInfo* a, const NodeInfo* b) {
+        const double slack_a = a->gpu_memory_gb - job.requirements.gpu_memory_gb;
+        const double slack_b = b->gpu_memory_gb - job.requirements.gpu_memory_gb;
+        if (slack_a != slack_b) return slack_a < slack_b;
+        return a->machine_id < b->machine_id;
+      });
+}
+
+class BestFitStrategy : public PlacementStrategy {
+ public:
+  std::string_view name() const override { return kBestFit; }
+
+  const NodeInfo* select(const std::vector<const NodeInfo*>& candidates,
+                         const workload::JobSpec& job,
+                         const PlacementContext& context,
+                         bool fractional) override {
+    (void)context;
+    (void)fractional;
+    return best_vram_fit(candidates, job);
+  }
+};
+
+/// Prefer steady providers (volatility prediction, §3.2) and enforce the
+/// degradation rule during eligibility.
+class ReliabilityAwareStrategy : public PlacementStrategy {
+ public:
+  std::string_view name() const override { return kReliabilityAware; }
+  bool enforce_degradation() const override { return true; }
+
+  const NodeInfo* select(const std::vector<const NodeInfo*>& candidates,
+                         const workload::JobSpec& job,
+                         const PlacementContext& context,
+                         bool fractional) override {
+    (void)job;
+    (void)fractional;
+    if (candidates.empty()) return nullptr;
+    const ReliabilityPredictor* reliability = context.reliability;
+    const util::SimTime now = context.now;
+    return *std::max_element(
+        candidates.begin(), candidates.end(),
+        [reliability, now](const NodeInfo* a, const NodeInfo* b) {
+          if (reliability != nullptr) {
+            const double score_a = reliability->score(a->machine_id, now);
+            const double score_b = reliability->score(b->machine_id, now);
             if (score_a != score_b) return score_a < score_b;
-            if (a->free_gpus != b->free_gpus) {
-              return a->free_gpus < b->free_gpus;
-            }
-            return a->machine_id > b->machine_id;
-          });
-    }
+          }
+          if (a->free_gpus != b->free_gpus) {
+            return a->free_gpus < b->free_gpus;
+          }
+          return a->machine_id > b->machine_id;
+        });
   }
-  return eligible.front();
-}
+};
+
+/// Fractional packing: shareable jobs go to time-sliced slots, tightest
+/// first — prefer the node whose shared GPUs have the fewest free slots
+/// left (keep shared devices hot, keep whole devices free for training);
+/// open a fresh shared GPU only when no partially-filled one fits, picking
+/// the tightest VRAM fit for it.  Whole-GPU jobs fall back to best-fit.
+class PackedSharingStrategy : public PlacementStrategy {
+ public:
+  std::string_view name() const override { return kPackedSharing; }
+
+  bool wants_fractional(const workload::JobSpec& job) const override {
+    return job.requirements.shareable && job.requirements.gpu_count == 1;
+  }
+
+  const NodeInfo* select(const std::vector<const NodeInfo*>& candidates,
+                         const workload::JobSpec& job,
+                         const PlacementContext& context,
+                         bool fractional) override {
+    (void)context;
+    if (candidates.empty()) return nullptr;
+    if (!fractional) return best_vram_fit(candidates, job);
+
+    const NodeInfo* tightest = nullptr;
+    for (const NodeInfo* node : candidates) {
+      if (node->free_shared_slots <= 0) continue;
+      if (tightest == nullptr ||
+          node->free_shared_slots < tightest->free_shared_slots ||
+          (node->free_shared_slots == tightest->free_shared_slots &&
+           node->machine_id < tightest->machine_id)) {
+        tightest = node;
+      }
+    }
+    if (tightest != nullptr) return tightest;
+    // No partially-filled shared GPU anywhere: open one on the node whose
+    // VRAM the tenant wastes least.
+    return best_vram_fit(candidates, job);
+  }
+};
+
+const PlacementStrategyRegistrar<RoundRobinStrategy> round_robin_registrar(
+    "round_robin");
+const PlacementStrategyRegistrar<LeastLoadedStrategy> least_loaded_registrar(
+    "least_loaded");
+const PlacementStrategyRegistrar<BestFitStrategy> best_fit_registrar(
+    "best_fit");
+const PlacementStrategyRegistrar<ReliabilityAwareStrategy>
+    reliability_aware_registrar("reliability_aware");
+const PlacementStrategyRegistrar<PackedSharingStrategy>
+    packed_sharing_registrar("packed_sharing");
+
+}  // namespace
 
 }  // namespace gpunion::sched

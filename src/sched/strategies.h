@@ -1,13 +1,18 @@
-// Node-selection strategies.
+// Pluggable placement strategies.
 //
 // §3.2: "The scheduler implements multiple allocation strategies, including
 // distribution for fairness and assignment based on priority"; §3.5 names
-// the round-robin scheduler over the pending-request priority queue.
-// bench/ablation_strategies compares these head-to-head.
+// the round-robin scheduler over the pending-request priority queue.  Each
+// strategy is a PlacementStrategy subclass registered in the factory by
+// name, so new policies land without touching the coordinator.
+// bench/ablation_strategies compares them head-to-head.
 #pragma once
 
-#include <optional>
+#include <functional>
+#include <map>
+#include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "sched/directory.h"
@@ -16,40 +21,76 @@
 
 namespace gpunion::sched {
 
-enum class AllocationStrategy {
-  kRoundRobin,        // fairness: rotate across eligible providers
-  kLeastLoaded,       // spread: most free capacity first
-  kBestFit,           // pack: tightest VRAM fit, preserving big GPUs
-  kReliabilityAware,  // prefer steady providers (volatility prediction)
+/// Read-only inputs a strategy may consult when ranking candidates.
+struct PlacementContext {
+  const ReliabilityPredictor* reliability = nullptr;
+  util::SimTime now = 0;
 };
 
-std::string_view allocation_strategy_name(AllocationStrategy s);
-
-/// Stateful selector (round-robin keeps a rotating cursor).
-class NodeSelector {
+/// One allocation policy.  Instances may be stateful (round-robin keeps a
+/// rotating cursor), so the coordinator owns one instance for its lifetime.
+class PlacementStrategy {
  public:
-  explicit NodeSelector(AllocationStrategy strategy) : strategy_(strategy) {}
+  virtual ~PlacementStrategy() = default;
 
-  /// Picks a node among `eligible` (all already satisfy hard constraints).
-  /// Returns nullptr when the list is empty.
-  const NodeInfo* select(const std::vector<const NodeInfo*>& eligible,
-                         const workload::JobSpec& job,
-                         const ReliabilityPredictor& reliability,
-                         util::SimTime now);
+  virtual std::string_view name() const = 0;
 
-  AllocationStrategy strategy() const { return strategy_; }
+  /// Strategies built on reliability predictions also enforce the
+  /// degradation rule (long jobs kept off flaky nodes) during eligibility.
+  virtual bool enforce_degradation() const { return false; }
+
+  /// True when the strategy places this job into a fractional GPU slot
+  /// (nvshare-style time-sliced sharing) in preference to a whole device.
+  virtual bool wants_fractional(const workload::JobSpec& job) const {
+    (void)job;
+    return false;
+  }
+
+  /// Picks a node among `candidates` (all already satisfy hard
+  /// constraints).  `fractional` marks a slot-placement pass.  Returns
+  /// nullptr when the list is empty.
+  virtual const NodeInfo* select(
+      const std::vector<const NodeInfo*>& candidates,
+      const workload::JobSpec& job, const PlacementContext& context,
+      bool fractional) = 0;
+};
+
+/// Name-indexed registry.  Strategies self-register at static-init time;
+/// the coordinator resolves its configured strategy here and never switches
+/// on a policy enum.
+class PlacementStrategyFactory {
+ public:
+  using Builder = std::function<std::unique_ptr<PlacementStrategy>()>;
+
+  static PlacementStrategyFactory& instance();
+
+  void register_strategy(std::string name, Builder builder);
+  /// nullptr for unknown names.
+  std::unique_ptr<PlacementStrategy> create(const std::string& name) const;
+  /// Registered names, sorted.
+  std::vector<std::string> names() const;
 
  private:
-  AllocationStrategy strategy_;
-  std::size_t rr_cursor_ = 0;
+  std::map<std::string, Builder> builders_;
 };
 
-/// Hard eligibility: status/accepting/capacity/compatibility plus the
-/// reliability degradation rule.  `require_sharing` embeds the policy's
-/// cross-group switch; pass the job's group.
-bool node_eligible(const NodeInfo& node, const workload::JobSpec& job,
-                   bool cross_group_sharing,
-                   const ReliabilityPredictor& reliability, util::SimTime now,
-                   bool enforce_degradation);
+/// Registers `S` (default-constructible) under `name` at static-init time:
+///   const PlacementStrategyRegistrar<MyStrategy> reg("my_strategy");
+template <typename S>
+struct PlacementStrategyRegistrar {
+  explicit PlacementStrategyRegistrar(const char* name) {
+    PlacementStrategyFactory::instance().register_strategy(
+        name, [] { return std::make_unique<S>(); });
+  }
+};
+
+/// Built-in strategy names.
+inline constexpr std::string_view kRoundRobin = "round_robin";
+inline constexpr std::string_view kLeastLoaded = "least_loaded";
+inline constexpr std::string_view kBestFit = "best_fit";
+inline constexpr std::string_view kReliabilityAware = "reliability_aware";
+/// Fractional-slot packing: shareable jobs are time-slice packed onto
+/// already-shared GPUs; whole-GPU jobs fall back to best-fit.
+inline constexpr std::string_view kPackedSharing = "packed_sharing";
 
 }  // namespace gpunion::sched

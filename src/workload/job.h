@@ -28,6 +28,13 @@ struct JobRequirements {
   double gpu_memory_gb = 8.0;
   double min_compute_capability = 7.0;
   int priority = 0;  // higher schedules first
+  /// The job tolerates nvshare-style time-sliced sharing of one GPU with
+  /// other tenants (fractional slot) instead of whole-device allocation.
+  /// Interactive sessions are shareable by default: they drive the GPU in
+  /// bursts and waste most of a dedicated device.  Only meaningful for
+  /// single-GPU jobs; whether a slot is actually used depends on the
+  /// platform policy and the placement strategy.
+  bool shareable = false;
 };
 
 /// Checkpointable-state profile of a training job (drives ALC costs).
@@ -65,5 +72,16 @@ double speed_factor(double gpu_tflops);
 
 /// Reference-GPU FP32 throughput (RTX 3090).
 constexpr double kReferenceTflops = 35.6;
+
+/// Fraction of a GPU an interactive session actually drives over its
+/// lifetime (bursty notebook usage; the rest idles).  Used by utilization
+/// accounting: a whole GPU dedicated to one session delivers only this
+/// much compute, which is precisely what fractional sharing recovers.
+constexpr double kInteractiveDutyCycle = 0.35;
+
+/// Effective compute share a *training* job gets from a time-sliced shared
+/// slot.  Co-tenants are bursty, so the slice delivers more than
+/// 1/slots_per_gpu but less than the whole device.
+constexpr double kSharedComputeShare = 0.5;
 
 }  // namespace gpunion::workload

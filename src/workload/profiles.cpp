@@ -65,7 +65,10 @@ JobSpec make_interactive_session(std::string id, double hours,
   spec.id = std::move(id);
   spec.type = JobType::kInteractive;
   spec.owner_group = std::move(owner_group);
-  spec.requirements = JobRequirements{1, 8.0, 7.0, 1};  // sessions are latency-sensitive
+  // Sessions are latency-sensitive (priority 1) and sized to fit a shared
+  // slot on the smallest fleet GPU (24 GB / 4 slots).
+  spec.requirements = JobRequirements{1, 6.0, 7.0, 1};
+  spec.requirements.shareable = true;  // bursty usage tolerates a shared slot
   spec.reference_duration = hours * 3600.0;
   spec.checkpoint_interval = 0;  // sessions do not checkpoint
   spec.image_ref = "jupyter-dl:latest";

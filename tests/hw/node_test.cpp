@@ -73,5 +73,67 @@ TEST(NodeModelTest, FreeGpusListsIndices) {
   EXPECT_EQ(node.free_gpus(), (std::vector<int>{0, 3}));
 }
 
+TEST(NodeModelTest, SharedSlotsPackOntoOneDevice) {
+  NodeModel node(server_4xa6000("srv"));  // 48 GB, 4 slots -> 12 GB cap
+  EXPECT_DOUBLE_EQ(node.share_memory_cap(0), 12.0);
+  auto first = node.find_share_slot(8.0, 8.0);
+  ASSERT_TRUE(first.has_value());
+  ASSERT_TRUE(node.allocate_shared(*first, "t-1", 8.0, 0.5, 0.0).is_ok());
+  // The next tenant packs onto the same (most-occupied) device.
+  auto second = node.find_share_slot(8.0, 8.0);
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(*second, *first);
+  ASSERT_TRUE(node.allocate_shared(*second, "t-2", 8.0, 0.5, 0.0).is_ok());
+  EXPECT_EQ(node.gpu(static_cast<std::size_t>(*first)).holder_count(), 2);
+  // Whole-device pool shrank by one; shared slots opened.
+  EXPECT_EQ(node.free_gpu_count(), 3);
+  EXPECT_EQ(node.free_shared_slot_count(), 2);
+  // A shared device is not free for exclusive allocation.
+  EXPECT_EQ(node.allocate({*first}, "whole", 10.0, 0.9, 0.0).code(),
+            util::StatusCode::kFailedPrecondition);
+  // Releasing both tenants returns the device to the whole pool.
+  EXPECT_EQ(node.release("t-1", 1.0), 1);
+  EXPECT_EQ(node.release("t-2", 1.0), 1);
+  EXPECT_EQ(node.free_gpu_count(), 4);
+  EXPECT_EQ(node.free_shared_slot_count(), 0);
+}
+
+TEST(NodeModelTest, SharedSlotCountAndMemoryLimitsEnforced) {
+  NodeSpec spec = workstation_3090("ws");  // 24 GB, 4 slots -> 6 GB cap
+  NodeModel node(spec);
+  // Per-tenant cap enforced.
+  EXPECT_EQ(node.allocate_shared(0, "fat", 10.0, 0.5, 0.0).code(),
+            util::StatusCode::kResourceExhausted);
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(
+        node.allocate_shared(0, "t-" + std::to_string(i), 6.0, 0.5, 0.0)
+            .is_ok());
+  }
+  // Slot count exhausted: the fifth tenant is denied.
+  EXPECT_EQ(node.allocate_shared(0, "t-5", 1.0, 0.5, 0.0).code(),
+            util::StatusCode::kResourceExhausted);
+  EXPECT_FALSE(node.find_share_slot(1.0, 7.0).has_value());
+  // Utilization saturates instead of exceeding 1.
+  EXPECT_LE(node.gpu(0).utilization(), 1.0);
+}
+
+TEST(NodeModelTest, SharingDisabledBySpec) {
+  NodeSpec spec = workstation_3090("ws");
+  spec.share_slots_per_gpu = 1;
+  NodeModel node(spec);
+  EXPECT_FALSE(node.find_share_slot(4.0, 7.0).has_value());
+  EXPECT_EQ(node.allocate_shared(0, "t", 4.0, 0.5, 0.0).code(),
+            util::StatusCode::kFailedPrecondition);
+  EXPECT_EQ(node.free_shared_slot_count(), 0);
+}
+
+TEST(NodeModelTest, ExclusiveDeviceRejectsSharedTenant) {
+  NodeModel node(workstation_3090("ws"));
+  ASSERT_TRUE(node.allocate({0}, "whole", 8.0, 0.9, 0.0).is_ok());
+  EXPECT_EQ(node.allocate_shared(0, "t", 4.0, 0.5, 0.0).code(),
+            util::StatusCode::kFailedPrecondition);
+  EXPECT_FALSE(node.find_share_slot(4.0, 7.0).has_value());
+}
+
 }  // namespace
 }  // namespace gpunion::hw

@@ -317,7 +317,7 @@ TEST_F(CoordinatorTest, CompatibilityConstraintsRouteToRightHardware) {
 
 TEST_F(CoordinatorTest, ReliabilityDegradationAvoidsFlakyNodeForLongJobs) {
   CoordinatorConfig config;
-  config.strategy = AllocationStrategy::kReliabilityAware;
+  config.strategy = std::string(kReliabilityAware);
   make_coordinator(config);
   auto& flaky = add_agent("ws-0", hw::workstation_3090("ws-0"));
   add_agent("ws-1", hw::workstation_3090("ws-1"));

@@ -77,5 +77,137 @@ TEST(DirectoryTest, AllIsSortedByMachineId) {
   EXPECT_EQ(all[1]->machine_id, "m-b");
 }
 
+TEST(DirectoryTest, SlotReserveOpensSharedGpuAndReleaseReturnsIt) {
+  Directory directory;
+  NodeInfo info = make_node("m-1", 2);
+  info.slots_per_gpu = 4;
+  info.share_memory_cap_gb = 6.0;
+  directory.upsert(info);
+  // First slot opens a whole GPU in shared mode.
+  EXPECT_TRUE(directory.reserve_slot("m-1"));
+  EXPECT_EQ(directory.find("m-1")->free_gpus, 1);
+  EXPECT_EQ(directory.find("m-1")->free_shared_slots, 3);
+  // Subsequent slots drain the shared GPU before opening another.
+  EXPECT_TRUE(directory.reserve_slot("m-1"));
+  EXPECT_EQ(directory.find("m-1")->free_gpus, 1);
+  EXPECT_EQ(directory.find("m-1")->free_shared_slots, 2);
+  directory.release_slot("m-1");
+  EXPECT_EQ(directory.find("m-1")->free_shared_slots, 3);
+  // Sharing disabled or unknown node: no slot.
+  NodeInfo unshared = make_node("m-2", 1);
+  unshared.slots_per_gpu = 1;
+  directory.upsert(unshared);
+  EXPECT_FALSE(directory.reserve_slot("m-2"));
+  EXPECT_FALSE(directory.reserve_slot("ghost"));
+}
+
+TEST(DirectoryTest, SlotReserveDeniedWhenEverythingTaken) {
+  Directory directory;
+  NodeInfo info = make_node("m-1", 1);
+  info.slots_per_gpu = 2;
+  directory.upsert(info);
+  EXPECT_TRUE(directory.reserve_slot("m-1"));
+  EXPECT_TRUE(directory.reserve_slot("m-1"));
+  // 2 slots on 1 GPU: the third tenant is denied (oversubscription).
+  EXPECT_FALSE(directory.reserve_slot("m-1"));
+}
+
+NodeInfo view_node(const std::string& id, int free, double mem, double cc,
+                   const std::string& group) {
+  NodeInfo info = make_node(id, 8);
+  info.free_gpus = free;
+  info.gpu_memory_gb = mem;
+  info.compute_capability = cc;
+  info.owner_group = group;
+  return info;
+}
+
+TEST(ClusterViewTest, WholeGpuCandidatesFilterAndAreSorted) {
+  Directory directory;
+  directory.upsert(view_node("m-c", 4, 24.0, 8.6, "vision"));
+  directory.upsert(view_node("m-a", 2, 48.0, 8.6, "nlp"));
+  directory.upsert(view_node("m-b", 0, 80.0, 8.0, "bio"));  // nothing free
+  NodeInfo paused = view_node("m-d", 8, 24.0, 8.6, "vision");
+  paused.accepting = false;
+  directory.upsert(paused);
+
+  auto candidates =
+      directory.view().whole_gpu_candidates(1, 8.0, 7.0, nullptr);
+  ASSERT_EQ(candidates.size(), 2u);
+  EXPECT_EQ(candidates[0]->machine_id, "m-a");  // sorted by id
+  EXPECT_EQ(candidates[1]->machine_id, "m-c");
+
+  // Capacity bucket: 3 GPUs needed -> only m-c.
+  candidates = directory.view().whole_gpu_candidates(3, 8.0, 7.0, nullptr);
+  ASSERT_EQ(candidates.size(), 1u);
+  EXPECT_EQ(candidates[0]->machine_id, "m-c");
+
+  // VRAM filter.
+  candidates = directory.view().whole_gpu_candidates(1, 40.0, 7.0, nullptr);
+  ASSERT_EQ(candidates.size(), 1u);
+  EXPECT_EQ(candidates[0]->machine_id, "m-a");
+
+  // Group restriction uses the per-group index.
+  const std::string group = "nlp";
+  candidates = directory.view().whole_gpu_candidates(1, 8.0, 7.0, &group);
+  ASSERT_EQ(candidates.size(), 1u);
+  EXPECT_EQ(candidates[0]->machine_id, "m-a");
+}
+
+TEST(ClusterViewTest, DirtyInvalidationTracksMutations) {
+  Directory directory;
+  directory.upsert(view_node("m-1", 2, 24.0, 8.6, "vision"));
+  auto candidates =
+      directory.view().whole_gpu_candidates(2, 8.0, 7.0, nullptr);
+  ASSERT_EQ(candidates.size(), 1u);
+
+  // Reservation moves the node out of the >=2 bucket.
+  directory.reserve_gpus("m-1", 1);
+  EXPECT_TRUE(
+      directory.view().whole_gpu_candidates(2, 8.0, 7.0, nullptr).empty());
+  ASSERT_EQ(
+      directory.view().whole_gpu_candidates(1, 8.0, 7.0, nullptr).size(), 1u);
+
+  // Mutation through the non-const find() pointer is picked up too.
+  directory.find("m-1")->accepting = false;
+  EXPECT_TRUE(
+      directory.view().whole_gpu_candidates(1, 8.0, 7.0, nullptr).empty());
+  directory.find("m-1")->accepting = true;
+  directory.release_gpus("m-1", 1);
+  EXPECT_EQ(
+      directory.view().whole_gpu_candidates(2, 8.0, 7.0, nullptr).size(), 1u);
+  EXPECT_EQ(directory.view().total_free_gpus(), 2);
+}
+
+TEST(ClusterViewTest, FractionalCandidatesHonourCapAndCapacity) {
+  Directory directory;
+  NodeInfo sharing = view_node("m-share", 1, 24.0, 8.6, "vision");
+  sharing.slots_per_gpu = 4;
+  sharing.share_memory_cap_gb = 6.0;
+  directory.upsert(sharing);
+  NodeInfo unshared = view_node("m-solo", 4, 24.0, 8.6, "vision");
+  unshared.slots_per_gpu = 1;
+  directory.upsert(unshared);
+
+  auto candidates =
+      directory.view().fractional_candidates(4.0, 7.0, nullptr);
+  ASSERT_EQ(candidates.size(), 1u);
+  EXPECT_EQ(candidates[0]->machine_id, "m-share");
+
+  // Per-tenant memory cap enforced.
+  EXPECT_TRUE(directory.view().fractional_candidates(8.0, 7.0, nullptr)
+                  .empty());
+
+  // Fully booked: no free GPU, no free slot.
+  directory.find("m-share")->free_gpus = 0;
+  directory.find("m-share")->free_shared_slots = 0;
+  EXPECT_TRUE(directory.view().fractional_candidates(4.0, 7.0, nullptr)
+                  .empty());
+  // A slot freed on a shared GPU re-admits the node.
+  directory.release_slot("m-share");
+  ASSERT_EQ(
+      directory.view().fractional_candidates(4.0, 7.0, nullptr).size(), 1u);
+}
+
 }  // namespace
 }  // namespace gpunion::sched
