@@ -48,9 +48,10 @@ StrategyOutcome run(const std::string& strategy,
   outcome.submitted = stats.training_submitted;
   outcome.interruptions = stats.interruptions;
   outcome.mean_wait_min = stats.queue_wait.mean() / 60.0;
-  for (const auto& [job_id, record] : scenario.coordinator().jobs()) {
-    outcome.lost_work_hours += record.lost_work_seconds / 3600.0;
-  }
+  for_each_job(scenario.coordinator(),
+               [&](const std::string&, const sched::JobRecord& record) {
+                 outcome.lost_work_hours += record.lost_work_seconds / 3600.0;
+               });
   return outcome;
 }
 

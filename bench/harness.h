@@ -104,13 +104,22 @@ inline void enable_give_up(Scenario& scenario, util::Duration patience,
   env->schedule_after(sweep_every, *sweep);
 }
 
-/// Count of jobs in a terminal phase matching `phase`.
+/// Applies `fn(job_id, record)` to every record, live and archived.
+template <typename Fn>
+void for_each_job(const sched::Coordinator& coordinator, Fn&& fn) {
+  for (const auto& [job_id, record] : coordinator.jobs()) fn(job_id, record);
+  for (const auto& [job_id, record] : coordinator.archive()) {
+    fn(job_id, record);
+  }
+}
+
+/// Count of jobs in phase `phase` (terminal phases live in the archive).
 inline int count_phase(const Scenario& scenario, sched::JobPhase phase) {
   int n = 0;
-  for (const auto& [job_id, record] :
-       scenario.platform->coordinator().jobs()) {
-    if (record.phase == phase) ++n;
-  }
+  for_each_job(scenario.platform->coordinator(),
+               [&](const std::string&, const sched::JobRecord& record) {
+                 if (record.phase == phase) ++n;
+               });
   return n;
 }
 

@@ -77,11 +77,12 @@ TrafficResult run(bool incremental, std::uint64_t seed) {
     result.gib_by_class[klass] =
         static_cast<double>(network.bytes_sent(klass)) / (1ULL << 30);
   }
-  for (const auto& [job_id, record] : scenario.coordinator().jobs()) {
-    (void)record;
-    result.checkpoints_written += static_cast<int>(
-        scenario.platform->checkpoint_store().chain(job_id).size());
-  }
+  for_each_job(scenario.coordinator(),
+               [&](const std::string& job_id, const sched::JobRecord&) {
+                 result.checkpoints_written += static_cast<int>(
+                     scenario.platform->checkpoint_store().chain(job_id)
+                         .size());
+               });
   return result;
 }
 

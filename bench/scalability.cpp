@@ -99,18 +99,43 @@ void BM_PlacementDecisionFullScan(benchmark::State& state) {
 }
 BENCHMARK(BM_PlacementDecisionFullScan)->Arg(10)->Arg(50)->Arg(200)->Arg(400);
 
+/// Expiry-ordered sweep: steady state (no expirations) pops nothing, so
+/// the cost is O(1) regardless of fleet size.
 void BM_HeartbeatSweep(benchmark::State& state) {
   const int nodes = static_cast<int>(state.range(0));
   sim::Environment env;
   sched::Directory directory;
   populate_directory(directory, nodes);
   sched::HeartbeatMonitor monitor(env, directory, 2.0, 3, nullptr);
+  for (int i = 0; i < nodes; ++i) {
+    monitor.observe("m-" + std::to_string(100000 + i), 0.0);
+  }
   for (auto _ : state) {
     benchmark::DoNotOptimize(monitor.sweep());
   }
   state.SetLabel(std::to_string(nodes) + " nodes");
 }
 BENCHMARK(BM_HeartbeatSweep)->Arg(10)->Arg(50)->Arg(200)->Arg(400);
+
+/// The pre-PR sweep shape: every sweep walks the whole directory.
+void BM_HeartbeatSweepFullScan(benchmark::State& state) {
+  const int nodes = static_cast<int>(state.range(0));
+  sched::Directory directory;
+  populate_directory(directory, nodes);
+  const double deadline = 6.0;
+  for (auto _ : state) {
+    std::vector<std::string> lost;
+    for (const sched::NodeInfo* node : directory.all()) {
+      if (node->status != db::NodeStatus::kActive) continue;
+      if (0.0 - node->last_heartbeat > deadline) {
+        lost.push_back(node->machine_id);
+      }
+    }
+    benchmark::DoNotOptimize(lost);
+  }
+  state.SetLabel(std::to_string(nodes) + " nodes");
+}
+BENCHMARK(BM_HeartbeatSweepFullScan)->Arg(10)->Arg(50)->Arg(200)->Arg(400);
 
 void BM_DatabaseHeartbeatTouch(benchmark::State& state) {
   db::SystemDatabase database;
@@ -130,34 +155,53 @@ BENCHMARK(BM_DatabaseHeartbeatTouch);
 void print_control_plane_model() {
   std::printf("\nControl-plane load model (analytic, from the database's "
               "M/M/1 service model):\n");
-  std::printf("heartbeats every 2 s (6 DB ops each: touch, status read, "
-              "queue probe, metrics);\ntelemetry every 30 s; ~0.2 scheduling "
-              "decisions/node/s at 10 DB ops each.\n\n");
-  std::printf("%8s %14s %16s %18s\n", "nodes", "DB ops/s",
-              "DB latency", "sched latency");
-  for (int i = 0; i < 62; ++i) std::printf("-");
+  std::printf("legacy: heartbeats every 2 s write through (6 DB ops each); "
+              "batched: one\ncoalesced flush per interval (heartbeats cost "
+              "~1 op per 2 s + 5 amortized ops).\nTelemetry every 30 s; "
+              "~0.2 scheduling decisions/node/s at 10 DB ops each.\n\n");
+  std::printf("%8s %14s %14s %16s %16s\n", "nodes", "legacy ops/s",
+              "batched ops/s", "legacy sched", "batched sched");
+  for (int i = 0; i < 74; ++i) std::printf("-");
   std::printf("\n");
   db::SystemDatabase database;  // service rate 1/0.8 ms = 1250 ops/s
-  for (int nodes : {10, 25, 50, 100, 200, 300, 400}) {
-    const double heartbeat_ops = nodes / 2.0 * 6.0;
+  auto sched_latency = [&database](double ops) -> double {
+    const double db_latency = database.estimated_latency(ops);
+    if (db_latency >= util::kNever) return util::kNever;
+    // One scheduling decision touches ~10 DB rows plus the decision itself.
+    return db_latency * 1000.0 * 10.0 + 0.1;
+  };
+  for (int nodes : {10, 25, 50, 100, 200, 400, 1000, 4000, 10000}) {
     const double telemetry_ops = nodes / 30.0;
     const double scheduling_ops = nodes * 0.2 * 10.0 / 2.0;
-    const double ops = heartbeat_ops + telemetry_ops + scheduling_ops;
-    const double db_latency = database.estimated_latency(ops);
-    if (db_latency >= util::kNever) {
-      std::printf("%8d %14.0f %16s %18s\n", nodes, ops, "saturated",
-                  "unbounded");
-      continue;
+    const double legacy_ops =
+        nodes / 2.0 * 6.0 + telemetry_ops + scheduling_ops;
+    // Batching collapses the per-beat touch into one flush per interval;
+    // the other ~5 per-beat reads amortize across the batch as well.
+    const double batched_ops = 0.5 + nodes / 2.0 * 0.05 + telemetry_ops +
+                               scheduling_ops;
+    const double legacy_ms = sched_latency(legacy_ops);
+    const double batched_ms = sched_latency(batched_ops);
+    std::printf("%8d %14.0f %14.0f ", nodes, legacy_ops, batched_ops);
+    if (legacy_ms >= util::kNever) {
+      std::printf("%16s ", "saturated");
+    } else {
+      std::printf("%13.1f ms ", legacy_ms);
     }
-    // One scheduling decision touches ~10 DB rows plus the decision itself.
-    const double sched_latency_ms = db_latency * 1000.0 * 10.0 + 0.1;
-    std::printf("%8d %14.0f %13.2f ms %15.1f ms\n", nodes, ops,
-                db_latency * 1000.0, sched_latency_ms);
+    if (batched_ms >= util::kNever) {
+      std::printf("%16s\n", "saturated");
+    } else {
+      std::printf("%13.1f ms\n", batched_ms);
+    }
   }
   std::printf("\nPaper anchors: sub-second scheduling latency at <= 50 "
-              "nodes; heartbeat\nmonitoring and database contention become "
-              "the bottleneck beyond ~200 nodes\n(the M/M/1 knee) — matching "
-              "\"beyond 200 nodes ... could become bottlenecks\".\n\n");
+              "nodes; the legacy\nwrite-through model hits the M/M/1 knee "
+              "beyond ~200 nodes — matching \"beyond\n200 nodes ... could "
+              "become bottlenecks\".  Batching removes heartbeats as the\n"
+              "first wall (the knee moves ~4x out); past ~2k nodes the "
+              "modeled per-decision\nscheduler writes become the next "
+              "bottleneck — that is the remaining limit the\nROADMAP "
+              "records.  bench_scalability_campus measures the real system "
+              "end-to-end.\n\n");
 }
 
 }  // namespace

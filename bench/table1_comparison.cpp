@@ -40,9 +40,10 @@ ChurnOutcome run(baseline::Preset preset, const workload::Trace& trace,
   outcome.completed = stats.training_completed;
   outcome.submitted = stats.training_submitted;
   outcome.sessions_served = stats.sessions_served;
-  for (const auto& [job_id, record] : scenario.coordinator().jobs()) {
-    outcome.wasted_gpu_hours += record.lost_work_seconds / 3600.0;
-  }
+  for_each_job(scenario.coordinator(),
+               [&](const std::string&, const sched::JobRecord& record) {
+                 outcome.wasted_gpu_hours += record.lost_work_seconds / 3600.0;
+               });
   util::SampleSet downtimes;
   for (const auto& record : scenario.coordinator().migrations().records()) {
     if (record.resumed() && !record.was_migrate_back) {

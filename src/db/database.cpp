@@ -57,6 +57,19 @@ util::Status SystemDatabase::touch_heartbeat(const std::string& machine_id,
   return util::Status();
 }
 
+std::size_t SystemDatabase::touch_heartbeats(
+    const std::vector<std::pair<std::string, util::SimTime>>& batch) {
+  count_op();
+  std::size_t applied = 0;
+  for (const auto& [machine_id, at] : batch) {
+    auto it = nodes_.find(machine_id);
+    if (it == nodes_.end()) continue;
+    it->second.last_heartbeat = std::max(it->second.last_heartbeat, at);
+    ++applied;
+  }
+  return applied;
+}
+
 std::vector<NodeRecord> SystemDatabase::nodes() const {
   count_op();
   std::vector<NodeRecord> out;

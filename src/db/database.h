@@ -14,6 +14,7 @@
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "util/status.h"
@@ -91,6 +92,13 @@ class SystemDatabase {
   util::Status set_node_status(const std::string& machine_id, NodeStatus s);
   util::Status touch_heartbeat(const std::string& machine_id,
                                util::SimTime at);
+  /// Applies many heartbeat touches as ONE modeled database operation (a
+  /// single batched UPDATE).  Coalescing per-beat writes into periodic
+  /// flushes is what keeps the §5.2 "database contention" op rate
+  /// O(flushes) instead of O(heartbeats).  Unknown machines are skipped;
+  /// returns the number of rows updated.
+  std::size_t touch_heartbeats(
+      const std::vector<std::pair<std::string, util::SimTime>>& batch);
   std::vector<NodeRecord> nodes() const;
   std::vector<NodeRecord> nodes_with_status(NodeStatus s) const;
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
+#include <string_view>
+#include <unordered_set>
 
 #include "util/ids.h"
 #include "util/logging.h"
@@ -22,6 +24,18 @@ std::string_view job_phase_name(JobPhase p) {
   return "unknown";
 }
 
+bool job_phase_terminal(JobPhase p) {
+  switch (p) {
+    case JobPhase::kCompleted:
+    case JobPhase::kDenied:
+    case JobPhase::kSessionDisrupted:
+    case JobPhase::kCancelled:
+      return true;
+    default:
+      return false;
+  }
+}
+
 Coordinator::Coordinator(sim::Environment& env, net::Transport& transport,
                          db::SystemDatabase& database,
                          storage::CheckpointStore& store,
@@ -35,6 +49,8 @@ Coordinator::Coordinator(sim::Environment& env, net::Transport& transport,
       heartbeat_monitor_(env, directory_, config_.heartbeat_interval,
                          config_.heartbeat_miss_threshold,
                          [this](const std::string& id) { on_node_lost(id); }),
+      heartbeat_flush_timer_(env, config_.heartbeat_interval,
+                             [this] { flush_heartbeat_db(); }),
       rng_(env.fork_rng("coordinator")) {}
 
 Coordinator::~Coordinator() = default;
@@ -45,6 +61,7 @@ void Coordinator::start() {
   transport_.register_endpoint(
       config_.id, [this](net::Message&& msg) { handle_message(std::move(msg)); });
   heartbeat_monitor_.start();
+  if (config_.batch_heartbeat_writes) heartbeat_flush_timer_.start();
 }
 
 // ---------------------------------------------------------------------------
@@ -55,7 +72,7 @@ util::Status Coordinator::submit(workload::JobSpec job) {
   if (job.id.empty()) {
     return util::invalid_argument_error("job requires an id");
   }
-  if (jobs_.contains(job.id)) {
+  if (jobs_.contains(job.id) || archive_.contains(job.id)) {
     return util::already_exists_error("job " + job.id + " already submitted");
   }
   JobRecord record;
@@ -84,6 +101,11 @@ util::Status Coordinator::submit(workload::JobSpec job) {
 util::Status Coordinator::cancel(const std::string& job_id) {
   auto it = jobs_.find(job_id);
   if (it == jobs_.end()) {
+    if (auto archived = archive_.find(job_id); archived != archive_.end()) {
+      return util::failed_precondition_error(
+          "job " + job_id + " already " +
+          std::string(job_phase_name(archived->second.phase)));
+    }
     return util::not_found_error("job " + job_id);
   }
   JobRecord& record = it->second;
@@ -91,9 +113,14 @@ util::Status Coordinator::cancel(const std::string& job_id) {
     case JobPhase::kPending:
       database_.remove_request(job_id);
       record.phase = JobPhase::kCancelled;
+      maybe_retire(job_id);
       return util::Status();
     case JobPhase::kDispatching:
     case JobPhase::kRunning: {
+      // A cancel mid-dispatch must outlive the outstanding ack so the
+      // in-flight counter can settle; the ack/timeout path retires it.
+      record.awaiting_dispatch_settle =
+          record.phase == JobPhase::kDispatching;
       if (record.open_allocation != 0) {
         (void)database_.close_allocation(record.open_allocation,
                                          db::AllocationOutcome::kKilled,
@@ -107,6 +134,7 @@ util::Status Coordinator::cancel(const std::string& job_id) {
       record.phase = JobPhase::kCancelled;
       migration_tracker_.abandon(job_id);
       request_pass();
+      maybe_retire(job_id);
       return util::Status();
     }
     default:
@@ -123,7 +151,151 @@ void Coordinator::set_cause_hint(const std::string& machine_id,
 
 const JobRecord* Coordinator::job(const std::string& job_id) const {
   auto it = jobs_.find(job_id);
-  return it == jobs_.end() ? nullptr : &it->second;
+  if (it != jobs_.end()) return &it->second;
+  auto archived = archive_.find(job_id);
+  return archived == archive_.end() ? nullptr : &archived->second;
+}
+
+const std::set<std::string>& Coordinator::jobs_on(
+    const std::string& machine_id) const {
+  static const std::set<std::string> kEmpty;
+  auto it = jobs_by_node_.find(machine_id);
+  return it == jobs_by_node_.end() ? kEmpty : it->second;
+}
+
+const std::set<std::string>& Coordinator::displaced_from(
+    const std::string& machine_id) const {
+  static const std::set<std::string> kEmpty;
+  auto it = displaced_by_node_.find(machine_id);
+  return it == displaced_by_node_.end() ? kEmpty : it->second;
+}
+
+OperationalStats Coordinator::operational_stats() const {
+  OperationalStats out;
+  out.live_jobs = static_cast<int>(jobs_.size());
+  out.archived_jobs = static_cast<int>(archive_.size());
+  auto census = [&out](const JobRecord& record) {
+    switch (record.phase) {
+      case JobPhase::kPending: ++out.pending; break;
+      case JobPhase::kDispatching: ++out.dispatching; break;
+      case JobPhase::kRunning: ++out.running; break;
+      case JobPhase::kCompleted: ++out.completed; break;
+      case JobPhase::kDenied: ++out.denied; break;
+      case JobPhase::kSessionDisrupted: ++out.disrupted; break;
+      case JobPhase::kCancelled: ++out.cancelled; break;
+    }
+    out.interruptions += record.interruptions;
+    out.migrations += record.migrations;
+    out.lost_work_seconds += record.lost_work_seconds;
+  };
+  for (const auto& [job_id, record] : jobs_) census(record);
+  for (const auto& [job_id, record] : archive_) census(record);
+  out.nodes_with_assignments = jobs_by_node_.size();
+  out.nodes_with_displaced = displaced_by_node_.size();
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Index + archive maintenance
+// ---------------------------------------------------------------------------
+
+void Coordinator::set_assignment(JobRecord& record,
+                                 const std::string& machine_id) {
+  if (record.node == machine_id) return;
+  clear_assignment(record);
+  record.node = machine_id;
+  if (!machine_id.empty()) {
+    jobs_by_node_[machine_id].insert(record.spec.id);
+  }
+}
+
+void Coordinator::clear_assignment(JobRecord& record) {
+  if (record.node.empty()) return;
+  auto it = jobs_by_node_.find(record.node);
+  if (it != jobs_by_node_.end()) {
+    it->second.erase(record.spec.id);
+    if (it->second.empty()) jobs_by_node_.erase(it);
+  }
+  record.node.clear();
+}
+
+void Coordinator::set_displaced_from(JobRecord& record,
+                                     const std::string& machine_id) {
+  if (record.displaced_from == machine_id) return;
+  if (!record.displaced_from.empty()) {
+    auto it = displaced_by_node_.find(record.displaced_from);
+    if (it != displaced_by_node_.end()) {
+      it->second.erase(record.spec.id);
+      if (it->second.empty()) displaced_by_node_.erase(it);
+    }
+  }
+  record.displaced_from = machine_id;
+  if (!machine_id.empty()) {
+    displaced_by_node_[machine_id].insert(record.spec.id);
+  }
+}
+
+void Coordinator::maybe_retire(const std::string& job_id) {
+  auto it = jobs_.find(job_id);
+  if (it == jobs_.end()) return;
+  JobRecord& record = it->second;
+  if (!job_phase_terminal(record.phase) || record.awaiting_dispatch_settle) {
+    return;
+  }
+  // Unindex without clearing record.node: the archived record keeps its
+  // last assignment for reporting.
+  if (!record.node.empty()) {
+    auto node_it = jobs_by_node_.find(record.node);
+    if (node_it != jobs_by_node_.end()) {
+      node_it->second.erase(job_id);
+      if (node_it->second.empty()) jobs_by_node_.erase(node_it);
+    }
+  }
+  set_displaced_from(record, "");  // unindexes and clears the field
+  // Compact: drop spec payload nobody reads after the terminal transition
+  // (outcome and accounting fields stay).  shrink_to_fit actually returns
+  // the capacity — clear() alone keeps the allocation.
+  auto drop = [](std::string& s) {
+    s.clear();
+    s.shrink_to_fit();
+  };
+  drop(record.spec.image_ref);
+  drop(record.spec.owner_node);
+  record.spec.preferred_storage.clear();
+  record.spec.preferred_storage.shrink_to_fit();
+  drop(record.preferred_node);
+  drop(record.migrate_back_target);
+  record.displaced_from.shrink_to_fit();
+  // Hand the map node over: the record's address survives, so pointers
+  // taken while the job was live stay valid.
+  archive_.insert(jobs_.extract(it));
+}
+
+void Coordinator::settle_in_flight(const JobRecord& record,
+                                   const std::string& machine_id) {
+  auto& counters = record.fractional_slot ? in_flight_slot_dispatches_
+                                          : in_flight_dispatches_;
+  auto it = counters.find(machine_id);
+  if (it == counters.end()) return;
+  if (--it->second <= 0) counters.erase(it);
+}
+
+void Coordinator::touch_heartbeat_db(const std::string& machine_id) {
+  if (!config_.batch_heartbeat_writes) {
+    (void)database_.touch_heartbeat(machine_id, env_.now());
+    return;
+  }
+  pending_heartbeat_touches_[machine_id] = env_.now();
+  ++stats_.heartbeat_db_touches_coalesced;
+}
+
+void Coordinator::flush_heartbeat_db() {
+  if (pending_heartbeat_touches_.empty()) return;
+  const std::vector<std::pair<std::string, util::SimTime>> batch(
+      pending_heartbeat_touches_.begin(), pending_heartbeat_touches_.end());
+  (void)database_.touch_heartbeats(batch);
+  pending_heartbeat_touches_.clear();
+  ++stats_.heartbeat_db_flushes;
 }
 
 // ---------------------------------------------------------------------------
@@ -207,8 +379,10 @@ void Coordinator::handle_register(const agent::RegisterRequest& request) {
       existing != nullptr ? existing->registered_at : env_.now();
   info.token_hash = util::Sha256::hex_of(token);
   directory_.upsert(std::move(info));
-  in_flight_dispatches_[request.machine_id] = 0;
-  in_flight_slot_dispatches_[request.machine_id] = 0;
+  // A (re)registration starts from a clean slate: no dispatches in flight.
+  in_flight_dispatches_.erase(request.machine_id);
+  in_flight_slot_dispatches_.erase(request.machine_id);
+  heartbeat_monitor_.observe(request.machine_id, env_.now());
 
   db::NodeRecord db_record;
   db_record.machine_id = request.machine_id;
@@ -249,16 +423,25 @@ void Coordinator::handle_heartbeat(const agent::Heartbeat& beat) {
         << "heartbeat with bad token from " << beat.machine_id;
     return;
   }
+  ++stats_.heartbeats_processed;
   const bool was_unavailable = node->status == db::NodeStatus::kUnavailable;
   node->last_heartbeat = env_.now();
   node->last_heartbeat_seq = beat.seq;
   node->accepting = beat.accepting;
+  heartbeat_monitor_.observe(beat.machine_id, env_.now());
   // The agent's counts are ground truth; re-subtract what is still in
-  // flight so the scheduling view never double-books.
-  const int in_flight = in_flight_dispatches_[beat.machine_id];
+  // flight so the scheduling view never double-books.  The in-flight maps
+  // are sparse (entries exist only while dispatches are outstanding) — a
+  // heartbeat must not insert.
+  auto whole_it = in_flight_dispatches_.find(beat.machine_id);
+  const int in_flight =
+      whole_it == in_flight_dispatches_.end() ? 0 : whole_it->second;
   node->free_gpus = std::max(0, beat.free_gpus - in_flight);
   node->free_shared_slots = beat.free_shared_slots;
-  for (int i = in_flight_slot_dispatches_[beat.machine_id]; i > 0; --i) {
+  auto slot_it = in_flight_slot_dispatches_.find(beat.machine_id);
+  const int slots_in_flight =
+      slot_it == in_flight_slot_dispatches_.end() ? 0 : slot_it->second;
+  for (int i = slots_in_flight; i > 0; --i) {
     if (node->free_shared_slots > 0) {
       --node->free_shared_slots;
     } else if (node->free_gpus > 0) {
@@ -266,7 +449,7 @@ void Coordinator::handle_heartbeat(const agent::Heartbeat& beat) {
       node->free_shared_slots += std::max(1, node->slots_per_gpu) - 1;
     }
   }
-  (void)database_.touch_heartbeat(beat.machine_id, env_.now());
+  touch_heartbeat_db(beat.machine_id);
 
   if (was_unavailable) {
     node->status = db::NodeStatus::kActive;
@@ -287,22 +470,27 @@ void Coordinator::reconcile_with_heartbeat(const agent::Heartbeat& beat) {
   // job list is the agent's ground truth.  Records that have been
   // "running" on this node for several beats but are absent from the list
   // are reconciled: finished if our progress estimate says so, otherwise
-  // treated as an interruption and requeued.
+  // treated as an interruption and requeued.  The per-node index makes
+  // this O(active-on-node); the hash set makes membership O(1) instead of
+  // the old O(records x running_jobs) nested scan.
+  auto node_jobs = jobs_by_node_.find(beat.machine_id);
+  if (node_jobs == jobs_by_node_.end()) return;
   const util::Duration settle = 3.0 * config_.heartbeat_interval;
-  for (auto& [job_id, record] : jobs_) {
+  const std::unordered_set<std::string_view> hosted(
+      beat.running_jobs.begin(), beat.running_jobs.end());
+  // Copy the id list: reconciliation mutates the index it walks.
+  const std::vector<std::string> assigned(node_jobs->second.begin(),
+                                          node_jobs->second.end());
+  for (const auto& job_id : assigned) {
+    auto it = jobs_.find(job_id);
+    if (it == jobs_.end()) continue;
+    JobRecord& record = it->second;
     if (record.phase != JobPhase::kRunning ||
         record.node != beat.machine_id || record.running_since < 0 ||
         env_.now() - record.running_since < settle) {
       continue;
     }
-    bool hosted = false;
-    for (const auto& running : beat.running_jobs) {
-      if (running == job_id) {
-        hosted = true;
-        break;
-      }
-    }
-    if (hosted) continue;
+    if (hosted.contains(std::string_view(job_id))) continue;
 
     const bool finished =
         record.spec.type == workload::JobType::kInteractive
@@ -324,6 +512,7 @@ void Coordinator::reconcile_with_heartbeat(const agent::Heartbeat& beat) {
       release_capacity(record, beat.machine_id);
       interrupt_job(record, agent::DepartureKind::kEmergency,
                     db::AllocationOutcome::kLost, env_.now());
+      maybe_retire(job_id);  // sessions disrupt terminally
     }
   }
 }
@@ -335,6 +524,7 @@ void Coordinator::handle_telemetry(const agent::TelemetryReport& report) {
 
 void Coordinator::handle_dispatch_result(const agent::DispatchResult& result) {
   auto it = jobs_.find(result.job_id);
+  JobRecord* record = it == jobs_.end() ? nullptr : &it->second;
   // Settle the in-flight counter for this dispatch, but only when the
   // record's current assignment still names this node: a mismatched late
   // ack means the dispatch was already settled (dispatch timeout or node
@@ -342,19 +532,14 @@ void Coordinator::handle_dispatch_result(const agent::DispatchResult& result) {
   // and double-book capacity until the next heartbeat.  The record's
   // fractional_slot identifies which counter its dispatch incremented —
   // never cross counter types.
-  if (it != jobs_.end() && it->second.node == result.machine_id &&
-      (it->second.phase == JobPhase::kDispatching ||
-       it->second.phase == JobPhase::kCancelled)) {
-    auto& counters = it->second.fractional_slot ? in_flight_slot_dispatches_
-                                                : in_flight_dispatches_;
-    auto counter = counters.find(result.machine_id);
-    if (counter != counters.end() && counter->second > 0) {
-      --counter->second;
-    }
+  if (record != nullptr && record->node == result.machine_id &&
+      (record->phase == JobPhase::kDispatching ||
+       record->phase == JobPhase::kCancelled)) {
+    settle_in_flight(*record, result.machine_id);
   }
 
-  if (it == jobs_.end() || it->second.phase != JobPhase::kDispatching ||
-      it->second.node != result.machine_id) {
+  if (record == nullptr || record->phase != JobPhase::kDispatching ||
+      record->node != result.machine_id) {
     // Stale ack (e.g. after a dispatch timeout already requeued the job).
     // If the node actually started the work, kill it to avoid a double run.
     if (result.accepted) {
@@ -363,47 +548,53 @@ void Coordinator::handle_dispatch_result(const agent::DispatchResult& result) {
                                           /*allow_checkpoint=*/false},
                     agent::kControlBytes);
     }
+    // A cancel that was waiting for this ack can retire now.
+    if (record != nullptr && record->awaiting_dispatch_settle &&
+        record->node == result.machine_id) {
+      record->awaiting_dispatch_settle = false;
+      maybe_retire(result.job_id);
+    }
     return;
   }
-  JobRecord& record = it->second;
 
   if (!result.accepted) {
     ++stats_.dispatches_rejected;
-    ++record.dispatch_rejects;
-    release_capacity(record, result.machine_id);
-    record.node.clear();
+    ++record->dispatch_rejects;
+    release_capacity(*record, result.machine_id);
+    clear_assignment(*record);
     GPUNION_DLOG("coordinator") << result.job_id << " rejected by "
                                 << result.machine_id << ": " << result.reason;
-    if (record.dispatch_rejects >= 20) {
-      record.phase = JobPhase::kCancelled;  // give up; configuration problem
+    if (record->dispatch_rejects >= 20) {
+      record->phase = JobPhase::kCancelled;  // give up; configuration problem
       GPUNION_WLOG("coordinator")
           << result.job_id << " cancelled after repeated rejections";
+      maybe_retire(result.job_id);
       return;
     }
-    requeue(record, /*front=*/true);
+    requeue(*record, /*front=*/true);
     return;
   }
 
-  record.phase = JobPhase::kRunning;
-  record.dispatch_rejects = 0;
-  record.reclaim_requested = false;
-  record.running_since = env_.now();
-  record.segment_start_progress = record.checkpointed_progress;
+  record->phase = JobPhase::kRunning;
+  record->dispatch_rejects = 0;
+  record->reclaim_requested = false;
+  record->running_since = env_.now();
+  record->segment_start_progress = record->checkpointed_progress;
   if (const NodeInfo* node =
           static_cast<const Directory&>(directory_).find(result.machine_id)) {
-    record.node_speed = workload::speed_factor(node->gpu_tflops) *
-                        std::max(1, record.spec.requirements.gpu_count);
-    if (record.fractional_slot) {
-      record.node_speed *= workload::kSharedComputeShare;
+    record->node_speed = workload::speed_factor(node->gpu_tflops) *
+                         std::max(1, record->spec.requirements.gpu_count);
+    if (record->fractional_slot) {
+      record->node_speed *= workload::kSharedComputeShare;
     }
   }
-  record.open_allocation = database_.open_allocation(
+  record->open_allocation = database_.open_allocation(
       result.job_id, result.machine_id, result.gpu_indices, env_.now(),
       result.gpu_fraction,
-      record.spec.type == workload::JobType::kInteractive);
-  if (record.first_dispatched_at < 0) {
-    record.first_dispatched_at = env_.now();
-    stats_.queue_wait.add(env_.now() - record.submitted_at);
+      record->spec.type == workload::JobType::kInteractive);
+  if (record->first_dispatched_at < 0) {
+    record->first_dispatched_at = env_.now();
+    stats_.queue_wait.add(env_.now() - record->submitted_at);
   }
 }
 
@@ -430,7 +621,7 @@ void Coordinator::handle_job_started(const agent::JobStarted& started) {
           agent::DepartureKind::kTemporary) {
         ++stats_.migrate_back_successes;
       }
-      record.displaced_from.clear();
+      set_displaced_from(record, "");
     } else if (started.machine_id != record.displaced_from) {
       ++record.migrations;
     }
@@ -465,6 +656,7 @@ void Coordinator::handle_job_completed(const agent::JobCompleted& done) {
   store_.forget(done.job_id);
   migration_tracker_.abandon(done.job_id);
   request_pass();
+  maybe_retire(done.job_id);
 }
 
 void Coordinator::handle_checkpoint_notice(
@@ -495,8 +687,9 @@ void Coordinator::handle_departure_notice(
   (void)database_.set_node_status(notice.machine_id,
                                   db::NodeStatus::kDeparted);
   reliability_.record_departure(notice.machine_id, env_.now());
-  in_flight_dispatches_[notice.machine_id] = 0;
-  in_flight_slot_dispatches_[notice.machine_id] = 0;
+  in_flight_dispatches_.erase(notice.machine_id);
+  in_flight_slot_dispatches_.erase(notice.machine_id);
+  heartbeat_monitor_.forget(notice.machine_id);
   interrupt_jobs_on(notice.machine_id, notice.kind, env_.now());
   GPUNION_ILOG("coordinator") << notice.machine_id << " departed ("
                               << departure_kind_name(notice.kind) << ")";
@@ -516,6 +709,7 @@ void Coordinator::handle_kill_switch_notice(
     release_capacity(record, notice.machine_id);
     interrupt_job(record, agent::DepartureKind::kReclaim,
                   db::AllocationOutcome::kKilled, env_.now());
+    maybe_retire(job_id);  // sessions disrupt terminally
   }
   request_pass();
 }
@@ -550,7 +744,7 @@ void Coordinator::handle_job_killed_ack(const agent::JobKilledAck& ack) {
   migration.migrate_back_eviction = true;
 
   record.preferred_node = record.migrate_back_target;
-  record.node.clear();
+  clear_assignment(record);
   requeue(record, /*front=*/true);
 }
 
@@ -622,7 +816,7 @@ void Coordinator::dispatch_to(JobRecord& record, const NodeInfo& node,
     ++in_flight_dispatches_[node.machine_id];
   }
   record.fractional_slot = fractional;
-  record.node = node.machine_id;
+  set_assignment(record, node.machine_id);
   record.phase = JobPhase::kDispatching;
   const std::uint64_t generation = ++record.dispatch_generation;
 
@@ -655,20 +849,21 @@ void Coordinator::dispatch_timeout(const std::string& job_id,
   auto it = jobs_.find(job_id);
   if (it == jobs_.end()) return;
   JobRecord& record = it->second;
-  if (record.phase != JobPhase::kDispatching ||
-      record.dispatch_generation != generation) {
-    return;  // resolved long ago
+  if (record.dispatch_generation != generation) return;  // resolved long ago
+  if (record.awaiting_dispatch_settle) {
+    // Cancelled mid-dispatch and the ack never came: settle the counter so
+    // the node's capacity stops being discounted, then retire.
+    settle_in_flight(record, record.node);
+    record.awaiting_dispatch_settle = false;
+    maybe_retire(job_id);
+    return;
   }
+  if (record.phase != JobPhase::kDispatching) return;
   GPUNION_WLOG("coordinator")
       << "dispatch of " << job_id << " to " << record.node << " timed out";
-  auto& counters = record.fractional_slot ? in_flight_slot_dispatches_
-                                          : in_flight_dispatches_;
-  auto in_flight_it = counters.find(record.node);
-  if (in_flight_it != counters.end() && in_flight_it->second > 0) {
-    --in_flight_it->second;
-  }
+  settle_in_flight(record, record.node);
   release_capacity(record, record.node);
-  record.node.clear();
+  clear_assignment(record);
   requeue(record, /*front=*/true);
 }
 
@@ -680,6 +875,7 @@ void Coordinator::session_timeout(const std::string& job_id) {
   database_.remove_request(job_id);
   record.phase = JobPhase::kDenied;
   ++stats_.sessions_denied;
+  maybe_retire(job_id);
 }
 
 void Coordinator::requeue(JobRecord& record, bool front) {
@@ -744,8 +940,8 @@ void Coordinator::interrupt_job(JobRecord& record, agent::DepartureKind cause,
   ++record.interruptions;
   record.lost_work_seconds += lost_seconds;
   record.last_interruption_cause = cause;
-  record.displaced_from = record.node;
-  record.node.clear();
+  set_displaced_from(record, record.node);
+  clear_assignment(record);
   record.running_since = -1;
   if (cause == agent::DepartureKind::kTemporary &&
       record.spec.type == workload::JobType::kTraining) {
@@ -783,18 +979,37 @@ void Coordinator::interrupt_job(JobRecord& record, agent::DepartureKind cause,
 void Coordinator::interrupt_jobs_on(const std::string& machine_id,
                                     agent::DepartureKind cause,
                                     util::SimTime at) {
-  for (auto& [job_id, record] : jobs_) {
-    if (record.node != machine_id) continue;
-    if (record.phase == JobPhase::kRunning) {
-      interrupt_job(record, cause,
-                    cause == agent::DepartureKind::kScheduled
-                        ? db::AllocationOutcome::kMigrated
-                        : db::AllocationOutcome::kLost,
-                    at);
-    } else if (record.phase == JobPhase::kDispatching) {
-      // In-flight dispatch to a dead node: no allocation opened yet.
-      record.node.clear();
-      requeue(record, /*front=*/true);
+  auto node_jobs = jobs_by_node_.find(machine_id);
+  if (node_jobs != jobs_by_node_.end()) {
+    // Copy: interruption unbinds the jobs this walks (id order preserved).
+    const std::vector<std::string> assigned(node_jobs->second.begin(),
+                                            node_jobs->second.end());
+    for (const auto& job_id : assigned) {
+      auto it = jobs_.find(job_id);
+      if (it == jobs_.end()) continue;
+      JobRecord& record = it->second;
+      if (record.node != machine_id) continue;
+      if (record.phase == JobPhase::kRunning) {
+        interrupt_job(record, cause,
+                      cause == agent::DepartureKind::kScheduled
+                          ? db::AllocationOutcome::kMigrated
+                          : db::AllocationOutcome::kLost,
+                      at);
+        maybe_retire(job_id);  // sessions disrupt terminally
+      } else if (record.phase == JobPhase::kDispatching) {
+        // In-flight dispatch to a dead node: no allocation opened yet.
+        clear_assignment(record);
+        requeue(record, /*front=*/true);
+      } else if (record.phase == JobPhase::kCancelled &&
+                 record.awaiting_dispatch_settle) {
+        // Cancelled mid-dispatch to a node that just died: its in-flight
+        // counters were wholesale-erased with the node, so there is
+        // nothing left to settle.  Retire now — otherwise the pending
+        // dispatch timeout could steal a decrement from a fresh dispatch
+        // after the node re-registers.
+        record.awaiting_dispatch_settle = false;
+        maybe_retire(job_id);
+      }
     }
   }
   request_pass();
@@ -808,8 +1023,9 @@ void Coordinator::on_node_lost(const std::string& machine_id) {
   node->free_shared_slots = 0;
   (void)database_.set_node_status(machine_id, db::NodeStatus::kUnavailable);
   reliability_.record_departure(machine_id, env_.now());
-  in_flight_dispatches_[machine_id] = 0;
-  in_flight_slot_dispatches_[machine_id] = 0;
+  in_flight_dispatches_.erase(machine_id);
+  in_flight_slot_dispatches_.erase(machine_id);
+  heartbeat_monitor_.forget(machine_id);
 
   agent::DepartureKind cause = agent::DepartureKind::kEmergency;
   auto hint = cause_hints_.find(machine_id);
@@ -827,20 +1043,30 @@ void Coordinator::on_node_returned(const std::string& machine_id) {
     trigger_migrate_back(machine_id);
   }
   // Pending jobs displaced from this node prefer to land back on it.
-  for (auto& [job_id, record] : jobs_) {
-    if (record.phase == JobPhase::kPending &&
-        record.displaced_from == machine_id) {
-      record.preferred_node = machine_id;
-      record.migrate_back_target = machine_id;
+  // The displaced-from index makes a node's return O(its displaced jobs).
+  auto displaced = displaced_by_node_.find(machine_id);
+  if (displaced != displaced_by_node_.end()) {
+    for (const auto& job_id : displaced->second) {
+      auto it = jobs_.find(job_id);
+      if (it == jobs_.end()) continue;
+      JobRecord& record = it->second;
+      if (record.phase == JobPhase::kPending) {
+        record.preferred_node = machine_id;
+        record.migrate_back_target = machine_id;
+      }
     }
   }
   request_pass();
 }
 
 void Coordinator::trigger_migrate_back(const std::string& machine_id) {
-  for (auto& [job_id, record] : jobs_) {
+  auto displaced = displaced_by_node_.find(machine_id);
+  if (displaced == displaced_by_node_.end()) return;
+  for (const auto& job_id : displaced->second) {
+    auto it = jobs_.find(job_id);
+    if (it == jobs_.end()) continue;
+    JobRecord& record = it->second;
     if (record.phase != JobPhase::kRunning) continue;
-    if (record.displaced_from != machine_id) continue;
     if (record.migrate_back_pending || record.node == machine_id) continue;
     if (record.spec.type != workload::JobType::kTraining) continue;
     record.migrate_back_pending = true;

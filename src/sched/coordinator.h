@@ -11,7 +11,9 @@
 
 #include <functional>
 #include <map>
+#include <set>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "agent/proto.h"
@@ -49,6 +51,10 @@ struct CoordinatorConfig {
   util::Duration migration_success_window = 600.0;
   /// Human resubmission delay when auto_migration is off (manual baseline).
   util::Duration manual_resubmit_delay = 3600.0;
+  /// Coalesce per-beat database heartbeat writes into one batched flush at
+  /// most every heartbeat_interval (the §5.2 DB-contention mitigation).
+  /// Off = the legacy one-write-per-beat behaviour (bench baseline).
+  bool batch_heartbeat_writes = true;
 };
 
 enum class JobPhase {
@@ -62,6 +68,9 @@ enum class JobPhase {
 };
 
 std::string_view job_phase_name(JobPhase p);
+
+/// True for phases a record can never leave (eligible for the archive).
+bool job_phase_terminal(JobPhase p);
 
 struct JobRecord {
   workload::JobSpec spec;
@@ -88,6 +97,10 @@ struct JobRecord {
   std::uint64_t dispatch_generation = 0;  // guards stale timeout events
   bool reclaim_requested = false;  // owner-reclaim already triggered
   int dispatch_rejects = 0;      // consecutive rejections (give up past limit)
+  /// Cancelled while a dispatch ack was outstanding: the record stays live
+  /// until the ack (or its timeout) settles the in-flight counter, then
+  /// retires to the archive.
+  bool awaiting_dispatch_settle = false;
   /// Current/last assignment is a fractional time-sliced slot (capacity is
   /// returned as a slot, not whole GPUs).
   bool fractional_slot = false;
@@ -116,6 +129,12 @@ struct CoordinatorStats {
   int displaced_by_temporary = 0;
   int migrate_back_successes = 0;
   util::SampleSet queue_wait;  // submit -> first dispatch accept, seconds
+  /// Control-plane load accounting (the §5.2 bottleneck pair).
+  std::uint64_t heartbeats_processed = 0;
+  /// Batched heartbeat flushes issued to the database, and how many
+  /// per-beat writes they absorbed (ops saved = coalesced - flushes).
+  std::uint64_t heartbeat_db_flushes = 0;
+  std::uint64_t heartbeat_db_touches_coalesced = 0;
 
   double migrate_back_rate() const {
     return displaced_by_temporary == 0
@@ -123,6 +142,29 @@ struct CoordinatorStats {
                : static_cast<double>(migrate_back_successes) /
                      displaced_by_temporary;
   }
+};
+
+/// Fleet-and-job operational summary aggregated over LIVE and ARCHIVED
+/// records alike: retiring a terminal record into the archive must never
+/// lose it from operational reporting.  Computed on demand.
+struct OperationalStats {
+  int live_jobs = 0;      // records still in the active map
+  int archived_jobs = 0;  // terminal records retired to the archive
+  // Phase census across live + archive.
+  int pending = 0;
+  int dispatching = 0;
+  int running = 0;
+  int completed = 0;
+  int denied = 0;
+  int disrupted = 0;
+  int cancelled = 0;
+  // Per-record sums across live + archive.
+  int interruptions = 0;
+  int migrations = 0;
+  double lost_work_seconds = 0;
+  // Index footprint (O(active) bookkeeping, not O(history)).
+  std::size_t nodes_with_assignments = 0;
+  std::size_t nodes_with_displaced = 0;
 };
 
 class Coordinator {
@@ -159,8 +201,26 @@ class Coordinator {
   void set_on_unplaceable(OnUnplaceable cb) { on_unplaceable_ = std::move(cb); }
 
   // --- Introspection ----------------------------------------------------------
+  /// Record by id, live or archived; nullptr when unknown.  Archived
+  /// records keep their address (map-node handoff), so pointers obtained
+  /// while a job was live stay valid after retirement.
   const JobRecord* job(const std::string& job_id) const;
+  /// LIVE records only (pending / dispatching / running, plus the brief
+  /// window where a job cancelled mid-dispatch holds phase kCancelled
+  /// until its ack settles — see JobRecord::awaiting_dispatch_settle).
+  /// Terminal records move to archive() so every live scan is O(active).
   const std::map<std::string, JobRecord>& jobs() const { return jobs_; }
+  /// Terminal records, compacted (bulky spec payload dropped; scheduling
+  /// outcome and accounting fields preserved).
+  const std::map<std::string, JobRecord>& archive() const { return archive_; }
+  /// Live jobs currently assigned (dispatching or running) to `machine_id`,
+  /// in job-id order.  Empty set for unknown nodes.
+  const std::set<std::string>& jobs_on(const std::string& machine_id) const;
+  /// Live jobs whose last displacement originated on `machine_id`.
+  const std::set<std::string>& displaced_from(
+      const std::string& machine_id) const;
+  /// Aggregated operational summary over live + archived records.
+  OperationalStats operational_stats() const;
   const Directory& directory() const { return directory_; }
   Directory& directory() { return directory_; }
   const PlacementEngine& placement_engine() const { return engine_; }
@@ -168,6 +228,10 @@ class Coordinator {
   const MigrationTracker& migrations() const { return migration_tracker_; }
   const ReliabilityPredictor& reliability() const { return reliability_; }
   const CoordinatorConfig& config() const { return config_; }
+  /// Failure-detector introspection (sweep cost counters for the bench).
+  const HeartbeatMonitor& heartbeat_monitor() const {
+    return heartbeat_monitor_;
+  }
 
   /// Force one scheduling pass (tests).
   void schedule_pass();
@@ -202,6 +266,27 @@ class Coordinator {
   void release_capacity(const JobRecord& record,
                         const std::string& machine_id);
 
+  // index + archive maintenance
+  /// Binds record.node = machine_id and files it in jobs_by_node_.
+  void set_assignment(JobRecord& record, const std::string& machine_id);
+  /// Clears record.node and removes it from jobs_by_node_.
+  void clear_assignment(JobRecord& record);
+  /// Rebinds record.displaced_from (empty = clear) in displaced_by_node_.
+  void set_displaced_from(JobRecord& record, const std::string& machine_id);
+  /// Moves a terminal record into the archive: drops it from every live
+  /// index, shrinks its spec payload, and hands the map node over so the
+  /// record's address survives.  No-op while the record is non-terminal or
+  /// still awaits a dispatch-ack settle (cancel during kDispatching).
+  void maybe_retire(const std::string& job_id);
+  /// Settles the per-node in-flight dispatch counter for this record
+  /// (erasing the entry at zero keeps the maps O(nodes with in-flight)).
+  void settle_in_flight(const JobRecord& record,
+                        const std::string& machine_id);
+  /// Queues a DB heartbeat write; flushes the batch at most once per
+  /// heartbeat interval (or writes through when batching is off).
+  void touch_heartbeat_db(const std::string& machine_id);
+  void flush_heartbeat_db();
+
   // churn handling
   void on_node_lost(const std::string& machine_id);
   void on_node_returned(const std::string& machine_id);
@@ -229,12 +314,26 @@ class Coordinator {
   PlacementEngine engine_;
   MigrationTracker migration_tracker_;
   HeartbeatMonitor heartbeat_monitor_;
+  /// Timer-driven so the batch drains even when beats stop (a node-wide
+  /// outage must not strand the final window of heartbeat writes).
+  sim::PeriodicTimer heartbeat_flush_timer_;
   util::Rng rng_;
 
-  std::map<std::string, JobRecord> jobs_;  // ordered for determinism
+  // Live records only; terminal records retire into archive_ so the hot
+  // paths (heartbeat reconcile, node loss/return) scan O(active) state no
+  // matter how much history accumulates.  Both ordered for determinism.
+  std::map<std::string, JobRecord> jobs_;
+  std::map<std::string, JobRecord> archive_;
+  /// Live jobs with record.node == key (dispatching or running).
+  std::unordered_map<std::string, std::set<std::string>> jobs_by_node_;
+  /// Live jobs with record.displaced_from == key (migrate-back candidates).
+  std::unordered_map<std::string, std::set<std::string>> displaced_by_node_;
+  // Sparse: entries exist only while a node has dispatches in flight.
   std::map<std::string, int> in_flight_dispatches_;       // whole-GPU, per node
   std::map<std::string, int> in_flight_slot_dispatches_;  // fractional, per node
   std::map<std::string, agent::DepartureKind> cause_hints_;
+  // Heartbeat DB writes accumulated since the last batched flush.
+  std::map<std::string, util::SimTime> pending_heartbeat_touches_;
   CoordinatorStats stats_;
   OnUnplaceable on_unplaceable_;
   bool pass_scheduled_ = false;

@@ -48,6 +48,8 @@ class Environment {
   bool idle() const { return queue_.empty(); }
   std::size_t pending_events() const { return queue_.size(); }
   std::size_t processed_events() const { return processed_; }
+  /// Kernel queue introspection (live/tombstone/compaction stats).
+  const EventQueue& event_queue() const { return queue_; }
 
   /// Derives a named, independent RNG stream from the experiment seed.
   util::Rng fork_rng(std::string_view label) const {

@@ -1,42 +1,69 @@
 #include "sim/event_queue.h"
 
+#include <algorithm>
 #include <cassert>
 
 namespace gpunion::sim {
 
+namespace {
+// Below this size a compaction saves too little to bother.
+constexpr std::size_t kCompactionFloor = 64;
+}  // namespace
+
 EventId EventQueue::push(util::SimTime t, Callback fn) {
   assert(fn && "EventQueue::push requires a callable");
   const EventId id = next_id_++;
-  heap_.push(Entry{t, next_seq_++, id});
-  callbacks_.emplace(id, std::move(fn));
+  const std::uint64_t seq = next_seq_++;
+  heap_.push_back(Entry{t, seq, id});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
+  live_.emplace(id, Live{std::move(fn), t, seq});
   return id;
 }
 
 bool EventQueue::cancel(EventId id) {
-  // The heap entry stays behind as a tombstone and is skipped in skim().
-  return callbacks_.erase(id) > 0;
+  // The heap entry stays behind as a tombstone and is skipped in skim() —
+  // unless tombstones now dominate, in which case the heap is rebuilt from
+  // the live map (amortized O(1) per cancel).
+  if (live_.erase(id) == 0) return false;
+  if (heap_.size() >= kCompactionFloor &&
+      heap_.size() - live_.size() > live_.size()) {
+    compact();
+  }
+  return true;
+}
+
+void EventQueue::compact() {
+  heap_.clear();
+  heap_.reserve(live_.size());
+  for (const auto& [id, event] : live_) {
+    heap_.push_back(Entry{event.time, event.seq, id});
+  }
+  std::make_heap(heap_.begin(), heap_.end(), Later{});
+  ++compactions_;
 }
 
 void EventQueue::skim() const {
-  while (!heap_.empty() && !callbacks_.contains(heap_.top().id)) {
-    heap_.pop();
+  while (!heap_.empty() && !live_.contains(heap_.front().id)) {
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    heap_.pop_back();
   }
 }
 
 util::SimTime EventQueue::next_time() const {
   skim();
-  return heap_.empty() ? util::kNever : heap_.top().time;
+  return heap_.empty() ? util::kNever : heap_.front().time;
 }
 
 EventQueue::Event EventQueue::pop() {
   skim();
   assert(!heap_.empty() && "EventQueue::pop on empty queue");
-  const Entry entry = heap_.top();
-  heap_.pop();
-  auto it = callbacks_.find(entry.id);
-  assert(it != callbacks_.end());
-  Event event{entry.time, entry.id, std::move(it->second)};
-  callbacks_.erase(it);
+  const Entry entry = heap_.front();
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  heap_.pop_back();
+  auto it = live_.find(entry.id);
+  assert(it != live_.end());
+  Event event{entry.time, entry.id, std::move(it->second.fn)};
+  live_.erase(it);
   return event;
 }
 

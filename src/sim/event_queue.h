@@ -2,12 +2,14 @@
 //
 // Events fire in (time, insertion order) so simultaneous events are
 // deterministic.  Cancellation is O(1) via tombstones that are skipped when
-// popped.
+// popped; when tombstones outnumber live events the heap is compacted in
+// place (O(live)) so a cancel-heavy workload — dispatch timeouts that almost
+// always resolve early, session-patience timers — cannot grow the heap
+// unboundedly between pops.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <unordered_map>
 #include <vector>
 
@@ -29,8 +31,15 @@ class EventQueue {
   /// was cancelled, or never existed.
   bool cancel(EventId id);
 
-  bool empty() const { return callbacks_.empty(); }
-  std::size_t size() const { return callbacks_.size(); }
+  bool empty() const { return live_.empty(); }
+  std::size_t size() const { return live_.size(); }
+  /// Live (non-cancelled) pending events — alias of size(), named for the
+  /// bench reports.
+  std::size_t live_size() const { return live_.size(); }
+  /// Cancelled entries still occupying the heap.
+  std::size_t tombstones() const { return heap_.size() - live_.size(); }
+  /// Times the heap was rebuilt because tombstones exceeded live entries.
+  std::uint64_t compactions() const { return compactions_; }
 
   /// Time of the earliest pending event; kNever when empty.
   util::SimTime next_time() const;
@@ -55,14 +64,24 @@ class EventQueue {
       return a.seq > b.seq;
     }
   };
+  struct Live {
+    Callback fn;
+    util::SimTime time;
+    std::uint64_t seq;
+  };
 
   /// Removes cancelled entries from the head of the heap.
   void skim() const;
+  /// Rebuilds the heap from the live map, dropping every tombstone.
+  void compact();
 
-  mutable std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
-  std::unordered_map<EventId, Callback> callbacks_;  // live events only
+  // Min-heap via std::*_heap so compact() can rebuild the storage in place
+  // (std::priority_queue hides its container).
+  mutable std::vector<Entry> heap_;
+  std::unordered_map<EventId, Live> live_;
   std::uint64_t next_seq_ = 0;
   EventId next_id_ = 1;
+  std::uint64_t compactions_ = 0;
 };
 
 }  // namespace gpunion::sim

@@ -17,8 +17,34 @@ util::Status CheckpointStore::add_node(const std::string& id,
   if (nodes_.contains(id)) {
     return util::already_exists_error("storage node " + id);
   }
-  nodes_.emplace(id, StorageNode(id, capacity_bytes));
+  const auto& node = nodes_.emplace(id, StorageNode(id, capacity_bytes))
+                         .first->second;
+  reindex(node);
   return util::Status();
+}
+
+void CheckpointStore::reindex(const StorageNode& node) {
+  const double fraction =
+      node.capacity_bytes() == 0
+          ? 1.0
+          : static_cast<double>(node.used_bytes()) /
+                static_cast<double>(node.capacity_bytes());
+  auto it = indexed_fraction_.find(node.id());
+  if (it != indexed_fraction_.end()) {
+    if (it->second == fraction) return;
+    by_utilization_.erase({it->second, node.id()});
+    it->second = fraction;
+  } else {
+    indexed_fraction_.emplace(node.id(), fraction);
+  }
+  by_utilization_.insert({fraction, node.id()});
+}
+
+void CheckpointStore::release_bytes(const Checkpoint& checkpoint) {
+  auto it = nodes_.find(checkpoint.storage_node);
+  if (it == nodes_.end()) return;
+  it->second.release(checkpoint.stored_bytes);
+  reindex(it->second);
 }
 
 void CheckpointStore::set_preference(const std::string& job_id,
@@ -38,21 +64,19 @@ StorageNode* CheckpointStore::pick_node(const std::string& job_id,
       }
     }
   }
-  // Fallback: least-utilized node with space.
-  StorageNode* best = nullptr;
-  double best_frac = 2.0;
-  for (auto& [id, node] : nodes_) {
-    if (node.free_bytes() < bytes) continue;
-    const double frac = node.capacity_bytes() == 0
-                            ? 1.0
-                            : static_cast<double>(node.used_bytes()) /
-                                  static_cast<double>(node.capacity_bytes());
-    if (frac < best_frac) {
-      best_frac = frac;
-      best = &node;
+  // Fallback: least-utilized node with space, probed through the
+  // utilization order instead of a linear scan over every storage node.
+  // The least-utilized node usually has the most free space, so the walk
+  // almost always stops at the first entry; a long walk only happens when
+  // small near-empty nodes front-run large near-full ones.  Determinism
+  // matches the old scan: lowest fraction wins, id breaks ties.
+  for (const auto& [fraction, id] : by_utilization_) {
+    auto it = nodes_.find(id);
+    if (it != nodes_.end() && it->second.free_bytes() >= bytes) {
+      return &it->second;
     }
   }
-  return best;
+  return nullptr;
 }
 
 util::StatusOr<Checkpoint> CheckpointStore::write(const std::string& job_id,
@@ -92,6 +116,7 @@ util::StatusOr<Checkpoint> CheckpointStore::write(const std::string& job_id,
         "no storage node can hold checkpoint for " + job_id);
   }
   GPUNION_RETURN_IF_ERROR(dest->reserve(c.stored_bytes));
+  reindex(*dest);
   c.storage_node = dest->id();
 
   chain.push_back(seal_checkpoint(c));
@@ -150,10 +175,7 @@ void CheckpointStore::collect(const std::string& job_id) {
   std::size_t cut = chain.size() - static_cast<std::size_t>(config_.keep_per_job);
   while (cut > 0 && chain[cut].kind != CheckpointKind::kFull) --cut;
   for (std::size_t i = 0; i < cut; ++i) {
-    auto node_it = nodes_.find(chain[i].storage_node);
-    if (node_it != nodes_.end()) {
-      node_it->second.release(chain[i].stored_bytes);
-    }
+    release_bytes(chain[i]);
   }
   chain.erase(chain.begin(), chain.begin() + static_cast<std::ptrdiff_t>(cut));
 }
@@ -162,8 +184,7 @@ void CheckpointStore::forget(const std::string& job_id) {
   auto it = chains_.find(job_id);
   if (it == chains_.end()) return;
   for (const auto& c : it->second) {
-    auto node_it = nodes_.find(c.storage_node);
-    if (node_it != nodes_.end()) node_it->second.release(c.stored_bytes);
+    release_bytes(c);
   }
   chains_.erase(it);
   preferences_.erase(job_id);

@@ -11,8 +11,10 @@
 
 #include <cstdint>
 #include <map>
+#include <set>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "storage/checkpoint.h"
@@ -67,9 +69,18 @@ class CheckpointStore {
  private:
   StorageNode* pick_node(const std::string& job_id, std::uint64_t bytes);
   void collect(const std::string& job_id);
+  /// Re-files `node` in the utilization order after its usage changed.
+  void reindex(const StorageNode& node);
+  /// Frees `bytes` on the checkpoint's node and keeps the index current.
+  void release_bytes(const Checkpoint& checkpoint);
 
   CheckpointStoreConfig config_;
   std::map<std::string, StorageNode> nodes_;  // ordered for determinism
+  /// Fallback-placement order: least used-fraction first, id tiebreak.
+  /// Maintained on every reserve/release so pick_node probes from the
+  /// front instead of rescanning every storage node per write.
+  std::set<std::pair<double, std::string>> by_utilization_;
+  std::unordered_map<std::string, double> indexed_fraction_;
   std::unordered_map<std::string, std::vector<std::string>> preferences_;
   std::unordered_map<std::string, std::vector<Checkpoint>> chains_;
 };

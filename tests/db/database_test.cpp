@@ -48,6 +48,24 @@ TEST(DatabaseTest, HeartbeatTouch) {
             util::StatusCode::kNotFound);
 }
 
+TEST(DatabaseTest, BatchedHeartbeatTouchIsOneOperation) {
+  SystemDatabase database;
+  ASSERT_TRUE(database.upsert_node(node("m-1")).is_ok());
+  ASSERT_TRUE(database.upsert_node(node("m-2")).is_ok());
+  ASSERT_TRUE(database.upsert_node(node("m-3")).is_ok());
+  const std::uint64_t before = database.op_count();
+  // Three touches, one batched write, unknown machine skipped.
+  EXPECT_EQ(database.touch_heartbeats(
+                {{"m-1", 10.0}, {"m-2", 11.0}, {"m-3", 12.0}, {"ghost", 9.0}}),
+            3u);
+  EXPECT_EQ(database.op_count(), before + 1);
+  EXPECT_DOUBLE_EQ(database.node("m-1")->last_heartbeat, 10.0);
+  EXPECT_DOUBLE_EQ(database.node("m-3")->last_heartbeat, 12.0);
+  // A stale batched value never rolls a fresher row backwards.
+  EXPECT_EQ(database.touch_heartbeats({{"m-1", 5.0}}), 1u);
+  EXPECT_DOUBLE_EQ(database.node("m-1")->last_heartbeat, 10.0);
+}
+
 TEST(DatabaseTest, AllocationLedgerLifecycle) {
   SystemDatabase database;
   const auto id = database.open_allocation("job-1", "m-1", {0, 1}, 10.0);

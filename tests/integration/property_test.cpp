@@ -83,8 +83,27 @@ TEST_P(PlatformPropertyTest, InvariantsHold) {
   run_scenario();
   const auto& coordinator = platform_->coordinator();
 
-  int terminal = 0, live = 0;
+  // Terminal records retire into the archive; the invariants must hold
+  // across both populations.
+  std::vector<std::pair<const std::string*, const sched::JobRecord*>> all;
   for (const auto& [job_id, record] : coordinator.jobs()) {
+    all.emplace_back(&job_id, &record);
+    // Live map holds only non-terminal phases, except the bounded window
+    // where a job cancelled mid-dispatch awaits its ack before retiring.
+    EXPECT_TRUE(!sched::job_phase_terminal(record.phase) ||
+                record.awaiting_dispatch_settle)
+        << job_id;
+  }
+  for (const auto& [job_id, record] : coordinator.archive()) {
+    all.emplace_back(&job_id, &record);
+    // Archive holds only terminal phases.
+    EXPECT_TRUE(sched::job_phase_terminal(record.phase)) << job_id;
+  }
+
+  int terminal = 0, live = 0;
+  for (const auto& [job_id_ptr, record_ptr] : all) {
+    const std::string& job_id = *job_id_ptr;
+    const sched::JobRecord& record = *record_ptr;
     // (1) Progress is always within [0, 1].
     EXPECT_GE(record.checkpointed_progress, 0.0) << job_id;
     EXPECT_LE(record.checkpointed_progress, 1.0) << job_id;

@@ -70,5 +70,74 @@ TEST(EventQueueTest, PopReturnsMetadata) {
   EXPECT_EQ(event.id, id);
 }
 
+TEST(EventQueueTest, LiveSizeAndTombstoneStats) {
+  EventQueue q;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 10; ++i) {
+    ids.push_back(q.push(static_cast<double>(i), [] {}));
+  }
+  EXPECT_EQ(q.live_size(), 10u);
+  EXPECT_EQ(q.tombstones(), 0u);
+  for (int i = 0; i < 4; ++i) q.cancel(ids[static_cast<std::size_t>(i)]);
+  EXPECT_EQ(q.live_size(), 6u);
+  EXPECT_EQ(q.tombstones(), 4u);  // below the compaction floor: kept
+}
+
+TEST(EventQueueTest, CompactionDropsTombstoneMajority) {
+  EventQueue q;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 200; ++i) {
+    ids.push_back(q.push(static_cast<double>(i), [] {}));
+  }
+  // Cancel every other event, then a few more so tombstones win.
+  for (std::size_t i = 0; i < ids.size(); i += 2) q.cancel(ids[i]);
+  for (std::size_t i = 1; i < 20; i += 2) q.cancel(ids[i]);
+  EXPECT_GE(q.compactions(), 1u);
+  // The invariant compaction enforces: tombstones never outnumber live
+  // events (cancels after the rebuild may leave a small minority behind).
+  EXPECT_LE(q.tombstones(), q.live_size());
+  EXPECT_EQ(q.live_size(), 90u);
+}
+
+TEST(EventQueueTest, CompactionPreservesOrderAndFifoTies) {
+  EventQueue q;
+  std::vector<int> fired;
+  std::vector<EventId> doomed;
+  // Groups of six share a firing time: two survivors (a FIFO tie the heap
+  // rebuild must preserve) and four victims.
+  for (int i = 0; i < 120; ++i) {
+    const double t = static_cast<double>(i / 6);
+    if (i % 6 < 2) {
+      q.push(t, [&fired, i] { fired.push_back(i); });
+    } else {
+      doomed.push_back(q.push(t, [&fired, i] { fired.push_back(i); }));
+    }
+  }
+  // 80 tombstones vs 40 live: well past the majority threshold.
+  for (EventId id : doomed) q.cancel(id);
+  EXPECT_GE(q.compactions(), 1u);
+  while (!q.empty()) q.pop().fn();
+  std::vector<int> expected;
+  for (int g = 0; g < 20; ++g) {
+    expected.push_back(6 * g);
+    expected.push_back(6 * g + 1);
+  }
+  EXPECT_EQ(fired, expected);
+}
+
+TEST(EventQueueTest, CancelAfterCompactionStillWorks) {
+  EventQueue q;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 128; ++i) {
+    ids.push_back(q.push(static_cast<double>(i), [] {}));
+  }
+  for (std::size_t i = 0; i < 100; ++i) q.cancel(ids[i]);
+  ASSERT_GE(q.compactions(), 1u);
+  // Ids issued before the rebuild remain valid handles.
+  EXPECT_TRUE(q.cancel(ids[120]));
+  EXPECT_FALSE(q.cancel(ids[50]));  // already cancelled
+  EXPECT_DOUBLE_EQ(q.next_time(), 100.0);
+}
+
 }  // namespace
 }  // namespace gpunion::sim

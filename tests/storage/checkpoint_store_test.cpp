@@ -148,5 +148,70 @@ TEST(CheckpointStoreTest, ZeroStateRejected) {
             util::StatusCode::kInvalidArgument);
 }
 
+// Regression for the utilization-ordered placement index: across a long
+// mixed write/forget workload the indexed pick must match the legacy
+// linear least-utilized scan decision for decision, and the index must
+// track every reserve/release (collect and forget included).
+TEST(CheckpointStoreTest, UtilizationIndexMatchesLinearScanOracle) {
+  CheckpointStoreConfig config;
+  config.full_every = 2;
+  config.keep_per_job = 3;  // forces garbage collection (releases)
+  CheckpointStore store(config);
+  // Mixed capacities so used-fraction order diverges from free-bytes order.
+  ASSERT_TRUE(store.add_node("small-a", 4 * kGiB).is_ok());
+  ASSERT_TRUE(store.add_node("small-b", 4 * kGiB).is_ok());
+  ASSERT_TRUE(store.add_node("big", 64 * kGiB).is_ok());
+  ASSERT_TRUE(store.add_node("mid", 16 * kGiB).is_ok());
+
+  auto oracle = [&store](std::uint64_t bytes) -> std::string {
+    // The legacy scan: least used-fraction with space, id tiebreak.
+    std::string best;
+    double best_frac = 2.0;
+    for (const auto& id : store.node_ids()) {
+      const StorageNode* node = store.node(id);
+      if (node->free_bytes() < bytes) continue;
+      const double frac = static_cast<double>(node->used_bytes()) /
+                          static_cast<double>(node->capacity_bytes());
+      if (frac < best_frac) {
+        best_frac = frac;
+        best = id;
+      }
+    }
+    return best;
+  };
+
+  for (int round = 0; round < 120; ++round) {
+    const std::string job = "job-" + std::to_string(round % 7);
+    const std::uint64_t bytes = (1 + round % 3) * (kGiB / 2);
+    const std::string expected = oracle(bytes);
+    auto written = store.write(job, bytes, 1.0, 0.5, round);
+    if (expected.empty()) {
+      EXPECT_FALSE(written.ok()) << "round " << round;
+      continue;
+    }
+    ASSERT_TRUE(written.ok()) << "round " << round << ": "
+                              << written.status();
+    EXPECT_EQ(written->storage_node, expected) << "round " << round;
+    if (round % 11 == 10) {
+      store.forget("job-" + std::to_string(round % 7));
+    }
+  }
+}
+
+TEST(CheckpointStoreTest, IndexFollowsForgetReleases) {
+  CheckpointStore store;
+  ASSERT_TRUE(store.add_node("a", 10 * kGiB).is_ok());
+  ASSERT_TRUE(store.add_node("b", 10 * kGiB).is_ok());
+  // Fill `a` so `b` becomes least utilized.
+  ASSERT_EQ(store.write("job-a", 4 * kGiB, 1.0, 0.1, 1.0)->storage_node,
+            "a");
+  ASSERT_EQ(store.write("x", kGiB, 1.0, 0.1, 2.0)->storage_node, "b");
+  ASSERT_EQ(store.write("y", kGiB, 1.0, 0.1, 3.0)->storage_node, "b");
+  ASSERT_EQ(store.write("z", kGiB, 1.0, 0.1, 4.0)->storage_node, "b");
+  // Freeing `a` must re-file it at the front of the order.
+  store.forget("job-a");
+  EXPECT_EQ(store.write("w", kGiB, 1.0, 0.1, 5.0)->storage_node, "a");
+}
+
 }  // namespace
 }  // namespace gpunion::storage
