@@ -5,7 +5,9 @@
 // and the table formatting consistent across experiments.
 #pragma once
 
+#include <chrono>
 #include <cstdio>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -29,6 +31,15 @@ inline void banner(const std::string& title, const std::string& paper_ref) {
 inline void row_divider(int width = 72) {
   for (int i = 0; i < width; ++i) std::printf("-");
   std::printf("\n");
+}
+
+/// Wall-clock time of one callable, seconds.
+inline double wall_seconds(const std::function<void()>& fn) {
+  const auto start = std::chrono::steady_clock::now();
+  fn();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
 }
 
 /// A running platform with its environment and the preset applied.

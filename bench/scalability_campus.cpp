@@ -34,14 +34,6 @@
 namespace gpunion::bench {
 namespace {
 
-double wall_seconds(const std::function<void()>& fn) {
-  const auto start = std::chrono::steady_clock::now();
-  fn();
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                       start)
-      .count();
-}
-
 // ---------------------------------------------------------------------------
 // Head-to-head: heartbeat-processing path, legacy full scan vs indexed.
 // ---------------------------------------------------------------------------

@@ -183,6 +183,20 @@ std::size_t SystemDatabase::queue_depth() const {
   return n;
 }
 
+void SystemDatabase::record_provenance(JobProvenance provenance) {
+  count_op();
+  provenance_index_[provenance.job_id] = provenance_log_.size();
+  provenance_log_.push_back(std::move(provenance));
+}
+
+const JobProvenance* SystemDatabase::provenance(
+    const std::string& job_id) const {
+  count_op();
+  auto it = provenance_index_.find(job_id);
+  return it == provenance_index_.end() ? nullptr
+                                       : &provenance_log_[it->second];
+}
+
 void SystemDatabase::record_metric(const std::string& series, util::SimTime at,
                                    double value) {
   count_op();

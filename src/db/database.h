@@ -75,6 +75,18 @@ struct MetricPoint {
   double value = 0;
 };
 
+/// Region-scoped job provenance: which campus a job was first submitted in
+/// and which campus ended up executing it.  Written by the federation
+/// gateways on both sides of a cross-campus forward, so either region's
+/// database can answer "whose job is this?" after the job has left its
+/// origin coordinator entirely.
+struct JobProvenance {
+  std::string job_id;
+  std::string origin_region;
+  std::string executing_region;
+  util::SimTime recorded_at = 0;
+};
+
 struct DatabaseConfig {
   /// Mean service time of one DB operation (single writer), seconds.
   double op_service_time = 0.0008;
@@ -128,6 +140,17 @@ class SystemDatabase {
   bool remove_request(const std::string& job_id);
   std::size_t queue_depth() const;
 
+  // --- Job provenance (federation) ---------------------------------------------
+  /// Records (or updates) where a job came from and where it executes.
+  /// Latest record per job wins for the lookup; the full log is kept for
+  /// audit (one appended row per forward hop).
+  void record_provenance(JobProvenance provenance);
+  /// Latest provenance for a job; nullptr for never-forwarded jobs.
+  const JobProvenance* provenance(const std::string& job_id) const;
+  const std::vector<JobProvenance>& provenance_log() const {
+    return provenance_log_;
+  }
+
   // --- Monitoring history -----------------------------------------------------
   void record_metric(const std::string& series, util::SimTime at,
                      double value);
@@ -154,6 +177,8 @@ class SystemDatabase {
   // priority -> FIFO of requests; processed highest priority first.
   std::map<int, std::deque<PendingRequest>, std::greater<>> queue_;
   std::unordered_map<std::string, std::deque<MetricPoint>> metrics_;
+  std::vector<JobProvenance> provenance_log_;
+  std::unordered_map<std::string, std::size_t> provenance_index_;  // latest row
   std::uint64_t next_allocation_id_ = 1;
   mutable std::uint64_t ops_ = 0;
 };

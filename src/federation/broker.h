@@ -1,0 +1,84 @@
+// Federation broker: the global region directory and capacity-gossip sink.
+//
+// The broker is deliberately thin (SHARY's matchmaker, not a scheduler): it
+// holds the last capacity digest each region gossiped, answers placement
+// queries with a *ranking* of candidate regions, and never reserves
+// capacity or talks to nodes.  Admission stays with the target region's
+// gateway — the broker may rank on stale data, and the target's refusal is
+// the backstop that makes that safe.
+//
+// Scalability contract: the broker receives O(regions) digest messages per
+// gossip interval and O(forwards) ranking queries — never per-node traffic.
+// That is the hub-fan-in cut that motivates the federation layer: a
+// region's thousands of heartbeats stay inside the region.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "federation/proto.h"
+#include "net/transport.h"
+#include "sim/environment.h"
+#include "util/stats.h"
+
+namespace gpunion::federation {
+
+struct BrokerConfig {
+  std::string id = "federation-broker";
+  /// Regions whose digest is older than this are dropped from rankings
+  /// entirely (presumed unreachable).  Staleness *below* the cutoff is not
+  /// filtered: the broker ranks on what it has and lets target-side
+  /// admission catch the drift.
+  util::Duration digest_hard_ttl = 120.0;
+};
+
+/// One region as the broker sees it.
+struct RegionEntry {
+  std::string region;
+  std::string gateway_id;
+  sched::CapacitySummary capacity;
+  std::uint64_t digest_seq = 0;
+  util::SimTime digest_generated_at = 0;
+  util::SimTime received_at = 0;
+  std::uint64_t digests_received = 0;
+};
+
+struct BrokerStats {
+  std::uint64_t digests_received = 0;
+  std::uint64_t stale_digests_dropped = 0;  // out-of-order seq, ignored
+  std::uint64_t ranking_requests = 0;
+  /// Digest age (now - received_at) of every region considered at every
+  /// ranking query — the staleness the federation actually decided on.
+  util::SampleSet digest_age_at_query;
+};
+
+class FederationBroker {
+ public:
+  FederationBroker(sim::Environment& env, net::Transport& wan,
+                   BrokerConfig config = {});
+
+  /// Registers the broker endpoint on the WAN.
+  void start();
+
+  const std::string& id() const { return config_.id; }
+  const std::map<std::string, RegionEntry>& regions() const {
+    return regions_;
+  }
+  const BrokerStats& stats() const { return stats_; }
+  const BrokerConfig& config() const { return config_; }
+
+ private:
+  void handle_message(net::Message&& msg);
+  void handle_digest(const DigestMessage& digest);
+  void handle_ranking_request(const RankingRequest& request);
+
+  sim::Environment& env_;
+  net::Transport& wan_;
+  BrokerConfig config_;
+  std::map<std::string, RegionEntry> regions_;  // ordered: deterministic
+  BrokerStats stats_;
+  bool started_ = false;
+};
+
+}  // namespace gpunion::federation

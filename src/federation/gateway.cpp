@@ -1,0 +1,596 @@
+#include "federation/gateway.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace gpunion::federation {
+
+RegionGateway::RegionGateway(sim::Environment& env,
+                             sched::Coordinator& coordinator,
+                             storage::CheckpointStore& store,
+                             db::SystemDatabase& database, net::Transport& wan,
+                             std::string region_name, std::string broker_id,
+                             RegionPolicy policy)
+    : env_(env),
+      coordinator_(coordinator),
+      store_(store),
+      database_(database),
+      wan_(wan),
+      region_(std::move(region_name)),
+      gateway_id_("gw-" + region_),
+      broker_id_(std::move(broker_id)),
+      policy_(policy),
+      tick_timer_(env, policy.digest_interval, [this] { tick(); }) {
+  assert(!region_.empty() && "region requires a name");
+}
+
+RegionGateway::~RegionGateway() = default;
+
+void RegionGateway::start() {
+  assert(!started_ && "RegionGateway::start called twice");
+  started_ = true;
+  wan_.register_endpoint(gateway_id_, [this](net::Message&& msg) {
+    handle_message(std::move(msg));
+  });
+  tick();  // first digest goes out immediately, not one interval late
+  tick_timer_.start();
+}
+
+void RegionGateway::tick() {
+  publish_digest();
+  sweep_remote_jobs();
+  scan_for_forwards();
+}
+
+// ---------------------------------------------------------------------------
+// Gossip
+// ---------------------------------------------------------------------------
+
+void RegionGateway::publish_digest() {
+  DigestMessage digest;
+  digest.region = region_;
+  digest.gateway_id = gateway_id_;
+  digest.capacity = coordinator_.directory().capacity_summary();
+  digest.seq = ++digest_seq_;
+  digest.generated_at = env_.now();
+  send(broker_id_, kCapacityDigest, std::move(digest), kDigestBytes);
+  ++stats_.digests_published;
+}
+
+// ---------------------------------------------------------------------------
+// Outbound: forward local jobs that cannot be served here
+// ---------------------------------------------------------------------------
+
+bool RegionGateway::locally_placeable(const workload::JobSpec& job) {
+  // The placement engine's own gating (policy, strategy fractional
+  // preference, reliability degradation) is the single source of truth:
+  // forwarding out a job the engine could place wastes a WAN round-trip,
+  // and admitting one it can never place parks the job pending forever.
+  return coordinator_.placement_engine().any_eligible(job, env_.now());
+}
+
+void RegionGateway::scan_for_forwards() {
+  if (!policy_.forward_training && !policy_.forward_interactive) return;
+  // Expired backoff entries are dead weight either way: the next check is
+  // a fresh decision.  Pruning here bounds the map to the backoff window.
+  for (auto it = retry_after_.begin(); it != retry_after_.end();) {
+    if (env_.now() >= it->second) {
+      it = retry_after_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  std::vector<std::string> candidates;
+  for (const auto& [job_id, record] : coordinator_.jobs()) {
+    if (record.phase != sched::JobPhase::kPending) continue;
+    if (outbound_.contains(job_id)) continue;
+    const bool interactive =
+        record.spec.type == workload::JobType::kInteractive;
+    if (interactive ? !policy_.forward_interactive
+                    : !policy_.forward_training) {
+      continue;
+    }
+    if (env_.now() - record.submitted_at < policy_.forward_after) continue;
+    if (retry_after_.contains(job_id)) continue;  // backoff still running
+    // Only jobs the local campus cannot serve right now leave it: a node
+    // that fits the job's shape means the local scheduler will get there
+    // shortly and a WAN round-trip would only add latency.
+    if (locally_placeable(record.spec)) continue;
+    candidates.push_back(job_id);
+  }
+  for (const auto& job_id : candidates) initiate_forward(job_id);
+}
+
+void RegionGateway::initiate_forward(const std::string& job_id) {
+  OutboundForward forward;
+  forward.state = OutboundForward::State::kAwaitingRanking;
+  forward.request_id = next_request_id_++;
+  auto [it, inserted] = outbound_.emplace(job_id, std::move(forward));
+  assert(inserted);
+
+  const sched::JobRecord* record = coordinator_.job(job_id);
+  assert(record != nullptr);
+  RankingRequest request;
+  request.origin_region = region_;
+  request.reply_to = gateway_id_;
+  request.request_id = it->second.request_id;
+  request.gpu_count = record->spec.requirements.gpu_count;
+  request.gpu_memory_gb = record->spec.requirements.gpu_memory_gb;
+  request.min_compute_capability =
+      record->spec.requirements.min_compute_capability;
+  send(broker_id_, kRankingRequest, std::move(request), kDigestBytes);
+  ++stats_.ranking_requests;
+  arm_timeout(job_id, it->second.generation, policy_.forward_timeout);
+}
+
+void RegionGateway::handle_ranking_response(const RankingResponse& response) {
+  // Rankings are few and in flight briefly; a linear match keeps the state
+  // machine to one map.
+  auto it = outbound_.begin();
+  for (; it != outbound_.end(); ++it) {
+    if (it->second.state == OutboundForward::State::kAwaitingRanking &&
+        it->second.request_id == response.request_id) {
+      break;
+    }
+  }
+  if (it == outbound_.end()) return;  // timed out and cleaned up; ignore
+  const std::string job_id = it->first;
+  OutboundForward& forward = it->second;
+  ++forward.generation;  // invalidate the pending timeout
+
+  if (response.ranking.empty()) {
+    // Nobody to ask.  The job never left the local queue; just back off.
+    retry_after_[job_id] = env_.now() + policy_.forward_retry_backoff;
+    ++stats_.forwards_aborted;
+    outbound_.erase(it);
+    return;
+  }
+
+  auto withdrawn = coordinator_.withdraw(job_id);
+  if (!withdrawn.ok()) {
+    // The job got dispatched (or cancelled) while the ranking was in
+    // flight — the local campus won the race, nothing to forward.
+    ++stats_.forwards_aborted;
+    outbound_.erase(it);
+    return;
+  }
+  forward.spec = std::move(withdrawn->spec);
+  forward.start_progress = withdrawn->checkpointed_progress;
+  // A chained forward (this region was itself hosting the job for another
+  // campus) keeps the true origin on the wire and in provenance.
+  if (auto hosted = remote_jobs_.find(job_id); hosted != remote_jobs_.end()) {
+    forward.origin_region = hosted->second.origin_region;
+    forward.origin_gateway = hosted->second.origin_gateway;
+  } else {
+    forward.origin_region = region_;
+    forward.origin_gateway = gateway_id_;
+  }
+  if (forward.start_progress > 0) {
+    auto bytes = store_.restore_bytes(job_id);
+    forward.checkpoint_bytes = bytes.ok() ? *bytes : 0;
+    // Progress without a restorable checkpoint chain cannot move campuses.
+    if (forward.checkpoint_bytes == 0) forward.start_progress = 0;
+  }
+  forward.ranking = response.ranking;
+  forward.withdrawn = true;
+  try_next_region(job_id);
+}
+
+void RegionGateway::try_next_region(const std::string& job_id) {
+  auto it = outbound_.find(job_id);
+  assert(it != outbound_.end());
+  OutboundForward& forward = it->second;
+  if (forward.next_region >= forward.ranking.size() ||
+      forward.attempts >= policy_.max_forward_attempts) {
+    return_job_home(job_id);
+    return;
+  }
+  const RegionScore& target = forward.ranking[forward.next_region++];
+  ++forward.attempts;
+  if (forward.attempts > 1) ++stats_.reroutes;
+  forward.state = OutboundForward::State::kAwaitingReply;
+  forward.awaiting_gateway = target.gateway_id;
+  ++forward.generation;
+
+  ForwardRequest request;
+  request.origin_region = forward.origin_region;
+  request.reply_to = gateway_id_;  // the forwarding hop drives the offer
+  request.job = forward.spec;
+  send(target.gateway_id, kForwardRequest, std::move(request), kControlBytes);
+  ++stats_.forwards_attempted;
+  arm_timeout(job_id, forward.generation, policy_.forward_timeout);
+}
+
+void RegionGateway::return_job_home(const std::string& job_id) {
+  auto it = outbound_.find(job_id);
+  assert(it != outbound_.end());
+  OutboundForward& forward = it->second;
+  // The checkpoint chain was never forgotten, so resubmitting with the
+  // withdrawn progress restores locally once capacity frees up.
+  auto resubmitted = coordinator_.submit(std::move(forward.spec),
+                                         forward.start_progress);
+  if (!resubmitted.is_ok()) {
+    GPUNION_ELOG("gateway") << region_ << " could not return " << job_id
+                            << " to the local queue: " << resubmitted;
+  }
+  ++stats_.forwards_returned;
+  retry_after_[job_id] = env_.now() + policy_.forward_retry_backoff;
+  outbound_.erase(it);
+}
+
+void RegionGateway::arm_timeout(const std::string& job_id,
+                                std::uint64_t generation,
+                                util::Duration delay) {
+  env_.schedule_after(delay, [this, job_id, generation] {
+    auto it = outbound_.find(job_id);
+    if (it == outbound_.end() || it->second.generation != generation) return;
+    switch (it->second.state) {
+      case OutboundForward::State::kAwaitingRanking:
+        // Broker unreachable; the job never left the local queue.
+        ++stats_.forward_timeouts;
+        retry_after_[job_id] = env_.now() + policy_.forward_retry_backoff;
+        outbound_.erase(it);
+        return;
+      case OutboundForward::State::kAwaitingReply:
+        // Unanswered offer: treat like a refusal.  A late accept is
+        // ignored (awaiting_gateway moved on), and the target's
+        // reservation expires on its own, so the job cannot run twice.
+        ++stats_.forward_timeouts;
+        ++it->second.generation;
+        try_next_region(job_id);
+        return;
+      case OutboundForward::State::kAwaitingTransferAck:
+        // The transfer (or its ack) was lost.  Resend, with backoff, for
+        // as long as it takes: the target re-acks idempotently if the job
+        // actually landed, and gateways — like coordinators — are campus
+        // infrastructure that outlives node churn, so at-least-once
+        // delivery here is what keeps a job from ever running twice
+        // (giving up and resubmitting locally could duplicate a job whose
+        // ack was merely delayed).
+        ++stats_.transfer_retries;
+        send_transfer(job_id);
+        return;
+    }
+  });
+}
+
+void RegionGateway::handle_forward_accept(const ForwardAccept& accept) {
+  auto it = outbound_.find(accept.job_id);
+  if (it == outbound_.end() ||
+      it->second.state != OutboundForward::State::kAwaitingReply ||
+      it->second.awaiting_gateway != "gw-" + accept.region) {
+    return;  // late accept from a target we already gave up on
+  }
+  OutboundForward& forward = it->second;
+  forward.state = OutboundForward::State::kAwaitingTransferAck;
+  forward.handoff_id = next_request_id_++;
+  ++stats_.forwards_admitted;
+  send_transfer(accept.job_id);
+}
+
+void RegionGateway::send_transfer(const std::string& job_id) {
+  auto it = outbound_.find(job_id);
+  assert(it != outbound_.end());
+  OutboundForward& forward = it->second;
+  ++forward.transfer_attempts;
+  ++forward.generation;
+  JobTransfer transfer;
+  transfer.origin_region = forward.origin_region;
+  transfer.origin_gateway = forward.origin_gateway;
+  transfer.reply_to = gateway_id_;  // acks settle THIS hop's state machine
+  transfer.attempt = forward.transfer_attempts;
+  transfer.handoff_id = forward.handoff_id;
+  transfer.job = forward.spec;  // keep the original for retries / returns
+  transfer.start_progress = forward.start_progress;
+  transfer.checkpoint_bytes = forward.checkpoint_bytes;
+  // The shipment pays for its checkpoint payload on the WAN channel.
+  send(forward.awaiting_gateway, kJobTransfer, std::move(transfer),
+       kControlBytes + forward.checkpoint_bytes);
+  // Exponential backoff (capped): a burst of shipments can back the FIFO
+  // WAN channel up past one timeout, and re-shipping multi-GB payloads
+  // into the very backlog that delayed them only feeds the spiral.
+  const int exponent = std::min(3, forward.transfer_attempts - 1);
+  arm_timeout(job_id, forward.generation,
+              policy_.transfer_ack_timeout * static_cast<double>(1 << exponent));
+}
+
+void RegionGateway::handle_transfer_ack(const JobTransferAck& ack) {
+  auto it = outbound_.find(ack.job_id);
+  if (it == outbound_.end() ||
+      it->second.state != OutboundForward::State::kAwaitingTransferAck ||
+      it->second.awaiting_gateway != "gw-" + ack.region) {
+    return;  // duplicate / late ack; already settled
+  }
+  OutboundForward& forward = it->second;
+  if (!ack.accepted) {
+    // Only the verdict on the NEWEST attempt counts: an older attempt's
+    // refusal may be superseded by a retry already in flight, and taking
+    // the job home while that retry can still land would run it twice.
+    if (ack.attempt != forward.transfer_attempts) return;
+    ++forward.generation;  // invalidate the pending resend
+    // The target's reservation lapsed and its live re-admission said no
+    // (or its coordinator refused the submit): take the job back.
+    ++stats_.transfers_bounced;
+    return_job_home(ack.job_id);
+    return;
+  }
+  // An accept from ANY attempt settles the hand-off (the receiver is
+  // idempotent across retries).
+  ++forward.generation;  // invalidate the pending resend
+  ++stats_.transfers_delivered;
+  if (forward.checkpoint_bytes > 0) {
+    ++stats_.checkpoints_shipped;
+    stats_.checkpoint_bytes_shipped += forward.checkpoint_bytes;
+  }
+  database_.record_provenance(db::JobProvenance{
+      ack.job_id, forward.origin_region, ack.region, env_.now()});
+  if (forward.checkpoint_bytes > 0) {
+    store_.forget(ack.job_id);  // the chain lives in the new region now
+  }
+  retry_after_.erase(ack.job_id);
+  outbound_.erase(it);
+}
+
+void RegionGateway::handle_forward_refuse(const ForwardRefuse& refuse) {
+  auto it = outbound_.find(refuse.job_id);
+  if (it == outbound_.end() ||
+      it->second.state != OutboundForward::State::kAwaitingReply ||
+      it->second.awaiting_gateway != "gw-" + refuse.region) {
+    return;
+  }
+  ++stats_.forwards_refused;
+  ++it->second.generation;
+  GPUNION_DLOG("gateway") << region_ << " forward of " << refuse.job_id
+                          << " refused by " << refuse.region << " ("
+                          << refuse.reason << ")";
+  try_next_region(refuse.job_id);
+}
+
+void RegionGateway::handle_remote_outcome(const RemoteOutcome& outcome) {
+  if (outcome.completed) {
+    ++stats_.remote_completions;
+  } else {
+    ++stats_.remote_failures;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Inbound: admission of jobs forwarded here
+// ---------------------------------------------------------------------------
+
+std::string RegionGateway::admission_verdict(const workload::JobSpec& job) {
+  if (!policy_.accept_remote) return "policy";
+  if (remote_jobs_active() >= policy_.max_remote_jobs) return "admission-cap";
+  // An id this coordinator already knows (live or archived) could not be
+  // resubmitted here; refusing routes the job to a region that can.
+  if (coordinator_.job(job.id) != nullptr) return "duplicate-id";
+  // Admission is checked against the LIVE directory, never a digest: this
+  // is the region's defence against the broker's stale gossip view.  The
+  // shape check is per-node (locally_placeable), so a job no node here
+  // could ever host is refused instead of starving in the queue.
+  if (!locally_placeable(job)) return "capacity";
+  if (policy_.min_free_gpus_reserve > 0) {
+    sched::CapacitySummary summary =
+        coordinator_.directory().capacity_summary();
+    // A shareable job that can land in an already-open shared slot leaves
+    // every free whole GPU untouched, so the reserve does not apply.
+    const bool slot_bound = job.requirements.shareable &&
+                            job.requirements.gpu_count == 1 &&
+                            summary.free_shared_slots > 0;
+    if (!slot_bound && summary.free_gpus - policy_.min_free_gpus_reserve <
+                           job.requirements.gpu_count) {
+      return "capacity";
+    }
+  }
+  return "";
+}
+
+void RegionGateway::handle_forward_request(const ForwardRequest& request) {
+  // Settle finished remote jobs first: between ticks, a completed guest
+  // would otherwise hold its admission-cap slot and refuse a forward that
+  // real capacity could take.
+  sweep_remote_jobs();
+  // A re-offer while the previous accept's reservation is still alive
+  // (our accept was lost) refreshes the reservation and re-accepts — it
+  // is the same admission, not a second one.
+  if (auto held = pending_inbound_.find(request.job.id);
+      held != pending_inbound_.end()) {
+    held->second = env_.now() + policy_.reservation_ttl;
+    send(request.reply_to, kForwardAccept,
+         ForwardAccept{region_, request.job.id}, kDigestBytes);
+    return;
+  }
+  const std::string verdict = admission_verdict(request.job);
+  if (verdict.empty()) {
+    pending_inbound_[request.job.id] = env_.now() + policy_.reservation_ttl;
+    ++stats_.remote_admitted;
+    send(request.reply_to, kForwardAccept,
+         ForwardAccept{region_, request.job.id}, kDigestBytes);
+    return;
+  }
+  if (verdict == "policy") {
+    ++stats_.remote_refused_policy;
+  } else if (verdict == "admission-cap") {
+    ++stats_.remote_refused_cap;
+  } else if (verdict == "duplicate-id") {
+    ++stats_.remote_refused_duplicate;
+  } else {
+    ++stats_.remote_refused_capacity;
+  }
+  send(request.reply_to, kForwardRefuse,
+       ForwardRefuse{region_, request.job.id, verdict}, kDigestBytes);
+}
+
+void RegionGateway::handle_job_transfer(const JobTransfer& transfer) {
+  ++stats_.transfers_received;
+  const std::string& job_id = transfer.job.id;
+  // Idempotent: a retried duplicate of a hand-off we already processed —
+  // even if the job has since completed here or chained onward and no
+  // coordinator record remains — is re-acked, never re-admitted.  The
+  // (sender, handoff_id) pair identifies the exact hand-off, so a
+  // genuinely NEW hand-off of a job that came back and left again is not
+  // mistaken for a duplicate.
+  if (auto handled = handled_handoffs_.find(job_id);
+      handled != handled_handoffs_.end() &&
+      handled->second ==
+          std::make_pair(transfer.reply_to, transfer.handoff_id)) {
+    send(transfer.reply_to, kJobTransferAck,
+         JobTransferAck{region_, job_id, transfer.attempt, true}, kDigestBytes);
+    return;
+  }
+  // A coordinator-known id we did NOT take via this hand-off is refused:
+  // acking someone else's id would silently drop the forwarded job.
+  if (coordinator_.job(job_id) != nullptr) {
+    send(transfer.reply_to, kJobTransferAck,
+         JobTransferAck{region_, job_id, transfer.attempt, false}, kDigestBytes);
+    return;
+  }
+  auto reservation = pending_inbound_.find(job_id);
+  if (reservation != pending_inbound_.end()) {
+    pending_inbound_.erase(reservation);
+  } else {
+    // The reservation lapsed (slow WAN) or the accept raced a timeout.
+    // Re-run live admission so the cap and capacity policy still hold; a
+    // refusal is safe because the sender keeps the job until our ack.
+    // Sweep first — refusing an already-shipped multi-GB transfer over a
+    // guest that finished since the last tick would waste the shipment.
+    sweep_remote_jobs();
+    if (!admission_verdict(transfer.job).empty()) {
+      send(transfer.reply_to, kJobTransferAck,
+           JobTransferAck{region_, job_id, transfer.attempt, false}, kDigestBytes);
+      return;
+    }
+    ++stats_.transfers_unreserved;
+  }
+  const bool taken =
+      admit_transfer(transfer.origin_gateway, transfer.origin_region,
+                     transfer.job, transfer.start_progress);
+  if (taken) {
+    handled_handoffs_[job_id] = {transfer.reply_to, transfer.handoff_id};
+  }
+  send(transfer.reply_to, kJobTransferAck,
+       JobTransferAck{region_, job_id, transfer.attempt, taken}, kDigestBytes);
+}
+
+bool RegionGateway::admit_transfer(const std::string& origin_gateway,
+                                   const std::string& origin_region,
+                                   const workload::JobSpec& job,
+                                   double start_progress) {
+  double progress = start_progress;
+  if (progress > 0) {
+    // Seed the local checkpoint store with the shipped state as a fresh
+    // full snapshot, so the coordinator's normal dispatch path restores
+    // from it exactly like a within-campus migration.
+    auto written = store_.write(job.id, job.state.state_bytes,
+                                /*dirty_fraction=*/1.0, progress, env_.now());
+    if (!written.ok()) {
+      GPUNION_WLOG("gateway")
+          << region_ << " could not seed checkpoint for forwarded " << job.id
+          << " (" << written.status() << "); restarting from scratch";
+      progress = 0;
+    }
+  }
+  auto submitted = coordinator_.submit(job, progress);
+  if (!submitted.is_ok()) {
+    // The refused ack sends the job back to its origin's queue.
+    GPUNION_WLOG("gateway") << region_ << " could not submit forwarded "
+                            << job.id << ": " << submitted;
+    return false;
+  }
+  ++stats_.remote_jobs_taken;
+  database_.record_provenance(
+      db::JobProvenance{job.id, origin_region, region_, env_.now()});
+  remote_jobs_[job.id] = RemoteJob{origin_gateway, origin_region, env_.now()};
+  if (progress > 0) ++stats_.cross_campus_migrations_in;
+  return true;
+}
+
+void RegionGateway::sweep_remote_jobs() {
+  for (auto it = pending_inbound_.begin(); it != pending_inbound_.end();) {
+    if (env_.now() >= it->second) {
+      ++stats_.reservations_expired;
+      it = pending_inbound_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (auto it = remote_jobs_.begin(); it != remote_jobs_.end();) {
+    const std::string& job_id = it->first;
+    const sched::JobRecord* record = coordinator_.job(job_id);
+    if (record == nullptr) {
+      if (outbound_.contains(job_id)) {
+        // Withdrawn for a chained forward that is still in flight; if it
+        // fails, return_job_home resubmits here and we are hosting again.
+        ++it;
+        continue;
+      }
+      // The job left this region for good (chained forward landed
+      // elsewhere): no longer ours to report on.
+      it = remote_jobs_.erase(it);
+      continue;
+    }
+    if (!sched::job_phase_terminal(record->phase)) {
+      ++it;
+      continue;
+    }
+    RemoteOutcome outcome;
+    outcome.region = region_;
+    outcome.job_id = job_id;
+    outcome.completed = record->phase == sched::JobPhase::kCompleted;
+    send(it->second.origin_gateway, kRemoteOutcome, std::move(outcome),
+         kDigestBytes);
+    it = remote_jobs_.erase(it);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Plumbing
+// ---------------------------------------------------------------------------
+
+void RegionGateway::handle_message(net::Message&& msg) {
+  switch (msg.kind) {
+    case kRankingResponse:
+      handle_ranking_response(
+          std::any_cast<const RankingResponse&>(msg.payload));
+      break;
+    case kForwardRequest:
+      handle_forward_request(
+          std::any_cast<const ForwardRequest&>(msg.payload));
+      break;
+    case kForwardAccept:
+      handle_forward_accept(std::any_cast<const ForwardAccept&>(msg.payload));
+      break;
+    case kForwardRefuse:
+      handle_forward_refuse(std::any_cast<const ForwardRefuse&>(msg.payload));
+      break;
+    case kJobTransfer:
+      handle_job_transfer(std::any_cast<const JobTransfer&>(msg.payload));
+      break;
+    case kJobTransferAck:
+      handle_transfer_ack(std::any_cast<const JobTransferAck&>(msg.payload));
+      break;
+    case kRemoteOutcome:
+      handle_remote_outcome(std::any_cast<const RemoteOutcome&>(msg.payload));
+      break;
+    default:
+      GPUNION_WLOG("gateway") << gateway_id_ << " unexpected message kind "
+                              << msg.kind;
+  }
+}
+
+void RegionGateway::send(const std::string& to, int kind, std::any payload,
+                         std::uint64_t bytes) {
+  net::Message msg;
+  msg.from = gateway_id_;
+  msg.to = to;
+  msg.kind = kind;
+  msg.traffic_class = net::TrafficClass::kFederation;
+  msg.size_bytes = bytes;
+  msg.payload = std::move(payload);
+  (void)wan_.send(std::move(msg));
+}
+
+}  // namespace gpunion::federation

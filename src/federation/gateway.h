@@ -1,0 +1,258 @@
+// Region gateway: one campus's membership in the federation.
+//
+// Wraps the local Coordinator without touching its internals:
+//  - gossips a capacity digest (the O(1) Directory::capacity_summary()) to
+//    the federation broker every digest interval — the region's thousands
+//    of heartbeats stay local, the broker sees one message per interval;
+//  - watches the local pending queue and, when a job has waited past the
+//    forwarding threshold with no local capacity in sight, asks the broker
+//    for a region ranking, withdraws the job and offers it to candidate
+//    regions in rank order;
+//  - admits (or refuses) jobs forwarded *to* this region under a local
+//    admission policy — autonomy is preserved: a region can cap or refuse
+//    remote work outright, and admission is always checked against the
+//    live directory, never the broker's digest;
+//  - ships the latest checkpoint of a forwarded job over the capped
+//    inter-campus WAN channel (TrafficClass::kFederation) and seeds the
+//    destination's checkpoint store, so a cross-campus migration resumes
+//    from durable progress instead of restarting.
+//
+// The broker may rank on stale digests; the refusal/re-route loop here is
+// what makes that safe (forward refused at the target -> next region in
+// the ranking -> local requeue with backoff when everyone says no).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "db/database.h"
+#include "federation/proto.h"
+#include "net/transport.h"
+#include "sched/coordinator.h"
+#include "sim/environment.h"
+#include "storage/checkpoint_store.h"
+
+namespace gpunion::federation {
+
+/// Per-region federation policy: what this campus forwards out, and what it
+/// is willing to take in.  Regional autonomy lives here.
+struct RegionPolicy {
+  /// Inbound admission.
+  bool accept_remote = true;
+  /// Max forwarded jobs hosted concurrently (reservations + running).
+  int max_remote_jobs = 64;
+  /// Free whole GPUs kept back for local submitters when admitting.
+  int min_free_gpus_reserve = 0;
+
+  /// Outbound forwarding.
+  bool forward_training = true;      // also covers batch jobs
+  bool forward_interactive = false;  // cross-campus Jupyter: off by default
+  /// Pending age before a job becomes a forward candidate.
+  util::Duration forward_after = 60.0;
+  /// Give up on an unanswered ranking/forward request after this long.
+  util::Duration forward_timeout = 30.0;
+  /// After every candidate region refused, wait this long before trying to
+  /// forward the same job again.
+  util::Duration forward_retry_backoff = 120.0;
+  /// Regions tried per ranking before returning the job to the local queue.
+  int max_forward_attempts = 3;
+  /// Base ack deadline per transfer attempt (doubles per retry, capped at
+  /// 8x).  Much larger than forward_timeout: a shipment carries gigabytes
+  /// through the capped WAN channel and queues FIFO behind its peers (an
+  /// outage burst backs the channel up for tens of seconds), and a
+  /// premature retry re-ships the whole payload.  Transfers retry until
+  /// acked — at-least-once with an idempotent receiver — because giving
+  /// up after an accepted hand-off could run the job twice.
+  util::Duration transfer_ack_timeout = 120.0;
+
+  /// Gossip cadence (also drives the remote-job outcome sweep).
+  util::Duration digest_interval = 10.0;
+  /// An accepted forward whose transfer never arrives frees its admission
+  /// slot after this long.
+  util::Duration reservation_ttl = 60.0;
+};
+
+struct GatewayStats {
+  // Outbound (jobs this region pushed elsewhere).
+  std::uint64_t ranking_requests = 0;
+  std::uint64_t forwards_attempted = 0;  // ForwardRequests sent
+  std::uint64_t forwards_admitted = 0;   // accepted by a remote region
+  std::uint64_t forwards_refused = 0;    // refusals received
+  std::uint64_t forward_timeouts = 0;    // unanswered requests
+  std::uint64_t reroutes = 0;            // retries at the 2nd..Nth region
+  std::uint64_t forwards_returned = 0;   // every candidate refused
+  std::uint64_t forwards_aborted = 0;    // withdraw raced / empty ranking
+  std::uint64_t transfers_delivered = 0;  // transfer acks received (hand-off)
+  std::uint64_t transfer_retries = 0;     // unacked transfers re-sent
+  std::uint64_t transfers_bounced = 0;    // ack said refused; job came home
+  std::uint64_t checkpoints_shipped = 0;
+  std::uint64_t checkpoint_bytes_shipped = 0;
+  std::uint64_t remote_completions = 0;  // forwarded job completed remotely
+  std::uint64_t remote_failures = 0;     // forwarded job died remotely
+  // Inbound (jobs other regions pushed here).
+  std::uint64_t remote_admitted = 0;     // accepts issued (reservations)
+  std::uint64_t remote_jobs_taken = 0;   // transfers actually hosted
+  std::uint64_t remote_refused_policy = 0;
+  std::uint64_t remote_refused_cap = 0;
+  std::uint64_t remote_refused_capacity = 0;
+  std::uint64_t remote_refused_duplicate = 0;
+  std::uint64_t transfers_received = 0;
+  std::uint64_t transfers_unreserved = 0;  // landed after their TTL lapsed
+  std::uint64_t cross_campus_migrations_in = 0;  // admitted with progress > 0
+  std::uint64_t reservations_expired = 0;
+  // Gossip.
+  std::uint64_t digests_published = 0;
+};
+
+class RegionGateway {
+ public:
+  RegionGateway(sim::Environment& env, sched::Coordinator& coordinator,
+                storage::CheckpointStore& store, db::SystemDatabase& database,
+                net::Transport& wan, std::string region_name,
+                std::string broker_id, RegionPolicy policy = {});
+  ~RegionGateway();
+
+  RegionGateway(const RegionGateway&) = delete;
+  RegionGateway& operator=(const RegionGateway&) = delete;
+
+  /// Registers the WAN endpoint, publishes the first digest immediately and
+  /// starts the gossip/sweep timer.
+  void start();
+
+  const std::string& region() const { return region_; }
+  /// WAN endpoint id ("gw-<region>").
+  const std::string& gateway_id() const { return gateway_id_; }
+  const GatewayStats& stats() const { return stats_; }
+  const RegionPolicy& policy() const { return policy_; }
+  /// Forwarded jobs currently reserved or running here.
+  int remote_jobs_active() const {
+    return static_cast<int>(remote_jobs_.size() + pending_inbound_.size());
+  }
+  /// Outbound forwards currently in flight (ranking or offer outstanding).
+  int forwards_in_flight() const { return static_cast<int>(outbound_.size()); }
+  /// True while `job_id` has an outbound forward in flight (the job may be
+  /// absent from the coordinator without having landed anywhere yet).
+  bool forwarding(const std::string& job_id) const {
+    return outbound_.contains(job_id);
+  }
+  /// In-flight forwards whose job has already been withdrawn from the
+  /// local coordinator (offer or transfer outstanding).  Closes the
+  /// accounting identity: jobs_withdrawn == transfers_delivered +
+  /// forwards_returned + withdrawn_in_flight.
+  int withdrawn_in_flight() const {
+    int n = 0;
+    for (const auto& [job_id, forward] : outbound_) {
+      if (forward.withdrawn) ++n;
+    }
+    return n;
+  }
+
+  /// One gossip/sweep/forward-scan tick (timer-driven; public for tests).
+  void tick();
+
+ private:
+  /// Outbound forward state machine, one entry per job in flight.  The
+  /// entry (and with it the job's spec and checkpoint chain) survives
+  /// until the target acknowledges the transfer, so no single lost WAN
+  /// message can lose the job.
+  struct OutboundForward {
+    enum class State { kAwaitingRanking, kAwaitingReply, kAwaitingTransferAck };
+    State state = State::kAwaitingRanking;
+    std::uint64_t generation = 0;  // guards stale timeout events
+    std::uint64_t request_id = 0;
+    workload::JobSpec spec;  // populated once withdrawn
+    double start_progress = 0;
+    std::uint64_t checkpoint_bytes = 0;
+    int transfer_attempts = 0;
+    std::uint64_t handoff_id = 0;  // stamped when the offer is accepted
+    /// First-submission region/gateway.  Usually this region — but when a
+    /// job hosted here for someone else is forwarded onward (chained
+    /// forward during a local outage), provenance and outcome reporting
+    /// keep pointing at the true origin.
+    std::string origin_region;
+    std::string origin_gateway;
+    std::vector<RegionScore> ranking;
+    std::size_t next_region = 0;
+    std::string awaiting_gateway;
+    int attempts = 0;
+    bool withdrawn = false;
+  };
+  /// A forwarded job running here for another region.
+  struct RemoteJob {
+    std::string origin_gateway;
+    std::string origin_region;
+    util::SimTime admitted_at = 0;
+  };
+
+  void handle_message(net::Message&& msg);
+  void handle_ranking_response(const RankingResponse& response);
+  void handle_forward_request(const ForwardRequest& request);
+  void handle_forward_accept(const ForwardAccept& accept);
+  void handle_forward_refuse(const ForwardRefuse& refuse);
+  void handle_job_transfer(const JobTransfer& transfer);
+  void handle_transfer_ack(const JobTransferAck& ack);
+  void handle_remote_outcome(const RemoteOutcome& outcome);
+  /// (Re)sends the JobTransfer for an accepted forward and re-arms its
+  /// ack timeout.
+  void send_transfer(const std::string& job_id);
+
+  void publish_digest();
+  void sweep_remote_jobs();
+  void scan_for_forwards();
+  void initiate_forward(const std::string& job_id);
+  /// Offers the withdrawn job to the next region in the ranking, or hands
+  /// it back to the local queue when the ranking is exhausted.
+  void try_next_region(const std::string& job_id);
+  void return_job_home(const std::string& job_id);
+  void arm_timeout(const std::string& job_id, std::uint64_t generation,
+                   util::Duration delay);
+  /// True when some local node could host the job's shape right now: a
+  /// per-node check against the live indexed view (GPU count on one node,
+  /// memory, compute capability), not the fleet-wide aggregate — four free
+  /// GPUs on four different nodes cannot place a 4-GPU job.
+  bool locally_placeable(const workload::JobSpec& job);
+  /// "" = admit; otherwise the refusal reason.
+  std::string admission_verdict(const workload::JobSpec& job);
+  /// Submits an arrived transfer locally; false when the coordinator
+  /// refused the submission (the ack tells the origin to take it back).
+  bool admit_transfer(const std::string& origin_gateway,
+                      const std::string& origin_region,
+                      const workload::JobSpec& job, double start_progress);
+  void send(const std::string& to, int kind, std::any payload,
+            std::uint64_t bytes);
+
+  sim::Environment& env_;
+  sched::Coordinator& coordinator_;
+  storage::CheckpointStore& store_;
+  db::SystemDatabase& database_;
+  net::Transport& wan_;
+  std::string region_;
+  std::string gateway_id_;
+  std::string broker_id_;
+  RegionPolicy policy_;
+  sim::PeriodicTimer tick_timer_;
+
+  std::uint64_t digest_seq_ = 0;
+  std::uint64_t next_request_id_ = 1;
+  // All ordered maps: deterministic iteration for reproducible runs.
+  std::map<std::string, OutboundForward> outbound_;       // by job id
+  std::map<std::string, util::SimTime> retry_after_;      // forward backoff
+  /// Accepted forwards whose JobTransfer has not arrived yet: job id ->
+  /// reservation expiry (everything else about the hand-off rides the
+  /// transfer itself).
+  std::map<std::string, util::SimTime> pending_inbound_;
+  std::map<std::string, RemoteJob> remote_jobs_;
+  /// Hand-offs this region has admitted, by job id -> (sender gateway,
+  /// handoff id).  Retried duplicates of a processed transfer re-ack from
+  /// here instead of re-admitting — essential once the job has chained
+  /// onward and no coordinator record remains.  Retained for the run
+  /// (one small entry per cross-campus hand-off, like the job archive).
+  std::map<std::string, std::pair<std::string, std::uint64_t>>
+      handled_handoffs_;
+  GatewayStats stats_;
+  bool started_ = false;
+};
+
+}  // namespace gpunion::federation

@@ -1,0 +1,154 @@
+// Inter-campus federation protocol.
+//
+// The federation layer generalizes GPUnion's single-campus model to a set of
+// autonomous campuses (SHARY-style): each region's gateway gossips a cheap
+// capacity digest to a broker, asks the broker for a region ranking when its
+// own campus cannot serve a job, and forwards the job — shipping its latest
+// checkpoint across the WAN — to a region that admits it.  Regions keep
+// their autonomy: admission is decided by the *target* gateway against its
+// live directory, never by the broker's (possibly stale) digest view.
+//
+// Messages ride net::Transport exactly like the agent protocol, but on the
+// inter-campus WAN network and under TrafficClass::kFederation, so the
+// capped WAN channel paces them and accounting keeps them separate from
+// campus traffic.  Kind values start at 101 to stay disjoint from
+// agent::MsgKind.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sched/directory.h"
+#include "util/time.h"
+#include "workload/job.h"
+
+namespace gpunion::federation {
+
+/// Message::kind values (disjoint from agent::MsgKind).
+enum MsgKind : int {
+  kCapacityDigest = 101,  // gateway -> broker: periodic gossip
+  kRankingRequest,        // gateway -> broker: where could this job go?
+  kRankingResponse,       // broker -> gateway
+  kForwardRequest,        // origin gateway -> target gateway (control)
+  kForwardAccept,         // target -> origin: admitted, send the job
+  kForwardRefuse,         // target -> origin: admission denied
+  kJobTransfer,           // origin -> target: spec + checkpoint payload bytes
+  kRemoteOutcome,         // target -> origin: forwarded job reached a terminal
+  kJobTransferAck,        // target -> origin: transfer landed (or was refused)
+};
+
+/// One region's gossip digest: the O(1) capacity summary its directory
+/// already maintains, stamped for staleness accounting.  This is the whole
+/// point of the broker seeing O(regions) traffic — a digest replaces the
+/// thousands of per-node heartbeats that stay inside the region.
+struct DigestMessage {
+  std::string region;
+  std::string gateway_id;
+  sched::CapacitySummary capacity;
+  std::uint64_t seq = 0;
+  util::SimTime generated_at = 0;
+};
+
+struct RankingRequest {
+  std::string origin_region;
+  std::string reply_to;  // gateway endpoint id
+  std::uint64_t request_id = 0;
+  // Job shape, for basic fit filtering.
+  int gpu_count = 1;
+  double gpu_memory_gb = 0;
+  double min_compute_capability = 0;
+};
+
+/// One ranked candidate region, with the staleness of the digest the
+/// ranking was computed from (the gossip trade-off made visible).
+struct RegionScore {
+  std::string region;
+  std::string gateway_id;
+  int free_gpus = 0;
+  int free_shared_slots = 0;
+  util::Duration digest_age = 0;
+};
+
+struct RankingResponse {
+  std::uint64_t request_id = 0;
+  std::vector<RegionScore> ranking;  // best first
+};
+
+/// Control-plane probe: "would you take this job?"  Carries the spec so the
+/// target can run real admission (policy cap, live capacity); the
+/// checkpoint payload and its restore progress ride only the JobTransfer
+/// that follows an accept.
+struct ForwardRequest {
+  std::string origin_region;
+  std::string reply_to;  // origin gateway endpoint id
+  workload::JobSpec job;
+};
+
+struct ForwardAccept {
+  std::string region;  // accepting region
+  std::string job_id;
+};
+
+struct ForwardRefuse {
+  std::string region;
+  std::string job_id;
+  /// "policy" | "admission-cap" | "capacity" | "duplicate-id"
+  std::string reason;
+};
+
+/// The job itself.  Message::size_bytes = control overhead + the shipped
+/// checkpoint payload, so cross-campus migrations pay real WAN time on the
+/// capped federation channel.
+struct JobTransfer {
+  /// First-submission region/gateway (provenance + outcome reporting).  On
+  /// a chained forward these keep naming the TRUE origin, not the hop.
+  std::string origin_region;
+  std::string origin_gateway;
+  /// The gateway driving THIS transfer; acks route here (== origin_gateway
+  /// except on chained forwards).
+  std::string reply_to;
+  /// Which (re)send this is; echoed in the ack so the sender can tell a
+  /// stale refusal from the verdict on its newest attempt.
+  int attempt = 1;
+  /// Unique per hand-off at the sending gateway.  The receiver remembers
+  /// (reply_to, handoff_id) per admitted job, so a retried duplicate of a
+  /// hand-off it already processed is re-acked — never re-admitted — even
+  /// after the job has moved on (chained forward), while a genuinely NEW
+  /// hand-off of the same job (it came back and left again) is not
+  /// mistaken for a duplicate.
+  std::uint64_t handoff_id = 0;
+  workload::JobSpec job;
+  double start_progress = 0;
+  std::uint64_t checkpoint_bytes = 0;
+};
+
+struct RemoteOutcome {
+  std::string region;  // executing region
+  std::string job_id;
+  bool completed = false;  // false: cancelled/denied/disrupted remotely
+};
+
+/// Settles a kJobTransfer: the origin keeps the job's spec, checkpoint
+/// chain and outbound state until this arrives (retrying the transfer on
+/// timeout), so a dropped WAN message can delay a hand-off but never lose
+/// the job.  accepted=false (reservation lapsed and live re-admission
+/// refused, or the target could not submit) tells the origin to take the
+/// job back immediately.
+struct JobTransferAck {
+  std::string region;  // acking region
+  std::string job_id;
+  /// Echo of JobTransfer::attempt.  An accept settles the hand-off no
+  /// matter which attempt it answers (the receiver is idempotent); a
+  /// refusal only counts when it answers the NEWEST attempt — acting on a
+  /// stale refusal while a retry is still in flight could run the job in
+  /// two regions.
+  int attempt = 1;
+  bool accepted = true;
+};
+
+/// Typical encoded sizes (bytes) for federation control messages.
+constexpr std::uint64_t kDigestBytes = 260;
+constexpr std::uint64_t kControlBytes = 420;  // carries a JobSpec
+
+}  // namespace gpunion::federation

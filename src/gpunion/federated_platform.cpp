@@ -1,0 +1,156 @@
+#include "gpunion/federated_platform.h"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "util/logging.h"
+
+namespace gpunion {
+
+FederatedPlatform::FederatedPlatform(sim::Environment& env,
+                                     FederationConfig config)
+    : env_(env),
+      config_(std::move(config)),
+      wan_(std::make_unique<net::SimNetwork>(env, config_.wan)) {
+  assert(!config_.regions.empty() && "federation requires at least one region");
+  broker_ = std::make_unique<federation::FederationBroker>(env_, *wan_,
+                                                           config_.broker);
+  regions_.reserve(config_.regions.size());
+  for (auto& region_config : config_.regions) {
+    assert(!region_config.name.empty() && "region requires a name");
+    // Regions run on separate campus LANs, so the default coordinator id
+    // cannot actually collide — but unique ids keep logs and DB rows
+    // attributable when several regions share one process.
+    if (region_config.campus.coordinator.id == "coordinator") {
+      region_config.campus.coordinator.id =
+          "coordinator-" + region_config.name;
+    }
+    Region region;
+    region.name = region_config.name;
+    region.platform =
+        std::make_unique<Platform>(env_, region_config.campus);
+    region.gateway = std::make_unique<federation::RegionGateway>(
+        env_, region.platform->coordinator(),
+        region.platform->checkpoint_store(), region.platform->database(),
+        *wan_, region.name, config_.broker.id, region_config.policy);
+    by_name_[region.name] = regions_.size();
+    names_.push_back(region.name);
+    regions_.push_back(std::move(region));
+  }
+  assert(by_name_.size() == regions_.size() && "duplicate region name");
+  metrics_timer_ = std::make_unique<sim::PeriodicTimer>(
+      env_, config_.metrics_interval, [this] { refresh_metrics(); });
+}
+
+FederatedPlatform::~FederatedPlatform() = default;
+
+void FederatedPlatform::start() {
+  assert(!started_ && "FederatedPlatform::start called twice");
+  started_ = true;
+  broker_->start();  // before the gateways: their first digest flows now
+  for (auto& region : regions_) {
+    region.platform->start();
+    region.gateway->start();
+  }
+  metrics_timer_->start();
+}
+
+Platform& FederatedPlatform::region(const std::string& name) {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) {
+    throw std::out_of_range("unknown region " + name);
+  }
+  return *regions_[it->second].platform;
+}
+
+federation::RegionGateway& FederatedPlatform::gateway(
+    const std::string& name) {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) {
+    throw std::out_of_range("unknown region " + name);
+  }
+  return *regions_[it->second].gateway;
+}
+
+int FederatedPlatform::total_gpus() const {
+  int total = 0;
+  for (const auto& region : regions_) total += region.platform->total_gpus();
+  return total;
+}
+
+FederatedStats FederatedPlatform::stats() const {
+  FederatedStats out;
+  for (const auto& region : regions_) {
+    const federation::GatewayStats& gw = region.gateway->stats();
+    out.forwards_attempted += gw.forwards_attempted;
+    out.forwards_admitted += gw.forwards_admitted;
+    out.forwards_refused += gw.forwards_refused;
+    out.forwards_returned += gw.forwards_returned;
+    out.reroutes += gw.reroutes;
+    out.remote_admitted += gw.remote_admitted;
+    out.remote_refused += gw.remote_refused_policy + gw.remote_refused_cap +
+                          gw.remote_refused_capacity +
+                          gw.remote_refused_duplicate;
+    out.cross_campus_migrations += gw.cross_campus_migrations_in;
+    out.checkpoints_shipped += gw.checkpoints_shipped;
+    out.checkpoint_bytes_shipped += gw.checkpoint_bytes_shipped;
+    out.remote_completions += gw.remote_completions;
+    out.digests_published += gw.digests_published;
+  }
+  const federation::BrokerStats& broker_stats = broker_->stats();
+  out.broker_digests_received = broker_stats.digests_received;
+  out.broker_ranking_requests = broker_stats.ranking_requests;
+  out.digest_age_mean = broker_stats.digest_age_at_query.mean();
+  out.digest_age_max = broker_stats.digest_age_at_query.max();
+  return out;
+}
+
+void FederatedPlatform::inject_region_outage(const std::string& region_name,
+                                             util::Duration downtime) {
+  Platform& platform = region(region_name);
+  GPUNION_ILOG("federation") << "full-campus outage in " << region_name
+                             << " for " << downtime << " s";
+  for (const auto& machine_id : platform.machine_ids()) {
+    workload::Interruption event;
+    event.at = env_.now();
+    event.machine_id = machine_id;
+    event.kind = agent::DepartureKind::kEmergency;
+    event.downtime = downtime;
+    platform.inject_interruption(event);
+  }
+}
+
+void FederatedPlatform::refresh_metrics() {
+  auto& forwarded = metrics_.gauge_family(
+      "gpunion_federation_forwards_admitted_total",
+      "Jobs this region pushed to another campus (accepted offers)");
+  auto& admitted = metrics_.gauge_family(
+      "gpunion_federation_remote_admitted_total",
+      "Forwarded jobs this region accepted from other campuses");
+  auto& active = metrics_.gauge_family(
+      "gpunion_federation_remote_active",
+      "Forwarded jobs currently reserved or running in this region");
+  auto& migrations = metrics_.gauge_family(
+      "gpunion_federation_cross_campus_migrations_total",
+      "Admitted forwards that resumed from a shipped checkpoint");
+  auto& staleness = metrics_.gauge_family(
+      "gpunion_federation_digest_age_seconds",
+      "Age of each region's digest at the broker");
+  for (const auto& region : regions_) {
+    const monitor::Labels labels{{"region", region.name}};
+    const federation::GatewayStats& gw = region.gateway->stats();
+    forwarded.gauge(labels).set(
+        static_cast<double>(gw.forwards_admitted));
+    admitted.gauge(labels).set(static_cast<double>(gw.remote_admitted));
+    active.gauge(labels).set(
+        static_cast<double>(region.gateway->remote_jobs_active()));
+    migrations.gauge(labels).set(
+        static_cast<double>(gw.cross_campus_migrations_in));
+    auto entry = broker_->regions().find(region.name);
+    if (entry != broker_->regions().end()) {
+      staleness.gauge(labels).set(env_.now() - entry->second.received_at);
+    }
+  }
+}
+
+}  // namespace gpunion

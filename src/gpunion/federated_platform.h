@@ -1,0 +1,121 @@
+// Multi-campus federation harness.
+//
+// Instantiates N autonomous regional Platforms (each with its own campus
+// LAN, coordinator, database and checkpoint store) on ONE simulation
+// environment, plus the federation tier that joins them: an inter-campus
+// WAN SimNetwork (federation traffic rides its own capped channel), one
+// FederationBroker, and one RegionGateway per campus.
+//
+// The scalability story this enables: each region's coordinator fans in
+// only its own heartbeats, while the broker — the only global component —
+// sees O(regions) digest messages per gossip interval.  And the scenario
+// family it opens: a full-campus outage whose displaced jobs the rest of
+// the federation absorbs via cross-campus checkpoint migration, asymmetric
+// region sizes, WAN-bandwidth-constrained migration.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "federation/broker.h"
+#include "federation/gateway.h"
+#include "gpunion/platform.h"
+#include "monitor/metrics.h"
+
+namespace gpunion {
+
+/// One campus in the federation.
+struct RegionConfig {
+  std::string name;
+  CampusConfig campus;
+  federation::RegionPolicy policy;
+};
+
+struct FederationConfig {
+  std::vector<RegionConfig> regions;
+  /// Inter-campus WAN model; `federation_wan_gbps` caps the shared channel
+  /// all federation traffic (gossip, forwards, checkpoints) rides.
+  net::SimNetworkConfig wan;
+  federation::BrokerConfig broker;
+  /// Cadence of the federated metrics refresh.
+  util::Duration metrics_interval = 60.0;
+};
+
+/// Federation-wide aggregate of the per-gateway and broker counters.
+struct FederatedStats {
+  std::uint64_t forwards_attempted = 0;
+  std::uint64_t forwards_admitted = 0;
+  std::uint64_t forwards_refused = 0;
+  std::uint64_t forwards_returned = 0;
+  std::uint64_t reroutes = 0;
+  std::uint64_t remote_admitted = 0;
+  std::uint64_t remote_refused = 0;  // policy + cap + capacity
+  std::uint64_t cross_campus_migrations = 0;
+  std::uint64_t checkpoints_shipped = 0;
+  std::uint64_t checkpoint_bytes_shipped = 0;
+  std::uint64_t remote_completions = 0;
+  std::uint64_t digests_published = 0;
+  std::uint64_t broker_digests_received = 0;
+  std::uint64_t broker_ranking_requests = 0;
+  /// Digest staleness the broker actually ranked on (seconds).
+  double digest_age_mean = 0;
+  double digest_age_max = 0;
+};
+
+class FederatedPlatform {
+ public:
+  FederatedPlatform(sim::Environment& env, FederationConfig config);
+  ~FederatedPlatform();
+
+  FederatedPlatform(const FederatedPlatform&) = delete;
+  FederatedPlatform& operator=(const FederatedPlatform&) = delete;
+
+  /// Starts every regional platform, the broker, then the gateways (first
+  /// digests flow immediately).
+  void start();
+
+  std::size_t region_count() const { return regions_.size(); }
+  const std::vector<std::string>& region_names() const { return names_; }
+  Platform& region(const std::string& name);
+  Platform& region(std::size_t index) { return *regions_.at(index).platform; }
+  federation::RegionGateway& gateway(const std::string& name);
+  federation::FederationBroker& broker() { return *broker_; }
+  net::SimNetwork& wan() { return *wan_; }
+  monitor::MetricRegistry& metrics() { return metrics_; }
+  sim::Environment& env() { return env_; }
+
+  /// Every GPU across every region.
+  int total_gpus() const;
+
+  /// Aggregated federation counters (gateways + broker).
+  FederatedStats stats() const;
+
+  /// Full-campus outage: every provider node in `region` departs
+  /// immediately (emergency) and rejoins after `downtime`.  The federation
+  /// absorbs the displaced load via cross-campus forwarding.
+  void inject_region_outage(const std::string& region_name,
+                            util::Duration downtime);
+
+ private:
+  void refresh_metrics();
+
+  sim::Environment& env_;
+  FederationConfig config_;
+  std::unique_ptr<net::SimNetwork> wan_;
+  std::unique_ptr<federation::FederationBroker> broker_;
+  struct Region {
+    std::string name;
+    std::unique_ptr<Platform> platform;
+    std::unique_ptr<federation::RegionGateway> gateway;
+  };
+  std::vector<Region> regions_;
+  std::map<std::string, std::size_t> by_name_;
+  std::vector<std::string> names_;
+  monitor::MetricRegistry metrics_;
+  std::unique_ptr<sim::PeriodicTimer> metrics_timer_;
+  bool started_ = false;
+};
+
+}  // namespace gpunion

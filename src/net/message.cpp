@@ -11,6 +11,7 @@ std::string_view traffic_class_name(TrafficClass c) {
     case TrafficClass::kMigration: return "migration";
     case TrafficClass::kImage: return "image";
     case TrafficClass::kUserData: return "user_data";
+    case TrafficClass::kFederation: return "federation";
     case TrafficClass::kClassCount: break;
   }
   return "unknown";

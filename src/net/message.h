@@ -27,6 +27,7 @@ enum class TrafficClass {
   kMigration,       // checkpoint restore transfers to the new node
   kImage,           // container image pulls
   kUserData,        // dataset/output movement
+  kFederation,      // inter-campus WAN: digests, forwards, shipped checkpoints
   kClassCount,
 };
 

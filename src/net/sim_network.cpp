@@ -120,26 +120,37 @@ util::Status SimNetwork::send(Message msg) {
   const double bottleneck_rate =
       std::min({src.access.bytes_per_sec, backbone_.bytes_per_sec,
                 dst.access.bytes_per_sec});
+  // Shared capped-pipe model used by both scavenger-class channels: flows
+  // queue FIFO inside the channel and the class never exceeds its budget
+  // no matter how many flows are in flight at once.
+  auto via_paced_channel = [&](Link& channel, double gbps) {
+    const double pace = std::min(gbps * kBytesPerGbit, bottleneck_rate);
+    const util::SimTime start = std::max(now, channel.busy_until);
+    const util::SimTime end = start + size / pace;
+    channel.busy_until = end;
+    account(msg, start, end);
+    return end + config_.base_latency;
+  };
   util::SimTime t;
   if (is_control_plane(msg.traffic_class)) {
     // Control-plane messages are tiny and DSCP-prioritized on campus
     // switches: they never queue behind bulk transfers.
     t = now + size / bottleneck_rate + config_.base_latency;
     account(msg, now, now);
+  } else if (msg.traffic_class == TrafficClass::kFederation &&
+             config_.federation_wan_gbps > 0) {
+    // Inter-campus WAN channel: federation traffic (digests, forwards,
+    // shipped checkpoints) shares one capped pipe.  FIFO within the class
+    // — a large cross-campus checkpoint shipment delays the digests
+    // queued behind it, which is the staleness the broker has to live
+    // with.
+    t = via_paced_channel(wan_channel_, config_.federation_wan_gbps);
   } else if (msg.traffic_class == TrafficClass::kCheckpoint &&
              config_.backup_pace_gbps > 0) {
     // Backup channel: checkpoint uploads share one scavenger-class pipe
     // capped at the configured aggregate rate, leaving foreground links
-    // free.  Concurrent backups queue FIFO inside the channel, so the
-    // class never exceeds its budget no matter how many jobs checkpoint
-    // at once.
-    const double pace =
-        std::min(config_.backup_pace_gbps * kBytesPerGbit, bottleneck_rate);
-    const util::SimTime start = std::max(now, backup_channel_.busy_until);
-    const util::SimTime end = start + size / pace;
-    backup_channel_.busy_until = end;
-    t = end + config_.base_latency;
-    account(msg, start, end);
+    // free.
+    t = via_paced_channel(backup_channel_, config_.backup_pace_gbps);
   } else {
     // Bulk data uses a pipelined (cut-through) flow model: the transfer
     // occupies the source access link, the backbone and the destination
@@ -185,6 +196,10 @@ util::Duration SimNetwork::backup_lag(util::SimTime now) const {
   return std::max(0.0, backup_channel_.busy_until - now);
 }
 
+util::Duration SimNetwork::federation_lag(util::SimTime now) const {
+  return std::max(0.0, wan_channel_.busy_until - now);
+}
+
 std::uint64_t SimNetwork::bytes_in_window(TrafficClass c, util::SimTime t0,
                                           util::SimTime t1) const {
   const auto cls = static_cast<std::size_t>(c);
@@ -203,7 +218,7 @@ double SimNetwork::peak_backbone_utilization(util::SimTime t0,
       {TrafficClass::kControl, TrafficClass::kHeartbeat,
        TrafficClass::kTelemetry, TrafficClass::kCheckpoint,
        TrafficClass::kMigration, TrafficClass::kImage,
-       TrafficClass::kUserData},
+       TrafficClass::kUserData, TrafficClass::kFederation},
       t0, t1);
 }
 

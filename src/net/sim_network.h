@@ -37,6 +37,13 @@ struct SimNetworkConfig {
   /// flows queue FIFO within the channel and never occupy the foreground
   /// links.  0 disables the channel (backups compete as ordinary bulk).
   double backup_pace_gbps = 0.5;
+  /// Inter-campus federation traffic (capacity digests, forwarded jobs,
+  /// cross-campus checkpoint shipments) rides its own capped WAN link,
+  /// mirroring the scavenger backup channel: one shared pipe, FIFO within
+  /// the class, accounted separately so a federation deployment can prove
+  /// its gossip + migration traffic never crowds campus links.  0 disables
+  /// the cap (federation traffic competes as ordinary bulk).
+  double federation_wan_gbps = 1.0;
 };
 
 class SimNetwork : public Transport {
@@ -66,6 +73,11 @@ class SimNetwork : public Transport {
   /// backup demand exceeds the scavenger budget (the full-snapshot failure
   /// mode the incremental mechanism exists to avoid).
   util::Duration backup_lag(util::SimTime now) const;
+  /// Current backlog of the inter-campus WAN channel (federation class):
+  /// how far behind real time the newest enqueued cross-campus transfer
+  /// will complete.  A growing lag means forwarded checkpoints exceed the
+  /// WAN budget — the migration-throughput ceiling of a federation.
+  util::Duration federation_lag(util::SimTime now) const;
   std::uint64_t messages_delivered() const { return delivered_; }
   std::uint64_t messages_dropped() const { return dropped_; }
 
@@ -108,6 +120,7 @@ class SimNetwork : public Transport {
   std::unordered_map<NodeId, Endpoint> endpoints_;
   Link backbone_;
   Link backup_channel_;  // shared scavenger-class pipe for checkpoints
+  Link wan_channel_;     // shared capped pipe for inter-campus federation
   std::array<std::uint64_t, static_cast<std::size_t>(TrafficClass::kClassCount)>
       class_bytes_{};
   // bucket index -> per-class bytes

@@ -68,15 +68,20 @@ void Coordinator::start() {
 // Client API
 // ---------------------------------------------------------------------------
 
-util::Status Coordinator::submit(workload::JobSpec job) {
+util::Status Coordinator::submit(workload::JobSpec job,
+                                 double start_progress) {
   if (job.id.empty()) {
     return util::invalid_argument_error("job requires an id");
+  }
+  if (start_progress < 0.0 || start_progress >= 1.0) {
+    return util::invalid_argument_error("start_progress outside [0, 1)");
   }
   if (jobs_.contains(job.id) || archive_.contains(job.id)) {
     return util::already_exists_error("job " + job.id + " already submitted");
   }
   JobRecord record;
   record.spec = std::move(job);
+  record.checkpointed_progress = start_progress;
   record.submitted_at = env_.now();
   const std::string job_id = record.spec.id;
   const bool interactive =
@@ -86,8 +91,13 @@ util::Status Coordinator::submit(workload::JobSpec job) {
   ++stats_.jobs_submitted;
   if (interactive) {
     ++stats_.sessions_submitted;
-    env_.schedule_after(config_.session_patience,
-                        [this, job_id] { session_timeout(job_id); });
+    // The timer pins the submission it was armed for: a session withdrawn
+    // by the federation layer and later resubmitted under the same id must
+    // not be denied by its predecessor's patience window.
+    const util::SimTime submitted = env_.now();
+    env_.schedule_after(config_.session_patience, [this, job_id, submitted] {
+      session_timeout(job_id, submitted);
+    });
   } else {
     ++stats_.training_submitted;
   }
@@ -142,6 +152,33 @@ util::Status Coordinator::cancel(const std::string& job_id) {
           "job " + job_id + " already " +
           std::string(job_phase_name(record.phase)));
   }
+}
+
+util::StatusOr<Coordinator::WithdrawnJob> Coordinator::withdraw(
+    const std::string& job_id) {
+  auto it = jobs_.find(job_id);
+  if (it == jobs_.end()) {
+    if (archive_.contains(job_id)) {
+      return util::failed_precondition_error("job " + job_id +
+                                             " already terminal");
+    }
+    return util::not_found_error("job " + job_id);
+  }
+  JobRecord& record = it->second;
+  if (record.phase != JobPhase::kPending) {
+    return util::failed_precondition_error(
+        "job " + job_id + " is " + std::string(job_phase_name(record.phase)) +
+        "; only pending jobs can be withdrawn");
+  }
+  database_.remove_request(job_id);
+  migration_tracker_.abandon(job_id);
+  set_displaced_from(record, "");  // unindex (displaced pending jobs)
+  WithdrawnJob out;
+  out.spec = std::move(record.spec);
+  out.checkpointed_progress = record.checkpointed_progress;
+  jobs_.erase(it);  // no archive entry: the job now belongs elsewhere
+  ++stats_.jobs_withdrawn;
+  return out;
 }
 
 void Coordinator::set_cause_hint(const std::string& machine_id,
@@ -867,10 +904,12 @@ void Coordinator::dispatch_timeout(const std::string& job_id,
   requeue(record, /*front=*/true);
 }
 
-void Coordinator::session_timeout(const std::string& job_id) {
+void Coordinator::session_timeout(const std::string& job_id,
+                                  util::SimTime submitted_at) {
   auto it = jobs_.find(job_id);
   if (it == jobs_.end()) return;
   JobRecord& record = it->second;
+  if (record.submitted_at != submitted_at) return;  // a later resubmission
   if (record.phase != JobPhase::kPending) return;
   database_.remove_request(job_id);
   record.phase = JobPhase::kDenied;

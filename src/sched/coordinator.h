@@ -121,6 +121,9 @@ struct CoordinatorStats {
   int sessions_disrupted = 0;
   int dispatches_sent = 0;
   int dispatches_rejected = 0;
+  /// Pending jobs handed to the federation layer for cross-campus
+  /// forwarding (withdraw()); they leave this coordinator's books entirely.
+  int jobs_withdrawn = 0;
   int interruptions = 0;
   int auth_failures = 0;
   /// Migrate-back accounting for the Fig. 3 "temporary unavailability"
@@ -182,9 +185,29 @@ class Coordinator {
 
   // --- Client API -----------------------------------------------------------
   /// Accepts a job into the pending queue.  Fails on duplicate ids.
-  util::Status submit(workload::JobSpec job);
+  /// `start_progress` > 0 seeds durable progress for jobs arriving with a
+  /// checkpoint already in this campus's store (cross-campus migration):
+  /// the first dispatch restores from it instead of starting cold.
+  util::Status submit(workload::JobSpec job, double start_progress = 0.0);
   /// Cancels a pending or running job.
   util::Status cancel(const std::string& job_id);
+
+  /// A pending job handed back to the caller by withdraw(): everything a
+  /// federation gateway needs to resubmit it in another region.  The
+  /// record's interruption history stays behind in this coordinator's
+  /// aggregate stats (it describes what happened HERE).
+  struct WithdrawnJob {
+    workload::JobSpec spec;
+    double checkpointed_progress = 0;
+  };
+  /// Removes a PENDING job from this coordinator entirely (queue, record,
+  /// indexes — no archive entry) and returns its spec + durable progress.
+  /// The federation layer uses this to forward a job to another campus; a
+  /// job that is dispatching/running or already terminal cannot be
+  /// withdrawn.  The id becomes free for a future submit — reusing it for
+  /// a DIFFERENT job while the withdrawn one is still in federation
+  /// flight is undefined (the returning/forwarded copy would collide).
+  util::StatusOr<WithdrawnJob> withdraw(const std::string& job_id);
 
   // --- Experiment instrumentation -------------------------------------------
   /// Tells the coordinator what kind of interruption is behind the next
@@ -224,6 +247,8 @@ class Coordinator {
   const Directory& directory() const { return directory_; }
   Directory& directory() { return directory_; }
   const PlacementEngine& placement_engine() const { return engine_; }
+  /// Non-const: eligibility queries repair the lazily-indexed view.
+  PlacementEngine& placement_engine() { return engine_; }
   const CoordinatorStats& stats() const { return stats_; }
   const MigrationTracker& migrations() const { return migration_tracker_; }
   const ReliabilityPredictor& reliability() const { return reliability_; }
@@ -260,7 +285,9 @@ class Coordinator {
   void requeue(JobRecord& record, bool front);
   void dispatch_to(JobRecord& record, const NodeInfo& node, bool fractional);
   void dispatch_timeout(const std::string& job_id, std::uint64_t generation);
-  void session_timeout(const std::string& job_id);
+  /// `submitted_at` pins the submission the timer was armed for (guards
+  /// against a withdrawn-and-resubmitted session under the same id).
+  void session_timeout(const std::string& job_id, util::SimTime submitted_at);
   /// Returns the record's reserved capacity on `machine_id` to the
   /// scheduling view (whole GPUs or one fractional slot).
   void release_capacity(const JobRecord& record,

@@ -34,6 +34,8 @@ void ClusterView::unindex(const std::string& machine_id) {
     }
   }
   if (entry.in_slot_set) slot_nodes_.erase(entry.ptr);
+  sum_free_gpus_ -= entry.counted_free_gpus;
+  sum_free_slots_ -= entry.counted_free_slots;
   auto group = by_group_.find(entry.group);
   if (group != by_group_.end()) {
     group->second.erase(entry.ptr);
@@ -59,6 +61,10 @@ void ClusterView::index(const NodeInfo& node) {
     entry.in_slot_set = true;
     slot_nodes_.insert(&node);
   }
+  entry.counted_free_gpus = node.free_gpus;
+  entry.counted_free_slots = node.free_shared_slots;
+  sum_free_gpus_ += entry.counted_free_gpus;
+  sum_free_slots_ += entry.counted_free_slots;
   entry.group = node.owner_group;
   by_group_[node.owner_group].insert(&node);
   entry.capability = node.compute_capability;
@@ -147,11 +153,16 @@ std::vector<const NodeInfo*> ClusterView::fractional_candidates(
 
 int ClusterView::total_free_gpus() {
   refresh();
-  int total = 0;
-  for (const auto& [free, bucket] : free_buckets_) {
-    total += free * static_cast<int>(bucket.size());
-  }
-  return total;
+  return sum_free_gpus_;
+}
+
+CapacitySummary ClusterView::summary() {
+  refresh();
+  CapacitySummary out;
+  out.schedulable_nodes = static_cast<int>(entries_.size());
+  out.free_gpus = sum_free_gpus_;
+  out.free_shared_slots = sum_free_slots_;
+  return out;
 }
 
 // ---------------------------------------------------------------------------
@@ -160,8 +171,39 @@ int ClusterView::total_free_gpus() {
 
 NodeInfo& Directory::upsert(NodeInfo info) {
   view_.mark_dirty(info.machine_id);
+  total_gpus_ += info.gpu_count;
+  bool may_shrink_envelope = false;
+  if (auto existing = nodes_.find(info.machine_id); existing != nodes_.end()) {
+    const NodeInfo& old = existing->second;
+    total_gpus_ -= old.gpu_count;
+    // Re-registration with smaller hardware may have been holding an
+    // envelope maximum; rescan below (rare — hardware swaps, not churn).
+    may_shrink_envelope =
+        (old.gpu_count >= max_node_gpus_ && info.gpu_count < old.gpu_count) ||
+        (old.gpu_memory_gb >= max_gpu_memory_gb_ &&
+         info.gpu_memory_gb < old.gpu_memory_gb) ||
+        (old.compute_capability >= max_compute_capability_ &&
+         info.compute_capability < old.compute_capability);
+  }
   auto [it, inserted] = nodes_.insert_or_assign(info.machine_id,
                                                 std::move(info));
+  if (may_shrink_envelope) {
+    max_node_gpus_ = 0;
+    max_gpu_memory_gb_ = 0;
+    max_compute_capability_ = 0;
+    for (const auto& [id, node] : nodes_) {
+      max_node_gpus_ = std::max(max_node_gpus_, node.gpu_count);
+      max_gpu_memory_gb_ = std::max(max_gpu_memory_gb_, node.gpu_memory_gb);
+      max_compute_capability_ =
+          std::max(max_compute_capability_, node.compute_capability);
+    }
+  } else {
+    max_node_gpus_ = std::max(max_node_gpus_, it->second.gpu_count);
+    max_gpu_memory_gb_ =
+        std::max(max_gpu_memory_gb_, it->second.gpu_memory_gb);
+    max_compute_capability_ =
+        std::max(max_compute_capability_, it->second.compute_capability);
+  }
   return it->second;
 }
 
@@ -231,10 +273,14 @@ void Directory::release_slot(const std::string& machine_id) {
       std::clamp(node->free_shared_slots + 1, 0, slot_capacity);
 }
 
-int Directory::total_gpus() const {
-  int total = 0;
-  for (const auto& [id, node] : nodes_) total += node.gpu_count;
-  return total;
+CapacitySummary Directory::capacity_summary() {
+  CapacitySummary out = view_.summary();
+  out.nodes = static_cast<int>(nodes_.size());
+  out.total_gpus = total_gpus_;
+  out.max_node_gpus = max_node_gpus_;
+  out.max_gpu_memory_gb = max_gpu_memory_gb_;
+  out.max_compute_capability = max_compute_capability_;
+  return out;
 }
 
 }  // namespace gpunion::sched

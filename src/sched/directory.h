@@ -53,6 +53,26 @@ struct NodeInfo {
   }
 };
 
+/// Whole-fleet capacity aggregate, cheap enough to compute per gossip tick.
+/// Region gateways serialize this into their federation capacity digests,
+/// so it must come from running counters (O(dirty) repair, no node rescans).
+struct CapacitySummary {
+  int nodes = 0;              // every directory entry, any status
+  int schedulable_nodes = 0;  // kActive and accepting
+  int total_gpus = 0;         // across all nodes, any status
+  int free_gpus = 0;          // fully-free whole GPUs on schedulable nodes
+  int free_shared_slots = 0;  // free fractional slots on schedulable nodes
+  /// Hardware envelope: the best any single registered node offers
+  /// (departed nodes included — hardware survives churn; recomputed when
+  /// a re-registration shrinks a maximum).  Lets the federation broker
+  /// drop never-feasible regions from a ranking — a job needing 4 GPUs on
+  /// one node, 40 GB VRAM or CC 9.0 is not sent to a campus of 1-GPU
+  /// 24 GB CC-8.6 workstations.
+  int max_node_gpus = 0;
+  double max_gpu_memory_gb = 0;
+  double max_compute_capability = 0;
+};
+
 /// Secondary indexes over the directory, maintained incrementally via
 /// dirty-node invalidation.  Candidate lists are deterministic
 /// (machine-id order) for reproducible placement.
@@ -77,8 +97,13 @@ class ClusterView {
       double memory_gb, double min_compute_capability,
       const std::string* owner_group);
 
-  /// Fully-free whole GPUs across schedulable nodes (bucket sums; O(buckets)).
+  /// Fully-free whole GPUs across schedulable nodes (running counter; O(dirty)).
   int total_free_gpus();
+
+  /// Schedulable-fleet aggregates from the running counters the indexes
+  /// already maintain: O(dirty) repair, then O(1).  Node/GPU totals are
+  /// filled in by Directory::capacity_summary().
+  CapacitySummary summary();
 
   /// Nodes re-indexed since construction (observability for the
   /// scalability bench: work done per pass instead of full rescans).
@@ -100,6 +125,10 @@ class ClusterView {
     bool in_slot_set = false;
     std::string group;
     double capability = 0;
+    // Contributions to the capacity-summary counters (subtracted on
+    // unindex, so the counters never need a rescan).
+    int counted_free_gpus = 0;
+    int counted_free_slots = 0;
   };
 
   void refresh();
@@ -116,6 +145,9 @@ class ClusterView {
   std::map<std::string, IndexEntry> entries_;
   std::set<std::string> dirty_;
   std::uint64_t reindexed_nodes_ = 0;
+  // Running schedulable-fleet aggregates (see summary()).
+  int sum_free_gpus_ = 0;
+  int sum_free_slots_ = 0;
 };
 
 class Directory {
@@ -154,7 +186,11 @@ class Directory {
   void release_slot(const std::string& machine_id);
 
   std::size_t size() const { return nodes_.size(); }
-  int total_gpus() const;
+  int total_gpus() const { return total_gpus_; }
+
+  /// Whole-fleet capacity aggregate for federation gossip digests, from
+  /// running counters: O(dirty) index repair, no node rescans.
+  CapacitySummary capacity_summary();
 
   /// Indexed view for the placement engine.
   ClusterView& view() { return view_; }
@@ -162,6 +198,11 @@ class Directory {
  private:
   std::map<std::string, NodeInfo> nodes_;  // ordered for determinism
   ClusterView view_;
+  int total_gpus_ = 0;  // maintained by upsert
+  // Hardware envelope (see CapacitySummary).
+  int max_node_gpus_ = 0;
+  double max_gpu_memory_gb_ = 0;
+  double max_compute_capability_ = 0;
 };
 
 }  // namespace gpunion::sched

@@ -99,6 +99,14 @@ std::vector<const NodeInfo*> PlacementEngine::eligible_candidates(
   return candidates;
 }
 
+bool PlacementEngine::any_eligible(const workload::JobSpec& job,
+                                   util::SimTime now) {
+  const bool try_fractional = policy_.fractional_sharing &&
+                              strategy_->wants_fractional(job);
+  return (try_fractional && !eligible_candidates(job, now, true).empty()) ||
+         !eligible_candidates(job, now, false).empty();
+}
+
 std::optional<PlacementDecision> PlacementEngine::place(
     const workload::JobSpec& job, const std::string& preferred_node,
     util::SimTime now) {

@@ -59,6 +59,13 @@ class PlacementEngine {
                                          const std::string& preferred_node,
                                          util::SimTime now);
 
+  /// Existence check under EXACTLY the gating place() applies (policy,
+  /// strategy fractional preference, reliability degradation): could this
+  /// campus place the job right now?  The federation gateway uses it to
+  /// decide what to forward out and what to admit in — re-deriving the
+  /// predicates there would drift from real placement.
+  bool any_eligible(const workload::JobSpec& job, util::SimTime now);
+
   PlacementStrategy& strategy() { return *strategy_; }
   const PlacementStrategy& strategy() const { return *strategy_; }
   std::string_view strategy_name() const { return strategy_->name(); }

@@ -1,0 +1,395 @@
+// Federation-layer tests: gossip digests, cross-campus forwarding with
+// regional autonomy (admission caps, refusals), stale-digest re-routing,
+// and checkpoint migration across a full-campus outage.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "gpunion/federated_platform.h"
+#include "workload/profiles.h"
+
+namespace gpunion {
+namespace {
+
+CampusConfig small_campus(const std::string& prefix, int nodes) {
+  CampusConfig config;
+  for (int i = 0; i < nodes; ++i) {
+    config.nodes.push_back(
+        {hw::workstation_3090(prefix + "-ws-" + std::to_string(i)),
+         "group-" + prefix});
+  }
+  config.storage.push_back({"nas-" + prefix, 512ULL << 30});
+  config.coordinator.heartbeat_interval = 2.0;
+  config.agent_defaults.heartbeat_interval = 2.0;
+  config.agent_defaults.telemetry_interval = 1e9;  // off the control plane
+  config.scrape_interval = 1e9;
+  return config;
+}
+
+federation::RegionPolicy fast_policy() {
+  federation::RegionPolicy policy;
+  policy.digest_interval = 5.0;
+  policy.forward_after = 10.0;
+  policy.forward_timeout = 10.0;
+  policy.forward_retry_backoff = 30.0;
+  return policy;
+}
+
+RegionConfig make_region(const std::string& name, int nodes,
+                         federation::RegionPolicy policy = fast_policy()) {
+  return RegionConfig{name, small_campus(name, nodes), policy};
+}
+
+workload::JobSpec training(const std::string& id, const std::string& group,
+                           double seconds, util::SimTime at) {
+  auto job = workload::make_training_job(id, workload::cnn_small(),
+                                         seconds / 3600.0, group, at);
+  job.checkpoint_interval = 60.0;
+  return job;
+}
+
+int completed_in(Platform& platform) {
+  return platform.coordinator().stats().jobs_completed;
+}
+
+TEST(FederationBrokerTest, DigestGossipTracksRegionCapacity) {
+  sim::Environment env(7);
+  FederationConfig config;
+  config.regions.push_back(make_region("alpha", 2));
+  config.regions.push_back(make_region("beta", 3));
+  FederatedPlatform fed(env, config);
+  fed.start();
+  env.run_until(31.0);
+
+  const auto& regions = fed.broker().regions();
+  ASSERT_EQ(regions.size(), 2u);
+  ASSERT_TRUE(regions.contains("alpha"));
+  ASSERT_TRUE(regions.contains("beta"));
+  EXPECT_EQ(regions.at("alpha").capacity.total_gpus, 2);
+  EXPECT_EQ(regions.at("beta").capacity.total_gpus, 3);
+  EXPECT_EQ(regions.at("alpha").capacity.nodes, 2);
+  EXPECT_EQ(regions.at("beta").gateway_id, "gw-beta");
+
+  // 31 s at a 5 s digest interval: first digest at start plus 6 ticks.
+  EXPECT_GE(fed.broker().stats().digests_received, 2u * 6u);
+  // Sequence numbers advance; nothing dropped over a loss-free WAN.
+  EXPECT_EQ(fed.broker().stats().stale_digests_dropped, 0u);
+  // Freshness: the newest digest is no older than one interval.
+  EXPECT_LE(env.now() - regions.at("alpha").received_at, 5.5);
+}
+
+TEST(FederationForwardTest, OverflowForwardsToFreeRegionAndCompletes) {
+  sim::Environment env(11);
+  FederationConfig config;
+  config.regions.push_back(make_region("alpha", 1));
+  config.regions.push_back(make_region("beta", 3));
+  FederatedPlatform fed(env, config);
+  fed.start();
+  env.run_until(5.0);
+
+  // Three 1-GPU jobs into a 1-GPU campus: one runs locally, two overflow.
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(fed.region("alpha")
+                    .coordinator()
+                    .submit(training("job-" + std::to_string(i),
+                                     "group-alpha", 120.0, env.now()))
+                    .is_ok());
+  }
+  env.run_until(600.0);
+
+  const auto& alpha = fed.gateway("alpha").stats();
+  const auto& beta = fed.gateway("beta").stats();
+  EXPECT_GE(alpha.forwards_admitted, 2u);
+  EXPECT_EQ(alpha.forwards_admitted, beta.remote_admitted);
+  EXPECT_EQ(fed.region("alpha").coordinator().stats().jobs_withdrawn,
+            static_cast<int>(alpha.forwards_admitted));
+  // Every job completed somewhere in the federation.
+  EXPECT_EQ(completed_in(fed.region("alpha")) +
+                completed_in(fed.region("beta")),
+            3);
+  // The origin heard back about its forwarded jobs.
+  EXPECT_EQ(alpha.remote_completions, alpha.forwards_admitted);
+  EXPECT_EQ(fed.gateway("beta").remote_jobs_active(), 0);
+
+  // Region-scoped provenance on both sides of the forward.
+  const auto& beta_provenance =
+      fed.region("beta").database().provenance_log();
+  ASSERT_GE(beta_provenance.size(), 2u);
+  for (const auto& row : beta_provenance) {
+    EXPECT_EQ(row.origin_region, "alpha");
+    EXPECT_EQ(row.executing_region, "beta");
+  }
+  const db::JobProvenance* origin_row =
+      fed.region("alpha").database().provenance(beta_provenance[0].job_id);
+  ASSERT_NE(origin_row, nullptr);
+  EXPECT_EQ(origin_row->executing_region, "beta");
+
+  // Federation traffic is accounted in its own class on the WAN and never
+  // appears on a campus LAN.
+  EXPECT_GT(fed.wan().bytes_sent(net::TrafficClass::kFederation), 0u);
+  EXPECT_EQ(fed.region("alpha").network().bytes_sent(
+                net::TrafficClass::kFederation),
+            0u);
+}
+
+TEST(FederationForwardTest, AdmissionCapRefusesAndReroutes) {
+  sim::Environment env(13);
+  FederationConfig config;
+  config.regions.push_back(make_region("alpha", 1));
+  federation::RegionPolicy capped = fast_policy();
+  capped.max_remote_jobs = 1;
+  config.regions.push_back(make_region("beta", 3, capped));
+  config.regions.push_back(make_region("gamma", 3));
+  FederatedPlatform fed(env, config);
+  fed.start();
+  env.run_until(5.0);
+
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(fed.region("alpha")
+                    .coordinator()
+                    .submit(training("job-" + std::to_string(i),
+                                     "group-alpha", 150.0, env.now()))
+                    .is_ok());
+  }
+  env.run_until(700.0);
+
+  const auto& alpha = fed.gateway("alpha").stats();
+  const auto& beta = fed.gateway("beta").stats();
+  const auto& gamma = fed.gateway("gamma").stats();
+  // Beta's autonomy held: it never hosted more than its cap at once, and
+  // refused the rest, which re-routed to gamma.
+  EXPECT_GE(beta.remote_refused_cap, 1u);
+  EXPECT_GE(alpha.reroutes, 1u);
+  EXPECT_GE(gamma.remote_admitted, 1u);
+  EXPECT_EQ(beta.remote_admitted + gamma.remote_admitted,
+            alpha.forwards_admitted);
+  EXPECT_EQ(completed_in(fed.region("alpha")) +
+                completed_in(fed.region("beta")) +
+                completed_in(fed.region("gamma")),
+            4);
+}
+
+TEST(FederationForwardTest, RemoteRefusalByPolicy) {
+  sim::Environment env(17);
+  FederationConfig config;
+  config.regions.push_back(make_region("alpha", 1));
+  federation::RegionPolicy closed = fast_policy();
+  closed.accept_remote = false;
+  config.regions.push_back(make_region("beta", 3, closed));
+  FederatedPlatform fed(env, config);
+  fed.start();
+  env.run_until(5.0);
+
+  for (int i = 0; i < 2; ++i) {
+    ASSERT_TRUE(fed.region("alpha")
+                    .coordinator()
+                    .submit(training("job-" + std::to_string(i),
+                                     "group-alpha", 60.0, env.now()))
+                    .is_ok());
+  }
+  env.run_until(400.0);
+
+  // Beta refused on policy; the job returned to alpha's queue and finished
+  // there once the first job freed the GPU.
+  EXPECT_GE(fed.gateway("beta").stats().remote_refused_policy, 1u);
+  EXPECT_EQ(fed.gateway("beta").stats().remote_admitted, 0u);
+  EXPECT_GE(fed.gateway("alpha").stats().forwards_returned, 1u);
+  EXPECT_EQ(completed_in(fed.region("alpha")), 2);
+  EXPECT_EQ(completed_in(fed.region("beta")), 0);
+}
+
+TEST(FederationForwardTest, StaleDigestIsRefusedThenRerouted) {
+  sim::Environment env(19);
+  FederationConfig config;
+  config.regions.push_back(make_region("alpha", 1));
+  // Beta gossips every 30 s: its t=30 digest shows 4 free GPUs, and the
+  // broker keeps ranking it on that snapshot long after beta has filled up.
+  federation::RegionPolicy quiet = fast_policy();
+  quiet.digest_interval = 30.0;
+  config.regions.push_back(make_region("beta", 4, quiet));
+  config.regions.push_back(make_region("gamma", 2));
+  FederatedPlatform fed(env, config);
+  fed.start();
+  env.run_until(31.0);  // beta's "4 free GPUs" digest is on the books
+
+  // Fill beta with local work so its real free capacity is zero.
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(fed.region("beta")
+                    .coordinator()
+                    .submit(training("beta-local-" + std::to_string(i),
+                                     "group-beta", 600.0, env.now()))
+                    .is_ok());
+  }
+  // Alpha: one job occupies its only GPU, the second must leave the campus.
+  ASSERT_TRUE(fed.region("alpha")
+                  .coordinator()
+                  .submit(training("alpha-busy", "group-alpha", 600.0,
+                                   env.now()))
+                  .is_ok());
+  ASSERT_TRUE(fed.region("alpha")
+                  .coordinator()
+                  .submit(training("alpha-overflow", "group-alpha", 120.0,
+                                   env.now()))
+                  .is_ok());
+  env.run_until(400.0);
+
+  const auto& alpha = fed.gateway("alpha").stats();
+  const auto& beta = fed.gateway("beta").stats();
+  const auto& gamma = fed.gateway("gamma").stats();
+  // The broker ranked beta first on stale data; beta's live admission
+  // refused; the forward re-routed to gamma and ran there.
+  EXPECT_GE(beta.remote_refused_capacity, 1u);
+  EXPECT_GE(alpha.reroutes, 1u);
+  EXPECT_GE(gamma.remote_admitted, 1u);
+  EXPECT_GE(completed_in(fed.region("gamma")), 1);
+  // The broker really was deciding on old news when it ranked beta.
+  EXPECT_GT(fed.stats().digest_age_max, 2 * fast_policy().digest_interval);
+}
+
+TEST(FederationOutageTest, FullCampusOutageMigratesCheckpointsCrossCampus) {
+  sim::Environment env(23);
+  FederationConfig config;
+  config.regions.push_back(make_region("alpha", 2));
+  config.regions.push_back(make_region("beta", 3));
+  FederatedPlatform fed(env, config);
+  fed.start();
+  env.run_until(5.0);
+
+  // Long training with periodic checkpoints on alpha.
+  for (int i = 0; i < 2; ++i) {
+    ASSERT_TRUE(fed.region("alpha")
+                    .coordinator()
+                    .submit(training("t-" + std::to_string(i), "group-alpha",
+                                     600.0, env.now()))
+                    .is_ok());
+  }
+  env.run_until(200.0);  // several checkpoint intervals of progress
+  ASSERT_EQ(fed.region("alpha").coordinator().operational_stats().running, 2);
+
+  fed.inject_region_outage("alpha", /*downtime=*/600.0);
+  env.run_until(1400.0);
+
+  const auto& alpha = fed.gateway("alpha").stats();
+  const auto& beta = fed.gateway("beta").stats();
+  // Both displaced jobs left the dead campus with their checkpoints and
+  // resumed in beta from shipped durable progress.
+  EXPECT_EQ(alpha.checkpoints_shipped, 2u);
+  EXPECT_GT(alpha.checkpoint_bytes_shipped, 0u);
+  EXPECT_EQ(beta.cross_campus_migrations_in, 2u);
+  EXPECT_EQ(completed_in(fed.region("beta")), 2);
+  EXPECT_EQ(alpha.remote_completions, 2u);
+  // The shipped state crossed the WAN under the federation class.
+  EXPECT_GE(fed.wan().bytes_sent(net::TrafficClass::kFederation),
+            alpha.checkpoint_bytes_shipped);
+  // Both sides can answer "whose job was this?".
+  for (const std::string job_id : {"t-0", "t-1"}) {
+    const db::JobProvenance* row =
+        fed.region("beta").database().provenance(job_id);
+    ASSERT_NE(row, nullptr) << job_id;
+    EXPECT_EQ(row->origin_region, "alpha");
+    EXPECT_EQ(row->executing_region, "beta");
+  }
+}
+
+TEST(FederationForwardTest, MultiGpuJobUnplaceableOnFragmentedFleetForwards) {
+  sim::Environment env(31);
+  FederationConfig config;
+  // Alpha has 2 free GPUs in aggregate — but on two separate single-GPU
+  // workstations, so a 2-GPU job can never be placed locally.
+  config.regions.push_back(make_region("alpha", 2));
+  // Beta owns one 2xA100 server: the only node in the federation that
+  // fits the job's shape.
+  RegionConfig beta;
+  beta.name = "beta";
+  beta.campus.nodes.push_back({hw::server_2xa100("beta-big"), "group-beta"});
+  beta.campus.storage.push_back({"nas-beta", 512ULL << 30});
+  beta.campus.agent_defaults.telemetry_interval = 1e9;
+  beta.campus.scrape_interval = 1e9;
+  beta.policy = fast_policy();
+  config.regions.push_back(std::move(beta));
+  FederatedPlatform fed(env, config);
+  fed.start();
+  env.run_until(5.0);
+
+  auto job = training("wide", "group-alpha", 120.0, env.now());
+  job.requirements.gpu_count = 2;
+  ASSERT_TRUE(fed.region("alpha").coordinator().submit(job).is_ok());
+  env.run_until(400.0);
+
+  // The per-node shape check forwarded it despite alpha's non-zero
+  // aggregate free count, and beta's admission accepted what it can host.
+  EXPECT_EQ(fed.gateway("alpha").stats().forwards_admitted, 1u);
+  EXPECT_EQ(fed.gateway("beta").stats().remote_admitted, 1u);
+  EXPECT_EQ(completed_in(fed.region("beta")), 1);
+  const sched::JobRecord* record = fed.region("beta").coordinator().job("wide");
+  ASSERT_NE(record, nullptr);
+  EXPECT_EQ(record->phase, sched::JobPhase::kCompleted);
+}
+
+TEST(FederationForwardTest, LossyWanNeverLosesJobs) {
+  sim::Environment env(37);
+  FederationConfig config;
+  config.regions.push_back(make_region("alpha", 1));
+  config.regions.push_back(make_region("beta", 3));
+  // One in five WAN messages silently vanishes.  Every protocol step must
+  // recover: rankings/offers via timeouts, transfers via the ack/retry
+  // loop (the origin keeps the job until the target acknowledges it).
+  config.wan.drop_probability = 0.2;
+  FederatedPlatform fed(env, config);
+  fed.start();
+  env.run_until(5.0);
+
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(fed.region("alpha")
+                    .coordinator()
+                    .submit(training("job-" + std::to_string(i),
+                                     "group-alpha", 120.0, env.now()))
+                    .is_ok());
+  }
+  env.run_until(2000.0);
+
+  // Conservation: every job completed in exactly one region; none were
+  // lost to a dropped transfer and none ran twice.
+  EXPECT_EQ(completed_in(fed.region("alpha")) +
+                completed_in(fed.region("beta")),
+            3);
+  for (int i = 0; i < 3; ++i) {
+    const std::string id = "job-" + std::to_string(i);
+    const sched::JobRecord* in_alpha =
+        fed.region("alpha").coordinator().job(id);
+    const sched::JobRecord* in_beta = fed.region("beta").coordinator().job(id);
+    EXPECT_TRUE((in_alpha != nullptr) != (in_beta != nullptr)) << id;
+  }
+  // No forward is stuck in flight once the dust settles.
+  EXPECT_EQ(fed.gateway("alpha").forwards_in_flight(), 0);
+}
+
+TEST(FederationOutageTest, NoCandidateRegionsKeepsJobQueuedLocally) {
+  sim::Environment env(29);
+  FederationConfig config;
+  config.regions.push_back(make_region("alpha", 1));
+  FederatedPlatform fed(env, config);  // a federation of one
+  fed.start();
+  env.run_until(5.0);
+
+  ASSERT_TRUE(fed.region("alpha")
+                  .coordinator()
+                  .submit(training("only-busy", "group-alpha", 300.0,
+                                   env.now()))
+                  .is_ok());
+  ASSERT_TRUE(fed.region("alpha")
+                  .coordinator()
+                  .submit(training("only-waiting", "group-alpha", 60.0,
+                                   env.now()))
+                  .is_ok());
+  env.run_until(500.0);
+
+  // Rankings come back empty; the job never leaves and both complete
+  // locally once capacity frees.
+  EXPECT_GE(fed.gateway("alpha").stats().forwards_aborted, 1u);
+  EXPECT_EQ(fed.gateway("alpha").stats().forwards_attempted, 0u);
+  EXPECT_EQ(completed_in(fed.region("alpha")), 2);
+}
+
+}  // namespace
+}  // namespace gpunion

@@ -14,11 +14,7 @@ struct Fixture {
     net.register_endpoint(id, [](Message&&) {});
   }
   void send(TrafficClass klass, std::uint64_t bytes) {
-    Message m;
-    m.from = "a";
-    m.to = "b";
-    m.traffic_class = klass;
-    m.size_bytes = bytes;
+    Message m{/*from=*/"a", /*to=*/"b", klass, bytes, /*kind=*/0, {}};
     ASSERT_TRUE(net.send(std::move(m)).is_ok());
   }
 };
@@ -94,21 +90,60 @@ TEST(TrafficAccountingTest, DisabledPacingUsesBulkPath) {
   SimNetwork net(env, config);
   net.register_endpoint("a", [](Message&&) {});
   net.register_endpoint("b", [](Message&&) {});
-  Message m;
-  m.from = "a";
-  m.to = "b";
-  m.traffic_class = TrafficClass::kCheckpoint;
-  m.size_bytes = 125'000'000ULL;  // 1 s at the 1 Gbps line rate
+  // 1 s at the 1 Gbps line rate.
+  Message m{"a", "b", TrafficClass::kCheckpoint, 125'000'000ULL, 0, {}};
   ASSERT_TRUE(net.send(std::move(m)).is_ok());
   env.run();
   EXPECT_LT(env.now(), 1.5);  // line rate, not the (absent) pace
   EXPECT_DOUBLE_EQ(net.backup_lag(env.now()), 0.0);
 }
 
+TEST(TrafficAccountingTest, FederationChannelSerializesAndCapsClass) {
+  Fixture f;
+  f.attach("a");
+  f.attach("b");
+  // Two 7.5 GB cross-campus shipments at the 1 Gbps WAN channel: 60 s
+  // each, FIFO — the second queues behind the first.
+  f.send(TrafficClass::kFederation, 7'500'000'000ULL);
+  f.send(TrafficClass::kFederation, 7'500'000'000ULL);
+  EXPECT_NEAR(f.net.federation_lag(0.0), 120.0, 1.0);
+  f.env.run_until(60.0);
+  EXPECT_NEAR(f.net.federation_lag(60.0), 60.0, 1.0);
+  f.env.run();
+  EXPECT_GT(f.env.now(), 119.0);
+  EXPECT_DOUBLE_EQ(f.net.federation_lag(f.env.now()), 0.0);
+  // 1 Gbps channel on a 10 Gbps backbone: the class stays within 10%, and
+  // its bytes are accounted under their own class.
+  const double peak = f.net.peak_class_utilization(
+      {TrafficClass::kFederation}, 0, f.env.now());
+  EXPECT_LE(peak, 0.101);
+  EXPECT_GT(peak, 0.09);
+  EXPECT_EQ(f.net.bytes_sent(TrafficClass::kFederation), 15'000'000'000ULL);
+  EXPECT_EQ(f.net.bytes_sent(TrafficClass::kCheckpoint), 0u);
+  // The federation channel is independent of the backup channel.
+  EXPECT_DOUBLE_EQ(f.net.backup_lag(f.env.now()), 0.0);
+}
+
+TEST(TrafficAccountingTest, DisabledFederationPacingUsesBulkPath) {
+  sim::Environment env(5);
+  SimNetworkConfig config;
+  config.federation_wan_gbps = 0.0;
+  SimNetwork net(env, config);
+  net.register_endpoint("a", [](Message&&) {});
+  net.register_endpoint("b", [](Message&&) {});
+  // 1 s at the 1 Gbps line rate.
+  Message m{"a", "b", TrafficClass::kFederation, 125'000'000ULL, 0, {}};
+  ASSERT_TRUE(net.send(std::move(m)).is_ok());
+  env.run();
+  EXPECT_LT(env.now(), 1.5);  // line rate, not the (absent) pace
+  EXPECT_DOUBLE_EQ(net.federation_lag(env.now()), 0.0);
+}
+
 TEST(TrafficAccountingTest, ClassNamesStable) {
   EXPECT_EQ(traffic_class_name(TrafficClass::kCheckpoint), "checkpoint");
   EXPECT_EQ(traffic_class_name(TrafficClass::kMigration), "migration");
   EXPECT_EQ(traffic_class_name(TrafficClass::kUserData), "user_data");
+  EXPECT_EQ(traffic_class_name(TrafficClass::kFederation), "federation");
 }
 
 }  // namespace

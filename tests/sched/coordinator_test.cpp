@@ -390,5 +390,59 @@ TEST_F(CoordinatorTest, KillSwitchNoticeRequeuesGuests) {
   EXPECT_EQ(allocations[0].outcome, db::AllocationOutcome::kKilled);
 }
 
+TEST_F(CoordinatorTest, WithdrawRemovesPendingJobEntirely) {
+  make_coordinator();
+  add_agent("ws-0", hw::workstation_3090("ws-0"));
+  ASSERT_TRUE(coordinator_->submit(training_job("job-1", 0.5)).is_ok());
+  ASSERT_TRUE(coordinator_->submit(training_job("job-2", 0.5)).is_ok());
+  env_.run_until(env_.now() + 30.0);
+  ASSERT_EQ(coordinator_->job("job-2")->phase, JobPhase::kPending);
+
+  // Running jobs cannot be withdrawn; pending jobs can.
+  EXPECT_EQ(coordinator_->withdraw("job-1").status().code(),
+            util::StatusCode::kFailedPrecondition);
+  auto withdrawn = coordinator_->withdraw("job-2");
+  ASSERT_TRUE(withdrawn.ok());
+  EXPECT_EQ(withdrawn->spec.id, "job-2");
+  EXPECT_DOUBLE_EQ(withdrawn->checkpointed_progress, 0.0);
+
+  // Gone without a trace: no record, no archive entry, no queue row — and
+  // the id is free again (the job now belongs to another campus).
+  EXPECT_EQ(coordinator_->job("job-2"), nullptr);
+  EXPECT_EQ(database_.queue_depth(), 0u);
+  EXPECT_EQ(coordinator_->stats().jobs_withdrawn, 1);
+  EXPECT_EQ(coordinator_->withdraw("job-2").status().code(),
+            util::StatusCode::kNotFound);
+  EXPECT_TRUE(coordinator_->submit(withdrawn->spec).is_ok());
+  env_.run_until(env_.now() + util::hours(1.2));
+  EXPECT_EQ(coordinator_->stats().jobs_completed, 2);
+}
+
+TEST_F(CoordinatorTest, SubmitWithStartProgressRestoresFromSeededChain) {
+  make_coordinator();
+  add_agent("ws-0", hw::workstation_3090("ws-0"));
+  // A checkpoint shipped in from another campus seeds the local store; the
+  // submit carries the durable progress it represents.
+  auto job = training_job("migrant", 1.0);
+  ASSERT_TRUE(store_
+                  .write("migrant", job.state.state_bytes,
+                         /*dirty_fraction=*/1.0, /*progress=*/0.6,
+                         env_.now())
+                  .ok());
+  ASSERT_TRUE(coordinator_->submit(job, /*start_progress=*/0.6).is_ok());
+  env_.run_until(env_.now() + 60.0);
+  const JobRecord* record = coordinator_->job("migrant");
+  ASSERT_NE(record, nullptr);
+  EXPECT_EQ(record->phase, JobPhase::kRunning);
+  EXPECT_GE(record->checkpointed_progress, 0.6);
+  // 40% of a 1 h reference job remains: done well before the full hour.
+  env_.run_until(env_.now() + util::hours(0.6));
+  EXPECT_EQ(record->phase, JobPhase::kCompleted);
+
+  // Out-of-range progress is a caller bug.
+  EXPECT_EQ(coordinator_->submit(training_job("bad"), 1.0).code(),
+            util::StatusCode::kInvalidArgument);
+}
+
 }  // namespace
 }  // namespace gpunion::sched

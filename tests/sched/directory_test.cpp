@@ -179,6 +179,53 @@ TEST(ClusterViewTest, DirtyInvalidationTracksMutations) {
   EXPECT_EQ(directory.view().total_free_gpus(), 2);
 }
 
+TEST(DirectoryTest, CapacitySummaryTracksMutationsIncrementally) {
+  Directory directory;
+  NodeInfo sharing = make_node("m-1", 4);
+  sharing.slots_per_gpu = 4;
+  directory.upsert(sharing);
+  directory.upsert(make_node("m-2", 2));
+
+  CapacitySummary summary = directory.capacity_summary();
+  EXPECT_EQ(summary.nodes, 2);
+  EXPECT_EQ(summary.schedulable_nodes, 2);
+  EXPECT_EQ(summary.total_gpus, 6);
+  EXPECT_EQ(summary.free_gpus, 6);
+  EXPECT_EQ(summary.free_shared_slots, 0);
+
+  // Reservations, slots, and status flips all land in the summary.
+  directory.reserve_gpus("m-2", 2);
+  ASSERT_TRUE(directory.reserve_slot("m-1"));  // opens a GPU in shared mode
+  summary = directory.capacity_summary();
+  EXPECT_EQ(summary.free_gpus, 3);
+  EXPECT_EQ(summary.free_shared_slots, 3);
+
+  directory.find("m-1")->status = db::NodeStatus::kDeparted;
+  summary = directory.capacity_summary();
+  EXPECT_EQ(summary.nodes, 2);           // still in the directory
+  EXPECT_EQ(summary.schedulable_nodes, 1);
+  EXPECT_EQ(summary.total_gpus, 6);      // hardware does not vanish
+  EXPECT_EQ(summary.free_gpus, 0);       // but is not schedulable capacity
+  EXPECT_EQ(summary.free_shared_slots, 0);
+
+  // Re-registering with different hardware keeps the GPU total exact.
+  directory.upsert(make_node("m-2", 8));
+  summary = directory.capacity_summary();
+  EXPECT_EQ(summary.total_gpus, 12);
+  EXPECT_EQ(summary.free_gpus, 8);
+  EXPECT_EQ(directory.total_gpus(), 12);
+  // Hardware envelope: monotone maxima over everything ever registered.
+  EXPECT_EQ(summary.max_node_gpus, 8);
+  NodeInfo big = make_node("m-3", 2);
+  big.gpu_memory_gb = 80.0;
+  big.compute_capability = 9.0;
+  directory.upsert(big);
+  summary = directory.capacity_summary();
+  EXPECT_EQ(summary.max_node_gpus, 8);
+  EXPECT_DOUBLE_EQ(summary.max_gpu_memory_gb, 80.0);
+  EXPECT_DOUBLE_EQ(summary.max_compute_capability, 9.0);
+}
+
 TEST(ClusterViewTest, FractionalCandidatesHonourCapAndCapacity) {
   Directory directory;
   NodeInfo sharing = view_node("m-share", 1, 24.0, 8.6, "vision");
