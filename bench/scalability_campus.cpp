@@ -15,6 +15,12 @@
 // a nested membership loop; full-directory sweep) over identical state —
 // the before/after that the indexes buy.
 //
+// PR 4 adds the sharded-vs-single-writer A/B: the same campus run under
+// the legacy DB config (1 writer, every mutation synchronous) and under
+// the sharded write-behind config (>= 4 writer shards, per-decision
+// mutations absorbed by the ledger), reporting the decision-path op-rate
+// cut and the modeled M/M/1 decision-path latency for both.
+//
 // Emits machine-readable BENCH_scalability.json (override with --out).
 // `--smoke` shrinks everything for CI.
 #include <chrono>
@@ -229,10 +235,21 @@ struct CampusRunResult {
   std::size_t live_jobs_at_end = 0;
   std::size_t archived_jobs_at_end = 0;
   double wall_us_per_heartbeat = 0;
+  // Sharded-DB / write-behind accounting (PR 4).
+  int db_shards = 0;
+  bool db_write_behind = false;
+  int decisions = 0;  // dispatches sent
+  double db_sync_ops_per_sim_s = 0;
+  double hottest_shard_ops_per_sim_s = 0;
+  double decision_ops_per_decision = 0;  // sync decision-path ops / decision
+  std::uint64_t ledger_absorbed = 0;
+  std::uint64_t ledger_flushes = 0;
+  std::uint64_t ledger_shard_commits = 0;
 };
 
-CampusConfig synthetic_campus(int nodes) {
+CampusConfig synthetic_campus(int nodes, const db::DbConfig& db) {
   CampusConfig config;
+  config.db = db;
   for (int i = 0; i < nodes; ++i) {
     config.nodes.push_back(
         {hw::workstation_3090("ws-" + std::to_string(i)),
@@ -251,13 +268,14 @@ CampusConfig synthetic_campus(int nodes) {
 }
 
 CampusRunResult run_campus(int nodes, double horizon, double churn_per_day,
-                           std::uint64_t seed) {
+                           std::uint64_t seed,
+                           const db::DbConfig& db = db::DbConfig{}) {
   CampusRunResult r;
   r.nodes = nodes;
   r.sim_horizon_s = horizon;
 
   sim::Environment env(seed);
-  Platform platform(env, synthetic_campus(nodes));
+  Platform platform(env, synthetic_campus(nodes, db));
   r.wall_s = wall_seconds([&] {
     platform.start();
     env.run_until(5.0);
@@ -316,6 +334,24 @@ CampusRunResult run_campus(int nodes, double horizon, double churn_per_day,
   r.sweep_entries_examined = monitor.total_examined();
   r.sweeps = monitor.sweeps();
   r.event_compactions = env.event_queue().compactions();
+  const db::ShardedDatabase& database = platform.database();
+  r.db_shards = database.shard_count();
+  r.db_write_behind = database.config().write_behind;
+  r.decisions = stats.dispatches_sent;
+  r.db_sync_ops_per_sim_s =
+      static_cast<double>(database.sync_op_count()) / horizon;
+  std::uint64_t hottest = 0;
+  for (const std::uint64_t ops : database.shard_op_counts()) {
+    hottest = std::max(hottest, ops);
+  }
+  r.hottest_shard_ops_per_sim_s = static_cast<double>(hottest) / horizon;
+  r.decision_ops_per_decision =
+      r.decisions == 0 ? 0.0
+                       : static_cast<double>(database.decision_path_sync_ops()) /
+                             static_cast<double>(r.decisions);
+  r.ledger_absorbed = database.ledger().stats().absorbed;
+  r.ledger_flushes = database.ledger().stats().flushes;
+  r.ledger_shard_commits = database.ledger().stats().shard_commits;
   const auto operational = platform.coordinator().operational_stats();
   r.live_jobs_at_end = static_cast<std::size_t>(operational.live_jobs);
   r.archived_jobs_at_end =
@@ -325,6 +361,105 @@ CampusRunResult run_campus(int nodes, double horizon, double churn_per_day,
           ? 0
           : r.wall_s * 1e6 / static_cast<double>(r.heartbeats);
   return r;
+}
+
+// ---------------------------------------------------------------------------
+// Sharded-vs-single-writer A/B (the PR 2 "next scalability wall").
+// ---------------------------------------------------------------------------
+
+/// M/M/1 sojourn time, saturation-clamped: at/over the service rate the
+/// true latency is unbounded, so the model reports the wait at rho = 0.99
+/// and flags the run saturated (the honest headline is the flag; the
+/// clamped number keeps the reduction factor finite and recordable).
+double mm1_wait_clamped(double lambda, double mu, bool* saturated) {
+  if (lambda >= mu) {
+    *saturated = true;
+    lambda = 0.99 * mu;
+  }
+  return 1.0 / (mu - lambda);
+}
+
+struct DbAbResult {
+  int nodes = 0;
+  CampusRunResult legacy;   // 1 writer, write-behind off
+  CampusRunResult sharded;  // >= 4 writers, write-behind on
+  double mu = 0;            // per-writer service rate
+  double legacy_rho = 0;    // single writer utilization
+  double sharded_rho = 0;   // hottest shard utilization
+  bool legacy_saturated = false;
+  bool sharded_saturated = false;
+  /// Modeled decision-path DB latency: (sync decision-path ops per
+  /// decision) x (M/M/1 wait at the serving writer's measured op rate).
+  double legacy_decision_latency_s = 0;
+  double sharded_decision_latency_s = 0;
+  double latency_reduction = 0;  // legacy / sharded
+  double decision_op_cut = 0;    // decision-path ops per decision, legacy/sharded
+  double op_rate_cut = 0;        // total charged op rate, legacy/sharded
+};
+
+DbAbResult run_db_ab(int nodes, double horizon, double churn_per_day,
+                     std::uint64_t seed, int shards) {
+  db::DbConfig legacy;
+  legacy.shard_count = 1;
+  legacy.write_behind = false;
+  db::DbConfig sharded;
+  sharded.shard_count = shards;
+  sharded.write_behind = true;
+
+  DbAbResult ab;
+  ab.nodes = nodes;
+  ab.legacy = run_campus(nodes, horizon, churn_per_day, seed, legacy);
+  ab.sharded = run_campus(nodes, horizon, churn_per_day, seed, sharded);
+  ab.mu = 1.0 / legacy.op_service_time;
+  ab.legacy_rho = ab.legacy.hottest_shard_ops_per_sim_s / ab.mu;
+  ab.sharded_rho = ab.sharded.hottest_shard_ops_per_sim_s / ab.mu;
+  const double legacy_wait = mm1_wait_clamped(
+      ab.legacy.hottest_shard_ops_per_sim_s, ab.mu, &ab.legacy_saturated);
+  const double sharded_wait = mm1_wait_clamped(
+      ab.sharded.hottest_shard_ops_per_sim_s, ab.mu, &ab.sharded_saturated);
+  ab.legacy_decision_latency_s =
+      ab.legacy.decision_ops_per_decision * legacy_wait;
+  ab.sharded_decision_latency_s =
+      ab.sharded.decision_ops_per_decision * sharded_wait;
+  ab.latency_reduction =
+      ab.sharded_decision_latency_s <= 0
+          ? 0
+          : ab.legacy_decision_latency_s / ab.sharded_decision_latency_s;
+  ab.decision_op_cut =
+      ab.sharded.decision_ops_per_decision <= 0
+          ? 0
+          : ab.legacy.decision_ops_per_decision /
+                ab.sharded.decision_ops_per_decision;
+  ab.op_rate_cut = ab.sharded.db_ops_per_sim_s <= 0
+                       ? 0
+                       : ab.legacy.db_ops_per_sim_s /
+                             ab.sharded.db_ops_per_sim_s;
+  return ab;
+}
+
+/// What the LEGACY load would cost at N writer lanes (even split): the
+/// pure shard-count ablation, holding the workload fixed.
+struct ShardModelPoint {
+  int shards = 0;
+  double per_shard_ops_per_s = 0;
+  double rho = 0;
+  bool saturated = false;
+  double wait_ms = 0;
+};
+
+std::vector<ShardModelPoint> shard_model(const DbAbResult& ab) {
+  std::vector<ShardModelPoint> out;
+  for (const int shards : {1, 2, 4, 8, 16}) {
+    ShardModelPoint p;
+    p.shards = shards;
+    p.per_shard_ops_per_s =
+        ab.legacy.db_ops_per_sim_s / static_cast<double>(shards);
+    p.rho = p.per_shard_ops_per_s / ab.mu;
+    p.wait_ms =
+        mm1_wait_clamped(p.per_shard_ops_per_s, ab.mu, &p.saturated) * 1000.0;
+    out.push_back(p);
+  }
+  return out;
 }
 
 // ---------------------------------------------------------------------------
@@ -345,7 +480,8 @@ void print_campus(const CampusRunResult& r) {
 void write_json(const std::string& path, const std::string& mode,
                 const std::vector<HeartbeatPathResult>& paths,
                 const std::vector<SweepResult>& sweeps,
-                const std::vector<CampusRunResult>& runs) {
+                const std::vector<CampusRunResult>& runs,
+                const std::vector<DbAbResult>& db_abs) {
   std::ofstream out(path);
   if (!out) {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
@@ -396,8 +532,61 @@ void write_json(const std::string& path, const std::string& mode,
         << ", \"event_compactions\": " << r.event_compactions
         << ", \"live_jobs_at_end\": " << r.live_jobs_at_end
         << ", \"archived_jobs_at_end\": " << r.archived_jobs_at_end
+        << ", \"db_shards\": " << r.db_shards
+        << ", \"db_write_behind\": " << (r.db_write_behind ? "true" : "false")
+        << ", \"db_sync_ops_per_sim_s\": " << r.db_sync_ops_per_sim_s
+        << ", \"ledger_absorbed\": " << r.ledger_absorbed
+        << ", \"ledger_flushes\": " << r.ledger_flushes
         << ", \"wall_us_per_heartbeat\": " << r.wall_us_per_heartbeat << "}"
         << (i + 1 < runs.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n";
+  out << "  \"db_sharding\": [\n";
+  auto emit_side = [&out](const char* name, const CampusRunResult& r) {
+    out << "      \"" << name << "\": {\"shards\": " << r.db_shards
+        << ", \"write_behind\": " << (r.db_write_behind ? "true" : "false")
+        << ", \"decisions\": " << r.decisions
+        << ", \"db_ops_per_sim_s\": " << r.db_ops_per_sim_s
+        << ", \"db_sync_ops_per_sim_s\": " << r.db_sync_ops_per_sim_s
+        << ", \"hottest_shard_ops_per_sim_s\": "
+        << r.hottest_shard_ops_per_sim_s
+        << ", \"decision_ops_per_decision\": " << r.decision_ops_per_decision
+        << ", \"ledger_absorbed\": " << r.ledger_absorbed
+        << ", \"ledger_flushes\": " << r.ledger_flushes
+        << ", \"ledger_shard_commits\": " << r.ledger_shard_commits << "}";
+  };
+  for (std::size_t i = 0; i < db_abs.size(); ++i) {
+    const auto& ab = db_abs[i];
+    out << "    {\"nodes\": " << ab.nodes
+        << ", \"sim_horizon_s\": " << ab.legacy.sim_horizon_s
+        << ", \"writer_service_rate_ops_per_s\": " << ab.mu << ",\n";
+    emit_side("legacy", ab.legacy);
+    out << ",\n";
+    emit_side("sharded", ab.sharded);
+    out << ",\n";
+    out << "      \"legacy_rho\": " << ab.legacy_rho
+        << ", \"legacy_saturated\": "
+        << (ab.legacy_saturated ? "true" : "false")
+        << ", \"sharded_rho\": " << ab.sharded_rho
+        << ", \"sharded_saturated\": "
+        << (ab.sharded_saturated ? "true" : "false")
+        << ",\n      \"modeled_decision_path_latency_legacy_s\": "
+        << ab.legacy_decision_latency_s
+        << ", \"modeled_decision_path_latency_sharded_s\": "
+        << ab.sharded_decision_latency_s
+        << ",\n      \"decision_latency_reduction\": " << ab.latency_reduction
+        << ", \"decision_op_cut\": " << ab.decision_op_cut
+        << ", \"op_rate_cut\": " << ab.op_rate_cut << ",\n";
+    out << "      \"shard_model\": [";
+    const auto model = shard_model(ab);
+    for (std::size_t j = 0; j < model.size(); ++j) {
+      const auto& p = model[j];
+      out << "{\"shards\": " << p.shards << ", \"rho\": " << p.rho
+          << ", \"saturated\": " << (p.saturated ? "true" : "false")
+          << ", \"wait_ms\": " << p.wait_ms << "}"
+          << (j + 1 < model.size() ? ", " : "");
+    }
+    out << "]}" << (i + 1 < db_abs.size() ? "," : "") << "\n";
   }
   out << "  ]\n";
   out << "}\n";
@@ -477,6 +666,38 @@ int main(int argc, char** argv) {
               "coalesce them); swept = total expiry-pops across\nall sweeps "
               "(legacy scanned nodes x sweeps).\n");
 
-  write_json(out_path, smoke ? "smoke" : "full", paths, sweeps, runs);
+  // Sharded-vs-single-writer A/B: identical campus + churn + seed, legacy
+  // DB (1 writer, all writes synchronous) vs sharded write-behind.
+  std::printf("\nSharded multi-writer DB + write-behind ledger vs legacy "
+              "single writer\n(same campus, churn and seed; modeled "
+              "decision-path latency = sync decision\nops/decision x M/M/1 "
+              "wait at the hottest writer, rho clamped at 0.99):\n\n");
+  std::printf("%7s %10s %10s %9s %9s %12s %12s %10s\n", "nodes", "ops/s-1w",
+              "ops/s-shd", "rho-1w", "rho-shd", "lat-1w-ms", "lat-shd-ms",
+              "reduction");
+  row_divider(88);
+  std::vector<DbAbResult> db_abs;
+  const std::vector<std::pair<int, double>> ab_scales =
+      smoke ? std::vector<std::pair<int, double>>{{100, 60.0}, {200, 60.0}}
+            : std::vector<std::pair<int, double>>{{1000, 300.0},
+                                                  {4000, 180.0}};
+  for (const auto& [nodes, horizon] : ab_scales) {
+    auto ab = run_db_ab(nodes, horizon, /*churn_per_day=*/24.0, 1234,
+                        /*shards=*/4);
+    db_abs.push_back(ab);
+    std::printf("%7d %10.0f %10.0f %8.2f%s %8.2f%s %12.2f %12.3f %9.1fx\n",
+                ab.nodes, ab.legacy.db_ops_per_sim_s,
+                ab.sharded.db_ops_per_sim_s, ab.legacy_rho,
+                ab.legacy_saturated ? "!" : " ", ab.sharded_rho,
+                ab.sharded_saturated ? "!" : " ",
+                ab.legacy_decision_latency_s * 1000.0,
+                ab.sharded_decision_latency_s * 1000.0,
+                ab.latency_reduction);
+  }
+  std::printf("\n'!' marks a saturated writer (rho >= 1: the M/M/1 wait is "
+              "unbounded; the\nlatency shown is the rho=0.99 clamp).  "
+              "reduction = legacy/sharded modeled\ndecision-path latency.\n");
+
+  write_json(out_path, smoke ? "smoke" : "full", paths, sweeps, runs, db_abs);
   return 0;
 }

@@ -94,78 +94,146 @@ struct DatabaseConfig {
   std::size_t history_limit = 4096;
 };
 
-class SystemDatabase {
+/// Abstract system-database surface every store implements.  The control
+/// plane (Coordinator, RegionGateway, Scraper, Platform) programs against
+/// this interface so the single-writer SystemDatabase and the sharded,
+/// write-behind ShardedDatabase are interchangeable — the legacy path stays
+/// selectable for A/B benching without touching any consumer.
+class Database {
+ public:
+  virtual ~Database() = default;
+
+  // --- Node registry --------------------------------------------------------
+  virtual util::Status upsert_node(NodeRecord record) = 0;
+  virtual util::StatusOr<NodeRecord> node(const std::string& machine_id)
+      const = 0;
+  virtual util::Status set_node_status(const std::string& machine_id,
+                                       NodeStatus s) = 0;
+  virtual util::Status touch_heartbeat(const std::string& machine_id,
+                                       util::SimTime at) = 0;
+  /// Applies many heartbeat touches as one batched write per writer (see
+  /// SystemDatabase::touch_heartbeats).  Returns rows updated.
+  virtual std::size_t touch_heartbeats(
+      const std::vector<std::pair<std::string, util::SimTime>>& batch) = 0;
+  virtual std::vector<NodeRecord> nodes() const = 0;
+  virtual std::vector<NodeRecord> nodes_with_status(NodeStatus s) const = 0;
+
+  // --- Allocation ledger -----------------------------------------------------
+  virtual std::uint64_t open_allocation(const std::string& job_id,
+                                        const std::string& machine_id,
+                                        std::vector<int> gpu_indices,
+                                        util::SimTime at,
+                                        double gpu_fraction = 1.0,
+                                        bool interactive = false) = 0;
+  virtual util::Status close_allocation(std::uint64_t allocation_id,
+                                        AllocationOutcome outcome,
+                                        util::SimTime at) = 0;
+  virtual std::vector<AllocationRecord> allocations_for_job(
+      const std::string& job_id) const = 0;
+  virtual const std::vector<AllocationRecord>& allocation_ledger() const = 0;
+
+  // --- Pending request queue ---------------------------------------------------
+  virtual void enqueue_request(PendingRequest request) = 0;
+  virtual void enqueue_request_front(PendingRequest request) = 0;
+  virtual std::optional<PendingRequest> pop_request() = 0;
+  virtual bool remove_request(const std::string& job_id) = 0;
+  virtual std::size_t queue_depth() const = 0;
+
+  // --- Job provenance (federation) ---------------------------------------------
+  virtual void record_provenance(JobProvenance provenance) = 0;
+  virtual const JobProvenance* provenance(const std::string& job_id) const = 0;
+  virtual const std::vector<JobProvenance>& provenance_log() const = 0;
+
+  // --- Monitoring history -----------------------------------------------------
+  virtual void record_metric(const std::string& series, util::SimTime at,
+                             double value) = 0;
+  virtual const std::deque<MetricPoint>& series(
+      const std::string& name) const = 0;
+  virtual std::vector<std::string> series_names() const = 0;
+
+  // --- Contention model --------------------------------------------------------
+  virtual std::uint64_t op_count() const = 0;
+  virtual double estimated_latency(double ops_per_sec) const = 0;
+  virtual double service_rate() const = 0;
+};
+
+class SystemDatabase : public Database {
  public:
   explicit SystemDatabase(DatabaseConfig config = {});
 
   // --- Node registry --------------------------------------------------------
-  util::Status upsert_node(NodeRecord record);
-  util::StatusOr<NodeRecord> node(const std::string& machine_id) const;
-  util::Status set_node_status(const std::string& machine_id, NodeStatus s);
+  util::Status upsert_node(NodeRecord record) override;
+  util::StatusOr<NodeRecord> node(const std::string& machine_id)
+      const override;
+  util::Status set_node_status(const std::string& machine_id,
+                               NodeStatus s) override;
   util::Status touch_heartbeat(const std::string& machine_id,
-                               util::SimTime at);
+                               util::SimTime at) override;
   /// Applies many heartbeat touches as ONE modeled database operation (a
   /// single batched UPDATE).  Coalescing per-beat writes into periodic
   /// flushes is what keeps the §5.2 "database contention" op rate
   /// O(flushes) instead of O(heartbeats).  Unknown machines are skipped;
   /// returns the number of rows updated.
   std::size_t touch_heartbeats(
-      const std::vector<std::pair<std::string, util::SimTime>>& batch);
-  std::vector<NodeRecord> nodes() const;
-  std::vector<NodeRecord> nodes_with_status(NodeStatus s) const;
+      const std::vector<std::pair<std::string, util::SimTime>>& batch)
+      override;
+  std::vector<NodeRecord> nodes() const override;
+  std::vector<NodeRecord> nodes_with_status(NodeStatus s) const override;
 
   // --- Allocation ledger -----------------------------------------------------
   std::uint64_t open_allocation(const std::string& job_id,
                                 const std::string& machine_id,
                                 std::vector<int> gpu_indices,
                                 util::SimTime at, double gpu_fraction = 1.0,
-                                bool interactive = false);
+                                bool interactive = false) override;
   util::Status close_allocation(std::uint64_t allocation_id,
-                                AllocationOutcome outcome, util::SimTime at);
+                                AllocationOutcome outcome,
+                                util::SimTime at) override;
   std::vector<AllocationRecord> allocations_for_job(
-      const std::string& job_id) const;
-  const std::vector<AllocationRecord>& allocation_ledger() const {
+      const std::string& job_id) const override;
+  const std::vector<AllocationRecord>& allocation_ledger() const override {
     return ledger_;
   }
 
   // --- Pending request queue ---------------------------------------------------
-  void enqueue_request(PendingRequest request);
+  void enqueue_request(PendingRequest request) override;
   /// Re-queues at the *head* of its priority class (displaced jobs keep
   /// their place under GPUnion's policy; Slurm-style resubmission uses the
   /// tail via enqueue_request).
-  void enqueue_request_front(PendingRequest request);
+  void enqueue_request_front(PendingRequest request) override;
   /// Pops the highest-priority (FIFO within a priority) request.
-  std::optional<PendingRequest> pop_request();
+  std::optional<PendingRequest> pop_request() override;
   /// Removes a queued request by job id (job cancelled); false if absent.
-  bool remove_request(const std::string& job_id);
-  std::size_t queue_depth() const;
+  bool remove_request(const std::string& job_id) override;
+  std::size_t queue_depth() const override;
 
   // --- Job provenance (federation) ---------------------------------------------
   /// Records (or updates) where a job came from and where it executes.
   /// Latest record per job wins for the lookup; the full log is kept for
   /// audit (one appended row per forward hop).
-  void record_provenance(JobProvenance provenance);
+  void record_provenance(JobProvenance provenance) override;
   /// Latest provenance for a job; nullptr for never-forwarded jobs.
-  const JobProvenance* provenance(const std::string& job_id) const;
-  const std::vector<JobProvenance>& provenance_log() const {
+  const JobProvenance* provenance(const std::string& job_id) const override;
+  const std::vector<JobProvenance>& provenance_log() const override {
     return provenance_log_;
   }
 
   // --- Monitoring history -----------------------------------------------------
   void record_metric(const std::string& series, util::SimTime at,
-                     double value);
-  const std::deque<MetricPoint>& series(const std::string& name) const;
-  std::vector<std::string> series_names() const;
+                     double value) override;
+  const std::deque<MetricPoint>& series(const std::string& name)
+      const override;
+  std::vector<std::string> series_names() const override;
 
   // --- Contention model --------------------------------------------------------
   /// Every public mutation/query above counts as one operation.
-  std::uint64_t op_count() const { return ops_; }
+  std::uint64_t op_count() const override { return ops_; }
 
   /// M/M/1 sojourn-time estimate for a sustained `ops_per_sec` load.
   /// Saturates (returns kNever) at/above the service rate — this is the
   /// ">200 nodes" wall in §5.2.
-  double estimated_latency(double ops_per_sec) const;
-  double service_rate() const { return 1.0 / config_.op_service_time; }
+  double estimated_latency(double ops_per_sec) const override;
+  double service_rate() const override { return 1.0 / config_.op_service_time; }
 
  private:
   void count_op() const { ++ops_; }

@@ -1,0 +1,366 @@
+#include "db/sharded_database.h"
+
+#include <algorithm>
+
+namespace gpunion::db {
+
+ShardedDatabase::ShardedDatabase(DbConfig config)
+    : config_(config),
+      shards_(static_cast<std::size_t>(std::max(1, config.shard_count))),
+      ledger_log_(std::max<std::size_t>(1, config.flush_threshold)) {
+  config_.shard_count = static_cast<int>(shards_.size());
+}
+
+std::size_t ShardedDatabase::route(std::string_view key) const {
+  // FNV-1a 64: deterministic across platforms and runs (std::hash is not
+  // guaranteed to be), so shard ownership is reproducible.
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const char c : key) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return static_cast<std::size_t>(h % shards_.size());
+}
+
+void ShardedDatabase::charge(std::size_t shard, bool decision_path) const {
+  ++shards_[shard].ops;
+  ++sync_ops_;
+  if (decision_path) ++decision_path_sync_ops_;
+}
+
+std::size_t ShardedDatabase::rotate() const {
+  const std::size_t shard = rotate_cursor_;
+  rotate_cursor_ = (rotate_cursor_ + 1) % shards_.size();
+  return shard;
+}
+
+void ShardedDatabase::absorb(LedgerOpKind kind, std::size_t shard,
+                             std::string key, std::uint64_t allocation_id,
+                             util::SimTime at) {
+  if (!config_.write_behind) {
+    // Monitoring writes are background traffic, never scheduler decisions
+    // — they must not inflate the legacy side of the decision-path A/B.
+    charge(shard, /*decision_path=*/kind != LedgerOpKind::kMetric);
+    return;
+  }
+  if (ledger_log_.absorb(
+          LedgerEntry{kind, shard, std::move(key), allocation_id, at})) {
+    flush_ledger(FlushTrigger::kThreshold);
+  }
+}
+
+std::size_t ShardedDatabase::flush_ledger(FlushTrigger trigger) {
+  return ledger_log_.flush(trigger,
+                           [this](std::size_t shard, std::size_t entries) {
+                             // One group commit per touched shard, however
+                             // many entries it absorbs.
+                             (void)entries;
+                             ++shards_[shard].ops;
+                           });
+}
+
+// ---------------------------------------------------------------------------
+// Node registry (sharded by machine id)
+// ---------------------------------------------------------------------------
+
+util::Status ShardedDatabase::upsert_node(NodeRecord record) {
+  // The round trip happens before validation (legacy op-accounting parity).
+  const std::size_t shard = shard_for_node(record.machine_id);
+  charge(shard, /*decision_path=*/false);
+  if (record.machine_id.empty()) {
+    return util::invalid_argument_error("node record requires a machine id");
+  }
+  auto [it, inserted] =
+      nodes_.insert_or_assign(record.machine_id, std::move(record));
+  (void)it;
+  if (inserted) ++shards_[shard].rows;
+  return util::Status();
+}
+
+util::StatusOr<NodeRecord> ShardedDatabase::node(
+    const std::string& machine_id) const {
+  charge(shard_for_node(machine_id), /*decision_path=*/false);
+  auto it = nodes_.find(machine_id);
+  if (it == nodes_.end()) {
+    return util::not_found_error("node " + machine_id + " not registered");
+  }
+  return it->second;
+}
+
+util::Status ShardedDatabase::set_node_status(const std::string& machine_id,
+                                              NodeStatus s) {
+  charge(shard_for_node(machine_id), /*decision_path=*/false);
+  auto it = nodes_.find(machine_id);
+  if (it == nodes_.end()) {
+    return util::not_found_error("node " + machine_id + " not registered");
+  }
+  it->second.status = s;
+  return util::Status();
+}
+
+util::Status ShardedDatabase::touch_heartbeat(const std::string& machine_id,
+                                              util::SimTime at) {
+  charge(shard_for_node(machine_id), /*decision_path=*/false);
+  auto it = nodes_.find(machine_id);
+  if (it == nodes_.end()) {
+    return util::not_found_error("node " + machine_id + " not registered");
+  }
+  it->second.last_heartbeat = at;
+  return util::Status();
+}
+
+std::size_t ShardedDatabase::touch_heartbeats(
+    const std::vector<std::pair<std::string, util::SimTime>>& batch) {
+  // One batched write per shard owning at least one row of the batch (the
+  // PR 2 coalescing contract, now multi-writer).  An empty batch is still
+  // one round trip (legacy op-accounting parity).
+  if (batch.empty()) {
+    charge(rotate(), /*decision_path=*/false);
+    return 0;
+  }
+  std::vector<bool> touched(shards_.size(), false);
+  std::size_t applied = 0;
+  for (const auto& [machine_id, at] : batch) {
+    touched[shard_for_node(machine_id)] = true;
+    auto it = nodes_.find(machine_id);
+    if (it == nodes_.end()) continue;
+    it->second.last_heartbeat = std::max(it->second.last_heartbeat, at);
+    ++applied;
+  }
+  for (std::size_t shard = 0; shard < touched.size(); ++shard) {
+    if (touched[shard]) charge(shard, /*decision_path=*/false);
+  }
+  return applied;
+}
+
+std::vector<NodeRecord> ShardedDatabase::nodes() const {
+  // Scatter-gather: every shard serves its partition of the scan.
+  for (std::size_t shard = 0; shard < shards_.size(); ++shard) {
+    charge(shard, /*decision_path=*/false);
+  }
+  std::vector<NodeRecord> out;
+  out.reserve(nodes_.size());
+  for (const auto& [id, record] : nodes_) out.push_back(record);
+  return out;
+}
+
+std::vector<NodeRecord> ShardedDatabase::nodes_with_status(
+    NodeStatus s) const {
+  for (std::size_t shard = 0; shard < shards_.size(); ++shard) {
+    charge(shard, /*decision_path=*/false);
+  }
+  std::vector<NodeRecord> out;
+  for (const auto& [id, record] : nodes_) {
+    if (record.status == s) out.push_back(record);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Allocation ledger (sharded by machine id; write-behind)
+// ---------------------------------------------------------------------------
+
+std::uint64_t ShardedDatabase::open_allocation(const std::string& job_id,
+                                               const std::string& machine_id,
+                                               std::vector<int> gpu_indices,
+                                               util::SimTime at,
+                                               double gpu_fraction,
+                                               bool interactive) {
+  const std::size_t shard = shard_for_node(machine_id);
+  AllocationRecord record;
+  record.allocation_id = next_allocation_id_++;
+  record.job_id = job_id;
+  record.machine_id = machine_id;
+  record.gpu_indices = std::move(gpu_indices);
+  record.gpu_fraction = gpu_fraction;
+  record.interactive = interactive;
+  record.started_at = at;
+  const std::uint64_t id = record.allocation_id;
+  ledger_index_[id] = ledger_.size();
+  ledger_.push_back(std::move(record));
+  ++shards_[shard].rows;
+  absorb(LedgerOpKind::kAllocationOpen, shard, machine_id, id, at);
+  return id;
+}
+
+util::Status ShardedDatabase::close_allocation(std::uint64_t allocation_id,
+                                               AllocationOutcome outcome,
+                                               util::SimTime at) {
+  auto it = ledger_index_.find(allocation_id);
+  if (it == ledger_index_.end()) {
+    return util::not_found_error("allocation " +
+                                 std::to_string(allocation_id));
+  }
+  AllocationRecord& record = ledger_[it->second];
+  if (record.outcome != AllocationOutcome::kRunning) {
+    return util::failed_precondition_error(
+        "allocation " + std::to_string(allocation_id) + " already closed");
+  }
+  record.outcome = outcome;
+  record.ended_at = at;
+  absorb(LedgerOpKind::kAllocationClose, shard_for_node(record.machine_id),
+         record.machine_id, allocation_id, at);
+  return util::Status();
+}
+
+std::vector<AllocationRecord> ShardedDatabase::allocations_for_job(
+    const std::string& job_id) const {
+  // A by-job query over a node-partitioned table: scatter to every shard.
+  for (std::size_t shard = 0; shard < shards_.size(); ++shard) {
+    charge(shard, /*decision_path=*/false);
+  }
+  std::vector<AllocationRecord> out;
+  for (const auto& record : ledger_) {
+    if (record.job_id == job_id) out.push_back(record);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Pending request queue (rows sharded by job id; pops rotate)
+// ---------------------------------------------------------------------------
+
+void ShardedDatabase::enqueue_request(PendingRequest request) {
+  const std::size_t shard = shard_for_job(request.job_id);
+  ++shards_[shard].rows;
+  absorb(LedgerOpKind::kEnqueue, shard, request.job_id, 0,
+         request.submitted_at);
+  queue_[request.priority].push_back(std::move(request));
+}
+
+void ShardedDatabase::enqueue_request_front(PendingRequest request) {
+  const std::size_t shard = shard_for_job(request.job_id);
+  ++shards_[shard].rows;
+  absorb(LedgerOpKind::kEnqueue, shard, request.job_id, 0,
+         request.submitted_at);
+  queue_[request.priority].push_front(std::move(request));
+}
+
+std::optional<PendingRequest> ShardedDatabase::pop_request() {
+  // The scheduler's pop is the one queue op that stays synchronous: it is
+  // a read-modify-write whose result the decision needs NOW.  Any writer
+  // lane can serve it (multi-writer), so the load rotates.
+  charge(rotate(), /*decision_path=*/true);
+  for (auto it = queue_.begin(); it != queue_.end();) {
+    if (it->second.empty()) {
+      it = queue_.erase(it);
+      continue;
+    }
+    PendingRequest request = std::move(it->second.front());
+    it->second.pop_front();
+    if (it->second.empty()) queue_.erase(it);
+    const std::size_t shard = shard_for_job(request.job_id);
+    if (shards_[shard].rows > 0) --shards_[shard].rows;
+    return request;
+  }
+  return std::nullopt;
+}
+
+bool ShardedDatabase::remove_request(const std::string& job_id) {
+  // Like pop_request, a synchronous read-modify-write in BOTH modes: the
+  // found/not-found answer is consumed immediately, so the round trip to
+  // the owning shard cannot be deferred (and a miss still paid for it).
+  const std::size_t shard = shard_for_job(job_id);
+  charge(shard, /*decision_path=*/true);
+  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+    auto& fifo = it->second;
+    for (auto rit = fifo.begin(); rit != fifo.end(); ++rit) {
+      if (rit->job_id == job_id) {
+        fifo.erase(rit);
+        if (fifo.empty()) queue_.erase(it);
+        if (shards_[shard].rows > 0) --shards_[shard].rows;
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+std::size_t ShardedDatabase::queue_depth() const {
+  // Depth probe (heartbeat path): a metadata read any lane can answer.
+  charge(rotate(), /*decision_path=*/false);
+  std::size_t n = 0;
+  for (const auto& [priority, fifo] : queue_) n += fifo.size();
+  return n;
+}
+
+// ---------------------------------------------------------------------------
+// Provenance (sharded by job id; write-behind)
+// ---------------------------------------------------------------------------
+
+void ShardedDatabase::record_provenance(JobProvenance provenance) {
+  const std::size_t shard = shard_for_job(provenance.job_id);
+  ++shards_[shard].rows;
+  const std::string job_id = provenance.job_id;
+  const util::SimTime at = provenance.recorded_at;
+  provenance_index_[provenance.job_id] = provenance_log_.size();
+  provenance_log_.push_back(std::move(provenance));
+  absorb(LedgerOpKind::kProvenance, shard, job_id, 0, at);
+}
+
+const JobProvenance* ShardedDatabase::provenance(
+    const std::string& job_id) const {
+  charge(shard_for_job(job_id), /*decision_path=*/false);
+  auto it = provenance_index_.find(job_id);
+  return it == provenance_index_.end() ? nullptr
+                                       : &provenance_log_[it->second];
+}
+
+// ---------------------------------------------------------------------------
+// Monitoring history (sharded by series name; write-behind)
+// ---------------------------------------------------------------------------
+
+void ShardedDatabase::record_metric(const std::string& series,
+                                    util::SimTime at, double value) {
+  auto& points = metrics_[series];
+  points.push_back(MetricPoint{at, value});
+  while (points.size() > config_.history_limit) points.pop_front();
+  absorb(LedgerOpKind::kMetric, route(series), series, 0, at);
+}
+
+const std::deque<MetricPoint>& ShardedDatabase::series(
+    const std::string& name) const {
+  static const std::deque<MetricPoint> kEmpty;
+  charge(route(name), /*decision_path=*/false);
+  auto it = metrics_.find(name);
+  return it == metrics_.end() ? kEmpty : it->second;
+}
+
+std::vector<std::string> ShardedDatabase::series_names() const {
+  std::vector<std::string> out;
+  out.reserve(metrics_.size());
+  for (const auto& [name, points] : metrics_) out.push_back(name);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Contention model
+// ---------------------------------------------------------------------------
+
+std::uint64_t ShardedDatabase::op_count() const {
+  std::uint64_t total = 0;
+  for (const Shard& shard : shards_) total += shard.ops;
+  return total;
+}
+
+std::vector<std::uint64_t> ShardedDatabase::shard_op_counts() const {
+  std::vector<std::uint64_t> out;
+  out.reserve(shards_.size());
+  for (const Shard& shard : shards_) out.push_back(shard.ops);
+  return out;
+}
+
+double ShardedDatabase::estimated_shard_latency(
+    double shard_ops_per_sec) const {
+  const double mu = service_rate();
+  if (shard_ops_per_sec >= mu) return util::kNever;  // this writer saturated
+  return 1.0 / (mu - shard_ops_per_sec);
+}
+
+double ShardedDatabase::estimated_latency(double ops_per_sec) const {
+  return estimated_shard_latency(ops_per_sec /
+                                 static_cast<double>(shards_.size()));
+}
+
+}  // namespace gpunion::db

@@ -1,0 +1,216 @@
+// Sharded, multi-writer system database with write-behind ledgering.
+//
+// PR 2 batched the heartbeat writes; bench_scalability's M/M/1 model then
+// showed the next wall (ROADMAP): the ~10 synchronous DB ops the scheduler
+// pays per decision saturate the single-writer database past ~2k nodes
+// under load.  This store removes that wall along two axes:
+//
+//  * Sharding: tables are partitioned by key — queue rows and provenance
+//    by JOB id, node registry / heartbeats / allocations by NODE id
+//    (deterministic FNV-1a routing) — across N writer shards, each with
+//    its own op counter and M/M/1 latency model.  Synchronous load that
+//    used to queue behind one writer spreads across N lanes; unkeyed ops
+//    (queue pops, depth probes) rotate round-robin, and fan-out reads
+//    (nodes(), allocations_for_job on a node-partitioned table) pay one
+//    scatter-gather op per shard.
+//
+//  * Write-behind: the coordinator's per-decision mutations (allocation
+//    open/close, pending-queue inserts, provenance, metric points) are
+//    absorbed by a WriteBehindLedger and group-committed to their shards
+//    on a flush interval or size threshold — one modeled write per touched
+//    shard per flush instead of one per mutation.
+//
+// Consistency model: mutations apply to the shared in-memory tables
+// immediately and only their durable shard write is deferred, so every
+// in-process reader (Coordinator, Directory consumers, RegionGateway) gets
+// read-your-writes on ledgered-but-unflushed state; shard op counters
+// advance at commit time.  This is the same modeling contract PR 2
+// established for touch_heartbeats (apply all rows, count one batched
+// write).
+//
+// DbConfig{shard_count = 1, write_behind = false} reproduces the legacy
+// single-writer behaviour exactly (same final table contents AND the same
+// op accounting as SystemDatabase), which is what bench/scalability_campus
+// A/Bs against.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "db/database.h"
+#include "db/write_behind_ledger.h"
+#include "util/status.h"
+#include "util/time.h"
+
+namespace gpunion::db {
+
+struct DbConfig {
+  /// Writer shards the tables are partitioned across.
+  int shard_count = 4;
+  /// Absorb per-decision mutations into the write-behind ledger (off = every
+  /// mutation is one synchronous shard write, the legacy path).
+  bool write_behind = true;
+  /// Background ledger-flush cadence.  The database is passive (no event
+  /// loop of its own); the owner — Platform — drives flush_ledger() from a
+  /// timer at this period.
+  util::Duration flush_interval = 2.0;
+  /// Pending ledger entries that force an immediate threshold flush.
+  std::size_t flush_threshold = 256;
+  /// Mean service time of one op on ONE writer shard, seconds.
+  double op_service_time = 0.0008;
+  /// Ring-buffer length per monitoring series.
+  std::size_t history_limit = 4096;
+};
+
+class ShardedDatabase : public Database {
+ public:
+  explicit ShardedDatabase(DbConfig config = {});
+
+  // --- Database interface (see db/database.h) -------------------------------
+  util::Status upsert_node(NodeRecord record) override;
+  util::StatusOr<NodeRecord> node(const std::string& machine_id)
+      const override;
+  util::Status set_node_status(const std::string& machine_id,
+                               NodeStatus s) override;
+  util::Status touch_heartbeat(const std::string& machine_id,
+                               util::SimTime at) override;
+  /// One batched write per shard holding at least one row of the batch.
+  std::size_t touch_heartbeats(
+      const std::vector<std::pair<std::string, util::SimTime>>& batch)
+      override;
+  std::vector<NodeRecord> nodes() const override;
+  std::vector<NodeRecord> nodes_with_status(NodeStatus s) const override;
+
+  std::uint64_t open_allocation(const std::string& job_id,
+                                const std::string& machine_id,
+                                std::vector<int> gpu_indices,
+                                util::SimTime at, double gpu_fraction = 1.0,
+                                bool interactive = false) override;
+  util::Status close_allocation(std::uint64_t allocation_id,
+                                AllocationOutcome outcome,
+                                util::SimTime at) override;
+  std::vector<AllocationRecord> allocations_for_job(
+      const std::string& job_id) const override;
+  const std::vector<AllocationRecord>& allocation_ledger() const override {
+    return ledger_;
+  }
+
+  void enqueue_request(PendingRequest request) override;
+  void enqueue_request_front(PendingRequest request) override;
+  std::optional<PendingRequest> pop_request() override;
+  bool remove_request(const std::string& job_id) override;
+  std::size_t queue_depth() const override;
+
+  void record_provenance(JobProvenance provenance) override;
+  const JobProvenance* provenance(const std::string& job_id) const override;
+  const std::vector<JobProvenance>& provenance_log() const override {
+    return provenance_log_;
+  }
+
+  void record_metric(const std::string& series, util::SimTime at,
+                     double value) override;
+  const std::deque<MetricPoint>& series(const std::string& name)
+      const override;
+  std::vector<std::string> series_names() const override;
+
+  /// Total charged ops summed across shards (sync + flush commits).
+  std::uint64_t op_count() const override;
+  /// M/M/1 sojourn time for `ops_per_sec` split evenly across the shards
+  /// (per-shard arrival rate ops/N against the per-shard service rate).
+  double estimated_latency(double ops_per_sec) const override;
+  /// Service rate of ONE writer shard (the fleet serves shard_count x this).
+  double service_rate() const override {
+    return 1.0 / config_.op_service_time;
+  }
+
+  // --- Sharding introspection -------------------------------------------------
+  int shard_count() const { return static_cast<int>(shards_.size()); }
+  /// Deterministic owner shard of node-keyed rows (registry, heartbeats,
+  /// allocations).
+  std::size_t shard_for_node(std::string_view machine_id) const {
+    return route(machine_id);
+  }
+  /// Deterministic owner shard of job-keyed rows (queue, provenance).
+  std::size_t shard_for_job(std::string_view job_id) const {
+    return route(job_id);
+  }
+  /// Ops charged to one shard (sync writes/reads + its ledger commits).
+  std::uint64_t shard_ops(std::size_t shard) const {
+    return shards_.at(shard).ops;
+  }
+  /// Rows currently owned by one shard (registry + allocations + queue +
+  /// provenance inserts; audit of the partitioning, not a cost model).
+  std::uint64_t shard_rows(std::size_t shard) const {
+    return shards_.at(shard).rows;
+  }
+  std::vector<std::uint64_t> shard_op_counts() const;
+  /// M/M/1 sojourn time on ONE shard sustaining `shard_ops_per_sec`.
+  double estimated_shard_latency(double shard_ops_per_sec) const;
+
+  // --- Write-behind ledger ------------------------------------------------------
+  const WriteBehindLedger& ledger() const { return ledger_log_; }
+  /// Group-commits pending ledger entries to their shards.  Threshold
+  /// flushes happen automatically inside absorbing mutations; the interval
+  /// flush is driven by the owner's timer.  Returns entries committed.
+  std::size_t flush_ledger(FlushTrigger trigger = FlushTrigger::kExplicit);
+
+  // --- Decision-path accounting -------------------------------------------------
+  /// Ops charged synchronously at call time (everything except ledger
+  /// group commits).
+  std::uint64_t sync_op_count() const { return sync_ops_; }
+  /// Synchronous ops on the scheduler's decision path: pending-queue
+  /// mutations, allocation open/close, provenance.  With write-behind on,
+  /// only the queue pops/removals remain here — the rest moves to the
+  /// ledger; this
+  /// counter (over dispatches) is the bench's "ops per decision".
+  std::uint64_t decision_path_sync_ops() const {
+    return decision_path_sync_ops_;
+  }
+
+  const DbConfig& config() const { return config_; }
+
+ private:
+  struct Shard {
+    std::uint64_t ops = 0;   // charged ops (sync + group commits)
+    std::uint64_t rows = 0;  // owned rows (audit of the partitioning)
+  };
+
+  std::size_t route(std::string_view key) const;
+  /// Charges one synchronous op to `shard`.
+  void charge(std::size_t shard, bool decision_path) const;
+  /// Rotating writer for unkeyed ops (queue pops / depth probes): any lane
+  /// can serve them, so the load spreads deterministically.
+  std::size_t rotate() const;
+  /// Absorbs a decision-path mutation: ledgered under write-behind
+  /// (threshold-flushing when the log fills), synchronous otherwise.
+  void absorb(LedgerOpKind kind, std::size_t shard, std::string key,
+              std::uint64_t allocation_id, util::SimTime at);
+
+  DbConfig config_;
+  // Mutable like SystemDatabase::ops_: reads are charged ops too.
+  mutable std::vector<Shard> shards_;
+  WriteBehindLedger ledger_log_;
+
+  // Logical tables (merged view; each row owned by exactly one shard).
+  std::map<std::string, NodeRecord> nodes_;  // ordered: deterministic scans
+  std::vector<AllocationRecord> ledger_;
+  std::unordered_map<std::uint64_t, std::size_t> ledger_index_;
+  std::map<int, std::deque<PendingRequest>, std::greater<>> queue_;
+  std::unordered_map<std::string, std::deque<MetricPoint>> metrics_;
+  std::vector<JobProvenance> provenance_log_;
+  std::unordered_map<std::string, std::size_t> provenance_index_;
+  std::uint64_t next_allocation_id_ = 1;
+
+  mutable std::uint64_t sync_ops_ = 0;
+  mutable std::uint64_t decision_path_sync_ops_ = 0;
+  mutable std::size_t rotate_cursor_ = 0;
+};
+
+}  // namespace gpunion::db

@@ -11,7 +11,7 @@ namespace gpunion::federation {
 RegionGateway::RegionGateway(sim::Environment& env,
                              sched::Coordinator& coordinator,
                              storage::CheckpointStore& store,
-                             db::SystemDatabase& database, net::Transport& wan,
+                             db::Database& database, net::Transport& wan,
                              std::string region_name, std::string broker_id,
                              RegionPolicy policy)
     : env_(env),

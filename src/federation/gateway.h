@@ -109,7 +109,7 @@ struct GatewayStats {
 class RegionGateway {
  public:
   RegionGateway(sim::Environment& env, sched::Coordinator& coordinator,
-                storage::CheckpointStore& store, db::SystemDatabase& database,
+                storage::CheckpointStore& store, db::Database& database,
                 net::Transport& wan, std::string region_name,
                 std::string broker_id, RegionPolicy policy = {});
   ~RegionGateway();
@@ -226,7 +226,7 @@ class RegionGateway {
   sim::Environment& env_;
   sched::Coordinator& coordinator_;
   storage::CheckpointStore& store_;
-  db::SystemDatabase& database_;
+  db::Database& database_;
   net::Transport& wan_;
   std::string region_;
   std::string gateway_id_;

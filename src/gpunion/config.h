@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "agent/provider_agent.h"
+#include "db/sharded_database.h"
 #include "hw/node.h"
 #include "net/sim_network.h"
 #include "sched/coordinator.h"
@@ -34,6 +35,10 @@ struct CampusConfig {
   agent::AgentConfig agent_defaults;
   net::SimNetworkConfig network;
   storage::CheckpointStoreConfig checkpoint_store;
+  /// System-database model: writer shard count, write-behind ledgering and
+  /// its flush knobs.  {shard_count = 1, write_behind = false} selects the
+  /// legacy single-writer path for A/B benching.
+  db::DbConfig db;
   /// Monitoring scrape interval into the system database.
   util::Duration scrape_interval = 60.0;
 };

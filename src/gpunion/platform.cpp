@@ -14,6 +14,7 @@ Platform::Platform(sim::Environment& env, CampusConfig config)
     : env_(env),
       config_(std::move(config)),
       network_(std::make_unique<net::SimNetwork>(env, config_.network)),
+      database_(config_.db),
       store_(config_.checkpoint_store) {
   register_default_images();
 
@@ -48,6 +49,9 @@ Platform::Platform(sim::Environment& env, CampusConfig config)
       env_, metrics_, database_, config_.scrape_interval);
   metrics_timer_ = std::make_unique<sim::PeriodicTimer>(
       env_, config_.scrape_interval, [this] { refresh_metrics(); });
+  db_flush_timer_ = std::make_unique<sim::PeriodicTimer>(
+      env_, config_.db.flush_interval,
+      [this] { database_.flush_ledger(db::FlushTrigger::kInterval); });
 }
 
 Platform::~Platform() = default;
@@ -148,6 +152,7 @@ void Platform::start() {
   for (auto& provider : agents_) provider->join();
   metrics_timer_->start();
   scraper_->start();
+  if (config_.db.write_behind) db_flush_timer_->start();
 }
 
 agent::ProviderAgent* Platform::agent(const std::string& machine_id) {

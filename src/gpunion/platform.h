@@ -16,7 +16,7 @@
 
 #include "agent/provider_agent.h"
 #include "container/registry.h"
-#include "db/database.h"
+#include "db/sharded_database.h"
 #include "gpunion/config.h"
 #include "monitor/metrics.h"
 #include "monitor/scraper.h"
@@ -44,7 +44,10 @@ class Platform {
   sched::Coordinator& coordinator() { return *coordinator_; }
   const sched::Coordinator& coordinator() const { return *coordinator_; }
   net::SimNetwork& network() { return *network_; }
-  db::SystemDatabase& database() { return database_; }
+  /// The campus system database: sharded writers + write-behind ledger,
+  /// configured by CampusConfig::db (legacy single-writer selectable).
+  db::ShardedDatabase& database() { return database_; }
+  const db::ShardedDatabase& database() const { return database_; }
   storage::CheckpointStore& checkpoint_store() { return store_; }
   container::ImageRegistry& image_registry() { return registry_; }
   monitor::MetricRegistry& metrics() { return metrics_; }
@@ -88,7 +91,7 @@ class Platform {
   sim::Environment& env_;
   CampusConfig config_;
   std::unique_ptr<net::SimNetwork> network_;
-  db::SystemDatabase database_;
+  db::ShardedDatabase database_;
   container::ImageRegistry registry_;
   storage::CheckpointStore store_;
   monitor::MetricRegistry metrics_;
@@ -99,6 +102,9 @@ class Platform {
   std::map<std::string, agent::ProviderAgent*> agents_by_hostname_;
   std::unique_ptr<monitor::Scraper> scraper_;
   std::unique_ptr<sim::PeriodicTimer> metrics_timer_;
+  /// Background write-behind commits (CampusConfig::db.flush_interval); the
+  /// threshold flush happens inside the database itself.
+  std::unique_ptr<sim::PeriodicTimer> db_flush_timer_;
   bool started_ = false;
 };
 

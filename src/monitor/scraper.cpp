@@ -3,7 +3,7 @@
 namespace gpunion::monitor {
 
 Scraper::Scraper(sim::Environment& env, const MetricRegistry& registry,
-                 db::SystemDatabase& database, util::Duration interval)
+                 db::Database& database, util::Duration interval)
     : env_(env),
       registry_(registry),
       database_(database),

@@ -1,7 +1,7 @@
 // Periodic metric scraper.
 //
 // Pulls gauge/counter values out of a MetricRegistry on a fixed interval and
-// persists them as time series in the SystemDatabase — the "historical
+// persists them as time series in the system database — the "historical
 // monitoring data ... enabling operational decision making and capacity
 // planning" of §3.2.
 #pragma once
@@ -20,7 +20,7 @@ class Scraper {
   /// Scrapes `registry` every `interval` into `database`.  Series are named
   /// "<family>{label=value,...}".
   Scraper(sim::Environment& env, const MetricRegistry& registry,
-          db::SystemDatabase& database, util::Duration interval);
+          db::Database& database, util::Duration interval);
 
   void start() { timer_.start(); }
   void stop() { timer_.stop(); }
@@ -37,7 +37,7 @@ class Scraper {
  private:
   sim::Environment& env_;
   const MetricRegistry& registry_;
-  db::SystemDatabase& database_;
+  db::Database& database_;
   sim::PeriodicTimer timer_;
   std::uint64_t scrapes_ = 0;
 };

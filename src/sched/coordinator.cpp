@@ -37,7 +37,7 @@ bool job_phase_terminal(JobPhase p) {
 }
 
 Coordinator::Coordinator(sim::Environment& env, net::Transport& transport,
-                         db::SystemDatabase& database,
+                         db::Database& database,
                          storage::CheckpointStore& store,
                          CoordinatorConfig config)
     : env_(env),

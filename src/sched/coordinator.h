@@ -172,8 +172,10 @@ struct OperationalStats {
 
 class Coordinator {
  public:
+  /// `database` may be the single-writer SystemDatabase or the sharded
+  /// write-behind ShardedDatabase; the coordinator only sees db::Database.
   Coordinator(sim::Environment& env, net::Transport& transport,
-              db::SystemDatabase& database, storage::CheckpointStore& store,
+              db::Database& database, storage::CheckpointStore& store,
               CoordinatorConfig config);
   ~Coordinator();
 
@@ -332,7 +334,7 @@ class Coordinator {
 
   sim::Environment& env_;
   net::Transport& transport_;
-  db::SystemDatabase& database_;
+  db::Database& database_;
   storage::CheckpointStore& store_;
   CoordinatorConfig config_;
 

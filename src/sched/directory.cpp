@@ -78,6 +78,7 @@ std::vector<const NodeInfo*> ClusterView::whole_gpu_candidates(
   refresh();
   std::vector<const NodeInfo*> out;
   auto admit = [&](const NodeInfo* node) {
+    ++candidates_examined_;
     if (node->free_gpus < gpu_count) return;
     if (node->gpu_memory_gb < min_memory_gb) return;
     if (node->compute_capability < min_compute_capability) return;
@@ -124,6 +125,7 @@ std::vector<const NodeInfo*> ClusterView::fractional_candidates(
   refresh();
   std::vector<const NodeInfo*> out;
   auto admit = [&](const NodeInfo* node) {
+    ++candidates_examined_;
     if (node->slots_per_gpu <= 1) return;
     if (node->free_shared_slots <= 0 && node->free_gpus <= 0) return;
     if (memory_gb > node->share_memory_cap_gb) return;
@@ -149,6 +151,70 @@ std::vector<const NodeInfo*> ClusterView::fractional_candidates(
     }
   }
   return out;
+}
+
+const NodeInfo* ClusterView::first_whole_gpu_candidate(
+    int gpu_count, double min_memory_gb, double min_compute_capability,
+    const std::string* owner_group, const NodePredicate& pred) {
+  refresh();
+  auto probe = [&](const NodeInfo* node) -> bool {
+    ++candidates_examined_;
+    if (node->free_gpus < gpu_count) return false;
+    if (node->gpu_memory_gb < min_memory_gb) return false;
+    if (node->compute_capability < min_compute_capability) return false;
+    return pred(*node);
+  };
+  if (owner_group != nullptr) {
+    auto group = by_group_.find(*owner_group);
+    if (group == by_group_.end()) return nullptr;
+    for (const NodeInfo* node : group->second) {
+      if (probe(node)) return node;
+    }
+    return nullptr;
+  }
+  // The free buckets already guarantee capacity, so on a fleet with ANY
+  // eligible free node this exits after examining it; no planner needed.
+  for (auto it = free_buckets_.lower_bound(gpu_count);
+       it != free_buckets_.end(); ++it) {
+    for (const NodeInfo* node : it->second) {
+      if (probe(node)) return node;
+    }
+  }
+  return nullptr;
+}
+
+const NodeInfo* ClusterView::first_fractional_candidate(
+    double memory_gb, double min_compute_capability,
+    const std::string* owner_group, const NodePredicate& pred) {
+  refresh();
+  auto probe = [&](const NodeInfo* node) -> bool {
+    ++candidates_examined_;
+    if (node->slots_per_gpu <= 1) return false;
+    if (node->free_shared_slots <= 0 && node->free_gpus <= 0) return false;
+    if (memory_gb > node->share_memory_cap_gb) return false;
+    if (node->compute_capability < min_compute_capability) return false;
+    return pred(*node);
+  };
+  if (owner_group != nullptr) {
+    auto group = by_group_.find(*owner_group);
+    if (group == by_group_.end()) return nullptr;
+    for (const NodeInfo* node : group->second) {
+      if (probe(node)) return node;
+    }
+    return nullptr;
+  }
+  for (const NodeInfo* node : slot_nodes_) {
+    if (probe(node)) return node;
+  }
+  for (const auto& [free, bucket] : free_buckets_) {
+    for (const NodeInfo* node : bucket) {
+      if (node->free_shared_slots > 0 && node->slots_per_gpu > 1) {
+        continue;  // already probed from the slot set
+      }
+      if (probe(node)) return node;
+    }
+  }
+  return nullptr;
 }
 
 int ClusterView::total_free_gpus() {

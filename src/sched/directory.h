@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <set>
 #include <string>
@@ -97,6 +98,30 @@ class ClusterView {
       double memory_gb, double min_compute_capability,
       const std::string* owner_group);
 
+  /// Extra gating an existence probe applies on top of the index filters
+  /// (the full placement predicate, including the degradation rule).
+  using NodePredicate = std::function<bool(const NodeInfo&)>;
+
+  /// Existence probes: the first node (same index walk as the enumerating
+  /// queries) passing both the index filters and `pred`, or nullptr.
+  /// Stops examining on the first hit — O(1) on a fleet with free capacity
+  /// instead of materializing the full candidate vector just to test
+  /// emptiness (the gateway's admission / forward-scan path).
+  const NodeInfo* first_whole_gpu_candidate(int gpu_count,
+                                            double min_memory_gb,
+                                            double min_compute_capability,
+                                            const std::string* owner_group,
+                                            const NodePredicate& pred);
+  const NodeInfo* first_fractional_candidate(double memory_gb,
+                                             double min_compute_capability,
+                                             const std::string* owner_group,
+                                             const NodePredicate& pred);
+
+  /// Nodes examined by candidate generation and existence probes since
+  /// construction (the early-exit regression probe: an existence check on
+  /// a fleet with free capacity must advance this by O(1), not O(nodes)).
+  std::uint64_t candidates_examined() const { return candidates_examined_; }
+
   /// Fully-free whole GPUs across schedulable nodes (running counter; O(dirty)).
   int total_free_gpus();
 
@@ -145,6 +170,7 @@ class ClusterView {
   std::map<std::string, IndexEntry> entries_;
   std::set<std::string> dirty_;
   std::uint64_t reindexed_nodes_ = 0;
+  std::uint64_t candidates_examined_ = 0;
   // Running schedulable-fleet aggregates (see summary()).
   int sum_free_gpus_ = 0;
   int sum_free_slots_ = 0;

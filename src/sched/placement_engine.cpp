@@ -101,10 +101,34 @@ std::vector<const NodeInfo*> PlacementEngine::eligible_candidates(
 
 bool PlacementEngine::any_eligible(const workload::JobSpec& job,
                                    util::SimTime now) {
-  const bool try_fractional = policy_.fractional_sharing &&
-                              strategy_->wants_fractional(job);
-  return (try_fractional && !eligible_candidates(job, now, true).empty()) ||
-         !eligible_candidates(job, now, false).empty();
+  // Existence only: walk the same indexes as eligible_candidates but stop
+  // at the first node passing the FULL placement predicate, instead of
+  // materializing the candidate vector just to test emptiness.  On a fleet
+  // with free capacity this examines O(1) nodes — the gateway calls this
+  // per admission and per forward-scan probe, which used to cost
+  // O(free nodes) each (the ROADMAP-flagged inefficiency).
+  const std::string* group =
+      policy_.cross_group_sharing ? nullptr : &job.owner_group;
+  const auto& req = job.requirements;
+  const bool degrade = strategy_->enforce_degradation();
+  if (policy_.fractional_sharing && strategy_->wants_fractional(job)) {
+    auto slot_pred = [&](const NodeInfo& node) {
+      return slot_eligible(node, job, policy_.cross_group_sharing) &&
+             (!degrade || degradation_ok(node, job, reliability_, now));
+    };
+    if (directory_.view().first_fractional_candidate(
+            req.gpu_memory_gb, req.min_compute_capability, group,
+            slot_pred) != nullptr) {
+      return true;
+    }
+  }
+  auto whole_pred = [&](const NodeInfo& node) {
+    return node_eligible(node, job, policy_.cross_group_sharing, reliability_,
+                         now, degrade);
+  };
+  return directory_.view().first_whole_gpu_candidate(
+             req.gpu_count, req.gpu_memory_gb, req.min_compute_capability,
+             group, whole_pred) != nullptr;
 }
 
 std::optional<PlacementDecision> PlacementEngine::place(

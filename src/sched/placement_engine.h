@@ -63,8 +63,16 @@ class PlacementEngine {
   /// strategy fractional preference, reliability degradation): could this
   /// campus place the job right now?  The federation gateway uses it to
   /// decide what to forward out and what to admit in — re-deriving the
-  /// predicates there would drift from real placement.
+  /// predicates there would drift from real placement.  Early-exits on the
+  /// first eligible node (O(1) on a fleet with free capacity) instead of
+  /// materializing the candidate vector.
   bool any_eligible(const workload::JobSpec& job, util::SimTime now);
+
+  /// Nodes the engine's queries have examined (delegates to the view's
+  /// probe counter; regression hook for the any_eligible early exit).
+  std::uint64_t candidates_examined() const {
+    return directory_.view().candidates_examined();
+  }
 
   PlacementStrategy& strategy() { return *strategy_; }
   const PlacementStrategy& strategy() const { return *strategy_; }

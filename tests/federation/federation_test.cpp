@@ -364,6 +364,86 @@ TEST(FederationForwardTest, LossyWanNeverLosesJobs) {
   EXPECT_EQ(fed.gateway("alpha").forwards_in_flight(), 0);
 }
 
+TEST(FederationForwardTest, ForwardWhileLedgerUnflushedKeepsProvenance) {
+  // Write-behind under federation: both campuses run the sharded DB with
+  // flushing effectively disabled, so every withdraw/forward/admit happens
+  // against ledgered-but-unflushed state.  Read-your-writes must hold on
+  // both sides of the hand-off, and no job may be lost or duplicated.
+  sim::Environment env(41);
+  FederationConfig config;
+  config.regions.push_back(make_region("alpha", 1));
+  config.regions.push_back(make_region("beta", 3));
+  for (auto& region : config.regions) {
+    region.campus.db.shard_count = 4;
+    region.campus.db.write_behind = true;
+    region.campus.db.flush_interval = 1e9;    // timer never fires
+    region.campus.db.flush_threshold = 1u << 20;  // threshold never crossed
+  }
+  FederatedPlatform fed(env, config);
+  fed.start();
+  env.run_until(5.0);
+
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(fed.region("alpha")
+                    .coordinator()
+                    .submit(training("wb-" + std::to_string(i),
+                                     "group-alpha", 120.0, env.now()))
+                    .is_ok());
+  }
+  env.run_until(600.0);
+
+  const auto& alpha = fed.gateway("alpha").stats();
+  ASSERT_GE(alpha.forwards_admitted, 2u);
+  // Every withdraw-and-forward ran before ANY durable flush: the ledgers
+  // still hold the entries, and the shards were never committed to.
+  EXPECT_GT(fed.region("alpha").database().ledger().pending(), 0u);
+  EXPECT_GT(fed.region("beta").database().ledger().pending(), 0u);
+  EXPECT_EQ(fed.region("alpha").database().ledger().stats().flushes, 0u);
+  EXPECT_EQ(fed.region("beta").database().ledger().stats().flushes, 0u);
+
+  // Provenance is readable through the unflushed ledger on BOTH sides.
+  int forwarded = 0;
+  for (int i = 0; i < 3; ++i) {
+    const std::string id = "wb-" + std::to_string(i);
+    const db::JobProvenance* in_beta =
+        fed.region("beta").database().provenance(id);
+    if (in_beta == nullptr) continue;  // the job that ran at home
+    ++forwarded;
+    EXPECT_EQ(in_beta->origin_region, "alpha");
+    EXPECT_EQ(in_beta->executing_region, "beta");
+    const db::JobProvenance* in_alpha =
+        fed.region("alpha").database().provenance(id);
+    ASSERT_NE(in_alpha, nullptr) << id;
+    EXPECT_EQ(in_alpha->executing_region, "beta");
+  }
+  EXPECT_EQ(forwarded, static_cast<int>(alpha.forwards_admitted));
+
+  // No lost or duplicated job: each id is known to exactly one coordinator
+  // and every job completed exactly once across the federation.
+  for (int i = 0; i < 3; ++i) {
+    const std::string id = "wb-" + std::to_string(i);
+    const bool in_alpha =
+        fed.region("alpha").coordinator().job(id) != nullptr;
+    const bool in_beta = fed.region("beta").coordinator().job(id) != nullptr;
+    EXPECT_TRUE(in_alpha != in_beta) << id;
+  }
+  EXPECT_EQ(completed_in(fed.region("alpha")) +
+                completed_in(fed.region("beta")),
+            3);
+
+  // A late durable flush changes accounting, never contents.
+  const auto alpha_log = fed.region("alpha").database().provenance_log();
+  const std::size_t alpha_allocs =
+      fed.region("alpha").database().allocation_ledger().size();
+  EXPECT_GT(fed.region("alpha").database().flush_ledger(), 0u);
+  EXPECT_GT(fed.region("beta").database().flush_ledger(), 0u);
+  EXPECT_EQ(fed.region("alpha").database().ledger().pending(), 0u);
+  ASSERT_EQ(fed.region("alpha").database().provenance_log().size(),
+            alpha_log.size());
+  EXPECT_EQ(fed.region("alpha").database().allocation_ledger().size(),
+            alpha_allocs);
+}
+
 TEST(FederationOutageTest, NoCandidateRegionsKeepsJobQueuedLocally) {
   sim::Environment env(29);
   FederationConfig config;

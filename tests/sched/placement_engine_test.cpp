@@ -187,6 +187,55 @@ class CautiousSharingStrategy : public PlacementStrategy {
   }
 };
 
+TEST_F(PlacementEngineTest, AnyEligibleStopsEnumeratingAtFirstHit) {
+  // 100 eligible nodes: the existence probe must examine O(1) of them
+  // instead of materializing the full candidate vector (the old
+  // O(free nodes)-per-gateway-probe behaviour flagged in the ROADMAP).
+  for (int i = 0; i < 100; ++i) {
+    directory_.upsert(make_node("m-" + std::to_string(100 + i), "vision", 1,
+                                1, 24.0, 8.6));
+  }
+  PlacementEngine engine(directory_, reliability_, policy_,
+                         std::string(kRoundRobin));
+  const std::uint64_t before = engine.candidates_examined();
+  EXPECT_TRUE(engine.any_eligible(training(), 0.0));
+  const std::uint64_t probe_cost = engine.candidates_examined() - before;
+  EXPECT_LE(probe_cost, 2u) << "existence probe enumerated candidates";
+
+  // The enumerating path really would have walked the whole fleet — the
+  // probe counter is shared, so the same fleet shows the contrast.
+  const std::uint64_t before_full = engine.candidates_examined();
+  ASSERT_TRUE(engine.place(training(), "", 0.0).has_value());
+  EXPECT_GE(engine.candidates_examined() - before_full, 100u);
+
+  // A shape nothing fits still answers false (and may examine everything:
+  // correctness first, the early exit is for the common has-capacity case).
+  EXPECT_FALSE(engine.any_eligible(training(8.0, 4), 0.0));
+}
+
+TEST_F(PlacementEngineTest, AnyEligibleEarlyExitMatchesFullEnumeration) {
+  // The probe and the enumeration must agree on every gating dimension:
+  // capacity, memory, capability, group policy, fractional preference.
+  directory_.upsert(make_node("m-busy", "vision", 2, 0, 24.0, 8.6));
+  directory_.upsert(make_node("m-nlp", "nlp", 4, 4, 48.0, 8.6));
+  policy_.cross_group_sharing = false;
+  PlacementEngine engine(directory_, reliability_, policy_,
+                         std::string(kPackedSharing));
+  // vision has no free capacity; nlp does, but the silo policy hides it.
+  EXPECT_FALSE(engine.any_eligible(training(), 0.0));
+  EXPECT_FALSE(engine.place(training(), "", 0.0).has_value());
+  auto nlp_job = training();
+  nlp_job.owner_group = "nlp";
+  EXPECT_TRUE(engine.any_eligible(nlp_job, 0.0));
+  // Fractional-only capacity is found by the probe's slot pass.
+  NodeInfo shared = make_node("m-shared", "vision", 1, 0, 24.0, 8.6, 4);
+  shared.free_shared_slots = 2;
+  directory_.upsert(shared);
+  EXPECT_TRUE(engine.any_eligible(session(), 0.0));
+  EXPECT_FALSE(engine.any_eligible(training(), 0.0))
+      << "whole-GPU job must not match slot-only capacity";
+}
+
 TEST_F(PlacementEngineTest, DegradationAppliesToFractionalTraining) {
   PlacementStrategyFactory::instance().register_strategy(
       "cautious_sharing",
