@@ -1,25 +1,27 @@
 // Federation at scale: multi-campus regions under churn, with a
-// full-region outage absorbed by the rest of the federation.
+// full-region outage absorbed by the rest of the federation — run under
+// BOTH topologies (brokerless mesh vs. legacy single-broker hub) for an
+// A/B, plus a broker-death A/B that shows exactly what dies with the hub.
 //
-// ROADMAP "regional/delegated coordinators": PR 2 showed the single
-// event-loop coordinator spends most wall time in per-heartbeat hub fan-in
-// at 10k nodes.  The federation layer delegates heartbeats and placement to
-// per-region coordinators and lets the global broker see only capacity
-// digests — O(regions) messages per gossip interval instead of O(nodes)
-// heartbeats.  This bench drives the REAL federated platform (regional
-// coordinators, agents, campus LANs, WAN, broker, gateways):
+// ROADMAP "broker replication / region-to-region direct gossip": PR 3's
+// federation funneled every digest and placement query through one
+// FederationBroker.  The mesh topology replicates the region directory at
+// every gateway via peer-to-peer gossip and answers placement queries
+// locally.  This bench drives the REAL federated platform (regional
+// coordinators, agents, campus LANs, WAN, gateways, and — in hub mode —
+// the broker):
 //
-//   - 3 regions (2k + 1k + 1k nodes) under churn, full mode;
-//   - a full-campus outage mid-run: every node in one region departs and
-//     its displaced training jobs migrate cross-campus (checkpoints shipped
-//     over the capped WAN channel) and finish in the surviving regions;
-//   - broker message counts vs coordinator heartbeat counts: the
-//     O(regions)-vs-O(nodes) hub fan-in claim, measured;
+//   - 3 regions (2k + 1k + 1k nodes) under churn, full mode, per
+//     topology: outage absorption, hub fan-in vs. mesh gossip volume,
+//     placement-query broker round-trips (mesh: zero, by count);
+//   - broker-death A/B (no churn, long horizon): the hub is killed just
+//     before a full-campus outage.  Mesh completes every displaced job;
+//     hub mode strands them pending with nobody to ask;
 //   - consistency checks: federation stats must agree with per-region
 //     coordinator records (withdrawals, admissions, provenance).
 //
 // Emits machine-readable BENCH_federation.json (override with --out).
-// `--smoke` shrinks to 2 regions for CI.
+// `--smoke` shrinks to 2-3 small regions for CI.
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -64,26 +66,38 @@ struct RegionResult {
 };
 
 struct FederationRunResult {
+  std::string topology;
   double horizon_s = 0;
   double wall_s = 0;
   std::string outage_region;
   double outage_at_s = 0;
+  double broker_killed_at_s = -1;
   std::vector<RegionResult> regions;
-  // Broker-side totals (the hub).
+  // Hub-side totals (zero under mesh: there is no hub).
   std::uint64_t broker_digests = 0;
   std::uint64_t broker_rankings = 0;
   double digest_age_mean_s = 0;
   double digest_age_max_s = 0;
+  // Mesh-side totals.
+  std::uint64_t local_rankings = 0;
+  std::uint64_t gossips_sent = 0;
+  std::uint64_t chain_loops_avoided = 0;
   // Hub fan-in comparison.
   std::uint64_t total_heartbeats = 0;   // what a single hub would have seen
   std::uint64_t broker_messages = 0;    // what the federation hub saw
   double fanin_ratio = 0;               // heartbeats / broker messages
+  std::uint64_t forward_timeouts = 0;
   // Cross-campus outcome.
   std::uint64_t cross_campus_migrations = 0;
   int absorbed_completed = 0;
+  /// Live non-terminal jobs at the horizon, federation-wide (the
+  /// broker-death A/B's stall signal: a healthy run drains to ~0).
+  int stranded_nonterminal = 0;
   // WAN accounting.
   std::uint64_t federation_wan_bytes = 0;
   double peak_federation_utilization = 0;
+  /// Per-peer WAN pairs (mesh gossip + shipments; hub adds broker pairs).
+  std::vector<std::pair<std::string, std::uint64_t>> wan_peer_bytes;
   // Consistency checks (federation stats vs coordinator records).
   bool withdrawals_consistent = false;
   bool admissions_consistent = false;
@@ -110,17 +124,22 @@ CampusConfig region_campus(const std::string& name, int nodes) {
 }
 
 FederationRunResult run_federation(const std::vector<RegionSpec>& specs,
+                                   federation::FederationTopology topology,
                                    double horizon,
                                    const std::string& outage_region,
-                                   double outage_at, double churn_per_day,
-                                   double wan_gbps, std::uint64_t seed) {
+                                   double outage_at, double broker_kill_at,
+                                   double churn_per_day, double wan_gbps,
+                                   std::uint64_t seed) {
   FederationRunResult r;
+  r.topology = std::string(federation::federation_topology_name(topology));
   r.horizon_s = horizon;
   r.outage_region = outage_region;
   r.outage_at_s = outage_at;
+  r.broker_killed_at_s = broker_kill_at;
 
   sim::Environment env(seed);
   FederationConfig config;
+  config.topology = topology;
   for (const auto& spec : specs) {
     federation::RegionPolicy policy;
     policy.digest_interval = 10.0;
@@ -178,26 +197,31 @@ FederationRunResult run_federation(const std::vector<RegionSpec>& specs,
             "group-" + spec.name + "-" + std::to_string(i % 8), env.now()));
       }
     }
-    std::uint64_t churn_seed = seed + 1;
-    for (const auto& spec : specs) {
-      workload::InterruptionModel model;
-      model.events_per_day = churn_per_day;
-      model.min_downtime = 60.0;
-      model.max_downtime = 600.0;
-      model.temporary_downtime = 120.0;
-      auto& platform = fed.region(spec.name);
-      auto interruptions = workload::generate_interruptions(
-          platform.machine_ids(), horizon, model, util::Rng(churn_seed++));
-      for (const auto& event : interruptions) {
-        if (spec.name == outage_region && event.at >= outage_at) {
-          continue;  // the whole campus is dark by then anyway
+    if (churn_per_day > 0) {
+      std::uint64_t churn_seed = seed + 1;
+      for (const auto& spec : specs) {
+        workload::InterruptionModel model;
+        model.events_per_day = churn_per_day;
+        model.min_downtime = 60.0;
+        model.max_downtime = 600.0;
+        model.temporary_downtime = 120.0;
+        auto& platform = fed.region(spec.name);
+        auto interruptions = workload::generate_interruptions(
+            platform.machine_ids(), horizon, model, util::Rng(churn_seed++));
+        for (const auto& event : interruptions) {
+          if (spec.name == outage_region && event.at >= outage_at) {
+            continue;  // the whole campus is dark by then anyway
+          }
+          env.schedule_at(
+              std::max(event.at, env.now()),
+              [&platform, event] { platform.inject_interruption(event); });
         }
-        env.schedule_at(
-            std::max(event.at, env.now()),
-            [&platform, event] { platform.inject_interruption(event); });
       }
     }
 
+    if (broker_kill_at >= 0) {
+      env.schedule_at(broker_kill_at, [&fed] { fed.kill_broker(); });
+    }
     env.schedule_at(outage_at, [&fed, outage_region, horizon] {
       // Dark until past the horizon: the displaced load has nowhere to go
       // but the other campuses.
@@ -240,6 +264,14 @@ FederationRunResult run_federation(const std::vector<RegionSpec>& specs,
     region.checkpoints_shipped = gw.checkpoints_shipped;
     region.mean_sched_latency_s = coordinator_stats.queue_wait.mean();
 
+    const auto operational = platform.coordinator().operational_stats();
+    // Withdrawn-but-undelivered forwards live at the gateway, not in any
+    // coordinator — without them a transfer stuck in its retry loop at
+    // the horizon would not count as stranded.
+    r.stranded_nonterminal += operational.pending + operational.dispatching +
+                              operational.running +
+                              gateway.withdrawn_in_flight();
+
     // Consistency (per-region coordinator records vs federation stats):
     // every withdrawal either was delivered to another region, returned
     // home (refusals, transfer bounces), or is still in flight at the
@@ -280,6 +312,7 @@ FederationRunResult run_federation(const std::vector<RegionSpec>& specs,
     remote_admitted_total += gw.remote_admitted;
     reservations_expired_total += gw.reservations_expired;
     r.total_heartbeats += region.heartbeats;
+    r.forward_timeouts += gw.forward_timeouts;
     r.absorbed_completed += region.absorbed_from_outage;
     r.regions.push_back(std::move(region));
   }
@@ -289,6 +322,9 @@ FederationRunResult run_federation(const std::vector<RegionSpec>& specs,
   r.broker_rankings = fed_stats.broker_ranking_requests;
   r.digest_age_mean_s = fed_stats.digest_age_mean;
   r.digest_age_max_s = fed_stats.digest_age_max;
+  r.local_rankings = fed_stats.local_rankings;
+  r.gossips_sent = fed_stats.gossips_sent;
+  r.chain_loops_avoided = fed_stats.chain_loops_avoided;
   r.broker_messages = r.broker_digests + r.broker_rankings;
   r.fanin_ratio = r.broker_messages == 0
                       ? 0
@@ -299,6 +335,9 @@ FederationRunResult run_federation(const std::vector<RegionSpec>& specs,
       fed.wan().bytes_sent(net::TrafficClass::kFederation);
   r.peak_federation_utilization = fed.wan().peak_class_utilization(
       {net::TrafficClass::kFederation}, 0, horizon);
+  for (const auto& [pair, bytes] : fed.wan().federation_peer_bytes()) {
+    r.wan_peer_bytes.push_back({pair.first + "<->" + pair.second, bytes});
+  }
 
   r.withdrawals_consistent = withdrawals_ok;
   // A transfer the origin counts delivered is exactly one the target
@@ -325,9 +364,11 @@ FederationRunResult run_federation(const std::vector<RegionSpec>& specs,
 // ---------------------------------------------------------------------------
 
 void print_run(const FederationRunResult& r) {
-  std::printf("\nPer-region results (%.0f sim-s horizon, %.1f s wall; outage: "
-              "%s at t=%.0f s):\n\n",
-              r.horizon_s, r.wall_s, r.outage_region.c_str(), r.outage_at_s);
+  std::printf("\n[%s] Per-region results (%.0f sim-s horizon, %.1f s wall; "
+              "outage: %s at t=%.0f s%s):\n\n",
+              r.topology.c_str(), r.horizon_s, r.wall_s,
+              r.outage_region.c_str(), r.outage_at_s,
+              r.broker_killed_at_s >= 0 ? ", broker KILLED" : "");
   std::printf("%8s %6s %9s %9s %9s %8s %8s %8s %9s %9s\n", "region", "nodes",
               "beats", "submit", "complete", "fwd-out", "adm-in", "refused",
               "ckpt-out", "absorbed");
@@ -344,27 +385,36 @@ void print_run(const FederationRunResult& r) {
         static_cast<unsigned long long>(region.checkpoints_shipped),
         region.absorbed_from_outage);
   }
-  std::printf(
-      "\nHub fan-in: regional coordinators absorbed %llu heartbeats; the "
-      "global broker saw\n%llu messages (%llu digests + %llu rankings) — "
-      "%.0fx less traffic at the hub.\nO(regions), not O(nodes): digests "
-      "scale with region count and gossip interval only.\n",
-      static_cast<unsigned long long>(r.total_heartbeats),
-      static_cast<unsigned long long>(r.broker_messages),
-      static_cast<unsigned long long>(r.broker_digests),
-      static_cast<unsigned long long>(r.broker_rankings), r.fanin_ratio);
+  if (r.topology == "hub") {
+    std::printf(
+        "\nHub fan-in: regional coordinators absorbed %llu heartbeats; the "
+        "global broker saw\n%llu messages (%llu digests + %llu rankings) — "
+        "%.0fx less traffic at the hub.\n",
+        static_cast<unsigned long long>(r.total_heartbeats),
+        static_cast<unsigned long long>(r.broker_messages),
+        static_cast<unsigned long long>(r.broker_digests),
+        static_cast<unsigned long long>(r.broker_rankings), r.fanin_ratio);
+  } else {
+    std::printf(
+        "\nMesh: %llu placement queries answered from local replicas (0 "
+        "broker round-trips),\n%llu directory pushes between gateways "
+        "(O(regions) bytes each, no hub to die).\n",
+        static_cast<unsigned long long>(r.local_rankings),
+        static_cast<unsigned long long>(r.gossips_sent));
+  }
   std::printf(
       "\nOutage absorption: %d displaced jobs from %s completed in other "
       "regions\n(%llu cross-campus checkpoint migrations, %.2f GB over the "
-      "WAN, peak %.1f%% of backbone).\n",
+      "WAN, peak %.1f%% of backbone;\n%d non-terminal jobs stranded at the "
+      "horizon).\n",
       r.absorbed_completed, r.outage_region.c_str(),
       static_cast<unsigned long long>(r.cross_campus_migrations),
       static_cast<double>(r.federation_wan_bytes) / 1e9,
-      100.0 * r.peak_federation_utilization);
+      100.0 * r.peak_federation_utilization, r.stranded_nonterminal);
   std::printf("Digest staleness at ranking time: mean %.1f s, max %.1f s.\n",
               r.digest_age_mean_s, r.digest_age_max_s);
   std::printf(
-      "\nConsistency: withdrawals %s, admissions %s, migrations %s, "
+      "Consistency: withdrawals %s, admissions %s, migrations %s, "
       "provenance %s -> %s\n",
       r.withdrawals_consistent ? "OK" : "FAIL",
       r.admissions_consistent ? "OK" : "FAIL",
@@ -373,24 +423,19 @@ void print_run(const FederationRunResult& r) {
       r.consistency_pass ? "PASS" : "FAIL");
 }
 
-void write_json(const std::string& path, const std::string& mode,
-                const FederationRunResult& r) {
-  std::ofstream out(path);
-  if (!out) {
-    std::fprintf(stderr, "cannot write %s\n", path.c_str());
-    return;
-  }
-  out << "{\n";
-  out << "  \"bench\": \"federation\",\n";
-  out << "  \"mode\": \"" << mode << "\",\n";
-  out << "  \"horizon_s\": " << r.horizon_s << ",\n";
-  out << "  \"wall_s\": " << r.wall_s << ",\n";
-  out << "  \"outage_region\": \"" << r.outage_region << "\",\n";
-  out << "  \"outage_at_s\": " << r.outage_at_s << ",\n";
-  out << "  \"regions\": [\n";
+void write_run(std::ofstream& out, const std::string& indent,
+               const FederationRunResult& r) {
+  out << indent << "\"topology\": \"" << r.topology << "\",\n";
+  out << indent << "\"horizon_s\": " << r.horizon_s << ",\n";
+  out << indent << "\"wall_s\": " << r.wall_s << ",\n";
+  out << indent << "\"outage_region\": \"" << r.outage_region << "\",\n";
+  out << indent << "\"outage_at_s\": " << r.outage_at_s << ",\n";
+  out << indent << "\"broker_killed_at_s\": " << r.broker_killed_at_s
+      << ",\n";
+  out << indent << "\"regions\": [\n";
   for (std::size_t i = 0; i < r.regions.size(); ++i) {
     const auto& region = r.regions[i];
-    out << "    {\"name\": \"" << region.name << "\""
+    out << indent << "  {\"name\": \"" << region.name << "\""
         << ", \"nodes\": " << region.nodes << ", \"gpus\": " << region.gpus
         << ", \"jobs_submitted\": " << region.jobs_submitted
         << ", \"jobs_completed\": " << region.jobs_completed
@@ -409,27 +454,81 @@ void write_json(const std::string& path, const std::string& mode,
         << ", \"mean_sched_latency_s\": " << region.mean_sched_latency_s
         << "}" << (i + 1 < r.regions.size() ? "," : "") << "\n";
   }
-  out << "  ],\n";
-  out << "  \"broker\": {\"digests_received\": " << r.broker_digests
-      << ", \"ranking_requests\": " << r.broker_rankings
-      << ", \"messages_total\": " << r.broker_messages
+  out << indent << "],\n";
+  out << indent << "\"placement_queries\": {\"broker_roundtrips\": "
+      << r.broker_rankings << ", \"local_rankings\": " << r.local_rankings
+      << ", \"chain_loops_avoided\": " << r.chain_loops_avoided << "},\n";
+  out << indent << "\"hub_fanin\": {\"total_heartbeats\": "
+      << r.total_heartbeats << ", \"broker_messages\": " << r.broker_messages
+      << ", \"ratio\": " << r.fanin_ratio << "},\n";
+  out << indent << "\"gossip\": {\"pushes_sent\": " << r.gossips_sent
       << ", \"digest_age_mean_s\": " << r.digest_age_mean_s
       << ", \"digest_age_max_s\": " << r.digest_age_max_s << "},\n";
-  out << "  \"hub_fanin\": {\"total_heartbeats\": " << r.total_heartbeats
-      << ", \"broker_messages\": " << r.broker_messages
-      << ", \"ratio\": " << r.fanin_ratio << "},\n";
-  out << "  \"outage_absorption\": {\"cross_campus_migrations\": "
+  out << indent << "\"outage_absorption\": {\"cross_campus_migrations\": "
       << r.cross_campus_migrations
       << ", \"absorbed_completed\": " << r.absorbed_completed
+      << ", \"stranded_nonterminal\": " << r.stranded_nonterminal
+      << ", \"forward_timeouts\": " << r.forward_timeouts
       << ", \"federation_wan_bytes\": " << r.federation_wan_bytes
       << ", \"peak_federation_utilization\": "
       << r.peak_federation_utilization << "},\n";
-  out << "  \"consistency\": {\"withdrawals\": "
+  out << indent << "\"wan_peer_bytes\": [";
+  for (std::size_t i = 0; i < r.wan_peer_bytes.size(); ++i) {
+    out << (i == 0 ? "" : ", ") << "{\"pair\": \""
+        << r.wan_peer_bytes[i].first << "\", \"bytes\": "
+        << r.wan_peer_bytes[i].second << "}";
+  }
+  out << "],\n";
+  out << indent << "\"consistency\": {\"withdrawals\": "
       << (r.withdrawals_consistent ? "true" : "false")
       << ", \"admissions\": " << (r.admissions_consistent ? "true" : "false")
       << ", \"migrations\": " << (r.migrations_consistent ? "true" : "false")
       << ", \"provenance\": " << (r.provenance_consistent ? "true" : "false")
       << ", \"pass\": " << (r.consistency_pass ? "true" : "false") << "}\n";
+}
+
+void write_json(const std::string& path, const std::string& mode,
+                const FederationRunResult& mesh,
+                const FederationRunResult& hub,
+                const FederationRunResult& mesh_kill,
+                const FederationRunResult& hub_kill) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  out << "{\n";
+  out << "  \"bench\": \"federation\",\n";
+  out << "  \"mode\": \"" << mode << "\",\n";
+  out << "  \"scenarios\": {\n";
+  out << "    \"mesh\": {\n";
+  write_run(out, "      ", mesh);
+  out << "    },\n";
+  out << "    \"hub\": {\n";
+  write_run(out, "      ", hub);
+  out << "    }\n";
+  out << "  },\n";
+  out << "  \"broker_kill_ab\": {\n";
+  out << "    \"mesh\": {\n";
+  write_run(out, "      ", mesh_kill);
+  out << "    },\n";
+  out << "    \"hub\": {\n";
+  write_run(out, "      ", hub_kill);
+  out << "    },\n";
+  out << "    \"verdict\": {\"mesh_completes_all_displaced\": "
+      << (mesh_kill.absorbed_completed > 0 &&
+                  mesh_kill.stranded_nonterminal == 0
+              ? "true"
+              : "false")
+      << ", \"hub_stalls\": "
+      << (hub_kill.absorbed_completed == 0 &&
+                  hub_kill.stranded_nonterminal > 0
+              ? "true"
+              : "false")
+      << ", \"mesh_broker_roundtrips\": " << mesh.broker_rankings +
+             mesh_kill.broker_rankings
+      << "}\n";
+  out << "  }\n";
   out << "}\n";
   std::printf("\nwrote %s\n", path.c_str());
 }
@@ -451,24 +550,74 @@ int main(int argc, char** argv) {
     }
   }
 
-  banner("Federation — multi-campus regions, gossip broker, cross-campus "
-         "migration",
+  banner("Federation — brokerless mesh vs. single-broker hub, gossip, "
+         "cross-campus migration",
          "beyond the paper: SHARY-style federation of GPUnion campuses");
 
-  FederationRunResult result;
-  if (smoke) {
-    result = run_federation({{"north", 80}, {"south", 40}},
-                            /*horizon=*/420.0, /*outage_region=*/"south",
-                            /*outage_at=*/120.0, /*churn_per_day=*/24.0,
-                            /*wan_gbps=*/1.0, /*seed=*/1234);
-  } else {
-    result = run_federation({{"north", 2000}, {"south", 1000},
-                             {"east", 1000}},
-                            /*horizon=*/480.0, /*outage_region=*/"south",
-                            /*outage_at=*/150.0, /*churn_per_day=*/24.0,
-                            /*wan_gbps=*/40.0, /*seed=*/1234);
-  }
-  print_run(result);
-  write_json(out_path, smoke ? "smoke" : "full", result);
-  return result.consistency_pass && result.absorbed_completed > 0 ? 0 : 1;
+  using federation::FederationTopology;
+  const std::vector<RegionSpec> big =
+      smoke ? std::vector<RegionSpec>{{"north", 80}, {"south", 40}}
+            : std::vector<RegionSpec>{{"north", 2000}, {"south", 1000},
+                                      {"east", 1000}};
+  const std::vector<RegionSpec> small =
+      smoke ? std::vector<RegionSpec>{{"north", 48}, {"south", 24}}
+            : std::vector<RegionSpec>{{"north", 300}, {"south", 150},
+                                      {"east", 150}};
+  const double horizon = smoke ? 420.0 : 480.0;
+  // Long enough for a healthy federation to fully drain, so any non-zero
+  // stranded count is the broker's death and nothing else.
+  const double kill_horizon = 900.0;
+  const double wan_gbps = smoke ? 1.0 : 40.0;
+  const double kill_wan_gbps = smoke ? 1.0 : 10.0;
+
+  // Headline A/B: identical churny outage scenario under both topologies.
+  FederationRunResult mesh = run_federation(
+      big, FederationTopology::kMesh, horizon, "south",
+      /*outage_at=*/smoke ? 120.0 : 150.0, /*broker_kill_at=*/-1,
+      /*churn_per_day=*/24.0, wan_gbps, /*seed=*/1234);
+  print_run(mesh);
+  FederationRunResult hub = run_federation(
+      big, FederationTopology::kHub, horizon, "south",
+      /*outage_at=*/smoke ? 120.0 : 150.0, /*broker_kill_at=*/-1,
+      /*churn_per_day=*/24.0, wan_gbps, /*seed=*/1234);
+  print_run(hub);
+
+  // Broker-death A/B: no churn (isolate the variable), long horizon so a
+  // healthy federation fully drains.  The hub dies 10 s before the outage.
+  FederationRunResult mesh_kill = run_federation(
+      small, FederationTopology::kMesh, kill_horizon, "south",
+      /*outage_at=*/150.0, /*broker_kill_at=*/140.0,
+      /*churn_per_day=*/0.0, kill_wan_gbps, /*seed=*/4321);
+  print_run(mesh_kill);
+  FederationRunResult hub_kill = run_federation(
+      small, FederationTopology::kHub, kill_horizon, "south",
+      /*outage_at=*/150.0, /*broker_kill_at=*/140.0,
+      /*churn_per_day=*/0.0, kill_wan_gbps, /*seed=*/4321);
+  print_run(hub_kill);
+
+  std::printf(
+      "\nBroker-death verdict: mesh absorbed %d displaced jobs with %d "
+      "stranded;\nhub absorbed %d with %d stranded (forward timeouts: "
+      "%llu).\nMesh steady-state placement queries: %llu, all answered "
+      "locally (%llu broker round-trips).\n",
+      mesh_kill.absorbed_completed, mesh_kill.stranded_nonterminal,
+      hub_kill.absorbed_completed, hub_kill.stranded_nonterminal,
+      static_cast<unsigned long long>(hub_kill.forward_timeouts),
+      static_cast<unsigned long long>(mesh_kill.local_rankings +
+                                      mesh.local_rankings),
+      static_cast<unsigned long long>(mesh_kill.broker_rankings +
+                                      mesh.broker_rankings));
+
+  write_json(out_path, smoke ? "smoke" : "full", mesh, hub, mesh_kill,
+             hub_kill);
+
+  const bool pass =
+      mesh.consistency_pass && hub.consistency_pass &&
+      mesh_kill.consistency_pass && hub_kill.consistency_pass &&
+      mesh.absorbed_completed > 0 && hub.absorbed_completed > 0 &&
+      mesh.broker_rankings == 0 && mesh.local_rankings > 0 &&
+      mesh_kill.absorbed_completed > 0 &&
+      mesh_kill.stranded_nonterminal == 0 &&
+      hub_kill.absorbed_completed == 0 && hub_kill.stranded_nonterminal > 0;
+  return pass ? 0 : 1;
 }

@@ -62,6 +62,9 @@ int main() {
 
   sim::Environment env(42);
   FederationConfig config;
+  // This walkthrough narrates the hub topology (one broker everyone
+  // gossips to); the brokerless mesh is the production default.
+  config.topology = federation::FederationTopology::kHub;
 
   // Hilltop: 2 workstations, eager to push overflow out.
   federation::RegionPolicy hilltop_policy;

@@ -85,6 +85,9 @@ struct JobProvenance {
   std::string origin_region;
   std::string executing_region;
   util::SimTime recorded_at = 0;
+  /// Hop chain "origin>hop>...>executing" for chained re-forwards; a
+  /// direct forward reads "origin>executing".  Empty on legacy rows.
+  std::string route;
 };
 
 struct DatabaseConfig {

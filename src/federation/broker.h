@@ -1,4 +1,7 @@
-// Federation broker: the global region directory and capacity-gossip sink.
+// Federation broker: the global region directory and capacity-gossip sink
+// of the legacy HUB topology (FederationTopology::kHub, kept for A/B
+// benching — the default mesh topology replicates this directory at every
+// gateway instead and has no broker at all).
 //
 // The broker is deliberately thin (SHARY's matchmaker, not a scheduler): it
 // holds the last capacity digest each region gossiped, answers placement

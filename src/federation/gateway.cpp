@@ -8,12 +8,27 @@
 
 namespace gpunion::federation {
 
+namespace {
+
+/// "A>B>C" — the hop chain as recorded in JobProvenance::route.
+std::string join_chain(const std::vector<std::string>& chain) {
+  std::string out;
+  for (const auto& hop : chain) {
+    if (!out.empty()) out += '>';
+    out += hop;
+  }
+  return out;
+}
+
+}  // namespace
+
 RegionGateway::RegionGateway(sim::Environment& env,
                              sched::Coordinator& coordinator,
                              storage::CheckpointStore& store,
                              db::Database& database, net::Transport& wan,
                              std::string region_name, std::string broker_id,
-                             RegionPolicy policy)
+                             RegionPolicy policy, FederationTopology topology,
+                             WanPathFn wan_path)
     : env_(env),
       coordinator_(coordinator),
       store_(store),
@@ -23,7 +38,10 @@ RegionGateway::RegionGateway(sim::Environment& env,
       gateway_id_("gw-" + region_),
       broker_id_(std::move(broker_id)),
       policy_(policy),
-      tick_timer_(env, policy.digest_interval, [this] { tick(); }) {
+      topology_(topology),
+      wan_path_(std::move(wan_path)),
+      tick_timer_(env, policy.digest_interval, [this] { tick(); }),
+      directory_(region_) {
   assert(!region_.empty() && "region requires a name");
 }
 
@@ -39,6 +57,12 @@ void RegionGateway::start() {
   tick_timer_.start();
 }
 
+void RegionGateway::add_peer(const std::string& region,
+                             const std::string& gateway_id) {
+  if (region == region_) return;
+  peers_[region] = gateway_id;
+}
+
 void RegionGateway::tick() {
   publish_digest();
   sweep_remote_jobs();
@@ -50,14 +74,84 @@ void RegionGateway::tick() {
 // ---------------------------------------------------------------------------
 
 void RegionGateway::publish_digest() {
-  DigestMessage digest;
-  digest.region = region_;
-  digest.gateway_id = gateway_id_;
-  digest.capacity = coordinator_.directory().capacity_summary();
-  digest.seq = ++digest_seq_;
-  digest.generated_at = env_.now();
-  send(broker_id_, kCapacityDigest, std::move(digest), kDigestBytes);
+  sched::CapacitySummary capacity =
+      coordinator_.directory().capacity_summary();
+  ++digest_seq_;
   ++stats_.digests_published;
+  if (topology_ == FederationTopology::kHub) {
+    DigestMessage digest;
+    digest.region = region_;
+    digest.gateway_id = gateway_id_;
+    digest.capacity = capacity;
+    digest.seq = digest_seq_;
+    digest.generated_at = env_.now();
+    send(broker_id_, kCapacityDigest, std::move(digest), kDigestBytes);
+    return;
+  }
+  // Mesh: stamp the replica's own entry and push the whole directory to a
+  // rotating subset of peers.  Relayed entries keep their ORIGIN's stamps,
+  // so a region two hops away still converges on the freshest digest no
+  // matter which path it arrived by.
+  directory_.update_self(gateway_id_, capacity, digest_seq_, env_.now());
+  // peers_ never holds the local region (every insertion site filters it).
+  // Peers whose directory entry has aged past the hard TTL are presumed
+  // unreachable and deprioritized: when fanout < peers, a permanently
+  // dark gateway must not keep eating pushes that live replicas need.
+  // They are not abandoned — leftover fanout slots still reach them, and
+  // a healed region re-enters everyone's fresh list the moment its own
+  // pushes resume (its first gossip refreshes our entry for it).
+  std::vector<const std::string*> peer_gateways;
+  std::vector<const std::string*> stale_peers;
+  peer_gateways.reserve(peers_.size());
+  for (const auto& [region, gateway] : peers_) {
+    const DirectoryEntry* entry = directory_.entry(region);
+    // A peer we have NEVER heard from counts as stale too (it may have
+    // been dark since before its first gossip could land); at bootstrap
+    // everyone is entry-less, the fresh list is empty and the rotation
+    // covers the whole stale list, so nobody is starved.
+    const bool stale = entry == nullptr ||
+                       env_.now() - entry->generated_at >
+                           policy_.directory_hard_ttl;
+    (stale ? stale_peers : peer_gateways).push_back(&gateway);
+  }
+  peer_gateways.insert(peer_gateways.end(), stale_peers.begin(),
+                       stale_peers.end());
+  if (peer_gateways.empty()) return;  // federation of one
+  DirectoryGossip gossip;
+  gossip.from_region = region_;
+  gossip.from_gateway = gateway_id_;
+  gossip.entries.reserve(directory_.entries().size());
+  for (const auto& [region, entry] : directory_.entries()) {
+    gossip.entries.push_back(entry);
+  }
+  // The self entry was stamped above, so entries is never empty.
+  const std::uint64_t bytes = kGossipEntryBytes * gossip.entries.size();
+  const std::size_t fanout =
+      std::min<std::size_t>(std::max(1, policy_.gossip_fanout),
+                            peer_gateways.size());
+  for (std::size_t i = 0; i < fanout; ++i) {
+    const std::string& target =
+        *peer_gateways[(gossip_cursor_ + i) % peer_gateways.size()];
+    send(target, kDirectoryGossip, gossip, bytes);
+    ++stats_.gossips_sent;
+  }
+  gossip_cursor_ = (gossip_cursor_ + fanout) % peer_gateways.size();
+}
+
+void RegionGateway::handle_directory_gossip(const DirectoryGossip& gossip) {
+  ++stats_.gossips_received;
+  // The sender is alive and reachable; (re)learn it as a peer even when
+  // every relayed entry is stale.
+  if (gossip.from_region != region_) {
+    peers_[gossip.from_region] = gossip.from_gateway;
+  }
+  for (const DirectoryEntry& entry : gossip.entries) {
+    if (directory_.merge(entry, env_.now())) {
+      // Peer discovery: a region first heard of through a relay becomes a
+      // gossip target itself.
+      if (entry.region != region_) peers_[entry.region] = entry.gateway_id;
+    }
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -104,15 +198,166 @@ void RegionGateway::scan_for_forwards() {
   for (const auto& job_id : candidates) initiate_forward(job_id);
 }
 
+void RegionGateway::resolve_origin(const std::string& job_id,
+                                   OutboundForward& forward) {
+  // A chained forward (this region was itself hosting the job for another
+  // campus) keeps the true origin on the wire and in provenance, and
+  // extends the hop chain instead of restarting it.
+  if (auto hosted = remote_jobs_.find(job_id); hosted != remote_jobs_.end()) {
+    forward.origin_region = hosted->second.origin_region;
+    forward.origin_gateway = hosted->second.origin_gateway;
+    // admit_transfer records the chain before the RemoteJob entry and
+    // chains_ entries outlive hosting, so a hosted job always has one
+    // (ending with this region).
+    auto chain = chains_.find(job_id);
+    assert(chain != chains_.end() && "hosted job without a chain");
+    forward.chain = chain->second;
+  } else {
+    forward.origin_region = region_;
+    forward.origin_gateway = gateway_id_;
+    forward.chain = {region_};
+  }
+}
+
+bool RegionGateway::ranking_excluded(const workload::JobSpec& job,
+                                     const std::string& region,
+                                     const std::string& target_gateway,
+                                     const std::vector<std::string>& chain) {
+  if (std::find(chain.begin(), chain.end(), region) != chain.end()) {
+    ++stats_.chain_loops_avoided;  // path-vector rule: chains stay acyclic
+    return true;
+  }
+  if (job.type == workload::JobType::kInteractive) {
+    const WanPathModel path =
+        wan_path_ ? wan_path_(gateway_id_, target_gateway) : WanPathModel{};
+    if (path.rtt > policy_.max_interactive_rtt) {
+      ++stats_.interactive_rtt_filtered;  // a laggy notebook helps nobody
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<RegionScore> RegionGateway::rank_locally(
+    const workload::JobSpec& job, std::uint64_t checkpoint_bytes,
+    const std::vector<std::string>& chain) {
+  ++stats_.local_rankings;
+  std::vector<RegionScore> ranking;
+  const util::SimTime now = env_.now();
+  const auto& req = job.requirements;
+  for (const auto& [region, entry] : directory_.entries()) {
+    if (region == region_) continue;
+    if (ranking_excluded(job, region, entry.gateway_id, chain)) continue;
+    const util::Duration age = now - entry.generated_at;
+    if (age > policy_.directory_hard_ttl) continue;  // presumed unreachable
+    // Hardware envelope: could this region *ever* host the shape?  The
+    // same never-feasible filter the hub broker applies; free-capacity
+    // staleness is deliberately tolerated (target-side admission settles
+    // it), the envelope only changes on (re)registration.
+    if (entry.capacity.max_node_gpus < req.gpu_count) continue;
+    if (entry.capacity.max_gpu_memory_gb < req.gpu_memory_gb) continue;
+    if (entry.capacity.max_compute_capability <
+        req.min_compute_capability) {
+      continue;
+    }
+    const WanPathModel path =
+        wan_path_ ? wan_path_(gateway_id_, entry.gateway_id) : WanPathModel{};
+    stats_.directory_age_at_rank.add(age);
+    RegionScore score;
+    score.region = region;
+    score.gateway_id = entry.gateway_id;
+    score.free_gpus = entry.capacity.free_gpus;
+    score.free_shared_slots = entry.capacity.free_shared_slots;
+    score.digest_age = age;
+    score.rtt = path.rtt;
+    // Expected seconds until the job makes progress in that region:
+    // control round-trip + checkpoint shipping at the modeled WAN rate +
+    // distrust of stale digests + the expected wait when the replica
+    // shows nothing free for this shape.
+    const double ship_rate = std::max(path.gbps, 1e-6) * (1e9 / 8.0);
+    const bool digest_fits =
+        entry.capacity.free_gpus >= req.gpu_count ||
+        (req.shareable && req.gpu_count == 1 &&
+         entry.capacity.free_shared_slots > 0);
+    score.expected_cost =
+        path.rtt + static_cast<double>(checkpoint_bytes) / ship_rate +
+        policy_.stale_cost_weight * age +
+        (digest_fits ? 0.0 : policy_.busy_wait_penalty);
+    ranking.push_back(std::move(score));
+  }
+  // Cheapest expected progress first; region name breaks exact ties so
+  // identical replicas rank deterministically.
+  std::stable_sort(ranking.begin(), ranking.end(),
+                   [](const RegionScore& a, const RegionScore& b) {
+                     if (a.expected_cost != b.expected_cost) {
+                       return a.expected_cost < b.expected_cost;
+                     }
+                     return a.region < b.region;
+                   });
+  return ranking;
+}
+
+void RegionGateway::filter_ranking(std::vector<RegionScore>& ranking,
+                                   const workload::JobSpec& job,
+                                   const std::vector<std::string>& chain) {
+  // Hub rankings come from the broker, which knows neither the job's hop
+  // chain nor the latency budget; the client-side filter applies the SAME
+  // eligibility predicate the mesh ranking uses, so the two topologies
+  // cannot drift (acyclic chains, usable sessions).
+  std::erase_if(ranking, [&](const RegionScore& score) {
+    return ranking_excluded(job, score.region, score.gateway_id, chain);
+  });
+}
+
 void RegionGateway::initiate_forward(const std::string& job_id) {
+  const sched::JobRecord* record = coordinator_.job(job_id);
+  assert(record != nullptr);
+
+  if (topology_ == FederationTopology::kMesh) {
+    // Placement query answered from the local replica: no broker, no WAN
+    // round-trip, nothing whose death leaves this region unable to ask.
+    OutboundForward forward;
+    forward.request_id = next_request_id_++;
+    resolve_origin(job_id, forward);
+    std::uint64_t checkpoint_bytes = 0;
+    if (record->checkpointed_progress > 0) {
+      auto bytes = store_.restore_bytes(job_id);
+      checkpoint_bytes = bytes.ok() ? *bytes : 0;
+    }
+    forward.ranking =
+        rank_locally(record->spec, checkpoint_bytes, forward.chain);
+    if (forward.ranking.empty()) {
+      // Nobody to ask.  The job never left the local queue; just back off.
+      retry_after_[job_id] = env_.now() + policy_.forward_retry_backoff;
+      ++stats_.forwards_aborted;
+      return;
+    }
+    auto withdrawn = coordinator_.withdraw(job_id);
+    if (!withdrawn.ok()) {
+      ++stats_.forwards_aborted;
+      return;
+    }
+    forward.spec = std::move(withdrawn->spec);
+    forward.start_progress = withdrawn->checkpointed_progress;
+    if (forward.start_progress > 0) {
+      forward.checkpoint_bytes = checkpoint_bytes;
+      // Progress without a restorable checkpoint chain cannot move campuses.
+      if (forward.checkpoint_bytes == 0) forward.start_progress = 0;
+    }
+    forward.withdrawn = true;
+    auto [it, inserted] = outbound_.emplace(job_id, std::move(forward));
+    assert(inserted);
+    (void)it;
+    try_next_region(job_id);
+    return;
+  }
+
   OutboundForward forward;
   forward.state = OutboundForward::State::kAwaitingRanking;
   forward.request_id = next_request_id_++;
   auto [it, inserted] = outbound_.emplace(job_id, std::move(forward));
   assert(inserted);
 
-  const sched::JobRecord* record = coordinator_.job(job_id);
-  assert(record != nullptr);
   RankingRequest request;
   request.origin_region = region_;
   request.reply_to = gateway_id_;
@@ -141,7 +386,17 @@ void RegionGateway::handle_ranking_response(const RankingResponse& response) {
   OutboundForward& forward = it->second;
   ++forward.generation;  // invalidate the pending timeout
 
-  if (response.ranking.empty()) {
+  forward.ranking = response.ranking;
+  resolve_origin(job_id, forward);
+  // Filter BEFORE withdrawing: when every broker candidate is unusable
+  // (already in the job's chain, or beyond an interactive RTT budget the
+  // broker knows nothing about), the job must never leave the local queue
+  // — a withdraw/resubmit round-trip would reset its queue seniority for
+  // nothing.  The mesh path gets this for free (rank_locally filters).
+  if (const sched::JobRecord* record = coordinator_.job(job_id)) {
+    filter_ranking(forward.ranking, record->spec, forward.chain);
+  }
+  if (forward.ranking.empty()) {
     // Nobody to ask.  The job never left the local queue; just back off.
     retry_after_[job_id] = env_.now() + policy_.forward_retry_backoff;
     ++stats_.forwards_aborted;
@@ -159,22 +414,12 @@ void RegionGateway::handle_ranking_response(const RankingResponse& response) {
   }
   forward.spec = std::move(withdrawn->spec);
   forward.start_progress = withdrawn->checkpointed_progress;
-  // A chained forward (this region was itself hosting the job for another
-  // campus) keeps the true origin on the wire and in provenance.
-  if (auto hosted = remote_jobs_.find(job_id); hosted != remote_jobs_.end()) {
-    forward.origin_region = hosted->second.origin_region;
-    forward.origin_gateway = hosted->second.origin_gateway;
-  } else {
-    forward.origin_region = region_;
-    forward.origin_gateway = gateway_id_;
-  }
   if (forward.start_progress > 0) {
     auto bytes = store_.restore_bytes(job_id);
     forward.checkpoint_bytes = bytes.ok() ? *bytes : 0;
     // Progress without a restorable checkpoint chain cannot move campuses.
     if (forward.checkpoint_bytes == 0) forward.start_progress = 0;
   }
-  forward.ranking = response.ranking;
   forward.withdrawn = true;
   try_next_region(job_id);
 }
@@ -283,6 +528,7 @@ void RegionGateway::send_transfer(const std::string& job_id) {
   transfer.reply_to = gateway_id_;  // acks settle THIS hop's state machine
   transfer.attempt = forward.transfer_attempts;
   transfer.handoff_id = forward.handoff_id;
+  transfer.chain = forward.chain;  // hop provenance, ending with this region
   transfer.job = forward.spec;  // keep the original for retries / returns
   transfer.start_progress = forward.start_progress;
   transfer.checkpoint_bytes = forward.checkpoint_bytes;
@@ -325,8 +571,11 @@ void RegionGateway::handle_transfer_ack(const JobTransferAck& ack) {
     ++stats_.checkpoints_shipped;
     stats_.checkpoint_bytes_shipped += forward.checkpoint_bytes;
   }
+  std::vector<std::string> chain = forward.chain;
+  chain.push_back(ack.region);
   database_.record_provenance(db::JobProvenance{
-      ack.job_id, forward.origin_region, ack.region, env_.now()});
+      ack.job_id, forward.origin_region, ack.region, env_.now(),
+      join_chain(chain)});
   if (forward.checkpoint_bytes > 0) {
     store_.forget(ack.job_id);  // the chain lives in the new region now
   }
@@ -368,7 +617,7 @@ std::string RegionGateway::admission_verdict(const workload::JobSpec& job) {
   // resubmitted here; refusing routes the job to a region that can.
   if (coordinator_.job(job.id) != nullptr) return "duplicate-id";
   // Admission is checked against the LIVE directory, never a digest: this
-  // is the region's defence against the broker's stale gossip view.  The
+  // is the region's defence against anyone's stale gossip view.  The
   // shape check is per-node (locally_placeable), so a job no node here
   // could ever host is refused instead of starving in the queue.
   if (!locally_placeable(job)) return "capacity";
@@ -465,9 +714,7 @@ void RegionGateway::handle_job_transfer(const JobTransfer& transfer) {
     }
     ++stats_.transfers_unreserved;
   }
-  const bool taken =
-      admit_transfer(transfer.origin_gateway, transfer.origin_region,
-                     transfer.job, transfer.start_progress);
+  const bool taken = admit_transfer(transfer);
   if (taken) {
     handled_handoffs_[job_id] = {transfer.reply_to, transfer.handoff_id};
   }
@@ -475,11 +722,9 @@ void RegionGateway::handle_job_transfer(const JobTransfer& transfer) {
        JobTransferAck{region_, job_id, transfer.attempt, taken}, kDigestBytes);
 }
 
-bool RegionGateway::admit_transfer(const std::string& origin_gateway,
-                                   const std::string& origin_region,
-                                   const workload::JobSpec& job,
-                                   double start_progress) {
-  double progress = start_progress;
+bool RegionGateway::admit_transfer(const JobTransfer& transfer) {
+  const workload::JobSpec& job = transfer.job;
+  double progress = transfer.start_progress;
   if (progress > 0) {
     // Seed the local checkpoint store with the shipped state as a fresh
     // full snapshot, so the coordinator's normal dispatch path restores
@@ -501,9 +746,17 @@ bool RegionGateway::admit_transfer(const std::string& origin_gateway,
     return false;
   }
   ++stats_.remote_jobs_taken;
-  database_.record_provenance(
-      db::JobProvenance{job.id, origin_region, region_, env_.now()});
-  remote_jobs_[job.id] = RemoteJob{origin_gateway, origin_region, env_.now()};
+  // The hop chain grows by this region; a legacy sender without one is
+  // reconstructed as a direct origin -> here hand-off.
+  std::vector<std::string> chain = transfer.chain;
+  if (chain.empty()) chain.push_back(transfer.origin_region);
+  chain.push_back(region_);
+  database_.record_provenance(db::JobProvenance{
+      job.id, transfer.origin_region, region_, env_.now(),
+      join_chain(chain)});
+  chains_[job.id] = std::move(chain);
+  remote_jobs_[job.id] =
+      RemoteJob{transfer.origin_gateway, transfer.origin_region, env_.now()};
   if (progress > 0) ++stats_.cross_campus_migrations_in;
   return true;
 }
@@ -574,6 +827,10 @@ void RegionGateway::handle_message(net::Message&& msg) {
       break;
     case kRemoteOutcome:
       handle_remote_outcome(std::any_cast<const RemoteOutcome&>(msg.payload));
+      break;
+    case kDirectoryGossip:
+      handle_directory_gossip(
+          std::any_cast<const DirectoryGossip&>(msg.payload));
       break;
     default:
       GPUNION_WLOG("gateway") << gateway_id_ << " unexpected message kind "

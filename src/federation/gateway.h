@@ -1,40 +1,66 @@
 // Region gateway: one campus's membership in the federation.
 //
 // Wraps the local Coordinator without touching its internals:
-//  - gossips a capacity digest (the O(1) Directory::capacity_summary()) to
-//    the federation broker every digest interval — the region's thousands
-//    of heartbeats stay local, the broker sees one message per interval;
+//  - MESH topology (default): maintains a replicated RegionDirectory and
+//    pushes it peer-to-peer every digest interval (rotating fanout); ranks
+//    candidate regions LOCALLY from the replica with a WAN-cost-aware
+//    score (digest staleness, modeled inter-region RTT and bandwidth,
+//    checkpoint shipping time vs. expected queue wait) — zero broker
+//    round-trips per placement query, and no single component whose death
+//    blinds the federation;
+//  - HUB topology (legacy, A/B benching): gossips a capacity digest (the
+//    O(1) Directory::capacity_summary()) to the FederationBroker and asks
+//    it for a free-capacity ranking when a job must leave the campus;
 //  - watches the local pending queue and, when a job has waited past the
-//    forwarding threshold with no local capacity in sight, asks the broker
-//    for a region ranking, withdraws the job and offers it to candidate
-//    regions in rank order;
+//    forwarding threshold with no local capacity in sight, withdraws the
+//    job and offers it to candidate regions in rank order;
 //  - admits (or refuses) jobs forwarded *to* this region under a local
 //    admission policy — autonomy is preserved: a region can cap or refuse
 //    remote work outright, and admission is always checked against the
-//    live directory, never the broker's digest;
+//    live directory, never anyone's digest;
 //  - ships the latest checkpoint of a forwarded job over the capped
 //    inter-campus WAN channel (TrafficClass::kFederation) and seeds the
 //    destination's checkpoint store, so a cross-campus migration resumes
-//    from durable progress instead of restarting.
+//    from durable progress instead of restarting;
+//  - preserves hop provenance across CHAINED re-forwards: a region hosting
+//    displaced jobs for someone else can re-forward them when it degrades
+//    in turn, with the A -> B -> C chain carried on the wire, recorded in
+//    both databases, and kept acyclic by path-vector loop avoidance (a job
+//    is never offered to a region already in its chain).
 //
-// The broker may rank on stale digests; the refusal/re-route loop here is
-// what makes that safe (forward refused at the target -> next region in
-// the ranking -> local requeue with backoff when everyone says no).
+// Rankings may be computed on stale replicas/digests; the refusal/re-route
+// loop here is what makes that safe (forward refused at the target -> next
+// region in the ranking -> local requeue with backoff when everyone says
+// no).
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <string>
 #include <vector>
 
 #include "db/database.h"
 #include "federation/proto.h"
+#include "federation/region_directory.h"
 #include "net/transport.h"
 #include "sched/coordinator.h"
 #include "sim/environment.h"
 #include "storage/checkpoint_store.h"
+#include "util/stats.h"
 
 namespace gpunion::federation {
+
+/// Modeled WAN path between two gateways, supplied by the platform (the
+/// gateway itself only sees the abstract Transport): control round-trip
+/// and the effective shipping rate for bulk checkpoint payloads.  Feeds
+/// the mesh ranking's cost terms and the interactive latency budget.
+struct WanPathModel {
+  util::Duration rtt = 0;
+  double gbps = 1.0;
+};
+using WanPathFn = std::function<WanPathModel(const std::string& from_gateway,
+                                             const std::string& to_gateway)>;
 
 /// Per-region federation policy: what this campus forwards out, and what it
 /// is willing to take in.  Regional autonomy lives here.
@@ -72,11 +98,35 @@ struct RegionPolicy {
   /// An accepted forward whose transfer never arrives frees its admission
   /// slot after this long.
   util::Duration reservation_ttl = 60.0;
+
+  /// --- Mesh topology -------------------------------------------------------
+  /// Peers pushed to per gossip tick (rotating deterministically, so every
+  /// peer is reached within ceil(peers / fanout) ticks even when the
+  /// federation outgrows the fanout).
+  int gossip_fanout = 3;
+  /// Replica entries whose origin stamp is older than this are dropped
+  /// from rankings entirely (region presumed unreachable) — the mesh
+  /// counterpart of BrokerConfig::digest_hard_ttl.
+  util::Duration directory_hard_ttl = 120.0;
+
+  /// --- WAN-cost ranking (mesh) ---------------------------------------------
+  /// Seconds of ranking cost per second of replica staleness: an old
+  /// digest is less trustworthy, so fresher regions win ties.
+  double stale_cost_weight = 0.5;
+  /// Expected extra wait when the replica shows no free GPU/slot fitting
+  /// the job (the region may still admit — its live view decides — but a
+  /// digest-busy region ranks behind a digest-free one).
+  util::Duration busy_wait_penalty = 120.0;
+  /// Interactive sessions are forwarded only to regions whose modeled WAN
+  /// RTT fits this budget (a cross-country Jupyter kernel is useless);
+  /// with no region inside the budget the session stays pending locally.
+  util::Duration max_interactive_rtt = 0.1;
 };
 
 struct GatewayStats {
   // Outbound (jobs this region pushed elsewhere).
-  std::uint64_t ranking_requests = 0;
+  std::uint64_t ranking_requests = 0;    // hub round-trips
+  std::uint64_t local_rankings = 0;      // mesh: answered from the replica
   std::uint64_t forwards_attempted = 0;  // ForwardRequests sent
   std::uint64_t forwards_admitted = 0;   // accepted by a remote region
   std::uint64_t forwards_refused = 0;    // refusals received
@@ -91,6 +141,12 @@ struct GatewayStats {
   std::uint64_t checkpoint_bytes_shipped = 0;
   std::uint64_t remote_completions = 0;  // forwarded job completed remotely
   std::uint64_t remote_failures = 0;     // forwarded job died remotely
+  // Ranking filters.
+  std::uint64_t chain_loops_avoided = 0;      // candidate already in chain
+  std::uint64_t interactive_rtt_filtered = 0;  // RTT budget exceeded
+  /// Replica staleness actually ranked on (mesh counterpart of the
+  /// broker's digest_age_at_query).
+  util::SampleSet directory_age_at_rank;
   // Inbound (jobs other regions pushed here).
   std::uint64_t remote_admitted = 0;     // accepts issued (reservations)
   std::uint64_t remote_jobs_taken = 0;   // transfers actually hosted
@@ -103,7 +159,9 @@ struct GatewayStats {
   std::uint64_t cross_campus_migrations_in = 0;  // admitted with progress > 0
   std::uint64_t reservations_expired = 0;
   // Gossip.
-  std::uint64_t digests_published = 0;
+  std::uint64_t digests_published = 0;  // own digest (re)stamped
+  std::uint64_t gossips_sent = 0;       // mesh directory pushes sent
+  std::uint64_t gossips_received = 0;   // mesh directory pushes received
 };
 
 class RegionGateway {
@@ -111,7 +169,9 @@ class RegionGateway {
   RegionGateway(sim::Environment& env, sched::Coordinator& coordinator,
                 storage::CheckpointStore& store, db::Database& database,
                 net::Transport& wan, std::string region_name,
-                std::string broker_id, RegionPolicy policy = {});
+                std::string broker_id, RegionPolicy policy = {},
+                FederationTopology topology = FederationTopology::kHub,
+                WanPathFn wan_path = {});
   ~RegionGateway();
 
   RegionGateway(const RegionGateway&) = delete;
@@ -121,11 +181,19 @@ class RegionGateway {
   /// starts the gossip/sweep timer.
   void start();
 
+  /// Seeds a mesh peer (the platform introduces the initial membership;
+  /// gossip discovers regions that join later).
+  void add_peer(const std::string& region, const std::string& gateway_id);
+
   const std::string& region() const { return region_; }
   /// WAN endpoint id ("gw-<region>").
   const std::string& gateway_id() const { return gateway_id_; }
   const GatewayStats& stats() const { return stats_; }
   const RegionPolicy& policy() const { return policy_; }
+  FederationTopology topology() const { return topology_; }
+  /// This gateway's replica of the federation directory (mesh mode; empty
+  /// in hub mode, where the broker holds the only directory).
+  const RegionDirectory& directory() const { return directory_; }
   /// Forwarded jobs currently reserved or running here.
   int remote_jobs_active() const {
     return static_cast<int>(remote_jobs_.size() + pending_inbound_.size());
@@ -147,6 +215,18 @@ class RegionGateway {
       if (forward.withdrawn) ++n;
     }
     return n;
+  }
+  /// Hop chain of a job admitted here via a federation transfer (origin
+  /// first, this region last), or nullptr for jobs never hosted here.
+  /// Retained for the run, like the hand-off dedup table.
+  const std::vector<std::string>* provenance_chain(
+      const std::string& job_id) const {
+    auto it = chains_.find(job_id);
+    return it == chains_.end() ? nullptr : &it->second;
+  }
+  const std::map<std::string, std::vector<std::string>>& hosted_chains()
+      const {
+    return chains_;
   }
 
   /// One gossip/sweep/forward-scan tick (timer-driven; public for tests).
@@ -173,6 +253,8 @@ class RegionGateway {
     /// keep pointing at the true origin.
     std::string origin_region;
     std::string origin_gateway;
+    /// Hop provenance ending with THIS region (see JobTransfer::chain).
+    std::vector<std::string> chain;
     std::vector<RegionScore> ranking;
     std::size_t next_region = 0;
     std::string awaiting_gateway;
@@ -194,6 +276,7 @@ class RegionGateway {
   void handle_job_transfer(const JobTransfer& transfer);
   void handle_transfer_ack(const JobTransferAck& ack);
   void handle_remote_outcome(const RemoteOutcome& outcome);
+  void handle_directory_gossip(const DirectoryGossip& gossip);
   /// (Re)sends the JobTransfer for an accepted forward and re-arms its
   /// ack timeout.
   void send_transfer(const std::string& job_id);
@@ -202,6 +285,27 @@ class RegionGateway {
   void sweep_remote_jobs();
   void scan_for_forwards();
   void initiate_forward(const std::string& job_id);
+  /// WAN-cost-aware candidate ranking from the local replica (mesh mode):
+  /// staleness-filtered, envelope-filtered, loop-avoided, RTT-budgeted,
+  /// ordered by expected cost.  `checkpoint_bytes` sizes the shipping term.
+  std::vector<RegionScore> rank_locally(const workload::JobSpec& job,
+                                        std::uint64_t checkpoint_bytes,
+                                        const std::vector<std::string>& chain);
+  /// Shared ranking-eligibility predicate (stats-counting): true when a
+  /// candidate region may not be offered this job — already in the job's
+  /// hop chain, or (interactive) beyond the RTT budget.  Used by BOTH the
+  /// mesh ranking and the hub ranking filter so the rules cannot drift.
+  bool ranking_excluded(const workload::JobSpec& job,
+                        const std::string& region,
+                        const std::string& target_gateway,
+                        const std::vector<std::string>& chain);
+  /// Drops broker-ranking candidates that fail ranking_excluded().
+  void filter_ranking(std::vector<RegionScore>& ranking,
+                      const workload::JobSpec& job,
+                      const std::vector<std::string>& chain);
+  /// Resolves the true origin + hop chain for forwarding `job_id` out of
+  /// here (a chained forward keeps the original submitter's identity).
+  void resolve_origin(const std::string& job_id, OutboundForward& forward);
   /// Offers the withdrawn job to the next region in the ranking, or hands
   /// it back to the local queue when the ranking is exhausted.
   void try_next_region(const std::string& job_id);
@@ -217,9 +321,7 @@ class RegionGateway {
   std::string admission_verdict(const workload::JobSpec& job);
   /// Submits an arrived transfer locally; false when the coordinator
   /// refused the submission (the ack tells the origin to take it back).
-  bool admit_transfer(const std::string& origin_gateway,
-                      const std::string& origin_region,
-                      const workload::JobSpec& job, double start_progress);
+  bool admit_transfer(const JobTransfer& transfer);
   void send(const std::string& to, int kind, std::any payload,
             std::uint64_t bytes);
 
@@ -232,11 +334,19 @@ class RegionGateway {
   std::string gateway_id_;
   std::string broker_id_;
   RegionPolicy policy_;
+  FederationTopology topology_;
+  WanPathFn wan_path_;
   sim::PeriodicTimer tick_timer_;
 
   std::uint64_t digest_seq_ = 0;
   std::uint64_t next_request_id_ = 1;
   // All ordered maps: deterministic iteration for reproducible runs.
+  /// Replicated federation directory (mesh; holds only self in hub mode).
+  RegionDirectory directory_;
+  /// Known peer gateways by region (seeded by the platform, extended by
+  /// gossip).  The rotation cursor spreads fanout-limited pushes evenly.
+  std::map<std::string, std::string> peers_;
+  std::size_t gossip_cursor_ = 0;
   std::map<std::string, OutboundForward> outbound_;       // by job id
   std::map<std::string, util::SimTime> retry_after_;      // forward backoff
   /// Accepted forwards whose JobTransfer has not arrived yet: job id ->
@@ -244,6 +354,10 @@ class RegionGateway {
   /// transfer itself).
   std::map<std::string, util::SimTime> pending_inbound_;
   std::map<std::string, RemoteJob> remote_jobs_;
+  /// Hop chain of every job admitted here via a transfer (origin first,
+  /// this region last).  Survives completion and onward chaining, so
+  /// provenance outlives the remote_jobs_ entry.
+  std::map<std::string, std::vector<std::string>> chains_;
   /// Hand-offs this region has admitted, by job id -> (sender gateway,
   /// handoff id).  Retried duplicates of a processed transfer re-ack from
   /// here instead of re-admitting — essential once the job has chained

@@ -1,12 +1,16 @@
 // Inter-campus federation protocol.
 //
 // The federation layer generalizes GPUnion's single-campus model to a set of
-// autonomous campuses (SHARY-style): each region's gateway gossips a cheap
-// capacity digest to a broker, asks the broker for a region ranking when its
-// own campus cannot serve a job, and forwards the job — shipping its latest
-// checkpoint across the WAN — to a region that admits it.  Regions keep
-// their autonomy: admission is decided by the *target* gateway against its
-// live directory, never by the broker's (possibly stale) digest view.
+// autonomous campuses (SHARY-style).  In the default MESH topology each
+// region's gateway replicates the federation's capacity directory via
+// peer-to-peer gossip, ranks candidate regions locally (WAN-cost-aware:
+// staleness, RTT, checkpoint shipping time vs. expected queue wait) and
+// forwards jobs it cannot serve — shipping their latest checkpoint across
+// the WAN — to a region that admits them.  The legacy HUB topology keeps a
+// single FederationBroker as the gossip sink and ranking oracle (A/B
+// benching).  Either way regions keep their autonomy: admission is decided
+// by the *target* gateway against its live directory, never by anyone's
+// (possibly stale) digest view.
 //
 // Messages ride net::Transport exactly like the agent protocol, but on the
 // inter-campus WAN network and under TrafficClass::kFederation, so the
@@ -17,17 +21,29 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
+#include "federation/region_directory.h"
 #include "sched/directory.h"
 #include "util/time.h"
 #include "workload/job.h"
 
 namespace gpunion::federation {
 
+/// How placement queries travel.  kMesh (default) answers them from each
+/// gateway's replicated RegionDirectory, kept convergent by peer-to-peer
+/// gossip — no hub, nothing to die that blinds the others.  kHub is the
+/// original single-FederationBroker topology, kept for A/B benching.
+enum class FederationTopology { kMesh, kHub };
+
+inline std::string_view federation_topology_name(FederationTopology t) {
+  return t == FederationTopology::kMesh ? "mesh" : "hub";
+}
+
 /// Message::kind values (disjoint from agent::MsgKind).
 enum MsgKind : int {
-  kCapacityDigest = 101,  // gateway -> broker: periodic gossip
+  kCapacityDigest = 101,  // gateway -> broker: periodic gossip (hub mode)
   kRankingRequest,        // gateway -> broker: where could this job go?
   kRankingResponse,       // broker -> gateway
   kForwardRequest,        // origin gateway -> target gateway (control)
@@ -36,6 +52,7 @@ enum MsgKind : int {
   kJobTransfer,           // origin -> target: spec + checkpoint payload bytes
   kRemoteOutcome,         // target -> origin: forwarded job reached a terminal
   kJobTransferAck,        // target -> origin: transfer landed (or was refused)
+  kDirectoryGossip,       // gateway -> gateway: replicated directory push
 };
 
 /// One region's gossip digest: the O(1) capacity summary its directory
@@ -61,13 +78,29 @@ struct RankingRequest {
 };
 
 /// One ranked candidate region, with the staleness of the digest the
-/// ranking was computed from (the gossip trade-off made visible).
+/// ranking was computed from (the gossip trade-off made visible).  The
+/// WAN-aware fields are filled by the mesh topology's local ranking; the
+/// hub broker ranks on free capacity alone and leaves them zero.
 struct RegionScore {
   std::string region;
   std::string gateway_id;
   int free_gpus = 0;
   int free_shared_slots = 0;
   util::Duration digest_age = 0;
+  /// Modeled control round-trip to the region's gateway.
+  util::Duration rtt = 0;
+  /// Expected seconds until the job makes progress there: checkpoint
+  /// shipping time + RTT + staleness distrust + busy-wait penalty.
+  double expected_cost = 0;
+};
+
+/// Brokerless capacity gossip: one gateway pushing its whole replicated
+/// directory (own entry freshly stamped, peers' entries relayed with the
+/// ORIGIN's version stamps) to a rotating subset of peers.
+struct DirectoryGossip {
+  std::string from_region;
+  std::string from_gateway;
+  std::vector<DirectoryEntry> entries;
 };
 
 struct RankingResponse {
@@ -118,6 +151,12 @@ struct JobTransfer {
   /// hand-off of the same job (it came back and left again) is not
   /// mistaken for a duplicate.
   std::uint64_t handoff_id = 0;
+  /// Hop provenance: every region that has hosted (or originated) the job,
+  /// origin first, ENDING with the sending region.  The receiver appends
+  /// itself, so after a chained re-forward A -> B -> C the chain at C reads
+  /// [A, B, C].  Senders never offer a job to a region already in its
+  /// chain (BGP-style path-vector loop avoidance), keeping chains acyclic.
+  std::vector<std::string> chain;
   workload::JobSpec job;
   double start_progress = 0;
   std::uint64_t checkpoint_bytes = 0;
@@ -150,5 +189,8 @@ struct JobTransferAck {
 /// Typical encoded sizes (bytes) for federation control messages.
 constexpr std::uint64_t kDigestBytes = 260;
 constexpr std::uint64_t kControlBytes = 420;  // carries a JobSpec
+/// A DirectoryGossip pays one digest per relayed entry: mesh gossip costs
+/// O(regions) bytes per push, still independent of node count.
+constexpr std::uint64_t kGossipEntryBytes = kDigestBytes;
 
 }  // namespace gpunion::federation

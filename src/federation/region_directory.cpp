@@ -1,0 +1,54 @@
+#include "federation/region_directory.h"
+
+namespace gpunion::federation {
+
+void RegionDirectory::update_self(const std::string& gateway_id,
+                                  sched::CapacitySummary capacity,
+                                  std::uint64_t version, util::SimTime now) {
+  DirectoryEntry& self = entries_[self_region_];
+  self.region = self_region_;
+  self.gateway_id = gateway_id;
+  self.capacity = capacity;
+  self.version = version;
+  self.generated_at = now;
+  self.received_at = now;
+  ++stats_.self_updates;
+}
+
+bool RegionDirectory::merge(const DirectoryEntry& incoming,
+                            util::SimTime now) {
+  // This replica is the origin of its own entry; a relayed copy is by
+  // definition no newer and accepting one could resurrect a pre-restart
+  // snapshot of ourselves.
+  if (incoming.region == self_region_) return false;
+  auto it = entries_.find(incoming.region);
+  if (it != entries_.end()) {
+    const DirectoryEntry& current = it->second;
+    const bool newer =
+        incoming.generated_at > current.generated_at ||
+        (incoming.generated_at == current.generated_at &&
+         incoming.version > current.version);
+    if (!newer) {
+      ++stats_.merges_ignored;
+      return false;
+    }
+  }
+  DirectoryEntry& entry = entries_[incoming.region];
+  entry = incoming;
+  entry.received_at = now;  // local receipt, never the relay's
+  ++stats_.merges_applied;
+  return true;
+}
+
+const DirectoryEntry* RegionDirectory::entry(const std::string& region) const {
+  auto it = entries_.find(region);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+std::map<std::string, std::uint64_t> RegionDirectory::version_vector() const {
+  std::map<std::string, std::uint64_t> out;
+  for (const auto& [region, entry] : entries_) out[region] = entry.version;
+  return out;
+}
+
+}  // namespace gpunion::federation

@@ -1,5 +1,6 @@
 #include "gpunion/federated_platform.h"
 
+#include <algorithm>
 #include <cassert>
 #include <stdexcept>
 
@@ -13,8 +14,29 @@ FederatedPlatform::FederatedPlatform(sim::Environment& env,
       config_(std::move(config)),
       wan_(std::make_unique<net::SimNetwork>(env, config_.wan)) {
   assert(!config_.regions.empty() && "federation requires at least one region");
-  broker_ = std::make_unique<federation::FederationBroker>(env_, *wan_,
-                                                           config_.broker);
+  // Asymmetric campus distances: applied before any gateway exists, so the
+  // first digest already travels at the modeled latency.
+  for (const auto& link : config_.links) {
+    wan_->set_path_latency("gw-" + link.region_a, "gw-" + link.region_b,
+                           link.one_way_latency);
+  }
+  // The mesh ranking's view of the WAN: control RTT from the path latency,
+  // shipping rate from the path bottleneck clamped to the federation
+  // channel cap (checkpoints ride the capped class, not the raw links).
+  federation::WanPathFn wan_path = [this](const std::string& from,
+                                          const std::string& to) {
+    federation::WanPathModel path;
+    path.rtt = 2.0 * wan_->path_latency(from, to);
+    path.gbps = wan_->path_gbps(from, to);
+    if (config_.wan.federation_wan_gbps > 0) {
+      path.gbps = std::min(path.gbps, config_.wan.federation_wan_gbps);
+    }
+    return path;
+  };
+  if (config_.topology == federation::FederationTopology::kHub) {
+    broker_ = std::make_unique<federation::FederationBroker>(env_, *wan_,
+                                                             config_.broker);
+  }
   regions_.reserve(config_.regions.size());
   for (auto& region_config : config_.regions) {
     assert(!region_config.name.empty() && "region requires a name");
@@ -32,12 +54,21 @@ FederatedPlatform::FederatedPlatform(sim::Environment& env,
     region.gateway = std::make_unique<federation::RegionGateway>(
         env_, region.platform->coordinator(),
         region.platform->checkpoint_store(), region.platform->database(),
-        *wan_, region.name, config_.broker.id, region_config.policy);
+        *wan_, region.name, config_.broker.id, region_config.policy,
+        config_.topology, wan_path);
     by_name_[region.name] = regions_.size();
     names_.push_back(region.name);
     regions_.push_back(std::move(region));
   }
   assert(by_name_.size() == regions_.size() && "duplicate region name");
+  // Seed the mesh membership: every gateway knows every founding region.
+  // Regions that join later are discovered through gossip relays.
+  for (auto& region : regions_) {
+    for (const auto& peer : regions_) {
+      if (peer.name == region.name) continue;
+      region.gateway->add_peer(peer.name, peer.gateway->gateway_id());
+    }
+  }
   metrics_timer_ = std::make_unique<sim::PeriodicTimer>(
       env_, config_.metrics_interval, [this] { refresh_metrics(); });
 }
@@ -47,7 +78,7 @@ FederatedPlatform::~FederatedPlatform() = default;
 void FederatedPlatform::start() {
   assert(!started_ && "FederatedPlatform::start called twice");
   started_ = true;
-  broker_->start();  // before the gateways: their first digest flows now
+  if (broker_) broker_->start();  // before the gateways: digests flow now
   for (auto& region : regions_) {
     region.platform->start();
     region.gateway->start();
@@ -72,6 +103,13 @@ federation::RegionGateway& FederatedPlatform::gateway(
   return *regions_[it->second].gateway;
 }
 
+federation::FederationBroker& FederatedPlatform::broker() {
+  if (!broker_) {
+    throw std::logic_error("mesh topology has no federation broker");
+  }
+  return *broker_;
+}
+
 int FederatedPlatform::total_gpus() const {
   int total = 0;
   for (const auto& region : regions_) total += region.platform->total_gpus();
@@ -80,6 +118,7 @@ int FederatedPlatform::total_gpus() const {
 
 FederatedStats FederatedPlatform::stats() const {
   FederatedStats out;
+  util::SampleSet replica_ages;
   for (const auto& region : regions_) {
     const federation::GatewayStats& gw = region.gateway->stats();
     out.forwards_attempted += gw.forwards_attempted;
@@ -96,12 +135,25 @@ FederatedStats FederatedPlatform::stats() const {
     out.checkpoint_bytes_shipped += gw.checkpoint_bytes_shipped;
     out.remote_completions += gw.remote_completions;
     out.digests_published += gw.digests_published;
+    out.local_rankings += gw.local_rankings;
+    out.gossips_sent += gw.gossips_sent;
+    out.gossips_received += gw.gossips_received;
+    out.chain_loops_avoided += gw.chain_loops_avoided;
+    out.interactive_rtt_filtered += gw.interactive_rtt_filtered;
+    for (double age : gw.directory_age_at_rank.samples()) {
+      replica_ages.add(age);
+    }
   }
-  const federation::BrokerStats& broker_stats = broker_->stats();
-  out.broker_digests_received = broker_stats.digests_received;
-  out.broker_ranking_requests = broker_stats.ranking_requests;
-  out.digest_age_mean = broker_stats.digest_age_at_query.mean();
-  out.digest_age_max = broker_stats.digest_age_at_query.max();
+  if (broker_) {
+    const federation::BrokerStats& broker_stats = broker_->stats();
+    out.broker_digests_received = broker_stats.digests_received;
+    out.broker_ranking_requests = broker_stats.ranking_requests;
+    out.digest_age_mean = broker_stats.digest_age_at_query.mean();
+    out.digest_age_max = broker_stats.digest_age_at_query.max();
+  } else {
+    out.digest_age_mean = replica_ages.mean();
+    out.digest_age_max = replica_ages.max();
+  }
   return out;
 }
 
@@ -120,6 +172,18 @@ void FederatedPlatform::inject_region_outage(const std::string& region_name,
   }
 }
 
+void FederatedPlatform::kill_broker() {
+  if (!broker_ || broker_killed_) return;
+  broker_killed_ = true;
+  GPUNION_ILOG("federation") << "federation broker killed";
+  wan_->unregister_endpoint(broker_->id());
+}
+
+void FederatedPlatform::set_region_wan_partitioned(
+    const std::string& region_name, bool partitioned) {
+  wan_->set_partitioned(gateway(region_name).gateway_id(), partitioned);
+}
+
 void FederatedPlatform::refresh_metrics() {
   auto& forwarded = metrics_.gauge_family(
       "gpunion_federation_forwards_admitted_total",
@@ -135,7 +199,8 @@ void FederatedPlatform::refresh_metrics() {
       "Admitted forwards that resumed from a shipped checkpoint");
   auto& staleness = metrics_.gauge_family(
       "gpunion_federation_digest_age_seconds",
-      "Age of each region's digest at the broker");
+      "Age of each region's digest at the broker (hub) or the freshest "
+      "peer replica entry for it (mesh)");
   for (const auto& region : regions_) {
     const monitor::Labels labels{{"region", region.name}};
     const federation::GatewayStats& gw = region.gateway->stats();
@@ -146,10 +211,24 @@ void FederatedPlatform::refresh_metrics() {
         static_cast<double>(region.gateway->remote_jobs_active()));
     migrations.gauge(labels).set(
         static_cast<double>(gw.cross_campus_migrations_in));
-    auto entry = broker_->regions().find(region.name);
-    if (entry != broker_->regions().end()) {
-      staleness.gauge(labels).set(env_.now() - entry->second.received_at);
+    if (broker_) {
+      auto entry = broker_->regions().find(region.name);
+      if (entry != broker_->regions().end()) {
+        staleness.gauge(labels).set(env_.now() - entry->second.received_at);
+      }
+      continue;
     }
+    // Mesh: the freshest view any OTHER replica holds of this region.
+    double best_age = -1;
+    for (const auto& peer : regions_) {
+      if (peer.name == region.name) continue;
+      const federation::DirectoryEntry* entry =
+          peer.gateway->directory().entry(region.name);
+      if (entry == nullptr) continue;
+      const double age = env_.now() - entry->generated_at;
+      if (best_age < 0 || age < best_age) best_age = age;
+    }
+    if (best_age >= 0) staleness.gauge(labels).set(best_age);
   }
 }
 

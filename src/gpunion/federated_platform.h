@@ -3,15 +3,22 @@
 // Instantiates N autonomous regional Platforms (each with its own campus
 // LAN, coordinator, database and checkpoint store) on ONE simulation
 // environment, plus the federation tier that joins them: an inter-campus
-// WAN SimNetwork (federation traffic rides its own capped channel), one
-// FederationBroker, and one RegionGateway per campus.
+// WAN SimNetwork (federation traffic rides its own capped channel) and one
+// RegionGateway per campus.  Under the default MESH topology the gateways
+// replicate the region directory among themselves via peer-to-peer gossip
+// and rank forwarding targets locally (WAN-cost-aware); under the legacy
+// HUB topology a single FederationBroker collects digests and answers
+// ranking queries (kept for A/B benching — kill_broker() lets a bench
+// show exactly what dies with it).
 //
 // The scalability story this enables: each region's coordinator fans in
-// only its own heartbeats, while the broker — the only global component —
-// sees O(regions) digest messages per gossip interval.  And the scenario
-// family it opens: a full-campus outage whose displaced jobs the rest of
-// the federation absorbs via cross-campus checkpoint migration, asymmetric
-// region sizes, WAN-bandwidth-constrained migration.
+// only its own heartbeats, while inter-region traffic is O(regions)
+// digests per gossip interval — at a hub in hub mode, spread across the
+// mesh otherwise.  And the scenario family it opens: a full-campus outage
+// whose displaced jobs the rest of the federation absorbs via cross-campus
+// checkpoint migration (re-forwarded onward, provenance chains intact, if
+// the absorber degrades in turn), asymmetric region sizes and WAN
+// distances, WAN-bandwidth-constrained migration, WAN partitions.
 #pragma once
 
 #include <map>
@@ -33,17 +40,33 @@ struct RegionConfig {
   federation::RegionPolicy policy;
 };
 
+/// Modeled one-way propagation latency between two regions' gateways
+/// (symmetric).  Pairs without an entry use the WAN's base latency.
+struct InterRegionLink {
+  std::string region_a;
+  std::string region_b;
+  util::Duration one_way_latency = 0.010;
+};
+
 struct FederationConfig {
   std::vector<RegionConfig> regions;
   /// Inter-campus WAN model; `federation_wan_gbps` caps the shared channel
   /// all federation traffic (gossip, forwards, checkpoints) rides.
   net::SimNetworkConfig wan;
+  /// Asymmetric campus distances (feeds the mesh ranking's RTT terms and
+  /// the interactive latency budget).
+  std::vector<InterRegionLink> links;
+  /// kMesh (default): brokerless replicated directories, local rankings.
+  /// kHub: the original single-broker topology (A/B benching).
+  federation::FederationTopology topology =
+      federation::FederationTopology::kMesh;
   federation::BrokerConfig broker;
   /// Cadence of the federated metrics refresh.
   util::Duration metrics_interval = 60.0;
 };
 
-/// Federation-wide aggregate of the per-gateway and broker counters.
+/// Federation-wide aggregate of the per-gateway (and, in hub mode, broker)
+/// counters.
 struct FederatedStats {
   std::uint64_t forwards_attempted = 0;
   std::uint64_t forwards_admitted = 0;
@@ -57,9 +80,19 @@ struct FederatedStats {
   std::uint64_t checkpoint_bytes_shipped = 0;
   std::uint64_t remote_completions = 0;
   std::uint64_t digests_published = 0;
+  /// Placement queries answered WITHOUT a broker round-trip (mesh) vs. the
+  /// hub round-trips the broker served.
+  std::uint64_t local_rankings = 0;
   std::uint64_t broker_digests_received = 0;
   std::uint64_t broker_ranking_requests = 0;
-  /// Digest staleness the broker actually ranked on (seconds).
+  /// Mesh gossip volume (directory pushes between gateways).
+  std::uint64_t gossips_sent = 0;
+  std::uint64_t gossips_received = 0;
+  /// Ranking filters (loop avoidance, interactive RTT budget).
+  std::uint64_t chain_loops_avoided = 0;
+  std::uint64_t interactive_rtt_filtered = 0;
+  /// Digest staleness actually ranked on (seconds): broker-side in hub
+  /// mode, replica-side in mesh mode.
   double digest_age_mean = 0;
   double digest_age_max = 0;
 };
@@ -72,16 +105,19 @@ class FederatedPlatform {
   FederatedPlatform(const FederatedPlatform&) = delete;
   FederatedPlatform& operator=(const FederatedPlatform&) = delete;
 
-  /// Starts every regional platform, the broker, then the gateways (first
-  /// digests flow immediately).
+  /// Starts every regional platform, the broker (hub mode), then the
+  /// gateways (first digests flow immediately).
   void start();
 
   std::size_t region_count() const { return regions_.size(); }
   const std::vector<std::string>& region_names() const { return names_; }
+  federation::FederationTopology topology() const { return config_.topology; }
   Platform& region(const std::string& name);
   Platform& region(std::size_t index) { return *regions_.at(index).platform; }
   federation::RegionGateway& gateway(const std::string& name);
-  federation::FederationBroker& broker() { return *broker_; }
+  /// Hub mode only; throws std::logic_error under the mesh topology
+  /// (there is deliberately no broker to return).
+  federation::FederationBroker& broker();
   net::SimNetwork& wan() { return *wan_; }
   monitor::MetricRegistry& metrics() { return metrics_; }
   sim::Environment& env() { return env_; }
@@ -97,6 +133,20 @@ class FederatedPlatform {
   /// absorbs the displaced load via cross-campus forwarding.
   void inject_region_outage(const std::string& region_name,
                             util::Duration downtime);
+
+  /// Kills the hub: the broker's WAN endpoint is unregistered, so digests
+  /// and ranking requests vanish into the void from now on.  The mesh-vs-
+  /// hub A/B lever — a no-op under the mesh topology, where there is
+  /// nothing to kill.  Irreversible for the run.
+  void kill_broker();
+  bool broker_killed() const { return broker_killed_; }
+
+  /// WAN partition of one region's gateway: federation messages to/from it
+  /// are silently dropped until healed.  The campus itself keeps running —
+  /// only its federation membership goes dark (replicas elsewhere age out
+  /// past the directory TTL and stop ranking it).
+  void set_region_wan_partitioned(const std::string& region_name,
+                                  bool partitioned);
 
  private:
   void refresh_metrics();
@@ -115,6 +165,7 @@ class FederatedPlatform {
   std::vector<std::string> names_;
   monitor::MetricRegistry metrics_;
   std::unique_ptr<sim::PeriodicTimer> metrics_timer_;
+  bool broker_killed_ = false;
   bool started_ = false;
 };
 

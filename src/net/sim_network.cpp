@@ -52,6 +52,32 @@ void SimNetwork::set_access_gbps(const NodeId& id, double gbps) {
   endpoint_for(id).access.bytes_per_sec = gbps * kBytesPerGbit;
 }
 
+void SimNetwork::set_path_latency(const NodeId& a, const NodeId& b,
+                                  util::Duration latency) {
+  assert(latency >= 0);
+  path_latency_[pair_key(a, b)] = latency;
+}
+
+util::Duration SimNetwork::path_latency(const NodeId& a,
+                                        const NodeId& b) const {
+  // Campus LANs never set overrides; keep their per-message send cost free
+  // of the pair-key construction and map probe.
+  if (path_latency_.empty()) return config_.base_latency;
+  auto it = path_latency_.find(pair_key(a, b));
+  return it == path_latency_.end() ? config_.base_latency : it->second;
+}
+
+double SimNetwork::path_gbps(const NodeId& a, const NodeId& b) const {
+  auto rate_of = [this](const NodeId& id) {
+    auto it = endpoints_.find(id);
+    return it == endpoints_.end()
+               ? config_.default_access_gbps * kBytesPerGbit
+               : it->second.access.bytes_per_sec;
+  };
+  return std::min({rate_of(a), backbone_.bytes_per_sec, rate_of(b)}) /
+         kBytesPerGbit;
+}
+
 void SimNetwork::set_partitioned(const NodeId& id, bool partitioned) {
   endpoint_for(id).partitioned = partitioned;
 }
@@ -65,6 +91,9 @@ void SimNetwork::account(const Message& msg, util::SimTime start,
                          util::SimTime end) {
   const auto cls = static_cast<std::size_t>(msg.traffic_class);
   class_bytes_[cls] += msg.size_bytes;
+  if (msg.traffic_class == TrafficClass::kFederation) {
+    federation_peer_bytes_[pair_key(msg.from, msg.to)] += msg.size_bytes;
+  }
   const auto first =
       static_cast<std::uint64_t>(start / config_.accounting_bucket);
   const auto last =
@@ -117,6 +146,8 @@ util::Status SimNetwork::send(Message msg) {
   }
 
   const auto size = static_cast<double>(msg.size_bytes);
+  // Propagation: per-path override (WAN distances) or the network default.
+  const util::Duration latency = path_latency(msg.from, msg.to);
   const double bottleneck_rate =
       std::min({src.access.bytes_per_sec, backbone_.bytes_per_sec,
                 dst.access.bytes_per_sec});
@@ -129,13 +160,13 @@ util::Status SimNetwork::send(Message msg) {
     const util::SimTime end = start + size / pace;
     channel.busy_until = end;
     account(msg, start, end);
-    return end + config_.base_latency;
+    return end + latency;
   };
   util::SimTime t;
   if (is_control_plane(msg.traffic_class)) {
     // Control-plane messages are tiny and DSCP-prioritized on campus
     // switches: they never queue behind bulk transfers.
-    t = now + size / bottleneck_rate + config_.base_latency;
+    t = now + size / bottleneck_rate + latency;
     account(msg, now, now);
   } else if (msg.traffic_class == TrafficClass::kFederation &&
              config_.federation_wan_gbps > 0) {
@@ -162,8 +193,8 @@ util::Status SimNetwork::send(Message msg) {
     src.access.busy_until = start + size / src.access.bytes_per_sec;
     backbone_.busy_until = start + size / backbone_.bytes_per_sec;
     dst.access.busy_until = start + size / dst.access.bytes_per_sec;
-    t = start + size / bottleneck_rate + config_.base_latency;
-    account(msg, start, t - config_.base_latency);
+    t = start + size / bottleneck_rate + latency;
+    account(msg, start, t - latency);
   }
 
   env_.schedule_at(t, [this, m = std::move(msg)]() mutable {
@@ -184,6 +215,12 @@ util::Status SimNetwork::send(Message msg) {
 
 std::uint64_t SimNetwork::bytes_sent(TrafficClass c) const {
   return class_bytes_[static_cast<std::size_t>(c)];
+}
+
+std::uint64_t SimNetwork::federation_bytes_between(const NodeId& a,
+                                                   const NodeId& b) const {
+  auto it = federation_peer_bytes_.find(pair_key(a, b));
+  return it == federation_peer_bytes_.end() ? 0 : it->second;
 }
 
 std::uint64_t SimNetwork::total_bytes_sent() const {

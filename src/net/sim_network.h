@@ -13,8 +13,10 @@
 
 #include <array>
 #include <cstdint>
+#include <map>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "net/message.h"
@@ -60,6 +62,20 @@ class SimNetwork : public Transport {
   /// a 10 GbE uplink).
   void set_access_gbps(const NodeId& id, double gbps);
 
+  /// Overrides the one-way propagation latency between two endpoints
+  /// (symmetric; WAN instances model asymmetric campus distances with it —
+  /// e.g. 4 ms to the nearby campus, 35 ms across the country).  Pairs
+  /// without an override keep `config.base_latency`.
+  void set_path_latency(const NodeId& a, const NodeId& b,
+                        util::Duration latency);
+  util::Duration path_latency(const NodeId& a, const NodeId& b) const;
+
+  /// Bottleneck line rate (Gbit/s) between two endpoints: min of both
+  /// access links and the backbone.  Class-level caps (the federation WAN
+  /// channel) are not included — callers combine them as needed.  Unknown
+  /// endpoints are assumed to sit on default access links.
+  double path_gbps(const NodeId& a, const NodeId& b) const;
+
   /// Partitions a node: messages to/from it are silently dropped until
   /// healed.  Models emergency departure (power pull, cable yank).
   void set_partitioned(const NodeId& id, bool partitioned);
@@ -89,6 +105,17 @@ class SimNetwork : public Transport {
   /// backup classes for the §4 traffic analysis).
   double peak_class_utilization(std::initializer_list<TrafficClass> classes,
                                 util::SimTime t0, util::SimTime t1) const;
+
+  /// Per-peer WAN accounting, federation class only: bytes offered between
+  /// the two endpoints (either direction, dropped messages included — the
+  /// NIC counter view).  Lets a federation deployment see which region
+  /// pair its gossip + checkpoint traffic actually rides.
+  std::uint64_t federation_bytes_between(const NodeId& a,
+                                         const NodeId& b) const;
+  const std::map<std::pair<NodeId, NodeId>, std::uint64_t>&
+  federation_peer_bytes() const {
+    return federation_peer_bytes_;
+  }
   /// Mean backbone utilization over [t0, t1].
   double mean_backbone_utilization(util::SimTime t0, util::SimTime t1) const;
   /// Per-class bytes within [t0, t1] (bucket resolution).
@@ -113,6 +140,11 @@ class SimNetwork : public Transport {
   /// Books `msg`'s bytes into accounting buckets, spread uniformly over the
   /// transmission interval [start, end] (a point in time for control).
   void account(const Message& msg, util::SimTime start, util::SimTime end);
+  /// Direction-agnostic key for per-pair state (latency overrides,
+  /// per-peer accounting).
+  static std::pair<NodeId, NodeId> pair_key(const NodeId& a, const NodeId& b) {
+    return a <= b ? std::make_pair(a, b) : std::make_pair(b, a);
+  }
 
   sim::Environment& env_;
   SimNetworkConfig config_;
@@ -130,6 +162,11 @@ class SimNetwork : public Transport {
       buckets_;
   std::uint64_t delivered_ = 0;
   std::uint64_t dropped_ = 0;
+  // Sparse: only endpoint pairs with an explicit override.
+  std::map<std::pair<NodeId, NodeId>, util::Duration> path_latency_;
+  // Federation-class bytes per endpoint pair (WAN instances only in
+  // practice: the class never rides campus LANs).
+  std::map<std::pair<NodeId, NodeId>, std::uint64_t> federation_peer_bytes_;
 };
 
 }  // namespace gpunion::net

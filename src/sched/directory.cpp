@@ -95,17 +95,7 @@ std::vector<const NodeInfo*> ClusterView::whole_gpu_candidates(
   // range (selective for high-CC jobs on a mixed fleet).  Either way the
   // iteration is key-major, id-ordered within a key: deterministic for
   // identical directory state without a per-query sort.
-  std::size_t free_count = 0;
-  for (auto it = free_buckets_.lower_bound(gpu_count);
-       it != free_buckets_.end(); ++it) {
-    free_count += it->second.size();
-  }
-  std::size_t capability_count = 0;
-  for (auto it = by_capability_.lower_bound(min_compute_capability);
-       it != by_capability_.end(); ++it) {
-    capability_count += it->second.size();
-  }
-  if (capability_count < free_count) {
+  if (prefer_capability_walk(gpu_count, min_compute_capability)) {
     for (auto it = by_capability_.lower_bound(min_compute_capability);
          it != by_capability_.end(); ++it) {
       for (const NodeInfo* node : it->second) admit(node);
@@ -117,6 +107,21 @@ std::vector<const NodeInfo*> ClusterView::whole_gpu_candidates(
     }
   }
   return out;
+}
+
+bool ClusterView::prefer_capability_walk(int gpu_count,
+                                         double min_compute_capability) const {
+  std::size_t free_count = 0;
+  for (auto it = free_buckets_.lower_bound(gpu_count);
+       it != free_buckets_.end(); ++it) {
+    free_count += it->second.size();
+  }
+  std::size_t capability_count = 0;
+  for (auto it = by_capability_.lower_bound(min_compute_capability);
+       it != by_capability_.end(); ++it) {
+    capability_count += it->second.size();
+  }
+  return capability_count < free_count;
 }
 
 std::vector<const NodeInfo*> ClusterView::fractional_candidates(
@@ -172,8 +177,26 @@ const NodeInfo* ClusterView::first_whole_gpu_candidate(
     }
     return nullptr;
   }
-  // The free buckets already guarantee capacity, so on a fleet with ANY
-  // eligible free node this exits after examining it; no planner needed.
+  // The probe MUST walk the same index the enumerating query would pick:
+  // a node whose scheduling fields were mutated through a cached
+  // Directory::find() pointer after the last refresh is filed under stale
+  // keys, and the two indexes then disagree on membership (e.g. a node
+  // that freed up is absent from every free bucket but still present in
+  // the capability range).  An asymmetric walk made any_eligible() deny
+  // jobs place() could serve — the gateway then forwarded out work the
+  // local campus could run.  Planner parity keeps probe and enumeration
+  // agreeing under any single-node staleness; on the common
+  // has-free-capacity fleet the bucket walk still wins and the probe
+  // stays O(1).
+  if (prefer_capability_walk(gpu_count, min_compute_capability)) {
+    for (auto it = by_capability_.lower_bound(min_compute_capability);
+         it != by_capability_.end(); ++it) {
+      for (const NodeInfo* node : it->second) {
+        if (probe(node)) return node;
+      }
+    }
+    return nullptr;
+  }
   for (auto it = free_buckets_.lower_bound(gpu_count);
        it != free_buckets_.end(); ++it) {
     for (const NodeInfo* node : it->second) {

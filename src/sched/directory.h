@@ -159,6 +159,13 @@ class ClusterView {
   void refresh();
   void unindex(const std::string& machine_id);
   void index(const NodeInfo& node);
+  /// Query planner shared by the enumerating query and the existence
+  /// probe: true when the capability range admits fewer nodes than the
+  /// free buckets.  Both paths MUST use it — walking different indexes
+  /// lets them disagree about a node indexed under stale keys (mutated
+  /// via a cached Directory::find() pointer after the last refresh).
+  bool prefer_capability_walk(int gpu_count,
+                              double min_compute_capability) const;
 
   const std::map<std::string, NodeInfo>& nodes_;
   // free whole GPUs -> schedulable nodes with exactly that many free

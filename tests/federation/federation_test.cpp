@@ -1,6 +1,10 @@
-// Federation-layer tests: gossip digests, cross-campus forwarding with
-// regional autonomy (admission caps, refusals), stale-digest re-routing,
-// and checkpoint migration across a full-campus outage.
+// Federation-layer tests under the legacy HUB topology: broker gossip
+// digests, cross-campus forwarding with regional autonomy (admission caps,
+// refusals), stale-digest re-routing, and checkpoint migration across a
+// full-campus outage.  The offer/transfer/ack machinery exercised here is
+// shared with the mesh topology; mesh-specific behaviour (replicated
+// directories, WAN-cost ranking, chained re-forwarding) lives in
+// federation_mesh_test.cpp and the randomized chaos harness.
 #include <gtest/gtest.h>
 
 #include <string>
@@ -55,6 +59,7 @@ int completed_in(Platform& platform) {
 TEST(FederationBrokerTest, DigestGossipTracksRegionCapacity) {
   sim::Environment env(7);
   FederationConfig config;
+  config.topology = federation::FederationTopology::kHub;
   config.regions.push_back(make_region("alpha", 2));
   config.regions.push_back(make_region("beta", 3));
   FederatedPlatform fed(env, config);
@@ -81,6 +86,7 @@ TEST(FederationBrokerTest, DigestGossipTracksRegionCapacity) {
 TEST(FederationForwardTest, OverflowForwardsToFreeRegionAndCompletes) {
   sim::Environment env(11);
   FederationConfig config;
+  config.topology = federation::FederationTopology::kHub;
   config.regions.push_back(make_region("alpha", 1));
   config.regions.push_back(make_region("beta", 3));
   FederatedPlatform fed(env, config);
@@ -135,6 +141,7 @@ TEST(FederationForwardTest, OverflowForwardsToFreeRegionAndCompletes) {
 TEST(FederationForwardTest, AdmissionCapRefusesAndReroutes) {
   sim::Environment env(13);
   FederationConfig config;
+  config.topology = federation::FederationTopology::kHub;
   config.regions.push_back(make_region("alpha", 1));
   federation::RegionPolicy capped = fast_policy();
   capped.max_remote_jobs = 1;
@@ -172,6 +179,7 @@ TEST(FederationForwardTest, AdmissionCapRefusesAndReroutes) {
 TEST(FederationForwardTest, RemoteRefusalByPolicy) {
   sim::Environment env(17);
   FederationConfig config;
+  config.topology = federation::FederationTopology::kHub;
   config.regions.push_back(make_region("alpha", 1));
   federation::RegionPolicy closed = fast_policy();
   closed.accept_remote = false;
@@ -201,6 +209,7 @@ TEST(FederationForwardTest, RemoteRefusalByPolicy) {
 TEST(FederationForwardTest, StaleDigestIsRefusedThenRerouted) {
   sim::Environment env(19);
   FederationConfig config;
+  config.topology = federation::FederationTopology::kHub;
   config.regions.push_back(make_region("alpha", 1));
   // Beta gossips every 30 s: its t=30 digest shows 4 free GPUs, and the
   // broker keeps ranking it on that snapshot long after beta has filled up.
@@ -249,6 +258,7 @@ TEST(FederationForwardTest, StaleDigestIsRefusedThenRerouted) {
 TEST(FederationOutageTest, FullCampusOutageMigratesCheckpointsCrossCampus) {
   sim::Environment env(23);
   FederationConfig config;
+  config.topology = federation::FederationTopology::kHub;
   config.regions.push_back(make_region("alpha", 2));
   config.regions.push_back(make_region("beta", 3));
   FederatedPlatform fed(env, config);
@@ -294,6 +304,7 @@ TEST(FederationOutageTest, FullCampusOutageMigratesCheckpointsCrossCampus) {
 TEST(FederationForwardTest, MultiGpuJobUnplaceableOnFragmentedFleetForwards) {
   sim::Environment env(31);
   FederationConfig config;
+  config.topology = federation::FederationTopology::kHub;
   // Alpha has 2 free GPUs in aggregate — but on two separate single-GPU
   // workstations, so a 2-GPU job can never be placed locally.
   config.regions.push_back(make_region("alpha", 2));
@@ -329,6 +340,7 @@ TEST(FederationForwardTest, MultiGpuJobUnplaceableOnFragmentedFleetForwards) {
 TEST(FederationForwardTest, LossyWanNeverLosesJobs) {
   sim::Environment env(37);
   FederationConfig config;
+  config.topology = federation::FederationTopology::kHub;
   config.regions.push_back(make_region("alpha", 1));
   config.regions.push_back(make_region("beta", 3));
   // One in five WAN messages silently vanishes.  Every protocol step must
@@ -371,6 +383,7 @@ TEST(FederationForwardTest, ForwardWhileLedgerUnflushedKeepsProvenance) {
   // both sides of the hand-off, and no job may be lost or duplicated.
   sim::Environment env(41);
   FederationConfig config;
+  config.topology = federation::FederationTopology::kHub;
   config.regions.push_back(make_region("alpha", 1));
   config.regions.push_back(make_region("beta", 3));
   for (auto& region : config.regions) {
@@ -447,6 +460,7 @@ TEST(FederationForwardTest, ForwardWhileLedgerUnflushedKeepsProvenance) {
 TEST(FederationOutageTest, NoCandidateRegionsKeepsJobQueuedLocally) {
   sim::Environment env(29);
   FederationConfig config;
+  config.topology = federation::FederationTopology::kHub;
   config.regions.push_back(make_region("alpha", 1));
   FederatedPlatform fed(env, config);  // a federation of one
   fed.start();

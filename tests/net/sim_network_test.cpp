@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <vector>
 
 namespace gpunion::net {
@@ -259,6 +260,85 @@ TEST(SimNetworkTest, PerNodeAccessSpeedOverride) {
   ASSERT_TRUE(f.net.send(std::move(m)).is_ok());
   f.env.run();
   EXPECT_LT(f.env.now(), 3.5);  // three 10 Gbps hops, not 10+ s
+}
+
+TEST(SimNetworkTest, PerPathLatencyOverridesBaseLatency) {
+  // Asymmetric WAN distances: a-b stays at the default, a-c is far away.
+  Fixture f;
+  f.attach("a");
+  f.attach("b");
+  f.attach("c");
+  f.net.set_path_latency("a", "c", 0.050);
+  EXPECT_DOUBLE_EQ(f.net.path_latency("a", "b"),
+                   f.net.config().base_latency);
+  EXPECT_DOUBLE_EQ(f.net.path_latency("a", "c"), 0.050);
+  EXPECT_DOUBLE_EQ(f.net.path_latency("c", "a"), 0.050);  // symmetric
+
+  Message near;
+  near.from = "a";
+  near.to = "b";
+  near.size_bytes = 100;
+  ASSERT_TRUE(f.net.send(std::move(near)).is_ok());
+  f.env.run();
+  const util::SimTime near_arrival = f.env.now();
+  Message far;
+  far.from = "a";
+  far.to = "c";
+  far.size_bytes = 100;
+  ASSERT_TRUE(f.net.send(std::move(far)).is_ok());
+  f.env.run();
+  const util::SimTime far_elapsed = f.env.now() - near_arrival;
+  EXPECT_GE(far_elapsed, 0.050);
+  EXPECT_LT(far_elapsed, 0.060);
+  EXPECT_LT(near_arrival, 0.010);
+}
+
+TEST(SimNetworkTest, PathGbpsReportsBottleneck) {
+  Fixture f;
+  f.attach("a");
+  f.attach("b");
+  f.net.set_access_gbps("a", 10.0);
+  // b stays on the 1 Gbps default: the pair bottlenecks there.
+  EXPECT_DOUBLE_EQ(f.net.path_gbps("a", "b"), 1.0);
+  f.net.set_access_gbps("b", 40.0);
+  // Now the 10 Gbps backbone-vs-access minimum wins.
+  EXPECT_DOUBLE_EQ(f.net.path_gbps("a", "b"),
+                   std::min(10.0, f.net.config().backbone_gbps));
+  // Unknown endpoints are assumed on default access links.
+  EXPECT_DOUBLE_EQ(f.net.path_gbps("ghost", "phantom"), 1.0);
+}
+
+TEST(SimNetworkTest, FederationBytesAccountedPerPeer) {
+  Fixture f;
+  f.attach("gw-a");
+  f.attach("gw-b");
+  f.attach("gw-c");
+  auto send_fed = [&](const NodeId& from, const NodeId& to,
+                      std::uint64_t bytes) {
+    Message m;
+    m.from = from;
+    m.to = to;
+    m.traffic_class = TrafficClass::kFederation;
+    m.size_bytes = bytes;
+    ASSERT_TRUE(f.net.send(std::move(m)).is_ok());
+  };
+  send_fed("gw-a", "gw-b", 1000);
+  send_fed("gw-b", "gw-a", 500);  // same pair, reverse direction
+  send_fed("gw-a", "gw-c", 70);
+  // Non-federation traffic on the same pair stays out of the counters.
+  Message bulk;
+  bulk.from = "gw-a";
+  bulk.to = "gw-b";
+  bulk.traffic_class = TrafficClass::kUserData;
+  bulk.size_bytes = 9999;
+  ASSERT_TRUE(f.net.send(std::move(bulk)).is_ok());
+  f.env.run();
+
+  EXPECT_EQ(f.net.federation_bytes_between("gw-a", "gw-b"), 1500u);
+  EXPECT_EQ(f.net.federation_bytes_between("gw-b", "gw-a"), 1500u);
+  EXPECT_EQ(f.net.federation_bytes_between("gw-a", "gw-c"), 70u);
+  EXPECT_EQ(f.net.federation_bytes_between("gw-b", "gw-c"), 0u);
+  EXPECT_EQ(f.net.federation_peer_bytes().size(), 2u);
 }
 
 }  // namespace

@@ -236,6 +236,56 @@ TEST_F(PlacementEngineTest, AnyEligibleEarlyExitMatchesFullEnumeration) {
       << "whole-GPU job must not match slot-only capacity";
 }
 
+TEST_F(PlacementEngineTest, ProbeAgreesWithEnumerationUnderStaleMutation) {
+  // Regression: the existence probe used to walk ONLY the free-capacity
+  // buckets while the enumerating query's planner could pick the
+  // capability range.  A node mutated through a cached Directory::find()
+  // pointer AFTER the last refresh sits under stale index keys; with
+  // asymmetric walks the probe then denied a job place() could serve (the
+  // gateway forwarded out work its own campus could run).  Planner parity
+  // makes the two paths agree under any single-node staleness.
+  //
+  // Fleet shape chosen so the planner prefers the capability range for
+  // the high-CC job: many low-CC nodes with free GPUs, ONE high-CC node.
+  for (int i = 0; i < 8; ++i) {
+    directory_.upsert(
+        make_node("m-low-" + std::to_string(i), "vision", 1, 1, 24.0, 8.6));
+  }
+  directory_.upsert(make_node("m-h100", "vision", 2, 0, 80.0, 9.0));
+  PlacementEngine engine(directory_, reliability_, policy_,
+                         std::string(kBestFit));
+
+  auto h100_job = training(40.0);
+  h100_job.requirements.min_compute_capability = 9.0;
+  // Fully booked: neither path can place the high-CC job.
+  EXPECT_FALSE(engine.any_eligible(h100_job, 0.0));
+  EXPECT_FALSE(engine.place(h100_job, "", 0.0).has_value());
+
+  // The hazard: grab the mutable entry (marks it dirty), let a query
+  // refresh (clearing the mark), THEN mutate through the cached pointer.
+  // The node now has free capacity but is absent from every free bucket.
+  NodeInfo* stale = directory_.find("m-h100");
+  ASSERT_NE(stale, nullptr);
+  ASSERT_TRUE(engine.any_eligible(training(), 0.0));  // refresh happened
+  stale->free_gpus = 2;
+
+  // Both paths must answer identically — before the fix the probe said
+  // false while enumeration (capability walk + live re-check) placed it.
+  auto placed = engine.place(h100_job, "", 0.0);
+  EXPECT_EQ(engine.any_eligible(h100_job, 0.0), placed.has_value())
+      << "existence probe disagrees with enumeration";
+  ASSERT_TRUE(placed.has_value());
+  EXPECT_EQ(placed->node->machine_id, "m-h100");
+
+  // The reverse mutation (capacity silently vanished) must also agree:
+  // both paths live-re-check, so neither may claim eligibility.
+  stale = directory_.find("m-h100");
+  ASSERT_TRUE(engine.any_eligible(h100_job, 0.0));  // refresh again
+  stale->free_gpus = 0;
+  EXPECT_FALSE(engine.any_eligible(h100_job, 0.0));
+  EXPECT_FALSE(engine.place(h100_job, "", 0.0).has_value());
+}
+
 TEST_F(PlacementEngineTest, DegradationAppliesToFractionalTraining) {
   PlacementStrategyFactory::instance().register_strategy(
       "cautious_sharing",
