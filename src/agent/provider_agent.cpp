@@ -32,7 +32,8 @@ ProviderAgent::ProviderAgent(sim::Environment& env, net::Transport& transport,
       runtime_(node, registry),
       sampler_(node, env.fork_rng("nvml." + node.hostname())),
       rng_(env.fork_rng("agent." + node.hostname())),
-      machine_id_(util::make_machine_id(node.hostname(), kMachineIdSalt)) {}
+      machine_id_(util::make_machine_id(node.hostname(), kMachineIdSalt)),
+      lane_(env.register_lane("agent:" + machine_id_)) {}
 
 ProviderAgent::~ProviderAgent() {
   for (auto& [id, job] : jobs_) stop_job_events(job);
@@ -45,7 +46,8 @@ ProviderAgent::~ProviderAgent() {
 void ProviderAgent::join() {
   assert(state_ == AgentState::kOffline && "join from non-offline state");
   transport_.register_endpoint(
-      machine_id_, [this](net::Message&& msg) { handle_message(std::move(msg)); });
+      machine_id_,
+      [this](net::Message&& msg) { handle_message(std::move(msg)); }, lane_);
   send_register_request();
   GPUNION_ILOG("agent") << machine_id_ << " joining as " << node_.hostname();
 }
@@ -69,7 +71,7 @@ void ProviderAgent::send_register_request() {
   send_control(kRegisterRequest, request, kRegisterBytes);
   // The request or its response may be lost; retry until activated (the
   // paper's "automatic registration scripts" keep trying).
-  env_.schedule_after(10.0, [this] { send_register_request(); });
+  env_.schedule_after_on(lane_, 10.0, [this] { send_register_request(); });
 }
 
 std::vector<std::string> ProviderAgent::kill_switch() {
@@ -235,11 +237,13 @@ void ProviderAgent::handle_message(net::Message&& msg) {
       state_ = AgentState::kActive;
       config_.heartbeat_interval = response.heartbeat_interval;
       heartbeat_timer_ = std::make_unique<sim::PeriodicTimer>(
-          env_, config_.heartbeat_interval, [this] { send_heartbeat(); });
+          env_, config_.heartbeat_interval, [this] { send_heartbeat(); },
+          lane_);
       heartbeat_timer_->start_after(0);
       if (config_.enable_telemetry) {
         telemetry_timer_ = std::make_unique<sim::PeriodicTimer>(
-            env_, config_.telemetry_interval, [this] { send_telemetry(); });
+            env_, config_.telemetry_interval, [this] { send_telemetry(); },
+            lane_);
         telemetry_timer_->start();
       }
       break;
@@ -408,7 +412,7 @@ void ProviderAgent::advance_dispatch(const std::string& job_id) {
       job.pending_pull = false;
       runtime_.mark_image_cached(job.spec.image_ref);
     } else {
-      env_.schedule_after(90.0,
+      env_.schedule_after_on(lane_, 90.0,
                           [this, job_id] { retry_stalled_dispatch(job_id); });
       return;  // wait for kImageData
     }
@@ -429,13 +433,13 @@ void ProviderAgent::advance_dispatch(const std::string& job_id) {
     if (!transport_.send(std::move(msg)).is_ok()) {
       job.pending_restore = false;  // storage gone; resume without transfer
     } else {
-      env_.schedule_after(180.0,
+      env_.schedule_after_on(lane_, 180.0,
                           [this, job_id] { retry_stalled_dispatch(job_id); });
       return;  // wait for kRestoreData
     }
   }
 
-  env_.schedule_after(runtime_.startup_overhead(),
+  env_.schedule_after_on(lane_, runtime_.startup_overhead(),
                       [this, job_id] { begin_compute(job_id); });
 }
 
@@ -531,11 +535,11 @@ void ProviderAgent::begin_compute(const std::string& job_id) {
                 job.speed;
   }
   job.completion_event =
-      env_.schedule_after(remaining, [this, job_id] { complete_job(job_id); });
+      env_.schedule_after_on(lane_, remaining, [this, job_id] { complete_job(job_id); });
 
   if (job.spec.type == workload::JobType::kTraining &&
       job.spec.checkpoint_interval > 0) {
-    job.checkpoint_event = env_.schedule_after(
+    job.checkpoint_event = env_.schedule_after_on(lane_, 
         job.spec.checkpoint_interval,
         [this, job_id] { periodic_checkpoint(job_id); });
   }
@@ -605,7 +609,7 @@ util::StatusOr<storage::Checkpoint> ProviderAgent::write_checkpoint(
     const util::SimTime completion_at =
         job.effective_start + remaining_work / job.speed;
     const std::string job_id = job.spec.id;
-    job.completion_event = env_.schedule_at(
+    job.completion_event = env_.schedule_at_on(lane_, 
         std::max(env_.now(), completion_at),
         [this, job_id] { complete_job(job_id); });
   }
@@ -629,7 +633,7 @@ void ProviderAgent::periodic_checkpoint(const std::string& job_id) {
       checkpoint.ok() ? workload::checkpoint_pause_seconds(job.spec.state)
                       : 0.0;
   job.checkpoint_event =
-      env_.schedule_after(job.spec.checkpoint_interval + pause,
+      env_.schedule_after_on(lane_, job.spec.checkpoint_interval + pause,
                           [this, job_id] { periodic_checkpoint(job_id); });
 }
 

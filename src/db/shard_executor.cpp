@@ -1,0 +1,55 @@
+#include "db/shard_executor.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace gpunion::db {
+
+ShardExecutor::ShardExecutor(std::size_t threads) {
+  const std::size_t n = std::max<std::size_t>(1, threads);
+  for (std::size_t i = 0; i < n; ++i) lanes_.emplace_back();
+  for (Lane& lane : lanes_) {
+    lane.thread = std::thread([this, &lane] { thread_main(lane); });
+  }
+}
+
+ShardExecutor::~ShardExecutor() {
+  barrier();
+  for (Lane& lane : lanes_) lane.mailbox.stop();
+  for (Lane& lane : lanes_) lane.thread.join();
+}
+
+void ShardExecutor::run(std::size_t shard, std::function<void()> task) {
+  assert(task && "ShardExecutor::run requires a callable");
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++submitted_;
+  }
+  lanes_[shard % lanes_.size()].mailbox.post(std::move(task));
+}
+
+void ShardExecutor::barrier() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return completed_ == submitted_; });
+}
+
+std::uint64_t ShardExecutor::tasks_run() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return completed_;
+}
+
+void ShardExecutor::thread_main(Lane& lane) {
+  for (;;) {
+    std::vector<std::function<void()>> batch = lane.mailbox.drain_blocking();
+    if (batch.empty()) return;  // stop() and nothing pending
+    for (auto& task : batch) task();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      completed_ += batch.size();
+      if (completed_ == submitted_) idle_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace gpunion::db

@@ -1,0 +1,62 @@
+// Per-shard commit executor for the write-behind database.
+//
+// Gives each writer shard real thread affinity: every task for shard S runs
+// on thread S % threads, in submission order, so a shard's durable state
+// (op counters, group-commit bookkeeping) is thread-confined — no per-shard
+// locking, the actor discipline instead.  flush_ledger() uses it fork-join
+// style: one group-commit task per touched shard, then barrier(), so the
+// caller observes all commits complete (the barrier is the happens-before
+// edge back to the simulation thread).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+
+#include "sim/mailbox.h"
+
+namespace gpunion::db {
+
+class ShardExecutor {
+ public:
+  /// Spawns `threads` (>= 1) commit threads.
+  explicit ShardExecutor(std::size_t threads);
+  ~ShardExecutor();
+
+  ShardExecutor(const ShardExecutor&) = delete;
+  ShardExecutor& operator=(const ShardExecutor&) = delete;
+
+  std::size_t thread_count() const { return lanes_.size(); }
+
+  /// Enqueues `task` on shard's thread (shard % threads).  Tasks for one
+  /// shard run in submission order; tasks for different shards on the same
+  /// thread interleave in post order.
+  void run(std::size_t shard, std::function<void()> task);
+
+  /// Blocks until every task submitted so far has finished.
+  void barrier();
+
+  /// Tasks executed over the executor's lifetime.
+  std::uint64_t tasks_run() const;
+
+ private:
+  struct Lane {
+    sim::Mailbox<std::function<void()>> mailbox;
+    std::thread thread;
+  };
+
+  void thread_main(Lane& lane);
+
+  // deque: Lane holds a mailbox with a mutex (immovable); the set is fixed
+  // at construction and deque never relocates elements.
+  std::deque<Lane> lanes_;
+  mutable std::mutex mu_;
+  std::condition_variable idle_cv_;
+  std::uint64_t submitted_ = 0;
+  std::uint64_t completed_ = 0;
+};
+
+}  // namespace gpunion::db

@@ -7,7 +7,8 @@ namespace gpunion::db {
 ShardedDatabase::ShardedDatabase(DbConfig config)
     : config_(config),
       shards_(static_cast<std::size_t>(std::max(1, config.shard_count))),
-      ledger_log_(std::max<std::size_t>(1, config.flush_threshold)) {
+      ledger_log_(std::max<std::size_t>(1, config.flush_threshold)),
+      queue_parts_(shards_.size()) {
   config_.shard_count = static_cast<int>(shards_.size());
 }
 
@@ -50,13 +51,25 @@ void ShardedDatabase::absorb(LedgerOpKind kind, std::size_t shard,
 }
 
 std::size_t ShardedDatabase::flush_ledger(FlushTrigger trigger) {
-  return ledger_log_.flush(trigger,
-                           [this](std::size_t shard, std::size_t entries) {
-                             // One group commit per touched shard, however
-                             // many entries it absorbs.
-                             (void)entries;
-                             ++shards_[shard].ops;
-                           });
+  if (executor_ == nullptr) {
+    return ledger_log_.flush(trigger,
+                             [this](std::size_t shard, std::size_t entries) {
+                               // One group commit per touched shard, however
+                               // many entries it absorbs.
+                               (void)entries;
+                               ++shards_[shard].ops;
+                             });
+  }
+  // Fork-join: each touched shard's group commit runs on its own commit
+  // thread (shard state is thread-confined there), and the barrier makes
+  // every commit visible to the caller before flush_ledger returns.
+  const std::size_t committed = ledger_log_.flush(
+      trigger, [this](std::size_t shard, std::size_t entries) {
+        (void)entries;
+        executor_->run(shard, [this, shard] { ++shards_[shard].ops; });
+      });
+  executor_->barrier();
+  return committed;
 }
 
 // ---------------------------------------------------------------------------
@@ -223,52 +236,85 @@ std::vector<AllocationRecord> ShardedDatabase::allocations_for_job(
 void ShardedDatabase::enqueue_request(PendingRequest request) {
   const std::size_t shard = shard_for_job(request.job_id);
   ++shards_[shard].rows;
+  ++queued_rows_;
   absorb(LedgerOpKind::kEnqueue, shard, request.job_id, 0,
          request.submitted_at);
-  queue_[request.priority].push_back(std::move(request));
+  const int priority = request.priority;
+  queue_parts_[shard].by_priority[priority].push_back(
+      QueueItem{std::move(request), ++queue_back_seq_});
 }
 
 void ShardedDatabase::enqueue_request_front(PendingRequest request) {
   const std::size_t shard = shard_for_job(request.job_id);
   ++shards_[shard].rows;
+  ++queued_rows_;
   absorb(LedgerOpKind::kEnqueue, shard, request.job_id, 0,
          request.submitted_at);
-  queue_[request.priority].push_front(std::move(request));
+  const int priority = request.priority;
+  queue_parts_[shard].by_priority[priority].push_front(
+      QueueItem{std::move(request), --queue_front_seq_});
 }
 
 std::optional<PendingRequest> ShardedDatabase::pop_request() {
   // The scheduler's pop is the one queue op that stays synchronous: it is
   // a read-modify-write whose result the decision needs NOW.  Any writer
-  // lane can serve it (multi-writer), so the load rotates.
-  charge(rotate(), /*decision_path=*/true);
-  for (auto it = queue_.begin(); it != queue_.end();) {
-    if (it->second.empty()) {
-      it = queue_.erase(it);
-      continue;
+  // lane can serve it (multi-writer), so the load rotates.  The serving
+  // shard pops from its own partition when it holds the globally best
+  // request and STEALS from the partition that does otherwise — same
+  // (priority desc, insertion order) result as the legacy single queue,
+  // with per-shard storage.
+  const std::size_t server = rotate();
+  charge(server, /*decision_path=*/true);
+  std::size_t best_shard = queue_parts_.size();
+  int best_priority = 0;
+  std::int64_t best_seq = 0;
+  for (std::size_t shard = 0; shard < queue_parts_.size(); ++shard) {
+    auto& parts = queue_parts_[shard].by_priority;
+    auto it = parts.begin();
+    while (it != parts.end() && it->second.empty()) it = parts.erase(it);
+    if (it == parts.end()) continue;
+    const int priority = it->first;
+    const std::int64_t seq = it->second.front().seq;
+    if (best_shard == queue_parts_.size() || priority > best_priority ||
+        (priority == best_priority && seq < best_seq)) {
+      best_shard = shard;
+      best_priority = priority;
+      best_seq = seq;
     }
-    PendingRequest request = std::move(it->second.front());
-    it->second.pop_front();
-    if (it->second.empty()) queue_.erase(it);
-    const std::size_t shard = shard_for_job(request.job_id);
-    if (shards_[shard].rows > 0) --shards_[shard].rows;
-    return request;
   }
-  return std::nullopt;
+  if (best_shard == queue_parts_.size()) return std::nullopt;
+  if (best_shard == server) {
+    ++local_pops_;
+  } else {
+    ++stolen_pops_;
+  }
+  auto& parts = queue_parts_[best_shard].by_priority;
+  auto it = parts.find(best_priority);
+  PendingRequest request = std::move(it->second.front().request);
+  it->second.pop_front();
+  if (it->second.empty()) parts.erase(it);
+  if (shards_[best_shard].rows > 0) --shards_[best_shard].rows;
+  if (queued_rows_ > 0) --queued_rows_;
+  return request;
 }
 
 bool ShardedDatabase::remove_request(const std::string& job_id) {
   // Like pop_request, a synchronous read-modify-write in BOTH modes: the
   // found/not-found answer is consumed immediately, so the round trip to
   // the owning shard cannot be deferred (and a miss still paid for it).
+  // Partitioning makes this O(owning partition): the job can only live in
+  // its owner shard's slice of the queue.
   const std::size_t shard = shard_for_job(job_id);
   charge(shard, /*decision_path=*/true);
-  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+  auto& parts = queue_parts_[shard].by_priority;
+  for (auto it = parts.begin(); it != parts.end(); ++it) {
     auto& fifo = it->second;
     for (auto rit = fifo.begin(); rit != fifo.end(); ++rit) {
-      if (rit->job_id == job_id) {
+      if (rit->request.job_id == job_id) {
         fifo.erase(rit);
-        if (fifo.empty()) queue_.erase(it);
+        if (fifo.empty()) parts.erase(it);
         if (shards_[shard].rows > 0) --shards_[shard].rows;
+        if (queued_rows_ > 0) --queued_rows_;
         return true;
       }
     }
@@ -278,10 +324,10 @@ bool ShardedDatabase::remove_request(const std::string& job_id) {
 
 std::size_t ShardedDatabase::queue_depth() const {
   // Depth probe (heartbeat path): a metadata read any lane can answer.
+  // The row count is maintained on mutation, so the probe is O(1) instead
+  // of a scan over every partition.
   charge(rotate(), /*decision_path=*/false);
-  std::size_t n = 0;
-  for (const auto& [priority, fifo] : queue_) n += fifo.size();
-  return n;
+  return queued_rows_;
 }
 
 // ---------------------------------------------------------------------------

@@ -45,6 +45,7 @@
 #include <vector>
 
 #include "db/database.h"
+#include "db/shard_executor.h"
 #include "db/write_behind_ledger.h"
 #include "util/status.h"
 #include "util/time.h"
@@ -159,7 +160,21 @@ class ShardedDatabase : public Database {
   /// Group-commits pending ledger entries to their shards.  Threshold
   /// flushes happen automatically inside absorbing mutations; the interval
   /// flush is driven by the owner's timer.  Returns entries committed.
+  /// With an executor attached, each shard's commit runs on that shard's
+  /// thread (fork-join: all commits complete before this returns).
   std::size_t flush_ledger(FlushTrigger trigger = FlushTrigger::kExplicit);
+
+  /// Attaches per-shard commit threads (parallel execution mode).  The
+  /// executor must outlive the database or be detached with nullptr.
+  void set_executor(ShardExecutor* executor) { executor_ = executor; }
+  ShardExecutor* executor() const { return executor_; }
+
+  // --- Pending-queue work stealing ---------------------------------------------
+  /// Pops served by the rotating (charged) shard's own partition.
+  std::uint64_t local_pops() const { return local_pops_; }
+  /// Pops whose globally best request lived in another shard's partition
+  /// (the stealing cross-partition case).
+  std::uint64_t stolen_pops() const { return stolen_pops_; }
 
   // --- Decision-path accounting -------------------------------------------------
   /// Ops charged synchronously at call time (everything except ledger
@@ -182,6 +197,21 @@ class ShardedDatabase : public Database {
     std::uint64_t rows = 0;  // owned rows (audit of the partitioning)
   };
 
+  /// One pending-queue row.  `seq` is a global insertion stamp: back pushes
+  /// count up from 1, front pushes count down from -1, so ascending seq
+  /// within a priority reproduces the legacy single-deque order exactly
+  /// (newest push_front first, then FIFO push_backs).
+  struct QueueItem {
+    PendingRequest request;
+    std::int64_t seq;
+  };
+  /// Per-shard slice of the pending queue, keyed like the legacy queue
+  /// (priority desc).  A shard's partition holds the jobs it owns
+  /// (shard_for_job); pops steal across partitions for the global best.
+  struct QueuePartition {
+    std::map<int, std::deque<QueueItem>, std::greater<>> by_priority;
+  };
+
   std::size_t route(std::string_view key) const;
   /// Charges one synchronous op to `shard`.
   void charge(std::size_t shard, bool decision_path) const;
@@ -202,7 +232,10 @@ class ShardedDatabase : public Database {
   std::map<std::string, NodeRecord> nodes_;  // ordered: deterministic scans
   std::vector<AllocationRecord> ledger_;
   std::unordered_map<std::uint64_t, std::size_t> ledger_index_;
-  std::map<int, std::deque<PendingRequest>, std::greater<>> queue_;
+  std::vector<QueuePartition> queue_parts_;  // one per shard
+  std::int64_t queue_back_seq_ = 0;   // next back push stamps ++this
+  std::int64_t queue_front_seq_ = 0;  // next front push stamps --this
+  std::size_t queued_rows_ = 0;       // cached depth (O(1) probes)
   std::unordered_map<std::string, std::deque<MetricPoint>> metrics_;
   std::vector<JobProvenance> provenance_log_;
   std::unordered_map<std::string, std::size_t> provenance_index_;
@@ -211,6 +244,9 @@ class ShardedDatabase : public Database {
   mutable std::uint64_t sync_ops_ = 0;
   mutable std::uint64_t decision_path_sync_ops_ = 0;
   mutable std::size_t rotate_cursor_ = 0;
+  std::uint64_t local_pops_ = 0;
+  std::uint64_t stolen_pops_ = 0;
+  ShardExecutor* executor_ = nullptr;
 };
 
 }  // namespace gpunion::db

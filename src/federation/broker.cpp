@@ -9,13 +9,17 @@ namespace gpunion::federation {
 
 FederationBroker::FederationBroker(sim::Environment& env, net::Transport& wan,
                                    BrokerConfig config)
-    : env_(env), wan_(wan), config_(std::move(config)) {}
+    : env_(env),
+      lane_(env.register_lane("broker")),
+      wan_(wan),
+      config_(std::move(config)) {}
 
 void FederationBroker::start() {
   assert(!started_ && "FederationBroker::start called twice");
   started_ = true;
   wan_.register_endpoint(
-      config_.id, [this](net::Message&& msg) { handle_message(std::move(msg)); });
+      config_.id,
+      [this](net::Message&& msg) { handle_message(std::move(msg)); }, lane_);
 }
 
 void FederationBroker::handle_message(net::Message&& msg) {

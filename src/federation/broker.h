@@ -77,6 +77,7 @@ class FederationBroker {
   void handle_ranking_request(const RankingRequest& request);
 
   sim::Environment& env_;
+  sim::LaneId lane_;
   net::Transport& wan_;
   BrokerConfig config_;
   std::map<std::string, RegionEntry> regions_;  // ordered: deterministic

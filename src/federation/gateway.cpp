@@ -28,8 +28,9 @@ RegionGateway::RegionGateway(sim::Environment& env,
                              db::Database& database, net::Transport& wan,
                              std::string region_name, std::string broker_id,
                              RegionPolicy policy, FederationTopology topology,
-                             WanPathFn wan_path)
+                             WanPathFn wan_path, sim::LaneId lane)
     : env_(env),
+      lane_(lane),
       coordinator_(coordinator),
       store_(store),
       database_(database),
@@ -40,7 +41,7 @@ RegionGateway::RegionGateway(sim::Environment& env,
       policy_(policy),
       topology_(topology),
       wan_path_(std::move(wan_path)),
-      tick_timer_(env, policy.digest_interval, [this] { tick(); }),
+      tick_timer_(env, policy.digest_interval, [this] { tick(); }, lane),
       directory_(region_) {
   assert(!region_.empty() && "region requires a name");
 }
@@ -50,9 +51,9 @@ RegionGateway::~RegionGateway() = default;
 void RegionGateway::start() {
   assert(!started_ && "RegionGateway::start called twice");
   started_ = true;
-  wan_.register_endpoint(gateway_id_, [this](net::Message&& msg) {
-    handle_message(std::move(msg));
-  });
+  wan_.register_endpoint(
+      gateway_id_,
+      [this](net::Message&& msg) { handle_message(std::move(msg)); }, lane_);
   tick();  // first digest goes out immediately, not one interval late
   tick_timer_.start();
 }
@@ -469,7 +470,7 @@ void RegionGateway::return_job_home(const std::string& job_id) {
 void RegionGateway::arm_timeout(const std::string& job_id,
                                 std::uint64_t generation,
                                 util::Duration delay) {
-  env_.schedule_after(delay, [this, job_id, generation] {
+  env_.schedule_after_on(lane_, delay, [this, job_id, generation] {
     auto it = outbound_.find(job_id);
     if (it == outbound_.end() || it->second.generation != generation) return;
     switch (it->second.state) {

@@ -166,12 +166,15 @@ struct GatewayStats {
 
 class RegionGateway {
  public:
+  /// `lane`: actor lane the gateway runs on.  Must be the lane of the
+  /// region's coordinator/platform — the gateway calls straight into the
+  /// coordinator, so they form one actor.
   RegionGateway(sim::Environment& env, sched::Coordinator& coordinator,
                 storage::CheckpointStore& store, db::Database& database,
                 net::Transport& wan, std::string region_name,
                 std::string broker_id, RegionPolicy policy = {},
                 FederationTopology topology = FederationTopology::kHub,
-                WanPathFn wan_path = {});
+                WanPathFn wan_path = {}, sim::LaneId lane = sim::kMainLane);
   ~RegionGateway();
 
   RegionGateway(const RegionGateway&) = delete;
@@ -326,6 +329,7 @@ class RegionGateway {
             std::uint64_t bytes);
 
   sim::Environment& env_;
+  sim::LaneId lane_ = sim::kMainLane;
   sched::Coordinator& coordinator_;
   storage::CheckpointStore& store_;
   db::Database& database_;

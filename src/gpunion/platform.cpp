@@ -16,6 +16,19 @@ Platform::Platform(sim::Environment& env, CampusConfig config)
       network_(std::make_unique<net::SimNetwork>(env, config_.network)),
       database_(config_.db),
       store_(config_.checkpoint_store) {
+  // The control plane — coordinator, database, write-behind flushes, the
+  // scraper — is one actor: they all touch the same tables synchronously,
+  // so they share one lane and never race.
+  lane_ = env_.register_lane("platform");
+  config_.coordinator.lane = lane_;
+  if (env_.mode() == sim::ExecutionMode::kParallel &&
+      config_.db.write_behind) {
+    shard_executor_ = std::make_unique<db::ShardExecutor>(
+        std::min<std::size_t>(
+            static_cast<std::size_t>(database_.shard_count()),
+            std::max<std::size_t>(1, env_.worker_count())));
+    database_.set_executor(shard_executor_.get());
+  }
   register_default_images();
 
   for (const auto& storage_config : config_.storage) {
@@ -46,12 +59,16 @@ Platform::Platform(sim::Environment& env, CampusConfig config)
   wire_owner_reclaim();
 
   scraper_ = std::make_unique<monitor::Scraper>(
-      env_, metrics_, database_, config_.scrape_interval);
+      env_, metrics_, database_, config_.scrape_interval, lane_);
+  // refresh_metrics reads across actors (coordinator directory, node models
+  // the agents mutate), so the tick is exclusive.  In kDeterministic an
+  // exclusive event is an ordinary one — the legacy order is unchanged.
   metrics_timer_ = std::make_unique<sim::PeriodicTimer>(
-      env_, config_.scrape_interval, [this] { refresh_metrics(); });
+      env_, config_.scrape_interval, [this] { refresh_metrics(); }, lane_,
+      /*exclusive=*/true);
   db_flush_timer_ = std::make_unique<sim::PeriodicTimer>(
       env_, config_.db.flush_interval,
-      [this] { database_.flush_ledger(db::FlushTrigger::kInterval); });
+      [this] { database_.flush_ledger(db::FlushTrigger::kInterval); }, lane_);
 }
 
 Platform::~Platform() = default;
@@ -78,6 +95,9 @@ void Platform::attach_storage_endpoints() {
   for (const auto& storage_config : config_.storage) {
     const std::string id = storage_config.id;
     network_->set_access_gbps(id, 10.0);  // NAS on a 10 GbE uplink
+    // Each NAS is its own actor: the handler only reads the message and
+    // sends, so restore streams from different nodes can serve in parallel.
+    const sim::LaneId storage_lane = env_.register_lane("storage:" + id);
     network_->register_endpoint(id, [this, id](net::Message&& msg) {
       switch (msg.kind) {
         case agent::kRestoreRequest: {
@@ -100,12 +120,15 @@ void Platform::attach_storage_endpoints() {
           GPUNION_WLOG("storage") << id << " unexpected message kind "
                                   << msg.kind;
       }
-    });
+    }, storage_lane);
   }
 }
 
 void Platform::attach_image_registry_endpoint() {
   network_->set_access_gbps("image-registry", 10.0);
+  // Own actor lane; resolve() is a const read of a registry that is only
+  // mutated before start(), so concurrent pulls are safe.
+  const sim::LaneId registry_lane = env_.register_lane("image-registry");
   network_->register_endpoint("image-registry", [this](net::Message&& msg) {
     if (msg.kind != agent::kImagePullRequest) return;
     const auto& request =
@@ -119,7 +142,7 @@ void Platform::attach_image_registry_endpoint() {
     data.size_bytes = image.ok() ? image->size_bytes : 1;
     data.payload = agent::ImageData{request.image_ref};
     (void)network_->send(std::move(data));
-  });
+  }, registry_lane);
 }
 
 void Platform::wire_owner_reclaim() {
@@ -134,11 +157,23 @@ void Platform::wire_owner_reclaim() {
     // The owner only reclaims from guests; if the machine is running the
     // group's own work there is nothing to take back.
     if (owner_agent->runtime().live_count() == 0) return;
-    const int freed = owner_agent->reclaim_gpus(gpus_needed);
-    if (freed > 0) {
-      GPUNION_ILOG("platform")
-          << "owner of " << owner_node << " reclaimed " << freed
-          << " GPU(s) for " << job.id;
+    const auto reclaim = [this, owner_agent, owner_node,
+                          job_id = job.id, gpus_needed] {
+      if (owner_agent->state() != agent::AgentState::kActive) return;
+      const int freed = owner_agent->reclaim_gpus(gpus_needed);
+      if (freed > 0) {
+        GPUNION_ILOG("platform")
+            << "owner of " << owner_node << " reclaimed " << freed
+            << " GPU(s) for " << job_id;
+      }
+    };
+    if (env_.mode() == sim::ExecutionMode::kParallel) {
+      // This callback fires on the coordinator's lane, but reclaim mutates
+      // the owner's agent — a different actor.  Hop to its lane (the push
+      // gets the standard causality clamp if it lands inside the window).
+      env_.schedule_at_on(owner_agent->lane(), env_.now(), reclaim);
+    } else {
+      reclaim();  // legacy synchronous reclaim: exact PR-3 behaviour
     }
   });
 }
@@ -196,13 +231,21 @@ void Platform::inject_interruption(const workload::Interruption& event) {
       provider->kill_switch();
       return;  // node stays online; no rejoin needed
   }
-  env_.schedule_after(event.downtime, [this, machine = event.machine_id] {
-    agent::ProviderAgent* returning = agent(machine);
-    if (returning != nullptr &&
-        returning->state() == agent::AgentState::kDeparted) {
-      returning->rejoin();
-    }
-  });
+  // Rejoin only touches the returning agent (registration flows back to the
+  // coordinator over the network), so it runs on that agent's lane.
+  env_.schedule_after_on(
+      provider->lane(), event.downtime, [this, machine = event.machine_id] {
+        agent::ProviderAgent* returning = agent(machine);
+        if (returning != nullptr &&
+            returning->state() == agent::AgentState::kDeparted) {
+          returning->rejoin();
+        }
+      });
+}
+
+void Platform::schedule_interruption(util::SimTime t,
+                                     const workload::Interruption& event) {
+  env_.schedule_exclusive_at(t, [this, event] { inject_interruption(event); });
 }
 
 int Platform::total_gpus() const {

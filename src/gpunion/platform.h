@@ -53,6 +53,9 @@ class Platform {
   monitor::MetricRegistry& metrics() { return metrics_; }
   sim::Environment& env() { return env_; }
   const CampusConfig& config() const { return config_; }
+  /// Control-plane actor lane (coordinator + database + scraper share it —
+  /// they touch the same tables, so they are one actor).
+  sim::LaneId lane() const { return lane_; }
 
   /// Agent by machine id; nullptr when unknown.
   agent::ProviderAgent* agent(const std::string& machine_id);
@@ -65,8 +68,17 @@ class Platform {
 
   // --- Experiment helpers -----------------------------------------------------
   /// Applies one provider-churn event: the provider departs per the event's
-  /// kind and automatically rejoins after event.downtime.
+  /// kind and automatically rejoins after event.downtime.  Touches the
+  /// coordinator AND the provider actor, so in kParallel it must run
+  /// exclusively — call it from the main thread between runs, or go through
+  /// schedule_interruption().
   void inject_interruption(const workload::Interruption& event);
+
+  /// Schedules inject_interruption(event) at absolute time `t` as an
+  /// exclusive event (every worker quiesced; an ordinary event in
+  /// kDeterministic).  The mode-safe way for experiments to inject churn.
+  void schedule_interruption(util::SimTime t,
+                             const workload::Interruption& event);
 
   /// Fleet-wide *delivered* GPU utilization over [t0, t1], computed exactly
   /// from the allocation ledger: each allocation contributes its delivered
@@ -90,8 +102,12 @@ class Platform {
 
   sim::Environment& env_;
   CampusConfig config_;
+  sim::LaneId lane_ = sim::kMainLane;
   std::unique_ptr<net::SimNetwork> network_;
   db::ShardedDatabase database_;
+  /// Per-shard commit threads, attached to the database in kParallel when
+  /// write-behind is on (flush_ledger group commits fork-join across them).
+  std::unique_ptr<db::ShardExecutor> shard_executor_;
   container::ImageRegistry registry_;
   storage::CheckpointStore store_;
   monitor::MetricRegistry metrics_;

@@ -3,11 +3,12 @@
 namespace gpunion::monitor {
 
 Scraper::Scraper(sim::Environment& env, const MetricRegistry& registry,
-                 db::Database& database, util::Duration interval)
+                 db::Database& database, util::Duration interval,
+                 sim::LaneId lane)
     : env_(env),
       registry_(registry),
       database_(database),
-      timer_(env, interval, [this] { scrape_once(); }) {}
+      timer_(env, interval, [this] { scrape_once(); }, lane) {}
 
 std::string Scraper::series_name(const std::string& family,
                                  const Labels& labels) {

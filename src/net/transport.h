@@ -5,7 +5,9 @@
 // while unit tests use LoopbackTransport (immediate delivery).
 #pragma once
 
+#include <cstdint>
 #include <functional>
+#include <utility>
 
 #include "net/message.h"
 #include "util/status.h"
@@ -22,6 +24,16 @@ class Transport {
   /// Attaches `handler` as the receiver for `id`.  Replaces any previous
   /// handler (a node re-joining after departure re-attaches).
   virtual void register_endpoint(const NodeId& id, MessageHandler handler) = 0;
+
+  /// Lane-aware registration: deliveries to `id` fire on the actor lane
+  /// `lane` (a sim::LaneId) so the endpoint's handler always runs on the
+  /// worker owning that actor.  Transports without an execution model
+  /// (loopback) ignore the lane and deliver synchronously.
+  virtual void register_endpoint(const NodeId& id, MessageHandler handler,
+                                 std::uint32_t lane) {
+    (void)lane;
+    register_endpoint(id, std::move(handler));
+  }
 
   /// Detaches the endpoint; in-flight messages to it are dropped.
   virtual void unregister_endpoint(const NodeId& id) = 0;

@@ -48,9 +48,10 @@ Coordinator::Coordinator(sim::Environment& env, net::Transport& transport,
       engine_(directory_, reliability_, config_.policy, config_.strategy),
       heartbeat_monitor_(env, directory_, config_.heartbeat_interval,
                          config_.heartbeat_miss_threshold,
-                         [this](const std::string& id) { on_node_lost(id); }),
+                         [this](const std::string& id) { on_node_lost(id); },
+                         config_.lane),
       heartbeat_flush_timer_(env, config_.heartbeat_interval,
-                             [this] { flush_heartbeat_db(); }),
+                             [this] { flush_heartbeat_db(); }, config_.lane),
       rng_(env.fork_rng("coordinator")) {}
 
 Coordinator::~Coordinator() = default;
@@ -59,7 +60,9 @@ void Coordinator::start() {
   assert(!started_ && "Coordinator::start called twice");
   started_ = true;
   transport_.register_endpoint(
-      config_.id, [this](net::Message&& msg) { handle_message(std::move(msg)); });
+      config_.id,
+      [this](net::Message&& msg) { handle_message(std::move(msg)); },
+      config_.lane);
   heartbeat_monitor_.start();
   if (config_.batch_heartbeat_writes) heartbeat_flush_timer_.start();
 }
@@ -95,7 +98,7 @@ util::Status Coordinator::submit(workload::JobSpec job,
     // by the federation layer and later resubmitted under the same id must
     // not be denied by its predecessor's patience window.
     const util::SimTime submitted = env_.now();
-    env_.schedule_after(config_.session_patience, [this, job_id, submitted] {
+    env_.schedule_after_on(config_.lane, config_.session_patience, [this, job_id, submitted] {
       session_timeout(job_id, submitted);
     });
   } else {
@@ -454,11 +457,14 @@ void Coordinator::handle_register(const agent::RegisterRequest& request) {
 void Coordinator::handle_heartbeat(const agent::Heartbeat& beat) {
   NodeInfo* node = directory_.find(beat.machine_id);
   if (node == nullptr) return;  // never registered; ignore
-  if (util::Sha256::hex_of(beat.auth_token) != node->token_hash) {
-    ++stats_.auth_failures;
-    GPUNION_WLOG("coordinator")
-        << "heartbeat with bad token from " << beat.machine_id;
-    return;
+  if (beat.auth_token != node->verified_token) {
+    if (util::Sha256::hex_of(beat.auth_token) != node->token_hash) {
+      ++stats_.auth_failures;
+      GPUNION_WLOG("coordinator")
+          << "heartbeat with bad token from " << beat.machine_id;
+      return;
+    }
+    node->verified_token = beat.auth_token;
   }
   ++stats_.heartbeats_processed;
   const bool was_unavailable = node->status == db::NodeStatus::kUnavailable;
@@ -792,7 +798,7 @@ void Coordinator::handle_job_killed_ack(const agent::JobKilledAck& ack) {
 void Coordinator::request_pass() {
   if (pass_scheduled_ || !started_) return;
   pass_scheduled_ = true;
-  env_.schedule_after(0.0, [this] {
+  env_.schedule_after_on(config_.lane, 0.0, [this] {
     pass_scheduled_ = false;
     schedule_pass();
   });
@@ -876,7 +882,7 @@ void Coordinator::dispatch_to(JobRecord& record, const NodeInfo& node,
                 agent::kControlBytes + 340);
 
   const std::string job_id = record.spec.id;
-  env_.schedule_after(config_.dispatch_timeout, [this, job_id, generation] {
+  env_.schedule_after_on(config_.lane, config_.dispatch_timeout, [this, job_id, generation] {
     dispatch_timeout(job_id, generation);
   });
 }
@@ -1005,7 +1011,7 @@ void Coordinator::interrupt_job(JobRecord& record, agent::DepartureKind cause,
     // Manual coordination: a human notices the failure and resubmits later.
     const std::string job_id = record.spec.id;
     record.phase = JobPhase::kPending;
-    env_.schedule_after(config_.manual_resubmit_delay, [this, job_id] {
+    env_.schedule_after_on(config_.lane, config_.manual_resubmit_delay, [this, job_id] {
       auto it = jobs_.find(job_id);
       if (it == jobs_.end() || it->second.phase != JobPhase::kPending) return;
       database_.enqueue_request(db::PendingRequest{

@@ -55,6 +55,9 @@ struct CoordinatorConfig {
   /// most every heartbeat_interval (the §5.2 DB-contention mitigation).
   /// Off = the legacy one-write-per-beat behaviour (bench baseline).
   bool batch_heartbeat_writes = true;
+  /// Actor lane the coordinator's decision loop runs on (timeouts, passes,
+  /// message deliveries).  The platform assigns its own lane here.
+  sim::LaneId lane = sim::kMainLane;
 };
 
 enum class JobPhase {

@@ -48,6 +48,12 @@ struct NodeInfo {
   std::uint64_t last_heartbeat_seq = 0;
   util::SimTime registered_at = 0;
   std::string token_hash;  // sha256 of the issued auth token
+  /// Last raw token that verified against token_hash.  Heartbeat auth is on
+  /// the coordinator actor's critical path; hashing every beat made it the
+  /// hottest instruction there.  Tokens only change on (re)registration, so
+  /// one string compare replaces the SHA-256 after the first verified beat
+  /// — byte-equal input implies the same digest, accept/reject is unchanged.
+  std::string verified_token;
 
   bool schedulable() const {
     return status == db::NodeStatus::kActive && accepting;

@@ -1,0 +1,83 @@
+// MPSC actor mailbox.
+//
+// The parallel execution core gives every actor (DB writer shard, region
+// gateway, provider agent) a mailbox that any thread may post to and exactly
+// one worker drains.  Posts are finely locked (one mutex per mailbox, held
+// only for a queue append / swap), and the drain side takes the whole batch
+// in one swap so a busy producer can never livelock the consumer.
+//
+// The sim event lanes use the same discipline through ShardedEventQueue;
+// this standalone mailbox is for actors that run on real (non-sim) threads,
+// e.g. the per-shard database commit threads in db::ShardExecutor.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace gpunion::sim {
+
+template <typename T>
+class Mailbox {
+ public:
+  /// Appends one message.  Callable from any thread.
+  void post(T message) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      pending_.push_back(std::move(message));
+      ++posted_;
+    }
+    cv_.notify_one();
+  }
+
+  /// Takes every pending message in one swap (FIFO order preserved).
+  /// Returns an empty vector when the mailbox is empty.
+  std::vector<T> drain() {
+    std::vector<T> out;
+    std::lock_guard<std::mutex> lock(mu_);
+    out.swap(pending_);
+    return out;
+  }
+
+  /// Blocks until at least one message is pending or `stop` was signalled;
+  /// then drains.  Returns empty only after stop().
+  std::vector<T> drain_blocking() {
+    std::vector<T> out;
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return !pending_.empty() || stopped_; });
+    out.swap(pending_);
+    return out;
+  }
+
+  /// Wakes every blocked drain_blocking() caller; subsequent calls return
+  /// immediately once the queue is empty.
+  void stop() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stopped_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  std::size_t pending() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return pending_.size();
+  }
+
+  /// Messages ever posted (monotone; drain does not reset it).
+  std::size_t posted() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return posted_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<T> pending_;
+  std::size_t posted_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace gpunion::sim

@@ -1,0 +1,84 @@
+// Sharded event queue for the parallel execution core.
+//
+// The single EventQueue heap becomes N independently locked shards plus one
+// "exclusive" shard.  Every actor lane maps onto exactly one shard (lane %
+// shards), so a shard is the mailbox of the worker thread that owns it:
+// pushes and cancels lock only that shard's mutex (finely locked MPSC), and
+// during a parallel window each shard is drained by its single owning
+// worker in (time, insertion-seq) order.
+//
+// Each shard reuses the legacy EventQueue verbatim — heap + O(1) tombstone
+// cancellation + compaction — so the deterministic execution mode (one
+// shard, every lane folded onto it) is the pre-refactor engine by
+// construction: the same (time, insertion order) global fire order the
+// invariant harnesses replay with GPUNION_INVARIANT_SEED.
+//
+// EventIds encode the owning shard in their top 16 bits so cancel() routes
+// without any global id map (no shared contention point).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+
+#include "sim/event_queue.h"
+#include "util/time.h"
+
+namespace gpunion::sim {
+
+class ShardedEventQueue {
+ public:
+  /// `shards` >= 1 ordinary shards, plus the internal exclusive shard.
+  explicit ShardedEventQueue(std::size_t shards);
+
+  ShardedEventQueue(const ShardedEventQueue&) = delete;
+  ShardedEventQueue& operator=(const ShardedEventQueue&) = delete;
+
+  std::size_t shard_count() const { return shards_.size(); }
+
+  /// Enqueues onto `shard`.  Thread-safe; locks only that shard.
+  EventId push(std::size_t shard, util::SimTime t, EventQueue::Callback fn);
+
+  /// Enqueues onto the exclusive shard (events that must run alone, with
+  /// every worker quiesced — cross-actor platform interventions).
+  EventId push_exclusive(util::SimTime t, EventQueue::Callback fn);
+
+  /// Cancels a pending event, routing by the shard encoded in the id.
+  bool cancel(EventId id);
+
+  // --- Aggregated introspection (locks each shard briefly) ------------------
+  bool empty() const;
+  std::size_t live_size() const;
+  std::size_t tombstones() const;
+  std::uint64_t compactions() const;
+  /// Earliest pending time across every shard, exclusive included.
+  util::SimTime next_time() const;
+
+  // --- Executor-facing, per-shard -------------------------------------------
+  util::SimTime shard_next_time(std::size_t shard) const;
+  util::SimTime exclusive_next_time() const;
+  /// Pops the shard's earliest event iff its time < `bound`.  The owning
+  /// worker calls this in a loop to drain its window slice.
+  bool shard_try_pop(std::size_t shard, util::SimTime bound,
+                     EventQueue::Event* out);
+  bool exclusive_try_pop(util::SimTime bound, EventQueue::Event* out);
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    EventQueue q;
+  };
+
+  static EventId encode(std::size_t shard_plus_one, EventId local) {
+    return (static_cast<EventId>(shard_plus_one) << 48) | local;
+  }
+
+  Shard& shard_for_id(EventId id, EventId* local);
+
+  // deque: Shard holds a mutex (immovable) and the set is fixed at
+  // construction; deque never relocates elements.
+  std::deque<Shard> shards_;
+  Shard exclusive_;
+};
+
+}  // namespace gpunion::sim

@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <set>
 #include <string>
 #include <unordered_map>
@@ -33,6 +34,10 @@ struct CheckpointStoreConfig {
 
 class CheckpointStore {
  public:
+  // Thread-safe: agents on different worker threads write checkpoints
+  // concurrently in the parallel execution mode.  References returned by
+  // chain()/node() stay valid across other jobs' writes (node-based maps),
+  // but reading a chain while its own job writes needs external ordering.
   explicit CheckpointStore(CheckpointStoreConfig config = {});
 
   /// Registers a storage destination.  Id must be unique.
@@ -75,6 +80,7 @@ class CheckpointStore {
   void release_bytes(const Checkpoint& checkpoint);
 
   CheckpointStoreConfig config_;
+  mutable std::mutex mu_;
   std::map<std::string, StorageNode> nodes_;  // ordered for determinism
   /// Fallback-placement order: least used-fraction first, id tiebreak.
   /// Maintained on every reserve/release so pick_node probes from the
@@ -82,7 +88,9 @@ class CheckpointStore {
   std::set<std::pair<double, std::string>> by_utilization_;
   std::unordered_map<std::string, double> indexed_fraction_;
   std::unordered_map<std::string, std::vector<std::string>> preferences_;
-  std::unordered_map<std::string, std::vector<Checkpoint>> chains_;
+  // std::map (not unordered_map): chain() hands out references that must
+  // survive other jobs' inserts — node-based, no rehash relocation.
+  std::map<std::string, std::vector<Checkpoint>> chains_;
 };
 
 }  // namespace gpunion::storage

@@ -40,7 +40,9 @@ void Logger::set_sink(Sink sink) {
 }
 
 void Logger::write(LogLevel level, const std::string& message) {
-  if (enabled(level)) sink_(level, message);
+  if (!enabled(level)) return;
+  std::lock_guard<std::mutex> lock(write_mu_);
+  sink_(level, message);
 }
 
 }  // namespace gpunion::util

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <functional>
+#include <mutex>
 #include <sstream>
 #include <string>
 
@@ -29,12 +30,15 @@ class Logger {
   void set_sink(Sink sink);
 
   bool enabled(LogLevel level) const { return level >= level_; }
+  /// Thread-safe: worker threads in the parallel execution mode log
+  /// concurrently; lines are serialized through an internal mutex.
   void write(LogLevel level, const std::string& message);
 
  private:
   Logger();
   LogLevel level_ = LogLevel::kWarn;
   Sink sink_;
+  std::mutex write_mu_;
 };
 
 /// Stream-style log statement builder; flushes on destruction.

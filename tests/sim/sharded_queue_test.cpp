@@ -1,0 +1,126 @@
+#include "sim/sharded_event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <vector>
+
+#include "sim/event_queue.h"
+#include "util/time.h"
+
+namespace gpunion::sim {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TEST(ShardedEventQueueTest, RoutesPushesToTheirShard) {
+  ShardedEventQueue q(4);
+  int fired = -1;
+  q.push(2, 1.0, [&] { fired = 2; });
+  EXPECT_EQ(q.live_size(), 1u);
+  EXPECT_DOUBLE_EQ(q.shard_next_time(2), 1.0);
+  EXPECT_DOUBLE_EQ(q.shard_next_time(0), util::kNever);
+  EXPECT_DOUBLE_EQ(q.next_time(), 1.0);
+
+  EventQueue::Event event;
+  EXPECT_FALSE(q.shard_try_pop(0, kInf, &event));
+  ASSERT_TRUE(q.shard_try_pop(2, kInf, &event));
+  event.fn();
+  EXPECT_EQ(fired, 2);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(ShardedEventQueueTest, PopRespectsWindowBoundStrictly) {
+  ShardedEventQueue q(2);
+  q.push(0, 1.0, [] {});
+  q.push(0, 2.0, [] {});
+  EventQueue::Event event;
+  // bound is exclusive: an event AT the bound must not pop.
+  EXPECT_FALSE(q.shard_try_pop(0, 1.0, &event));
+  ASSERT_TRUE(q.shard_try_pop(0, 1.5, &event));
+  EXPECT_DOUBLE_EQ(event.time, 1.0);
+  EXPECT_FALSE(q.shard_try_pop(0, 1.5, &event));
+}
+
+TEST(ShardedEventQueueTest, CancelAcrossShards) {
+  ShardedEventQueue q(4);
+  bool fired = false;
+  const EventId keep = q.push(1, 1.0, [&] { fired = true; });
+  const EventId gone = q.push(3, 2.0, [&] { fired = true; });
+  EXPECT_NE(keep, gone);
+  EXPECT_TRUE(q.cancel(gone));
+  EXPECT_FALSE(q.cancel(gone));  // second cancel is a no-op
+  EXPECT_FALSE(q.cancel(kInvalidEvent));
+  EXPECT_EQ(q.live_size(), 1u);
+  EventQueue::Event event;
+  ASSERT_TRUE(q.shard_try_pop(1, kInf, &event));
+  EXPECT_DOUBLE_EQ(event.time, 1.0);
+}
+
+TEST(ShardedEventQueueTest, ExclusiveLaneIsSeparate) {
+  ShardedEventQueue q(2);
+  q.push(0, 5.0, [] {});
+  bool fired = false;
+  const EventId id = q.push_exclusive(1.0, [&] { fired = true; });
+  EXPECT_DOUBLE_EQ(q.exclusive_next_time(), 1.0);
+  EXPECT_DOUBLE_EQ(q.next_time(), 1.0);  // global min includes exclusive
+  EventQueue::Event event;
+  ASSERT_TRUE(q.exclusive_try_pop(kInf, &event));
+  event.fn();
+  EXPECT_TRUE(fired);
+  EXPECT_DOUBLE_EQ(q.exclusive_next_time(), util::kNever);
+  // Exclusive ids are cancellable too.
+  const EventId id2 = q.push_exclusive(2.0, [] {});
+  EXPECT_NE(id, id2);
+  EXPECT_TRUE(q.cancel(id2));
+  EXPECT_FALSE(q.exclusive_try_pop(kInf, &event));
+}
+
+TEST(ShardedEventQueueTest, IdsEncodeShardAndStayUnique) {
+  ShardedEventQueue q(8);
+  std::vector<EventId> ids;
+  for (std::size_t shard = 0; shard < 8; ++shard) {
+    for (int i = 0; i < 3; ++i) {
+      ids.push_back(q.push(shard, 1.0, [] {}));
+    }
+  }
+  ids.push_back(q.push_exclusive(1.0, [] {}));
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    for (std::size_t j = i + 1; j < ids.size(); ++j) {
+      EXPECT_NE(ids[i], ids[j]);
+    }
+    EXPECT_NE(ids[i], kInvalidEvent);
+  }
+}
+
+TEST(ShardedEventQueueTest, SingleShardMatchesRawEventQueueOrder) {
+  // kDeterministic folds every lane onto one shard — the pop order there
+  // must be the raw EventQueue's (time, insertion) order exactly.
+  EventQueue raw;
+  ShardedEventQueue sharded(1);
+  std::vector<int> raw_order, sharded_order;
+  const double times[] = {3.0, 1.0, 1.0, 2.0, 1.0, 3.0, 0.5};
+  for (int i = 0; i < 7; ++i) {
+    raw.push(times[i], [&raw_order, i] { raw_order.push_back(i); });
+    sharded.push(0, times[i], [&sharded_order, i] { sharded_order.push_back(i); });
+  }
+  while (!raw.empty()) raw.pop().fn();
+  EventQueue::Event event;
+  while (sharded.shard_try_pop(0, kInf, &event)) event.fn();
+  EXPECT_EQ(sharded_order, raw_order);
+}
+
+TEST(ShardedEventQueueTest, StatsAggregateAcrossShards) {
+  ShardedEventQueue q(4);
+  std::vector<EventId> ids;
+  for (int i = 0; i < 12; ++i) {
+    ids.push_back(q.push(static_cast<std::size_t>(i % 4), 1.0 + i, [] {}));
+  }
+  for (int i = 0; i < 6; ++i) EXPECT_TRUE(q.cancel(ids[i]));
+  EXPECT_EQ(q.live_size(), 6u);
+  EXPECT_EQ(q.tombstones(), 6u);
+  EXPECT_FALSE(q.empty());
+}
+
+}  // namespace
+}  // namespace gpunion::sim
