@@ -221,6 +221,64 @@ std::vector<std::string> SystemDatabase::series_names() const {
   return out;
 }
 
+void SystemDatabase::put_job_state(JobStateRecord record) {
+  job_states_[record.job_id] = std::move(record);
+}
+
+bool SystemDatabase::erase_job_state(const std::string& job_id) {
+  return job_states_.erase(job_id) > 0;
+}
+
+const JobStateRecord* SystemDatabase::job_state(
+    const std::string& job_id) const {
+  auto it = job_states_.find(job_id);
+  return it == job_states_.end() ? nullptr : &it->second;
+}
+
+std::vector<JobStateRecord> SystemDatabase::job_states() const {
+  std::vector<JobStateRecord> out;
+  out.reserve(job_states_.size());
+  for (const auto& [id, record] : job_states_) out.push_back(record);
+  return out;
+}
+
+void SystemDatabase::put_journal(const std::string& key,
+                                 std::vector<std::int64_t> values) {
+  journal_[key] = std::move(values);
+}
+
+const std::vector<std::int64_t>* SystemDatabase::journal(
+    const std::string& key) const {
+  auto it = journal_.find(key);
+  return it == journal_.end() ? nullptr : &it->second;
+}
+
+void SystemDatabase::put_forward_state(ForwardStateRecord record) {
+  forward_states_[record.job_id] = std::move(record);
+}
+
+bool SystemDatabase::erase_forward_state(const std::string& job_id) {
+  return forward_states_.erase(job_id) > 0;
+}
+
+std::vector<ForwardStateRecord> SystemDatabase::forward_states() const {
+  std::vector<ForwardStateRecord> out;
+  out.reserve(forward_states_.size());
+  for (const auto& [id, record] : forward_states_) out.push_back(record);
+  return out;
+}
+
+void SystemDatabase::put_handoff(HandoffRecord record) {
+  handoffs_[record.job_id] = std::move(record);
+}
+
+std::vector<HandoffRecord> SystemDatabase::handoffs() const {
+  std::vector<HandoffRecord> out;
+  out.reserve(handoffs_.size());
+  for (const auto& [id, record] : handoffs_) out.push_back(record);
+  return out;
+}
+
 double SystemDatabase::estimated_latency(double ops_per_sec) const {
   const double mu = service_rate();
   if (ops_per_sec >= mu) return util::kNever;  // saturated

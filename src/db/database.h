@@ -19,6 +19,7 @@
 
 #include "util/status.h"
 #include "util/time.h"
+#include "workload/job.h"
 
 namespace gpunion::db {
 
@@ -35,6 +36,15 @@ struct NodeRecord {
   util::SimTime registered_at = 0;
   util::SimTime last_heartbeat = 0;
   std::string auth_token_hash;  // sha256 of the issued token
+  // Full hardware profile, so a restarted coordinator can rebuild its
+  // scheduling directory from the registry alone (crash recovery) instead
+  // of waiting for every node to re-register.
+  std::string owner_group;
+  double gpu_memory_gb = 0;
+  double compute_capability = 0;
+  double gpu_tflops = 0;
+  int slots_per_gpu = 1;
+  double share_memory_cap_gb = 0;
 };
 
 enum class AllocationOutcome {
@@ -88,6 +98,70 @@ struct JobProvenance {
   /// Hop chain "origin>hop>...>executing" for chained re-forwards; a
   /// direct forward reads "origin>executing".  Empty on legacy rows.
   std::string route;
+};
+
+/// Durable mirror of one coordinator JobRecord — everything a restarted
+/// coordinator needs to reconstruct live jobs, per-node indexes and
+/// re-dispatch decisions that were granted but never delivered.  Phases and
+/// causes are stored as ints so db/ stays independent of sched/.
+struct JobStateRecord {
+  std::string job_id;
+  workload::JobSpec spec;
+  int phase = 0;  // sched::JobPhase
+  std::string node;
+  std::string preferred_node;
+  std::string displaced_from;
+  bool migrate_back_pending = false;
+  std::string migrate_back_target;
+  double checkpointed_progress = 0;
+  util::SimTime last_checkpoint_at = -1;
+  int interruptions = 0;
+  int migrations = 0;
+  int migrate_backs = 0;
+  util::SimTime submitted_at = 0;
+  util::SimTime first_dispatched_at = -1;
+  util::SimTime completed_at = -1;
+  double lost_work_seconds = 0;
+  int last_interruption_cause = 0;  // workload::InterruptionKind
+  std::uint64_t open_allocation = 0;
+  std::uint64_t dispatch_generation = 0;
+  bool reclaim_requested = false;
+  int dispatch_rejects = 0;
+  bool awaiting_dispatch_settle = false;
+  bool fractional_slot = false;
+  util::SimTime running_since = -1;
+  double segment_start_progress = 0;
+  double node_speed = 1.0;
+};
+
+/// Durable mirror of one gateway in-flight outbound forward.  Persisted
+/// only once the job is WITHDRAWN from the local coordinator — from that
+/// moment this row is the only place the job exists, so a gateway crash
+/// without it would lose the job outright.
+struct ForwardStateRecord {
+  std::string job_id;
+  workload::JobSpec spec;
+  double start_progress = 0;
+  std::uint64_t checkpoint_bytes = 0;
+  int state = 0;  // federation::OutboundForward::State
+  std::uint64_t handoff_id = 0;
+  int transfer_attempts = 0;
+  int attempts = 0;
+  std::string origin_region;
+  std::string origin_gateway;
+  std::vector<std::string> chain;
+  std::string awaiting_gateway;
+  util::SimTime recorded_at = 0;
+};
+
+/// Durable receive-side hand-off dedup row: (sender gateway, handoff id)
+/// per admitted job.  Survives a gateway restart so an origin's
+/// at-least-once transfer retry is re-acked, never re-admitted.
+struct HandoffRecord {
+  std::string job_id;
+  std::string from_gateway;
+  std::uint64_t handoff_id = 0;
+  util::SimTime recorded_at = 0;
 };
 
 struct DatabaseConfig {
@@ -153,6 +227,33 @@ class Database {
   virtual const std::deque<MetricPoint>& series(
       const std::string& name) const = 0;
   virtual std::vector<std::string> series_names() const = 0;
+
+  // --- Durable control-plane state (crash recovery) ----------------------------
+  // Written by the Coordinator / RegionGateway so a crashed control plane
+  // can rebuild itself from the database.  Each row rides the group commit
+  // of the decision that produced it (the decision already paid its round
+  // trip), so none of these charge ops — the PR 4 decision-path accounting
+  // and every A/B bench stay comparable by construction.
+  virtual void put_job_state(JobStateRecord record) = 0;
+  virtual bool erase_job_state(const std::string& job_id) = 0;
+  virtual const JobStateRecord* job_state(const std::string& job_id) const = 0;
+  /// All rows, job-id order (deterministic rebuild).
+  virtual std::vector<JobStateRecord> job_states() const = 0;
+
+  /// Small durable counter blobs (stats journals), keyed by owner.
+  virtual void put_journal(const std::string& key,
+                           std::vector<std::int64_t> values) = 0;
+  virtual const std::vector<std::int64_t>* journal(
+      const std::string& key) const = 0;
+
+  virtual void put_forward_state(ForwardStateRecord record) = 0;
+  virtual bool erase_forward_state(const std::string& job_id) = 0;
+  /// All rows, job-id order.
+  virtual std::vector<ForwardStateRecord> forward_states() const = 0;
+
+  virtual void put_handoff(HandoffRecord record) = 0;
+  /// All rows, job-id order.
+  virtual std::vector<HandoffRecord> handoffs() const = 0;
 
   // --- Contention model --------------------------------------------------------
   virtual std::uint64_t op_count() const = 0;
@@ -228,6 +329,21 @@ class SystemDatabase : public Database {
       const override;
   std::vector<std::string> series_names() const override;
 
+  // --- Durable control-plane state (uncharged; see Database) -------------------
+  void put_job_state(JobStateRecord record) override;
+  bool erase_job_state(const std::string& job_id) override;
+  const JobStateRecord* job_state(const std::string& job_id) const override;
+  std::vector<JobStateRecord> job_states() const override;
+  void put_journal(const std::string& key,
+                   std::vector<std::int64_t> values) override;
+  const std::vector<std::int64_t>* journal(
+      const std::string& key) const override;
+  void put_forward_state(ForwardStateRecord record) override;
+  bool erase_forward_state(const std::string& job_id) override;
+  std::vector<ForwardStateRecord> forward_states() const override;
+  void put_handoff(HandoffRecord record) override;
+  std::vector<HandoffRecord> handoffs() const override;
+
   // --- Contention model --------------------------------------------------------
   /// Every public mutation/query above counts as one operation.
   std::uint64_t op_count() const override { return ops_; }
@@ -250,6 +366,11 @@ class SystemDatabase : public Database {
   std::unordered_map<std::string, std::deque<MetricPoint>> metrics_;
   std::vector<JobProvenance> provenance_log_;
   std::unordered_map<std::string, std::size_t> provenance_index_;  // latest row
+  // Durable control-plane state (ordered: deterministic rebuild scans).
+  std::map<std::string, JobStateRecord> job_states_;
+  std::map<std::string, std::vector<std::int64_t>> journal_;
+  std::map<std::string, ForwardStateRecord> forward_states_;
+  std::map<std::string, HandoffRecord> handoffs_;
   std::uint64_t next_allocation_id_ = 1;
   mutable std::uint64_t ops_ = 0;
 };

@@ -4,12 +4,29 @@
 
 namespace gpunion::db {
 
+namespace {
+
+WalRecord make_wal(WalOp op, std::size_t shard, std::string key) {
+  WalRecord record;
+  record.op = op;
+  record.shard = shard;
+  record.key = std::move(key);
+  return record;
+}
+
+}  // namespace
+
 ShardedDatabase::ShardedDatabase(DbConfig config)
     : config_(config),
       shards_(static_cast<std::size_t>(std::max(1, config.shard_count))),
       ledger_log_(std::max<std::size_t>(1, config.flush_threshold)),
+      wal_(shards_.size()),
+      armed_commit_failures_(shards_.size(), false),
       queue_parts_(shards_.size()) {
   config_.shard_count = static_cast<int>(shards_.size());
+  if (config_.flush_interval_min > config_.flush_interval_max) {
+    config_.flush_interval_min = config_.flush_interval_max;
+  }
 }
 
 std::size_t ShardedDatabase::route(std::string_view key) const {
@@ -51,25 +68,189 @@ void ShardedDatabase::absorb(LedgerOpKind kind, std::size_t shard,
 }
 
 std::size_t ShardedDatabase::flush_ledger(FlushTrigger trigger) {
+  std::size_t committed = 0;
   if (executor_ == nullptr) {
-    return ledger_log_.flush(trigger,
-                             [this](std::size_t shard, std::size_t entries) {
-                               // One group commit per touched shard, however
-                               // many entries it absorbs.
-                               (void)entries;
-                               ++shards_[shard].ops;
-                             });
+    committed = ledger_log_.flush(
+        trigger, [this](std::size_t shard, std::size_t entries) {
+          // One group commit per touched shard, however many entries it
+          // absorbs.
+          (void)entries;
+          ++shards_[shard].ops;
+        });
+  } else {
+    // Fork-join: each touched shard's group commit runs on its own commit
+    // thread (shard state is thread-confined there), and the barrier makes
+    // every commit visible to the caller before flush_ledger returns.
+    committed = ledger_log_.flush(
+        trigger, [this](std::size_t shard, std::size_t entries) {
+          (void)entries;
+          executor_->run(shard, [this, shard] { ++shards_[shard].ops; });
+        });
+    executor_->barrier();
   }
-  // Fork-join: each touched shard's group commit runs on its own commit
-  // thread (shard state is thread-confined there), and the barrier makes
-  // every commit visible to the caller before flush_ledger returns.
-  const std::size_t committed = ledger_log_.flush(
-      trigger, [this](std::size_t shard, std::size_t entries) {
-        (void)entries;
-        executor_->run(shard, [this, shard] { ++shards_[shard].ops; });
-      });
-  executor_->barrier();
+  // Group commit advances each shard's durable image past its pending WAL
+  // records (caller thread, shard order: image containers are keyed, so
+  // per-shard application order cannot change the result).  Armed faults
+  // model a failed shard commit (records stay in the WAL for the next
+  // flush) or a crash mid-group-commit (stop early, no truncation — the
+  // torn state recovery has to heal).
+  const std::uint64_t upto = wal_.last_seq();
+  flush_interrupted_ = false;
+  std::size_t advanced = 0;
+  for (std::size_t shard = 0; shard < shards_.size(); ++shard) {
+    if (armed_flush_crash_ >= 0 &&
+        advanced >= static_cast<std::size_t>(armed_flush_crash_)) {
+      flush_interrupted_ = true;
+      break;
+    }
+    if (armed_commit_failures_[shard]) {
+      armed_commit_failures_[shard] = false;
+      ++commit_failures_;
+      continue;
+    }
+    advance_image(shard, upto);
+    ++advanced;
+  }
+  armed_flush_crash_ = -1;
+  if (!flush_interrupted_) wal_.truncate_applied();
   return committed;
+}
+
+util::Duration ShardedDatabase::recommended_flush_interval() const {
+  if (!config_.adaptive_flush) return config_.flush_interval;
+  const std::size_t depth = std::max(ledger_log_.pending(), wal_.depth());
+  // Contention knee: half the threshold.  Past it the next absorbs are
+  // about to force a threshold flush anyway — run at the floor so group
+  // commits stay small; idle logs stretch to the ceiling.
+  const double knee =
+      0.5 * static_cast<double>(std::max<std::size_t>(1, config_.flush_threshold));
+  if (depth == 0) return config_.flush_interval_max;
+  const double frac =
+      std::min(1.0, static_cast<double>(depth) / knee);
+  return config_.flush_interval_max -
+         frac * (config_.flush_interval_max - config_.flush_interval_min);
+}
+
+void ShardedDatabase::wal_append(WalRecord record, bool deferred) {
+  const std::size_t shard = record.shard;
+  const std::uint64_t seq = wal_.append(std::move(record));
+  if (deferred && config_.write_behind) return;  // durable at next flush
+  advance_image(shard, seq);
+  wal_.truncate_applied();
+}
+
+void ShardedDatabase::advance_image(std::size_t shard,
+                                    std::uint64_t upto_seq) {
+  for (const WalRecord& record : wal_.records()) {
+    if (record.seq > upto_seq) break;
+    if (record.shard != shard || record.seq <= wal_.applied_seq(shard)) {
+      continue;
+    }
+    apply_to_image(image_, record, config_.history_limit);
+  }
+  wal_.mark_applied(shard, upto_seq);
+}
+
+void ShardedDatabase::arm_commit_failure(std::size_t shard) {
+  if (shard < armed_commit_failures_.size()) {
+    armed_commit_failures_[shard] = true;
+  }
+}
+
+void ShardedDatabase::arm_flush_crash(std::size_t shards_before_crash) {
+  armed_flush_crash_ = static_cast<int>(shards_before_crash);
+}
+
+RecoveryReport ShardedDatabase::crash_and_recover() {
+  RecoveryReport report;
+  report.wal_depth_at_crash = wal_.depth();
+  // A restarted process sees only durable state: the shard images plus the
+  // WAL tail.  Replay ahead-of-shard records in global seq order; replay
+  // is idempotent because records a shard already committed sit at/below
+  // its applied watermark and are skipped.
+  for (const WalRecord& record : wal_.records()) {
+    if (record.seq <= wal_.applied_seq(record.shard)) {
+      ++report.skipped_applied;
+      continue;
+    }
+    apply_to_image(image_, record, config_.history_limit);
+    ++report.replayed;
+  }
+  // The replayed image is the recovery checkpoint: every shard is now
+  // current, so the whole log truncates.
+  const std::uint64_t last = wal_.last_seq();
+  for (std::size_t shard = 0; shard < shards_.size(); ++shard) {
+    wal_.mark_applied(shard, last);
+  }
+  wal_.truncate_applied();
+  wal_.note_recovery(report.replayed);
+  // Disarm any pending faults: they belonged to the crashed incarnation.
+  armed_commit_failures_.assign(shards_.size(), false);
+  armed_flush_crash_ = -1;
+  flush_interrupted_ = false;
+  rebuild_live_tables();
+  report.nodes = nodes_.size();
+  report.allocations = ledger_.size();
+  report.queue_rows = queued_rows_;
+  report.job_states = image_.job_states.size();
+  report.forward_states = image_.forwards.size();
+  report.handoffs = image_.handoffs.size();
+  return report;
+}
+
+void ShardedDatabase::rebuild_live_tables() {
+  // Live tables are rebuilt from the image alone — nothing the WAL did not
+  // make durable survives.  Op counters, local/stolen pop stats and the
+  // WriteBehindLedger's pending COST entries are accounting, not state:
+  // they persist so charging stays continuous across the crash (the
+  // deferred group commits are still paid at the next flush).
+  nodes_ = image_.nodes;
+  ledger_.clear();
+  ledger_index_.clear();
+  for (const auto& [id, record] : image_.allocations) {
+    ledger_index_[id] = ledger_.size();
+    ledger_.push_back(record);  // id order == open order
+  }
+  next_allocation_id_ = image_.next_allocation_id;
+  queue_parts_.assign(shards_.size(), QueuePartition{});
+  queued_rows_ = 0;
+  for (const auto& [priority, bucket] : image_.queue) {
+    for (const auto& [seq, request] : bucket) {
+      // Seq order within a priority reproduces each partition's deque
+      // order (front pushes carry negative stamps and sort first).
+      queue_parts_[shard_for_job(request.job_id)]
+          .by_priority[priority]
+          .push_back(QueueItem{request, seq});
+      ++queued_rows_;
+    }
+  }
+  queue_back_seq_ = image_.queue_back_seq;
+  queue_front_seq_ = image_.queue_front_seq;
+  provenance_log_.clear();
+  provenance_index_.clear();
+  for (const auto& [seq, row] : image_.provenance) {
+    provenance_index_[row.job_id] = provenance_log_.size();
+    provenance_log_.push_back(row);  // WAL-seq order == append order
+  }
+  metrics_.clear();
+  for (const auto& [name, points] : image_.metrics) metrics_[name] = points;
+  // Row-ownership audit counters, recomputed from the rebuilt tables (the
+  // same net counts the per-mutation ++/-- maintained).
+  for (Shard& shard : shards_) shard.rows = 0;
+  for (const auto& [id, record] : nodes_) {
+    ++shards_[shard_for_node(id)].rows;
+  }
+  for (const AllocationRecord& record : ledger_) {
+    ++shards_[shard_for_node(record.machine_id)].rows;
+  }
+  for (std::size_t shard = 0; shard < queue_parts_.size(); ++shard) {
+    for (const auto& [priority, fifo] : queue_parts_[shard].by_priority) {
+      shards_[shard].rows += fifo.size();
+    }
+  }
+  for (const JobProvenance& row : provenance_log_) {
+    ++shards_[shard_for_job(row.job_id)].rows;
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -83,10 +264,13 @@ util::Status ShardedDatabase::upsert_node(NodeRecord record) {
   if (record.machine_id.empty()) {
     return util::invalid_argument_error("node record requires a machine id");
   }
+  WalRecord wal = make_wal(WalOp::kUpsertNode, shard, record.machine_id);
+  wal.node = record;
   auto [it, inserted] =
       nodes_.insert_or_assign(record.machine_id, std::move(record));
   (void)it;
   if (inserted) ++shards_[shard].rows;
+  wal_append(std::move(wal), /*deferred=*/false);
   return util::Status();
 }
 
@@ -102,23 +286,31 @@ util::StatusOr<NodeRecord> ShardedDatabase::node(
 
 util::Status ShardedDatabase::set_node_status(const std::string& machine_id,
                                               NodeStatus s) {
-  charge(shard_for_node(machine_id), /*decision_path=*/false);
+  const std::size_t shard = shard_for_node(machine_id);
+  charge(shard, /*decision_path=*/false);
   auto it = nodes_.find(machine_id);
   if (it == nodes_.end()) {
     return util::not_found_error("node " + machine_id + " not registered");
   }
   it->second.status = s;
+  WalRecord wal = make_wal(WalOp::kSetNodeStatus, shard, machine_id);
+  wal.status = s;
+  wal_append(std::move(wal), /*deferred=*/false);
   return util::Status();
 }
 
 util::Status ShardedDatabase::touch_heartbeat(const std::string& machine_id,
                                               util::SimTime at) {
-  charge(shard_for_node(machine_id), /*decision_path=*/false);
+  const std::size_t shard = shard_for_node(machine_id);
+  charge(shard, /*decision_path=*/false);
   auto it = nodes_.find(machine_id);
   if (it == nodes_.end()) {
     return util::not_found_error("node " + machine_id + " not registered");
   }
   it->second.last_heartbeat = at;
+  WalRecord wal = make_wal(WalOp::kTouchHeartbeat, shard, machine_id);
+  wal.at = at;
+  wal_append(std::move(wal), /*deferred=*/false);
   return util::Status();
 }
 
@@ -131,17 +323,24 @@ std::size_t ShardedDatabase::touch_heartbeats(
     charge(rotate(), /*decision_path=*/false);
     return 0;
   }
-  std::vector<bool> touched(shards_.size(), false);
+  // Rows grouped per shard: one batched write AND one WAL record per
+  // touched shard.
+  std::vector<std::vector<std::pair<std::string, util::SimTime>>> by_shard(
+      shards_.size());
   std::size_t applied = 0;
   for (const auto& [machine_id, at] : batch) {
-    touched[shard_for_node(machine_id)] = true;
+    by_shard[shard_for_node(machine_id)].emplace_back(machine_id, at);
     auto it = nodes_.find(machine_id);
     if (it == nodes_.end()) continue;
     it->second.last_heartbeat = std::max(it->second.last_heartbeat, at);
     ++applied;
   }
-  for (std::size_t shard = 0; shard < touched.size(); ++shard) {
-    if (touched[shard]) charge(shard, /*decision_path=*/false);
+  for (std::size_t shard = 0; shard < by_shard.size(); ++shard) {
+    if (by_shard[shard].empty()) continue;
+    charge(shard, /*decision_path=*/false);
+    WalRecord wal = make_wal(WalOp::kTouchHeartbeatBatch, shard, {});
+    wal.batch_rows = std::move(by_shard[shard]);
+    wal_append(std::move(wal), /*deferred=*/false);
   }
   return applied;
 }
@@ -189,9 +388,12 @@ std::uint64_t ShardedDatabase::open_allocation(const std::string& job_id,
   record.interactive = interactive;
   record.started_at = at;
   const std::uint64_t id = record.allocation_id;
+  WalRecord wal = make_wal(WalOp::kOpenAllocation, shard, machine_id);
+  wal.allocation = record;
   ledger_index_[id] = ledger_.size();
   ledger_.push_back(std::move(record));
   ++shards_[shard].rows;
+  wal_append(std::move(wal), /*deferred=*/true);
   absorb(LedgerOpKind::kAllocationOpen, shard, machine_id, id, at);
   return id;
 }
@@ -211,8 +413,14 @@ util::Status ShardedDatabase::close_allocation(std::uint64_t allocation_id,
   }
   record.outcome = outcome;
   record.ended_at = at;
-  absorb(LedgerOpKind::kAllocationClose, shard_for_node(record.machine_id),
-         record.machine_id, allocation_id, at);
+  const std::size_t shard = shard_for_node(record.machine_id);
+  WalRecord wal = make_wal(WalOp::kCloseAllocation, shard, record.machine_id);
+  wal.allocation_id = allocation_id;
+  wal.outcome = outcome;
+  wal.at = at;
+  wal_append(std::move(wal), /*deferred=*/true);
+  absorb(LedgerOpKind::kAllocationClose, shard, record.machine_id,
+         allocation_id, at);
   return util::Status();
 }
 
@@ -237,22 +445,32 @@ void ShardedDatabase::enqueue_request(PendingRequest request) {
   const std::size_t shard = shard_for_job(request.job_id);
   ++shards_[shard].rows;
   ++queued_rows_;
+  const std::int64_t seq = ++queue_back_seq_;
+  WalRecord wal = make_wal(WalOp::kEnqueue, shard, request.job_id);
+  wal.request = request;
+  wal.queue_seq = seq;
+  wal_append(std::move(wal), /*deferred=*/true);
   absorb(LedgerOpKind::kEnqueue, shard, request.job_id, 0,
          request.submitted_at);
   const int priority = request.priority;
   queue_parts_[shard].by_priority[priority].push_back(
-      QueueItem{std::move(request), ++queue_back_seq_});
+      QueueItem{std::move(request), seq});
 }
 
 void ShardedDatabase::enqueue_request_front(PendingRequest request) {
   const std::size_t shard = shard_for_job(request.job_id);
   ++shards_[shard].rows;
   ++queued_rows_;
+  const std::int64_t seq = --queue_front_seq_;
+  WalRecord wal = make_wal(WalOp::kEnqueue, shard, request.job_id);
+  wal.request = request;
+  wal.queue_seq = seq;
+  wal_append(std::move(wal), /*deferred=*/true);
   absorb(LedgerOpKind::kEnqueue, shard, request.job_id, 0,
          request.submitted_at);
   const int priority = request.priority;
   queue_parts_[shard].by_priority[priority].push_front(
-      QueueItem{std::move(request), --queue_front_seq_});
+      QueueItem{std::move(request), seq});
 }
 
 std::optional<PendingRequest> ShardedDatabase::pop_request() {
@@ -295,6 +513,9 @@ std::optional<PendingRequest> ShardedDatabase::pop_request() {
   if (it->second.empty()) parts.erase(it);
   if (shards_[best_shard].rows > 0) --shards_[best_shard].rows;
   if (queued_rows_ > 0) --queued_rows_;
+  WalRecord wal = make_wal(WalOp::kPop, best_shard, request.job_id);
+  wal.priority = best_priority;
+  wal_append(std::move(wal), /*deferred=*/false);
   return request;
 }
 
@@ -315,6 +536,8 @@ bool ShardedDatabase::remove_request(const std::string& job_id) {
         if (fifo.empty()) parts.erase(it);
         if (shards_[shard].rows > 0) --shards_[shard].rows;
         if (queued_rows_ > 0) --queued_rows_;
+        wal_append(make_wal(WalOp::kRemoveRequest, shard, job_id),
+                   /*deferred=*/false);
         return true;
       }
     }
@@ -339,8 +562,11 @@ void ShardedDatabase::record_provenance(JobProvenance provenance) {
   ++shards_[shard].rows;
   const std::string job_id = provenance.job_id;
   const util::SimTime at = provenance.recorded_at;
+  WalRecord wal = make_wal(WalOp::kProvenance, shard, job_id);
+  wal.provenance = provenance;
   provenance_index_[provenance.job_id] = provenance_log_.size();
   provenance_log_.push_back(std::move(provenance));
+  wal_append(std::move(wal), /*deferred=*/true);
   absorb(LedgerOpKind::kProvenance, shard, job_id, 0, at);
 }
 
@@ -361,7 +587,12 @@ void ShardedDatabase::record_metric(const std::string& series,
   auto& points = metrics_[series];
   points.push_back(MetricPoint{at, value});
   while (points.size() > config_.history_limit) points.pop_front();
-  absorb(LedgerOpKind::kMetric, route(series), series, 0, at);
+  const std::size_t shard = route(series);
+  WalRecord wal = make_wal(WalOp::kMetric, shard, series);
+  wal.at = at;
+  wal.value = value;
+  wal_append(std::move(wal), /*deferred=*/true);
+  absorb(LedgerOpKind::kMetric, shard, series, 0, at);
 }
 
 const std::deque<MetricPoint>& ShardedDatabase::series(
@@ -377,6 +608,87 @@ std::vector<std::string> ShardedDatabase::series_names() const {
   out.reserve(metrics_.size());
   for (const auto& [name, points] : metrics_) out.push_back(name);
   std::sort(out.begin(), out.end());
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Durable control-plane state (uncharged; WAL'd and applied synchronously,
+// so reads come straight from the durable image)
+// ---------------------------------------------------------------------------
+
+void ShardedDatabase::put_job_state(JobStateRecord record) {
+  WalRecord wal =
+      make_wal(WalOp::kPutJobState, shard_for_job(record.job_id),
+               record.job_id);
+  wal.job_state = std::move(record);
+  wal_append(std::move(wal), /*deferred=*/false);
+}
+
+bool ShardedDatabase::erase_job_state(const std::string& job_id) {
+  if (image_.job_states.find(job_id) == image_.job_states.end()) return false;
+  wal_append(make_wal(WalOp::kEraseJobState, shard_for_job(job_id), job_id),
+             /*deferred=*/false);
+  return true;
+}
+
+const JobStateRecord* ShardedDatabase::job_state(
+    const std::string& job_id) const {
+  auto it = image_.job_states.find(job_id);
+  return it == image_.job_states.end() ? nullptr : &it->second;
+}
+
+std::vector<JobStateRecord> ShardedDatabase::job_states() const {
+  std::vector<JobStateRecord> out;
+  out.reserve(image_.job_states.size());
+  for (const auto& [id, record] : image_.job_states) out.push_back(record);
+  return out;
+}
+
+void ShardedDatabase::put_journal(const std::string& key,
+                                  std::vector<std::int64_t> values) {
+  WalRecord wal = make_wal(WalOp::kJournalPut, route(key), key);
+  wal.journal = std::move(values);
+  wal_append(std::move(wal), /*deferred=*/false);
+}
+
+const std::vector<std::int64_t>* ShardedDatabase::journal(
+    const std::string& key) const {
+  auto it = image_.journal.find(key);
+  return it == image_.journal.end() ? nullptr : &it->second;
+}
+
+void ShardedDatabase::put_forward_state(ForwardStateRecord record) {
+  WalRecord wal = make_wal(WalOp::kPutForward, shard_for_job(record.job_id),
+                           record.job_id);
+  wal.forward = std::move(record);
+  wal_append(std::move(wal), /*deferred=*/false);
+}
+
+bool ShardedDatabase::erase_forward_state(const std::string& job_id) {
+  if (image_.forwards.find(job_id) == image_.forwards.end()) return false;
+  wal_append(make_wal(WalOp::kEraseForward, shard_for_job(job_id), job_id),
+             /*deferred=*/false);
+  return true;
+}
+
+std::vector<ForwardStateRecord> ShardedDatabase::forward_states() const {
+  std::vector<ForwardStateRecord> out;
+  out.reserve(image_.forwards.size());
+  for (const auto& [id, record] : image_.forwards) out.push_back(record);
+  return out;
+}
+
+void ShardedDatabase::put_handoff(HandoffRecord record) {
+  WalRecord wal = make_wal(WalOp::kPutHandoff, shard_for_job(record.job_id),
+                           record.job_id);
+  wal.handoff = std::move(record);
+  wal_append(std::move(wal), /*deferred=*/false);
+}
+
+std::vector<HandoffRecord> ShardedDatabase::handoffs() const {
+  std::vector<HandoffRecord> out;
+  out.reserve(image_.handoffs.size());
+  for (const auto& [id, record] : image_.handoffs) out.push_back(record);
   return out;
 }
 

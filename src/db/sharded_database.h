@@ -45,6 +45,7 @@
 #include <vector>
 
 #include "db/database.h"
+#include "db/ledger_wal.h"
 #include "db/shard_executor.h"
 #include "db/write_behind_ledger.h"
 #include "util/status.h"
@@ -64,10 +65,30 @@ struct DbConfig {
   util::Duration flush_interval = 2.0;
   /// Pending ledger entries that force an immediate threshold flush.
   std::size_t flush_threshold = 256;
+  /// Contention-aware adaptive flush: the owner's timer asks
+  /// recommended_flush_interval() after each flush and re-paces itself —
+  /// shorter as the pending ledger/WAL fills toward the threshold, longer
+  /// when idle.  Off by default: the fixed flush_interval stays in force.
+  bool adaptive_flush = false;
+  util::Duration flush_interval_min = 0.5;
+  util::Duration flush_interval_max = 8.0;
   /// Mean service time of one op on ONE writer shard, seconds.
   double op_service_time = 0.0008;
   /// Ring-buffer length per monitoring series.
   std::size_t history_limit = 4096;
+};
+
+/// What crash_and_recover() reconstructed (observability + bench fodder).
+struct RecoveryReport {
+  std::size_t wal_depth_at_crash = 0;  // durable log records found
+  std::size_t replayed = 0;            // applied ahead of their shard image
+  std::size_t skipped_applied = 0;     // idempotently skipped (<= watermark)
+  std::size_t nodes = 0;
+  std::size_t allocations = 0;
+  std::size_t queue_rows = 0;
+  std::size_t job_states = 0;
+  std::size_t forward_states = 0;
+  std::size_t handoffs = 0;
 };
 
 class ShardedDatabase : public Database {
@@ -121,6 +142,23 @@ class ShardedDatabase : public Database {
       const override;
   std::vector<std::string> series_names() const override;
 
+  // --- Durable control-plane state (uncharged; see Database) -------------------
+  // Reads are served straight from the durable image: these tables are
+  // WAL'd and applied synchronously, so image == live for them always.
+  void put_job_state(JobStateRecord record) override;
+  bool erase_job_state(const std::string& job_id) override;
+  const JobStateRecord* job_state(const std::string& job_id) const override;
+  std::vector<JobStateRecord> job_states() const override;
+  void put_journal(const std::string& key,
+                   std::vector<std::int64_t> values) override;
+  const std::vector<std::int64_t>* journal(
+      const std::string& key) const override;
+  void put_forward_state(ForwardStateRecord record) override;
+  bool erase_forward_state(const std::string& job_id) override;
+  std::vector<ForwardStateRecord> forward_states() const override;
+  void put_handoff(HandoffRecord record) override;
+  std::vector<HandoffRecord> handoffs() const override;
+
   /// Total charged ops summed across shards (sync + flush commits).
   std::uint64_t op_count() const override;
   /// M/M/1 sojourn time for `ops_per_sec` split evenly across the shards
@@ -168,6 +206,38 @@ class ShardedDatabase : public Database {
   /// executor must outlive the database or be detached with nullptr.
   void set_executor(ShardExecutor* executor) { executor_ = executor; }
   ShardExecutor* executor() const { return executor_; }
+
+  /// Contention-aware flush pacing (DbConfig::adaptive_flush): the period
+  /// the owner's flush timer should run at given the current pending
+  /// ledger/WAL depth — flush_interval_min when the log is within half the
+  /// threshold of forcing a flush, flush_interval_max when idle, linear in
+  /// between.  Returns the fixed flush_interval when adaptation is off.
+  util::Duration recommended_flush_interval() const;
+
+  // --- Write-ahead log & crash recovery ----------------------------------------
+  const LedgerWal& wal() const { return wal_; }
+  /// The durable image a restarted process would read back (tests/benches).
+  const TableImage& durable_image() const { return image_; }
+
+  /// Models a process crash and restart: discards every live table and
+  /// rebuilds them from durable state only — the per-shard images plus a
+  /// replay of WAL-ahead-of-shard records in global seq order (idempotent:
+  /// records at/below a shard's applied watermark are skipped).  Because
+  /// every mutation was WAL'd before its caller saw the ack, the rebuilt
+  /// tables equal the pre-crash live tables exactly; op counters and the
+  /// WriteBehindLedger's pending (cost) entries survive, so charging and
+  /// the A/B benches stay continuous across the crash.
+  RecoveryReport crash_and_recover();
+
+  /// One-shot fault arming (FaultInjector): the next flush skips SHARD's
+  /// image commit (records stay in the WAL; the retry is the next flush)...
+  void arm_commit_failure(std::size_t shard);
+  /// ...or stops mid-group-commit after K shard images advanced, without
+  /// truncating — the torn state a crash_and_recover() must then heal.
+  void arm_flush_crash(std::size_t shards_before_crash);
+  std::uint64_t commit_failures() const { return commit_failures_; }
+  /// True when the last flush stopped early under arm_flush_crash.
+  bool flush_interrupted() const { return flush_interrupted_; }
 
   // --- Pending-queue work stealing ---------------------------------------------
   /// Pops served by the rotating (charged) shard's own partition.
@@ -222,11 +292,27 @@ class ShardedDatabase : public Database {
   /// (threshold-flushing when the log fills), synchronous otherwise.
   void absorb(LedgerOpKind kind, std::size_t shard, std::string key,
               std::uint64_t allocation_id, util::SimTime at);
+  /// Appends one WAL record.  `deferred` mutations (write-behind absorbs)
+  /// leave their shard image to the next group commit; everything else is
+  /// durable at call time — the synchronous round trip IS the write — so
+  /// the shard's image advances (and the applied prefix truncates) here.
+  void wal_append(WalRecord record, bool deferred);
+  /// Applies SHARD's pending WAL records with seq <= upto to the image.
+  void advance_image(std::size_t shard, std::uint64_t upto_seq);
+  /// Replaces every live table with a materialization of image_.
+  void rebuild_live_tables();
 
   DbConfig config_;
   // Mutable like SystemDatabase::ops_: reads are charged ops too.
   mutable std::vector<Shard> shards_;
   WriteBehindLedger ledger_log_;
+  LedgerWal wal_;
+  TableImage image_;
+  std::vector<bool> armed_commit_failures_;
+  /// >= 0: next flush advances this many shard images, then stops.
+  int armed_flush_crash_ = -1;
+  std::uint64_t commit_failures_ = 0;
+  bool flush_interrupted_ = false;
 
   // Logical tables (merged view; each row owned by exactly one shard).
   std::map<std::string, NodeRecord> nodes_;  // ordered: deterministic scans

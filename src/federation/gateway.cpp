@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <iterator>
 #include <utility>
 
 #include "util/logging.h"
@@ -19,6 +20,25 @@ std::string join_chain(const std::vector<std::string>& chain) {
   }
   return out;
 }
+
+/// Inverse of join_chain, for rebuilding hosted-job chains from provenance.
+std::vector<std::string> split_chain(const std::string& route) {
+  std::vector<std::string> chain;
+  std::string hop;
+  for (char c : route) {
+    if (c == '>') {
+      if (!hop.empty()) chain.push_back(std::move(hop));
+      hop.clear();
+    } else {
+      hop += c;
+    }
+  }
+  if (!hop.empty()) chain.push_back(std::move(hop));
+  return chain;
+}
+
+/// Stats journal key (one gateway per region database).
+constexpr const char* kStatsJournalKey = "gateway.stats";
 
 }  // namespace
 
@@ -42,7 +62,8 @@ RegionGateway::RegionGateway(sim::Environment& env,
       topology_(topology),
       wan_path_(std::move(wan_path)),
       tick_timer_(env, policy.digest_interval, [this] { tick(); }, lane),
-      directory_(region_) {
+      directory_(region_),
+      rng_(env.fork_rng("gateway:" + region_)) {
   assert(!region_.empty() && "region requires a name");
 }
 
@@ -65,9 +86,278 @@ void RegionGateway::add_peer(const std::string& region,
 }
 
 void RegionGateway::tick() {
+  if (crashed_) return;
   publish_digest();
   sweep_remote_jobs();
   scan_for_forwards();
+  // Once a tick, snapshot the counters; the fine-grained sites (withdraw,
+  // transfer settle, admission) journal eagerly, so this only bounds the
+  // loss window for pure-gossip counters to one digest interval.
+  persist_stats();
+}
+
+util::Duration RegionGateway::jittered(util::Duration base) {
+  if (policy_.retry_jitter <= 0) return base;
+  return base * (1.0 + policy_.retry_jitter * (2.0 * rng_.next_double() - 1.0));
+}
+
+// ---------------------------------------------------------------------------
+// Durability + crash recovery
+// ---------------------------------------------------------------------------
+
+void RegionGateway::persist_forward(const std::string& job_id,
+                                    const OutboundForward& forward) {
+  // Until the withdraw, the coordinator's own durable row still covers the
+  // job; from the moment it succeeds, this row is the job's only home.
+  if (!forward.withdrawn) return;
+  db::ForwardStateRecord row;
+  row.job_id = job_id;
+  row.spec = forward.spec;
+  row.start_progress = forward.start_progress;
+  row.checkpoint_bytes = forward.checkpoint_bytes;
+  row.state = static_cast<int>(forward.state);
+  row.handoff_id = forward.handoff_id;
+  row.transfer_attempts = forward.transfer_attempts;
+  row.attempts = forward.attempts;
+  row.origin_region = forward.origin_region;
+  row.origin_gateway = forward.origin_gateway;
+  row.chain = forward.chain;
+  row.awaiting_gateway = forward.awaiting_gateway;
+  row.recorded_at = env_.now();
+  database_.put_forward_state(std::move(row));
+  persist_stats();
+}
+
+void RegionGateway::erase_forward(const std::string& job_id) {
+  database_.erase_forward_state(job_id);
+  persist_stats();
+}
+
+void RegionGateway::persist_stats() {
+  // Counters in declaration order, plus next_request_id_ as the final
+  // element: handoff ids must stay unique across restarts (the receiver
+  // dedups on (sender, handoff_id); reusing one would make a genuinely new
+  // hand-off look like a processed duplicate and silently drop the job).
+  // directory_age_at_rank is a SampleSet and deliberately non-durable.
+  database_.put_journal(
+      kStatsJournalKey,
+      {static_cast<std::int64_t>(stats_.ranking_requests),
+       static_cast<std::int64_t>(stats_.local_rankings),
+       static_cast<std::int64_t>(stats_.forwards_attempted),
+       static_cast<std::int64_t>(stats_.forwards_admitted),
+       static_cast<std::int64_t>(stats_.forwards_refused),
+       static_cast<std::int64_t>(stats_.forward_timeouts),
+       static_cast<std::int64_t>(stats_.reroutes),
+       static_cast<std::int64_t>(stats_.forwards_returned),
+       static_cast<std::int64_t>(stats_.forwards_aborted),
+       static_cast<std::int64_t>(stats_.transfers_delivered),
+       static_cast<std::int64_t>(stats_.transfer_retries),
+       static_cast<std::int64_t>(stats_.transfers_bounced),
+       static_cast<std::int64_t>(stats_.checkpoints_shipped),
+       static_cast<std::int64_t>(stats_.checkpoint_bytes_shipped),
+       static_cast<std::int64_t>(stats_.remote_completions),
+       static_cast<std::int64_t>(stats_.remote_failures),
+       static_cast<std::int64_t>(stats_.chain_loops_avoided),
+       static_cast<std::int64_t>(stats_.interactive_rtt_filtered),
+       static_cast<std::int64_t>(stats_.remote_admitted),
+       static_cast<std::int64_t>(stats_.remote_jobs_taken),
+       static_cast<std::int64_t>(stats_.remote_refused_policy),
+       static_cast<std::int64_t>(stats_.remote_refused_cap),
+       static_cast<std::int64_t>(stats_.remote_refused_capacity),
+       static_cast<std::int64_t>(stats_.remote_refused_duplicate),
+       static_cast<std::int64_t>(stats_.transfers_received),
+       static_cast<std::int64_t>(stats_.transfers_unreserved),
+       static_cast<std::int64_t>(stats_.cross_campus_migrations_in),
+       static_cast<std::int64_t>(stats_.reservations_expired),
+       static_cast<std::int64_t>(stats_.digests_published),
+       static_cast<std::int64_t>(stats_.gossips_sent),
+       static_cast<std::int64_t>(stats_.gossips_received),
+       static_cast<std::int64_t>(stats_.anti_entropy_pulls),
+       static_cast<std::int64_t>(stats_.anti_entropy_served),
+       static_cast<std::int64_t>(stats_.anti_entropy_entries),
+       static_cast<std::int64_t>(next_request_id_)});
+}
+
+void RegionGateway::crash() {
+  assert(started_ && "crash before start");
+  assert(!crashed_ && "gateway crashed twice");
+  crashed_ = true;
+  ++epoch_;
+  tick_timer_.stop();
+  outbound_.clear();
+  retry_after_.clear();
+  pending_inbound_.clear();  // TTL reservations: senders' offers re-run
+  remote_jobs_.clear();
+  chains_.clear();
+  handled_handoffs_.clear();
+  directory_.clear();
+  stats_ = GatewayStats{};
+  digest_seq_ = 0;  // dominance keys on generated_at, so fresh stamps win
+  next_request_id_ = 1;  // recover() restores the durable high-water mark
+  gossip_cursor_ = 0;
+  // peers_ survives deliberately: federation membership is provisioning
+  // config (the platform seeds it at deploy time), re-installed with the
+  // restarted process.  The WAN endpoint stays registered — the crashed_
+  // gate in handle_message models the down process dropping packets.
+}
+
+void RegionGateway::recover() {
+  assert(crashed_ && "recover without crash");
+  crashed_ = false;
+  ++epoch_;
+  ++recovery_stats_.recoveries;
+  rebuild_from_db();
+  // Same order as start(): announce ourselves immediately (the fresh digest
+  // re-enters peers' rankings without waiting an interval), then resume the
+  // cadence.
+  tick();
+  tick_timer_.start();
+  if (policy_.anti_entropy_pull && topology_ == FederationTopology::kMesh) {
+    request_anti_entropy();
+  }
+}
+
+void RegionGateway::rebuild_from_db() {
+  // Stats journal (34 counters + the request-id high-water mark; an older
+  // journal from before a counter was added restores nothing — counters
+  // restart from zero, which only skews reporting, never correctness).
+  if (const std::vector<std::int64_t>* j = database_.journal(kStatsJournalKey);
+      j != nullptr && j->size() >= 35) {
+    std::size_t i = 0;
+    stats_.ranking_requests = static_cast<std::uint64_t>((*j)[i++]);
+    stats_.local_rankings = static_cast<std::uint64_t>((*j)[i++]);
+    stats_.forwards_attempted = static_cast<std::uint64_t>((*j)[i++]);
+    stats_.forwards_admitted = static_cast<std::uint64_t>((*j)[i++]);
+    stats_.forwards_refused = static_cast<std::uint64_t>((*j)[i++]);
+    stats_.forward_timeouts = static_cast<std::uint64_t>((*j)[i++]);
+    stats_.reroutes = static_cast<std::uint64_t>((*j)[i++]);
+    stats_.forwards_returned = static_cast<std::uint64_t>((*j)[i++]);
+    stats_.forwards_aborted = static_cast<std::uint64_t>((*j)[i++]);
+    stats_.transfers_delivered = static_cast<std::uint64_t>((*j)[i++]);
+    stats_.transfer_retries = static_cast<std::uint64_t>((*j)[i++]);
+    stats_.transfers_bounced = static_cast<std::uint64_t>((*j)[i++]);
+    stats_.checkpoints_shipped = static_cast<std::uint64_t>((*j)[i++]);
+    stats_.checkpoint_bytes_shipped = static_cast<std::uint64_t>((*j)[i++]);
+    stats_.remote_completions = static_cast<std::uint64_t>((*j)[i++]);
+    stats_.remote_failures = static_cast<std::uint64_t>((*j)[i++]);
+    stats_.chain_loops_avoided = static_cast<std::uint64_t>((*j)[i++]);
+    stats_.interactive_rtt_filtered = static_cast<std::uint64_t>((*j)[i++]);
+    stats_.remote_admitted = static_cast<std::uint64_t>((*j)[i++]);
+    stats_.remote_jobs_taken = static_cast<std::uint64_t>((*j)[i++]);
+    stats_.remote_refused_policy = static_cast<std::uint64_t>((*j)[i++]);
+    stats_.remote_refused_cap = static_cast<std::uint64_t>((*j)[i++]);
+    stats_.remote_refused_capacity = static_cast<std::uint64_t>((*j)[i++]);
+    stats_.remote_refused_duplicate = static_cast<std::uint64_t>((*j)[i++]);
+    stats_.transfers_received = static_cast<std::uint64_t>((*j)[i++]);
+    stats_.transfers_unreserved = static_cast<std::uint64_t>((*j)[i++]);
+    stats_.cross_campus_migrations_in = static_cast<std::uint64_t>((*j)[i++]);
+    stats_.reservations_expired = static_cast<std::uint64_t>((*j)[i++]);
+    stats_.digests_published = static_cast<std::uint64_t>((*j)[i++]);
+    stats_.gossips_sent = static_cast<std::uint64_t>((*j)[i++]);
+    stats_.gossips_received = static_cast<std::uint64_t>((*j)[i++]);
+    stats_.anti_entropy_pulls = static_cast<std::uint64_t>((*j)[i++]);
+    stats_.anti_entropy_served = static_cast<std::uint64_t>((*j)[i++]);
+    stats_.anti_entropy_entries = static_cast<std::uint64_t>((*j)[i++]);
+    next_request_id_ =
+        std::max<std::uint64_t>(1, static_cast<std::uint64_t>((*j)[i++]));
+  }
+  // Hand-off dedup table: without it, an origin's at-least-once transfer
+  // retry arriving after our restart would be re-admitted and the job
+  // would run twice.
+  for (const db::HandoffRecord& row : database_.handoffs()) {
+    handled_handoffs_[row.job_id] = {row.from_gateway, row.handoff_id};
+    ++recovery_stats_.handoffs_rebuilt;
+  }
+  // Hosted guests: live coordinator jobs whose provenance says another
+  // region submitted them and this one executes them.  Guests that reached
+  // a terminal phase during the outage are already archived — their
+  // RemoteOutcome notification is lost (stats-only at the origin).
+  for (const auto& [job_id, record] : coordinator_.jobs()) {
+    const db::JobProvenance* prov = database_.provenance(job_id);
+    if (prov == nullptr) continue;
+    if (prov->executing_region != region_ || prov->origin_region == region_) {
+      continue;
+    }
+    remote_jobs_[job_id] = RemoteJob{"gw-" + prov->origin_region,
+                                     prov->origin_region, prov->recorded_at};
+    std::vector<std::string> chain = split_chain(prov->route);
+    if (chain.empty()) chain = {prov->origin_region, region_};
+    chains_[job_id] = std::move(chain);
+    ++recovery_stats_.remote_jobs_rebuilt;
+  }
+  // In-flight outbound forwards: each row is the ONLY copy of a withdrawn
+  // job.  A hand-off already accepted (awaiting its transfer ack) resumes —
+  // the receiver is idempotent across retries, so re-sending the same
+  // handoff_id is safe at any point.  One still waiting on an offer reply
+  // is repatriated: the pre-crash offer's fate is unknowable, but the
+  // target only held a TTL reservation, so resubmitting locally cannot run
+  // the job twice.
+  for (db::ForwardStateRecord& row : database_.forward_states()) {
+    OutboundForward forward;
+    forward.state = static_cast<OutboundForward::State>(row.state);
+    forward.request_id = next_request_id_++;
+    forward.spec = std::move(row.spec);
+    forward.start_progress = row.start_progress;
+    forward.checkpoint_bytes = row.checkpoint_bytes;
+    forward.transfer_attempts = row.transfer_attempts;
+    forward.handoff_id = row.handoff_id;
+    forward.origin_region = std::move(row.origin_region);
+    forward.origin_gateway = std::move(row.origin_gateway);
+    forward.chain = std::move(row.chain);
+    forward.awaiting_gateway = std::move(row.awaiting_gateway);
+    forward.attempts = row.attempts;
+    forward.withdrawn = true;
+    auto [it, inserted] = outbound_.emplace(row.job_id, std::move(forward));
+    assert(inserted && "duplicate forward-state row");
+    if (it->second.state == OutboundForward::State::kAwaitingTransferAck) {
+      ++recovery_stats_.forwards_resumed;
+      send_transfer(row.job_id);
+    } else {
+      ++recovery_stats_.forwards_repatriated;
+      return_job_home(row.job_id);
+    }
+  }
+}
+
+void RegionGateway::request_anti_entropy() {
+  if (peers_.empty()) return;  // federation of one
+  auto it = peers_.begin();
+  std::advance(it, static_cast<long>(pull_cursor_ % peers_.size()));
+  pull_cursor_ = (pull_cursor_ + 1) % peers_.size();
+  ++stats_.anti_entropy_pulls;
+  send(it->second, kDirectoryPullRequest,
+       DirectoryPullRequest{region_, gateway_id_}, kDigestBytes);
+}
+
+void RegionGateway::handle_directory_pull(const DirectoryPullRequest& request) {
+  ++stats_.anti_entropy_served;
+  // The rejoiner is alive; (re)learn it as a peer.
+  if (request.from_region != region_) {
+    peers_[request.from_region] = request.reply_to;
+  }
+  DirectoryPullResponse response;
+  response.from_region = region_;
+  response.from_gateway = gateway_id_;
+  response.entries.reserve(directory_.entries().size());
+  for (const auto& [region, entry] : directory_.entries()) {
+    response.entries.push_back(entry);
+  }
+  const std::uint64_t bytes =
+      kGossipEntryBytes * std::max<std::size_t>(1, response.entries.size());
+  send(request.reply_to, kDirectoryPullResponse, std::move(response), bytes);
+}
+
+void RegionGateway::handle_directory_pull_response(
+    const DirectoryPullResponse& response) {
+  if (response.from_region != region_) {
+    peers_[response.from_region] = response.from_gateway;
+  }
+  for (const DirectoryEntry& entry : response.entries) {
+    if (directory_.merge(entry, env_.now())) {
+      ++stats_.anti_entropy_entries;
+      if (entry.region != region_) peers_[entry.region] = entry.gateway_id;
+    }
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -329,7 +619,7 @@ void RegionGateway::initiate_forward(const std::string& job_id) {
         rank_locally(record->spec, checkpoint_bytes, forward.chain);
     if (forward.ranking.empty()) {
       // Nobody to ask.  The job never left the local queue; just back off.
-      retry_after_[job_id] = env_.now() + policy_.forward_retry_backoff;
+      retry_after_[job_id] = env_.now() + jittered(policy_.forward_retry_backoff);
       ++stats_.forwards_aborted;
       return;
     }
@@ -399,7 +689,7 @@ void RegionGateway::handle_ranking_response(const RankingResponse& response) {
   }
   if (forward.ranking.empty()) {
     // Nobody to ask.  The job never left the local queue; just back off.
-    retry_after_[job_id] = env_.now() + policy_.forward_retry_backoff;
+    retry_after_[job_id] = env_.now() + jittered(policy_.forward_retry_backoff);
     ++stats_.forwards_aborted;
     outbound_.erase(it);
     return;
@@ -440,6 +730,10 @@ void RegionGateway::try_next_region(const std::string& job_id) {
   forward.state = OutboundForward::State::kAwaitingReply;
   forward.awaiting_gateway = target.gateway_id;
   ++forward.generation;
+  // The durable row mirrors the withdrawn job BEFORE the offer leaves: a
+  // crash from here on recovers it (resumed or repatriated), so the
+  // withdraw can never become a loss.
+  persist_forward(job_id, forward);
 
   ForwardRequest request;
   request.origin_region = forward.origin_region;
@@ -463,21 +757,29 @@ void RegionGateway::return_job_home(const std::string& job_id) {
                             << " to the local queue: " << resubmitted;
   }
   ++stats_.forwards_returned;
-  retry_after_[job_id] = env_.now() + policy_.forward_retry_backoff;
+  retry_after_[job_id] = env_.now() + jittered(policy_.forward_retry_backoff);
   outbound_.erase(it);
+  // The resubmit above re-created the coordinator's durable row; only now
+  // may the forward row go (never a moment with neither).
+  erase_forward(job_id);
 }
 
 void RegionGateway::arm_timeout(const std::string& job_id,
                                 std::uint64_t generation,
                                 util::Duration delay) {
-  env_.schedule_after_on(lane_, delay, [this, job_id, generation] {
+  // The epoch guard outranks the generation guard: a rebuilt forward walks
+  // generations from zero again, so a pre-crash timeout could otherwise
+  // collide with a post-recovery generation number.
+  env_.schedule_after_on(lane_, delay, [this, job_id, generation,
+                                        epoch = epoch_] {
+    if (epoch != epoch_) return;  // armed before a crash/restart
     auto it = outbound_.find(job_id);
     if (it == outbound_.end() || it->second.generation != generation) return;
     switch (it->second.state) {
       case OutboundForward::State::kAwaitingRanking:
         // Broker unreachable; the job never left the local queue.
         ++stats_.forward_timeouts;
-        retry_after_[job_id] = env_.now() + policy_.forward_retry_backoff;
+        retry_after_[job_id] = env_.now() + jittered(policy_.forward_retry_backoff);
         outbound_.erase(it);
         return;
       case OutboundForward::State::kAwaitingReply:
@@ -523,6 +825,10 @@ void RegionGateway::send_transfer(const std::string& job_id) {
   OutboundForward& forward = it->second;
   ++forward.transfer_attempts;
   ++forward.generation;
+  // Durable before the wire: the attempt counter and handoff id must
+  // survive a crash, or the resumed hand-off could reuse a stale attempt
+  // number and mis-settle against the ack for this very send.
+  persist_forward(job_id, forward);
   JobTransfer transfer;
   transfer.origin_region = forward.origin_region;
   transfer.origin_gateway = forward.origin_gateway;
@@ -539,9 +845,14 @@ void RegionGateway::send_transfer(const std::string& job_id) {
   // Exponential backoff (capped): a burst of shipments can back the FIFO
   // WAN channel up past one timeout, and re-shipping multi-GB payloads
   // into the very backlog that delayed them only feeds the spiral.
+  // Jitter de-correlates a burst of gateways all resending into the same
+  // recovering region at once; the first attempt's deadline stays exact
+  // (it is a protocol timeout, not a backoff).
   const int exponent = std::min(3, forward.transfer_attempts - 1);
+  const util::Duration deadline =
+      policy_.transfer_ack_timeout * static_cast<double>(1 << exponent);
   arm_timeout(job_id, forward.generation,
-              policy_.transfer_ack_timeout * static_cast<double>(1 << exponent));
+              exponent > 0 ? jittered(deadline) : deadline);
 }
 
 void RegionGateway::handle_transfer_ack(const JobTransferAck& ack) {
@@ -582,6 +893,9 @@ void RegionGateway::handle_transfer_ack(const JobTransferAck& ack) {
   }
   retry_after_.erase(ack.job_id);
   outbound_.erase(it);
+  // The hand-off is settled and provenance recorded; the durable forward
+  // row has served its purpose.
+  erase_forward(ack.job_id);
 }
 
 void RegionGateway::handle_forward_refuse(const ForwardRefuse& refuse) {
@@ -718,6 +1032,12 @@ void RegionGateway::handle_job_transfer(const JobTransfer& transfer) {
   const bool taken = admit_transfer(transfer);
   if (taken) {
     handled_handoffs_[job_id] = {transfer.reply_to, transfer.handoff_id};
+    // Dedup durable BEFORE the ack leaves: once the sender sees an accept
+    // it drops the job, so a crash here must leave behind the row that
+    // re-acks (never re-admits) the sender's at-least-once retries.
+    database_.put_handoff(db::HandoffRecord{job_id, transfer.reply_to,
+                                            transfer.handoff_id, env_.now()});
+    persist_stats();
   }
   send(transfer.reply_to, kJobTransferAck,
        JobTransferAck{region_, job_id, transfer.attempt, taken}, kDigestBytes);
@@ -805,6 +1125,7 @@ void RegionGateway::sweep_remote_jobs() {
 // ---------------------------------------------------------------------------
 
 void RegionGateway::handle_message(net::Message&& msg) {
+  if (crashed_) return;  // the process is down; packets fall on the floor
   switch (msg.kind) {
     case kRankingResponse:
       handle_ranking_response(
@@ -832,6 +1153,14 @@ void RegionGateway::handle_message(net::Message&& msg) {
     case kDirectoryGossip:
       handle_directory_gossip(
           std::any_cast<const DirectoryGossip&>(msg.payload));
+      break;
+    case kDirectoryPullRequest:
+      handle_directory_pull(
+          std::any_cast<const DirectoryPullRequest&>(msg.payload));
+      break;
+    case kDirectoryPullResponse:
+      handle_directory_pull_response(
+          std::any_cast<const DirectoryPullResponse&>(msg.payload));
       break;
     default:
       GPUNION_WLOG("gateway") << gateway_id_ << " unexpected message kind "

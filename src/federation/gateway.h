@@ -47,6 +47,7 @@
 #include "sched/coordinator.h"
 #include "sim/environment.h"
 #include "storage/checkpoint_store.h"
+#include "util/rng.h"
 #include "util/stats.h"
 
 namespace gpunion::federation {
@@ -84,6 +85,13 @@ struct RegionPolicy {
   util::Duration forward_retry_backoff = 120.0;
   /// Regions tried per ranking before returning the job to the local queue.
   int max_forward_attempts = 3;
+  /// Multiplicative jitter (+/- this fraction, uniform) applied to every
+  /// retry/backoff delay (forward retry backoff, transfer resend backoff).
+  /// Without it, every gateway that backed off a crashed region retries at
+  /// the exact same instant it comes back — a synchronized thundering herd
+  /// into the recovering coordinator.  Protocol *timeouts* (forward_timeout,
+  /// the base transfer ack deadline) stay exact.  0 disables.
+  double retry_jitter = 0.15;
   /// Base ack deadline per transfer attempt (doubles per retry, capped at
   /// 8x).  Much larger than forward_timeout: a shipment carries gigabytes
   /// through the capped WAN channel and queues FIFO behind its peers (an
@@ -108,6 +116,10 @@ struct RegionPolicy {
   /// from rankings entirely (region presumed unreachable) — the mesh
   /// counterpart of BrokerConfig::digest_hard_ttl.
   util::Duration directory_hard_ttl = 120.0;
+  /// On recover(), pull the full directory from one live peer instead of
+  /// waiting O(peers / fanout) push-gossip rounds to re-learn the
+  /// federation (anti-entropy region rejoin).  Mesh topology only.
+  bool anti_entropy_pull = true;
 
   /// --- WAN-cost ranking (mesh) ---------------------------------------------
   /// Seconds of ranking cost per second of replica staleness: an old
@@ -162,6 +174,24 @@ struct GatewayStats {
   std::uint64_t digests_published = 0;  // own digest (re)stamped
   std::uint64_t gossips_sent = 0;       // mesh directory pushes sent
   std::uint64_t gossips_received = 0;   // mesh directory pushes received
+  // Anti-entropy (region rejoin).
+  std::uint64_t anti_entropy_pulls = 0;    // pull requests sent
+  std::uint64_t anti_entropy_served = 0;   // pull requests answered
+  std::uint64_t anti_entropy_entries = 0;  // entries merged from pulls
+};
+
+/// What a gateway recover() rebuilt / settled, for tests and benches.
+struct GatewayRecoveryStats {
+  std::uint64_t recoveries = 0;
+  /// Forward rows in kAwaitingTransferAck whose transfer was re-sent (the
+  /// hand-off continues where the crash interrupted it).
+  std::uint64_t forwards_resumed = 0;
+  /// Forward rows still awaiting an offer reply: the job was resubmitted to
+  /// the local queue (the target only held a TTL reservation, which lapses
+  /// on its own, so repatriating cannot run the job twice).
+  std::uint64_t forwards_repatriated = 0;
+  std::uint64_t remote_jobs_rebuilt = 0;  // hosted guests re-learned
+  std::uint64_t handoffs_rebuilt = 0;     // dedup rows re-learned
 };
 
 class RegionGateway {
@@ -235,6 +265,31 @@ class RegionGateway {
   /// One gossip/sweep/forward-scan tick (timer-driven; public for tests).
   void tick();
 
+  // --- Crash / restart -------------------------------------------------------
+  // Crash-in-place, like the coordinator: the object cannot be destroyed
+  // (scheduled events capture `this`), so crash() marks the gateway down —
+  // inbound WAN messages are dropped, the tick timer stops, and every
+  // in-memory table is wiped.  recover() rebuilds from the durable tables
+  // the gateway wrote as it worked: forward-state rows (the ONLY copy of a
+  // withdrawn job in flight), hand-off dedup rows, hosted-job provenance
+  // and the stats journal.  epoch_ invalidates one-shot timeouts armed
+  // before the crash.
+  void crash();
+  void recover();
+  bool crashed() const { return crashed_; }
+  const GatewayRecoveryStats& recovery_stats() const {
+    return recovery_stats_;
+  }
+  /// Pulls the full directory from one live peer (rotating), merging the
+  /// response like gossip.  recover() calls this when anti_entropy_pull is
+  /// set; public so tests and benches can A/B rejoin convergence.
+  void request_anti_entropy();
+
+  /// `base` +/- retry_jitter fraction, drawn from this gateway's private
+  /// stream (see RegionPolicy::retry_jitter).  Every retry/backoff delay
+  /// goes through this; public so tests can assert the de-correlation.
+  util::Duration jittered(util::Duration base);
+
  private:
   /// Outbound forward state machine, one entry per job in flight.  The
   /// entry (and with it the job's spec and checkpoint chain) survives
@@ -280,6 +335,8 @@ class RegionGateway {
   void handle_transfer_ack(const JobTransferAck& ack);
   void handle_remote_outcome(const RemoteOutcome& outcome);
   void handle_directory_gossip(const DirectoryGossip& gossip);
+  void handle_directory_pull(const DirectoryPullRequest& request);
+  void handle_directory_pull_response(const DirectoryPullResponse& response);
   /// (Re)sends the JobTransfer for an accepted forward and re-arms its
   /// ack timeout.
   void send_transfer(const std::string& job_id);
@@ -327,6 +384,18 @@ class RegionGateway {
   bool admit_transfer(const JobTransfer& transfer);
   void send(const std::string& to, int kind, std::any payload,
             std::uint64_t bytes);
+  /// Mirrors an in-flight forward to its durable row (no-op until the job
+  /// is withdrawn — before that the coordinator's own row covers it) and
+  /// journals the stats counters in the same breath, so the accounting
+  /// identity (withdrawn == delivered + returned + in flight) survives a
+  /// crash at any event boundary.
+  void persist_forward(const std::string& job_id,
+                       const OutboundForward& forward);
+  void erase_forward(const std::string& job_id);
+  void persist_stats();
+  /// Reloads stats, dedup table, hosted guests and in-flight forwards from
+  /// the durable tables; resumes or repatriates each recovered forward.
+  void rebuild_from_db();
 
   sim::Environment& env_;
   sim::LaneId lane_ = sim::kMainLane;
@@ -370,7 +439,20 @@ class RegionGateway {
   std::map<std::string, std::pair<std::string, std::uint64_t>>
       handled_handoffs_;
   GatewayStats stats_;
+  GatewayRecoveryStats recovery_stats_;
+  /// Jitter stream for retry/backoff de-correlation, forked per gateway so
+  /// adding a region never perturbs another's draws.
+  util::Rng rng_;
   bool started_ = false;
+  /// True between crash() and recover(): inbound messages are dropped and
+  /// no timers run (the process is down).
+  bool crashed_ = false;
+  /// Bumped by crash() and recover(); one-shot timeout events capture it
+  /// at arm time and bail on mismatch, so a timer armed before a crash can
+  /// never fire into rebuilt state.
+  std::uint64_t epoch_ = 0;
+  /// Rotates anti-entropy pulls across peers.
+  std::size_t pull_cursor_ = 0;
 };
 
 }  // namespace gpunion::federation

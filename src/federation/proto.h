@@ -53,6 +53,8 @@ enum MsgKind : int {
   kRemoteOutcome,         // target -> origin: forwarded job reached a terminal
   kJobTransferAck,        // target -> origin: transfer landed (or was refused)
   kDirectoryGossip,       // gateway -> gateway: replicated directory push
+  kDirectoryPullRequest,  // rejoining gateway -> peer: send me your directory
+  kDirectoryPullResponse, // peer -> rejoining gateway: full directory state
 };
 
 /// One region's gossip digest: the O(1) capacity summary its directory
@@ -106,6 +108,22 @@ struct DirectoryGossip {
 struct RankingResponse {
   std::uint64_t request_id = 0;
   std::vector<RegionScore> ranking;  // best first
+};
+
+/// Anti-entropy: a gateway rejoining after a crash starts with an EMPTY
+/// replica and would otherwise wait O(peers / fanout) push-gossip rounds to
+/// re-learn the federation.  One pull round-trip to a single live peer
+/// transfers that peer's whole directory (origin stamps preserved, so merge
+/// dominance still holds) and restores full ranking coverage immediately.
+struct DirectoryPullRequest {
+  std::string from_region;
+  std::string reply_to;  // rejoining gateway endpoint id
+};
+
+struct DirectoryPullResponse {
+  std::string from_region;
+  std::string from_gateway;
+  std::vector<DirectoryEntry> entries;
 };
 
 /// Control-plane probe: "would you take this job?"  Carries the spec so the

@@ -64,6 +64,12 @@ class RegionDirectory {
   /// entry on file (dominance: generated_at first, version tie-break).
   bool merge(const DirectoryEntry& incoming, util::SimTime now);
 
+  /// Drops every entry (a crashed gateway's replica restarts empty; the
+  /// next update_self stamp and an anti-entropy pull repopulate it).  The
+  /// merge stats survive — they describe the replica's lifetime, not its
+  /// current contents.
+  void clear() { entries_.clear(); }
+
   const DirectoryEntry* entry(const std::string& region) const;
   /// Ordered by region name: deterministic gossip payloads and rankings.
   const std::map<std::string, DirectoryEntry>& entries() const {

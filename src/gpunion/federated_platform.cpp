@@ -186,6 +186,34 @@ void FederatedPlatform::set_region_wan_partitioned(
   wan_->set_partitioned(gateway(region_name).gateway_id(), partitioned);
 }
 
+void FederatedPlatform::crash_region_control_plane(
+    const std::string& region_name, util::Duration downtime) {
+  register_region_crash_points(region_name, downtime);  // idempotent hooks
+  Platform& platform = region(region_name);
+  if (platform.control_plane_crashed()) return;
+  GPUNION_ILOG("federation") << "control-plane crash in " << region_name
+                             << " for " << downtime << " s";
+  platform.crash_control_plane(downtime);
+}
+
+void FederatedPlatform::register_region_crash_points(
+    const std::string& region_name, util::Duration downtime) {
+  Platform& platform = region(region_name);
+  federation::RegionGateway* gw = &gateway(region_name);
+  // Gateway and coordinator live in one campus process group: every
+  // control-plane crash takes both down, every restart brings both back
+  // (gateway last — it repatriates via the recovered coordinator).
+  platform.set_crash_hooks([gw] { gw->crash(); }, [gw] { gw->recover(); });
+  platform.register_crash_points(downtime);
+  platform.fault_injector().register_fault(
+      std::string(sim::kCrashMidForward), [&platform, downtime] {
+        // Same outage; the NAME carries the intent — harnesses fire it
+        // while this region has a hand-off in flight, exercising the
+        // durable forward rows and the receiver's dedup table.
+        platform.crash_control_plane(downtime);
+      });
+}
+
 void FederatedPlatform::refresh_metrics() {
   auto& forwarded = metrics_.gauge_family(
       "gpunion_federation_forwards_admitted_total",

@@ -148,6 +148,21 @@ class FederatedPlatform {
   void set_region_wan_partitioned(const std::string& region_name,
                                   bool partitioned);
 
+  /// Crashes one region's whole control plane — gateway AND coordinator go
+  /// down together (they are one campus process group), the database
+  /// recovers from its WAL after `downtime`, the coordinator rebuilds, and
+  /// the gateway resumes in-flight hand-offs, repatriates unanswered
+  /// offers and anti-entropy-pulls the directory from a live peer.
+  void crash_region_control_plane(const std::string& region_name,
+                                  util::Duration downtime);
+
+  /// Installs the full crash-point taxonomy (including kCrashMidForward,
+  /// which takes the gateway down with the coordinator — harnesses fire it
+  /// while a forward is in flight) on one region's fault injector, and
+  /// couples the gateway's crash/restart to every campus crash point.
+  void register_region_crash_points(const std::string& region_name,
+                                    util::Duration downtime);
+
  private:
   void refresh_metrics();
 

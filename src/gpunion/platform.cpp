@@ -68,7 +68,17 @@ Platform::Platform(sim::Environment& env, CampusConfig config)
       /*exclusive=*/true);
   db_flush_timer_ = std::make_unique<sim::PeriodicTimer>(
       env_, config_.db.flush_interval,
-      [this] { database_.flush_ledger(db::FlushTrigger::kInterval); }, lane_);
+      [this] {
+        database_.flush_ledger(db::FlushTrigger::kInterval);
+        if (config_.db.adaptive_flush) {
+          // Contention-aware pacing: deep log -> flush sooner (bounds the
+          // recovery replay window), idle log -> stretch out (fewer group
+          // commits).  Takes effect at the next tick.
+          db_flush_timer_->set_period(database_.recommended_flush_interval());
+        }
+      },
+      lane_);
+  faults_ = std::make_unique<sim::FaultInjector>(env_);
 }
 
 Platform::~Platform() = default;
@@ -246,6 +256,65 @@ void Platform::inject_interruption(const workload::Interruption& event) {
 void Platform::schedule_interruption(util::SimTime t,
                                      const workload::Interruption& event) {
   env_.schedule_exclusive_at(t, [this, event] { inject_interruption(event); });
+}
+
+void Platform::set_crash_hooks(std::function<void()> on_crash,
+                               std::function<void()> on_recover) {
+  crash_hook_ = std::move(on_crash);
+  recover_hook_ = std::move(on_recover);
+}
+
+bool Platform::control_plane_crashed() const {
+  return coordinator_->crashed();
+}
+
+void Platform::crash_control_plane(util::Duration downtime) {
+  assert(started_ && "crash before start");
+  if (coordinator_->crashed()) return;  // one outage at a time
+  GPUNION_ILOG("platform") << "control plane crash at " << env_.now()
+                           << " (down " << downtime << "s)";
+  coordinator_->crash();
+  // No group commits while the process is down; the WAL keeps every acked
+  // mutation the ledger had not flushed.
+  db_flush_timer_->stop();
+  if (crash_hook_) crash_hook_();
+  env_.schedule_exclusive_after(downtime, [this] {
+    // Restart order matters: durable tables first (the coordinator rebuilds
+    // FROM them), then the coordinator, then anything hooked on top (the
+    // region gateway repatriates via coordinator_.submit).
+    const db::RecoveryReport report = database_.crash_and_recover();
+    GPUNION_ILOG("platform")
+        << "db recovered: wal_depth=" << report.wal_depth_at_crash
+        << " replayed=" << report.replayed
+        << " skipped=" << report.skipped_applied
+        << " job_states=" << report.job_states;
+    coordinator_->recover();
+    if (config_.db.write_behind) db_flush_timer_->start();
+    if (recover_hook_) recover_hook_();
+  });
+}
+
+void Platform::register_crash_points(util::Duration downtime) {
+  faults_->register_fault(std::string(sim::kCrashPreAck), [this, downtime] {
+    // Settle the ledger first: the crash lands between acks, with every
+    // acknowledged mutation already durable in its shard image.
+    database_.flush_ledger(db::FlushTrigger::kExplicit);
+    crash_control_plane(downtime);
+  });
+  faults_->register_fault(std::string(sim::kCrashPostAckPreFlush),
+                          [this, downtime] {
+                            // Dirty ledger: acked work lives only in the WAL.
+                            crash_control_plane(downtime);
+                          });
+  faults_->register_fault(
+      std::string(sim::kCrashMidGroupCommit), [this, downtime] {
+        // Tear the group commit down the middle: half the shard images
+        // advance, the WAL never truncates, then the process dies.
+        database_.arm_flush_crash(
+            static_cast<std::size_t>(database_.shard_count()) / 2);
+        database_.flush_ledger(db::FlushTrigger::kExplicit);
+        crash_control_plane(downtime);
+      });
 }
 
 int Platform::total_gpus() const {

@@ -9,6 +9,7 @@
 // migration tracker and the allocation ledger.
 #pragma once
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -23,6 +24,7 @@
 #include "net/sim_network.h"
 #include "sched/coordinator.h"
 #include "sim/environment.h"
+#include "sim/fault_injector.h"
 #include "storage/checkpoint_store.h"
 #include "workload/provider_behavior.h"
 
@@ -80,6 +82,42 @@ class Platform {
   void schedule_interruption(util::SimTime t,
                              const workload::Interruption& event);
 
+  // --- Crash / restart --------------------------------------------------------
+  /// Named crash-point registry for this campus.  Harnesses schedule faults
+  /// by name (sim::kCrashPreAck etc.); register_crash_points installs the
+  /// concrete actions.
+  sim::FaultInjector& fault_injector() { return *faults_; }
+
+  /// Crashes the campus control plane in place: the coordinator stops
+  /// acking (messages drop), the background flush timer stops, and after
+  /// `downtime` the database recovers from its WAL and the coordinator
+  /// rebuilds live jobs, indexes and in-flight dispatches from the durable
+  /// tables.  Nodes, agents and running work are untouched — this is the
+  /// coordinator-process outage the paper's centralized design fears.
+  /// No-op while already crashed.  Like inject_interruption, call it from
+  /// the main thread between runs or via an exclusive event.
+  void crash_control_plane(util::Duration downtime);
+
+  /// Couples extra components to the control-plane outage (the federation
+  /// tier hooks the region gateway's crash/recover here).  on_crash runs
+  /// right after the coordinator crashes; on_recover right after it
+  /// recovers.
+  void set_crash_hooks(std::function<void()> on_crash,
+                       std::function<void()> on_recover);
+
+  /// Registers the crash-point taxonomy against this campus:
+  ///  - kCrashPreAck: group-commit first, then crash — every acked mutation
+  ///    is already in its shard image, recovery replays nothing;
+  ///  - kCrashPostAckPreFlush: crash with the write-behind ledger dirty —
+  ///    acked mutations exist only in the WAL and must replay;
+  ///  - kCrashMidGroupCommit: a torn group commit (half the shards advance,
+  ///    the WAL is never truncated), then crash — recovery must replay
+  ///    idempotently across the tear.
+  /// Each fires crash_control_plane(downtime).
+  void register_crash_points(util::Duration downtime);
+
+  bool control_plane_crashed() const;
+
   /// Fleet-wide *delivered* GPU utilization over [t0, t1], computed exactly
   /// from the allocation ledger: each allocation contributes its delivered
   /// compute (training saturates its capacity share; an interactive session
@@ -119,8 +157,13 @@ class Platform {
   std::unique_ptr<monitor::Scraper> scraper_;
   std::unique_ptr<sim::PeriodicTimer> metrics_timer_;
   /// Background write-behind commits (CampusConfig::db.flush_interval); the
-  /// threshold flush happens inside the database itself.
+  /// threshold flush happens inside the database itself.  Under
+  /// DbConfig::adaptive_flush the tick re-paces itself from
+  /// recommended_flush_interval() after every flush.
   std::unique_ptr<sim::PeriodicTimer> db_flush_timer_;
+  std::unique_ptr<sim::FaultInjector> faults_;
+  std::function<void()> crash_hook_;
+  std::function<void()> recover_hook_;
   bool started_ = false;
 };
 

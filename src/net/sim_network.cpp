@@ -106,6 +106,12 @@ bool SimNetwork::is_partitioned(const NodeId& id) const {
   return it != endpoints_.end() && it->second.partitioned;
 }
 
+void SimNetwork::set_drop_probability(double p) {
+  assert(p >= 0.0 && p <= 1.0);
+  std::lock_guard<std::mutex> lock(mu_);
+  config_.drop_probability = p;
+}
+
 void SimNetwork::account(const Message& msg, util::SimTime start,
                          util::SimTime end) {
   const auto cls = static_cast<std::size_t>(msg.traffic_class);
@@ -189,6 +195,13 @@ util::Status SimNetwork::send(Message msg) {
     // switches: they never queue behind bulk transfers.
     t = now + size / bottleneck_rate + latency;
     account(msg, now, now);
+  } else if (msg.traffic_class == TrafficClass::kFederation &&
+             config_.federation_pair_gbps > 0) {
+    // Per-pair WAN circuits: each endpoint pair gets its own capped pipe,
+    // so one saturated pair never queues another pair's traffic (the cap
+    // binds per pair, not globally).
+    t = via_paced_channel(federation_pair_links_[pair_key(msg.from, msg.to)],
+                          config_.federation_pair_gbps);
   } else if (msg.traffic_class == TrafficClass::kFederation &&
              config_.federation_wan_gbps > 0) {
     // Inter-campus WAN channel: federation traffic (digests, forwards,

@@ -36,6 +36,79 @@ bool job_phase_terminal(JobPhase p) {
   }
 }
 
+namespace {
+
+/// Journal key for the durable stats counters (one coordinator per DB).
+constexpr const char* kStatsJournalKey = "coordinator.stats";
+
+db::JobStateRecord to_state(const JobRecord& r) {
+  db::JobStateRecord s;
+  s.job_id = r.spec.id;
+  s.spec = r.spec;
+  s.phase = static_cast<int>(r.phase);
+  s.node = r.node;
+  s.preferred_node = r.preferred_node;
+  s.displaced_from = r.displaced_from;
+  s.migrate_back_pending = r.migrate_back_pending;
+  s.migrate_back_target = r.migrate_back_target;
+  s.checkpointed_progress = r.checkpointed_progress;
+  s.last_checkpoint_at = r.last_checkpoint_at;
+  s.interruptions = r.interruptions;
+  s.migrations = r.migrations;
+  s.migrate_backs = r.migrate_backs;
+  s.submitted_at = r.submitted_at;
+  s.first_dispatched_at = r.first_dispatched_at;
+  s.completed_at = r.completed_at;
+  s.lost_work_seconds = r.lost_work_seconds;
+  s.last_interruption_cause = static_cast<int>(r.last_interruption_cause);
+  s.open_allocation = r.open_allocation;
+  s.dispatch_generation = r.dispatch_generation;
+  s.reclaim_requested = r.reclaim_requested;
+  s.dispatch_rejects = r.dispatch_rejects;
+  s.awaiting_dispatch_settle = r.awaiting_dispatch_settle;
+  s.fractional_slot = r.fractional_slot;
+  s.running_since = r.running_since;
+  s.segment_start_progress = r.segment_start_progress;
+  s.node_speed = r.node_speed;
+  return s;
+}
+
+JobRecord from_state(const db::JobStateRecord& s) {
+  JobRecord r;
+  r.spec = s.spec;
+  if (r.spec.id.empty()) r.spec.id = s.job_id;  // archived rows drop payload
+  r.phase = static_cast<JobPhase>(s.phase);
+  // node / displaced_from are NOT set here: the rebuilder binds them
+  // through set_assignment()/set_displaced_from() so the per-node indexes
+  // stay consistent.
+  r.preferred_node = s.preferred_node;
+  r.migrate_back_pending = s.migrate_back_pending;
+  r.migrate_back_target = s.migrate_back_target;
+  r.checkpointed_progress = s.checkpointed_progress;
+  r.last_checkpoint_at = s.last_checkpoint_at;
+  r.interruptions = s.interruptions;
+  r.migrations = s.migrations;
+  r.migrate_backs = s.migrate_backs;
+  r.submitted_at = s.submitted_at;
+  r.first_dispatched_at = s.first_dispatched_at;
+  r.completed_at = s.completed_at;
+  r.lost_work_seconds = s.lost_work_seconds;
+  r.last_interruption_cause =
+      static_cast<agent::DepartureKind>(s.last_interruption_cause);
+  r.open_allocation = s.open_allocation;
+  r.dispatch_generation = s.dispatch_generation;
+  r.reclaim_requested = s.reclaim_requested;
+  r.dispatch_rejects = s.dispatch_rejects;
+  r.awaiting_dispatch_settle = s.awaiting_dispatch_settle;
+  r.fractional_slot = s.fractional_slot;
+  r.running_since = s.running_since;
+  r.segment_start_progress = s.segment_start_progress;
+  r.node_speed = s.node_speed;
+  return r;
+}
+
+}  // namespace
+
 Coordinator::Coordinator(sim::Environment& env, net::Transport& transport,
                          db::Database& database,
                          storage::CheckpointStore& store,
@@ -98,7 +171,10 @@ util::Status Coordinator::submit(workload::JobSpec job,
     // by the federation layer and later resubmitted under the same id must
     // not be denied by its predecessor's patience window.
     const util::SimTime submitted = env_.now();
-    env_.schedule_after_on(config_.lane, config_.session_patience, [this, job_id, submitted] {
+    const std::uint64_t epoch = epoch_;
+    env_.schedule_after_on(config_.lane, config_.session_patience,
+                           [this, job_id, submitted, epoch] {
+      if (epoch != epoch_) return;  // armed before a crash
       session_timeout(job_id, submitted);
     });
   } else {
@@ -107,6 +183,7 @@ util::Status Coordinator::submit(workload::JobSpec job,
 
   database_.enqueue_request(db::PendingRequest{
       job_id, jobs_.at(job_id).spec.requirements.priority, env_.now()});
+  persist_job(jobs_.at(job_id));
   request_pass();
   return util::Status();
 }
@@ -146,6 +223,7 @@ util::Status Coordinator::cancel(const std::string& job_id) {
       release_capacity(record, record.node);
       record.phase = JobPhase::kCancelled;
       migration_tracker_.abandon(job_id);
+      persist_job(record);  // may stay live awaiting the ack settle
       request_pass();
       maybe_retire(job_id);
       return util::Status();
@@ -181,6 +259,10 @@ util::StatusOr<Coordinator::WithdrawnJob> Coordinator::withdraw(
   out.checkpointed_progress = record.checkpointed_progress;
   jobs_.erase(it);  // no archive entry: the job now belongs elsewhere
   ++stats_.jobs_withdrawn;
+  // The job's durable home moves with it: the caller (federation gateway)
+  // persists a forward-state row before this erase commits a loss.
+  (void)database_.erase_job_state(job_id);
+  persist_stats();
   return out;
 }
 
@@ -309,6 +391,9 @@ void Coordinator::maybe_retire(const std::string& job_id) {
   // Hand the map node over: the record's address survives, so pointers
   // taken while the job was live stay valid.
   archive_.insert(jobs_.extract(it));
+  // Persist the compacted terminal row: recovery rebuilds the archive from
+  // it (phase census and accounting survive a crash).
+  persist_job(archive_.at(job_id));
 }
 
 void Coordinator::settle_in_flight(const JobRecord& record,
@@ -339,10 +424,216 @@ void Coordinator::flush_heartbeat_db() {
 }
 
 // ---------------------------------------------------------------------------
+// Durability + crash recovery (tentpole: crash-consistent control plane)
+// ---------------------------------------------------------------------------
+
+void Coordinator::persist_job(const JobRecord& record) {
+  database_.put_job_state(to_state(record));
+  persist_stats();
+}
+
+void Coordinator::persist_stats() {
+  // Integer counters only, declaration order.  queue_wait samples and the
+  // heartbeat coalescing counters are observability, not control state —
+  // documented non-durable (a restart resets them).
+  database_.put_journal(
+      kStatsJournalKey,
+      {stats_.jobs_submitted, stats_.training_submitted,
+       stats_.sessions_submitted, stats_.jobs_completed,
+       stats_.training_completed, stats_.sessions_served,
+       stats_.sessions_denied, stats_.sessions_disrupted,
+       stats_.dispatches_sent, stats_.dispatches_rejected,
+       stats_.jobs_withdrawn, stats_.interruptions, stats_.auth_failures,
+       stats_.displaced_by_temporary, stats_.migrate_back_successes});
+}
+
+void Coordinator::crash() {
+  if (crashed_) return;
+  crashed_ = true;
+  ++epoch_;  // invalidates every armed one-shot callback
+  heartbeat_monitor_.stop();
+  heartbeat_monitor_.clear();
+  heartbeat_flush_timer_.stop();
+  jobs_.clear();
+  archive_.clear();
+  jobs_by_node_.clear();
+  displaced_by_node_.clear();
+  in_flight_dispatches_.clear();
+  in_flight_slot_dispatches_.clear();
+  cause_hints_.clear();
+  pending_heartbeat_touches_.clear();  // lost: beats not yet flushed
+  directory_.clear();
+  // Reliability evidence and migration history are in-memory only
+  // (documented non-durable): scores reset to steady on restart.
+  reliability_ = ReliabilityPredictor{};
+  migration_tracker_ = MigrationTracker{};
+  stats_ = CoordinatorStats{};
+  pass_scheduled_ = false;
+  GPUNION_ILOG("coordinator") << config_.id << " crashed";
+}
+
+void Coordinator::recover() {
+  if (!crashed_) return;
+  crashed_ = false;
+  ++epoch_;
+  rebuild_from_db();
+  heartbeat_monitor_.start();
+  if (config_.batch_heartbeat_writes) heartbeat_flush_timer_.start();
+  ++recovery_stats_.recoveries;
+  GPUNION_ILOG("coordinator")
+      << config_.id << " recovered: " << recovery_stats_.nodes_rebuilt
+      << " nodes, " << recovery_stats_.jobs_rebuilt << " live jobs, "
+      << recovery_stats_.redispatched << " re-dispatched";
+  request_pass();
+}
+
+void Coordinator::rebuild_from_db() {
+  recovery_stats_.nodes_rebuilt = 0;
+  recovery_stats_.jobs_rebuilt = 0;
+  recovery_stats_.jobs_archived = 0;
+  recovery_stats_.redispatched = 0;
+
+  // Stats counters from the journal blob (same order as persist_stats).
+  if (const auto* j = database_.journal(kStatsJournalKey);
+      j != nullptr && j->size() >= 15) {
+    auto at = [&](std::size_t i) { return static_cast<int>((*j)[i]); };
+    stats_.jobs_submitted = at(0);
+    stats_.training_submitted = at(1);
+    stats_.sessions_submitted = at(2);
+    stats_.jobs_completed = at(3);
+    stats_.training_completed = at(4);
+    stats_.sessions_served = at(5);
+    stats_.sessions_denied = at(6);
+    stats_.sessions_disrupted = at(7);
+    stats_.dispatches_sent = at(8);
+    stats_.dispatches_rejected = at(9);
+    stats_.jobs_withdrawn = at(10);
+    stats_.interruptions = at(11);
+    stats_.auth_failures = at(12);
+    stats_.displaced_by_temporary = at(13);
+    stats_.migrate_back_successes = at(14);
+  }
+
+  // Directory from the durable registry: full hardware profile, status and
+  // token hash all survive.  Active nodes start fully free; the running
+  // jobs reserved below and the next heartbeat (agent ground truth)
+  // correct the scheduling view.  verified_token stays empty — the first
+  // beat re-verifies against the hash (slow path once per node).
+  for (const db::NodeRecord& row : database_.nodes()) {
+    NodeInfo info;
+    info.machine_id = row.machine_id;
+    info.hostname = row.hostname;
+    info.owner_group = row.owner_group;
+    info.gpu_model = row.gpu_model;
+    info.gpu_count = row.gpu_count;
+    info.gpu_memory_gb = row.gpu_memory_gb;
+    info.compute_capability = row.compute_capability;
+    info.gpu_tflops = row.gpu_tflops;
+    info.slots_per_gpu = row.slots_per_gpu;
+    info.share_memory_cap_gb = row.share_memory_cap_gb;
+    info.status = row.status;
+    info.accepting = true;
+    const bool active = row.status == db::NodeStatus::kActive;
+    info.free_gpus = active ? row.gpu_count : 0;
+    info.free_shared_slots = 0;
+    info.last_heartbeat = row.last_heartbeat;
+    info.registered_at = row.registered_at;
+    info.token_hash = row.auth_token_hash;
+    directory_.upsert(std::move(info));
+    if (active) {
+      // Fresh detection window from the restart: a node that died during
+      // the outage is flagged one deadline after recovery, not instantly.
+      heartbeat_monitor_.observe(row.machine_id, env_.now());
+    }
+    ++recovery_stats_.nodes_rebuilt;
+  }
+
+  // Jobs.  Queue rows for kPending jobs survived in the database (they are
+  // WAL-durable), so pending jobs are NOT re-enqueued.  kDispatching rows
+  // are the crash-window hazard: the dispatch was granted but its delivery
+  // never confirmed.  They requeue at the front for immediate re-dispatch;
+  // if the original dispatch did land, the agent's eventual ack no longer
+  // matches a kDispatching record and the stale-ack path kills the
+  // duplicate run.
+  for (db::JobStateRecord& row : database_.job_states()) {
+    JobRecord record = from_state(row);
+    record.awaiting_dispatch_settle = false;  // nothing in flight survives
+    const std::string job_id = record.spec.id;
+
+    if (job_phase_terminal(record.phase)) {
+      record.node = row.node;  // archived rows keep their last assignment
+      archive_.emplace(job_id, std::move(record));
+      ++recovery_stats_.jobs_archived;
+      continue;
+    }
+
+    if (record.phase == JobPhase::kDispatching) {
+      record.phase = JobPhase::kPending;
+      record.preferred_node = row.node;  // try the granted node first
+      auto [it, inserted] = jobs_.emplace(job_id, std::move(record));
+      set_displaced_from(it->second, row.displaced_from);
+      database_.enqueue_request_front(db::PendingRequest{
+          job_id, it->second.spec.requirements.priority,
+          it->second.submitted_at});
+      persist_job(it->second);
+      ++recovery_stats_.redispatched;
+      ++recovery_stats_.jobs_rebuilt;
+      continue;
+    }
+
+    auto [it, inserted] = jobs_.emplace(job_id, std::move(record));
+    JobRecord& live = it->second;
+    set_displaced_from(live, row.displaced_from);
+
+    if (live.phase == JobPhase::kRunning) {
+      set_assignment(live, row.node);
+      if (live.fractional_slot) {
+        (void)directory_.reserve_slot(row.node);
+      } else {
+        directory_.reserve_gpus(row.node,
+                                live.spec.requirements.gpu_count);
+      }
+    } else if (live.phase == JobPhase::kPending &&
+               live.spec.type == workload::JobType::kInteractive) {
+      // Re-arm the patience window for the remaining time.
+      const util::Duration remaining = std::max(
+          0.0, live.submitted_at + config_.session_patience - env_.now());
+      const util::SimTime submitted = live.submitted_at;
+      const std::uint64_t epoch = epoch_;
+      env_.schedule_after_on(config_.lane, remaining,
+                             [this, job_id, submitted, epoch] {
+                               if (epoch != epoch_) return;
+                               session_timeout(job_id, submitted);
+                             });
+    } else if (live.phase == JobPhase::kPending &&
+               !config_.policy.auto_migration && live.interruptions > 0) {
+      // Manual-coordination mode: the human-resubmit timer did not survive
+      // the crash and an interrupted pending job may hold no queue row.
+      // Re-arm one; the enqueue is guarded by the pending check and a
+      // duplicate queue row is skimmed off by the next scheduling pass.
+      const std::uint64_t epoch = epoch_;
+      env_.schedule_after_on(config_.lane, config_.manual_resubmit_delay,
+                             [this, job_id, epoch] {
+        if (epoch != epoch_) return;
+        auto jt = jobs_.find(job_id);
+        if (jt == jobs_.end() || jt->second.phase != JobPhase::kPending) {
+          return;
+        }
+        database_.enqueue_request(db::PendingRequest{
+            job_id, jt->second.spec.requirements.priority, env_.now()});
+        request_pass();
+      });
+    }
+    ++recovery_stats_.jobs_rebuilt;
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Message handling
 // ---------------------------------------------------------------------------
 
 void Coordinator::handle_message(net::Message&& msg) {
+  if (crashed_) return;  // a crashed coordinator answers nothing
   switch (msg.kind) {
     case agent::kRegisterRequest:
       handle_register(std::any_cast<const agent::RegisterRequest&>(msg.payload));
@@ -433,6 +724,14 @@ void Coordinator::handle_register(const agent::RegisterRequest& request) {
   db_record.registered_at = env_.now();
   db_record.last_heartbeat = env_.now();
   db_record.auth_token_hash = util::Sha256::hex_of(token);
+  // Full hardware profile: a restarted coordinator rebuilds its scheduling
+  // directory from this registry row alone.
+  db_record.owner_group = request.owner_group;
+  db_record.gpu_memory_gb = request.gpu_memory_gb;
+  db_record.compute_capability = request.compute_capability;
+  db_record.gpu_tflops = request.gpu_tflops;
+  db_record.slots_per_gpu = request.slots_per_gpu;
+  db_record.share_memory_cap_gb = request.share_memory_cap_gb;
   (void)database_.upsert_node(std::move(db_record));
 
   agent::RegisterResponse response;
@@ -639,6 +938,7 @@ void Coordinator::handle_dispatch_result(const agent::DispatchResult& result) {
     record->first_dispatched_at = env_.now();
     stats_.queue_wait.add(env_.now() - record->submitted_at);
   }
+  persist_job(*record);
 }
 
 void Coordinator::handle_job_started(const agent::JobStarted& started) {
@@ -671,6 +971,7 @@ void Coordinator::handle_job_started(const agent::JobStarted& started) {
     record.migrate_back_target.clear();
     record.preferred_node.clear();
   }
+  persist_job(record);
 }
 
 void Coordinator::handle_job_completed(const agent::JobCompleted& done) {
@@ -710,6 +1011,7 @@ void Coordinator::handle_checkpoint_notice(
   record.checkpointed_progress =
       std::max(record.checkpointed_progress, notice.progress);
   record.last_checkpoint_at = env_.now();
+  persist_job(record);
 }
 
 void Coordinator::handle_departure_notice(
@@ -721,6 +1023,7 @@ void Coordinator::handle_departure_notice(
     it->second.checkpointed_progress = std::max(
         it->second.checkpointed_progress, departing.checkpointed_progress);
     it->second.last_checkpoint_at = env_.now();
+    persist_job(it->second);
   }
   if (NodeInfo* node = directory_.find(notice.machine_id)) {
     node->status = db::NodeStatus::kDeparted;
@@ -768,9 +1071,13 @@ void Coordinator::handle_job_killed_ack(const agent::JobKilledAck& ack) {
   record.checkpointed_progress =
       std::max(record.checkpointed_progress, ack.checkpointed_progress);
 
-  if (!record.migrate_back_pending) return;  // cancel path: nothing more
+  if (!record.migrate_back_pending) {
+    persist_job(record);  // progress merge alone
+    return;  // cancel path: nothing more
+  }
   record.migrate_back_pending = false;
   if (record.phase != JobPhase::kRunning || record.node != ack.machine_id) {
+    persist_job(record);
     return;
   }
   if (record.open_allocation != 0) {
@@ -796,15 +1103,18 @@ void Coordinator::handle_job_killed_ack(const agent::JobKilledAck& ack) {
 // ---------------------------------------------------------------------------
 
 void Coordinator::request_pass() {
-  if (pass_scheduled_ || !started_) return;
+  if (pass_scheduled_ || !started_ || crashed_) return;
   pass_scheduled_ = true;
-  env_.schedule_after_on(config_.lane, 0.0, [this] {
+  const std::uint64_t epoch = epoch_;
+  env_.schedule_after_on(config_.lane, 0.0, [this, epoch] {
+    if (epoch != epoch_) return;  // armed before a crash/recovery
     pass_scheduled_ = false;
     schedule_pass();
   });
 }
 
 void Coordinator::schedule_pass() {
+  if (crashed_) return;
   std::vector<db::PendingRequest> retry;
   while (auto request = database_.pop_request()) {
     auto it = jobs_.find(request->job_id);
@@ -881,8 +1191,12 @@ void Coordinator::dispatch_to(JobRecord& record, const NodeInfo& node,
   send_to_agent(node.machine_id, agent::kDispatch, std::move(request),
                 agent::kControlBytes + 340);
 
+  persist_job(record);
   const std::string job_id = record.spec.id;
-  env_.schedule_after_on(config_.lane, config_.dispatch_timeout, [this, job_id, generation] {
+  const std::uint64_t epoch = epoch_;
+  env_.schedule_after_on(config_.lane, config_.dispatch_timeout,
+                         [this, job_id, generation, epoch] {
+    if (epoch != epoch_) return;  // armed before a crash
     dispatch_timeout(job_id, generation);
   });
 }
@@ -933,6 +1247,7 @@ void Coordinator::requeue(JobRecord& record, bool front) {
   } else {
     database_.enqueue_request(std::move(request));
   }
+  persist_job(record);
   request_pass();
 }
 
@@ -996,6 +1311,7 @@ void Coordinator::interrupt_job(JobRecord& record, agent::DepartureKind cause,
   if (record.spec.type == workload::JobType::kInteractive) {
     record.phase = JobPhase::kSessionDisrupted;
     ++stats_.sessions_disrupted;
+    persist_job(record);
     return;  // sessions are not migrated; the user re-requests
   }
 
@@ -1011,7 +1327,11 @@ void Coordinator::interrupt_job(JobRecord& record, agent::DepartureKind cause,
     // Manual coordination: a human notices the failure and resubmits later.
     const std::string job_id = record.spec.id;
     record.phase = JobPhase::kPending;
-    env_.schedule_after_on(config_.lane, config_.manual_resubmit_delay, [this, job_id] {
+    persist_job(record);
+    const std::uint64_t epoch = epoch_;
+    env_.schedule_after_on(config_.lane, config_.manual_resubmit_delay,
+                           [this, job_id, epoch] {
+      if (epoch != epoch_) return;  // armed before a crash
       auto it = jobs_.find(job_id);
       if (it == jobs_.end() || it->second.phase != JobPhase::kPending) return;
       database_.enqueue_request(db::PendingRequest{
@@ -1098,6 +1418,7 @@ void Coordinator::on_node_returned(const std::string& machine_id) {
       if (record.phase == JobPhase::kPending) {
         record.preferred_node = machine_id;
         record.migrate_back_target = machine_id;
+        persist_job(record);
       }
     }
   }
@@ -1116,6 +1437,7 @@ void Coordinator::trigger_migrate_back(const std::string& machine_id) {
     if (record.spec.type != workload::JobType::kTraining) continue;
     record.migrate_back_pending = true;
     record.migrate_back_target = machine_id;
+    persist_job(record);
     send_to_agent(record.node, agent::kKillJob,
                   agent::KillJobCommand{job_id, /*allow_checkpoint=*/true},
                   agent::kControlBytes);

@@ -150,6 +150,18 @@ struct CoordinatorStats {
   }
 };
 
+/// What a recovery rebuilt from the durable database.
+struct CoordinatorRecoveryStats {
+  int recoveries = 0;
+  int nodes_rebuilt = 0;       // directory entries restored from the registry
+  int jobs_rebuilt = 0;        // live records restored (pending + running)
+  int jobs_archived = 0;       // terminal records restored to the archive
+  /// kDispatching rows at the crash: granted but never confirmed delivered.
+  /// Requeued at the front for immediate re-dispatch; the stale-ack kill
+  /// path makes a duplicate run impossible.
+  int redispatched = 0;
+};
+
 /// Fleet-and-job operational summary aggregated over LIVE and ARCHIVED
 /// records alike: retiring a terminal record into the archive must never
 /// lose it from operational reporting.  Computed on demand.
@@ -266,6 +278,25 @@ class Coordinator {
   /// Force one scheduling pass (tests).
   void schedule_pass();
 
+  // --- Crash / recovery -------------------------------------------------------
+  /// Simulated control-plane crash: every in-memory structure (job records,
+  /// directory, indexes, in-flight counters, monitor state, stats) is
+  /// dropped, timers stop, and incoming messages are ignored until
+  /// recover().  The transport endpoint stays registered — a real restart
+  /// reuses the address.  Scheduled one-shot callbacks (dispatch/session
+  /// timeouts) are invalidated by an epoch bump, not cancelled.
+  void crash();
+  /// Restart after crash(): rebuilds jobs, the node directory, per-node
+  /// indexes and heartbeat tracking from the (already recovered) database,
+  /// re-arms session timers, requeues in-flight dispatches for re-dispatch,
+  /// and resumes the monitor + scheduling loop.  Requires the database's
+  /// own recovery to have run first.
+  void recover();
+  bool crashed() const { return crashed_; }
+  const CoordinatorRecoveryStats& recovery_stats() const {
+    return recovery_stats_;
+  }
+
  private:
   // message handlers
   void handle_message(net::Message&& msg);
@@ -335,6 +366,16 @@ class Coordinator {
   void send_to_agent(const std::string& machine_id, int kind,
                      std::any payload, std::uint64_t bytes);
 
+  // durability (tentpole: crash-consistent control plane)
+  /// Writes the record's durable image to the database (uncharged; the row
+  /// rides the group commit of the op that produced the state change) and
+  /// refreshes the stats journal.  Called at the end of every state
+  /// transition so recovery always sees the latest consistent record.
+  void persist_job(const JobRecord& record);
+  void persist_stats();
+  /// Rebuilds all in-memory state from the durable tables (recover()).
+  void rebuild_from_db();
+
   sim::Environment& env_;
   net::Transport& transport_;
   db::Database& database_;
@@ -367,9 +408,18 @@ class Coordinator {
   // Heartbeat DB writes accumulated since the last batched flush.
   std::map<std::string, util::SimTime> pending_heartbeat_touches_;
   CoordinatorStats stats_;
+  CoordinatorRecoveryStats recovery_stats_;
   OnUnplaceable on_unplaceable_;
   bool pass_scheduled_ = false;
   bool started_ = false;
+  /// Crash-in-place: sim objects cannot be destroyed mid-run (scheduled
+  /// lambdas capture `this`), so a crash drops state and raises this flag;
+  /// handle_message() discards deliveries while it is set.
+  bool crashed_ = false;
+  /// Bumped on every crash AND recovery.  One-shot callbacks capture the
+  /// epoch they were armed in and bail on mismatch, so a timeout armed
+  /// before a crash can never fire against the rebuilt incarnation.
+  std::uint64_t epoch_ = 0;
 };
 
 }  // namespace gpunion::sched

@@ -12,6 +12,17 @@ void ClusterView::mark_dirty(const std::string& machine_id) {
   dirty_.insert(machine_id);
 }
 
+void ClusterView::clear() {
+  free_buckets_.clear();
+  slot_nodes_.clear();
+  by_group_.clear();
+  by_capability_.clear();
+  entries_.clear();
+  dirty_.clear();
+  sum_free_gpus_ = 0;
+  sum_free_slots_ = 0;
+}
+
 void ClusterView::refresh() {
   for (const auto& machine_id : dirty_) {
     unindex(machine_id);
@@ -294,6 +305,15 @@ NodeInfo& Directory::upsert(NodeInfo info) {
         std::max(max_compute_capability_, it->second.compute_capability);
   }
   return it->second;
+}
+
+void Directory::clear() {
+  view_.clear();  // before the node map: its indexes point into it
+  nodes_.clear();
+  total_gpus_ = 0;
+  max_node_gpus_ = 0;
+  max_gpu_memory_gb_ = 0;
+  max_compute_capability_ = 0;
 }
 
 NodeInfo* Directory::find(const std::string& machine_id) {

@@ -91,6 +91,12 @@ class ClusterView {
   /// Marks one node's index entries stale (re-indexed on the next query).
   void mark_dirty(const std::string& machine_id);
 
+  /// Drops every index entry and running counter (coordinator crash: the
+  /// node map is about to be emptied, so the pointer-keyed sets must go
+  /// first).  Work counters (reindexed/examined) survive — they describe
+  /// lifetime work, not current state.
+  void clear();
+
   /// Schedulable nodes with >= `gpu_count` fully-free GPUs.  When
   /// `owner_group` is non-null only that group's nodes are returned.
   std::vector<const NodeInfo*> whole_gpu_candidates(
@@ -223,6 +229,11 @@ class Directory {
   /// emptying back into the whole-GPU pool is reconciled by the next
   /// heartbeat (the agent is ground truth).
   void release_slot(const std::string& machine_id);
+
+  /// Forgets every node (simulated coordinator crash; the in-memory view
+  /// is rebuilt from the durable registry on recovery).  The cluster view
+  /// is cleared first — its indexes hold pointers into the node map.
+  void clear();
 
   std::size_t size() const { return nodes_.size(); }
   int total_gpus() const { return total_gpus_; }

@@ -47,6 +47,14 @@ class HeartbeatMonitor {
   /// Stops tracking a node (announced departure / already handled loss).
   void forget(const std::string& machine_id);
 
+  /// Drops all tracked nodes (coordinator crash).  Recovery re-observes
+  /// the fleet, giving every node a fresh detection window — a node that
+  /// died during the outage is detected one deadline after recovery.
+  void clear() {
+    by_expiry_.clear();
+    last_seen_.clear();
+  }
+
   /// One sweep (also called by the timer).  Pops only entries past the
   /// detection deadline; nodes no longer kActive in the directory are
   /// dropped silently (their loss was already handled through another
