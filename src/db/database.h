@@ -132,6 +132,11 @@ struct JobStateRecord {
   util::SimTime running_since = -1;
   double segment_start_progress = 0;
   double node_speed = 1.0;
+  /// Causal trace carried by the job (obs::TraceContext, stored as plain
+  /// ints so db/ stays independent of obs/).  Survives crash recovery so a
+  /// redispatched job continues its trace.
+  std::uint64_t trace_id = 0;
+  std::uint64_t trace_parent_span = 0;
 };
 
 /// Durable mirror of one gateway in-flight outbound forward.  Persisted
@@ -152,6 +157,9 @@ struct ForwardStateRecord {
   std::vector<std::string> chain;
   std::string awaiting_gateway;
   util::SimTime recorded_at = 0;
+  /// Causal trace of the in-flight forward (plain ints; see JobStateRecord).
+  std::uint64_t trace_id = 0;
+  std::uint64_t trace_parent_span = 0;
 };
 
 /// Durable receive-side hand-off dedup row: (sender gateway, handoff id)

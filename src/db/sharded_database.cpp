@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
+
 namespace gpunion::db {
 
 namespace {
@@ -67,7 +69,28 @@ void ShardedDatabase::absorb(LedgerOpKind kind, std::size_t shard,
   }
 }
 
-std::size_t ShardedDatabase::flush_ledger(FlushTrigger trigger) {
+std::size_t ShardedDatabase::flush_ledger(FlushTrigger trigger,
+                                          util::SimTime at) {
+  // Ack-to-durable spans: each pending entry was acked to its caller at
+  // recorded_at and becomes durable now, so the group commit closes one
+  // db_group_commit span per entry on the owning job's trace.  Background
+  // metric points carry series names, not job ids — skip them.
+  if (tracer_ != nullptr && tracer_->enabled() && !ledger_log_.empty()) {
+    util::SimTime commit_at = at;
+    if (commit_at < 0) {
+      for (const LedgerEntry& entry : ledger_log_.pending_entries()) {
+        commit_at = std::max(commit_at, entry.recorded_at);
+      }
+    }
+    for (const LedgerEntry& entry : ledger_log_.pending_entries()) {
+      if (entry.kind == LedgerOpKind::kMetric) continue;
+      tracer_->close_span(tracer_->open_span(),
+                          obs::Tracer::trace_for_job(entry.key),
+                          /*parent_span=*/0, obs::stage::kDbGroupCommit,
+                          "db", entry.recorded_at, commit_at,
+                          std::string(ledger_op_name(entry.kind)));
+    }
+  }
   std::size_t committed = 0;
   if (executor_ == nullptr) {
     committed = ledger_log_.flush(
@@ -195,6 +218,8 @@ RecoveryReport ShardedDatabase::crash_and_recover() {
   report.job_states = image_.job_states.size();
   report.forward_states = image_.forwards.size();
   report.handoffs = image_.handoffs.size();
+  last_recovery_report_ = report;
+  ++recoveries_;
   return report;
 }
 

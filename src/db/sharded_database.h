@@ -51,6 +51,10 @@
 #include "util/status.h"
 #include "util/time.h"
 
+namespace gpunion::obs {
+class Tracer;
+}  // namespace gpunion::obs
+
 namespace gpunion::db {
 
 struct DbConfig {
@@ -200,7 +204,17 @@ class ShardedDatabase : public Database {
   /// flush is driven by the owner's timer.  Returns entries committed.
   /// With an executor attached, each shard's commit runs on that shard's
   /// thread (fork-join: all commits complete before this returns).
-  std::size_t flush_ledger(FlushTrigger trigger = FlushTrigger::kExplicit);
+  /// `at` is the commit time for trace spans (owner timers pass now();
+  /// callers without a clock leave -1 and the newest absorbed entry's
+  /// timestamp stands in).
+  std::size_t flush_ledger(FlushTrigger trigger = FlushTrigger::kExplicit,
+                           util::SimTime at = -1);
+
+  /// Attaches a tracer: each flushed ledger entry (except background metric
+  /// points) closes one db_group_commit span on the trace of the job whose
+  /// key it carries — ack-to-durable latency becomes visible per job.
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+  obs::Tracer* tracer() const { return tracer_; }
 
   /// Attaches per-shard commit threads (parallel execution mode).  The
   /// executor must outlive the database or be detached with nullptr.
@@ -228,6 +242,14 @@ class ShardedDatabase : public Database {
   /// WriteBehindLedger's pending (cost) entries survive, so charging and
   /// the A/B benches stay continuous across the crash.
   RecoveryReport crash_and_recover();
+
+  /// Report of the most recent crash_and_recover() (all-zero before the
+  /// first), plus how many recoveries this store has performed — the dark
+  /// data the platform surfaces as metrics.
+  const RecoveryReport& last_recovery_report() const {
+    return last_recovery_report_;
+  }
+  std::uint64_t recoveries() const { return recoveries_; }
 
   /// One-shot fault arming (FaultInjector): the next flush skips SHARD's
   /// image commit (records stay in the WAL; the retry is the next flush)...
@@ -333,6 +355,9 @@ class ShardedDatabase : public Database {
   std::uint64_t local_pops_ = 0;
   std::uint64_t stolen_pops_ = 0;
   ShardExecutor* executor_ = nullptr;
+  obs::Tracer* tracer_ = nullptr;
+  RecoveryReport last_recovery_report_;
+  std::uint64_t recoveries_ = 0;
 };
 
 }  // namespace gpunion::db

@@ -124,6 +124,8 @@ void RegionGateway::persist_forward(const std::string& job_id,
   row.chain = forward.chain;
   row.awaiting_gateway = forward.awaiting_gateway;
   row.recorded_at = env_.now();
+  row.trace_id = forward.trace.trace_id;
+  row.trace_parent_span = forward.trace.parent_span;
   database_.put_forward_state(std::move(row));
   persist_stats();
 }
@@ -307,6 +309,8 @@ void RegionGateway::rebuild_from_db() {
     forward.awaiting_gateway = std::move(row.awaiting_gateway);
     forward.attempts = row.attempts;
     forward.withdrawn = true;
+    forward.trace.trace_id = row.trace_id;
+    forward.trace.parent_span = row.trace_parent_span;
     auto [it, inserted] = outbound_.emplace(row.job_id, std::move(forward));
     assert(inserted && "duplicate forward-state row");
     if (it->second.state == OutboundForward::State::kAwaitingTransferAck) {
@@ -636,6 +640,12 @@ void RegionGateway::initiate_forward(const std::string& job_id) {
       if (forward.checkpoint_bytes == 0) forward.start_progress = 0;
     }
     forward.withdrawn = true;
+    forward.trace = withdrawn->trace;
+    if (auto* tr = coordinator_.config().tracer;
+        tr != nullptr && tr->enabled() && forward.trace.valid()) {
+      tr->record(forward.trace, obs::stage::kFedWithdraw, gateway_id_,
+                 env_.now(), env_.now());
+    }
     auto [it, inserted] = outbound_.emplace(job_id, std::move(forward));
     assert(inserted);
     (void)it;
@@ -712,6 +722,12 @@ void RegionGateway::handle_ranking_response(const RankingResponse& response) {
     if (forward.checkpoint_bytes == 0) forward.start_progress = 0;
   }
   forward.withdrawn = true;
+  forward.trace = withdrawn->trace;
+  if (auto* tr = coordinator_.config().tracer;
+      tr != nullptr && tr->enabled() && forward.trace.valid()) {
+    tr->record(forward.trace, obs::stage::kFedWithdraw, gateway_id_,
+               env_.now(), env_.now());
+  }
   try_next_region(job_id);
 }
 
@@ -729,6 +745,7 @@ void RegionGateway::try_next_region(const std::string& job_id) {
   if (forward.attempts > 1) ++stats_.reroutes;
   forward.state = OutboundForward::State::kAwaitingReply;
   forward.awaiting_gateway = target.gateway_id;
+  forward.offer_sent_at = env_.now();
   ++forward.generation;
   // The durable row mirrors the withdrawn job BEFORE the offer leaves: a
   // crash from here on recovers it (resumed or repatriated), so the
@@ -749,9 +766,11 @@ void RegionGateway::return_job_home(const std::string& job_id) {
   assert(it != outbound_.end());
   OutboundForward& forward = it->second;
   // The checkpoint chain was never forgotten, so resubmitting with the
-  // withdrawn progress restores locally once capacity frees up.
+  // withdrawn progress restores locally once capacity frees up.  The trace
+  // continues: the local re-submit span parents to the last forward span.
   auto resubmitted = coordinator_.submit(std::move(forward.spec),
-                                         forward.start_progress);
+                                         forward.start_progress,
+                                         forward.trace);
   if (!resubmitted.is_ok()) {
     GPUNION_ELOG("gateway") << region_ << " could not return " << job_id
                             << " to the local queue: " << resubmitted;
@@ -788,6 +807,16 @@ void RegionGateway::arm_timeout(const std::string& job_id,
         // reservation expires on its own, so the job cannot run twice.
         ++stats_.forward_timeouts;
         ++it->second.generation;
+        if (auto* tr = coordinator_.config().tracer;
+            tr != nullptr && tr->enabled() && it->second.trace.valid()) {
+          const util::SimTime sent = it->second.offer_sent_at >= 0
+                                         ? it->second.offer_sent_at
+                                         : env_.now();
+          tr->record(it->second.trace, obs::stage::kFedOffer, gateway_id_,
+                     sent, env_.now(),
+                     "timeout,gateway=" + it->second.awaiting_gateway);
+        }
+        it->second.offer_sent_at = -1;
         try_next_region(job_id);
         return;
       case OutboundForward::State::kAwaitingTransferAck:
@@ -813,6 +842,14 @@ void RegionGateway::handle_forward_accept(const ForwardAccept& accept) {
     return;  // late accept from a target we already gave up on
   }
   OutboundForward& forward = it->second;
+  if (auto* tr = coordinator_.config().tracer;
+      tr != nullptr && tr->enabled() && forward.trace.valid()) {
+    const util::SimTime sent =
+        forward.offer_sent_at >= 0 ? forward.offer_sent_at : env_.now();
+    tr->record(forward.trace, obs::stage::kFedOffer, gateway_id_, sent,
+               env_.now(), "accepted,region=" + accept.region);
+  }
+  forward.offer_sent_at = -1;
   forward.state = OutboundForward::State::kAwaitingTransferAck;
   forward.handoff_id = next_request_id_++;
   ++stats_.forwards_admitted;
@@ -839,6 +876,16 @@ void RegionGateway::send_transfer(const std::string& job_id) {
   transfer.job = forward.spec;  // keep the original for retries / returns
   transfer.start_progress = forward.start_progress;
   transfer.checkpoint_bytes = forward.checkpoint_bytes;
+  if (auto* tr = coordinator_.config().tracer;
+      tr != nullptr && tr->enabled() && forward.trace.valid()) {
+    // The transfer span's id crosses the WAN while the span is still open:
+    // the receiver's fed_admit span parents to it, and the ack closes it
+    // here.  Allocated lazily so a crash-recovery resume gets one too.
+    if (forward.transfer_span == 0) forward.transfer_span = tr->open_span();
+    if (forward.transfer_sent_at < 0) forward.transfer_sent_at = env_.now();
+    transfer.trace.trace_id = forward.trace.trace_id;
+    transfer.trace.parent_span = forward.transfer_span;
+  }
   // The shipment pays for its checkpoint payload on the WAN channel.
   send(forward.awaiting_gateway, kJobTransfer, std::move(transfer),
        kControlBytes + forward.checkpoint_bytes);
@@ -863,6 +910,22 @@ void RegionGateway::handle_transfer_ack(const JobTransferAck& ack) {
     return;  // duplicate / late ack; already settled
   }
   OutboundForward& forward = it->second;
+  auto close_transfer_span = [&](const std::string& detail) {
+    auto* tr = coordinator_.config().tracer;
+    if (tr == nullptr || !tr->enabled() || !forward.trace.valid() ||
+        forward.transfer_span == 0) {
+      return;
+    }
+    const util::SimTime sent = forward.transfer_sent_at >= 0
+                                   ? forward.transfer_sent_at
+                                   : env_.now();
+    tr->close_span(forward.transfer_span, forward.trace.trace_id,
+                   forward.trace.parent_span, obs::stage::kFedTransfer,
+                   gateway_id_, sent, env_.now(), detail);
+    // Later local spans (a bounced job's re-submit) parent to the transfer.
+    forward.trace.parent_span = forward.transfer_span;
+    forward.transfer_span = 0;
+  };
   if (!ack.accepted) {
     // Only the verdict on the NEWEST attempt counts: an older attempt's
     // refusal may be superseded by a retry already in flight, and taking
@@ -872,12 +935,15 @@ void RegionGateway::handle_transfer_ack(const JobTransferAck& ack) {
     // The target's reservation lapsed and its live re-admission said no
     // (or its coordinator refused the submit): take the job back.
     ++stats_.transfers_bounced;
+    close_transfer_span("bounced,region=" + ack.region);
     return_job_home(ack.job_id);
     return;
   }
   // An accept from ANY attempt settles the hand-off (the receiver is
   // idempotent across retries).
   ++forward.generation;  // invalidate the pending resend
+  close_transfer_span("region=" + ack.region + ",attempts=" +
+                      std::to_string(forward.transfer_attempts));
   ++stats_.transfers_delivered;
   if (forward.checkpoint_bytes > 0) {
     ++stats_.checkpoints_shipped;
@@ -907,6 +973,14 @@ void RegionGateway::handle_forward_refuse(const ForwardRefuse& refuse) {
   }
   ++stats_.forwards_refused;
   ++it->second.generation;
+  if (auto* tr = coordinator_.config().tracer;
+      tr != nullptr && tr->enabled() && it->second.trace.valid()) {
+    const util::SimTime sent =
+        it->second.offer_sent_at >= 0 ? it->second.offer_sent_at : env_.now();
+    tr->record(it->second.trace, obs::stage::kFedOffer, gateway_id_, sent,
+               env_.now(), "refused,region=" + refuse.region);
+  }
+  it->second.offer_sent_at = -1;
   GPUNION_DLOG("gateway") << region_ << " forward of " << refuse.job_id
                           << " refused by " << refuse.region << " ("
                           << refuse.reason << ")";
@@ -1059,7 +1133,15 @@ bool RegionGateway::admit_transfer(const JobTransfer& transfer) {
       progress = 0;
     }
   }
-  auto submitted = coordinator_.submit(job, progress);
+  // The admit span parents to the sender's (still-open) fed_transfer span —
+  // this is the edge that stitches the trace across the WAN.
+  obs::TraceContext ctx = transfer.trace;
+  if (auto* tr = coordinator_.config().tracer;
+      tr != nullptr && tr->enabled() && ctx.valid()) {
+    tr->record(ctx, obs::stage::kFedAdmit, gateway_id_, env_.now(),
+               env_.now(), "from=" + transfer.reply_to);
+  }
+  auto submitted = coordinator_.submit(job, progress, ctx);
   if (!submitted.is_ok()) {
     // The refused ack sends the job back to its origin's queue.
     GPUNION_WLOG("gateway") << region_ << " could not submit forwarded "

@@ -318,6 +318,18 @@ class RegionGateway {
     std::string awaiting_gateway;
     int attempts = 0;
     bool withdrawn = false;
+    /// Causal trace carried over from the withdrawn job; the gateway's
+    /// fed_* spans chain onto it and it crosses the WAN in JobTransfer.
+    obs::TraceContext trace;
+    /// Pre-allocated fed_transfer span id (open at send, closed at ack) so
+    /// the receiver's admit span can parent to it mid-flight.
+    std::uint64_t transfer_span = 0;
+    /// When the current offer left this gateway (start of the fed_offer
+    /// span; -1 while no offer is outstanding).
+    util::SimTime offer_sent_at = -1;
+    /// When the first transfer attempt left (start of the fed_transfer
+    /// span; retries keep the original start).
+    util::SimTime transfer_sent_at = -1;
   };
   /// A forwarded job running here for another region.
   struct RemoteJob {

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "federation/region_directory.h"
+#include "obs/trace.h"
 #include "sched/directory.h"
 #include "util/time.h"
 #include "workload/job.h"
@@ -178,6 +179,10 @@ struct JobTransfer {
   workload::JobSpec job;
   double start_progress = 0;
   std::uint64_t checkpoint_bytes = 0;
+  /// Causal trace crossing the WAN with the job: trace_id identifies the
+  /// end-to-end trace, parent_span is the sender's fed_transfer span so the
+  /// receiver's admit span parents to it (one trace spans A -> B -> C).
+  obs::TraceContext trace;
 };
 
 struct RemoteOutcome {

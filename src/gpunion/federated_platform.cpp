@@ -14,6 +14,9 @@ FederatedPlatform::FederatedPlatform(sim::Environment& env,
       config_(std::move(config)),
       wan_(std::make_unique<net::SimNetwork>(env, config_.wan)) {
   assert(!config_.regions.empty() && "federation requires at least one region");
+  // One tracer for the whole federation: a forwarded job's spans from every
+  // region land in one ring, so A -> B -> C reads as one trace.
+  if (config_.tracer == nullptr) config_.tracer = &own_tracer_;
   // Asymmetric campus distances: applied before any gateway exists, so the
   // first digest already travels at the modeled latency.
   for (const auto& link : config_.links) {
@@ -49,6 +52,9 @@ FederatedPlatform::FederatedPlatform(sim::Environment& env,
     }
     Region region;
     region.name = region_config.name;
+    if (region_config.campus.coordinator.tracer == nullptr) {
+      region_config.campus.coordinator.tracer = config_.tracer;
+    }
     region.platform =
         std::make_unique<Platform>(env_, region_config.campus);
     // The gateway calls straight into its region's coordinator, so it runs
@@ -215,6 +221,9 @@ void FederatedPlatform::register_region_crash_points(
 }
 
 void FederatedPlatform::refresh_metrics() {
+  // Federation-wide span histograms (the shared tracer holds every
+  // region's spans, so this is the one registry with the whole picture).
+  config_.tracer->publish_metrics(metrics_);
   auto& forwarded = metrics_.gauge_family(
       "gpunion_federation_forwards_admitted_total",
       "Jobs this region pushed to another campus (accepted offers)");

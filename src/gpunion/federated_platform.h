@@ -63,6 +63,10 @@ struct FederationConfig {
   federation::BrokerConfig broker;
   /// Cadence of the federated metrics refresh.
   util::Duration metrics_interval = 60.0;
+  /// Shared causal tracer injected into every region's control plane, so a
+  /// forwarded job's spans — origin, WAN transfer, remote execution — land
+  /// in ONE ring as one trace.  Left null, the FederatedPlatform owns one.
+  obs::Tracer* tracer = nullptr;
 };
 
 /// Federation-wide aggregate of the per-gateway (and, in hub mode, broker)
@@ -120,6 +124,9 @@ class FederatedPlatform {
   federation::FederationBroker& broker();
   net::SimNetwork& wan() { return *wan_; }
   monitor::MetricRegistry& metrics() { return metrics_; }
+  /// The federation-wide tracer every region records into.
+  obs::Tracer& tracer() { return *config_.tracer; }
+  const obs::Tracer& tracer() const { return *config_.tracer; }
   sim::Environment& env() { return env_; }
 
   /// Every GPU across every region.
@@ -168,6 +175,9 @@ class FederatedPlatform {
 
   sim::Environment& env_;
   FederationConfig config_;
+  /// Default federation-wide tracer; config_.tracer points here unless the
+  /// caller injected one.
+  obs::Tracer own_tracer_;
   std::unique_ptr<net::SimNetwork> wan_;
   std::unique_ptr<federation::FederationBroker> broker_;
   struct Region {

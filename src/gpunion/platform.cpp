@@ -21,6 +21,12 @@ Platform::Platform(sim::Environment& env, CampusConfig config)
   // so they share one lane and never race.
   lane_ = env_.register_lane("platform");
   config_.coordinator.lane = lane_;
+  // One tracer per campus unless the owner (federation tier) injected a
+  // shared one — cross-region traces need every hop in one ring.
+  if (config_.coordinator.tracer == nullptr) {
+    config_.coordinator.tracer = &own_tracer_;
+  }
+  database_.set_tracer(config_.coordinator.tracer);
   if (env_.mode() == sim::ExecutionMode::kParallel &&
       config_.db.write_behind) {
     shard_executor_ = std::make_unique<db::ShardExecutor>(
@@ -69,7 +75,7 @@ Platform::Platform(sim::Environment& env, CampusConfig config)
   db_flush_timer_ = std::make_unique<sim::PeriodicTimer>(
       env_, config_.db.flush_interval,
       [this] {
-        database_.flush_ledger(db::FlushTrigger::kInterval);
+        database_.flush_ledger(db::FlushTrigger::kInterval, env_.now());
         if (config_.db.adaptive_flush) {
           // Contention-aware pacing: deep log -> flush sooner (bounds the
           // recovery replay window), idle log -> stretch out (fewer group
@@ -298,7 +304,7 @@ void Platform::register_crash_points(util::Duration downtime) {
   faults_->register_fault(std::string(sim::kCrashPreAck), [this, downtime] {
     // Settle the ledger first: the crash lands between acks, with every
     // acknowledged mutation already durable in its shard image.
-    database_.flush_ledger(db::FlushTrigger::kExplicit);
+    database_.flush_ledger(db::FlushTrigger::kExplicit, env_.now());
     crash_control_plane(downtime);
   });
   faults_->register_fault(std::string(sim::kCrashPostAckPreFlush),
@@ -312,7 +318,7 @@ void Platform::register_crash_points(util::Duration downtime) {
         // advance, the WAL never truncates, then the process dies.
         database_.arm_flush_crash(
             static_cast<std::size_t>(database_.shard_count()) / 2);
-        database_.flush_ledger(db::FlushTrigger::kExplicit);
+        database_.flush_ledger(db::FlushTrigger::kExplicit, env_.now());
         crash_control_plane(downtime);
       });
 }
@@ -425,6 +431,80 @@ void Platform::refresh_metrics() {
     util_family.gauge({{"node", model->hostname()}})
         .set(model->busy_fraction());
   }
+
+  // Span-derived stage latencies + ring accounting (tracer-side histograms
+  // copied in here, on the owning thread — the tracer never touches the
+  // registry at record time).
+  if (auto* tracer = config_.coordinator.tracer; tracer != nullptr) {
+    tracer->publish_metrics(metrics_);
+  }
+
+  // Dark data: counters subsystems always kept but never exposed.
+  const db::RecoveryReport& recovery = database_.last_recovery_report();
+  auto& recovery_family = metrics_.gauge_family(
+      "gpunion_db_recovery", "Last crash recovery: WAL replay accounting");
+  recovery_family.gauge({{"stat", "recoveries"}})
+      .set(static_cast<double>(database_.recoveries()));
+  recovery_family.gauge({{"stat", "wal_depth"}})
+      .set(static_cast<double>(recovery.wal_depth_at_crash));
+  recovery_family.gauge({{"stat", "replayed"}})
+      .set(static_cast<double>(recovery.replayed));
+  recovery_family.gauge({{"stat", "skipped"}})
+      .set(static_cast<double>(recovery.skipped_applied));
+  auto& rebuilt_family = metrics_.gauge_family(
+      "gpunion_db_recovery_rows", "Rows rebuilt by the last crash recovery");
+  rebuilt_family.gauge({{"table", "nodes"}})
+      .set(static_cast<double>(recovery.nodes));
+  rebuilt_family.gauge({{"table", "allocations"}})
+      .set(static_cast<double>(recovery.allocations));
+  rebuilt_family.gauge({{"table", "queue"}})
+      .set(static_cast<double>(recovery.queue_rows));
+  rebuilt_family.gauge({{"table", "job_states"}})
+      .set(static_cast<double>(recovery.job_states));
+  rebuilt_family.gauge({{"table", "forward_states"}})
+      .set(static_cast<double>(recovery.forward_states));
+  rebuilt_family.gauge({{"table", "handoffs"}})
+      .set(static_cast<double>(recovery.handoffs));
+
+  auto& pops_family = metrics_.gauge_family(
+      "gpunion_db_queue_pops", "Pending-queue pops by partition locality");
+  pops_family.gauge({{"kind", "local"}})
+      .set(static_cast<double>(database_.local_pops()));
+  pops_family.gauge({{"kind", "stolen"}})
+      .set(static_cast<double>(database_.stolen_pops()));
+
+  const db::LedgerStats& ledger = database_.ledger().stats();
+  auto& ledger_family = metrics_.gauge_family(
+      "gpunion_db_ledger", "Write-behind ledger group-commit accounting");
+  ledger_family.gauge({{"stat", "absorbed"}})
+      .set(static_cast<double>(ledger.absorbed));
+  ledger_family.gauge({{"stat", "entries_flushed"}})
+      .set(static_cast<double>(ledger.entries_flushed));
+  ledger_family.gauge({{"stat", "flushes"}})
+      .set(static_cast<double>(ledger.flushes));
+  ledger_family.gauge({{"stat", "shard_commits"}})
+      .set(static_cast<double>(ledger.shard_commits));
+  ledger_family.gauge({{"stat", "pending"}})
+      .set(static_cast<double>(database_.ledger().pending()));
+  ledger_family.gauge({{"stat", "max_pending"}})
+      .set(static_cast<double>(ledger.max_pending));
+
+  auto& faults_family = metrics_.gauge_family(
+      "gpunion_fault_injections", "Times each registered fault point fired");
+  for (const std::string& name : faults_->names()) {
+    faults_family.gauge({{"fault", name}})
+        .set(static_cast<double>(faults_->fired(name)));
+  }
+
+  const sim::QueueStats queue_stats = env_.queue_stats();
+  auto& sim_family = metrics_.gauge_family(
+      "gpunion_sim_queue", "Event-queue internals across all shards");
+  sim_family.gauge({{"stat", "live"}})
+      .set(static_cast<double>(queue_stats.live));
+  sim_family.gauge({{"stat", "tombstones"}})
+      .set(static_cast<double>(queue_stats.tombstones));
+  sim_family.gauge({{"stat", "compactions"}})
+      .set(static_cast<double>(queue_stats.compactions));
 }
 
 }  // namespace gpunion

@@ -22,6 +22,7 @@
 #include "monitor/metrics.h"
 #include "monitor/scraper.h"
 #include "net/sim_network.h"
+#include "obs/trace.h"
 #include "sched/coordinator.h"
 #include "sim/environment.h"
 #include "sim/fault_injector.h"
@@ -53,6 +54,11 @@ class Platform {
   storage::CheckpointStore& checkpoint_store() { return store_; }
   container::ImageRegistry& image_registry() { return registry_; }
   monitor::MetricRegistry& metrics() { return metrics_; }
+  /// The causal tracer the whole campus control plane records into.  Owned
+  /// here unless CampusConfig::coordinator.tracer injected a shared one
+  /// (the federation tier does, so one trace spans regions).
+  obs::Tracer& tracer() { return *config_.coordinator.tracer; }
+  const obs::Tracer& tracer() const { return *config_.coordinator.tracer; }
   sim::Environment& env() { return env_; }
   const CampusConfig& config() const { return config_; }
   /// Control-plane actor lane (coordinator + database + scraper share it —
@@ -140,6 +146,9 @@ class Platform {
 
   sim::Environment& env_;
   CampusConfig config_;
+  /// Default tracer; config_.coordinator.tracer points here unless the
+  /// owner injected a shared one before construction.
+  obs::Tracer own_tracer_;
   sim::LaneId lane_ = sim::kMainLane;
   std::unique_ptr<net::SimNetwork> network_;
   db::ShardedDatabase database_;

@@ -52,6 +52,24 @@ std::string escape_label_value(const std::string& value) {
   return out;
 }
 
+std::string unescape_label_value(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (std::size_t i = 0; i < value.size(); ++i) {
+    if (value[i] != '\\' || i + 1 == value.size()) {
+      out += value[i];
+      continue;
+    }
+    switch (value[i + 1]) {
+      case '\\': out += '\\'; ++i; break;
+      case '"': out += '"'; ++i; break;
+      case 'n': out += '\n'; ++i; break;
+      default: out += value[i];
+    }
+  }
+  return out;
+}
+
 std::string expose_family(const MetricFamily& family) {
   std::ostringstream os;
   os << "# HELP " << family.name() << " " << family.help() << "\n";

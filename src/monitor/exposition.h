@@ -22,4 +22,8 @@ std::string expose_registry(const MetricRegistry& registry);
 /// Escapes a label value per the exposition format (backslash, quote, \n).
 std::string escape_label_value(const std::string& value);
 
+/// Inverse of escape_label_value, as a scraping client would apply it.
+/// Unknown escape sequences pass through verbatim.
+std::string unescape_label_value(const std::string& value);
+
 }  // namespace gpunion::monitor

@@ -2,12 +2,16 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <stdexcept>
 
 namespace gpunion::monitor {
 
 void Counter::increment(double amount) {
-  assert(amount >= 0 && "counters are monotonic");
+  // Counters are monotonic: a negative increment (e.g. computed from a
+  // difference that went backwards) is ignored rather than corrupting the
+  // series.
+  if (!(amount >= 0)) return;
   value_ += amount;
 }
 
@@ -35,12 +39,34 @@ std::vector<std::uint64_t> Histogram::cumulative_counts() const {
 }
 
 double Histogram::quantile(double q) const {
-  assert(q >= 0.0 && q <= 1.0);
   if (count_ == 0) return 0.0;
-  const auto target = static_cast<std::uint64_t>(
+  q = std::isnan(q) ? 0.5 : std::clamp(q, 0.0, 1.0);
+  if (q <= 0.0) {
+    // Lower edge of the first occupied bucket (the minimum observable
+    // estimate; the old code interpolated inside an empty first bucket).
+    for (std::size_t i = 0; i < bucket_counts_.size(); ++i) {
+      if (bucket_counts_[i] == 0) continue;
+      if (i >= bounds_.size()) return bounds_.empty() ? 0.0 : bounds_.back();
+      return i == 0 ? 0.0 : bounds_[i - 1];
+    }
+    return 0.0;
+  }
+  if (q >= 1.0) {
+    // Upper edge of the last occupied bucket; the +Inf bucket has no upper
+    // edge, so the largest finite bound is the best available estimate.
+    for (std::size_t i = bucket_counts_.size(); i-- > 0;) {
+      if (bucket_counts_[i] == 0) continue;
+      if (i >= bounds_.size()) return bounds_.empty() ? 0.0 : bounds_.back();
+      return bounds_[i];
+    }
+    return 0.0;
+  }
+  auto target = static_cast<std::uint64_t>(
       q * static_cast<double>(count_) + 0.5);
+  target = std::clamp<std::uint64_t>(target, 1, count_);
   std::uint64_t running = 0;
   for (std::size_t i = 0; i < bucket_counts_.size(); ++i) {
+    if (bucket_counts_[i] == 0) continue;  // never land inside an empty bucket
     running += bucket_counts_[i];
     if (running >= target) {
       if (i >= bounds_.size()) return bounds_.empty() ? 0.0 : bounds_.back();
@@ -49,11 +75,8 @@ double Histogram::quantile(double q) const {
       // Interpolate within the bucket.
       const std::uint64_t in_bucket = bucket_counts_[i];
       const std::uint64_t before = running - in_bucket;
-      const double frac =
-          in_bucket == 0
-              ? 1.0
-              : (static_cast<double>(target - before)) /
-                    static_cast<double>(in_bucket);
+      const double frac = static_cast<double>(target - before) /
+                          static_cast<double>(in_bucket);
       return lo + (hi - lo) * std::clamp(frac, 0.0, 1.0);
     }
   }

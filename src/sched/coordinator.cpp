@@ -70,6 +70,8 @@ db::JobStateRecord to_state(const JobRecord& r) {
   s.running_since = r.running_since;
   s.segment_start_progress = r.segment_start_progress;
   s.node_speed = r.node_speed;
+  s.trace_id = r.trace.trace_id;
+  s.trace_parent_span = r.trace.parent_span;
   return s;
 }
 
@@ -104,6 +106,8 @@ JobRecord from_state(const db::JobStateRecord& s) {
   r.running_since = s.running_since;
   r.segment_start_progress = s.segment_start_progress;
   r.node_speed = s.node_speed;
+  r.trace.trace_id = s.trace_id;
+  r.trace.parent_span = s.trace_parent_span;
   return r;
 }
 
@@ -144,8 +148,8 @@ void Coordinator::start() {
 // Client API
 // ---------------------------------------------------------------------------
 
-util::Status Coordinator::submit(workload::JobSpec job,
-                                 double start_progress) {
+util::Status Coordinator::submit(workload::JobSpec job, double start_progress,
+                                 obs::TraceContext trace) {
   if (job.id.empty()) {
     return util::invalid_argument_error("job requires an id");
   }
@@ -159,7 +163,16 @@ util::Status Coordinator::submit(workload::JobSpec job,
   record.spec = std::move(job);
   record.checkpointed_progress = start_progress;
   record.submitted_at = env_.now();
+  record.queued_since = env_.now();
   const std::string job_id = record.spec.id;
+  if (auto* tr = config_.tracer; tr != nullptr && tr->enabled()) {
+    record.trace = trace.valid()
+                       ? trace
+                       : obs::TraceContext{obs::Tracer::trace_for_job(job_id),
+                                           0};
+    tr->record(record.trace, obs::stage::kSubmit, config_.id, env_.now(),
+               env_.now());
+  }
   const bool interactive =
       record.spec.type == workload::JobType::kInteractive;
   jobs_.emplace(job_id, std::move(record));
@@ -257,6 +270,7 @@ util::StatusOr<Coordinator::WithdrawnJob> Coordinator::withdraw(
   WithdrawnJob out;
   out.spec = std::move(record.spec);
   out.checkpointed_progress = record.checkpointed_progress;
+  out.trace = record.trace;
   jobs_.erase(it);  // no archive entry: the job now belongs elsewhere
   ++stats_.jobs_withdrawn;
   // The job's durable home moves with it: the caller (federation gateway)
@@ -558,6 +572,7 @@ void Coordinator::rebuild_from_db() {
   for (db::JobStateRecord& row : database_.job_states()) {
     JobRecord record = from_state(row);
     record.awaiting_dispatch_settle = false;  // nothing in flight survives
+    record.queued_since = env_.now();  // queue residency restarts at recovery
     const std::string job_id = record.spec.id;
 
     if (job_phase_terminal(record.phase)) {
@@ -570,6 +585,11 @@ void Coordinator::rebuild_from_db() {
     if (record.phase == JobPhase::kDispatching) {
       record.phase = JobPhase::kPending;
       record.preferred_node = row.node;  // try the granted node first
+      if (auto* tr = config_.tracer;
+          tr != nullptr && tr->enabled() && record.trace.valid()) {
+        tr->record(record.trace, obs::stage::kRecoveryRedispatch, config_.id,
+                   env_.now(), env_.now(), "node=" + row.node);
+      }
       auto [it, inserted] = jobs_.emplace(job_id, std::move(record));
       set_displaced_from(it->second, row.displaced_from);
       database_.enqueue_request_front(db::PendingRequest{
@@ -899,6 +919,17 @@ void Coordinator::handle_dispatch_result(const agent::DispatchResult& result) {
     return;
   }
 
+  if (auto* tr = config_.tracer;
+      tr != nullptr && tr->enabled() && record->trace.valid()) {
+    const util::SimTime sent =
+        record->dispatch_sent_at >= 0 ? record->dispatch_sent_at : env_.now();
+    tr->record(record->trace, obs::stage::kDispatch, config_.id, sent,
+               env_.now(),
+               (result.accepted ? "node=" : "rejected,node=") +
+                   result.machine_id);
+  }
+  record->dispatch_sent_at = -1;
+
   if (!result.accepted) {
     ++stats_.dispatches_rejected;
     ++record->dispatch_rejects;
@@ -981,6 +1012,13 @@ void Coordinator::handle_job_completed(const agent::JobCompleted& done) {
   if (record.phase != JobPhase::kRunning || record.node != done.machine_id) {
     return;  // stale (job was already migrated elsewhere)
   }
+  if (auto* tr = config_.tracer;
+      tr != nullptr && tr->enabled() && record.trace.valid()) {
+    const util::SimTime since =
+        record.running_since >= 0 ? record.running_since : env_.now();
+    tr->record(record.trace, obs::stage::kRun, config_.id, since, env_.now(),
+               "completed,node=" + done.machine_id);
+  }
   record.phase = JobPhase::kCompleted;
   record.completed_at = env_.now();
   record.checkpointed_progress = 1.0;
@@ -1011,6 +1049,14 @@ void Coordinator::handle_checkpoint_notice(
   record.checkpointed_progress =
       std::max(record.checkpointed_progress, notice.progress);
   record.last_checkpoint_at = env_.now();
+  if (auto* tr = config_.tracer;
+      tr != nullptr && tr->enabled() && record.trace.valid()) {
+    // Sibling of the run span, not its successor: checkpoints annotate the
+    // run rather than redirect the causal chain.
+    tr->record(record.trace, obs::stage::kCheckpoint, config_.id, env_.now(),
+               env_.now(), "progress=" + std::to_string(notice.progress),
+               /*advance=*/false);
+  }
   persist_job(record);
 }
 
@@ -1172,6 +1218,15 @@ void Coordinator::dispatch_to(JobRecord& record, const NodeInfo& node,
   set_assignment(record, node.machine_id);
   record.phase = JobPhase::kDispatching;
   const std::uint64_t generation = ++record.dispatch_generation;
+  record.dispatch_sent_at = env_.now();
+  if (auto* tr = config_.tracer;
+      tr != nullptr && tr->enabled() && record.trace.valid()) {
+    tr->record(record.trace, obs::stage::kQueueWait, config_.id,
+               record.queued_since, env_.now());
+    tr->record(record.trace, obs::stage::kPlacement, config_.id, env_.now(),
+               env_.now(),
+               "node=" + node.machine_id + (fractional ? ",slot" : ""));
+  }
 
   agent::DispatchRequest request;
   request.job = record.spec;
@@ -1218,6 +1273,14 @@ void Coordinator::dispatch_timeout(const std::string& job_id,
   if (record.phase != JobPhase::kDispatching) return;
   GPUNION_WLOG("coordinator")
       << "dispatch of " << job_id << " to " << record.node << " timed out";
+  if (auto* tr = config_.tracer;
+      tr != nullptr && tr->enabled() && record.trace.valid()) {
+    const util::SimTime sent =
+        record.dispatch_sent_at >= 0 ? record.dispatch_sent_at : env_.now();
+    tr->record(record.trace, obs::stage::kDispatch, config_.id, sent,
+               env_.now(), "timeout,node=" + record.node);
+  }
+  record.dispatch_sent_at = -1;
   settle_in_flight(record, record.node);
   release_capacity(record, record.node);
   clear_assignment(record);
@@ -1239,6 +1302,7 @@ void Coordinator::session_timeout(const std::string& job_id,
 
 void Coordinator::requeue(JobRecord& record, bool front) {
   record.phase = JobPhase::kPending;
+  record.queued_since = env_.now();
   db::PendingRequest request{record.spec.id,
                              record.spec.requirements.priority,
                              record.submitted_at};
@@ -1300,6 +1364,18 @@ void Coordinator::interrupt_job(JobRecord& record, agent::DepartureKind cause,
   ++record.interruptions;
   record.lost_work_seconds += lost_seconds;
   record.last_interruption_cause = cause;
+  if (auto* tr = config_.tracer;
+      tr != nullptr && tr->enabled() && record.trace.valid()) {
+    if (record.running_since >= 0) {
+      tr->record(record.trace, obs::stage::kRun, config_.id,
+                 record.running_since, env_.now(),
+                 "interrupted,node=" + record.node);
+    }
+    tr->record(record.trace, obs::stage::kInterrupt, config_.id, at,
+               env_.now(),
+               std::string("cause=") +
+                   std::string(agent::departure_kind_name(cause)));
+  }
   set_displaced_from(record, record.node);
   clear_assignment(record);
   record.running_since = -1;
@@ -1327,6 +1403,7 @@ void Coordinator::interrupt_job(JobRecord& record, agent::DepartureKind cause,
     // Manual coordination: a human notices the failure and resubmits later.
     const std::string job_id = record.spec.id;
     record.phase = JobPhase::kPending;
+    record.queued_since = env_.now();
     persist_job(record);
     const std::uint64_t epoch = epoch_;
     env_.schedule_after_on(config_.lane, config_.manual_resubmit_delay,

@@ -19,6 +19,7 @@
 #include "agent/proto.h"
 #include "db/database.h"
 #include "net/transport.h"
+#include "obs/trace.h"
 #include "sched/directory.h"
 #include "sched/heartbeat_monitor.h"
 #include "sched/migration.h"
@@ -58,6 +59,11 @@ struct CoordinatorConfig {
   /// Actor lane the coordinator's decision loop runs on (timeouts, passes,
   /// message deliveries).  The platform assigns its own lane here.
   sim::LaneId lane = sim::kMainLane;
+  /// Optional span sink: when set, every job carries a TraceContext and the
+  /// coordinator records submit/queue_wait/placement/dispatch/run/
+  /// checkpoint/interrupt spans into it.  Null = tracing off (no cost
+  /// beyond the null check).
+  obs::Tracer* tracer = nullptr;
 };
 
 enum class JobPhase {
@@ -111,6 +117,15 @@ struct JobRecord {
   util::SimTime running_since = -1;
   double segment_start_progress = 0;
   double node_speed = 1.0;  // reference-relative speed of the current node
+  /// Causal trace carried through every stage (obs/trace.h); parent_span
+  /// advances as stages complete.  Survives crashes via JobStateRecord.
+  obs::TraceContext trace;
+  /// Start of the current queue residency (submit or last requeue); closes
+  /// the queue_wait span at dispatch time.
+  util::SimTime queued_since = 0;
+  /// When the current dispatch RPC left the coordinator (start of the
+  /// dispatch span; -1 while no dispatch is in flight).
+  util::SimTime dispatch_sent_at = -1;
 };
 
 struct CoordinatorStats {
@@ -205,7 +220,10 @@ class Coordinator {
   /// `start_progress` > 0 seeds durable progress for jobs arriving with a
   /// checkpoint already in this campus's store (cross-campus migration):
   /// the first dispatch restores from it instead of starting cold.
-  util::Status submit(workload::JobSpec job, double start_progress = 0.0);
+  /// `trace` continues an existing causal trace (federation admit, return
+  /// home); default = start a fresh trace rooted at this submit.
+  util::Status submit(workload::JobSpec job, double start_progress = 0.0,
+                      obs::TraceContext trace = {});
   /// Cancels a pending or running job.
   util::Status cancel(const std::string& job_id);
 
@@ -216,6 +234,9 @@ class Coordinator {
   struct WithdrawnJob {
     workload::JobSpec spec;
     double checkpointed_progress = 0;
+    /// The job's causal trace, so the gateway's forward spans chain onto
+    /// the local submit/queue history.
+    obs::TraceContext trace;
   };
   /// Removes a PENDING job from this coordinator entirely (queue, record,
   /// indexes — no archive entry) and returns its spec + durable progress.

@@ -50,6 +50,7 @@ Environment::Environment(std::uint64_t seed, EnvConfig config)
     // legacy (time, insertion order) — bit-identical seed replay.
     queue_ = std::make_unique<ShardedEventQueue>(1);
   }
+  profile_.resize(queue_->shard_count());
 }
 
 Environment::~Environment() {
@@ -198,6 +199,17 @@ void Environment::fire_on_caller(EventQueue::Event&& event) {
   now_.store(event.time, std::memory_order_relaxed);
   ++processed_;
   if (fire_observer_) fire_observer_(event.time, event.id);
+  if (config_.profile_lanes && !parallel()) {
+    // Single-shard profiling: every lane folds onto shard 0.  +1 counts the
+    // event being fired (already popped when sampled).
+    profile_[0].max_queue_depth = std::max(profile_[0].max_queue_depth,
+                                           queue_->shard_live_size(0) + 1);
+    const double cpu = thread_cpu_seconds();
+    event.fn();
+    profile_[0].busy_s += thread_cpu_seconds() - cpu;
+    ++profile_[0].events;
+    return;
+  }
   event.fn();
 }
 
@@ -213,7 +225,15 @@ std::size_t Environment::run_parallel(double limit, std::size_t max_events) {
       EventQueue::Event event;
       if (queue_->exclusive_try_pop(std::nextafter(tex, kInf), &event)) {
         ++parallel_stats_.exclusive_events;
-        fire_on_caller(std::move(event));
+        if (config_.profile_lanes) {
+          // Every worker sits quiesced while this runs: its CPU time is
+          // pure stall for the whole pool.
+          const double cpu = thread_cpu_seconds();
+          fire_on_caller(std::move(event));
+          exclusive_stall_s_ += thread_cpu_seconds() - cpu;
+        } else {
+          fire_on_caller(std::move(event));
+        }
         ++fired;
       }
       continue;
@@ -246,6 +266,24 @@ std::size_t Environment::run_window(double bound) {
   }
   parallel_stats_.causality_clamps =
       causality_clamps_.load(std::memory_order_relaxed);
+  if (config_.profile_lanes) {
+    // Critical-path attribution: the busiest worker bounded this window's
+    // wall clock; everyone else's shortfall is barrier idle time.
+    ++profiled_windows_;
+    std::size_t critical = SIZE_MAX;
+    for (std::size_t i = 0; i < worker_states_.size(); ++i) {
+      profile_[i].idle_s +=
+          std::max(0.0, window_max_busy_ - worker_states_[i].last_window_busy);
+      if (critical == SIZE_MAX &&
+          worker_states_[i].last_window_busy == window_max_busy_) {
+        critical = i;
+      }
+    }
+    if (critical != SIZE_MAX && window_max_busy_ > 0) {
+      ++profile_[critical].critical_windows;
+      profile_[critical].critical_busy_s += window_max_busy_;
+    }
+  }
   processed_ += window_events_;
   if (window_events_ > 0) {
     now_.store(std::max(now_.load(std::memory_order_relaxed), window_max_time_),
@@ -269,6 +307,8 @@ void Environment::worker_main(std::size_t index) {
     lock.unlock();
 
     tls_ctx.window_bound = bound;
+    const std::size_t depth =
+        config_.profile_lanes ? queue_->shard_live_size(index) : 0;
     const double cpu_start = thread_cpu_seconds();
     std::uint64_t fired = 0;
     double max_time = -kInf;
@@ -286,6 +326,13 @@ void Environment::worker_main(std::size_t index) {
     lock.lock();
     worker_states_[index].events += fired;
     worker_states_[index].busy_s += busy;
+    worker_states_[index].last_window_busy = busy;
+    if (config_.profile_lanes) {
+      profile_[index].events += fired;
+      profile_[index].busy_s += busy;
+      profile_[index].max_queue_depth =
+          std::max(profile_[index].max_queue_depth, depth);
+    }
     window_events_ += fired;
     window_max_busy_ = std::max(window_max_busy_, busy);
     if (fired > 0) window_max_time_ = std::max(window_max_time_, max_time);
@@ -296,6 +343,31 @@ void Environment::worker_main(std::size_t index) {
 QueueStats Environment::queue_stats() const {
   return QueueStats{queue_->live_size(), queue_->tombstones(),
                     queue_->compactions()};
+}
+
+ProfilerReport Environment::lane_profile() const {
+  ProfilerReport report;
+  report.enabled = config_.profile_lanes;
+  report.windows = profiled_windows_;
+  report.exclusive_events = parallel_stats_.exclusive_events;
+  report.exclusive_stall_s = exclusive_stall_s_;
+  report.shards.reserve(profile_.size());
+  std::lock_guard<std::mutex> lock(lanes_mu_);
+  for (std::size_t shard = 0; shard < profile_.size(); ++shard) {
+    LaneProfile lane;
+    lane.shard = shard;
+    for (std::size_t l = 0; l < lane_labels_.size(); ++l) {
+      if (l % profile_.size() == shard) lane.lanes.push_back(lane_labels_[l]);
+    }
+    lane.events = profile_[shard].events;
+    lane.busy_s = profile_[shard].busy_s;
+    lane.idle_s = profile_[shard].idle_s;
+    lane.critical_windows = profile_[shard].critical_windows;
+    lane.critical_busy_s = profile_[shard].critical_busy_s;
+    lane.max_queue_depth = profile_[shard].max_queue_depth;
+    report.shards.push_back(std::move(lane));
+  }
+  return report;
 }
 
 PeriodicTimer::PeriodicTimer(Environment& env, util::Duration period,

@@ -65,6 +65,12 @@ struct EnvConfig {
   /// base link latency.  Cross-lane events scheduled closer than this are
   /// deferred to the window boundary (counted as causality_clamps).
   double lookahead = 0.0002;
+  /// Collect the actor-lane profiler (lane_profile()): per-shard busy CPU
+  /// time, per-window critical-path attribution, barrier idle time,
+  /// queue-depth high-water marks and exclusive-event stall time.  Off by
+  /// default — sampling takes shard locks and reads the CPU clock per
+  /// event/window, so it is not free.
+  bool profile_lanes = false;
 };
 
 /// Aggregated queue introspection (live/tombstone/compaction stats).
@@ -86,6 +92,37 @@ struct ParallelStats {
   double total_busy_s = 0.0;
   /// Events fired per worker (size == worker_threads).
   std::vector<std::uint64_t> worker_events;
+};
+
+/// One profiled queue shard: the mailbox of one worker in kParallel, the
+/// single global shard in kDeterministic, plus the actor lanes folding onto
+/// it (lane % shards).
+struct LaneProfile {
+  std::size_t shard = 0;
+  std::vector<std::string> lanes;  // labels of lanes mapped onto this shard
+  std::uint64_t events = 0;        // events fired on this shard
+  double busy_s = 0.0;             // CPU seconds inside its callbacks
+  /// CPU seconds this shard's worker sat at window join barriers while a
+  /// busier shard finished its slice (kParallel only).
+  double idle_s = 0.0;
+  /// Windows where this shard was the busiest — the critical path: its
+  /// callbacks bounded that window's wall clock.
+  std::uint64_t critical_windows = 0;
+  /// Busy CPU seconds accumulated while on the critical path.
+  double critical_busy_s = 0.0;
+  /// High-water mark of live events pending on this shard at fire time.
+  std::size_t max_queue_depth = 0;
+};
+
+/// Actor-runtime profile (collected when EnvConfig::profile_lanes is set).
+struct ProfilerReport {
+  bool enabled = false;
+  std::uint64_t windows = 0;  // profiled conservative windows (kParallel)
+  std::uint64_t exclusive_events = 0;
+  /// CPU seconds spent inside exclusive events — time every worker sat
+  /// quiesced (multiply by worker count for stalled worker-seconds).
+  double exclusive_stall_s = 0.0;
+  std::vector<LaneProfile> shards;
 };
 
 class Environment {
@@ -148,6 +185,11 @@ class Environment {
   QueueStats queue_stats() const;
   const ParallelStats& parallel_stats() const { return parallel_stats_; }
 
+  /// The actor-lane profile accumulated so far.  All-zero (enabled=false)
+  /// unless EnvConfig::profile_lanes was set.  Call between runs — never
+  /// concurrently with run()/run_until().
+  ProfilerReport lane_profile() const;
+
   /// Observer invoked as (time, event-id) immediately before each event
   /// fires; used by determinism regression tests to capture fire traces.
   /// In kParallel it runs on worker threads and must be thread-safe.
@@ -166,6 +208,21 @@ class Environment {
   struct WorkerState {
     std::uint64_t events = 0;
     double busy_s = 0.0;
+    /// Busy CPU seconds of the most recent window (critical-path
+    /// attribution in run_window).
+    double last_window_busy = 0.0;
+  };
+
+  /// Per-shard profiler accumulators (EnvConfig::profile_lanes).  Written
+  /// by workers under run_mu_ (and by the single thread in kDeterministic);
+  /// read by lane_profile() between runs.
+  struct ShardProfile {
+    std::uint64_t events = 0;
+    double busy_s = 0.0;
+    double idle_s = 0.0;
+    std::uint64_t critical_windows = 0;
+    double critical_busy_s = 0.0;
+    std::size_t max_queue_depth = 0;
   };
 
   bool parallel() const { return config_.mode == ExecutionMode::kParallel; }
@@ -213,6 +270,9 @@ class Environment {
   std::vector<WorkerState> worker_states_;
   std::atomic<std::uint64_t> causality_clamps_{0};
   ParallelStats parallel_stats_;
+  std::vector<ShardProfile> profile_;
+  std::uint64_t profiled_windows_ = 0;
+  double exclusive_stall_s_ = 0.0;
 };
 
 /// Repeating timer helper: reschedules itself every `period` until stopped.

@@ -83,6 +83,12 @@ util::SimTime ShardedEventQueue::next_time() const {
   return t;
 }
 
+std::size_t ShardedEventQueue::shard_live_size(std::size_t shard) const {
+  const Shard& s = shards_[shard];
+  std::lock_guard<std::mutex> lock(s.mu);
+  return s.q.live_size();
+}
+
 util::SimTime ShardedEventQueue::shard_next_time(std::size_t shard) const {
   const Shard& s = shards_[shard];
   std::lock_guard<std::mutex> lock(s.mu);

@@ -55,6 +55,8 @@ class ShardedEventQueue {
   util::SimTime next_time() const;
 
   // --- Executor-facing, per-shard -------------------------------------------
+  /// Live events pending on ONE shard (profiler queue-depth sampling).
+  std::size_t shard_live_size(std::size_t shard) const;
   util::SimTime shard_next_time(std::size_t shard) const;
   util::SimTime exclusive_next_time() const;
   /// Pops the shard's earliest event iff its time < `bound`.  The owning

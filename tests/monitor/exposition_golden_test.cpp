@@ -1,0 +1,91 @@
+// Golden-file test of the Prometheus exposition format (PR 8 satellite):
+// the full expose_registry output is pinned so any drift in HELP/TYPE
+// ordering, label rendering or histogram bucket lines is a diff, not a
+// silent scrape break.  Plus escape/unescape round-trips and histogram
+// cumulative-bucket invariants.
+#include <gtest/gtest.h>
+
+#include "monitor/exposition.h"
+#include "monitor/metrics.h"
+
+namespace gpunion::monitor {
+namespace {
+
+TEST(ExpositionGoldenTest, FullRegistrySnapshot) {
+  MetricRegistry registry;
+  registry.gauge_family("gpunion_nodes_active", "Active provider nodes")
+      .gauge()
+      .set(42);
+  auto& jobs = registry.counter_family("gpunion_jobs_total", "Total jobs");
+  jobs.counter({{"group", "vision"}}).increment(3);
+  jobs.counter({{"group", "nlp"}}).increment(1);
+  auto& latency = registry.histogram_family("gpunion_latency_seconds",
+                                            "Request latency", {0.1, 1.0});
+  auto& h = latency.histogram({{"stage", "dispatch"}});
+  h.observe(0.05);
+  h.observe(0.5);
+  h.observe(5.0);
+
+  // Families in name order; labels in key order; buckets cumulative with a
+  // trailing +Inf; _sum/_count after the buckets.
+  const std::string expected =
+      "# HELP gpunion_jobs_total Total jobs\n"
+      "# TYPE gpunion_jobs_total counter\n"
+      "gpunion_jobs_total{group=\"nlp\"} 1\n"
+      "gpunion_jobs_total{group=\"vision\"} 3\n"
+      "# HELP gpunion_latency_seconds Request latency\n"
+      "# TYPE gpunion_latency_seconds histogram\n"
+      "gpunion_latency_seconds_bucket{le=\"0.1\",stage=\"dispatch\"} 1\n"
+      "gpunion_latency_seconds_bucket{le=\"1\",stage=\"dispatch\"} 2\n"
+      "gpunion_latency_seconds_bucket{le=\"+Inf\",stage=\"dispatch\"} 3\n"
+      "gpunion_latency_seconds_sum{stage=\"dispatch\"} 5.55\n"
+      "gpunion_latency_seconds_count{stage=\"dispatch\"} 3\n"
+      "# HELP gpunion_nodes_active Active provider nodes\n"
+      "# TYPE gpunion_nodes_active gauge\n"
+      "gpunion_nodes_active 42\n";
+  EXPECT_EQ(expose_registry(registry), expected);
+}
+
+TEST(ExpositionGoldenTest, LabelEscapeRoundTrip) {
+  const std::string nasty = "back\\slash \"quoted\"\nnewline\ttab";
+  EXPECT_EQ(unescape_label_value(escape_label_value(nasty)), nasty);
+  // Each escape individually.
+  EXPECT_EQ(unescape_label_value("a\\\\b"), "a\\b");
+  EXPECT_EQ(unescape_label_value("a\\\"b"), "a\"b");
+  EXPECT_EQ(unescape_label_value("a\\nb"), "a\nb");
+  // Unknown escapes and a trailing backslash pass through verbatim.
+  EXPECT_EQ(unescape_label_value("a\\tb"), "a\\tb");
+  EXPECT_EQ(unescape_label_value("tail\\"), "tail\\");
+  EXPECT_EQ(unescape_label_value(""), "");
+}
+
+TEST(ExpositionGoldenTest, EscapedLabelRendersAndRecovers) {
+  MetricFamily family("m", "h", MetricType::kGauge);
+  const std::string value = "pa\\th \"x\"\nend";
+  family.gauge({{"k", value}}).set(1);
+  const std::string text = expose_family(family);
+  const std::string rendered = "m{k=\"" + escape_label_value(value) + "\"} 1\n";
+  EXPECT_NE(text.find(rendered), std::string::npos);
+  // The rendered escape sequence decodes back to the original value.
+  const auto open = text.find("k=\"") + 3;
+  const auto close = text.find("\"}", open);
+  ASSERT_NE(close, std::string::npos);
+  EXPECT_EQ(unescape_label_value(text.substr(open, close - open)), value);
+}
+
+TEST(ExpositionGoldenTest, HistogramCumulativeInvariants) {
+  Histogram h({0.1, 1.0, 10.0});
+  h.observe(0.05);
+  h.observe(0.05);
+  h.observe(3.0);
+  h.observe(100.0);
+  const auto cumulative = h.cumulative_counts();
+  ASSERT_EQ(cumulative.size(), h.bounds().size() + 1);  // trailing +Inf
+  for (std::size_t i = 1; i < cumulative.size(); ++i) {
+    EXPECT_GE(cumulative[i], cumulative[i - 1]);  // monotone
+  }
+  EXPECT_EQ(cumulative.back(), h.count());  // +Inf holds everything
+}
+
+}  // namespace
+}  // namespace gpunion::monitor

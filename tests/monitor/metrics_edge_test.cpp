@@ -1,0 +1,93 @@
+// Edge cases of the metrics primitives (PR 8 satellite): Counter's
+// monotonicity guard and Histogram::quantile on empty histograms, clamped
+// quantiles and mass concentrated in the +Inf bucket.
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "monitor/metrics.h"
+
+namespace gpunion::monitor {
+namespace {
+
+TEST(CounterEdgeTest, NegativeIncrementIsIgnored) {
+  Counter c;
+  c.increment(5);
+  c.increment(-3);
+  EXPECT_DOUBLE_EQ(c.value(), 5.0);
+}
+
+TEST(CounterEdgeTest, NanIncrementIsIgnored) {
+  Counter c;
+  c.increment(2);
+  c.increment(std::numeric_limits<double>::quiet_NaN());
+  EXPECT_DOUBLE_EQ(c.value(), 2.0);
+}
+
+TEST(CounterEdgeTest, ZeroIncrementIsAllowed) {
+  Counter c;
+  c.increment(0);
+  EXPECT_DOUBLE_EQ(c.value(), 0.0);
+}
+
+TEST(HistogramQuantileTest, EmptyHistogramReturnsZero) {
+  Histogram h({0.1, 1.0, 10.0});
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 0.0);
+}
+
+TEST(HistogramQuantileTest, QBelowZeroReturnsFirstOccupiedLowerEdge) {
+  Histogram h({0.1, 1.0, 10.0});
+  h.observe(0.5);  // lands in (0.1, 1.0] — the first bucket stays empty
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.1);
+  EXPECT_DOUBLE_EQ(h.quantile(-3.0), 0.1);
+}
+
+TEST(HistogramQuantileTest, QAboveOneReturnsLastOccupiedUpperEdge) {
+  Histogram h({0.1, 1.0, 10.0});
+  h.observe(0.5);
+  h.observe(5.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 10.0);
+  EXPECT_DOUBLE_EQ(h.quantile(7.0), 10.0);
+}
+
+TEST(HistogramQuantileTest, AllMassInInfBucketClampsToLargestBound) {
+  Histogram h({0.1, 1.0});
+  h.observe(50.0);
+  h.observe(80.0);
+  // The +Inf bucket has no upper edge: every quantile degrades to the
+  // largest finite bound instead of interpolating toward infinity.
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 1.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 1.0);
+}
+
+TEST(HistogramQuantileTest, NanQuantileTreatedAsMedian) {
+  Histogram h({1.0, 2.0});
+  for (int i = 0; i < 10; ++i) h.observe(0.5);
+  const double nan_q = h.quantile(std::numeric_limits<double>::quiet_NaN());
+  EXPECT_DOUBLE_EQ(nan_q, h.quantile(0.5));
+}
+
+TEST(HistogramQuantileTest, MedianSkipsEmptyBuckets) {
+  Histogram h({1.0, 2.0, 3.0, 4.0});
+  // All mass in (2, 3]: the median must interpolate inside THAT bucket,
+  // never land inside the empty (1, 2].
+  for (int i = 0; i < 4; ++i) h.observe(2.5);
+  const double median = h.quantile(0.5);
+  EXPECT_GT(median, 2.0);
+  EXPECT_LE(median, 3.0);
+}
+
+TEST(HistogramQuantileTest, NoBoundsHistogramIsSane) {
+  Histogram h(std::vector<double>{});
+  h.observe(7.0);  // only bucket is +Inf
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 0.0);
+}
+
+}  // namespace
+}  // namespace gpunion::monitor
