@@ -1,0 +1,59 @@
+// Sim-time token-bucket rate limiter for admission control.
+//
+// Purely arithmetic (refill is computed lazily from the elapsed sim time),
+// so it costs nothing between requests and replays deterministically.  On
+// a reject it reports HOW LONG until the next token — the retry-after hint
+// the ApiServer hands back with kOverloaded, turning overload into explicit
+// backpressure instead of an unbounded queue.
+#pragma once
+
+#include <algorithm>
+
+#include "util/time.h"
+
+namespace gpunion::api {
+
+class TokenBucket {
+ public:
+  TokenBucket(double rate_per_sec, double burst)
+      : rate_(rate_per_sec), burst_(burst), tokens_(burst) {}
+
+  /// Takes `tokens` if available at `now`.  On failure leaves the bucket
+  /// untouched and sets *retry_after (if non-null) to the sim-time until
+  /// the deficit refills.
+  bool try_take(util::SimTime now, double tokens,
+                util::Duration* retry_after = nullptr) {
+    refill(now);
+    if (tokens_ + 1e-9 >= tokens) {
+      tokens_ -= tokens;
+      return true;
+    }
+    if (retry_after != nullptr) {
+      *retry_after =
+          rate_ > 0 ? (tokens - tokens_) / rate_ : util::Duration(1e18);
+    }
+    return false;
+  }
+
+  double available(util::SimTime now) {
+    refill(now);
+    return tokens_;
+  }
+
+  double rate() const { return rate_; }
+  double burst() const { return burst_; }
+
+ private:
+  void refill(util::SimTime now) {
+    if (now <= updated_) return;
+    tokens_ = std::min(burst_, tokens_ + (now - updated_) * rate_);
+    updated_ = now;
+  }
+
+  double rate_;
+  double burst_;
+  double tokens_;
+  util::SimTime updated_ = 0;
+};
+
+}  // namespace gpunion::api

@@ -313,6 +313,9 @@ void RegionGateway::rebuild_from_db() {
     forward.trace.parent_span = row.trace_parent_span;
     auto [it, inserted] = outbound_.emplace(row.job_id, std::move(forward));
     assert(inserted && "duplicate forward-state row");
+    // crash() wiped the reservation set; every rebuilt forward is still in
+    // flight, so re-reserve before anything can resubmit the id.
+    coordinator_.reserve_id(row.job_id);
     if (it->second.state == OutboundForward::State::kAwaitingTransferAck) {
       ++recovery_stats_.forwards_resumed;
       send_transfer(row.job_id);
@@ -640,6 +643,10 @@ void RegionGateway::initiate_forward(const std::string& job_id) {
       if (forward.checkpoint_bytes == 0) forward.start_progress = 0;
     }
     forward.withdrawn = true;
+    // The id is in federation flight from here until the hand-off settles:
+    // a tenant resubmitting it through the API must be refused, or the
+    // returning copy would collide (and be silently lost).
+    coordinator_.reserve_id(job_id);
     forward.trace = withdrawn->trace;
     if (auto* tr = coordinator_.config().tracer;
         tr != nullptr && tr->enabled() && forward.trace.valid()) {
@@ -722,6 +729,9 @@ void RegionGateway::handle_ranking_response(const RankingResponse& response) {
     if (forward.checkpoint_bytes == 0) forward.start_progress = 0;
   }
   forward.withdrawn = true;
+  // In federation flight: block the id from reuse until the hand-off
+  // settles (see the mesh path).
+  coordinator_.reserve_id(job_id);
   forward.trace = withdrawn->trace;
   if (auto* tr = coordinator_.config().tracer;
       tr != nullptr && tr->enabled() && forward.trace.valid()) {
@@ -765,6 +775,9 @@ void RegionGateway::return_job_home(const std::string& job_id) {
   auto it = outbound_.find(job_id);
   assert(it != outbound_.end());
   OutboundForward& forward = it->second;
+  // The flight is over — the id must be unreserved BEFORE the resubmit, or
+  // the coordinator's own guard would refuse its returning job.
+  coordinator_.release_id(job_id);
   // The checkpoint chain was never forgotten, so resubmitting with the
   // withdrawn progress restores locally once capacity frees up.  The trace
   // continues: the local re-submit span parents to the last forward span.
@@ -959,6 +972,10 @@ void RegionGateway::handle_transfer_ack(const JobTransferAck& ack) {
   }
   retry_after_.erase(ack.job_id);
   outbound_.erase(it);
+  // Delivered: the job now lives in the remote region, whose coordinator
+  // holds the id.  Locally the id may be reused (a fresh submit under it
+  // is a new job; the remote copy completes under the remote books).
+  coordinator_.release_id(ack.job_id);
   // The hand-off is settled and provenance recorded; the durable forward
   // row has served its purpose.
   erase_forward(ack.job_id);

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "agent/provider_agent.h"
+#include "api/api_server.h"
 #include "db/sharded_database.h"
 #include "hw/node.h"
 #include "net/sim_network.h"
@@ -41,6 +42,11 @@ struct CampusConfig {
   db::DbConfig db;
   /// Monitoring scrape interval into the system database.
   util::Duration scrape_interval = 60.0;
+  /// Tenant-facing request plane (api::ApiServer).  Disabled by default:
+  /// existing harnesses drive Coordinator::submit directly; campuses that
+  /// front tenants set enabled = true and get per-tenant queues, quotas,
+  /// DRF draining and token-bucket backpressure in front of the core.
+  api::ApiConfig api;
 };
 
 /// The paper's 11-server fleet (§4), groups: vision (8x3090 workstations

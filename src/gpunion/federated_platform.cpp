@@ -224,6 +224,27 @@ void FederatedPlatform::refresh_metrics() {
   // Federation-wide span histograms (the shared tracer holds every
   // region's spans, so this is the one registry with the whole picture).
   config_.tracer->publish_metrics(metrics_);
+
+  // Per-region request-plane rollup: each campus fronts its own ApiServer
+  // (remote-admitted forwards bypass it — the home region already charged
+  // the tenant), so the federation view is one gauge row per region.
+  auto& api_family = metrics_.gauge_family(
+      "gpunion_federation_api_requests",
+      "Per-region request-plane counters by outcome");
+  for (const auto& region : regions_) {
+    if (!region.platform->has_api()) continue;
+    const api::TenantCounters& t = region.platform->api().stats().totals;
+    auto set = [&](const char* outcome, std::uint64_t v) {
+      api_family
+          .gauge({{"region", region.name}, {"outcome", outcome}})
+          .set(static_cast<double>(v));
+    };
+    set("accepted", t.accepted);
+    set("dispatched", t.dispatched);
+    set("rejected_overloaded", t.rejected_overloaded);
+    set("rejected_quota", t.rejected_quota + t.quota_dropped);
+    set("departed", t.departed);
+  }
   auto& forwarded = metrics_.gauge_family(
       "gpunion_federation_forwards_admitted_total",
       "Jobs this region pushed to another campus (accepted offers)");

@@ -64,6 +64,25 @@ Platform::Platform(sim::Environment& env, CampusConfig config)
 
   wire_owner_reclaim();
 
+  if (config_.api.enabled) {
+    // The request plane shares the control-plane lane: submits, drains and
+    // coordinator hand-offs all mutate the same tables, so they are one
+    // actor and kDeterministic keeps their relative order bit-stable.
+    api_ = std::make_unique<api::ApiServer>(env_, config_.api, lane_);
+    api_->attach_coordinator(coordinator_.get());
+    api_->attach_database(&database_);
+    api_->set_tracer(config_.coordinator.tracer);
+    api_->set_actor("api/" + config_.coordinator.id);
+    api::ResourceVector capacity;
+    for (const auto& model : node_models_) {
+      for (std::size_t i = 0; i < model->gpu_count(); ++i) {
+        capacity.gpus += 1.0;
+        capacity.memory_gb += model->gpu(i).spec().memory_gb;
+      }
+    }
+    api_->set_capacity(capacity);
+  }
+
   scraper_ = std::make_unique<monitor::Scraper>(
       env_, metrics_, database_, config_.scrape_interval, lane_);
   // refresh_metrics reads across actors (coordinator directory, node models
@@ -204,6 +223,7 @@ void Platform::start() {
   metrics_timer_->start();
   scraper_->start();
   if (config_.db.write_behind) db_flush_timer_->start();
+  if (api_) api_->start();
 }
 
 agent::ProviderAgent* Platform::agent(const std::string& machine_id) {
@@ -438,6 +458,9 @@ void Platform::refresh_metrics() {
   if (auto* tracer = config_.coordinator.tracer; tracer != nullptr) {
     tracer->publish_metrics(metrics_);
   }
+
+  // Request-plane tenant gauges (top-K per-tenant + aggregate outcomes).
+  if (api_) api_->publish_metrics(metrics_);
 
   // Dark data: counters subsystems always kept but never exposed.
   const db::RecoveryReport& recovery = database_.last_recovery_report();

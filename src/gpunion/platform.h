@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "agent/provider_agent.h"
+#include "api/api_server.h"
 #include "container/registry.h"
 #include "db/sharded_database.h"
 #include "gpunion/config.h"
@@ -46,6 +47,11 @@ class Platform {
   // --- Component access ------------------------------------------------------
   sched::Coordinator& coordinator() { return *coordinator_; }
   const sched::Coordinator& coordinator() const { return *coordinator_; }
+  /// The tenant-facing request plane (CampusConfig::api.enabled); campuses
+  /// without one expose no front door and callers use coordinator().
+  bool has_api() const { return api_ != nullptr; }
+  api::ApiServer& api() { return *api_; }
+  const api::ApiServer& api() const { return *api_; }
   net::SimNetwork& network() { return *network_; }
   /// The campus system database: sharded writers + write-behind ledger,
   /// configured by CampusConfig::db (legacy single-writer selectable).
@@ -159,6 +165,7 @@ class Platform {
   storage::CheckpointStore store_;
   monitor::MetricRegistry metrics_;
   std::unique_ptr<sched::Coordinator> coordinator_;
+  std::unique_ptr<api::ApiServer> api_;
   std::vector<std::unique_ptr<hw::NodeModel>> node_models_;
   std::vector<std::unique_ptr<agent::ProviderAgent>> agents_;
   std::map<std::string, agent::ProviderAgent*> agents_by_id_;

@@ -54,6 +54,11 @@ inline constexpr bool kTracingCompiledIn = GPUNION_TRACING != 0;
 /// Span taxonomy.  Stage names double as the `stage` label of the
 /// auto-registered latency histograms, so keep them exposition-safe.
 namespace stage {
+/// Tenant edge (src/api): admission decision, then time spent in the
+/// per-tenant DRF queue before the core saw the job.  kApiAdmit is the
+/// trace ROOT for API-submitted jobs — end-to-end latency starts here.
+inline constexpr std::string_view kApiAdmit = "api_admit";
+inline constexpr std::string_view kApiQueue = "api_queue";
 inline constexpr std::string_view kSubmit = "submit";
 inline constexpr std::string_view kQueueWait = "queue_wait";
 inline constexpr std::string_view kPlacement = "placement";

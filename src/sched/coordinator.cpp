@@ -159,6 +159,12 @@ util::Status Coordinator::submit(workload::JobSpec job, double start_progress,
   if (jobs_.contains(job.id) || archive_.contains(job.id)) {
     return util::already_exists_error("job " + job.id + " already submitted");
   }
+  if (reserved_ids_.contains(job.id)) {
+    // Withdrawn for a federation forward that has not settled yet: letting
+    // a new job take the id now would collide with the returning copy.
+    return util::failed_precondition_error(
+        "job id " + job.id + " is in federation flight; resubmit later");
+  }
   JobRecord record;
   record.spec = std::move(job);
   record.checkpointed_progress = start_progress;
@@ -278,6 +284,14 @@ util::StatusOr<Coordinator::WithdrawnJob> Coordinator::withdraw(
   (void)database_.erase_job_state(job_id);
   persist_stats();
   return out;
+}
+
+void Coordinator::reserve_id(const std::string& job_id) {
+  reserved_ids_.insert(job_id);
+}
+
+void Coordinator::release_id(const std::string& job_id) {
+  reserved_ids_.erase(job_id);
 }
 
 void Coordinator::set_cause_hint(const std::string& machine_id,
@@ -475,6 +489,7 @@ void Coordinator::crash() {
   in_flight_dispatches_.clear();
   in_flight_slot_dispatches_.clear();
   cause_hints_.clear();
+  reserved_ids_.clear();  // gateway recovery re-reserves from durable rows
   pending_heartbeat_touches_.clear();  // lost: beats not yet flushed
   directory_.clear();
   // Reliability evidence and migration history are in-memory only

@@ -242,10 +242,22 @@ class Coordinator {
   /// indexes — no archive entry) and returns its spec + durable progress.
   /// The federation layer uses this to forward a job to another campus; a
   /// job that is dispatching/running or already terminal cannot be
-  /// withdrawn.  The id becomes free for a future submit — reusing it for
-  /// a DIFFERENT job while the withdrawn one is still in federation
-  /// flight is undefined (the returning/forwarded copy would collide).
+  /// withdrawn.  The id becomes free for a future submit — the gateway
+  /// therefore reserve_id()s every withdrawn id for as long as its forward
+  /// is in federation flight, so a tenant resubmitting the same id through
+  /// the API gets a clean kFailedPrecondition instead of colliding with
+  /// the returning/forwarded copy.
   util::StatusOr<WithdrawnJob> withdraw(const std::string& job_id);
+
+  /// Marks `job_id` as in federation flight: submit() rejects it with
+  /// kFailedPrecondition until release_id().  Idempotent; cleared by
+  /// crash() (the gateway's recovery re-reserves what its durable forward
+  /// rows rebuild).
+  void reserve_id(const std::string& job_id);
+  void release_id(const std::string& job_id);
+  bool id_reserved(const std::string& job_id) const {
+    return reserved_ids_.contains(job_id);
+  }
 
   // --- Experiment instrumentation -------------------------------------------
   /// Tells the coordinator what kind of interruption is behind the next
@@ -437,6 +449,10 @@ class Coordinator {
   /// lambdas capture `this`), so a crash drops state and raises this flag;
   /// handle_message() discards deliveries while it is set.
   bool crashed_ = false;
+  /// Withdrawn ids whose forwards are still in federation flight (see
+  /// reserve_id); submit() rejects them so a withdraw-then-resubmit race
+  /// cannot collide with the returning/forwarded copy.
+  std::set<std::string> reserved_ids_;
   /// Bumped on every crash AND recovery.  One-shot callbacks capture the
   /// epoch they were armed in and bail on mismatch, so a timeout armed
   /// before a crash can never fire against the rebuilt incarnation.

@@ -119,6 +119,95 @@ TEST(DeterminismTest, SimulationResultsMatchAcrossModes) {
   EXPECT_EQ(det_summary.first, par_summary.first);
 }
 
+/// API-fronted golden scenario: a multi-tenant burst through the request
+/// plane (token bucket, DRF drain, threshold drains, group commits), plus
+/// churn.  Returns the event fire trace AND the API dispatch order — the
+/// request plane must not introduce any nondeterminism of its own.
+std::pair<std::vector<FireRecord>, std::vector<std::string>>
+api_golden_trace(const EnvConfig& config) {
+  Environment env(42, config);
+  std::vector<FireRecord> trace;
+  env.set_fire_observer([&trace](util::SimTime t, EventId id) {
+    trace.push_back({t, id});
+  });
+  CampusConfig campus = paper_campus();
+  campus.api.enabled = true;
+  campus.api.admission_rate = 50.0;
+  campus.api.admission_burst = 20.0;
+  campus.api.drain_interval = 0.5;
+  campus.api.drain_batch = 4;
+  campus.api.default_quota.max_in_flight = 3;
+  campus.api.default_quota.max_queued = 8;
+  campus.api.tenant_quotas["vision"].weight = 2.0;
+  campus.api.tenant_quotas["vision"].max_in_flight = 3;
+  campus.api.tenant_quotas["vision"].max_queued = 8;
+  Platform platform(env, campus);
+  std::vector<std::string> dispatch_order;
+  platform.start();
+  platform.api().set_dispatch_observer(
+      [&dispatch_order](const std::string& tenant, const std::string& id) {
+        dispatch_order.push_back(tenant + "/" + id);
+      });
+  env.run_until(10.0);
+
+  // Three tenants race a burst into the plane at one instant: drain order
+  // is decided purely by DRF shares and the name tie-break.
+  const char* tenants[] = {"vision", "nlp", "speech"};
+  int next = 0;
+  for (int round = 0; round < 4; ++round) {
+    for (const char* tenant : tenants) {
+      std::vector<workload::JobSpec> burst;
+      for (int j = 0; j < 3; ++j) {
+        burst.push_back(workload::make_training_job(
+            std::string(tenant) + "-job-" + std::to_string(next++),
+            workload::cnn_small(), 0.05, "group-vision", env.now()));
+      }
+      platform.api().submit_batch(tenant, std::move(burst));
+    }
+    env.run_until(env.now() + 30.0);
+  }
+
+  workload::Interruption event;
+  event.machine_id = Platform::machine_id_for("ws-vision-1");
+  event.kind = agent::DepartureKind::kTemporary;
+  event.downtime = util::minutes(10);
+  event.at = env.now() + 60.0;
+  platform.schedule_interruption(event.at, event);
+
+  env.run_until(util::minutes(45));
+  platform.api().drain_to_quiescence();
+  return {std::move(trace), std::move(dispatch_order)};
+}
+
+TEST(DeterminismTest, ApiFrontedCampusIsBitIdentical) {
+  const auto a = api_golden_trace(deterministic_with_workers(1));
+  const auto b = api_golden_trace(deterministic_with_workers(1));
+  ASSERT_FALSE(a.first.empty());
+  ASSERT_FALSE(a.second.empty()) << "request plane never dispatched";
+  ASSERT_EQ(a.second, b.second) << "API drain order diverged";
+  ASSERT_EQ(a.first.size(), b.first.size());
+  for (std::size_t i = 0; i < a.first.size(); ++i) {
+    ASSERT_EQ(a.first[i], b.first[i]) << "trace diverged at event " << i;
+  }
+}
+
+TEST(DeterminismTest, ApiDrainOrderIgnoresWorkerCount) {
+  // kDeterministic ignores worker_threads: the DRF drain order and the
+  // full event trace must match across the knob.
+  const auto one = api_golden_trace(deterministic_with_workers(1));
+  const auto four = api_golden_trace(deterministic_with_workers(4));
+  const auto eight = api_golden_trace(deterministic_with_workers(8));
+  ASSERT_FALSE(one.first.empty());
+  EXPECT_EQ(one.second, four.second);
+  EXPECT_EQ(one.second, eight.second);
+  ASSERT_EQ(one.first.size(), four.first.size());
+  ASSERT_EQ(one.first.size(), eight.first.size());
+  for (std::size_t i = 0; i < one.first.size(); ++i) {
+    ASSERT_EQ(one.first[i], four.first[i]) << "diverged at event " << i;
+    ASSERT_EQ(one.first[i], eight.first[i]) << "diverged at event " << i;
+  }
+}
+
 TEST(DeterminismTest, InvariantSeedReplayability) {
   // The contract GPUNION_INVARIANT_SEED harnesses rely on: same seed, same
   // config => same derived RNG streams AND same event schedule.
