@@ -1,0 +1,250 @@
+// Time-slice sharing bench: interactive-heavy mix, nvshare mode vs the
+// PR 1 packed_sharing (spatial fractional slots) baseline vs no sharing.
+//
+// The scenario the paper's campus actually faces: many bursty notebook
+// sessions with working sets too large for a fractional slot's per-tenant
+// VRAM cap.  Spatial sharing must fall back to whole devices for those;
+// nvshare-style time-slicing keeps packing them — each tenant gets FULL
+// device memory and the scheduler rotates residency per quantum, paying a
+// modeled swap cost (working sets over the host-RAM link) at each rotation.
+//
+// Three arms on an identical fleet and identical submission trace:
+//   - adaptive_sharing  : time-slice seats (+ fractional/whole fallback)
+//   - packed_sharing    : PR 1 spatial slots (+ whole fallback)
+//   - round_robin       : whole devices only
+//
+// Reported per arm: sessions completed/expired, session start latency
+// (queue wait p50/p95), delivered fleet utilization, and the swap-overhead
+// ledger (total swap seconds, worst single-rotation swap, quantum
+// widenings, thrash evictions) — thrash avoidance must keep the worst
+// swap within the thrash fraction of the (possibly widened) quantum under
+// 2x memory oversubscription.
+//
+// Emits machine-readable BENCH_timeslice.json (override with --out);
+// `--smoke` shrinks the scenario for CI.
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench/harness_include.h"
+#include "sched/strategies.h"
+#include "util/stats.h"
+
+namespace gpunion::bench {
+namespace {
+
+struct MixConfig {
+  int workstations = 8;
+  int sessions = 64;
+  double submit_window_s = 1800.0;
+  double horizon_s = 3.0 * 3600.0;
+  int seats_per_gpu = 4;
+  double oversub_ratio = 2.0;
+  double host_swap_gbps = 12.0;
+};
+
+struct ArmResult {
+  std::string strategy;
+  int submitted = 0;
+  int completed = 0;
+  int denied = 0;      // session request timed out in queue (access failure)
+  int disrupted = 0;   // session killed by churn/eviction
+  int unfinished = 0;  // still live at the horizon
+  double queue_wait_p50_s = 0;
+  double queue_wait_p95_s = 0;
+  double fleet_utilization = 0;
+  // swap-overhead ledger summed over agents
+  std::uint64_t quanta = 0;
+  std::uint64_t swaps = 0;
+  double swap_seconds = 0;
+  double max_swap_per_quantum = 0;
+  double max_quantum_s = 0;
+  std::uint64_t quantum_widenings = 0;
+  std::uint64_t thrash_evictions = 0;
+  double wall_s = 0;
+};
+
+/// One arm: the given strategy over an identical fleet + session trace.
+ArmResult run_arm(const std::string& strategy, const MixConfig& mix) {
+  ArmResult result;
+  result.strategy = strategy;
+
+  sim::Environment env(11);
+  CampusConfig config;
+  for (int i = 0; i < mix.workstations; ++i) {
+    config.nodes.push_back(
+        {hw::with_timeslicing(
+             hw::workstation_3090("bench-" + std::to_string(i)),
+             mix.seats_per_gpu, mix.oversub_ratio, mix.host_swap_gbps),
+         "bench"});
+  }
+  config.storage.push_back({"nas-bench", 256ULL << 30});
+  config.coordinator.strategy = strategy;
+  config.agent_defaults.telemetry_interval = 600.0;
+  config.scrape_interval = 600.0;
+  Platform platform(env, config);
+  platform.start();
+  env.run_until(5.0);
+
+  // Interactive-heavy mix: bursty sessions, working sets alternating
+  // between slot-sized (6 GB, fits the 24/4 fractional cap) and
+  // notebook-with-a-real-model sized (10-12 GB — spatial slots cannot host
+  // these, time-slice seats can).  Deterministic trace, identical per arm.
+  util::Rng rng(23);
+  const double session_memory[] = {6.0, 10.0, 12.0, 6.0};
+  for (int i = 0; i < mix.sessions; ++i) {
+    const double at =
+        5.0 + rng.uniform(0.0, mix.submit_window_s);
+    const double hours = 0.25 + 0.25 * static_cast<double>(rng.next_u64() % 3);
+    const double memory_gb = session_memory[i % 4];
+    env.schedule_at(at, [&platform, &env, i, hours, memory_gb] {
+      auto job = workload::make_interactive_session(
+          "sess-" + std::to_string(i), hours, "bench", env.now());
+      job.requirements.gpu_memory_gb = memory_gb;
+      (void)platform.coordinator().submit(std::move(job));
+    });
+  }
+  result.submitted = mix.sessions;
+
+  result.wall_s = wall_seconds([&] { env.run_until(mix.horizon_s); });
+
+  util::SampleSet queue_wait;
+  for_each_job(platform.coordinator(),
+               [&](const std::string&, const sched::JobRecord& record) {
+                 if (record.phase == sched::JobPhase::kCompleted) {
+                   ++result.completed;
+                 } else if (record.phase == sched::JobPhase::kDenied) {
+                   ++result.denied;
+                 } else if (record.phase ==
+                            sched::JobPhase::kSessionDisrupted) {
+                   ++result.disrupted;
+                 } else {
+                   ++result.unfinished;
+                 }
+                 if (record.first_dispatched_at >= 0) {
+                   queue_wait.add(record.first_dispatched_at -
+                                  record.submitted_at);
+                 }
+               });
+  result.queue_wait_p50_s = queue_wait.percentile(50);
+  result.queue_wait_p95_s = queue_wait.percentile(95);
+  result.fleet_utilization =
+      platform.fleet_utilization(5.0, mix.horizon_s);
+  for (const auto& machine_id : platform.machine_ids()) {
+    const agent::ProviderAgent* a = platform.agent(machine_id);
+    if (a == nullptr) continue;
+    const agent::TimesliceStats& stats = a->timeslice_stats();
+    result.quanta += stats.quanta;
+    result.swaps += stats.swaps;
+    result.swap_seconds += stats.swap_seconds;
+    result.max_swap_per_quantum =
+        std::max(result.max_swap_per_quantum, stats.max_swap_per_quantum);
+    result.quantum_widenings += stats.quantum_widenings;
+    result.thrash_evictions += stats.thrash_evictions;
+    // Workstations have one GPU; its (possibly widened) quantum.
+    result.max_quantum_s =
+        std::max(result.max_quantum_s, a->slicer().quantum(0));
+  }
+
+  std::printf("  %-17s %3d/%3d done (%2d denied)  wait p50 %6.0f s  "
+              "p95 %6.0f s  util %.3f  swap %6.1f s (max/q %.1f s)  "
+              "widen %llu  evict %llu\n",
+              strategy.c_str(), result.completed, result.submitted,
+              result.denied, result.queue_wait_p50_s, result.queue_wait_p95_s,
+              result.fleet_utilization, result.swap_seconds,
+              result.max_swap_per_quantum,
+              static_cast<unsigned long long>(result.quantum_widenings),
+              static_cast<unsigned long long>(result.thrash_evictions));
+  return result;
+}
+
+void write_json(const std::string& path, const std::string& mode,
+                const MixConfig& mix, const std::vector<ArmResult>& arms) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  out << "{\n";
+  out << "  \"bench\": \"timeslice\",\n";
+  out << "  \"mode\": \"" << mode << "\",\n";
+  out << "  \"scenario\": {\n";
+  out << "    \"workstations\": " << mix.workstations << ",\n";
+  out << "    \"sessions\": " << mix.sessions << ",\n";
+  out << "    \"submit_window_s\": " << mix.submit_window_s << ",\n";
+  out << "    \"horizon_s\": " << mix.horizon_s << ",\n";
+  out << "    \"timeslice_seats_per_gpu\": " << mix.seats_per_gpu << ",\n";
+  out << "    \"oversub_ratio\": " << mix.oversub_ratio << ",\n";
+  out << "    \"host_swap_gbps\": " << mix.host_swap_gbps << "\n";
+  out << "  },\n";
+  out << "  \"arms\": [\n";
+  for (std::size_t i = 0; i < arms.size(); ++i) {
+    const ArmResult& r = arms[i];
+    out << "    {\n";
+    out << "      \"strategy\": \"" << r.strategy << "\",\n";
+    out << "      \"sessions_submitted\": " << r.submitted << ",\n";
+    out << "      \"sessions_completed\": " << r.completed << ",\n";
+    out << "      \"sessions_denied\": " << r.denied << ",\n";
+    out << "      \"sessions_disrupted\": " << r.disrupted << ",\n";
+    out << "      \"sessions_unfinished\": " << r.unfinished << ",\n";
+    out << "      \"queue_wait_p50_s\": " << r.queue_wait_p50_s << ",\n";
+    out << "      \"queue_wait_p95_s\": " << r.queue_wait_p95_s << ",\n";
+    out << "      \"fleet_utilization\": " << r.fleet_utilization << ",\n";
+    out << "      \"timeslice_quanta\": " << r.quanta << ",\n";
+    out << "      \"timeslice_swaps\": " << r.swaps << ",\n";
+    out << "      \"swap_seconds\": " << r.swap_seconds << ",\n";
+    out << "      \"max_swap_per_quantum_s\": " << r.max_swap_per_quantum
+        << ",\n";
+    out << "      \"max_quantum_s\": " << r.max_quantum_s << ",\n";
+    out << "      \"quantum_widenings\": " << r.quantum_widenings << ",\n";
+    out << "      \"thrash_evictions\": " << r.thrash_evictions << ",\n";
+    out << "      \"wall_s\": " << r.wall_s << "\n";
+    out << "    }" << (i + 1 < arms.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n";
+  out << "}\n";
+  std::printf("\nwrote %s\n", path.c_str());
+}
+
+}  // namespace
+}  // namespace gpunion::bench
+
+int main(int argc, char** argv) {
+  using namespace gpunion;
+  util::Logger::instance().set_level(util::LogLevel::kError);
+  bool smoke = false;
+  std::string out_path = "BENCH_timeslice.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    }
+  }
+
+  bench::banner("Time-sliced GPU sharing - interactive mix A/B",
+                "nvshare mode (related work) on the paper's campus fleet");
+
+  bench::MixConfig mix;
+  if (smoke) {
+    mix.workstations = 4;
+    mix.sessions = 16;
+    mix.submit_window_s = 600.0;
+    mix.horizon_s = 3600.0;
+  }
+
+  std::printf("\n%d workstations, %d sessions over %.0f s "
+              "(%d seats/GPU, %.1fx oversubscription, %.0f GB/s swap)\n\n",
+              mix.workstations, mix.sessions, mix.submit_window_s,
+              mix.seats_per_gpu, mix.oversub_ratio, mix.host_swap_gbps);
+
+  std::vector<bench::ArmResult> arms;
+  arms.push_back(bench::run_arm(std::string(sched::kAdaptiveSharing), mix));
+  arms.push_back(bench::run_arm(std::string(sched::kPackedSharing), mix));
+  arms.push_back(bench::run_arm(std::string(sched::kRoundRobin), mix));
+
+  bench::write_json(out_path, smoke ? "smoke" : "full", mix, arms);
+  return 0;
+}

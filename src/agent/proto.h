@@ -61,10 +61,16 @@ struct RegisterRequest {
   double gpu_memory_gb = 0;
   double compute_capability = 0;
   double gpu_tflops = 0;
-  /// nvshare-style time-slice slots per GPU (1 = whole-device only) and the
-  /// per-tenant VRAM cap on a shared GPU.
+  /// Spatial share slots per GPU (1 = whole-device only) and the per-tenant
+  /// VRAM cap on a shared GPU.
   int slots_per_gpu = 1;
   double share_memory_cap_gb = 0;
+  /// nvshare-style time-slice seats per GPU (<=1 = mode disabled), the
+  /// working-set oversubscription bound, and the host swap bandwidth the
+  /// node pays at quantum boundaries.
+  int timeslice_tenants_per_gpu = 0;
+  double timeslice_oversub_ratio = 0;
+  double host_swap_gbps = 0;
 };
 
 struct RegisterResponse {
@@ -81,6 +87,9 @@ struct Heartbeat {
   /// Free slots on GPUs already running shared tenants (fully-free GPUs are
   /// counted in free_gpus).
   int free_shared_slots = 0;
+  /// Free seats on GPUs already in time-slice mode (fully-free GPUs are
+  /// counted in free_gpus).
+  int free_timeslice_slots = 0;
   bool accepting = true;  // false while paused
   /// Ids of jobs currently hosted; lets the coordinator reconcile records
   /// whose completion/kill notification was lost in transit.
@@ -100,9 +109,13 @@ struct DispatchRequest {
   /// begins (0 when nothing to restore).
   std::uint64_t restore_bytes = 0;
   std::string restore_from;
-  /// Coordinator placed the job into a fractional time-sliced slot; the
-  /// agent binds a shared tenant instead of whole devices.
+  /// Coordinator placed the job into a fractional spatial slot; the agent
+  /// binds a shared tenant instead of whole devices.
   bool fractional = false;
+  /// Coordinator placed the job into a time-slice seat; the agent binds a
+  /// full-memory tenant under the per-GPU quantum scheduler.  Mutually
+  /// exclusive with `fractional`.
+  bool timeslice = false;
 };
 
 struct DispatchResult {

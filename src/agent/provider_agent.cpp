@@ -33,7 +33,20 @@ ProviderAgent::ProviderAgent(sim::Environment& env, net::Transport& transport,
       sampler_(node, env.fork_rng("nvml." + node.hostname())),
       rng_(env.fork_rng("agent." + node.hostname())),
       machine_id_(util::make_machine_id(node.hostname(), kMachineIdSalt)),
-      lane_(env.register_lane("agent:" + machine_id_)) {}
+      lane_(env.register_lane("agent:" + machine_id_)),
+      slicer_(env, node, config_.timeslice) {
+  slicer_.set_lane(lane_);
+  TimesliceHooks slicer_hooks;
+  slicer_hooks.on_residency_change = [this](const std::string& job_id,
+                                            bool resident,
+                                            util::Duration swap_pause) {
+    on_residency_change(job_id, resident, swap_pause);
+  };
+  slicer_hooks.on_evict = [this](const std::string& job_id) {
+    evict_timeslice_tenant(job_id);
+  };
+  slicer_.set_hooks(std::move(slicer_hooks));
+}
 
 ProviderAgent::~ProviderAgent() {
   for (auto& [id, job] : jobs_) stop_job_events(job);
@@ -67,6 +80,9 @@ void ProviderAgent::send_register_request() {
     request.gpu_tflops = spec.fp32_tflops;
     request.slots_per_gpu = node_.spec().share_slots_per_gpu;
     request.share_memory_cap_gb = node_.share_memory_cap(0);
+    request.timeslice_tenants_per_gpu = node_.spec().timeslice_tenants_per_gpu;
+    request.timeslice_oversub_ratio = node_.spec().timeslice_oversub_ratio;
+    request.host_swap_gbps = node_.spec().host_swap_gbps;
   }
   send_control(kRegisterRequest, request, kRegisterBytes);
   // The request or its response may be lost; retry until activated (the
@@ -83,6 +99,7 @@ std::vector<std::string> ProviderAgent::kill_switch() {
     if (hooks_.on_job_killed) hooks_.on_job_killed(id);
   }
   jobs_.clear();
+  slicer_.clear();
   if (!killed.empty() && state_ == AgentState::kActive) {
     KillSwitchNotice notice;
     notice.machine_id = machine_id_;
@@ -135,6 +152,7 @@ void ProviderAgent::depart_scheduled() {
     if (hooks_.on_job_killed) hooks_.on_job_killed(id);
   }
   jobs_.clear();
+  slicer_.clear();
 
   send_control(kDepartureNotice, notice, kControlBytes + 64 * notice.jobs.size());
   heartbeat_timer_.reset();
@@ -154,6 +172,7 @@ void ProviderAgent::depart_emergency() {
     if (hooks_.on_job_killed) hooks_.on_job_killed(id);
   }
   jobs_.clear();
+  slicer_.clear();
   heartbeat_timer_.reset();
   telemetry_timer_.reset();
   transport_.unregister_endpoint(machine_id_);
@@ -199,7 +218,9 @@ int ProviderAgent::reclaim_gpus(int gpus) {
     freed += job.spec.requirements.gpu_count;
     notice.killed_jobs.push_back(id);
     if (hooks_.on_job_killed) hooks_.on_job_killed(id);
+    const RunningJob departed = std::move(jobs_[id]);
     jobs_.erase(id);
+    drop_from_slicer(id, departed);
   }
   if (!notice.killed_jobs.empty()) {
     send_control(kKillSwitchNotice, notice,
@@ -310,9 +331,20 @@ void ProviderAgent::handle_dispatch(DispatchRequest request) {
   }
 
   const auto& req = request.job.requirements;
+  const double working_set = workload::resolved_working_set_gb(request.job);
   std::vector<int> gpu_indices;
   double gpu_fraction = 1.0;
-  if (request.fractional) {
+  if (request.timeslice) {
+    auto seat =
+        node_.find_timeslice_slot(working_set, req.min_compute_capability);
+    if (!seat) {
+      reject_dispatch(job_id, "no free GPU time-slice seat");
+      return;
+    }
+    gpu_indices = {*seat};
+    // Expected fair share under rotation, for honest ledger accounting.
+    gpu_fraction = 1.0 / std::max(1, node_.spec().timeslice_tenants_per_gpu);
+  } else if (request.fractional) {
     auto slot = node_.find_share_slot(req.gpu_memory_gb,
                                       req.min_compute_capability);
     if (!slot) {
@@ -337,14 +369,19 @@ void ProviderAgent::handle_dispatch(DispatchRequest request) {
                  ? container::ExecutionMode::kInteractive
                  : container::ExecutionMode::kBatch;
   cfg.limits.gpu_indices = gpu_indices;
-  cfg.limits.gpu_memory_gb = req.gpu_memory_gb;
+  // A time-sliced tenant's footprint is its working set (swapped in/out at
+  // quantum boundaries), not the whole-device request.
+  cfg.limits.gpu_memory_gb = request.timeslice ? working_set
+                                               : req.gpu_memory_gb;
   cfg.limits.gpu_fraction = gpu_fraction;
-  // Fractional tenants get a proportionally smaller host budget: every
-  // advertised slot must be hostable, so slots_per_gpu x gpu_count tenants
-  // may never exceed the node's cores/RAM (else the coordinator's slot view
+  cfg.limits.timeslice = request.timeslice;
+  // Shared tenants (spatial or time-sliced) get a proportionally smaller
+  // host budget: every advertised slot must be hostable, so tenants may
+  // never exceed the node's cores/RAM (else the coordinator's slot view
   // and the host's container capacity diverge into dispatch-reject loops).
-  cfg.limits.host_memory_gb = request.fractional ? 4.0 : 8.0;
-  cfg.limits.cpu_cores = request.fractional ? 2.0 : 4.0;
+  const bool shared_tenant = request.fractional || request.timeslice;
+  cfg.limits.host_memory_gb = shared_tenant ? 4.0 : 8.0;
+  cfg.limits.cpu_cores = shared_tenant ? 2.0 : 4.0;
   const double utilization =
       request.job.type == workload::JobType::kInteractive
           ? config_.interactive_utilization
@@ -368,9 +405,17 @@ void ProviderAgent::handle_dispatch(DispatchRequest request) {
               (1.0 - runtime_.gpu_overhead_fraction()) *
               std::max(1, job.spec.requirements.gpu_count);
   if (request.fractional) {
-    // Time-sliced tenant: the slice delivers a fraction of the device
+    // Spatial tenant: the slice delivers a fraction of the device
     // (co-tenants are bursty, so more than 1/slots).
     job.speed *= workload::kSharedComputeShare;
+  }
+  // A time-sliced tenant keeps FULL device speed — but accrues progress
+  // only while resident, which the quantum scheduler controls.
+  job.timeslice = request.timeslice;
+  if (request.timeslice) {
+    job.resident =
+        node_.gpu(static_cast<std::size_t>(gpu_indices[0])).resident() ==
+        job_id;
   }
   job.restore_bytes = request.restore_bytes;
   job.restore_from = request.restore_from;
@@ -378,6 +423,9 @@ void ProviderAgent::handle_dispatch(DispatchRequest request) {
   job.pending_restore = request.restore_bytes > 0 &&
                         !request.restore_from.empty();
   jobs_.emplace(job_id, std::move(job));
+  if (request.timeslice) {
+    slicer_.add_tenant(gpu_indices[0], job_id, working_set);
+  }
 
   DispatchResult result;
   result.machine_id = machine_id_;
@@ -491,7 +539,9 @@ void ProviderAgent::handle_kill_job(const KillJobCommand& command) {
   stop_job_events(job);
   (void)runtime_.kill(job.container_id, env_.now());
   if (hooks_.on_job_killed) hooks_.on_job_killed(command.job_id);
+  const RunningJob killed = std::move(job);
   jobs_.erase(it);
+  drop_from_slicer(command.job_id, killed);
   send_control(kJobKilledAck, ack, kControlBytes);
 }
 
@@ -502,6 +552,8 @@ void ProviderAgent::handle_kill_job(const KillJobCommand& command) {
 double ProviderAgent::live_progress(const RunningJob& job) const {
   if (!job.compute_started) return job.start_progress;
   if (job.spec.type == workload::JobType::kInteractive) return 0.0;
+  // A swapped-out time-sliced tenant accrues nothing until it rotates in.
+  if (job.timeslice && !job.resident) return job.start_progress;
   const double work = (env_.now() - job.effective_start) * job.speed;
   return std::min(1.0, job.start_progress +
                            work / job.spec.reference_duration);
@@ -527,15 +579,20 @@ void ProviderAgent::begin_compute(const std::string& job_id) {
   started_notice.start_progress = job.start_progress;
   send_control(kJobStarted, started_notice, kControlBytes);
 
-  util::Duration remaining;
   if (job.spec.type == workload::JobType::kInteractive) {
-    remaining = job.spec.reference_duration;  // sessions are wall-clock
-  } else {
-    remaining = (1.0 - job.start_progress) * job.spec.reference_duration /
-                job.speed;
+    // Sessions are wall-clock (including any quantum swap pauses a
+    // time-sliced session sits through).
+    job.completion_event = env_.schedule_after_on(
+        lane_, job.spec.reference_duration,
+        [this, job_id] { complete_job(job_id); });
+  } else if (!job.timeslice || job.resident) {
+    const util::Duration remaining =
+        (1.0 - job.start_progress) * job.spec.reference_duration / job.speed;
+    job.completion_event = env_.schedule_after_on(
+        lane_, remaining, [this, job_id] { complete_job(job_id); });
   }
-  job.completion_event =
-      env_.schedule_after_on(lane_, remaining, [this, job_id] { complete_job(job_id); });
+  // else: swapped-out time-sliced training — completion is armed when the
+  // slicer rotates the tenant in.
 
   if (job.spec.type == workload::JobType::kTraining &&
       job.spec.checkpoint_interval > 0) {
@@ -561,7 +618,9 @@ void ProviderAgent::complete_job(const std::string& job_id) {
   done.job_id = job_id;
   send_control(kJobCompleted, done, kControlBytes);
   if (hooks_.on_job_completed) hooks_.on_job_completed(job_id, 1.0);
+  const RunningJob finished = std::move(job);
   jobs_.erase(it);
+  drop_from_slicer(job_id, finished);
 }
 
 util::StatusOr<storage::Checkpoint> ProviderAgent::write_checkpoint(
@@ -649,6 +708,88 @@ void ProviderAgent::stop_job_events(RunningJob& job) {
 }
 
 // ---------------------------------------------------------------------------
+// Time-slicing
+// ---------------------------------------------------------------------------
+
+void ProviderAgent::on_residency_change(const std::string& job_id,
+                                        bool resident,
+                                        util::Duration swap_pause) {
+  auto it = jobs_.find(job_id);
+  if (it == jobs_.end()) return;
+  RunningJob& job = it->second;
+
+  if (!resident) {
+    // Rotating out: fold the progress accrued this quantum and freeze.
+    if (job.compute_started &&
+        job.spec.type != workload::JobType::kInteractive) {
+      job.start_progress = live_progress(job);
+      if (job.completion_event != sim::kInvalidEvent) {
+        env_.cancel(job.completion_event);
+        job.completion_event = sim::kInvalidEvent;
+      }
+    }
+    job.resident = false;
+    return;
+  }
+
+  job.resident = true;
+  if (!job.compute_started ||
+      job.spec.type == workload::JobType::kInteractive) {
+    // Interactive sessions run wall-clock (completion was armed at start);
+    // not-yet-started jobs arm completion in begin_compute.
+    return;
+  }
+  // Resume computing after the swap-in pause, from the folded progress.
+  job.effective_start = env_.now() + swap_pause;
+  if (job.completion_event != sim::kInvalidEvent) {
+    env_.cancel(job.completion_event);
+  }
+  const double remaining_work =
+      std::max(0.0, 1.0 - job.start_progress) * job.spec.reference_duration;
+  const util::SimTime completion_at =
+      job.effective_start + remaining_work / job.speed;
+  job.completion_event =
+      env_.schedule_at_on(lane_, std::max(env_.now(), completion_at),
+                          [this, job_id] { complete_job(job_id); });
+}
+
+void ProviderAgent::evict_timeslice_tenant(const std::string& job_id) {
+  auto it = jobs_.find(job_id);
+  if (it == jobs_.end()) return;
+  RunningJob& job = it->second;
+
+  if (job.spec.type == workload::JobType::kTraining && job.compute_started) {
+    (void)write_checkpoint(job, /*count_pause=*/false);
+  }
+  int gpu_index = -1;
+  if (const auto* c = runtime_.find(job.container_id);
+      c != nullptr && !c->config().limits.gpu_indices.empty()) {
+    gpu_index = c->config().limits.gpu_indices[0];
+  }
+  stop_job_events(job);
+  (void)runtime_.kill(job.container_id, env_.now());
+  if (hooks_.on_job_killed) hooks_.on_job_killed(job_id);
+  jobs_.erase(it);
+  // The slicer's tick requires the tenant be removed before the hook
+  // returns; the notice lets the coordinator requeue the job elsewhere.
+  if (gpu_index >= 0) slicer_.remove_tenant(gpu_index, job_id);
+  KillSwitchNotice notice;
+  notice.machine_id = machine_id_;
+  notice.killed_jobs = {job_id};
+  send_control(kKillSwitchNotice, notice, kControlBytes + 40);
+  GPUNION_ILOG("agent") << machine_id_ << " evicted thrashing tenant "
+                        << job_id;
+}
+
+void ProviderAgent::drop_from_slicer(const std::string& job_id,
+                                     const RunningJob& job) {
+  if (!job.timeslice) return;
+  const auto* c = runtime_.find(job.container_id);
+  if (c == nullptr || c->config().limits.gpu_indices.empty()) return;
+  slicer_.remove_tenant(c->config().limits.gpu_indices[0], job_id);
+}
+
+// ---------------------------------------------------------------------------
 // Messaging
 // ---------------------------------------------------------------------------
 
@@ -675,6 +816,7 @@ void ProviderAgent::send_heartbeat() {
   beat.seq = ++heartbeat_seq_;
   beat.free_gpus = node_.free_gpu_count();
   beat.free_shared_slots = node_.free_shared_slot_count();
+  beat.free_timeslice_slots = node_.free_timeslice_slot_count();
   beat.accepting = !paused_;
   beat.running_jobs = running_job_ids();
   ++heartbeats_sent_;

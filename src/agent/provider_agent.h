@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "agent/proto.h"
+#include "agent/timeslice.h"
 #include "container/runtime.h"
 #include "hw/telemetry.h"
 #include "net/transport.h"
@@ -43,6 +44,9 @@ struct AgentConfig {
   /// GPU utilization a training container drives (for telemetry/power).
   double training_utilization = 0.95;
   double interactive_utilization = 0.55;
+  /// Per-GPU quantum scheduler knobs (nvshare mode); only exercised on
+  /// nodes whose spec enables timeslice_tenants_per_gpu.
+  TimesliceConfig timeslice;
 };
 
 enum class AgentState { kOffline, kActive, kDeparted };
@@ -96,6 +100,9 @@ class ProviderAgent {
   double job_progress(const std::string& job_id) const;
   container::ContainerRuntime& runtime() { return runtime_; }
   std::uint64_t heartbeats_sent() const { return heartbeats_sent_; }
+  /// Quantum-scheduler counters (rotations, swap time, thrash actions).
+  const TimesliceStats& timeslice_stats() const { return slicer_.stats(); }
+  const GpuTimeSlicer& slicer() const { return slicer_; }
 
   void set_hooks(AgentHooks hooks) { hooks_ = std::move(hooks); }
 
@@ -109,6 +116,8 @@ class ProviderAgent {
     util::SimTime effective_start = 0;  // adjusted forward by ckpt pauses
     double speed = 1.0;                 // node speed incl. container overhead
     bool compute_started = false;
+    bool timeslice = false;        // time-sliced tenant under the slicer
+    bool resident = false;         // timeslice only: on-device this quantum
     bool pending_pull = false;     // waiting for image layers
     bool pending_restore = false;  // waiting for checkpoint restore data
     std::uint64_t restore_bytes = 0;
@@ -139,6 +148,17 @@ class ProviderAgent {
   double live_progress(const RunningJob& job) const;
   void reject_dispatch(const std::string& job_id, const std::string& reason);
 
+  // time-slicing (quantum scheduler callbacks + bookkeeping)
+  /// Folds/accrues progress as the slicer rotates a tenant out/in; a
+  /// rotated-in training job resumes at now + swap_pause.
+  void on_residency_change(const std::string& job_id, bool resident,
+                           util::Duration swap_pause);
+  /// Thrash eviction: checkpoint (training), kill the container, drop the
+  /// tenant and notify the coordinator (treated like a reclaim).
+  void evict_timeslice_tenant(const std::string& job_id);
+  /// Removes a departing time-sliced job from its device's slice.
+  void drop_from_slicer(const std::string& job_id, const RunningJob& job);
+
   // messaging helpers
   void send_control(int kind, std::any payload, std::uint64_t bytes);
   void send_register_request();
@@ -159,6 +179,7 @@ class ProviderAgent {
   bool paused_ = false;
   std::string machine_id_;
   sim::LaneId lane_ = sim::kMainLane;
+  GpuTimeSlicer slicer_;
   std::string auth_token_;
   std::uint64_t heartbeat_seq_ = 0;
   std::uint64_t heartbeats_sent_ = 0;

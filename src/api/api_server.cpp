@@ -146,8 +146,15 @@ SubmitResult ApiServer::submit(const std::string& tenant,
 
   // Backpressure: rate limit, then the per-tenant queue bound.  Both come
   // back kOverloaded with a retry-after hint, never unbounded buffering.
+  // A cost the bucket can NEVER cover (burst configured below the request
+  // cost) is a permanent rejection, not a retry-forever hint.
   util::Duration retry_after = 0;
   if (!bucket_.try_take(now, 1.0, &retry_after)) {
+    if (retry_after >= TokenBucket::kNeverSatisfiable) {
+      return reject_invalid(util::failed_precondition_error(
+          "admission burst smaller than the request cost; "
+          "no retry can succeed"));
+    }
     ++state.counters.rejected_overloaded;
     ++stats_.totals.rejected_overloaded;
     return {AdmitOutcome::kOverloaded,

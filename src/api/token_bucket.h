@@ -15,12 +15,23 @@ namespace gpunion::api {
 
 class TokenBucket {
  public:
+  /// retry_after value meaning "no finite wait ever satisfies the request"
+  /// (the cost exceeds the burst, or the refill rate is zero).  Callers
+  /// should surface a permanent rejection, not a retry hint.
+  static constexpr util::Duration kNeverSatisfiable = util::Duration(1e18);
+
   TokenBucket(double rate_per_sec, double burst)
       : rate_(rate_per_sec), burst_(burst), tokens_(burst) {}
 
+  /// Whether a request for `tokens` can EVER succeed: the bucket refills at
+  /// most to `burst`, so a larger cost waits forever no matter the rate.
+  bool satisfiable(double tokens) const { return tokens <= burst_ + 1e-9; }
+
   /// Takes `tokens` if available at `now`.  On failure leaves the bucket
   /// untouched and sets *retry_after (if non-null) to the sim-time until
-  /// the deficit refills.
+  /// the deficit refills — or kNeverSatisfiable when no wait helps (the
+  /// old code handed such requests a finite hint, telling the tenant to
+  /// retry forever).
   bool try_take(util::SimTime now, double tokens,
                 util::Duration* retry_after = nullptr) {
     refill(now);
@@ -29,8 +40,9 @@ class TokenBucket {
       return true;
     }
     if (retry_after != nullptr) {
-      *retry_after =
-          rate_ > 0 ? (tokens - tokens_) / rate_ : util::Duration(1e18);
+      *retry_after = satisfiable(tokens) && rate_ > 0
+                         ? (tokens - tokens_) / rate_
+                         : kNeverSatisfiable;
     }
     return false;
   }

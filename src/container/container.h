@@ -35,8 +35,11 @@ struct ResourceLimits {
   std::vector<int> gpu_indices;   // devices exposed via the visibility mask
   double gpu_memory_gb = 0;       // per-GPU VRAM budget
   /// Capacity share per bound GPU: 1.0 = exclusive device; < 1.0 = one
-  /// nvshare-style time-sliced tenant on a single shared GPU.
+  /// tenant of a shared GPU (spatial slot or time-slice seat).
   double gpu_fraction = 1.0;
+  /// nvshare mode: bind a full-memory time-sliced tenant (one shared GPU)
+  /// instead of a spatial slot; gpu_memory_gb is the tenant's working set.
+  bool timeslice = false;
   double host_memory_gb = 8;
   double cpu_cores = 4;
 };

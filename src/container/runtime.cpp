@@ -34,7 +34,17 @@ util::StatusOr<std::string> ContainerRuntime::create(
                                           node_.hostname());
   }
 
-  if (config.limits.gpu_fraction < 1.0) {
+  if (config.limits.timeslice) {
+    // Time-sliced tenant: exactly one GPU, seat/oversubscription checks
+    // enforced by the node model.
+    if (config.limits.gpu_indices.size() != 1) {
+      return util::invalid_argument_error(
+          "time-sliced workloads bind exactly one GPU");
+    }
+    GPUNION_RETURN_IF_ERROR(node_.allocate_timeslice(
+        config.limits.gpu_indices[0], workload_id,
+        config.limits.gpu_memory_gb, gpu_utilization, now));
+  } else if (config.limits.gpu_fraction < 1.0) {
     // Fractional tenant: exactly one shared GPU, slot/cap checks enforced
     // by the node model.
     if (config.limits.gpu_indices.size() != 1) {

@@ -45,6 +45,9 @@ struct NodeRecord {
   double gpu_tflops = 0;
   int slots_per_gpu = 1;
   double share_memory_cap_gb = 0;
+  int timeslice_tenants_per_gpu = 0;
+  double timeslice_oversub_ratio = 0;
+  double host_swap_gbps = 0;
 };
 
 enum class AllocationOutcome {
@@ -129,6 +132,7 @@ struct JobStateRecord {
   int dispatch_rejects = 0;
   bool awaiting_dispatch_settle = false;
   bool fractional_slot = false;
+  bool timeslice_slot = false;
   util::SimTime running_since = -1;
   double segment_start_progress = 0;
   double node_speed = 1.0;

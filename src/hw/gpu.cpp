@@ -48,38 +48,105 @@ void GpuDevice::refresh_aggregates(util::SimTime now) {
   memory_used_gb_ = 0;
   double util_sum = 0;
   for (const auto& [id, tenant] : holders_) {
+    if (timeslice_ && id != resident_) continue;  // swapped out to host RAM
     memory_used_gb_ += tenant.memory_gb;
     util_sum += tenant.utilization;
   }
-  // Time-sliced tenants cannot drive the device past saturation.
+  // Co-resident tenants cannot drive the device past saturation.
   utilization_ = std::min(1.0, util_sum);
 }
 
-void GpuDevice::allocate(const std::string& workload_id, double memory_gb,
-                         double utilization, util::SimTime now) {
-  assert(!allocated() && "GPU already allocated");
-  assert(memory_gb <= spec_->memory_gb && "footprint exceeds VRAM");
-  assert(utilization >= 0 && utilization <= 1.0);
+double GpuDevice::tenant_memory_total_gb() const {
+  double total = 0;
+  for (const auto& [id, tenant] : holders_) total += tenant.memory_gb;
+  return total;
+}
+
+util::Status GpuDevice::allocate(const std::string& workload_id,
+                                 double memory_gb, double utilization,
+                                 util::SimTime now) {
+  if (allocated()) {
+    return util::failed_precondition_error("GPU " + std::to_string(index_) +
+                                           " already allocated");
+  }
+  if (memory_gb > spec_->memory_gb) {
+    return util::resource_exhausted_error("footprint exceeds VRAM on GPU " +
+                                          std::to_string(index_));
+  }
+  if (utilization < 0 || utilization > 1.0) {
+    return util::invalid_argument_error("utilization out of [0,1]");
+  }
   exclusive_ = true;
   holders_[workload_id] = Tenant{memory_gb, utilization};
   refresh_aggregates(now);
+  return util::Status::ok();
 }
 
-void GpuDevice::allocate_shared(const std::string& workload_id,
-                                double memory_gb, double utilization,
-                                util::SimTime now) {
-  assert(!exclusive_ && "GPU exclusively allocated");
-  assert(!holders_.contains(workload_id) && "workload already on this GPU");
-  assert(memory_used_gb_ + memory_gb <= spec_->memory_gb &&
-         "shared footprints exceed VRAM");
-  assert(utilization >= 0 && utilization <= 1.0);
+util::Status GpuDevice::allocate_shared(const std::string& workload_id,
+                                        double memory_gb, double utilization,
+                                        util::SimTime now) {
+  if (exclusive_ || timeslice_) {
+    return util::failed_precondition_error(
+        "GPU " + std::to_string(index_) + " not in spatial-share mode");
+  }
+  if (holders_.contains(workload_id)) {
+    return util::already_exists_error("workload already on this GPU");
+  }
+  if (memory_used_gb_ + memory_gb > spec_->memory_gb) {
+    return util::resource_exhausted_error(
+        "shared footprints exceed VRAM on GPU " + std::to_string(index_));
+  }
+  if (utilization < 0 || utilization > 1.0) {
+    return util::invalid_argument_error("utilization out of [0,1]");
+  }
   holders_[workload_id] = Tenant{memory_gb, utilization};
   refresh_aggregates(now);
+  return util::Status::ok();
+}
+
+util::Status GpuDevice::allocate_timeslice(const std::string& workload_id,
+                                           double working_set_gb,
+                                           double utilization,
+                                           util::SimTime now) {
+  if (exclusive_ || (!holders_.empty() && !timeslice_)) {
+    return util::failed_precondition_error(
+        "GPU " + std::to_string(index_) + " not in time-slice mode");
+  }
+  if (holders_.contains(workload_id)) {
+    return util::already_exists_error("workload already on this GPU");
+  }
+  if (working_set_gb > spec_->memory_gb) {
+    return util::resource_exhausted_error(
+        "working set exceeds VRAM on GPU " + std::to_string(index_));
+  }
+  if (utilization < 0 || utilization > 1.0) {
+    return util::invalid_argument_error("utilization out of [0,1]");
+  }
+  timeslice_ = true;
+  holders_[workload_id] = Tenant{working_set_gb, utilization};
+  if (resident_.empty()) resident_ = workload_id;
+  refresh_aggregates(now);
+  return util::Status::ok();
+}
+
+util::Status GpuDevice::set_resident(const std::string& workload_id,
+                                     util::SimTime now) {
+  if (!timeslice_) {
+    return util::failed_precondition_error("GPU not in time-slice mode");
+  }
+  if (!holders_.contains(workload_id)) {
+    return util::not_found_error("workload not on this GPU");
+  }
+  resident_ = workload_id;
+  refresh_aggregates(now);
+  return util::Status::ok();
 }
 
 void GpuDevice::release(util::SimTime now) {
   holders_.clear();
   exclusive_ = false;
+  timeslice_ = false;
+  resident_.clear();
   refresh_aggregates(now);
 }
 
@@ -88,7 +155,13 @@ bool GpuDevice::release_holder(const std::string& workload_id,
   auto it = holders_.find(workload_id);
   if (it == holders_.end()) return false;
   holders_.erase(it);
-  if (holders_.empty()) exclusive_ = false;
+  if (holders_.empty()) {
+    exclusive_ = false;
+    timeslice_ = false;
+    resident_.clear();
+  } else if (resident_ == workload_id) {
+    resident_ = holders_.begin()->first;  // next tenant inherits residency
+  }
   refresh_aggregates(now);
   return true;
 }

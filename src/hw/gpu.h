@@ -12,6 +12,7 @@
 #include <string>
 #include <string_view>
 
+#include "util/status.h"
 #include "util/time.h"
 
 namespace gpunion::hw {
@@ -37,10 +38,12 @@ const GpuSpec& gpu_spec(GpuArch arch);
 /// state to synthesize NVML-style telemetry (utilization, memory,
 /// temperature with first-order thermal dynamics, power).
 ///
-/// Two tenancy modes (nvshare-style sharing, §3.3 / related work):
+/// Three tenancy modes (nvshare-style sharing, §3.3 / related work):
 ///  - exclusive: one workload owns the whole device (classic allocation);
-///  - shared: up to N tenants time-slice the device, each within a VRAM
-///    budget.  The two modes never mix on one device.
+///  - spatial shared: up to N tenants co-reside, each within a VRAM budget;
+///  - time-sliced: full-memory tenants take turns — exactly one is RESIDENT
+///    at a time, the rest live swapped out to host RAM (nvshare's UVM
+///    oversubscription).  Modes never mix on one device.
 class GpuDevice {
  public:
   GpuDevice(GpuArch arch, int index);
@@ -61,15 +64,36 @@ class GpuDevice {
   }
 
   /// Marks the device busy with `workload_id` using `memory_gb` of VRAM.
-  /// Requires the device to be completely free and the footprint to fit.
-  void allocate(const std::string& workload_id, double memory_gb,
-                double utilization, util::SimTime now);
+  /// Requires the device to be completely free and the footprint to fit —
+  /// checked errors, not debug asserts, so release builds cannot silently
+  /// oversubscribe when a caller skips the node model's pre-check.
+  util::Status allocate(const std::string& workload_id, double memory_gb,
+                        double utilization, util::SimTime now);
 
   /// Adds `workload_id` as a shared tenant.  Requires the device to not be
-  /// exclusively held and the footprint to fit the remaining VRAM; slot
-  /// count and per-tenant memory caps are the node model's to enforce.
-  void allocate_shared(const std::string& workload_id, double memory_gb,
-                       double utilization, util::SimTime now);
+  /// exclusively held or time-sliced and the footprint to fit the remaining
+  /// VRAM; slot count and per-tenant memory caps are the node model's to
+  /// enforce.
+  util::Status allocate_shared(const std::string& workload_id,
+                               double memory_gb, double utilization,
+                               util::SimTime now);
+
+  /// Adds `workload_id` as a time-sliced tenant with a full-VRAM footprint
+  /// of `working_set_gb` (its hot pages; the rest can stay swapped out).
+  /// Puts the device in time-slice mode; the first tenant becomes resident.
+  /// Tenant-count and oversubscription-ratio caps are the node model's to
+  /// enforce.
+  util::Status allocate_timeslice(const std::string& workload_id,
+                                  double working_set_gb, double utilization,
+                                  util::SimTime now);
+
+  /// Time-slice mode only: makes `workload_id` the resident tenant (the one
+  /// whose pages are on-device and whose kernels run this quantum).
+  util::Status set_resident(const std::string& workload_id, util::SimTime now);
+
+  bool time_sliced() const { return timeslice_; }
+  /// Resident tenant id in time-slice mode; empty otherwise or when free.
+  const std::string& resident() const { return resident_; }
 
   /// Frees the device entirely.
   void release(util::SimTime now);
@@ -78,7 +102,12 @@ class GpuDevice {
   /// `workload_id` is not on this device.
   bool release_holder(const std::string& workload_id, util::SimTime now);
 
+  /// VRAM in use.  In time-slice mode only the resident tenant's working
+  /// set is on-device (the others are swapped out to host RAM).
   double memory_used_gb() const { return memory_used_gb_; }
+  /// Sum of all tenants' footprints, resident or not — in time-slice mode
+  /// this may exceed the device VRAM (that is the oversubscription).
+  double tenant_memory_total_gb() const;
   double utilization() const { return utilization_; }
 
   /// Thermal model: exponential approach from the current temperature to
@@ -100,6 +129,8 @@ class GpuDevice {
   int index_;
   std::map<std::string, Tenant> holders_;  // ordered for determinism
   bool exclusive_ = false;
+  bool timeslice_ = false;
+  std::string resident_;  // time-slice mode: the on-device tenant
   double memory_used_gb_ = 0;
   double utilization_ = 0;
   // thermal state: temperature at last transition + transition time

@@ -28,6 +28,14 @@ NodeSpec server_4xa6000(std::string hostname) {
                   10.0};
 }
 
+NodeSpec with_timeslicing(NodeSpec spec, int tenants_per_gpu,
+                          double oversub_ratio, double host_swap_gbps) {
+  spec.timeslice_tenants_per_gpu = tenants_per_gpu;
+  spec.timeslice_oversub_ratio = oversub_ratio;
+  spec.host_swap_gbps = host_swap_gbps;
+  return spec;
+}
+
 NodeModel::NodeModel(NodeSpec spec) : spec_(std::move(spec)) {
   gpus_.reserve(spec_.gpus.size());
   for (std::size_t i = 0; i < spec_.gpus.size(); ++i) {
@@ -75,7 +83,7 @@ std::optional<int> NodeModel::find_share_slot(
   if (spec_.share_slots_per_gpu <= 1) return std::nullopt;
   const GpuDevice* best = nullptr;
   for (const auto& gpu : gpus_) {
-    if (gpu.exclusively_allocated()) continue;
+    if (gpu.exclusively_allocated() || gpu.time_sliced()) continue;
     if (gpu.holder_count() >= spec_.share_slots_per_gpu) continue;
     if (gpu.spec().compute_capability < min_compute_capability) continue;
     if (memory_gb > share_memory_cap(static_cast<std::size_t>(gpu.index()))) {
@@ -123,8 +131,63 @@ util::Status NodeModel::allocate_shared(int index,
         "shared footprints would oversubscribe VRAM of GPU " +
         std::to_string(index));
   }
-  gpu.allocate_shared(workload_id, memory_gb, utilization, now);
-  return util::Status();
+  return gpu.allocate_shared(workload_id, memory_gb, utilization, now);
+}
+
+std::optional<int> NodeModel::find_timeslice_slot(
+    double working_set_gb, double min_compute_capability) const {
+  if (spec_.timeslice_tenants_per_gpu <= 1) return std::nullopt;
+  const GpuDevice* best = nullptr;
+  for (const auto& gpu : gpus_) {
+    if (gpu.exclusively_allocated()) continue;
+    if (gpu.holder_count() > 0 && !gpu.time_sliced()) continue;  // spatial
+    if (gpu.holder_count() >= spec_.timeslice_tenants_per_gpu) continue;
+    if (gpu.spec().compute_capability < min_compute_capability) continue;
+    if (working_set_gb > gpu.spec().memory_gb) continue;
+    if (gpu.tenant_memory_total_gb() + working_set_gb >
+        spec_.timeslice_oversub_ratio * gpu.spec().memory_gb) {
+      continue;
+    }
+    // Pack: most tenants first so whole devices stay free; index ties.
+    if (best == nullptr || gpu.holder_count() > best->holder_count()) {
+      best = &gpu;
+    }
+  }
+  if (best == nullptr) return std::nullopt;
+  return best->index();
+}
+
+util::Status NodeModel::allocate_timeslice(int index,
+                                           const std::string& workload_id,
+                                           double working_set_gb,
+                                           double utilization,
+                                           util::SimTime now) {
+  if (index < 0 || static_cast<std::size_t>(index) >= gpus_.size()) {
+    return util::invalid_argument_error("GPU index out of range");
+  }
+  if (spec_.timeslice_tenants_per_gpu <= 1) {
+    return util::failed_precondition_error("time-slicing disabled on " +
+                                           spec_.hostname);
+  }
+  GpuDevice& gpu = gpus_[static_cast<std::size_t>(index)];
+  if (gpu.exclusively_allocated() ||
+      (gpu.holder_count() > 0 && !gpu.time_sliced())) {
+    return util::failed_precondition_error(
+        "GPU " + std::to_string(index) + " on " + spec_.hostname +
+        " not available for time-slicing");
+  }
+  if (gpu.holder_count() >= spec_.timeslice_tenants_per_gpu) {
+    return util::resource_exhausted_error(
+        "GPU " + std::to_string(index) + " on " + spec_.hostname +
+        " has no free time-slice seat");
+  }
+  if (gpu.tenant_memory_total_gb() + working_set_gb >
+      spec_.timeslice_oversub_ratio * gpu.spec().memory_gb) {
+    return util::resource_exhausted_error(
+        "working sets would exceed the oversubscription ratio on GPU " +
+        std::to_string(index));
+  }
+  return gpu.allocate_timeslice(workload_id, working_set_gb, utilization, now);
 }
 
 util::Status NodeModel::allocate(const std::vector<int>& indices,
@@ -150,8 +213,8 @@ util::Status NodeModel::allocate(const std::vector<int>& indices,
     }
   }
   for (int idx : indices) {
-    gpus_[static_cast<std::size_t>(idx)].allocate(workload_id, memory_gb,
-                                                  utilization, now);
+    GPUNION_RETURN_IF_ERROR(gpus_[static_cast<std::size_t>(idx)].allocate(
+        workload_id, memory_gb, utilization, now));
   }
   return util::Status();
 }
@@ -168,19 +231,40 @@ int NodeModel::free_shared_slot_count() const {
   if (spec_.share_slots_per_gpu <= 1) return 0;
   int slots = 0;
   for (const auto& gpu : gpus_) {
-    if (gpu.exclusively_allocated() || gpu.holder_count() == 0) continue;
+    if (gpu.exclusively_allocated() || gpu.time_sliced() ||
+        gpu.holder_count() == 0) {
+      continue;
+    }
     slots += std::max(0, spec_.share_slots_per_gpu - gpu.holder_count());
   }
   return slots;
 }
 
+int NodeModel::free_timeslice_slot_count() const {
+  if (spec_.timeslice_tenants_per_gpu <= 1) return 0;
+  int seats = 0;
+  for (const auto& gpu : gpus_) {
+    if (!gpu.time_sliced()) continue;
+    seats += std::max(0, spec_.timeslice_tenants_per_gpu - gpu.holder_count());
+  }
+  return seats;
+}
+
 double NodeModel::busy_fraction() const {
   if (gpus_.empty()) return 0.0;
-  int busy = 0;
+  double busy = 0;
+  const int slots = std::max(1, spec_.share_slots_per_gpu);
   for (const auto& gpu : gpus_) {
-    if (gpu.allocated()) ++busy;
+    if (gpu.exclusively_allocated()) {
+      busy += 1.0;
+    } else if (gpu.time_sliced()) {
+      busy += gpu.resident().empty() ? 0.0 : 1.0;
+    } else if (gpu.holder_count() > 0) {
+      // A shared GPU with 1 of N occupied slots is 1/N busy, not 100%.
+      busy += std::min(1.0, static_cast<double>(gpu.holder_count()) / slots);
+    }
   }
-  return static_cast<double>(busy) / static_cast<double>(gpus_.size());
+  return busy / static_cast<double>(gpus_.size());
 }
 
 }  // namespace gpunion::hw

@@ -22,12 +22,21 @@ struct NodeSpec {
   double ram_gb = 64.0;
   double disk_gb = 2000.0;
   double access_link_gbps = 1.0;
-  /// nvshare-style time-slice slots per GPU (1 = whole-device only).  A
-  /// shared GPU hosts up to this many tenants; the platform policy and the
-  /// placement strategy decide whether slots are actually used.
+  /// Spatial share slots per GPU (1 = whole-device only).  A shared GPU
+  /// hosts up to this many tenants; the platform policy and the placement
+  /// strategy decide whether slots are actually used.
   int share_slots_per_gpu = 4;
   /// Per-tenant VRAM cap on a shared GPU; 0 = memory_gb / share_slots_per_gpu.
   double share_memory_cap_gb = 0;
+  /// nvshare-style time-slice seats per GPU (<=1 = mode disabled).  A
+  /// time-sliced GPU hosts up to this many FULL-memory tenants; exactly one
+  /// is resident per scheduler quantum, the rest swap to host RAM.
+  int timeslice_tenants_per_gpu = 0;
+  /// Memory oversubscription bound: sum of tenant working sets on one
+  /// time-sliced GPU may reach ratio x device VRAM.
+  double timeslice_oversub_ratio = 2.0;
+  /// Host RAM <-> device swap bandwidth (GB/s) paid at quantum boundaries.
+  double host_swap_gbps = 12.0;
 };
 
 /// Convenience builders for the paper's fleet (§4).
@@ -35,6 +44,12 @@ NodeSpec workstation_3090(std::string hostname);
 NodeSpec server_8x4090(std::string hostname);
 NodeSpec server_2xa100(std::string hostname);
 NodeSpec server_4xa6000(std::string hostname);
+
+/// Returns `spec` with nvshare-style time-slicing enabled: up to
+/// `tenants_per_gpu` full-memory tenants per GPU, one resident per quantum.
+NodeSpec with_timeslicing(NodeSpec spec, int tenants_per_gpu,
+                          double oversub_ratio = 2.0,
+                          double host_swap_gbps = 12.0);
 
 class NodeModel {
  public:
@@ -77,6 +92,21 @@ class NodeModel {
                                double memory_gb, double utilization,
                                util::SimTime now);
 
+  /// Finds one GPU able to host a time-sliced tenant with a working set of
+  /// `working_set_gb`: not exclusive, not spatially shared, a seat free, the
+  /// working set within device VRAM and the oversubscription ratio honoured.
+  /// Prefers the most-occupied time-sliced GPU (pack tenants together, keep
+  /// whole devices free); empty optional when impossible or the mode is
+  /// disabled (timeslice_tenants_per_gpu <= 1).
+  std::optional<int> find_timeslice_slot(double working_set_gb,
+                                         double min_compute_capability) const;
+
+  /// Adds `workload_id` as a time-sliced tenant on one GPU (see
+  /// find_timeslice_slot).
+  util::Status allocate_timeslice(int index, const std::string& workload_id,
+                                  double working_set_gb, double utilization,
+                                  util::SimTime now);
+
   /// Releases every GPU (or shared slot) held by `workload_id`; returns how
   /// many devices the workload vacated.
   int release(const std::string& workload_id, util::SimTime now);
@@ -85,8 +115,14 @@ class NodeModel {
   /// exclusive).  Fully-free GPUs are advertised via free_gpu_count().
   int free_shared_slot_count() const;
 
-  /// Aggregate busy fraction (allocated GPUs / total), the utilization
-  /// figure reported in Fig. 2.
+  /// Free seats on GPUs already in time-slice mode.  Fully-free GPUs are
+  /// advertised via free_gpu_count().
+  int free_timeslice_slot_count() const;
+
+  /// Aggregate busy fraction, the utilization figure reported in Fig. 2.
+  /// Per-GPU occupancy is weighted: an exclusive device counts 1.0, a
+  /// spatially shared device counts holders/slots, a time-sliced device
+  /// counts 1.0 only while a tenant is resident, a free device 0.
   double busy_fraction() const;
 
  private:

@@ -67,6 +67,7 @@ db::JobStateRecord to_state(const JobRecord& r) {
   s.dispatch_rejects = r.dispatch_rejects;
   s.awaiting_dispatch_settle = r.awaiting_dispatch_settle;
   s.fractional_slot = r.fractional_slot;
+  s.timeslice_slot = r.timeslice_slot;
   s.running_since = r.running_since;
   s.segment_start_progress = r.segment_start_progress;
   s.node_speed = r.node_speed;
@@ -103,6 +104,7 @@ JobRecord from_state(const db::JobStateRecord& s) {
   r.dispatch_rejects = s.dispatch_rejects;
   r.awaiting_dispatch_settle = s.awaiting_dispatch_settle;
   r.fractional_slot = s.fractional_slot;
+  r.timeslice_slot = s.timeslice_slot;
   r.running_since = s.running_since;
   r.segment_start_progress = s.segment_start_progress;
   r.node_speed = s.node_speed;
@@ -426,8 +428,9 @@ void Coordinator::maybe_retire(const std::string& job_id) {
 
 void Coordinator::settle_in_flight(const JobRecord& record,
                                    const std::string& machine_id) {
-  auto& counters = record.fractional_slot ? in_flight_slot_dispatches_
-                                          : in_flight_dispatches_;
+  auto& counters = record.timeslice_slot ? in_flight_timeslice_dispatches_
+                   : record.fractional_slot ? in_flight_slot_dispatches_
+                                            : in_flight_dispatches_;
   auto it = counters.find(machine_id);
   if (it == counters.end()) return;
   if (--it->second <= 0) counters.erase(it);
@@ -488,6 +491,7 @@ void Coordinator::crash() {
   displaced_by_node_.clear();
   in_flight_dispatches_.clear();
   in_flight_slot_dispatches_.clear();
+  in_flight_timeslice_dispatches_.clear();
   cause_hints_.clear();
   reserved_ids_.clear();  // gateway recovery re-reserves from durable rows
   pending_heartbeat_touches_.clear();  // lost: beats not yet flushed
@@ -560,11 +564,15 @@ void Coordinator::rebuild_from_db() {
     info.gpu_tflops = row.gpu_tflops;
     info.slots_per_gpu = row.slots_per_gpu;
     info.share_memory_cap_gb = row.share_memory_cap_gb;
+    info.timeslice_tenants_per_gpu = row.timeslice_tenants_per_gpu;
+    info.timeslice_oversub_ratio = row.timeslice_oversub_ratio;
+    info.host_swap_gbps = row.host_swap_gbps;
     info.status = row.status;
     info.accepting = true;
     const bool active = row.status == db::NodeStatus::kActive;
     info.free_gpus = active ? row.gpu_count : 0;
     info.free_shared_slots = 0;
+    info.free_timeslice_slots = 0;
     info.last_heartbeat = row.last_heartbeat;
     info.registered_at = row.registered_at;
     info.token_hash = row.auth_token_hash;
@@ -622,7 +630,9 @@ void Coordinator::rebuild_from_db() {
 
     if (live.phase == JobPhase::kRunning) {
       set_assignment(live, row.node);
-      if (live.fractional_slot) {
+      if (live.timeslice_slot) {
+        (void)directory_.reserve_timeslice_slot(row.node);
+      } else if (live.fractional_slot) {
         (void)directory_.reserve_slot(row.node);
       } else {
         directory_.reserve_gpus(row.node,
@@ -736,10 +746,14 @@ void Coordinator::handle_register(const agent::RegisterRequest& request) {
   info.gpu_tflops = request.gpu_tflops;
   info.slots_per_gpu = request.slots_per_gpu;
   info.share_memory_cap_gb = request.share_memory_cap_gb;
+  info.timeslice_tenants_per_gpu = request.timeslice_tenants_per_gpu;
+  info.timeslice_oversub_ratio = request.timeslice_oversub_ratio;
+  info.host_swap_gbps = request.host_swap_gbps;
   info.status = db::NodeStatus::kActive;
   info.accepting = true;
   info.free_gpus = request.gpu_count;
   info.free_shared_slots = 0;
+  info.free_timeslice_slots = 0;
   info.last_heartbeat = env_.now();
   info.registered_at =
       existing != nullptr ? existing->registered_at : env_.now();
@@ -748,6 +762,7 @@ void Coordinator::handle_register(const agent::RegisterRequest& request) {
   // A (re)registration starts from a clean slate: no dispatches in flight.
   in_flight_dispatches_.erase(request.machine_id);
   in_flight_slot_dispatches_.erase(request.machine_id);
+  in_flight_timeslice_dispatches_.erase(request.machine_id);
   heartbeat_monitor_.observe(request.machine_id, env_.now());
 
   db::NodeRecord db_record;
@@ -767,6 +782,9 @@ void Coordinator::handle_register(const agent::RegisterRequest& request) {
   db_record.gpu_tflops = request.gpu_tflops;
   db_record.slots_per_gpu = request.slots_per_gpu;
   db_record.share_memory_cap_gb = request.share_memory_cap_gb;
+  db_record.timeslice_tenants_per_gpu = request.timeslice_tenants_per_gpu;
+  db_record.timeslice_oversub_ratio = request.timeslice_oversub_ratio;
+  db_record.host_swap_gbps = request.host_swap_gbps;
   (void)database_.upsert_node(std::move(db_record));
 
   agent::RegisterResponse response;
@@ -826,6 +844,19 @@ void Coordinator::handle_heartbeat(const agent::Heartbeat& beat) {
       node->free_shared_slots += std::max(1, node->slots_per_gpu) - 1;
     }
   }
+  node->free_timeslice_slots = beat.free_timeslice_slots;
+  auto seat_it = in_flight_timeslice_dispatches_.find(beat.machine_id);
+  const int seats_in_flight =
+      seat_it == in_flight_timeslice_dispatches_.end() ? 0 : seat_it->second;
+  for (int i = seats_in_flight; i > 0; --i) {
+    if (node->free_timeslice_slots > 0) {
+      --node->free_timeslice_slots;
+    } else if (node->free_gpus > 0) {
+      --node->free_gpus;
+      node->free_timeslice_slots +=
+          std::max(1, node->timeslice_tenants_per_gpu) - 1;
+    }
+  }
   touch_heartbeat_db(beat.machine_id);
 
   if (was_unavailable) {
@@ -834,7 +865,8 @@ void Coordinator::handle_heartbeat(const agent::Heartbeat& beat) {
     GPUNION_ILOG("coordinator")
         << beat.machine_id << " heartbeats resumed; back in the pool";
     on_node_returned(beat.machine_id);
-  } else if ((node->free_gpus > 0 || node->free_shared_slots > 0) &&
+  } else if ((node->free_gpus > 0 || node->free_shared_slots > 0 ||
+              node->free_timeslice_slots > 0) &&
              database_.queue_depth() > 0) {
     request_pass();
   }
@@ -974,6 +1006,12 @@ void Coordinator::handle_dispatch_result(const agent::DispatchResult& result) {
                          std::max(1, record->spec.requirements.gpu_count);
     if (record->fractional_slot) {
       record->node_speed *= workload::kSharedComputeShare;
+    } else if (record->timeslice_slot) {
+      // A time-slice tenant runs at full device speed but only while
+      // resident; the expected long-run share under round-robin rotation is
+      // 1/N, which is what progress estimation should assume.
+      record->node_speed *=
+          1.0 / std::max(1, node->timeslice_tenants_per_gpu);
     }
   }
   record->open_allocation = database_.open_allocation(
@@ -1090,12 +1128,14 @@ void Coordinator::handle_departure_notice(
     node->status = db::NodeStatus::kDeparted;
     node->free_gpus = 0;
     node->free_shared_slots = 0;
+    node->free_timeslice_slots = 0;
   }
   (void)database_.set_node_status(notice.machine_id,
                                   db::NodeStatus::kDeparted);
   reliability_.record_departure(notice.machine_id, env_.now());
   in_flight_dispatches_.erase(notice.machine_id);
   in_flight_slot_dispatches_.erase(notice.machine_id);
+  in_flight_timeslice_dispatches_.erase(notice.machine_id);
   heartbeat_monitor_.forget(notice.machine_id);
   interrupt_jobs_on(notice.machine_id, notice.kind, env_.now());
   GPUNION_ILOG("coordinator") << notice.machine_id << " departed ("
@@ -1206,13 +1246,15 @@ bool Coordinator::try_place(JobRecord& record) {
     }
     return false;
   }
-  dispatch_to(record, *decision->node, decision->fractional);
+  dispatch_to(record, *decision->node, *decision);
   return true;
 }
 
 void Coordinator::release_capacity(const JobRecord& record,
                                    const std::string& machine_id) {
-  if (record.fractional_slot) {
+  if (record.timeslice_slot) {
+    directory_.release_timeslice_slot(machine_id);
+  } else if (record.fractional_slot) {
     directory_.release_slot(machine_id);
   } else {
     directory_.release_gpus(machine_id, record.spec.requirements.gpu_count);
@@ -1220,8 +1262,13 @@ void Coordinator::release_capacity(const JobRecord& record,
 }
 
 void Coordinator::dispatch_to(JobRecord& record, const NodeInfo& node,
-                              bool fractional) {
-  if (fractional) {
+                              const PlacementDecision& decision) {
+  const bool timeslice = decision.timeslice;
+  const bool fractional = decision.fractional;
+  if (timeslice) {
+    (void)directory_.reserve_timeslice_slot(node.machine_id);
+    ++in_flight_timeslice_dispatches_[node.machine_id];
+  } else if (fractional) {
     (void)directory_.reserve_slot(node.machine_id);
     ++in_flight_slot_dispatches_[node.machine_id];
   } else {
@@ -1230,6 +1277,7 @@ void Coordinator::dispatch_to(JobRecord& record, const NodeInfo& node,
     ++in_flight_dispatches_[node.machine_id];
   }
   record.fractional_slot = fractional;
+  record.timeslice_slot = timeslice;
   set_assignment(record, node.machine_id);
   record.phase = JobPhase::kDispatching;
   const std::uint64_t generation = ++record.dispatch_generation;
@@ -1240,12 +1288,14 @@ void Coordinator::dispatch_to(JobRecord& record, const NodeInfo& node,
                record.queued_since, env_.now());
     tr->record(record.trace, obs::stage::kPlacement, config_.id, env_.now(),
                env_.now(),
-               "node=" + node.machine_id + (fractional ? ",slot" : ""));
+               "node=" + node.machine_id +
+                   (fractional ? ",slot" : timeslice ? ",seat" : ""));
   }
 
   agent::DispatchRequest request;
   request.job = record.spec;
   request.fractional = fractional;
+  request.timeslice = timeslice;
   if (config_.policy.checkpoint_restore &&
       record.checkpointed_progress > 0 &&
       record.spec.type == workload::JobType::kTraining) {
@@ -1478,10 +1528,12 @@ void Coordinator::on_node_lost(const std::string& machine_id) {
   node->status = db::NodeStatus::kUnavailable;
   node->free_gpus = 0;
   node->free_shared_slots = 0;
+  node->free_timeslice_slots = 0;
   (void)database_.set_node_status(machine_id, db::NodeStatus::kUnavailable);
   reliability_.record_departure(machine_id, env_.now());
   in_flight_dispatches_.erase(machine_id);
   in_flight_slot_dispatches_.erase(machine_id);
+  in_flight_timeslice_dispatches_.erase(machine_id);
   heartbeat_monitor_.forget(machine_id);
 
   agent::DepartureKind cause = agent::DepartureKind::kEmergency;

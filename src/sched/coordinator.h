@@ -110,9 +110,12 @@ struct JobRecord {
   /// until the ack (or its timeout) settles the in-flight counter, then
   /// retires to the archive.
   bool awaiting_dispatch_settle = false;
-  /// Current/last assignment is a fractional time-sliced slot (capacity is
+  /// Current/last assignment is a spatial fractional slot (capacity is
   /// returned as a slot, not whole GPUs).
   bool fractional_slot = false;
+  /// Current/last assignment is an nvshare-style time-slice seat (capacity
+  /// is returned as a seat).  Mutually exclusive with fractional_slot.
+  bool timeslice_slot = false;
   // progress-estimation state for the current run segment
   util::SimTime running_since = -1;
   double segment_start_progress = 0;
@@ -352,7 +355,8 @@ class Coordinator {
   void request_pass();
   bool try_place(JobRecord& record);
   void requeue(JobRecord& record, bool front);
-  void dispatch_to(JobRecord& record, const NodeInfo& node, bool fractional);
+  void dispatch_to(JobRecord& record, const NodeInfo& node,
+                   const PlacementDecision& decision);
   void dispatch_timeout(const std::string& job_id, std::uint64_t generation);
   /// `submitted_at` pins the submission the timer was armed for (guards
   /// against a withdrawn-and-resubmitted session under the same id).
@@ -437,6 +441,7 @@ class Coordinator {
   // Sparse: entries exist only while a node has dispatches in flight.
   std::map<std::string, int> in_flight_dispatches_;       // whole-GPU, per node
   std::map<std::string, int> in_flight_slot_dispatches_;  // fractional, per node
+  std::map<std::string, int> in_flight_timeslice_dispatches_;  // seats, per node
   std::map<std::string, agent::DepartureKind> cause_hints_;
   // Heartbeat DB writes accumulated since the last batched flush.
   std::map<std::string, util::SimTime> pending_heartbeat_touches_;

@@ -15,12 +15,14 @@ void ClusterView::mark_dirty(const std::string& machine_id) {
 void ClusterView::clear() {
   free_buckets_.clear();
   slot_nodes_.clear();
+  timeslice_nodes_.clear();
   by_group_.clear();
   by_capability_.clear();
   entries_.clear();
   dirty_.clear();
   sum_free_gpus_ = 0;
   sum_free_slots_ = 0;
+  sum_free_timeslice_ = 0;
 }
 
 void ClusterView::refresh() {
@@ -45,8 +47,10 @@ void ClusterView::unindex(const std::string& machine_id) {
     }
   }
   if (entry.in_slot_set) slot_nodes_.erase(entry.ptr);
+  if (entry.in_timeslice_set) timeslice_nodes_.erase(entry.ptr);
   sum_free_gpus_ -= entry.counted_free_gpus;
   sum_free_slots_ -= entry.counted_free_slots;
+  sum_free_timeslice_ -= entry.counted_free_timeslice;
   auto group = by_group_.find(entry.group);
   if (group != by_group_.end()) {
     group->second.erase(entry.ptr);
@@ -72,10 +76,16 @@ void ClusterView::index(const NodeInfo& node) {
     entry.in_slot_set = true;
     slot_nodes_.insert(&node);
   }
+  if (node.free_timeslice_slots > 0 && node.timeslice_tenants_per_gpu > 1) {
+    entry.in_timeslice_set = true;
+    timeslice_nodes_.insert(&node);
+  }
   entry.counted_free_gpus = node.free_gpus;
   entry.counted_free_slots = node.free_shared_slots;
+  entry.counted_free_timeslice = node.free_timeslice_slots;
   sum_free_gpus_ += entry.counted_free_gpus;
   sum_free_slots_ += entry.counted_free_slots;
+  sum_free_timeslice_ += entry.counted_free_timeslice;
   entry.group = node.owner_group;
   by_group_[node.owner_group].insert(&node);
   entry.capability = node.compute_capability;
@@ -169,6 +179,41 @@ std::vector<const NodeInfo*> ClusterView::fractional_candidates(
   return out;
 }
 
+std::vector<const NodeInfo*> ClusterView::timeslice_candidates(
+    double working_set_gb, double min_compute_capability,
+    const std::string* owner_group) {
+  refresh();
+  std::vector<const NodeInfo*> out;
+  auto admit = [&](const NodeInfo* node) {
+    ++candidates_examined_;
+    if (node->timeslice_tenants_per_gpu <= 1) return;
+    if (node->free_timeslice_slots <= 0 && node->free_gpus <= 0) return;
+    if (working_set_gb > node->gpu_memory_gb) return;
+    if (node->compute_capability < min_compute_capability) return;
+    out.push_back(node);
+  };
+  if (owner_group != nullptr) {
+    auto group = by_group_.find(*owner_group);
+    if (group == by_group_.end()) return out;
+    for (const NodeInfo* node : group->second) admit(node);
+    return out;
+  }
+  // Union of the time-slice seat set and every free-capacity bucket, as
+  // with fractional candidates (the seat pass is preferred: packing more
+  // tenants onto already-sliced devices keeps whole GPUs free).
+  for (const NodeInfo* node : timeslice_nodes_) admit(node);
+  for (const auto& [free, bucket] : free_buckets_) {
+    for (const NodeInfo* node : bucket) {
+      if (node->free_timeslice_slots > 0 &&
+          node->timeslice_tenants_per_gpu > 1) {
+        continue;  // already admitted from the seat set
+      }
+      admit(node);
+    }
+  }
+  return out;
+}
+
 const NodeInfo* ClusterView::first_whole_gpu_candidate(
     int gpu_count, double min_memory_gb, double min_compute_capability,
     const std::string* owner_group, const NodePredicate& pred) {
@@ -251,6 +296,41 @@ const NodeInfo* ClusterView::first_fractional_candidate(
   return nullptr;
 }
 
+const NodeInfo* ClusterView::first_timeslice_candidate(
+    double working_set_gb, double min_compute_capability,
+    const std::string* owner_group, const NodePredicate& pred) {
+  refresh();
+  auto probe = [&](const NodeInfo* node) -> bool {
+    ++candidates_examined_;
+    if (node->timeslice_tenants_per_gpu <= 1) return false;
+    if (node->free_timeslice_slots <= 0 && node->free_gpus <= 0) return false;
+    if (working_set_gb > node->gpu_memory_gb) return false;
+    if (node->compute_capability < min_compute_capability) return false;
+    return pred(*node);
+  };
+  if (owner_group != nullptr) {
+    auto group = by_group_.find(*owner_group);
+    if (group == by_group_.end()) return nullptr;
+    for (const NodeInfo* node : group->second) {
+      if (probe(node)) return node;
+    }
+    return nullptr;
+  }
+  for (const NodeInfo* node : timeslice_nodes_) {
+    if (probe(node)) return node;
+  }
+  for (const auto& [free, bucket] : free_buckets_) {
+    for (const NodeInfo* node : bucket) {
+      if (node->free_timeslice_slots > 0 &&
+          node->timeslice_tenants_per_gpu > 1) {
+        continue;  // already probed from the seat set
+      }
+      if (probe(node)) return node;
+    }
+  }
+  return nullptr;
+}
+
 int ClusterView::total_free_gpus() {
   refresh();
   return sum_free_gpus_;
@@ -262,6 +342,7 @@ CapacitySummary ClusterView::summary() {
   out.schedulable_nodes = static_cast<int>(entries_.size());
   out.free_gpus = sum_free_gpus_;
   out.free_shared_slots = sum_free_slots_;
+  out.free_timeslice_slots = sum_free_timeslice_;
   return out;
 }
 
@@ -380,6 +461,33 @@ void Directory::release_slot(const std::string& machine_id) {
       node->free_gpus * std::max(1, node->slots_per_gpu);
   node->free_shared_slots =
       std::clamp(node->free_shared_slots + 1, 0, slot_capacity);
+}
+
+bool Directory::reserve_timeslice_slot(const std::string& machine_id) {
+  NodeInfo* node = find(machine_id);
+  if (node == nullptr || node->timeslice_tenants_per_gpu <= 1) return false;
+  if (node->free_timeslice_slots > 0) {
+    --node->free_timeslice_slots;
+    return true;
+  }
+  if (node->free_gpus > 0) {
+    // Open a fully-free GPU in time-slice mode: one seat taken now, the
+    // rest become available to future time-sliced tenants.
+    --node->free_gpus;
+    node->free_timeslice_slots += node->timeslice_tenants_per_gpu - 1;
+    return true;
+  }
+  return false;
+}
+
+void Directory::release_timeslice_slot(const std::string& machine_id) {
+  NodeInfo* node = find(machine_id);
+  if (node == nullptr) return;
+  const int seats = std::max(1, node->timeslice_tenants_per_gpu);
+  const int seat_capacity =
+      node->gpu_count * seats - node->free_gpus * seats;
+  node->free_timeslice_slots =
+      std::clamp(node->free_timeslice_slots + 1, 0, seat_capacity);
 }
 
 CapacitySummary Directory::capacity_summary() {

@@ -37,13 +37,19 @@ struct NodeInfo {
   double gpu_tflops = 0;
 
   // Fractional sharing capability advertised at registration.
-  int slots_per_gpu = 1;           // >1: GPUs may be time-sliced
+  int slots_per_gpu = 1;           // >1: GPUs may be spatially shared
   double share_memory_cap_gb = 0;  // per-tenant VRAM cap on a shared GPU
+
+  // nvshare-style time-slice capability advertised at registration.
+  int timeslice_tenants_per_gpu = 0;   // >1: GPUs may host time-sliced seats
+  double timeslice_oversub_ratio = 0;  // sum(working sets) / VRAM ceiling
+  double host_swap_gbps = 0;           // device<->host swap bandwidth
 
   db::NodeStatus status = db::NodeStatus::kActive;
   bool accepting = true;
   int free_gpus = 0;          // fully-free whole GPUs
   int free_shared_slots = 0;  // free slots on partially-occupied shared GPUs
+  int free_timeslice_slots = 0;  // free seats on GPUs already time-sliced
   util::SimTime last_heartbeat = 0;
   std::uint64_t last_heartbeat_seq = 0;
   util::SimTime registered_at = 0;
@@ -69,6 +75,7 @@ struct CapacitySummary {
   int total_gpus = 0;         // across all nodes, any status
   int free_gpus = 0;          // fully-free whole GPUs on schedulable nodes
   int free_shared_slots = 0;  // free fractional slots on schedulable nodes
+  int free_timeslice_slots = 0;  // free time-slice seats on schedulable nodes
   /// Hardware envelope: the best any single registered node offers
   /// (departed nodes included — hardware survives churn; recomputed when
   /// a re-registration shrinks a maximum).  Lets the federation broker
@@ -110,6 +117,15 @@ class ClusterView {
       double memory_gb, double min_compute_capability,
       const std::string* owner_group);
 
+  /// Schedulable nodes able to host one time-sliced tenant of
+  /// `working_set_gb`: time-slicing enabled, the working set fits in VRAM,
+  /// and either a free seat on a sliced GPU or a fully-free GPU to open in
+  /// time-slice mode.  (The oversubscription-ratio ceiling is per device,
+  /// so it is enforced by the agent's node model at dispatch.)
+  std::vector<const NodeInfo*> timeslice_candidates(
+      double working_set_gb, double min_compute_capability,
+      const std::string* owner_group);
+
   /// Extra gating an existence probe applies on top of the index filters
   /// (the full placement predicate, including the degradation rule).
   using NodePredicate = std::function<bool(const NodeInfo&)>;
@@ -128,6 +144,10 @@ class ClusterView {
                                              double min_compute_capability,
                                              const std::string* owner_group,
                                              const NodePredicate& pred);
+  const NodeInfo* first_timeslice_candidate(double working_set_gb,
+                                            double min_compute_capability,
+                                            const std::string* owner_group,
+                                            const NodePredicate& pred);
 
   /// Nodes examined by candidate generation and existence probes since
   /// construction (the early-exit regression probe: an existence check on
@@ -160,12 +180,14 @@ class ClusterView {
     const NodeInfo* ptr = nullptr;
     int free_bucket = -1;  // -1: not in any free bucket
     bool in_slot_set = false;
+    bool in_timeslice_set = false;
     std::string group;
     double capability = 0;
     // Contributions to the capacity-summary counters (subtracted on
     // unindex, so the counters never need a rescan).
     int counted_free_gpus = 0;
     int counted_free_slots = 0;
+    int counted_free_timeslice = 0;
   };
 
   void refresh();
@@ -184,6 +206,8 @@ class ClusterView {
   std::map<int, NodeSet> free_buckets_;
   // schedulable nodes with a free slot on an already-shared GPU
   NodeSet slot_nodes_;
+  // schedulable nodes with a free seat on an already-time-sliced GPU
+  NodeSet timeslice_nodes_;
   std::map<std::string, NodeSet> by_group_;       // schedulable only
   std::map<double, NodeSet> by_capability_;       // schedulable only
   std::map<std::string, IndexEntry> entries_;
@@ -193,6 +217,7 @@ class ClusterView {
   // Running schedulable-fleet aggregates (see summary()).
   int sum_free_gpus_ = 0;
   int sum_free_slots_ = 0;
+  int sum_free_timeslice_ = 0;
 };
 
 class Directory {
@@ -229,6 +254,14 @@ class Directory {
   /// emptying back into the whole-GPU pool is reconciled by the next
   /// heartbeat (the agent is ground truth).
   void release_slot(const std::string& machine_id);
+
+  /// Takes one time-slice seat: a free seat on a sliced GPU when available,
+  /// otherwise a fully-free GPU is opened in time-slice mode.  False when
+  /// the node is unknown, time-slicing is disabled, or nothing is free.
+  bool reserve_timeslice_slot(const std::string& machine_id);
+  /// Returns one time-slice seat to the scheduling view (heartbeats
+  /// reconcile a device emptying back into the whole-GPU pool).
+  void release_timeslice_slot(const std::string& machine_id);
 
   /// Forgets every node (simulated coordinator crash; the in-memory view
   /// is rebuilt from the durable registry on recovery).  The cluster view

@@ -52,6 +52,24 @@ bool slot_eligible(const NodeInfo& node, const workload::JobSpec& job,
   return node.free_shared_slots > 0 || node.free_gpus > 0;
 }
 
+bool timeslice_eligible(const NodeInfo& node, const workload::JobSpec& job,
+                        bool cross_group_sharing) {
+  if (!node.schedulable()) return false;
+  if (!cross_group_sharing && node.owner_group != job.owner_group) {
+    return false;
+  }
+  if (node.timeslice_tenants_per_gpu <= 1) return false;
+  const auto& req = job.requirements;
+  if (!req.shareable || req.gpu_count != 1) return false;
+  // Full memory per tenant: only the working set must fit in VRAM (the
+  // per-device oversubscription ceiling is the agent's to enforce).
+  if (workload::resolved_working_set_gb(job) > node.gpu_memory_gb) {
+    return false;
+  }
+  if (node.compute_capability < req.min_compute_capability) return false;
+  return node.free_timeslice_slots > 0 || node.free_gpus > 0;
+}
+
 PlacementEngine::PlacementEngine(Directory& directory,
                                  const ReliabilityPredictor& reliability,
                                  const PlatformPolicy& policy,
@@ -70,23 +88,39 @@ PlacementEngine::PlacementEngine(Directory& directory,
 }
 
 std::vector<const NodeInfo*> PlacementEngine::eligible_candidates(
-    const workload::JobSpec& job, util::SimTime now, bool fractional) {
+    const workload::JobSpec& job, util::SimTime now, PlaceMode mode) {
   const std::string* group =
       policy_.cross_group_sharing ? nullptr : &job.owner_group;
   const auto& req = job.requirements;
-  std::vector<const NodeInfo*> candidates =
-      fractional
-          ? directory_.view().fractional_candidates(
-                req.gpu_memory_gb, req.min_compute_capability, group)
-          : directory_.view().whole_gpu_candidates(
-                req.gpu_count, req.gpu_memory_gb, req.min_compute_capability,
-                group);
+  std::vector<const NodeInfo*> candidates;
+  switch (mode) {
+    case PlaceMode::kTimeslice:
+      candidates = directory_.view().timeslice_candidates(
+          workload::resolved_working_set_gb(job), req.min_compute_capability,
+          group);
+      break;
+    case PlaceMode::kFractional:
+      candidates = directory_.view().fractional_candidates(
+          req.gpu_memory_gb, req.min_compute_capability, group);
+      break;
+    case PlaceMode::kWhole:
+      candidates = directory_.view().whole_gpu_candidates(
+          req.gpu_count, req.gpu_memory_gb, req.min_compute_capability,
+          group);
+      break;
+  }
   // The view pre-filters on capacity/compatibility/group; re-check the full
   // predicate (including the degradation rule) so index staleness bugs can
   // never place a job somewhere invalid.
   const bool degrade = strategy_->enforce_degradation();
   auto ineligible = [&](const NodeInfo* node) {
-    if (fractional) {
+    if (mode == PlaceMode::kTimeslice) {
+      if (!timeslice_eligible(*node, job, policy_.cross_group_sharing)) {
+        return true;
+      }
+      return degrade && !degradation_ok(*node, job, reliability_, now);
+    }
+    if (mode == PlaceMode::kFractional) {
       if (!slot_eligible(*node, job, policy_.cross_group_sharing)) return true;
       return degrade && !degradation_ok(*node, job, reliability_, now);
     }
@@ -111,6 +145,17 @@ bool PlacementEngine::any_eligible(const workload::JobSpec& job,
       policy_.cross_group_sharing ? nullptr : &job.owner_group;
   const auto& req = job.requirements;
   const bool degrade = strategy_->enforce_degradation();
+  if (policy_.timeslice_sharing && strategy_->wants_timeslice(job)) {
+    auto seat_pred = [&](const NodeInfo& node) {
+      return timeslice_eligible(node, job, policy_.cross_group_sharing) &&
+             (!degrade || degradation_ok(node, job, reliability_, now));
+    };
+    if (directory_.view().first_timeslice_candidate(
+            workload::resolved_working_set_gb(job),
+            req.min_compute_capability, group, seat_pred) != nullptr) {
+      return true;
+    }
+  }
   if (policy_.fractional_sharing && strategy_->wants_fractional(job)) {
     auto slot_pred = [&](const NodeInfo& node) {
       return slot_eligible(node, job, policy_.cross_group_sharing) &&
@@ -136,22 +181,30 @@ std::optional<PlacementDecision> PlacementEngine::place(
     util::SimTime now) {
   PlacementContext context{&reliability_, now};
 
+  const bool try_timeslice =
+      policy_.timeslice_sharing && strategy_->wants_timeslice(job);
   const bool try_fractional = policy_.fractional_sharing &&
                               strategy_->wants_fractional(job);
-  for (const bool fractional : {true, false}) {
-    if (fractional && !try_fractional) continue;
-    auto candidates = eligible_candidates(job, now, fractional);
+  for (const PlaceMode mode : {PlaceMode::kTimeslice, PlaceMode::kFractional,
+                               PlaceMode::kWhole}) {
+    if (mode == PlaceMode::kTimeslice && !try_timeslice) continue;
+    if (mode == PlaceMode::kFractional && !try_fractional) continue;
+    auto candidates = eligible_candidates(job, now, mode);
     if (candidates.empty()) continue;
+    const bool timeslice = mode == PlaceMode::kTimeslice;
+    const bool fractional = mode == PlaceMode::kFractional;
     if (!preferred_node.empty()) {
       for (const NodeInfo* node : candidates) {
         if (node->machine_id == preferred_node) {
-          return PlacementDecision{node, fractional};
+          return PlacementDecision{node, fractional, timeslice};
         }
       }
     }
-    if (const NodeInfo* pick =
-            strategy_->select(candidates, job, context, fractional)) {
-      return PlacementDecision{pick, fractional};
+    const NodeInfo* pick =
+        timeslice ? strategy_->select_timeslice(candidates, job, context)
+                  : strategy_->select(candidates, job, context, fractional);
+    if (pick != nullptr) {
+      return PlacementDecision{pick, fractional, timeslice};
     }
   }
   return std::nullopt;

@@ -5,10 +5,11 @@
 // configured PlacementStrategy.  The coordinator keeps only queue/dispatch
 // mechanics; everything about *where* a job lands lives here.
 //
-// Fractional placement: when the policy enables GPU sharing and the
-// strategy wants it for a shareable job, the engine first tries to place
-// the job into a time-sliced slot (nvshare-style) and only then falls back
-// to a whole-device allocation.
+// Shared placement: when the policy enables GPU sharing and the strategy
+// wants it for a shareable job, the engine tries a time-slice seat
+// (nvshare-style rotating residency, full memory per tenant) first, then a
+// spatial fractional slot, and only then falls back to a whole-device
+// allocation — three points on the isolation/utilization trade-off.
 #pragma once
 
 #include <memory>
@@ -27,8 +28,11 @@ namespace gpunion::sched {
 /// Where (and how) one job should run.
 struct PlacementDecision {
   const NodeInfo* node = nullptr;
-  /// Placed into a fractional time-sliced slot instead of whole GPUs.
+  /// Placed into a spatial fractional slot instead of whole GPUs.
   bool fractional = false;
+  /// Placed into an nvshare-style time-slice seat (full memory, rotating
+  /// residency per quantum).  Mutually exclusive with `fractional`.
+  bool timeslice = false;
 };
 
 /// Hard eligibility for a whole-GPU placement: status/accepting/capacity/
@@ -43,6 +47,12 @@ bool node_eligible(const NodeInfo& node, const workload::JobSpec& job,
 /// slot (or a free GPU to open in shared mode) available.
 bool slot_eligible(const NodeInfo& node, const workload::JobSpec& job,
                    bool cross_group_sharing);
+
+/// Hard eligibility for a time-slice seat: time-slicing enabled on the
+/// node, single-GPU shareable job whose working set fits in device VRAM,
+/// and a seat (or a free GPU to open in time-slice mode) available.
+bool timeslice_eligible(const NodeInfo& node, const workload::JobSpec& job,
+                        bool cross_group_sharing);
 
 class PlacementEngine {
  public:
@@ -79,8 +89,11 @@ class PlacementEngine {
   std::string_view strategy_name() const { return strategy_->name(); }
 
  private:
+  /// Which allocation shape a candidate pass is generating for.
+  enum class PlaceMode { kWhole, kFractional, kTimeslice };
+
   std::vector<const NodeInfo*> eligible_candidates(
-      const workload::JobSpec& job, util::SimTime now, bool fractional);
+      const workload::JobSpec& job, util::SimTime now, PlaceMode mode);
 
   Directory& directory_;
   const ReliabilityPredictor& reliability_;

@@ -29,6 +29,36 @@ std::vector<std::string> PlacementStrategyFactory::names() const {
 
 namespace {
 
+/// Pack: tightest VRAM fit keeps 80 GB A100s free for jobs that need them.
+const NodeInfo* best_vram_fit(const std::vector<const NodeInfo*>& candidates,
+                              const workload::JobSpec& job);
+
+}  // namespace
+
+const NodeInfo* PlacementStrategy::select_timeslice(
+    const std::vector<const NodeInfo*>& candidates,
+    const workload::JobSpec& job, const PlacementContext& context) {
+  (void)context;
+  if (candidates.empty()) return nullptr;
+  // Pack onto already-sliced devices first (fewest free seats = tightest),
+  // so whole GPUs stay free for training; open a fresh device only when no
+  // seat is free anywhere, on the node whose VRAM the tenant wastes least.
+  const NodeInfo* tightest = nullptr;
+  for (const NodeInfo* node : candidates) {
+    if (node->free_timeslice_slots <= 0) continue;
+    if (tightest == nullptr ||
+        node->free_timeslice_slots < tightest->free_timeslice_slots ||
+        (node->free_timeslice_slots == tightest->free_timeslice_slots &&
+         node->machine_id < tightest->machine_id)) {
+      tightest = node;
+    }
+  }
+  if (tightest != nullptr) return tightest;
+  return best_vram_fit(candidates, job);
+}
+
+namespace {
+
 /// Fairness: rotate across eligible providers.
 class RoundRobinStrategy : public PlacementStrategy {
  public:
@@ -133,7 +163,7 @@ class ReliabilityAwareStrategy : public PlacementStrategy {
   }
 };
 
-/// Fractional packing: shareable jobs go to time-sliced slots, tightest
+/// Fractional packing: shareable jobs go to fractional slots, tightest
 /// first — prefer the node whose shared GPUs have the fewest free slots
 /// left (keep shared devices hot, keep whole devices free for training);
 /// open a fresh shared GPU only when no partially-filled one fits, picking
@@ -179,8 +209,52 @@ const PlacementStrategyRegistrar<BestFitStrategy> best_fit_registrar(
     "best_fit");
 const PlacementStrategyRegistrar<ReliabilityAwareStrategy>
     reliability_aware_registrar("reliability_aware");
+/// Duty-cycle-adaptive sharing: a shareable single-GPU job whose duty
+/// cycle is bursty (interactive sessions idle ~65% of the time) wastes a
+/// dedicated slice — time-slice seats let several such tenants share one
+/// device at full memory each, rotating residency per quantum.  Steady
+/// shareable jobs keep the spatial fractional path (a time quantum would
+/// serialize them), and whole-GPU jobs fall back to best-fit.
+class AdaptiveSharingStrategy : public PlacementStrategy {
+ public:
+  std::string_view name() const override { return kAdaptiveSharing; }
+
+  bool wants_timeslice(const workload::JobSpec& job) const override {
+    return job.requirements.shareable && job.requirements.gpu_count == 1 &&
+           workload::resolved_duty_cycle(job) < 0.6;
+  }
+
+  bool wants_fractional(const workload::JobSpec& job) const override {
+    // Fallback axis when no time-slice seat exists (or the job is steady).
+    return job.requirements.shareable && job.requirements.gpu_count == 1;
+  }
+
+  const NodeInfo* select(const std::vector<const NodeInfo*>& candidates,
+                         const workload::JobSpec& job,
+                         const PlacementContext& context,
+                         bool fractional) override {
+    (void)context;
+    if (candidates.empty()) return nullptr;
+    if (!fractional) return best_vram_fit(candidates, job);
+    const NodeInfo* tightest = nullptr;
+    for (const NodeInfo* node : candidates) {
+      if (node->free_shared_slots <= 0) continue;
+      if (tightest == nullptr ||
+          node->free_shared_slots < tightest->free_shared_slots ||
+          (node->free_shared_slots == tightest->free_shared_slots &&
+           node->machine_id < tightest->machine_id)) {
+        tightest = node;
+      }
+    }
+    if (tightest != nullptr) return tightest;
+    return best_vram_fit(candidates, job);
+  }
+};
+
 const PlacementStrategyRegistrar<PackedSharingStrategy>
     packed_sharing_registrar("packed_sharing");
+const PlacementStrategyRegistrar<AdaptiveSharingStrategy>
+    adaptive_sharing_registrar("adaptive_sharing");
 
 }  // namespace
 

@@ -40,8 +40,16 @@ class PlacementStrategy {
   virtual bool enforce_degradation() const { return false; }
 
   /// True when the strategy places this job into a fractional GPU slot
-  /// (nvshare-style time-sliced sharing) in preference to a whole device.
+  /// (spatially-partitioned sharing) in preference to a whole device.
   virtual bool wants_fractional(const workload::JobSpec& job) const {
+    (void)job;
+    return false;
+  }
+
+  /// True when the strategy places this job into an nvshare-style
+  /// time-slice seat (full memory, rotating residency) in preference to a
+  /// fractional slot or a whole device.
+  virtual bool wants_timeslice(const workload::JobSpec& job) const {
     (void)job;
     return false;
   }
@@ -53,6 +61,13 @@ class PlacementStrategy {
       const std::vector<const NodeInfo*>& candidates,
       const workload::JobSpec& job, const PlacementContext& context,
       bool fractional) = 0;
+
+  /// Picks a node for a time-slice seat.  The default packs: fewest free
+  /// seats on an already-sliced device first, then the tightest VRAM fit
+  /// to open a fresh device.  Returns nullptr when the list is empty.
+  virtual const NodeInfo* select_timeslice(
+      const std::vector<const NodeInfo*>& candidates,
+      const workload::JobSpec& job, const PlacementContext& context);
 };
 
 /// Name-indexed registry.  Strategies self-register at static-init time;
@@ -89,8 +104,12 @@ inline constexpr std::string_view kRoundRobin = "round_robin";
 inline constexpr std::string_view kLeastLoaded = "least_loaded";
 inline constexpr std::string_view kBestFit = "best_fit";
 inline constexpr std::string_view kReliabilityAware = "reliability_aware";
-/// Fractional-slot packing: shareable jobs are time-slice packed onto
-/// already-shared GPUs; whole-GPU jobs fall back to best-fit.
+/// Fractional-slot packing: shareable jobs are packed onto already-shared
+/// GPUs; whole-GPU jobs fall back to best-fit.
 inline constexpr std::string_view kPackedSharing = "packed_sharing";
+/// Duty-cycle-adaptive sharing: bursty shareable jobs (interactive
+/// sessions) go to nvshare-style time-slice seats, steady shareable jobs
+/// to fractional slots, everything else to whole devices (best-fit).
+inline constexpr std::string_view kAdaptiveSharing = "adaptive_sharing";
 
 }  // namespace gpunion::sched

@@ -24,4 +24,14 @@ double speed_factor(double gpu_tflops) {
   return gpu_tflops / kReferenceTflops;
 }
 
+double resolved_working_set_gb(const JobSpec& spec) {
+  return spec.requirements.working_set_gb > 0 ? spec.requirements.working_set_gb
+                                              : spec.requirements.gpu_memory_gb;
+}
+
+double resolved_duty_cycle(const JobSpec& spec) {
+  if (spec.requirements.duty_cycle > 0) return spec.requirements.duty_cycle;
+  return spec.type == JobType::kInteractive ? kInteractiveDutyCycle : 1.0;
+}
+
 }  // namespace gpunion::workload

@@ -28,13 +28,22 @@ struct JobRequirements {
   double gpu_memory_gb = 8.0;
   double min_compute_capability = 7.0;
   int priority = 0;  // higher schedules first
-  /// The job tolerates nvshare-style time-sliced sharing of one GPU with
-  /// other tenants (fractional slot) instead of whole-device allocation.
-  /// Interactive sessions are shareable by default: they drive the GPU in
-  /// bursts and waste most of a dedicated device.  Only meaningful for
-  /// single-GPU jobs; whether a slot is actually used depends on the
-  /// platform policy and the placement strategy.
+  /// The job tolerates sharing one GPU with other tenants — either a
+  /// spatial fractional slot or an nvshare-style time slice — instead of
+  /// whole-device allocation.  Interactive sessions are shareable by
+  /// default: they drive the GPU in bursts and waste most of a dedicated
+  /// device.  Only meaningful for single-GPU jobs; whether a slot is
+  /// actually used depends on the platform policy and the placement
+  /// strategy.
   bool shareable = false;
+  /// Hot working set that must be on-device (or swapped back in) for the
+  /// job to make progress — the footprint a time-sliced tenant pays at
+  /// quantum boundaries.  0 = assume gpu_memory_gb.
+  double working_set_gb = 0;
+  /// Fraction of wall-clock time the job actually drives the GPU.  Bursty
+  /// jobs (low duty cycle) time-slice well; steady ones do not.  0 = derive
+  /// from the job type (interactive -> kInteractiveDutyCycle, else 1.0).
+  double duty_cycle = 0;
 };
 
 /// Checkpointable-state profile of a training job (drives ALC costs).
@@ -66,6 +75,12 @@ struct JobSpec {
 
 /// Checkpoint capture pause for a given state profile, seconds.
 double checkpoint_pause_seconds(const StateProfile& state);
+
+/// Resolved working set of a job (explicit field, else its VRAM footprint).
+double resolved_working_set_gb(const JobSpec& spec);
+
+/// Resolved duty cycle of a job (explicit field, else type-derived).
+double resolved_duty_cycle(const JobSpec& spec);
 
 /// Throughput of `gpu_tflops` relative to the reference GPU.
 double speed_factor(double gpu_tflops);

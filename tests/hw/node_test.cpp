@@ -135,5 +135,60 @@ TEST(NodeModelTest, ExclusiveDeviceRejectsSharedTenant) {
   EXPECT_FALSE(node.find_share_slot(4.0, 7.0).has_value());
 }
 
+TEST(NodeModelTest, BusyFractionWeightsSharedSlots) {
+  // Regression: a shared GPU with 1 of 4 occupied slots used to count as
+  // 100% busy — exactly where sharing is supposed to show headroom.
+  NodeModel node(server_4xa6000("srv"));  // 4 GPUs, 4 slots each
+  ASSERT_TRUE(node.allocate_shared(0, "t-1", 8.0, 0.5, 0.0).is_ok());
+  EXPECT_DOUBLE_EQ(node.busy_fraction(), 0.25 / 4.0);  // 1 slot of 16
+  ASSERT_TRUE(node.allocate_shared(0, "t-2", 8.0, 0.5, 0.0).is_ok());
+  EXPECT_DOUBLE_EQ(node.busy_fraction(), 0.5 / 4.0);
+  // An exclusive device still counts as fully busy.
+  ASSERT_TRUE(node.allocate({1}, "whole", 10.0, 0.9, 0.0).is_ok());
+  EXPECT_DOUBLE_EQ(node.busy_fraction(), 1.5 / 4.0);
+}
+
+TEST(NodeModelTest, TimesliceSeatsPackAndHonourOversubRatio) {
+  NodeSpec spec = server_4xa6000("srv");  // 48 GB devices
+  spec.timeslice_tenants_per_gpu = 3;
+  spec.timeslice_oversub_ratio = 2.0;  // up to 96 GB of working sets
+  NodeModel node(spec);
+  auto first = node.find_timeslice_slot(40.0, 8.0);
+  ASSERT_TRUE(first.has_value());
+  ASSERT_TRUE(node.allocate_timeslice(*first, "t-1", 40.0, 0.9, 0.0).is_ok());
+  // The next tenant packs onto the same device.
+  auto second = node.find_timeslice_slot(40.0, 8.0);
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(*second, *first);
+  ASSERT_TRUE(node.allocate_timeslice(*second, "t-2", 40.0, 0.9, 0.0).is_ok());
+  EXPECT_EQ(node.free_gpu_count(), 3);
+  EXPECT_EQ(node.free_timeslice_slot_count(), 1);
+  // 40 + 40 + 40 > 96: the ratio forces the third big tenant elsewhere.
+  auto third = node.find_timeslice_slot(40.0, 8.0);
+  ASSERT_TRUE(third.has_value());
+  EXPECT_NE(*third, *first);
+  EXPECT_EQ(node.allocate_timeslice(*first, "t-3", 40.0, 0.9, 0.0).code(),
+            util::StatusCode::kResourceExhausted);
+  // A small working set still fits under the ratio on the packed device.
+  ASSERT_TRUE(node.allocate_timeslice(*first, "t-4", 10.0, 0.9, 0.0).is_ok());
+  EXPECT_EQ(node.free_timeslice_slot_count(), 0);
+  // A time-sliced device hosts neither spatial tenants nor exclusive jobs.
+  EXPECT_EQ(node.allocate_shared(*first, "s", 4.0, 0.5, 0.0).code(),
+            util::StatusCode::kFailedPrecondition);
+  EXPECT_EQ(node.allocate({*first}, "whole", 10.0, 0.9, 0.0).code(),
+            util::StatusCode::kFailedPrecondition);
+  EXPECT_EQ(node.free_shared_slot_count(), 0);
+  // Busy fraction is residency-weighted: 1 of 4 devices has a resident.
+  EXPECT_DOUBLE_EQ(node.busy_fraction(), 0.25);
+}
+
+TEST(NodeModelTest, TimesliceDisabledBySpecDefault) {
+  NodeModel node(workstation_3090("ws"));
+  EXPECT_FALSE(node.find_timeslice_slot(8.0, 7.0).has_value());
+  EXPECT_EQ(node.allocate_timeslice(0, "t", 8.0, 0.9, 0.0).code(),
+            util::StatusCode::kFailedPrecondition);
+  EXPECT_EQ(node.free_timeslice_slot_count(), 0);
+}
+
 }  // namespace
 }  // namespace gpunion::hw

@@ -10,6 +10,8 @@
 #include "gpunion/client.h"
 #include "gpunion/config.h"
 #include "gpunion/platform.h"
+#include "hw/node.h"
+#include "sched/strategies.h"
 #include "sim/environment.h"
 #include "workload/profiles.h"
 
@@ -205,6 +207,72 @@ TEST(DeterminismTest, ApiDrainOrderIgnoresWorkerCount) {
   for (std::size_t i = 0; i < one.first.size(); ++i) {
     ASSERT_EQ(one.first[i], four.first[i]) << "diverged at event " << i;
     ASSERT_EQ(one.first[i], eight.first[i]) << "diverged at event " << i;
+  }
+}
+
+/// Time-slicing golden scenario: workstations run nvshare-mode seats under
+/// the adaptive_sharing strategy, so the trace includes quantum ticks,
+/// rotation swap pauses and completion re-arming — all of which must stay
+/// bit-replayable.
+std::vector<FireRecord> timeslice_golden_trace(const EnvConfig& config) {
+  Environment env(42, config);
+  std::vector<FireRecord> trace;
+  env.set_fire_observer([&trace](util::SimTime t, EventId id) {
+    trace.push_back({t, id});
+  });
+  CampusConfig campus = paper_campus();
+  campus.coordinator.strategy = std::string(sched::kAdaptiveSharing);
+  for (auto& node : campus.nodes) {
+    if (node.spec.gpus.size() == 1) {
+      node.spec = hw::with_timeslicing(std::move(node.spec), 4);
+    }
+  }
+  Platform platform(env, campus);
+  platform.start();
+  env.run_until(10.0);
+
+  Client vision(platform, "vision");
+  Client nlp(platform, "nlp");
+  Client theory(platform, "theory");
+  // Several sessions pack into time-slice seats and rotate; one training
+  // job takes a whole device alongside.
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(theory.request_session(0.5).ok());
+  }
+  EXPECT_TRUE(nlp.request_session(0.25).ok());
+  EXPECT_TRUE(vision.submit_training(workload::cnn_small(), 1.0).ok());
+
+  workload::Interruption event;
+  event.machine_id = Platform::machine_id_for("ws-vision-1");
+  event.kind = agent::DepartureKind::kTemporary;
+  event.downtime = util::minutes(10);
+  event.at = util::minutes(8);
+  platform.schedule_interruption(event.at, event);
+
+  env.run_until(util::minutes(45));
+  return trace;
+}
+
+TEST(DeterminismTest, TimesliceCampusIsBitIdentical) {
+  const auto a = timeslice_golden_trace(deterministic_with_workers(1));
+  const auto b = timeslice_golden_trace(deterministic_with_workers(1));
+  ASSERT_FALSE(a.empty());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i], b[i]) << "trace diverged at event " << i;
+  }
+}
+
+TEST(DeterminismTest, TimesliceTraceIgnoresWorkerCount) {
+  const auto one = timeslice_golden_trace(deterministic_with_workers(1));
+  const auto four = timeslice_golden_trace(deterministic_with_workers(4));
+  const auto eight = timeslice_golden_trace(deterministic_with_workers(8));
+  ASSERT_FALSE(one.empty());
+  ASSERT_EQ(one.size(), four.size());
+  ASSERT_EQ(one.size(), eight.size());
+  for (std::size_t i = 0; i < one.size(); ++i) {
+    ASSERT_EQ(one[i], four[i]) << "trace diverged at event " << i;
+    ASSERT_EQ(one[i], eight[i]) << "trace diverged at event " << i;
   }
 }
 
